@@ -1,0 +1,49 @@
+// Command gemfi-asm assembles Thessaly-64 assembly and prints the
+// resulting image as a listing.
+//
+//	gemfi-asm prog.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gemfi-asm:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: gemfi-asm file.s")
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	p, err := asm.Assemble(string(src))
+	if err != nil {
+		return err
+	}
+	symAt := map[uint64][]string{}
+	for _, name := range p.SortedSymbols() {
+		symAt[p.Symbols[name]] = append(symAt[p.Symbols[name]], name)
+	}
+	fmt.Printf("; entry 0x%x, %d instructions, %d data bytes\n", p.Entry, len(p.Text), len(p.Data))
+	for i, w := range p.Text {
+		addr := p.TextBase + uint64(i)*4
+		for _, s := range symAt[addr] {
+			fmt.Printf("%s:\n", s)
+		}
+		fmt.Printf("  0x%06x  %08x  %s\n", addr, uint32(w), isa.Decode(w).Disassemble(addr))
+	}
+	return nil
+}

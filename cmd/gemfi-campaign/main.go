@@ -1,0 +1,200 @@
+// Command gemfi-campaign runs fault injection campaigns and regenerates
+// the paper's evaluation figures:
+//
+//	gemfi-campaign -experiment fig5 -n 100 -parallel 8
+//	gemfi-campaign -experiment fig6 -workload knapsack -n 400
+//	gemfi-campaign -experiment fig7 -trials 5
+//	gemfi-campaign -experiment fig8 -n 20 -workers 4
+//	gemfi-campaign -experiment custom -workload dct -n 200 -json out.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/campaign"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gemfi-campaign:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		experiment = flag.String("experiment", "custom", "fig5|fig6|fig7|fig8|vdd|table1|custom")
+		workload   = flag.String("workload", "pi", "workload for fig6/custom")
+		scaleName  = flag.String("scale", "test", "workload scale: test|small|paper")
+		n          = flag.Int("n", 100, "experiments (per location for fig5)")
+		bins       = flag.Int("bins", 5, "time bins for fig6")
+		trials     = flag.Int("trials", 3, "trials for fig7")
+		workers    = flag.Int("workers", 4, "parallel workers for fig8")
+		parallel   = flag.Int("parallel", runtime.NumCPU(), "local parallelism")
+		seed       = flag.Int64("seed", 1, "campaign seed")
+		model      = flag.String("model", "atomic", "CPU model for experiments")
+		jsonOut    = flag.String("json", "", "also write the report as JSON to this file")
+	)
+	flag.Parse()
+
+	scale, err := parseScale(*scaleName)
+	if err != nil {
+		return err
+	}
+	cfg := sim.Config{
+		Model:                   sim.ModelKind(*model),
+		EnableFI:                true,
+		MaxInsts:                2_000_000_000,
+		SwitchToAtomicOnResolve: sim.ModelKind(*model) == sim.ModelPipelined,
+	}
+	opts := campaign.RunnerOptions{Cfg: &cfg}
+
+	var report interface {
+		String() string
+	}
+	switch *experiment {
+	case "fig5":
+		rep, err := campaign.RunFig5(campaign.Fig5Config{
+			Workloads:    workloads.All(scale),
+			PerLocation:  *n,
+			Parallelism:  *parallel,
+			Seed:         *seed,
+			RunnerConfig: opts,
+		})
+		if err != nil {
+			return err
+		}
+		report = rep
+
+	case "fig6":
+		w, err := workloads.ByName(*workload, scale)
+		if err != nil {
+			return err
+		}
+		rep, err := campaign.RunFig6(campaign.Fig6Config{
+			Workload:     w,
+			Experiments:  *n,
+			Bins:         *bins,
+			Parallelism:  *parallel,
+			Seed:         *seed,
+			RunnerConfig: opts,
+		})
+		if err != nil {
+			return err
+		}
+		report = rep
+
+	case "fig7":
+		rep, err := campaign.RunFig7(campaign.Fig7Config{
+			Workloads: workloads.All(scale),
+			Trials:    *trials,
+		})
+		if err != nil {
+			return err
+		}
+		report = rep
+
+	case "fig8":
+		rep, err := campaign.RunFig8(campaign.Fig8Config{
+			Workloads:   workloads.All(scale),
+			Experiments: *n,
+			Workers:     *workers,
+			Seed:        *seed,
+			Cfg:         &cfg,
+		})
+		if err != nil {
+			return err
+		}
+		report = rep
+
+	case "table1":
+		fmt.Println("Table I: Thessaly-64 instruction formats (Alpha layout)")
+		for _, row := range [][2]string{
+			{"Memory", "opcode[31:26] Ra[25:21] Rb[20:16] displacement[15:0]"},
+			{"Branch", "opcode[31:26] Ra[25:21] displacement[20:0]"},
+			{"Operate (reg)", "opcode[31:26] Ra[25:21] Rb[20:16] SBZ[15:13] 0[12] func[11:5] Rc[4:0]"},
+			{"Operate (lit)", "opcode[31:26] Ra[25:21] literal[20:13] 1[12] func[11:5] Rc[4:0]"},
+			{"FP Operate", "opcode[31:26] Fa[25:21] Fb[20:16] func[15:5] Fc[4:0]"},
+			{"PALcode", "opcode[31:26] palcode function[25:0]"},
+		} {
+			fmt.Printf("  %-14s %s\n", row[0], row[1])
+		}
+		return nil
+
+	case "vdd":
+		w, err := workloads.ByName(*workload, scale)
+		if err != nil {
+			return err
+		}
+		rep, err := campaign.RunVddSweep(campaign.VddConfig{
+			Workload:     w,
+			PerVoltage:   *n,
+			Parallelism:  *parallel,
+			Seed:         *seed,
+			RunnerConfig: opts,
+		})
+		if err != nil {
+			return err
+		}
+		report = rep
+
+	case "custom":
+		w, err := workloads.ByName(*workload, scale)
+		if err != nil {
+			return err
+		}
+		pool, err := campaign.NewPool(w, *parallel, opts)
+		if err != nil {
+			return err
+		}
+		exps := campaign.GenerateUniform(*n, campaign.GenConfig{
+			WindowInsts: pool.Runner().WindowInsts,
+			Seed:        *seed,
+		})
+		results := pool.RunAll(exps)
+		tally := campaign.TallyOf(results)
+		fmt.Printf("workload %s: %d experiments\n", w.Name, tally.Total())
+		for _, o := range campaign.Outcomes() {
+			fmt.Printf("  %-18s %5d (%5.1f%%)\n", o, tally[o], 100*tally.Fraction(o))
+		}
+		if *jsonOut != "" {
+			return writeJSON(*jsonOut, results)
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("unknown experiment %q", *experiment)
+	}
+
+	fmt.Print(report.String())
+	if *jsonOut != "" {
+		return writeJSON(*jsonOut, report)
+	}
+	return nil
+}
+
+func writeJSON(path string, v interface{}) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+func parseScale(name string) (workloads.Scale, error) {
+	switch name {
+	case "test":
+		return workloads.ScaleTest, nil
+	case "small":
+		return workloads.ScaleSmall, nil
+	case "paper":
+		return workloads.ScalePaper, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q", name)
+}

@@ -1,0 +1,82 @@
+// Command gemfi-cc compiles mini-C source to a Thessaly-64 program and
+// prints a disassembly listing with symbols, the closest thing the
+// toolchain has to an object dump.
+//
+//	gemfi-cc prog.mc
+//	gemfi-cc -run prog.mc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/minic"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gemfi-cc:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		runIt = flag.Bool("run", false, "run the program on the atomic model after compiling")
+		quiet = flag.Bool("q", false, "suppress the listing")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: gemfi-cc [-run] file.mc")
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	p, err := minic.Compile(string(src))
+	if err != nil {
+		return err
+	}
+	if !*quiet {
+		printListing(p)
+	}
+	if *runIt {
+		s := sim.New(sim.Config{Model: sim.ModelAtomic, EnableFI: true, MaxInsts: 2_000_000_000})
+		if err := s.Load(p); err != nil {
+			return err
+		}
+		r := s.Run()
+		fmt.Print(r.Console)
+		fmt.Printf("exit status %d (%d instructions)\n", r.ExitStatus, r.Insts)
+		if r.Failed() {
+			os.Exit(2)
+		}
+	}
+	return nil
+}
+
+// printListing disassembles the text section with symbol annotations.
+func printListing(p *asm.Program) {
+	// Build a reverse symbol map for text addresses.
+	symAt := map[uint64][]string{}
+	for _, name := range p.SortedSymbols() {
+		symAt[p.Symbols[name]] = append(symAt[p.Symbols[name]], name)
+	}
+	fmt.Printf("; text 0x%x (%d instructions), data 0x%x (%d bytes), entry 0x%x\n",
+		p.TextBase, len(p.Text), p.DataBase, len(p.Data), p.Entry)
+	for i, w := range p.Text {
+		addr := p.TextBase + uint64(i)*4
+		for _, s := range symAt[addr] {
+			fmt.Printf("%s:\n", s)
+		}
+		fmt.Printf("  0x%06x  %08x  %s\n", addr, uint32(w), isa.Decode(w).Disassemble(addr))
+	}
+	fmt.Println("; symbols:")
+	for _, name := range p.SortedSymbols() {
+		fmt.Printf(";   %-24s 0x%x\n", name, p.Symbols[name])
+	}
+}

@@ -1,0 +1,217 @@
+// Command gemfi-now distributes a fault injection campaign over a
+// network of workstations (Section III.E of the paper).
+//
+// Master (runs the golden simulation, holds the checkpoint and queue):
+//
+//	gemfi-now master -addr :7070 -workload pi -scale small -n 500
+//
+// Worker (one per workstation; -slots experiments run simultaneously):
+//
+//	gemfi-now worker -addr master-host:7070 -slots 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/now"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gemfi-now:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	if len(os.Args) < 2 {
+		return fmt.Errorf("usage: gemfi-now master|worker [flags]")
+	}
+	switch os.Args[1] {
+	case "master":
+		return runMaster(os.Args[2:])
+	case "worker":
+		return runWorker(os.Args[2:])
+	case "prepare":
+		return runPrepare(os.Args[2:])
+	case "filework":
+		return runFileWorker(os.Args[2:])
+	case "collect":
+		return runCollect(os.Args[2:])
+	}
+	return fmt.Errorf("unknown subcommand %q (master|worker|prepare|filework|collect)", os.Args[1])
+}
+
+// runPrepare populates a shared-filesystem campaign directory (the
+// paper's original NFS-based mechanism): checkpoint + one Listing-1
+// fault file per experiment.
+func runPrepare(args []string) error {
+	fs := flag.NewFlagSet("prepare", flag.ExitOnError)
+	var (
+		dir       = fs.String("share", "", "shared directory (required)")
+		workload  = fs.String("workload", "pi", "workload name")
+		scaleName = fs.String("scale", "test", "test|small|paper")
+		n         = fs.Int("n", 100, "number of experiments")
+		seed      = fs.Int64("seed", 1, "campaign seed")
+		model     = fs.String("model", "atomic", "CPU model")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("prepare needs -share")
+	}
+	scale, err := parseScale(*scaleName)
+	if err != nil {
+		return err
+	}
+	// First pass discovers the injection window; second writes the real
+	// experiment set.
+	probeDir, err := os.MkdirTemp("", "gemfi-probe")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(probeDir)
+	if err := now.PrepareShare(probeDir, now.ShareConfig{Workload: *workload, Scale: scale, Model: sim.ModelKind(*model)}); err != nil {
+		return err
+	}
+	window, err := now.ShareWindowInsts(probeDir)
+	if err != nil {
+		return err
+	}
+	exps := campaign.GenerateUniform(*n, campaign.GenConfig{WindowInsts: window, Seed: *seed})
+	if err := now.PrepareShare(*dir, now.ShareConfig{
+		Workload: *workload, Scale: scale, Model: sim.ModelKind(*model), Experiments: exps,
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("share %s prepared: %d experiments of %s\n", *dir, len(exps), *workload)
+	return nil
+}
+
+// runFileWorker drains experiments from a prepared share.
+func runFileWorker(args []string) error {
+	fs := flag.NewFlagSet("filework", flag.ExitOnError)
+	dir := fs.String("share", "", "shared directory (required)")
+	requeue := fs.Bool("requeue", false, "requeue stale claims before working")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("filework needs -share")
+	}
+	if *requeue {
+		n, err := now.RequeueStaleClaims(*dir)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("requeued %d stale claims\n", n)
+	}
+	n, err := now.FileWorker(*dir)
+	fmt.Printf("worker completed %d experiments\n", n)
+	return err
+}
+
+// runCollect summarizes the results on a share.
+func runCollect(args []string) error {
+	fs := flag.NewFlagSet("collect", flag.ExitOnError)
+	dir := fs.String("share", "", "shared directory (required)")
+	n := fs.Int("n", 0, "expected result count (0 = whatever is present)")
+	waitSec := fs.Int("wait", 0, "seconds to wait for results")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("collect needs -share")
+	}
+	results, err := now.CollectResults(*dir, *n, time.Duration(*waitSec)*time.Second)
+	if err != nil && len(results) == 0 {
+		return err
+	}
+	tally := campaign.TallyOf(results)
+	fmt.Printf("campaign results: %d experiments\n", tally.Total())
+	for _, o := range campaign.Outcomes() {
+		fmt.Printf("  %-18s %5d (%5.1f%%)\n", o, tally[o], 100*tally.Fraction(o))
+	}
+	return nil
+}
+
+func runMaster(args []string) error {
+	fs := flag.NewFlagSet("master", flag.ExitOnError)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:7070", "listen address")
+		workload  = fs.String("workload", "pi", "workload name")
+		scaleName = fs.String("scale", "test", "test|small|paper")
+		n         = fs.Int("n", 100, "number of experiments")
+		seed      = fs.Int64("seed", 1, "campaign seed")
+		model     = fs.String("model", "atomic", "CPU model")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scale, err := parseScale(*scaleName)
+	if err != nil {
+		return err
+	}
+
+	// Bootstrap: a throwaway master run discovers the injection window
+	// size; then the real master serves the generated experiments.
+	probe, err := now.NewMaster("127.0.0.1:0", now.MasterConfig{
+		Workload: *workload, Scale: scale, Quiet: true, Model: sim.ModelKind(*model),
+	})
+	if err != nil {
+		return err
+	}
+	window := probe.WindowInsts()
+	probe.Close()
+
+	exps := campaign.GenerateUniform(*n, campaign.GenConfig{WindowInsts: window, Seed: *seed})
+	m, err := now.NewMaster(*addr, now.MasterConfig{
+		Workload: *workload, Scale: scale, Experiments: exps, Model: sim.ModelKind(*model),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("master: serving %d experiments of %s on %s\n", len(exps), *workload, m.Addr())
+	results := m.Wait()
+	tally := campaign.TallyOf(results)
+	fmt.Printf("campaign complete: %d experiments\n", tally.Total())
+	for _, o := range campaign.Outcomes() {
+		fmt.Printf("  %-18s %5d (%5.1f%%)\n", o, tally[o], 100*tally.Fraction(o))
+	}
+	return nil
+}
+
+func runWorker(args []string) error {
+	fs := flag.NewFlagSet("worker", flag.ExitOnError)
+	var (
+		addr  = fs.String("addr", "127.0.0.1:7070", "master address")
+		slots = fs.Int("slots", 4, "simultaneous experiments")
+		name  = fs.String("name", "", "worker name for master logs")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w := now.NewWorker(now.WorkerConfig{Addr: *addr, Slots: *slots, Name: *name})
+	n, err := w.Run()
+	fmt.Printf("worker: completed %d experiments\n", n)
+	return err
+}
+
+func parseScale(name string) (workloads.Scale, error) {
+	switch name {
+	case "test":
+		return workloads.ScaleTest, nil
+	case "small":
+		return workloads.ScaleSmall, nil
+	case "paper":
+		return workloads.ScalePaper, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q", name)
+}

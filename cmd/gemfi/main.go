@@ -1,0 +1,176 @@
+// Command gemfi runs one simulation: a guest program (mini-C or
+// Thessaly-64 assembly) on a chosen CPU model, optionally with a fault
+// description file in the paper's Listing-1 format.
+//
+// Examples:
+//
+//	gemfi -prog prog.mc
+//	gemfi -prog prog.s -model pipelined -faults faults.txt -v
+//	gemfi -workload dct -scale small -faults faults.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/minic"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gemfi:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		progPath  = flag.String("prog", "", "guest program (.mc mini-C or .s assembly)")
+		workload  = flag.String("workload", "", "built-in workload instead of -prog (dct|jacobi|pi|knapsack|deblock|canneal)")
+		scaleName = flag.String("scale", "test", "workload scale: test|small|paper")
+		faultFile = flag.String("faults", "", "fault description file (Listing-1 format)")
+		model     = flag.String("model", "atomic", "CPU model: atomic|timing|pipelined")
+		maxInsts  = flag.Uint64("max-insts", 2_000_000_000, "watchdog instruction limit")
+		noFI      = flag.Bool("no-fi", false, "disable the fault injection engine entirely (vanilla simulator)")
+		verbose   = flag.Bool("v", false, "print statistics and fault lifecycle details")
+		traceN    = flag.Uint64("trace", 0, "print the first N committed instructions")
+		saveCkpt  = flag.String("save-checkpoint", "", "run to fi_read_init_all, save the checkpoint here, and exit")
+		loadCkpt  = flag.String("restore", "", "restore this checkpoint before running (skips boot + init)")
+	)
+	flag.Parse()
+
+	prog, err := loadProgram(*progPath, *workload, *scaleName)
+	if err != nil {
+		return err
+	}
+
+	var faults []core.Fault
+	if *faultFile != "" {
+		f, err := os.Open(*faultFile)
+		if err != nil {
+			return err
+		}
+		faults, err = core.ParseFaults(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+
+	cfg := sim.Config{
+		Model:                   sim.ModelKind(*model),
+		EnableFI:                !*noFI,
+		Faults:                  faults,
+		MaxInsts:                *maxInsts,
+		SwitchToAtomicOnResolve: sim.ModelKind(*model) == sim.ModelPipelined,
+	}
+	s := sim.New(cfg)
+	if err := s.Load(prog); err != nil {
+		return err
+	}
+	if *traceN > 0 {
+		var traced uint64
+		s.Core.TraceFn = func(pc uint64, in isa.Inst) {
+			if traced < *traceN {
+				fmt.Printf("%12d  0x%06x  %s\n", s.Core.Insts+1, pc, in.Disassemble(pc))
+				traced++
+			}
+		}
+	}
+
+	// Checkpoint workflows (the paper's campaign fast-forwarding, as a
+	// command line round trip).
+	if *saveCkpt != "" {
+		st, res, err := s.RunToCheckpoint()
+		if err != nil {
+			return fmt.Errorf("program ended before fi_read_init_all (%+v): %w", res, err)
+		}
+		if err := st.SaveFile(*saveCkpt); err != nil {
+			return err
+		}
+		fmt.Printf("checkpoint saved to %s after %d instructions\n", *saveCkpt, res.Insts)
+		return nil
+	}
+	if *loadCkpt != "" {
+		st, err := checkpoint.LoadFile(*loadCkpt)
+		if err != nil {
+			return err
+		}
+		s.Restore(st, faults)
+	}
+
+	r := s.Run()
+
+	if r.Console != "" {
+		fmt.Print(r.Console)
+		if !strings.HasSuffix(r.Console, "\n") {
+			fmt.Println()
+		}
+	}
+	switch {
+	case r.Crashed:
+		fmt.Printf("CRASHED: %s\n", r.CrashCause)
+	case r.Hung:
+		fmt.Printf("HUNG after %d instructions\n", r.Insts)
+	default:
+		fmt.Printf("exit status %d\n", r.ExitStatus)
+	}
+	if *verbose {
+		fmt.Printf("instructions: %d  ticks: %d  model: %s  switched: %v\n",
+			r.Insts, r.Ticks, r.Model, r.Switched)
+		for _, oc := range r.Outcomes {
+			fmt.Printf("fault %q: fired=%v committed=%v squashed=%v propagated=%v overwritten=%v detail=%q\n",
+				oc.Fault.String(), oc.Fired, oc.Committed, oc.Squashed, oc.Propagated, oc.Overwritten, oc.Detail)
+		}
+	}
+	if r.Failed() {
+		os.Exit(2)
+	}
+	return nil
+}
+
+// loadProgram builds the guest image from a file or a named workload.
+func loadProgram(path, workload, scaleName string) (*asm.Program, error) {
+	if workload != "" {
+		scale, err := parseScale(scaleName)
+		if err != nil {
+			return nil, err
+		}
+		w, err := workloads.ByName(workload, scale)
+		if err != nil {
+			return nil, err
+		}
+		return w.Build()
+	}
+	if path == "" {
+		return nil, fmt.Errorf("need -prog or -workload")
+	}
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasSuffix(path, ".s") || strings.HasSuffix(path, ".asm") {
+		return asm.Assemble(string(src))
+	}
+	return minic.Compile(string(src))
+}
+
+func parseScale(name string) (workloads.Scale, error) {
+	switch name {
+	case "test":
+		return workloads.ScaleTest, nil
+	case "small":
+		return workloads.ScaleSmall, nil
+	case "paper":
+		return workloads.ScalePaper, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q", name)
+}

@@ -1,0 +1,64 @@
+// now-cluster demonstrates GemFI's network-of-workstations campaign
+// execution (Section III.E of the paper) entirely in one process: a TCP
+// master holding the checkpoint and experiment queue, and three "worker
+// workstations" with two slots each, connected over loopback.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	gemfi "repro"
+	"repro/internal/campaign"
+	"repro/internal/now"
+)
+
+func main() {
+	// Probe master discovers the fault-injection window for experiment
+	// generation (it runs the golden simulation once).
+	probe, err := gemfi.NewNoWMaster("127.0.0.1:0", now.MasterConfig{
+		Workload: "jacobi", Scale: gemfi.ScaleTest, Quiet: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	window := probe.WindowInsts()
+	probe.Close()
+
+	exps := gemfi.GenerateUniform(60, campaign.GenConfig{WindowInsts: window, Seed: 99})
+	master, err := gemfi.NewNoWMaster("127.0.0.1:0", now.MasterConfig{
+		Workload: "jacobi", Scale: gemfi.ScaleTest, Experiments: exps, Quiet: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("master listening on %s with %d experiments\n", master.Addr(), len(exps))
+
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := gemfi.NewNoWWorker(now.WorkerConfig{
+				Addr:  master.Addr(),
+				Slots: 2,
+				Name:  fmt.Sprintf("workstation%d", i),
+			})
+			n, err := w.Run()
+			if err != nil {
+				log.Printf("workstation%d: %v", i, err)
+			}
+			fmt.Printf("workstation%d completed %d experiments\n", i, n)
+		}(i)
+	}
+
+	results := master.Wait()
+	wg.Wait()
+
+	tally := campaign.TallyOf(results)
+	fmt.Printf("\ncampaign outcome distribution (%d experiments):\n", tally.Total())
+	for _, o := range campaign.Outcomes() {
+		fmt.Printf("  %-18s %4d (%5.1f%%)\n", o, tally[o], 100*tally.Fraction(o))
+	}
+}

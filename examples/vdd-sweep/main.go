@@ -1,0 +1,51 @@
+// vdd-sweep implements the study the paper closes with (Section VII):
+// associate the supply voltage with the fault rate and find "the limits
+// of aggressively reducing power consumption at the expense of
+// correctness, yet within the error tolerance of applications".
+//
+// Each voltage step runs a campaign whose experiments carry a
+// Poisson-distributed number of transient bit flips (rate grows
+// exponentially as Vdd drops). The output is the energy-vs-quality cliff
+// per application.
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+
+	gemfi "repro"
+	"repro/internal/campaign"
+)
+
+func main() {
+	voltages := []float64{1.0, 0.9, 0.85, 0.8, 0.75, 0.7}
+	for _, name := range []string{"pi", "jacobi"} {
+		w, err := gemfi.WorkloadByName(name, gemfi.ScaleTest)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := campaign.RunVddSweep(campaign.VddConfig{
+			Workload:    w,
+			Voltages:    voltages,
+			PerVoltage:  25,
+			Parallelism: runtime.NumCPU(),
+			Seed:        7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(rep.String())
+
+		// Report the lowest voltage that keeps >= 90% acceptable runs —
+		// the operating point an approximate-computing deployment would
+		// choose for this application.
+		best := voltages[0]
+		for _, p := range rep.Points {
+			if p.Acceptable >= 0.9 && p.Vdd < best {
+				best = p.Vdd
+			}
+		}
+		fmt.Printf("=> %s tolerates undervolting to %.2f V at >=90%% acceptable results\n\n", name, best)
+	}
+}

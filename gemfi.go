@@ -1,0 +1,223 @@
+// Package gemfi is the public API of GemFI-Go, a from-scratch Go
+// reproduction of "GemFI: A Fault Injection Tool for Studying the
+// Behavior of Applications on Unreliable Substrates" (DSN 2014).
+//
+// The package re-exports the pieces a downstream user needs:
+//
+//   - building guest programs (assembler and mini-C compiler),
+//   - running them on the simulated Alpha-like machine (three CPU
+//     models: atomic, timing, pipelined),
+//   - describing and injecting faults (the paper's Location / Thread /
+//     Time / Behavior model, including the Listing-1 input file format),
+//   - checkpoint-based campaign execution, locally parallel or
+//     distributed over a network of workstations,
+//   - the paper's six validation workloads and its outcome taxonomy.
+//
+// Quick start:
+//
+//	prog, _ := gemfi.CompileC(src)         // or gemfi.Assemble(asmSrc)
+//	s := gemfi.NewSimulator(gemfi.SimConfig{Model: gemfi.ModelAtomic, EnableFI: true})
+//	_ = s.Load(prog)
+//	result := s.Run()
+//
+// See examples/ for complete programs.
+package gemfi
+
+import (
+	"io"
+
+	"repro/internal/asm"
+	"repro/internal/campaign"
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/minic"
+	"repro/internal/now"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// ---- guest toolchain ----
+
+// Program is a loadable guest image.
+type Program = asm.Program
+
+// Assemble builds a program from Thessaly-64 assembly source.
+func Assemble(src string) (*Program, error) { return asm.Assemble(src) }
+
+// CompileC builds a program from mini-C source.
+func CompileC(src string) (*Program, error) { return minic.Compile(src) }
+
+// ---- simulator ----
+
+// SimConfig configures a simulator; see sim.Config for field docs.
+type SimConfig = sim.Config
+
+// Simulator is a wired machine: CPU model + memory + kernel + FI engine.
+type Simulator = sim.Simulator
+
+// RunResult summarizes a completed simulation.
+type RunResult = sim.RunResult
+
+// ModelKind selects the CPU model.
+type ModelKind = sim.ModelKind
+
+// CPU models.
+const (
+	ModelAtomic    = sim.ModelAtomic
+	ModelTiming    = sim.ModelTiming
+	ModelPipelined = sim.ModelPipelined
+)
+
+// NewSimulator builds a simulator.
+func NewSimulator(cfg SimConfig) *Simulator { return sim.New(cfg) }
+
+// DefaultSimConfig is the paper's validation configuration.
+func DefaultSimConfig() SimConfig { return sim.DefaultConfig() }
+
+// Checkpoint is a serializable whole-machine snapshot.
+type Checkpoint = checkpoint.State
+
+// LoadCheckpoint reads a checkpoint.
+func LoadCheckpoint(r io.Reader) (*Checkpoint, error) { return checkpoint.Load(r) }
+
+// ---- fault model ----
+
+// Fault is one fault description (Location, Thread, Time, Behavior).
+type Fault = core.Fault
+
+// Location / behavior / time-base enums.
+type (
+	// FaultLocation is the targeted micro-architectural module.
+	FaultLocation = core.Location
+	// FaultBehavior is the corruption applied.
+	FaultBehavior = core.Behavior
+	// FaultTimeBase selects instruction- or tick-relative timing.
+	FaultTimeBase = core.TimeBase
+)
+
+// Fault locations.
+const (
+	LocIntReg     = core.LocIntReg
+	LocFloatReg   = core.LocFloatReg
+	LocSpecialReg = core.LocSpecialReg
+	LocFetch      = core.LocFetch
+	LocDecode     = core.LocDecode
+	LocExec       = core.LocExec
+	LocMem        = core.LocMem
+	LocPC         = core.LocPC
+)
+
+// Fault behaviors.
+const (
+	BehFlip    = core.BehFlip
+	BehXor     = core.BehXor
+	BehSet     = core.BehSet
+	BehAllZero = core.BehAllZero
+	BehAllOne  = core.BehAllOne
+)
+
+// Time bases.
+const (
+	TimeInst = core.TimeInst
+	TimeTick = core.TimeTick
+)
+
+// ParseFaults reads a GemFI fault input file (the paper's Listing 1
+// format).
+func ParseFaults(r io.Reader) ([]Fault, error) { return core.ParseFaults(r) }
+
+// ParseFault parses a single fault description line.
+func ParseFault(line string) (Fault, error) { return core.ParseFault(line) }
+
+// FaultOutcome is the engine-level lifecycle summary of one fault.
+type FaultOutcome = core.FaultOutcome
+
+// ---- campaigns ----
+
+// Experiment is one fault-injection run specification.
+type Experiment = campaign.Experiment
+
+// ExperimentResult is a classified campaign result.
+type ExperimentResult = campaign.Result
+
+// Outcome is the paper's five-class taxonomy.
+type Outcome = campaign.Outcome
+
+// Outcome classes.
+const (
+	OutcomeCrashed         = campaign.OutcomeCrashed
+	OutcomeNonPropagated   = campaign.OutcomeNonPropagated
+	OutcomeStrictlyCorrect = campaign.OutcomeStrictlyCorrect
+	OutcomeCorrect         = campaign.OutcomeCorrect
+	OutcomeSDC             = campaign.OutcomeSDC
+)
+
+// CampaignRunner executes experiments against one workload.
+type CampaignRunner = campaign.Runner
+
+// CampaignPool runs experiments on parallel local workers.
+type CampaignPool = campaign.Pool
+
+// NewCampaignRunner prepares golden run + checkpoint for a workload.
+func NewCampaignRunner(w *Workload, opts campaign.RunnerOptions) (*CampaignRunner, error) {
+	return campaign.NewRunner(w, opts)
+}
+
+// NewCampaignPool builds n parallel campaign runners.
+func NewCampaignPool(w *Workload, n int, opts campaign.RunnerOptions) (*CampaignPool, error) {
+	return campaign.NewPool(w, n, opts)
+}
+
+// GenerateUniform samples single-bit-flip experiments uniformly over
+// location, bit and time (the paper's validation methodology).
+func GenerateUniform(n int, gc campaign.GenConfig) []Experiment {
+	return campaign.GenerateUniform(n, gc)
+}
+
+// SampleSize is the Leveugle (DATE'09) statistical campaign sizing the
+// paper uses (99% confidence, 1% margin -> 2501..2504 runs).
+func SampleSize(populationN int64, confidence, margin, p float64) int64 {
+	return stats.SampleSize(populationN, confidence, margin, p)
+}
+
+// ---- workloads ----
+
+// Workload is a guest benchmark with output extraction and grading.
+type Workload = workloads.Workload
+
+// WorkloadScale selects problem sizes.
+type WorkloadScale = workloads.Scale
+
+// Workload scales.
+const (
+	ScaleTest  = workloads.ScaleTest
+	ScaleSmall = workloads.ScaleSmall
+	ScalePaper = workloads.ScalePaper
+)
+
+// Workloads returns the paper's six benchmarks at a scale.
+func Workloads(scale WorkloadScale) []*Workload { return workloads.All(scale) }
+
+// WorkloadByName returns one benchmark by name
+// (dct, jacobi, pi, knapsack, deblock, canneal).
+func WorkloadByName(name string, scale WorkloadScale) (*Workload, error) {
+	return workloads.ByName(name, scale)
+}
+
+// ---- network of workstations ----
+
+// NoWMaster serves a campaign to TCP workers.
+type NoWMaster = now.Master
+
+// NoWWorker pulls and executes experiments from a master.
+type NoWWorker = now.Worker
+
+// NewNoWMaster prepares a distributed campaign (golden run + checkpoint)
+// and listens on addr.
+func NewNoWMaster(addr string, cfg now.MasterConfig) (*NoWMaster, error) {
+	return now.NewMaster(addr, cfg)
+}
+
+// NewNoWWorker builds a workstation worker.
+func NewNoWWorker(cfg now.WorkerConfig) *NoWWorker { return now.NewWorker(cfg) }

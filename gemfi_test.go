@@ -1,0 +1,135 @@
+package gemfi
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/now"
+)
+
+// TestPublicAPIQuickstart exercises the documented quick-start flow end
+// to end through the façade only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	prog, err := CompileC(`
+int out[1];
+int main() {
+    fi_checkpoint();
+    fi_activate(0);
+    int s = 0;
+    for (int i = 0; i < 100; i = i + 1) { s = s + i; }
+    out[0] = s;
+    fi_activate(0);
+    return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSimulator(SimConfig{Model: ModelAtomic, EnableFI: true, MaxInsts: 1_000_000})
+	if err := s.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	r := s.Run()
+	if r.Failed() {
+		t.Fatalf("%+v", r)
+	}
+	v, err := s.ReadMem64(prog.MustSymbol("out"))
+	if err != nil || v != 4950 {
+		t.Fatalf("out = %d, %v", v, err)
+	}
+}
+
+func TestPublicAPIAssembler(t *testing.T) {
+	prog, err := Assemble(`
+_start:
+    li  a0, 7
+    li  v0, 1
+    callsys
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSimulator(SimConfig{Model: ModelPipelined, EnableFI: false, MaxInsts: 100_000})
+	if err := s.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	if r := s.Run(); !r.Exited || r.ExitStatus != 7 {
+		t.Fatalf("%+v", r)
+	}
+}
+
+func TestPublicAPIFaultRoundTrip(t *testing.T) {
+	f, err := ParseFault("RegisterInjectedFault Inst:2457 Flip:21 Threadid:0 system.cpu1 occ:1 int 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Loc != LocIntReg || f.Bit != 21 {
+		t.Fatalf("%+v", f)
+	}
+	fs, err := ParseFaults(strings.NewReader(f.String() + "\n# comment\n"))
+	if err != nil || len(fs) != 1 {
+		t.Fatalf("%v %v", fs, err)
+	}
+}
+
+func TestPublicAPICampaign(t *testing.T) {
+	w, err := WorkloadByName("pi", ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner, err := NewCampaignRunner(w, campaign.RunnerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exps := GenerateUniform(5, campaign.GenConfig{WindowInsts: runner.WindowInsts, Seed: 4})
+	for _, e := range exps {
+		res := runner.Run(e)
+		if res.Outcome < OutcomeCrashed || res.Outcome > OutcomeSDC {
+			t.Fatalf("unclassified outcome: %+v", res)
+		}
+	}
+}
+
+func TestPublicAPISampleSize(t *testing.T) {
+	if n := SampleSize(2950, 0.99, 0.01, 0.5); n < 2400 || n > 2600 {
+		t.Fatalf("SampleSize = %d", n)
+	}
+}
+
+func TestPublicAPINoW(t *testing.T) {
+	probe, err := NewNoWMaster("127.0.0.1:0", now.MasterConfig{Workload: "pi", Scale: ScaleTest, Quiet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := probe.WindowInsts()
+	probe.Close()
+	exps := GenerateUniform(4, campaign.GenConfig{WindowInsts: window, Seed: 8})
+	m, err := NewNoWMaster("127.0.0.1:0", now.MasterConfig{
+		Workload: "pi", Scale: ScaleTest, Experiments: exps, Quiet: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		worker := NewNoWWorker(now.WorkerConfig{Addr: m.Addr(), Slots: 2})
+		if _, err := worker.Run(); err != nil {
+			t.Errorf("worker: %v", err)
+		}
+	}()
+	if results := m.Wait(); len(results) != len(exps) {
+		t.Fatalf("results = %d", len(results))
+	}
+}
+
+func TestWorkloadsListedInPaperOrder(t *testing.T) {
+	ws := Workloads(ScaleTest)
+	if len(ws) != 6 {
+		t.Fatalf("workloads = %d", len(ws))
+	}
+	want := []string{"dct", "jacobi", "pi", "knapsack", "deblock", "canneal"}
+	for i, w := range ws {
+		if w.Name != want[i] {
+			t.Errorf("workload %d = %s, want %s", i, w.Name, want[i])
+		}
+	}
+}

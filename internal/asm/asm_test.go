@@ -1,0 +1,341 @@
+package asm
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestBuilderBranchFixup(t *testing.T) {
+	b := NewBuilder()
+	b.Label("top")
+	b.Op(isa.OpIntArith, isa.FnADDQ, 1, 2, 3)
+	b.Br(isa.OpBNE, 1, "top")
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := isa.Decode(p.Text[1])
+	if in.Kind != isa.KindBNE || in.Disp != -2 {
+		t.Fatalf("branch fixup wrong: %+v", in)
+	}
+}
+
+func TestBuilderForwardBranch(t *testing.T) {
+	b := NewBuilder()
+	b.Br(isa.OpBR, isa.ZeroReg, "end")
+	b.Nop()
+	b.Nop()
+	b.Label("end")
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in := isa.Decode(p.Text[0]); in.Disp != 2 {
+		t.Fatalf("forward branch disp = %d, want 2", in.Disp)
+	}
+}
+
+func TestBuilderUndefinedSymbol(t *testing.T) {
+	b := NewBuilder()
+	b.Br(isa.OpBR, isa.ZeroReg, "nowhere")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected undefined symbol error")
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	b := NewBuilder()
+	b.Label("x")
+	b.Nop()
+	b.Label("x")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected duplicate label error")
+	}
+}
+
+func TestLAFixupComputesAddress(t *testing.T) {
+	b := NewBuilder()
+	b.LA(isa.RegT0, "blob")
+	b.Quad("blob", 7)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.MustSymbol("blob")
+	// Emulate the ldah/lda pair.
+	hiIn := isa.Decode(p.Text[0])
+	loIn := isa.Decode(p.Text[1])
+	got := uint64(int64(hiIn.Disp) << 16)
+	got += uint64(int64(loIn.Disp))
+	if got != want {
+		t.Fatalf("la materializes 0x%x, want 0x%x", got, want)
+	}
+}
+
+func TestLoadImmVariants(t *testing.T) {
+	eval := func(v int64) uint64 {
+		b := NewBuilder()
+		b.LoadImm(isa.RegT0, v)
+		p, err := b.Build()
+		if err != nil {
+			t.Fatalf("LoadImm(%d): %v", v, err)
+		}
+		var r uint64
+		for _, w := range p.Text {
+			in := isa.Decode(w)
+			switch in.Kind {
+			case isa.KindLDA:
+				base := uint64(0)
+				if in.Rb != isa.ZeroReg {
+					base = r
+				}
+				r = base + uint64(int64(in.Disp))
+			case isa.KindLDAH:
+				base := uint64(0)
+				if in.Rb != isa.ZeroReg {
+					base = r
+				}
+				r = base + uint64(int64(in.Disp))<<16
+			case isa.KindSLL:
+				r = r << in.Lit
+			default:
+				t.Fatalf("unexpected inst %v", in)
+			}
+		}
+		return r
+	}
+	for _, v := range []int64{0, 1, -1, 32767, -32768, 32768, 65536, 1 << 20, -(1 << 20), 123456789, 1 << 31, -(1 << 31), 1 << 47, 0x7FFFFFFFFFFFFFFF, -0x8000000000000000, 0x123456789ABCDEF0} {
+		if got := eval(v); got != uint64(v) {
+			t.Errorf("LoadImm(%d) = %d", v, int64(got))
+		}
+	}
+}
+
+func TestDataLayoutAndSymbols(t *testing.T) {
+	b := NewBuilder()
+	b.Nop()
+	b.Quad("a", 1, 2)
+	b.Double("d", 3.5)
+	b.Bytes("bs", []byte{1, 2, 3})
+	b.Space("sp", 100)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DataBase%DataAlign != 0 {
+		t.Errorf("data base 0x%x not aligned", p.DataBase)
+	}
+	a := p.MustSymbol("a")
+	d := p.MustSymbol("d")
+	if d != a+16 {
+		t.Errorf("d at 0x%x, want a+16=0x%x", d, a+16)
+	}
+	bs := p.MustSymbol("bs")
+	spc := p.MustSymbol("sp")
+	if spc != bs+8 { // 3 bytes padded to 8 alignment
+		t.Errorf("sp at 0x%x, want 0x%x", spc, bs+8)
+	}
+	// Check double encoding in the data blob.
+	off := d - p.DataBase
+	bits := uint64(0)
+	for i := 0; i < 8; i++ {
+		bits |= uint64(p.Data[off+uint64(i)]) << (8 * uint(i))
+	}
+	if math.Float64frombits(bits) != 3.5 {
+		t.Errorf("double encoded wrong: %v", math.Float64frombits(bits))
+	}
+}
+
+func TestAssembleBasicProgram(t *testing.T) {
+	src := `
+; compute 2+3 into v0 and loop once
+_start:
+    li   t0, 2
+    li   t1, 3
+    addq t0, t1, v0
+    subq v0, #1, t2
+loop:
+    subq t2, #1, t2
+    bne  t2, loop
+    ret
+.data
+tbl: .quad 10, 20, 30
+pi:  .double 3.14159
+msg: .byte 72, 105
+buf: .space 64
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry != p.TextBase {
+		t.Errorf("entry 0x%x, want text base 0x%x", p.Entry, p.TextBase)
+	}
+	for _, sym := range []string{"_start", "loop", "tbl", "pi", "msg", "buf"} {
+		if _, ok := p.Symbol(sym); !ok {
+			t.Errorf("missing symbol %q", sym)
+		}
+	}
+	// ret assembles to a memory-format jump with the RET hint.
+	last := isa.Decode(p.Text[len(p.Text)-1])
+	if last.Kind != isa.KindJMP || last.Hint != isa.HintRET {
+		t.Errorf("ret assembled to %v hint %d", last.Kind, last.Hint)
+	}
+}
+
+func TestAssembleAllFormats(t *testing.T) {
+	src := `
+_start:
+    ldq  v0, 8(sp)
+    stq  v0, 16(sp)
+    ldbu t0, 0(a0)
+    stb  t0, 1(a0)
+    ldt  f1, 0(a1)
+    stt  f1, 8(a1)
+    addt f1, f2, f3
+    mult f1, f2, f3
+    cmpteq f1, f2, f4
+    sqrtt f31, f1, f2
+    cvtqt f31, f1, f2
+    cvttq f31, f1, f2
+    fbeq f4, skip
+    and  t0, t1, t2
+    xor  t0, #255, t2
+    sll  t0, #3, t1
+    mulq t0, t1, t2
+    divq t0, t1, t2
+    remq t0, t1, t2
+    cmplt t0, t1, t2
+skip:
+    la   a0, word
+    li   a1, 70000
+    mov  t0, t1
+    fmov f1, f2
+    bsr  ra, sub
+    jmp  (t0)
+    jsr  (pv)
+    nop
+    callsys
+    fi_activate_inst
+    fi_read_init_all
+    halt
+sub:
+    ret
+.data
+word: .quad 1
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every emitted word must decode to something legal.
+	for i, w := range p.Text {
+		if k := isa.Decode(w).Kind; k == isa.KindIllegal {
+			t.Errorf("word %d (%08x) decodes illegal", i, uint32(w))
+		}
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"bogus t0, t1, t2",
+		"addq t0, t1",
+		"ldq v0, sp",
+		"beq t0",
+		"li t0, notanumber",
+		"addq t9000, t1, t2",
+		".data\naddq t0, t1, t2",
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestAssembleCommentsAndLabelsOnSameLine(t *testing.T) {
+	p, err := Assemble("start: nop ; comment\n; full comment line\nend: ret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Text) != 2 {
+		t.Fatalf("want 2 instructions, got %d", len(p.Text))
+	}
+	if p.MustSymbol("end") != p.TextBase+4 {
+		t.Error("label after comment line misplaced")
+	}
+}
+
+func TestSortedSymbols(t *testing.T) {
+	b := NewBuilder()
+	b.Label("zz")
+	b.Nop()
+	b.Label("aa")
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := p.SortedSymbols()
+	if names[0] != "zz" || names[1] != "aa" {
+		t.Errorf("symbols not address-sorted: %v", names)
+	}
+}
+
+func TestEntryUsesStart(t *testing.T) {
+	p, err := Assemble("nop\n_start: nop\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry != p.TextBase+4 {
+		t.Errorf("entry = 0x%x", p.Entry)
+	}
+}
+
+func TestOperateLiteralRange(t *testing.T) {
+	if _, err := Assemble("addq t0, #256, t1"); err == nil {
+		t.Error("literal 256 must be rejected")
+	}
+	p, err := Assemble("addq t0, #255, t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in := isa.Decode(p.Text[0]); !in.IsLit || in.Lit != 255 {
+		t.Error("literal 255 mis-assembled")
+	}
+}
+
+func TestAssembleLargeProgram(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("_start:\n")
+	for i := 0; i < 5000; i++ {
+		sb.WriteString("addq t0, t1, t2\n")
+	}
+	sb.WriteString("ret\n")
+	p, err := Assemble(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Text) != 5001 {
+		t.Fatalf("got %d instructions", len(p.Text))
+	}
+}
+
+func BenchmarkAssemble(b *testing.B) {
+	src := `
+_start:
+    li t0, 100
+loop:
+    subq t0, #1, t0
+    bne t0, loop
+    ret
+`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Assemble(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

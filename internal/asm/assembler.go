@@ -1,0 +1,453 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Assemble parses Thessaly-64 assembly source and returns the linked
+// program image.
+//
+// Syntax overview:
+//
+//	.text / .data            switch sections
+//	label:                   define a label in the current section
+//	.quad 1, 2, 3            64-bit data words
+//	.double 3.14, 2.71       float64 data words
+//	.byte 1, 2, 3            raw bytes
+//	.space 64                zeroed bytes
+//	addq t0, t1, t2          register-form operate
+//	addq t0, #5, t2          literal-form operate
+//	ldq  v0, 16(sp)          memory format
+//	beq  t0, loop            branch to a label
+//	la   a0, table           load-address pseudo (ldah/lda pair)
+//	li   t0, 100000          load-immediate pseudo
+//	mov  t0, t1              register move pseudo
+//	jsr  ra, (pv)            memory-format jump with JSR hint
+//	ret                      jmp zero,(ra) with RET hint
+//	callsys / halt / nop     PAL instructions
+//	fi_activate_inst         GemFI pseudo-instruction (id in a0)
+//	fi_read_init_all         GemFI pseudo-instruction (checkpoint)
+//
+// Comments run from '#' or ';' to the end of the line.
+func Assemble(src string) (*Program, error) {
+	b := NewBuilder()
+	inData := false
+	pendingDataLabel := ""
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels (possibly followed by an instruction on the same line).
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 || strings.ContainsAny(line[:i], " \t,(") {
+				break
+			}
+			label := strings.TrimSpace(line[:i])
+			if inData {
+				pendingDataLabel = label
+			} else {
+				b.Label(label)
+			}
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		if err := assembleLine(b, line, &inData, &pendingDataLabel); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+	}
+	if pendingDataLabel != "" {
+		b.Space(pendingDataLabel, 0)
+	}
+	return b.Build()
+}
+
+// stripComment removes ";" and "//" comments. '#' is NOT a comment
+// character — it introduces operate-format literals.
+func stripComment(line string) string {
+	for _, c := range []string{";", "//"} {
+		if i := strings.Index(line, c); i >= 0 {
+			line = line[:i]
+		}
+	}
+	return line
+}
+
+func assembleLine(b *Builder, line string, inData *bool, pendingLabel *string) error {
+	fields := strings.SplitN(line, " ", 2)
+	mn := strings.ToLower(strings.TrimSpace(fields[0]))
+	rest := ""
+	if len(fields) > 1 {
+		rest = strings.TrimSpace(fields[1])
+	}
+	takeLabel := func() string {
+		l := *pendingLabel
+		*pendingLabel = ""
+		return l
+	}
+
+	switch mn {
+	case ".text":
+		*inData = false
+		return nil
+	case ".data":
+		*inData = true
+		return nil
+	case ".quad":
+		vals, err := parseIntList(rest)
+		if err != nil {
+			return err
+		}
+		us := make([]uint64, len(vals))
+		for i, v := range vals {
+			us[i] = uint64(v)
+		}
+		b.Quad(takeLabel(), us...)
+		return nil
+	case ".double":
+		var vals []float64
+		for _, p := range splitOperands(rest) {
+			f, err := strconv.ParseFloat(p, 64)
+			if err != nil {
+				return fmt.Errorf("bad float %q", p)
+			}
+			vals = append(vals, f)
+		}
+		b.Double(takeLabel(), vals...)
+		return nil
+	case ".byte":
+		vals, err := parseIntList(rest)
+		if err != nil {
+			return err
+		}
+		bs := make([]byte, len(vals))
+		for i, v := range vals {
+			bs[i] = byte(v)
+		}
+		b.Bytes(takeLabel(), bs)
+		return nil
+	case ".space":
+		n, err := strconv.Atoi(rest)
+		if err != nil || n < 0 {
+			return fmt.Errorf("bad .space size %q", rest)
+		}
+		b.Space(takeLabel(), n)
+		return nil
+	}
+
+	if *inData {
+		return fmt.Errorf("instruction %q inside .data", mn)
+	}
+	ops := splitOperands(rest)
+	return assembleInst(b, mn, ops)
+}
+
+// opTable maps integer operate mnemonics to (opcode, function).
+var opTable = map[string]struct {
+	op isa.Opcode
+	fn uint16
+}{
+	"addq": {isa.OpIntArith, isa.FnADDQ}, "subq": {isa.OpIntArith, isa.FnSUBQ},
+	"cmpeq": {isa.OpIntArith, isa.FnCMPEQ}, "cmplt": {isa.OpIntArith, isa.FnCMPLT},
+	"cmple": {isa.OpIntArith, isa.FnCMPLE}, "cmpult": {isa.OpIntArith, isa.FnCMPULT},
+	"cmpule": {isa.OpIntArith, isa.FnCMPULE},
+	"and":    {isa.OpIntLogic, isa.FnAND}, "bic": {isa.OpIntLogic, isa.FnBIC},
+	"bis": {isa.OpIntLogic, isa.FnBIS}, "or": {isa.OpIntLogic, isa.FnBIS},
+	"ornot": {isa.OpIntLogic, isa.FnORNOT}, "xor": {isa.OpIntLogic, isa.FnXOR},
+	"eqv": {isa.OpIntLogic, isa.FnEQV},
+	"sll": {isa.OpIntShift, isa.FnSLL}, "srl": {isa.OpIntShift, isa.FnSRL},
+	"sra":  {isa.OpIntShift, isa.FnSRA},
+	"mulq": {isa.OpIntMul, isa.FnMULQ}, "divq": {isa.OpIntMul, isa.FnDIVQ},
+	"remq": {isa.OpIntMul, isa.FnREMQ},
+}
+
+// fpTable maps FP operate mnemonics to function codes.
+var fpTable = map[string]uint16{
+	"addt": isa.FnADDT, "subt": isa.FnSUBT, "mult": isa.FnMULT,
+	"divt": isa.FnDIVT, "cmpteq": isa.FnCMPTEQ, "cmptlt": isa.FnCMPTLT,
+	"cmptle": isa.FnCMPTLE, "sqrtt": isa.FnSQRTT, "cvttq": isa.FnCVTTQ,
+	"cvtqt": isa.FnCVTQT, "cpys": isa.FnCPYS,
+}
+
+// memTable maps memory-format mnemonics to opcodes.
+var memTable = map[string]isa.Opcode{
+	"lda": isa.OpLDA, "ldah": isa.OpLDAH, "ldbu": isa.OpLDBU, "stb": isa.OpSTB,
+	"ldq": isa.OpLDQ, "stq": isa.OpSTQ, "ldt": isa.OpLDT, "stt": isa.OpSTT,
+}
+
+// brTable maps branch mnemonics to opcodes.
+var brTable = map[string]isa.Opcode{
+	"br": isa.OpBR, "bsr": isa.OpBSR, "beq": isa.OpBEQ, "bne": isa.OpBNE,
+	"blt": isa.OpBLT, "ble": isa.OpBLE, "bge": isa.OpBGE, "bgt": isa.OpBGT,
+	"fbeq": isa.OpFBEQ, "fbne": isa.OpFBNE,
+}
+
+func assembleInst(b *Builder, mn string, ops []string) error {
+	if ent, ok := opTable[mn]; ok {
+		if len(ops) != 3 {
+			return fmt.Errorf("%s wants 3 operands", mn)
+		}
+		ra, err := reg(ops[0])
+		if err != nil {
+			return err
+		}
+		rc, err := reg(ops[2])
+		if err != nil {
+			return err
+		}
+		if lit, isLit, err := literal(ops[1]); err != nil {
+			return err
+		} else if isLit {
+			b.OpLit(ent.op, ent.fn, ra, lit, rc)
+			return nil
+		}
+		rb, err := reg(ops[1])
+		if err != nil {
+			return err
+		}
+		b.Op(ent.op, ent.fn, ra, rb, rc)
+		return nil
+	}
+	if fn, ok := fpTable[mn]; ok {
+		if len(ops) != 3 {
+			return fmt.Errorf("%s wants 3 operands", mn)
+		}
+		fa, err := reg(ops[0])
+		if err != nil {
+			return err
+		}
+		fb, err := reg(ops[1])
+		if err != nil {
+			return err
+		}
+		fc, err := reg(ops[2])
+		if err != nil {
+			return err
+		}
+		b.FP(fn, fa, fb, fc)
+		return nil
+	}
+	if op, ok := memTable[mn]; ok {
+		if len(ops) != 2 {
+			return fmt.Errorf("%s wants 2 operands", mn)
+		}
+		ra, err := reg(ops[0])
+		if err != nil {
+			return err
+		}
+		disp, rb, err := memOperand(ops[1])
+		if err != nil {
+			return err
+		}
+		b.Mem(op, ra, rb, disp)
+		return nil
+	}
+	if op, ok := brTable[mn]; ok {
+		switch len(ops) {
+		case 1: // unconditional without link: br label
+			if op != isa.OpBR && op != isa.OpBSR {
+				return fmt.Errorf("%s wants 2 operands", mn)
+			}
+			b.Br(op, isa.ZeroReg, ops[0])
+			return nil
+		case 2:
+			ra, err := reg(ops[0])
+			if err != nil {
+				return err
+			}
+			b.Br(op, ra, ops[1])
+			return nil
+		default:
+			return fmt.Errorf("%s wants 1 or 2 operands", mn)
+		}
+	}
+
+	switch mn {
+	case "jmp", "jsr", "ret", "jcr":
+		hint := map[string]int{"jmp": isa.HintJMP, "jsr": isa.HintJSR, "ret": isa.HintRET, "jcr": isa.HintJCR}[mn]
+		switch len(ops) {
+		case 0:
+			if mn != "ret" {
+				return fmt.Errorf("%s wants operands", mn)
+			}
+			b.Jump(isa.ZeroReg, isa.RegRA, hint)
+			return nil
+		case 1:
+			rb, err := reg(strings.Trim(ops[0], "()"))
+			if err != nil {
+				return err
+			}
+			link := isa.ZeroReg
+			if mn == "jsr" {
+				link = isa.RegRA
+			}
+			b.Jump(link, rb, hint)
+			return nil
+		case 2:
+			ra, err := reg(ops[0])
+			if err != nil {
+				return err
+			}
+			rb, err := reg(strings.Trim(ops[1], "()"))
+			if err != nil {
+				return err
+			}
+			b.Jump(ra, rb, hint)
+			return nil
+		}
+		return fmt.Errorf("%s wants at most 2 operands", mn)
+	case "la":
+		if len(ops) != 2 {
+			return fmt.Errorf("la wants 2 operands")
+		}
+		r, err := reg(ops[0])
+		if err != nil {
+			return err
+		}
+		b.LA(r, ops[1])
+		return nil
+	case "li":
+		if len(ops) != 2 {
+			return fmt.Errorf("li wants 2 operands")
+		}
+		r, err := reg(ops[0])
+		if err != nil {
+			return err
+		}
+		v, err := parseInt(ops[1])
+		if err != nil {
+			return err
+		}
+		b.LoadImm(r, v)
+		return nil
+	case "mov":
+		if len(ops) != 2 {
+			return fmt.Errorf("mov wants 2 operands")
+		}
+		src, err := reg(ops[0])
+		if err != nil {
+			return err
+		}
+		dst, err := reg(ops[1])
+		if err != nil {
+			return err
+		}
+		b.Mov(src, dst)
+		return nil
+	case "fmov":
+		if len(ops) != 2 {
+			return fmt.Errorf("fmov wants 2 operands")
+		}
+		src, err := reg(ops[0])
+		if err != nil {
+			return err
+		}
+		dst, err := reg(ops[1])
+		if err != nil {
+			return err
+		}
+		b.FMov(src, dst)
+		return nil
+	case "nop":
+		b.Nop()
+		return nil
+	case "callsys":
+		b.Pal(isa.PalCallSys)
+		return nil
+	case "halt":
+		b.Pal(isa.PalHalt)
+		return nil
+	case "fi_activate_inst":
+		b.Pal(isa.PalFIActivate)
+		return nil
+	case "fi_read_init_all":
+		b.Pal(isa.PalFIInit)
+		return nil
+	}
+	return fmt.Errorf("unknown mnemonic %q", mn)
+}
+
+// reg parses a register operand.
+func reg(s string) (isa.Reg, error) {
+	r, ok := isa.RegByName(strings.TrimSpace(s))
+	if !ok {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return r, nil
+}
+
+// literal parses a "#n" literal operand.
+func literal(s string) (int64, bool, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "#") {
+		return 0, false, nil
+	}
+	v, err := parseInt(s[1:])
+	if err != nil {
+		return 0, false, err
+	}
+	return v, true, nil
+}
+
+// memOperand parses "disp(reg)" or "(reg)".
+func memOperand(s string) (int32, isa.Reg, error) {
+	s = strings.TrimSpace(s)
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	dispStr := strings.TrimSpace(s[:open])
+	var disp int64
+	if dispStr != "" {
+		var err error
+		disp, err = parseInt(dispStr)
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	r, err := reg(s[open+1 : len(s)-1])
+	if err != nil {
+		return 0, 0, err
+	}
+	return int32(disp), r, nil
+}
+
+func parseInt(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad integer %q", s)
+	}
+	return v, nil
+}
+
+func parseIntList(s string) ([]int64, error) {
+	var out []int64
+	for _, p := range splitOperands(s) {
+		v, err := parseInt(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func splitOperands(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

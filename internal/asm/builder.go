@@ -1,0 +1,342 @@
+// Package asm implements the Thessaly-64 toolchain back end: a
+// programmatic instruction Builder with labels and data directives, a
+// two-pass textual assembler on top of it, and the Program image format
+// consumed by the simulator's loader. It plays the role of the cross
+// assembler in the paper's workflow ("the end user compiles or
+// cross-compiles the application to be tested").
+package asm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// Default memory layout of a program image.
+const (
+	DefaultTextBase = 0x0001_0000
+	DataAlign       = 0x1000
+)
+
+// Program is a linked, loadable image.
+type Program struct {
+	Entry    uint64
+	TextBase uint64
+	Text     []isa.Word
+	DataBase uint64
+	Data     []byte
+	Symbols  map[string]uint64
+}
+
+// Symbol resolves a label to its address.
+func (p *Program) Symbol(name string) (uint64, bool) {
+	a, ok := p.Symbols[name]
+	return a, ok
+}
+
+// MustSymbol resolves a label, panicking if absent (programming error in
+// the host harness, not runtime input).
+func (p *Program) MustSymbol(name string) uint64 {
+	a, ok := p.Symbols[name]
+	if !ok {
+		panic("asm: undefined symbol " + name)
+	}
+	return a
+}
+
+// fixupKind distinguishes the relocations the builder resolves at Build.
+type fixupKind int
+
+const (
+	fixBranch fixupKind = iota + 1 // 21-bit word displacement to a label
+	fixLAHigh                      // LDAH half of a load-address pair
+	fixLALow                       // LDA half of a load-address pair
+)
+
+type fixup struct {
+	kind  fixupKind
+	index int    // text word index to patch
+	sym   string // target symbol
+}
+
+type dataItem struct {
+	label string
+	bytes []byte
+	align int
+}
+
+// Builder assembles a program image instruction by instruction. Errors
+// are accumulated and reported by Build, so emission call sites stay
+// clean.
+type Builder struct {
+	textBase uint64
+	text     []isa.Word
+	labels   map[string]uint64 // text labels -> absolute address
+	fixups   []fixup
+	data     []dataItem
+	errs     []error
+}
+
+// NewBuilder returns a Builder with the default text base.
+func NewBuilder() *Builder {
+	return &Builder{textBase: DefaultTextBase, labels: make(map[string]uint64)}
+}
+
+func (b *Builder) errf(format string, args ...interface{}) {
+	b.errs = append(b.errs, fmt.Errorf(format, args...))
+}
+
+// PC returns the address of the next emitted instruction.
+func (b *Builder) PC() uint64 { return b.textBase + uint64(len(b.text))*4 }
+
+// Label defines a code label at the current position.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.errf("duplicate label %q", name)
+		return
+	}
+	b.labels[name] = b.PC()
+}
+
+// Raw emits a raw instruction word.
+func (b *Builder) Raw(w isa.Word) { b.text = append(b.text, w) }
+
+// Mem emits a memory-format instruction with a numeric displacement.
+func (b *Builder) Mem(op isa.Opcode, ra, rb isa.Reg, disp int32) {
+	w, err := isa.MakeMem(op, ra, rb, disp)
+	if err != nil {
+		b.errf("%v", err)
+		w = isa.Nop()
+	}
+	b.Raw(w)
+}
+
+// Br emits a branch-format instruction targeting a label.
+func (b *Builder) Br(op isa.Opcode, ra isa.Reg, label string) {
+	b.fixups = append(b.fixups, fixup{kind: fixBranch, index: len(b.text), sym: label})
+	w, _ := isa.MakeBranch(op, ra, 0)
+	b.Raw(w)
+}
+
+// Op emits a register-form integer operate instruction.
+func (b *Builder) Op(op isa.Opcode, fn uint16, ra, rb, rc isa.Reg) {
+	b.Raw(isa.MakeOperate(op, fn, ra, rb, rc))
+}
+
+// OpLit emits a literal-form integer operate instruction; lit must fit in
+// 8 unsigned bits.
+func (b *Builder) OpLit(op isa.Opcode, fn uint16, ra isa.Reg, lit int64, rc isa.Reg) {
+	if lit < 0 || lit > 255 {
+		b.errf("operate literal %d out of range", lit)
+		lit = 0
+	}
+	b.Raw(isa.MakeOperateLit(op, fn, ra, uint8(lit), rc))
+}
+
+// FP emits an FP-operate instruction.
+func (b *Builder) FP(fn uint16, fa, fb, fc isa.Reg) { b.Raw(isa.MakeFP(fn, fa, fb, fc)) }
+
+// Pal emits a PAL-format instruction.
+func (b *Builder) Pal(fn uint32) { b.Raw(isa.MakePal(fn)) }
+
+// Jump emits a memory-format jump.
+func (b *Builder) Jump(ra, rb isa.Reg, hint int) { b.Raw(isa.MakeJump(ra, rb, hint)) }
+
+// LA emits the canonical two-instruction absolute-address sequence
+// (ldah reg, hi(sym)(zero); lda reg, lo(sym)(reg)).
+func (b *Builder) LA(reg isa.Reg, sym string) {
+	b.fixups = append(b.fixups, fixup{kind: fixLAHigh, index: len(b.text), sym: sym})
+	w, _ := isa.MakeMem(isa.OpLDAH, reg, isa.ZeroReg, 0)
+	b.Raw(w)
+	b.fixups = append(b.fixups, fixup{kind: fixLALow, index: len(b.text), sym: sym})
+	w, _ = isa.MakeMem(isa.OpLDA, reg, reg, 0)
+	b.Raw(w)
+}
+
+// LoadImm materializes a signed immediate into reg: one lda for 16-bit
+// values, an ldah/lda pair for most 32-bit values, and a shift-and-add
+// sequence for the general 64-bit case.
+func (b *Builder) LoadImm(reg isa.Reg, v int64) {
+	if v >= math.MinInt16 && v <= math.MaxInt16 {
+		b.Mem(isa.OpLDA, reg, isa.ZeroReg, int32(v))
+		return
+	}
+	lo := int64(int16(v))
+	hi := (v - lo) >> 16
+	if hi >= math.MinInt16 && hi <= math.MaxInt16 {
+		b.Mem(isa.OpLDAH, reg, isa.ZeroReg, int32(hi))
+		if lo != 0 {
+			b.Mem(isa.OpLDA, reg, reg, int32(lo))
+		}
+		return
+	}
+	// General case: decompose into four signed 16-bit pieces such that
+	// v == ((p3<<16 + p2)<<16 + p1)<<16 + p0, then rebuild top-down.
+	rem := v
+	var pieces [4]int64
+	for i := 0; i < 4; i++ {
+		pieces[i] = int64(int16(rem))
+		rem = (rem - pieces[i]) >> 16
+	}
+	b.Mem(isa.OpLDA, reg, isa.ZeroReg, int32(pieces[3]))
+	for i := 2; i >= 0; i-- {
+		b.OpLit(isa.OpIntShift, isa.FnSLL, reg, 16, reg)
+		if pieces[i] != 0 {
+			b.Mem(isa.OpLDA, reg, reg, int32(pieces[i]))
+		}
+	}
+}
+
+// Mov emits a register move (bis src, zero, dst).
+func (b *Builder) Mov(src, dst isa.Reg) {
+	b.Op(isa.OpIntLogic, isa.FnBIS, src, isa.ZeroReg, dst)
+}
+
+// FMov emits an FP register move (cpys src, src, dst).
+func (b *Builder) FMov(src, dst isa.Reg) { b.FP(isa.FnCPYS, src, src, dst) }
+
+// Nop emits the canonical no-op.
+func (b *Builder) Nop() { b.Raw(isa.Nop()) }
+
+// Quad adds 64-bit data words under a label.
+func (b *Builder) Quad(label string, values ...uint64) {
+	buf := make([]byte, 8*len(values))
+	for i, v := range values {
+		putU64(buf[i*8:], v)
+	}
+	b.data = append(b.data, dataItem{label: label, bytes: buf, align: 8})
+}
+
+// Double adds float64 data words under a label.
+func (b *Builder) Double(label string, values ...float64) {
+	buf := make([]byte, 8*len(values))
+	for i, v := range values {
+		putU64(buf[i*8:], math.Float64bits(v))
+	}
+	b.data = append(b.data, dataItem{label: label, bytes: buf, align: 8})
+}
+
+// Bytes adds raw bytes under a label.
+func (b *Builder) Bytes(label string, bytes []byte) {
+	cp := make([]byte, len(bytes))
+	copy(cp, bytes)
+	b.data = append(b.data, dataItem{label: label, bytes: cp, align: 8})
+}
+
+// Space reserves n zero bytes under a label.
+func (b *Builder) Space(label string, n int) {
+	b.data = append(b.data, dataItem{label: label, bytes: make([]byte, n), align: 8})
+}
+
+// splitAddr decomposes addr into (hi, lo) suitable for ldah/lda with
+// signed 16-bit fields: addr == hi<<16 + signext(lo).
+func splitAddr(addr uint64) (hi, lo int32) {
+	lo = int32(int16(addr))
+	hi = int32((addr - uint64(int64(lo))) >> 16)
+	return hi, lo
+}
+
+// Build lays out the data section after text, resolves all fixups, and
+// returns the program image.
+func (b *Builder) Build() (*Program, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	p := &Program{
+		TextBase: b.textBase,
+		Text:     make([]isa.Word, len(b.text)),
+		Symbols:  make(map[string]uint64, len(b.labels)+len(b.data)),
+	}
+	copy(p.Text, b.text)
+	for name, addr := range b.labels {
+		p.Symbols[name] = addr
+	}
+
+	// Data layout, 8-byte aligned items, section aligned to DataAlign.
+	textEnd := b.textBase + uint64(len(b.text))*4
+	p.DataBase = (textEnd + DataAlign - 1) &^ uint64(DataAlign-1)
+	var data []byte
+	for _, item := range b.data {
+		for len(data)%item.align != 0 {
+			data = append(data, 0)
+		}
+		addr := p.DataBase + uint64(len(data))
+		if item.label != "" {
+			if _, dup := p.Symbols[item.label]; dup {
+				return nil, fmt.Errorf("duplicate symbol %q", item.label)
+			}
+			p.Symbols[item.label] = addr
+		}
+		data = append(data, item.bytes...)
+	}
+	p.Data = data
+
+	// Fixups.
+	for _, f := range b.fixups {
+		target, ok := p.Symbols[f.sym]
+		if !ok {
+			return nil, fmt.Errorf("undefined symbol %q", f.sym)
+		}
+		switch f.kind {
+		case fixBranch:
+			pc := b.textBase + uint64(f.index)*4
+			diff := int64(target) - int64(pc) - 4
+			if diff%4 != 0 {
+				return nil, fmt.Errorf("branch to unaligned target %q", f.sym)
+			}
+			disp := diff / 4
+			op := isa.Opcode(uint32(p.Text[f.index]) >> 26)
+			ra := isa.Reg(uint32(p.Text[f.index]) >> 21 & 31)
+			w, err := isa.MakeBranch(op, ra, int32(disp))
+			if err != nil {
+				return nil, fmt.Errorf("branch to %q: %w", f.sym, err)
+			}
+			p.Text[f.index] = w
+		case fixLAHigh, fixLALow:
+			if target > math.MaxUint32 {
+				return nil, fmt.Errorf("symbol %q above the 32-bit LA range", f.sym)
+			}
+			hi, lo := splitAddr(target)
+			old := uint32(p.Text[f.index])
+			var disp int32
+			if f.kind == fixLAHigh {
+				disp = hi
+			} else {
+				disp = lo
+			}
+			p.Text[f.index] = isa.Word(old&0xFFFF0000 | uint32(uint16(disp)))
+		}
+	}
+
+	// Entry point.
+	if e, ok := p.Symbols["_start"]; ok {
+		p.Entry = e
+	} else {
+		p.Entry = p.TextBase
+	}
+	return p, nil
+}
+
+// SortedSymbols returns symbol names ordered by address (for
+// disassembly listings).
+func (p *Program) SortedSymbols() []string {
+	names := make([]string, 0, len(p.Symbols))
+	for n := range p.Symbols {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if p.Symbols[names[i]] != p.Symbols[names[j]] {
+			return p.Symbols[names[i]] < p.Symbols[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * uint(i)))
+	}
+}

@@ -1,0 +1,327 @@
+// Package campaign implements GemFI's fault injection campaign
+// orchestration: statistical generation of fault configurations, golden
+// (fault-free) reference runs, checkpoint-based fast-forwarding of
+// experiments (Fig. 3 of the paper), parallel local execution, and the
+// five-class outcome taxonomy of Section IV.B:
+//
+//	Crashed / Non-propagated / Strictly-correct / Correct / SDC
+package campaign
+
+import (
+	"fmt"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// Outcome is the classification of one experiment (Section IV.B.1).
+type Outcome int
+
+// Experiment outcomes.
+const (
+	// OutcomeCrashed: the run failed to terminate successfully (trap,
+	// hang, or nonzero exit).
+	OutcomeCrashed Outcome = iota + 1
+	// OutcomeNonPropagated: the fault never manifested as an error (not
+	// fired, squashed, overwritten before read, or never read).
+	OutcomeNonPropagated
+	// OutcomeStrictlyCorrect: output bit-wise identical to the golden
+	// run although the fault propagated.
+	OutcomeStrictlyCorrect
+	// OutcomeCorrect: output within the application's quality margin.
+	OutcomeCorrect
+	// OutcomeSDC: silent data corruption — terminated normally with an
+	// unacceptable result.
+	OutcomeSDC
+	numOutcomes
+)
+
+// String names the outcome as in the paper's figures.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeCrashed:
+		return "crashed"
+	case OutcomeNonPropagated:
+		return "non-propagated"
+	case OutcomeStrictlyCorrect:
+		return "strictly-correct"
+	case OutcomeCorrect:
+		return "correct"
+	case OutcomeSDC:
+		return "SDC"
+	default:
+		return "unknown"
+	}
+}
+
+// Outcomes lists all outcome classes in display order.
+func Outcomes() []Outcome {
+	return []Outcome{OutcomeCrashed, OutcomeNonPropagated, OutcomeStrictlyCorrect, OutcomeCorrect, OutcomeSDC}
+}
+
+// Acceptable reports whether the outcome is in the paper's "acceptable"
+// union (correct or strictly correct; non-propagated runs are bit-exact
+// and therefore acceptable as well).
+func (o Outcome) Acceptable() bool {
+	return o == OutcomeStrictlyCorrect || o == OutcomeCorrect || o == OutcomeNonPropagated
+}
+
+// Experiment is one fault-injection run specification.
+type Experiment struct {
+	ID     int          `json:"id"`
+	Faults []core.Fault `json:"faults"`
+}
+
+// Result is the outcome of one experiment.
+type Result struct {
+	ID      int     `json:"id"`
+	Outcome Outcome `json:"outcome"`
+
+	// Fault echoes the primary injected fault for correlation.
+	Fault core.Fault `json:"fault"`
+	// NormTime is the injection time normalized to the golden run's
+	// fault-injection window (for the Fig. 6 correlation).
+	NormTime float64 `json:"normTime"`
+
+	Fired      bool   `json:"fired"`
+	CrashCause string `json:"crashCause,omitempty"`
+	Insts      uint64 `json:"insts"`
+	Ticks      uint64 `json:"ticks"`
+}
+
+// Runner executes experiments for one workload. It is not safe for
+// concurrent use; a Pool builds one Runner per worker.
+type Runner struct {
+	Workload *workloads.Workload
+	Cfg      sim.Config
+
+	// Golden is the fault-free reference output.
+	Golden *workloads.Result
+	// WindowInsts is the number of committed instructions in the golden
+	// run's fault-injection window.
+	WindowInsts uint64
+
+	// Ckpt, when non-nil, fast-forwards every experiment from the
+	// fi_read_init_all checkpoint instead of re-running boot + init.
+	Ckpt *checkpoint.State
+
+	sim *sim.Simulator
+}
+
+// RunnerOptions configures NewRunner.
+type RunnerOptions struct {
+	// Model for the injection phase (default: pipelined with a switch to
+	// atomic after fault resolution — the paper's methodology).
+	Cfg *sim.Config
+	// DisableCheckpoint runs every experiment from program start (the
+	// Fig. 8 baseline).
+	DisableCheckpoint bool
+}
+
+// defaultCampaignConfig is the paper's methodology configuration.
+func defaultCampaignConfig() sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.Model = sim.ModelAtomic // campaigns default to the fast model; drivers override
+	return cfg
+}
+
+// NewRunner builds a runner: compiles the workload, takes the golden
+// run (capturing the fi_read_init_all checkpoint), and records the
+// fault-injection window size.
+func NewRunner(w *workloads.Workload, opts RunnerOptions) (*Runner, error) {
+	cfg := defaultCampaignConfig()
+	if opts.Cfg != nil {
+		cfg = *opts.Cfg
+	}
+	cfg.EnableFI = true
+	if cfg.MaxInsts == 0 {
+		cfg.MaxInsts = 2_000_000_000
+	}
+
+	p, err := w.Build()
+	if err != nil {
+		return nil, err
+	}
+	s := sim.New(cfg)
+	if err := s.Load(p); err != nil {
+		return nil, err
+	}
+	var ckpt *checkpoint.State
+	s.OnCheckpoint = func(sm *sim.Simulator) {
+		if ckpt == nil {
+			ckpt = sm.Checkpoint()
+		}
+	}
+	r := s.Run()
+	if r.Failed() {
+		return nil, fmt.Errorf("campaign: golden run of %s failed: %+v", w.Name, r)
+	}
+	golden, err := workloads.Extract(w, s)
+	if err != nil {
+		return nil, err
+	}
+	// Tighten the hang watchdog to a multiple of the golden run length:
+	// fault runs that loop forever otherwise burn the full generic limit
+	// per experiment. Jacobi-style workloads legitimately run much longer
+	// than golden when reconverging, so the margin is generous.
+	if opts.Cfg == nil || opts.Cfg.MaxInsts == 0 {
+		limit := r.Insts*50 + 10_000_000
+		if limit < cfg.MaxInsts {
+			cfg.MaxInsts = limit
+		}
+	}
+	runner := &Runner{
+		Workload:    w,
+		Cfg:         cfg,
+		Golden:      golden,
+		WindowInsts: s.Engine.WindowCommits(),
+		sim:         s,
+	}
+	s.Cfg.MaxInsts = cfg.MaxInsts
+	if !opts.DisableCheckpoint {
+		if ckpt == nil {
+			return nil, fmt.Errorf("campaign: %s never executed fi_read_init_all", w.Name)
+		}
+		runner.Ckpt = ckpt
+	}
+	return runner, nil
+}
+
+// NewRestoredRunner builds a runner from externally supplied golden
+// outputs and a checkpoint — the NoW worker path, where the checkpoint
+// arrives over the network instead of being captured locally.
+func NewRestoredRunner(w *workloads.Workload, cfg sim.Config, golden *workloads.Result, windowInsts uint64, ckpt *checkpoint.State) (*Runner, error) {
+	cfg.EnableFI = true
+	if cfg.MaxInsts == 0 {
+		cfg.MaxInsts = 2_000_000_000
+	}
+	p, err := w.Build()
+	if err != nil {
+		return nil, err
+	}
+	s := sim.New(cfg)
+	if err := s.Load(p); err != nil {
+		return nil, err
+	}
+	return &Runner{
+		Workload:    w,
+		Cfg:         cfg,
+		Golden:      golden,
+		WindowInsts: windowInsts,
+		Ckpt:        ckpt,
+		sim:         s,
+	}, nil
+}
+
+// Run executes one experiment and classifies its outcome.
+func (r *Runner) Run(exp Experiment) Result {
+	res := Result{ID: exp.ID}
+	if len(exp.Faults) > 0 {
+		res.Fault = exp.Faults[0]
+		if r.WindowInsts > 0 {
+			res.NormTime = float64(exp.Faults[0].When) / float64(r.WindowInsts)
+		}
+	}
+
+	var runRes sim.RunResult
+	if r.Ckpt != nil {
+		// Fast-forward: restore the checkpoint and re-arm the engine
+		// with this experiment's faults (Fig. 3 of the paper).
+		r.sim.Restore(r.Ckpt, exp.Faults)
+		runRes = r.sim.Run()
+	} else {
+		// Baseline: full re-simulation from program start.
+		s := sim.New(r.Cfg)
+		p, err := r.Workload.Build()
+		if err != nil {
+			res.Outcome = OutcomeCrashed
+			res.CrashCause = err.Error()
+			return res
+		}
+		if err := s.Load(p); err != nil {
+			res.Outcome = OutcomeCrashed
+			res.CrashCause = err.Error()
+			return res
+		}
+		s.Engine.Reset(exp.Faults)
+		runRes = s.Run()
+		r.sim = s
+	}
+	res.Insts = runRes.Insts
+	res.Ticks = runRes.Ticks
+	for _, oc := range runRes.Outcomes {
+		if oc.Fired {
+			res.Fired = true
+		}
+	}
+
+	if runRes.Failed() {
+		res.Outcome = OutcomeCrashed
+		res.CrashCause = runRes.CrashCause
+		if runRes.Hung {
+			res.CrashCause = "hang (watchdog)"
+		}
+		return res
+	}
+
+	out, err := workloads.Extract(r.Workload, r.sim)
+	if err != nil {
+		res.Outcome = OutcomeCrashed
+		res.CrashCause = err.Error()
+		return res
+	}
+	grade := r.Workload.Classify(r.Golden, out)
+
+	// Combine the engine's propagation verdict with the output grade.
+	propagated := false
+	for _, oc := range runRes.Outcomes {
+		if oc.Propagated {
+			propagated = true
+		}
+	}
+	switch {
+	case !propagated:
+		res.Outcome = OutcomeNonPropagated
+	case grade == workloads.GradeStrict:
+		res.Outcome = OutcomeStrictlyCorrect
+	case grade == workloads.GradeCorrect:
+		res.Outcome = OutcomeCorrect
+	default:
+		res.Outcome = OutcomeSDC
+	}
+	return res
+}
+
+// Tally is an outcome histogram.
+type Tally map[Outcome]int
+
+// Add counts a result.
+func (t Tally) Add(r Result) { t[r.Outcome]++ }
+
+// Total returns the number of counted results.
+func (t Tally) Total() int {
+	n := 0
+	for _, v := range t {
+		n += v
+	}
+	return n
+}
+
+// Fraction returns the share of an outcome.
+func (t Tally) Fraction(o Outcome) float64 {
+	if t.Total() == 0 {
+		return 0
+	}
+	return float64(t[o]) / float64(t.Total())
+}
+
+// TallyOf accumulates a result list.
+func TallyOf(rs []Result) Tally {
+	t := make(Tally)
+	for _, r := range rs {
+		t.Add(r)
+	}
+	return t
+}

@@ -1,0 +1,238 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+// Fig5Row is the outcome distribution for one (application, location)
+// pair — one stacked bar of the paper's Fig. 5.
+type Fig5Row struct {
+	Workload string         `json:"workload"`
+	Location string         `json:"location"`
+	Tally    map[string]int `json:"tally"`
+	Total    int            `json:"total"`
+}
+
+// Fig5Report reproduces Fig. 5: "the results of the fault injection
+// campaigns, correlating the Location of the fault with application
+// behavior", with a summary column per application.
+type Fig5Report struct {
+	Rows []Fig5Row `json:"rows"`
+}
+
+// Fig5Config parameterizes the Fig. 5 reproduction.
+type Fig5Config struct {
+	Workloads    []*workloads.Workload
+	PerLocation  int // experiments per (app, location) bar
+	Parallelism  int
+	Seed         int64
+	RunnerConfig RunnerOptions
+}
+
+// RunFig5 executes the Fig. 5 campaign matrix.
+func RunFig5(cfg Fig5Config) (*Fig5Report, error) {
+	if cfg.PerLocation <= 0 {
+		cfg.PerLocation = 50
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = 1
+	}
+	rep := &Fig5Report{}
+	for _, w := range cfg.Workloads {
+		pool, err := NewPool(w, cfg.Parallelism, cfg.RunnerConfig)
+		if err != nil {
+			return nil, err
+		}
+		summary := make(Tally)
+		summaryTotal := 0
+		for _, loc := range AllLocations() {
+			exps := GenerateUniform(cfg.PerLocation, GenConfig{
+				Locations:   []core.Location{loc},
+				WindowInsts: pool.Runner().WindowInsts,
+				Seed:        cfg.Seed + int64(loc)*1000,
+			})
+			results := pool.RunAll(exps)
+			tally := TallyOf(results)
+			rep.Rows = append(rep.Rows, Fig5Row{
+				Workload: w.Name,
+				Location: loc.String(),
+				Tally:    tallyToMap(tally),
+				Total:    tally.Total(),
+			})
+			for o, n := range tally {
+				summary[o] += n
+				summaryTotal += n
+			}
+		}
+		rep.Rows = append(rep.Rows, Fig5Row{
+			Workload: w.Name,
+			Location: "total",
+			Tally:    tallyToMap(summary),
+			Total:    summaryTotal,
+		})
+	}
+	return rep, nil
+}
+
+// Row returns the row for a (workload, location) pair.
+func (r *Fig5Report) Row(workload, location string) (Fig5Row, bool) {
+	for _, row := range r.Rows {
+		if row.Workload == workload && row.Location == location {
+			return row, true
+		}
+	}
+	return Fig5Row{}, false
+}
+
+// Fraction returns the share of an outcome in a row.
+func (row Fig5Row) Fraction(outcome Outcome) float64 {
+	if row.Total == 0 {
+		return 0
+	}
+	return float64(row.Tally[outcome.String()]) / float64(row.Total)
+}
+
+// String renders the report as the paper-style table.
+func (r *Fig5Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s %-16s %8s", "app", "location", "total")
+	for _, o := range Outcomes() {
+		fmt.Fprintf(&sb, " %16s", o)
+	}
+	sb.WriteByte('\n')
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-10s %-16s %8d", row.Workload, row.Location, row.Total)
+		for _, o := range Outcomes() {
+			fmt.Fprintf(&sb, " %15.1f%%", 100*row.Fraction(o))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Fig6Bin is one time bin of the Fig. 6 correlation: fraction of each
+// outcome class among faults injected in [Lo, Hi) of normalized
+// execution time.
+type Fig6Bin struct {
+	Lo         float64        `json:"lo"`
+	Hi         float64        `json:"hi"`
+	Total      int            `json:"total"`
+	Tally      map[string]int `json:"tally"`
+	Acceptable float64        `json:"acceptable"`
+	Strict     float64        `json:"strict"`
+	Correct    float64        `json:"correct"`
+	Crashed    float64        `json:"crashed"`
+}
+
+// Fig6Report reproduces Fig. 6: "correlation of the timing of fault
+// injection with the effect on the application".
+type Fig6Report struct {
+	Workload string    `json:"workload"`
+	Bins     []Fig6Bin `json:"bins"`
+}
+
+// Fig6Config parameterizes a timing sweep.
+type Fig6Config struct {
+	Workload     *workloads.Workload
+	Experiments  int
+	Bins         int
+	Parallelism  int
+	Seed         int64
+	Locations    []core.Location
+	RunnerConfig RunnerOptions
+}
+
+// RunFig6 executes a timing-correlation sweep for one workload.
+func RunFig6(cfg Fig6Config) (*Fig6Report, error) {
+	if cfg.Experiments <= 0 {
+		cfg.Experiments = 200
+	}
+	if cfg.Bins <= 0 {
+		cfg.Bins = 5
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = 1
+	}
+	pool, err := NewPool(cfg.Workload, cfg.Parallelism, cfg.RunnerConfig)
+	if err != nil {
+		return nil, err
+	}
+	exps := GenerateUniform(cfg.Experiments, GenConfig{
+		Locations:   cfg.Locations,
+		WindowInsts: pool.Runner().WindowInsts,
+		Seed:        cfg.Seed,
+	})
+	results := pool.RunAll(exps)
+
+	rep := &Fig6Report{Workload: cfg.Workload.Name, Bins: make([]Fig6Bin, cfg.Bins)}
+	binned := make([][]Result, cfg.Bins)
+	for _, res := range results {
+		b := int(res.NormTime * float64(cfg.Bins))
+		if b < 0 {
+			b = 0
+		}
+		if b >= cfg.Bins {
+			b = cfg.Bins - 1
+		}
+		binned[b] = append(binned[b], res)
+	}
+	for i := range rep.Bins {
+		t := TallyOf(binned[i])
+		bin := Fig6Bin{
+			Lo:    float64(i) / float64(cfg.Bins),
+			Hi:    float64(i+1) / float64(cfg.Bins),
+			Total: t.Total(),
+			Tally: tallyToMap(t),
+		}
+		if bin.Total > 0 {
+			acc := 0
+			for _, res := range binned[i] {
+				if res.Outcome.Acceptable() {
+					acc++
+				}
+			}
+			bin.Acceptable = float64(acc) / float64(bin.Total)
+			bin.Strict = t.Fraction(OutcomeStrictlyCorrect) + t.Fraction(OutcomeNonPropagated)
+			bin.Correct = t.Fraction(OutcomeCorrect)
+			bin.Crashed = t.Fraction(OutcomeCrashed)
+		}
+		rep.Bins[i] = bin
+	}
+	return rep, nil
+}
+
+// String renders the sweep as a table.
+func (r *Fig6Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "workload %s: outcome vs normalized injection time\n", r.Workload)
+	fmt.Fprintf(&sb, "%-12s %6s %11s %8s %9s %8s\n", "time-bin", "n", "acceptable", "strict", "correct", "crashed")
+	for _, b := range r.Bins {
+		fmt.Fprintf(&sb, "[%.2f,%.2f) %6d %10.1f%% %7.1f%% %8.1f%% %7.1f%%\n",
+			b.Lo, b.Hi, b.Total, 100*b.Acceptable, 100*b.Strict, 100*b.Correct, 100*b.Crashed)
+	}
+	return sb.String()
+}
+
+func tallyToMap(t Tally) map[string]int {
+	m := make(map[string]int, len(t))
+	for o, n := range t {
+		m[o.String()] = n
+	}
+	return m
+}
+
+// SortRows orders Fig. 5 rows by workload then location (stable output
+// for goldens and docs).
+func (r *Fig5Report) SortRows() {
+	sort.SliceStable(r.Rows, func(i, j int) bool {
+		if r.Rows[i].Workload != r.Rows[j].Workload {
+			return r.Rows[i].Workload < r.Rows[j].Workload
+		}
+		return r.Rows[i].Location < r.Rows[j].Location
+	})
+}

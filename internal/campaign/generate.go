@@ -1,0 +1,90 @@
+package campaign
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// GenConfig parameterizes uniform random fault generation — the paper's
+// validation methodology: "each experiment injects a flip-bit fault,
+// using a uniform distribution for the Location, Time and Behavior".
+type GenConfig struct {
+	// Locations to draw from (uniformly). Empty means all seven classes
+	// of Fig. 5.
+	Locations []core.Location
+	// WindowInsts is the injection time range [1, WindowInsts], usually
+	// the golden run's fault-injection window size.
+	WindowInsts uint64
+	// ThreadID targets a specific fi_activate_inst id.
+	ThreadID int
+	// CPU is the fault's target CPU name ("" = any).
+	CPU string
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+// AllLocations are the seven injection location classes of Fig. 5.
+func AllLocations() []core.Location {
+	return []core.Location{
+		core.LocIntReg, core.LocFloatReg, core.LocFetch, core.LocDecode,
+		core.LocExec, core.LocMem, core.LocPC,
+	}
+}
+
+// bitRange returns the meaningful bit-flip range per location.
+func bitRange(loc core.Location) int {
+	switch loc {
+	case core.LocFetch:
+		return 32 // instruction words are 32 bits
+	case core.LocDecode:
+		return 5 // register selectors are 5 bits
+	case core.LocPC:
+		return 32 // beyond bit 31 every flip is trivially wild
+	default:
+		return 64
+	}
+}
+
+// GenerateUniform produces n single-fault experiments sampled uniformly
+// over location, bit position, register and injection time.
+func GenerateUniform(n int, gc GenConfig) []Experiment {
+	locs := gc.Locations
+	if len(locs) == 0 {
+		locs = AllLocations()
+	}
+	if gc.WindowInsts == 0 {
+		gc.WindowInsts = 1
+	}
+	rng := rand.New(rand.NewSource(gc.Seed))
+	exps := make([]Experiment, n)
+	for i := range exps {
+		loc := locs[rng.Intn(len(locs))]
+		f := core.Fault{
+			Loc:      loc,
+			Behavior: core.BehFlip,
+			Bit:      rng.Intn(bitRange(loc)),
+			ThreadID: gc.ThreadID,
+			CPU:      gc.CPU,
+			Base:     core.TimeInst,
+			When:     1 + uint64(rng.Int63n(int64(gc.WindowInsts))),
+			Occ:      1,
+		}
+		switch loc {
+		case core.LocIntReg, core.LocFloatReg:
+			f.Reg = rng.Intn(31) // exclude the hardwired zero register
+		case core.LocDecode:
+			f.Reg = rng.Intn(3) // operand selector
+		}
+		exps[i] = Experiment{ID: i, Faults: []core.Fault{f}}
+	}
+	return exps
+}
+
+// PaperSampleSize computes the number of experiments the paper's
+// methodology would run: Leveugle sizing at 99% confidence, 1% margin,
+// p=0.5, over the given fault population size.
+func PaperSampleSize(populationN int64) int64 {
+	return stats.SampleSize(populationN, 0.99, 0.01, 0.5)
+}

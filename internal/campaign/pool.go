@@ -1,0 +1,86 @@
+package campaign
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// Pool runs experiments in parallel on local worker goroutines, each
+// owning a private simulator restored from a shared checkpoint — the
+// in-process analogue of running several simulations per workstation
+// (the paper ran 4 per quad-core node).
+type Pool struct {
+	runners []*Runner
+}
+
+// NewPool builds n parallel runners for the workload. The golden run and
+// checkpoint are computed once and shared (checkpoint restore deep-copies
+// state, so sharing is safe).
+func NewPool(w *workloads.Workload, n int, opts RunnerOptions) (*Pool, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("campaign: pool size must be positive")
+	}
+	first, err := NewRunner(w, opts)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pool{runners: make([]*Runner, n)}
+	p.runners[0] = first
+	for i := 1; i < n; i++ {
+		// Clone cheaply: reuse the golden outputs and checkpoint, but
+		// give each worker its own simulator.
+		r := &Runner{
+			Workload:    w,
+			Cfg:         first.Cfg,
+			Golden:      first.Golden,
+			WindowInsts: first.WindowInsts,
+			Ckpt:        first.Ckpt,
+		}
+		prog, err := w.Build()
+		if err != nil {
+			return nil, err
+		}
+		s := sim.New(first.Cfg)
+		if err := s.Load(prog); err != nil {
+			return nil, err
+		}
+		r.sim = s
+		p.runners[i] = r
+	}
+	return p, nil
+}
+
+// Size returns the worker count.
+func (p *Pool) Size() int { return len(p.runners) }
+
+// Runner returns the first runner (for window/golden metadata).
+func (p *Pool) Runner() *Runner { return p.runners[0] }
+
+// RunAll executes all experiments across the pool and returns results
+// ordered by experiment ID.
+func (p *Pool) RunAll(exps []Experiment) []Result {
+	jobs := make(chan Experiment)
+	results := make([]Result, len(exps))
+	var wg sync.WaitGroup
+	for _, r := range p.runners {
+		wg.Add(1)
+		go func(r *Runner) {
+			defer wg.Done()
+			for exp := range jobs {
+				results[exp.ID] = r.Run(exp)
+			}
+		}(r)
+	}
+	for i := range exps {
+		if exps[i].ID != i {
+			exps[i].ID = i
+		}
+		jobs <- exps[i]
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}

@@ -1,0 +1,210 @@
+package campaign
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+// This file implements the research direction the paper closes with
+// (Section VII): "enhance it with realistic fault models, associating the
+// supply voltage (Vdd) with the error rate in different system
+// components. Our goal is to study the limits of aggressively reducing
+// power consumption at the expense of correctness."
+//
+// The model follows the standard exponential characterization of
+// voltage-scaling fault rates (as used by the SCoRPiO project the paper
+// acknowledges): below the nominal supply, the per-instruction
+// bit-upset rate grows exponentially as the voltage margin shrinks:
+//
+//	lambda(V) = Lambda0 * exp(Slope * (VNominal - V))
+//
+// A VddSweep runs fault injection campaigns at decreasing voltages; each
+// experiment draws a Poisson-distributed number of transient single-bit
+// faults at rate lambda(V) * windowInsts, uniformly placed in time and
+// micro-architectural location.
+
+// VddModel maps supply voltage to a per-instruction transient fault rate.
+type VddModel struct {
+	// VNominal is the nominal supply voltage (no derating), e.g. 1.0 V.
+	VNominal float64
+	// Lambda0 is the per-instruction upset probability at VNominal.
+	Lambda0 float64
+	// Slope is the exponential sensitivity (per volt).
+	Slope float64
+}
+
+// DefaultVddModel gives a rate that is negligible at nominal voltage and
+// reaches roughly one fault per hundred-thousand instructions around 25%
+// undervolting — steep enough to show the cliff on small campaigns.
+func DefaultVddModel() VddModel {
+	return VddModel{VNominal: 1.0, Lambda0: 1e-9, Slope: 40}
+}
+
+// Rate returns the per-instruction fault rate at voltage v.
+func (m VddModel) Rate(v float64) float64 {
+	return m.Lambda0 * math.Exp(m.Slope*(m.VNominal-v))
+}
+
+// GenerateVddExperiments draws n experiments at voltage v: each gets a
+// Poisson(lambda * windowInsts) number of uniform transient bit-flips.
+func GenerateVddExperiments(n int, v float64, m VddModel, gc GenConfig) []Experiment {
+	if gc.WindowInsts == 0 {
+		gc.WindowInsts = 1
+	}
+	locs := gc.Locations
+	if len(locs) == 0 {
+		locs = AllLocations()
+	}
+	rng := rand.New(rand.NewSource(gc.Seed))
+	mean := m.Rate(v) * float64(gc.WindowInsts)
+	exps := make([]Experiment, n)
+	for i := range exps {
+		exps[i].ID = i
+		for k := poisson(rng, mean); k > 0; k-- {
+			loc := locs[rng.Intn(len(locs))]
+			f := core.Fault{
+				Loc:      loc,
+				Behavior: core.BehFlip,
+				Bit:      rng.Intn(bitRange(loc)),
+				ThreadID: gc.ThreadID,
+				CPU:      gc.CPU,
+				Base:     core.TimeInst,
+				When:     1 + uint64(rng.Int63n(int64(gc.WindowInsts))),
+				Occ:      1,
+			}
+			switch loc {
+			case core.LocIntReg, core.LocFloatReg:
+				f.Reg = rng.Intn(31)
+			case core.LocDecode:
+				f.Reg = rng.Intn(3)
+			}
+			exps[i].Faults = append(exps[i].Faults, f)
+		}
+	}
+	return exps
+}
+
+// poisson draws from Poisson(mean) by inversion (mean is small here).
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 30 {
+		// Normal approximation for large means keeps this O(1).
+		k := int(mean + math.Sqrt(mean)*rng.NormFloat64() + 0.5)
+		if k < 0 {
+			k = 0
+		}
+		return k
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// VddPoint is one voltage step of a sweep.
+type VddPoint struct {
+	Vdd        float64        `json:"vdd"`
+	Rate       float64        `json:"ratePerInst"`
+	MeanFaults float64        `json:"meanFaultsPerRun"`
+	Total      int            `json:"total"`
+	Tally      map[string]int `json:"tally"`
+	Acceptable float64        `json:"acceptable"`
+	Crashed    float64        `json:"crashed"`
+	SDC        float64        `json:"sdc"`
+}
+
+// VddReport is the outcome-vs-voltage study.
+type VddReport struct {
+	Workload string     `json:"workload"`
+	Model    VddModel   `json:"model"`
+	Points   []VddPoint `json:"points"`
+}
+
+// VddConfig parameterizes RunVddSweep.
+type VddConfig struct {
+	Workload     *workloads.Workload
+	Voltages     []float64
+	PerVoltage   int
+	Model        VddModel
+	Parallelism  int
+	Seed         int64
+	RunnerConfig RunnerOptions
+}
+
+// RunVddSweep measures application outcome quality as the supply voltage
+// drops — the "limits of aggressively reducing power consumption at the
+// expense of correctness" study.
+func RunVddSweep(cfg VddConfig) (*VddReport, error) {
+	if cfg.PerVoltage <= 0 {
+		cfg.PerVoltage = 30
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = 1
+	}
+	if len(cfg.Voltages) == 0 {
+		cfg.Voltages = []float64{1.0, 0.9, 0.85, 0.8, 0.75, 0.7}
+	}
+	if cfg.Model == (VddModel{}) {
+		cfg.Model = DefaultVddModel()
+	}
+	pool, err := NewPool(cfg.Workload, cfg.Parallelism, cfg.RunnerConfig)
+	if err != nil {
+		return nil, err
+	}
+	rep := &VddReport{Workload: cfg.Workload.Name, Model: cfg.Model}
+	for vi, v := range cfg.Voltages {
+		exps := GenerateVddExperiments(cfg.PerVoltage, v, cfg.Model, GenConfig{
+			WindowInsts: pool.Runner().WindowInsts,
+			Seed:        cfg.Seed + int64(vi)*101,
+		})
+		results := pool.RunAll(exps)
+		t := TallyOf(results)
+		pt := VddPoint{
+			Vdd:        v,
+			Rate:       cfg.Model.Rate(v),
+			MeanFaults: cfg.Model.Rate(v) * float64(pool.Runner().WindowInsts),
+			Total:      t.Total(),
+			Tally:      tallyToMap(t),
+		}
+		if pt.Total > 0 {
+			acc := 0
+			for _, r := range results {
+				if r.Outcome.Acceptable() {
+					acc++
+				}
+			}
+			pt.Acceptable = float64(acc) / float64(pt.Total)
+			pt.Crashed = t.Fraction(OutcomeCrashed)
+			pt.SDC = t.Fraction(OutcomeSDC)
+		}
+		rep.Points = append(rep.Points, pt)
+	}
+	return rep, nil
+}
+
+// String renders the sweep as a table.
+func (r *VddReport) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "workload %s: outcome vs supply voltage (lambda0=%.1e slope=%.0f)\n",
+		r.Workload, r.Model.Lambda0, r.Model.Slope)
+	fmt.Fprintf(&sb, "%6s %12s %12s %6s %11s %8s %8s\n",
+		"Vdd", "rate/inst", "faults/run", "n", "acceptable", "crashed", "SDC")
+	for _, p := range r.Points {
+		fmt.Fprintf(&sb, "%6.2f %12.2e %12.3f %6d %10.1f%% %7.1f%% %7.1f%%\n",
+			p.Vdd, p.Rate, p.MeanFaults, p.Total, 100*p.Acceptable, 100*p.Crashed, 100*p.SDC)
+	}
+	return sb.String()
+}

@@ -1,0 +1,85 @@
+// Package checkpoint serializes and restores whole-simulator state. It is
+// the stand-in for DMTCP in the paper's design (Section III.D): instead of
+// checkpointing the Linux process running the simulator, it checkpoints
+// the simulator object graph — which supports the same campaign workflow:
+// fast-forward once to the fi_read_init_all point, snapshot, then restore
+// the snapshot for every experiment with a different fault configuration.
+//
+// The fault engine's state is deliberately NOT part of the checkpoint:
+// "upon restoring a checkpoint GemFI parses again the faults configuration
+// file", so restore takes a fresh fault list.
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cpu"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+)
+
+// State is a complete, self-contained simulator snapshot.
+type State struct {
+	Core   cpu.CoreSnapshot
+	Mem    mem.Snapshot
+	Kernel kernel.Snapshot
+}
+
+// Save writes the state to w in gob format.
+func (s *State) Save(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(s); err != nil {
+		return fmt.Errorf("checkpoint save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a state from r.
+func Load(r io.Reader) (*State, error) {
+	var s State
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("checkpoint load: %w", err)
+	}
+	return &s, nil
+}
+
+// Bytes serializes the state to a byte slice (the NoW master ships
+// checkpoints to workers in this form).
+func (s *State) Bytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// FromBytes deserializes a state produced by Bytes.
+func FromBytes(b []byte) (*State, error) {
+	return Load(bytes.NewReader(b))
+}
+
+// SaveFile writes the state to a file.
+func (s *State) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("checkpoint save: %w", err)
+	}
+	defer f.Close()
+	if err := s.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a state from a file.
+func LoadFile(path string) (*State, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint load: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}

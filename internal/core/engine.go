@@ -1,0 +1,511 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+)
+
+// Stage indexes the engine's five internal fault queues — "the file is
+// parsed at startup and each fault is inserted to one of five internal
+// queues. Each queue corresponds to a different pipeline stage."
+type Stage int
+
+// Fault queues.
+const (
+	StageFetch Stage = iota
+	StageDecode
+	StageExec
+	StageMem
+	StageCommit // register, special register and PC faults apply at commit
+	numStages
+)
+
+// stageOf maps a fault location to its queue. Interconnect faults share
+// the memory queue (they fire on the subset of transactions that cross
+// the bus); I/O faults live outside the pipeline and get the commit
+// queue's timing but are matched in OnIO.
+func stageOf(l Location) Stage {
+	switch l {
+	case LocFetch:
+		return StageFetch
+	case LocDecode:
+		return StageDecode
+	case LocExec:
+		return StageExec
+	case LocMem, LocBus:
+		return StageMem
+	default:
+		return StageCommit
+	}
+}
+
+// ThreadEnabledFault holds the per-thread state GemFI keeps for threads
+// that have activated fault injection (the paper's class of the same
+// name): the numeric id assigned at fi_activate_inst, the identifying PCB
+// address, and the per-stage event counters used for fault timing.
+type ThreadEnabledFault struct {
+	ID  int
+	PCB uint64
+
+	// Per-stage dynamic event counts since activation. Fetch/decode/
+	// exec/mem counts include speculative (later squashed) events in the
+	// pipelined model; Commits counts retired instructions.
+	Fetches, Decodes, Execs, Mems, Commits uint64
+
+	// TickStart anchors tick-based fault timing at activation time.
+	TickStart uint64
+}
+
+// faultState is the runtime wrapper around one fault description.
+type faultState struct {
+	Fault
+	remaining int64 // occurrences left (<0: permanent)
+
+	Fired       bool // corrupted at least one value
+	FiredTick   uint64
+	FiredCount  uint64 // stage counter value at first firing
+	Committed   bool   // an instruction it hit committed
+	Squashed    bool   // an instruction it hit was squashed
+	Propagated  bool   // register faults: corrupted value was read
+	Overwritten bool   // register faults: overwritten before any read
+	pending     int    // in-flight instructions this fault has hit
+	Detail      string // postmortem info (affected instruction)
+}
+
+// active reports whether the fault can still fire.
+func (fs *faultState) active() bool {
+	return fs.remaining != 0
+}
+
+// matches reports whether the fault fires for the given thread at the
+// given stage-counter value and tick.
+func (fs *faultState) matches(t *ThreadEnabledFault, count, ticksNow uint64) bool {
+	if !fs.active() || fs.ThreadID != t.ID {
+		return false
+	}
+	var now uint64
+	if fs.Base == TimeTick {
+		now = ticksNow - t.TickStart
+	} else {
+		now = count
+	}
+	if now < fs.When {
+		return false
+	}
+	if fs.remaining == PermanentOcc {
+		return true
+	}
+	// Window of Occ occurrences starting at When: each firing consumes
+	// one occurrence (transient: 1; intermittent: N).
+	return true
+}
+
+// consume burns one occurrence and records first-fire info.
+func (fs *faultState) consume(count, tick uint64) {
+	if !fs.Fired {
+		fs.Fired = true
+		fs.FiredTick = tick
+		fs.FiredCount = count
+	}
+	if fs.remaining > 0 {
+		fs.remaining--
+	}
+}
+
+// Engine is the fault injection engine. It implements cpu.Injector.
+type Engine struct {
+	CPUName string
+
+	faults []Fault // immutable, as parsed (re-armed by Reset)
+	queues [numStages][]*faultState
+	states []*faultState
+
+	threads map[uint64]*ThreadEnabledFault
+	current *ThreadEnabledFault // cached pointer for the running thread
+
+	bySeq map[uint64][]*faultState // in-flight instruction -> faults applied
+
+	taintInt [isa.NumRegs]*faultState
+	taintFP  [isa.NumRegs]*faultState
+
+	ticksNow uint64
+
+	// Stats for the overhead study.
+	Activations uint64
+	HookCalls   uint64
+	Injections  uint64
+
+	// windowCommits accumulates the committed-instruction counts of
+	// deactivated ThreadEnabledFault windows; campaigns use it to sample
+	// injection times uniformly over the fault-injection window.
+	windowCommits uint64
+}
+
+var _ cpu.Injector = (*Engine)(nil)
+
+// NewEngine builds an engine for the named CPU with the given fault list.
+func NewEngine(cpuName string, faults []Fault) *Engine {
+	e := &Engine{CPUName: cpuName}
+	e.faults = append(e.faults, faults...)
+	e.rearm()
+	return e
+}
+
+// rearm rebuilds all runtime fault state from the parsed descriptions.
+func (e *Engine) rearm() {
+	e.states = e.states[:0]
+	for i := range e.queues {
+		e.queues[i] = e.queues[i][:0]
+	}
+	for _, f := range e.faults {
+		if f.CPU != "" && e.CPUName != "" && f.CPU != e.CPUName {
+			continue
+		}
+		fs := &faultState{Fault: f, remaining: f.Occ}
+		e.states = append(e.states, fs)
+		s := stageOf(f.Loc)
+		e.queues[s] = append(e.queues[s], fs)
+	}
+	e.threads = make(map[uint64]*ThreadEnabledFault)
+	e.current = nil
+	e.bySeq = make(map[uint64][]*faultState)
+	e.taintInt = [isa.NumRegs]*faultState{}
+	e.taintFP = [isa.NumRegs]*faultState{}
+}
+
+// Reset implements the fi_read_init_all restore semantics: "upon
+// restoring from the checkpoint, it resets all the internal information of
+// GemFI, allowing the same checkpoint to be used as a starting point for
+// multiple experiments".
+func (e *Engine) Reset(faults []Fault) {
+	e.faults = append(e.faults[:0], faults...)
+	e.rearm()
+}
+
+// Faults returns the parsed fault descriptions the engine was armed with.
+func (e *Engine) Faults() []Fault { return append([]Fault(nil), e.faults...) }
+
+// Enabled implements cpu.Injector: the per-tick fast path is a nil check
+// on the cached thread pointer (Fig. 2 of the paper).
+func (e *Engine) Enabled() bool { return e.current != nil }
+
+// OnActivate implements the fi_activate_inst toggle: first call for a PCB
+// enables fault injection for that thread; the next call disables it and
+// destroys the ThreadEnabledFault object.
+func (e *Engine) OnActivate(pcbb uint64, id int) {
+	if t, ok := e.threads[pcbb]; ok {
+		delete(e.threads, pcbb)
+		e.windowCommits += t.Commits
+		if e.current == t {
+			e.current = nil
+		}
+		return
+	}
+	t := &ThreadEnabledFault{ID: id, PCB: pcbb, TickStart: e.ticksNow}
+	e.threads[pcbb] = t
+	e.current = t
+	e.Activations++
+}
+
+// OnContextSwitch implements cpu.Injector: re-resolve the cached pointer
+// when the PCB base register changes.
+func (e *Engine) OnContextSwitch(pcbb uint64) {
+	e.current = e.threads[pcbb] // nil if the switched-in thread has FI off
+}
+
+// OnTick implements cpu.Injector.
+func (e *Engine) OnTick(ticks uint64) { e.ticksNow = ticks }
+
+// recordHit associates a fired fault with an in-flight instruction.
+func (e *Engine) recordHit(seq uint64, fs *faultState) {
+	fs.pending++
+	e.bySeq[seq] = append(e.bySeq[seq], fs)
+	e.Injections++
+}
+
+// OnFetch implements cpu.Injector: corrupts the fetched instruction word
+// (32 bits).
+func (e *Engine) OnFetch(seq uint64, word uint32) uint32 {
+	t := e.current
+	if t == nil {
+		return word
+	}
+	e.HookCalls++
+	t.Fetches++
+	for _, fs := range e.queues[StageFetch] {
+		if fs.matches(t, t.Fetches, e.ticksNow) {
+			old := word
+			word = uint32(fs.Corrupt(uint64(word), 32))
+			fs.consume(t.Fetches, e.ticksNow)
+			fs.Detail = "fetch " + isa.Decode(isa.Word(old)).String() + " -> " + isa.Decode(isa.Word(word)).String()
+			e.recordHit(seq, fs)
+		}
+	}
+	return word
+}
+
+// OnDecode implements cpu.Injector: corrupts the register selection
+// (5-bit indices) produced by the decode stage.
+func (e *Engine) OnDecode(seq uint64, ports isa.RegPorts) isa.RegPorts {
+	t := e.current
+	if t == nil {
+		return ports
+	}
+	e.HookCalls++
+	t.Decodes++
+	for _, fs := range e.queues[StageDecode] {
+		if fs.matches(t, t.Decodes, e.ticksNow) {
+			switch fs.Reg {
+			case 0:
+				ports.SrcA = isa.Reg(fs.Corrupt(uint64(ports.SrcA), 5))
+			case 1:
+				ports.SrcB = isa.Reg(fs.Corrupt(uint64(ports.SrcB), 5))
+			default:
+				ports.Dst = isa.Reg(fs.Corrupt(uint64(ports.Dst), 5))
+			}
+			fs.consume(t.Decodes, e.ticksNow)
+			fs.Detail = "decode register selection corrupted"
+			e.recordHit(seq, fs)
+		}
+	}
+	return ports
+}
+
+// OnExecute implements cpu.Injector: corrupts the execute-stage output.
+// For memory instructions this is the effective address being calculated;
+// for branches the target; otherwise the integer or FP result.
+func (e *Engine) OnExecute(seq uint64, in isa.Inst, out *cpu.ExecOut) {
+	t := e.current
+	if t == nil {
+		return
+	}
+	e.HookCalls++
+	t.Execs++
+	for _, fs := range e.queues[StageExec] {
+		if fs.matches(t, t.Execs, e.ticksNow) {
+			switch {
+			case in.Kind.IsMem():
+				out.EA = fs.Corrupt(out.EA, 64)
+			case in.Kind.IsBranch():
+				out.Target = fs.Corrupt(out.Target, 64)
+			case in.Kind.IsFP():
+				out.FpRes = math.Float64frombits(fs.Corrupt(math.Float64bits(out.FpRes), 64))
+			default:
+				out.IntRes = fs.Corrupt(out.IntRes, 64)
+			}
+			fs.consume(t.Execs, e.ticksNow)
+			fs.Detail = "execute result of " + in.String()
+			e.recordHit(seq, fs)
+		}
+	}
+}
+
+// OnMem implements cpu.Injector: corrupts the value of a load (after the
+// read) or a store (before the write). Fault timing follows the paper's
+// "number of instructions already executed" semantics: a memory fault
+// scheduled at instruction N fires at the first memory transaction at or
+// after the Nth executed instruction (the Execs counter), since not every
+// instruction touches memory.
+func (e *Engine) OnMem(seq uint64, load bool, addr uint64, val uint64, bus bool) uint64 {
+	t := e.current
+	if t == nil {
+		return val
+	}
+	e.HookCalls++
+	t.Mems++
+	for _, fs := range e.queues[StageMem] {
+		if fs.Loc == LocBus && !bus {
+			continue // interconnect faults only hit off-chip transactions
+		}
+		if fs.matches(t, t.Execs, e.ticksNow) {
+			val = fs.Corrupt(val, 64)
+			switch {
+			case fs.Loc == LocBus:
+				fs.Detail = "interconnect transaction"
+			case load:
+				fs.Detail = "memory load value"
+			default:
+				fs.Detail = "memory store value"
+			}
+			fs.consume(t.Execs, e.ticksNow)
+			e.recordHit(seq, fs)
+		}
+	}
+	return val
+}
+
+// OnIO corrupts a byte on its way to an external I/O device (the
+// console), implementing the paper's Section VII "fault injection ...
+// on external I/O devices" extension. Timing follows the committed
+// instruction counter.
+func (e *Engine) OnIO(b byte) byte {
+	t := e.current
+	if t == nil {
+		return b
+	}
+	for _, fs := range e.queues[StageCommit] {
+		if fs.Loc != LocIO {
+			continue
+		}
+		if fs.matches(t, t.Commits, e.ticksNow) {
+			b = byte(fs.Corrupt(uint64(b), 8))
+			fs.consume(t.Commits, e.ticksNow)
+			fs.Propagated = true // reached the device
+			fs.Detail = "console output byte"
+			e.Injections++
+		}
+	}
+	return b
+}
+
+// OnCommit implements cpu.Injector: counts the retired instruction,
+// resolves the commit-or-squash state of stage faults, and applies
+// register / special register / PC faults by direct state mutation.
+// Returns true if the architectural PC was changed.
+func (e *Engine) OnCommit(seq uint64, a *cpu.Arch) bool {
+	if hits, ok := e.bySeq[seq]; ok {
+		for _, fs := range hits {
+			fs.pending--
+			fs.Committed = true
+			fs.Propagated = true // a corrupted instruction retired
+		}
+		delete(e.bySeq, seq)
+	}
+	t := e.current
+	if t == nil {
+		return false
+	}
+	e.HookCalls++
+	t.Commits++
+	pcChanged := false
+	for _, fs := range e.queues[StageCommit] {
+		if !fs.matches(t, t.Commits, e.ticksNow) {
+			continue
+		}
+		switch fs.Loc {
+		case LocIO:
+			continue // applied in OnIO, not at commit
+		case LocIntReg:
+			r := isa.Reg(fs.Reg & 31)
+			a.WriteReg(r, fs.Corrupt(a.ReadReg(r), 64))
+			if r != isa.ZeroReg {
+				e.taintInt[r] = fs
+			}
+			fs.Detail = "int register " + r.String()
+		case LocFloatReg:
+			r := isa.Reg(fs.Reg & 31)
+			bits := math.Float64bits(a.ReadFReg(r))
+			a.WriteFReg(r, math.Float64frombits(fs.Corrupt(bits, 64)))
+			if r != isa.ZeroReg {
+				e.taintFP[r] = fs
+			}
+			fs.Detail = "float register f" + itoa(fs.Reg&31)
+		case LocSpecialReg:
+			a.PCBB = fs.Corrupt(a.PCBB, 64)
+			fs.Propagated = true
+			fs.Detail = "special register PCBB"
+		case LocPC:
+			a.PC = fs.Corrupt(a.PC, 64)
+			pcChanged = true
+			fs.Propagated = true
+			fs.Detail = "program counter"
+		}
+		fs.consume(t.Commits, e.ticksNow)
+		fs.Committed = true
+		e.Injections++
+	}
+	return pcChanged
+}
+
+// OnSquash implements cpu.Injector: faults whose corrupted instruction
+// was squashed never propagate (unless they also hit a committed one).
+func (e *Engine) OnSquash(seq uint64) {
+	hits, ok := e.bySeq[seq]
+	if !ok {
+		return
+	}
+	for _, fs := range hits {
+		fs.pending--
+		fs.Squashed = true
+	}
+	delete(e.bySeq, seq)
+}
+
+// OnRegRead implements cpu.Injector: a committed read of a tainted
+// register means the fault propagated into the dataflow.
+func (e *Engine) OnRegRead(fp bool, r isa.Reg) {
+	if r >= isa.NumRegs {
+		return
+	}
+	taint := &e.taintInt
+	if fp {
+		taint = &e.taintFP
+	}
+	if fs := taint[r]; fs != nil {
+		fs.Propagated = true
+		taint[r] = nil
+	}
+}
+
+// OnRegWrite implements cpu.Injector: overwriting a tainted register
+// before any read makes the fault non-propagated ("the corrupted register
+// was ... overwritten before the erroneous value was used").
+func (e *Engine) OnRegWrite(fp bool, r isa.Reg) {
+	if r >= isa.NumRegs {
+		return
+	}
+	taint := &e.taintInt
+	if fp {
+		taint = &e.taintFP
+	}
+	if fs := taint[r]; fs != nil {
+		if !fs.Propagated {
+			fs.Overwritten = true
+		}
+		taint[r] = nil
+	}
+}
+
+// Resolved reports whether every fault has finished firing and has no
+// in-flight corrupted instruction — the paper's switch-to-atomic point
+// ("the simulation continues until the affected instruction commits or
+// squashes"). Permanent faults never resolve.
+func (e *Engine) Resolved() bool {
+	for _, fs := range e.states {
+		if fs.remaining != 0 || fs.pending > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ThreadsActive returns how many threads currently have FI enabled.
+func (e *Engine) ThreadsActive() int { return len(e.threads) }
+
+// WindowCommits returns the total committed instructions executed inside
+// completed fault-injection windows (between fi_activate_inst toggles),
+// plus any still-open window. Campaigns sample injection times uniformly
+// from [1, WindowCommits] of a golden run.
+func (e *Engine) WindowCommits() uint64 {
+	n := e.windowCommits
+	for _, t := range e.threads {
+		n += t.Commits
+	}
+	return n
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [4]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,403 @@
+// Package core implements the GemFI fault injection engine — the paper's
+// primary contribution. It provides:
+//
+//   - the fault description model (Location, Thread, Time, Behavior —
+//     Section III.A of the paper) and a parser for the input-file format
+//     of Listing 1;
+//   - the per-pipeline-stage fault queues and the per-instruction
+//     injection fast path of Fig. 2;
+//   - thread tracking keyed by Process Control Block address, with
+//     context-switch monitoring so the per-tick check is a cached pointer
+//     dereference instead of a hash lookup;
+//   - fault lifecycle tracking (fired / committed / squashed /
+//     propagated / overwritten) used by the campaign layer to classify
+//     outcomes, including the "non propagated" class.
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Location is the micro-architectural module targeted by a fault
+// (Section III.A.1 of the paper).
+type Location int
+
+// Fault locations.
+const (
+	LocIntReg     Location = iota + 1 // integer register file
+	LocFloatReg                       // floating point register file
+	LocSpecialReg                     // special purpose registers (0 = PCBB)
+	LocFetch                          // the fetched instruction word
+	LocDecode                         // register selection during decode
+	LocExec                           // the result of the execution stage
+	LocMem                            // value of a memory transaction (load/store)
+	LocPC                             // the program counter
+
+	// Extension locations (the paper's Section VII future work).
+	LocBus // processor/memory interconnect: transactions that miss L1
+	LocIO  // external I/O devices: bytes written to the console
+)
+
+// String names the location as used in fault files and reports.
+func (l Location) String() string {
+	switch l {
+	case LocIntReg:
+		return "int-register"
+	case LocFloatReg:
+		return "float-register"
+	case LocSpecialReg:
+		return "special-register"
+	case LocFetch:
+		return "fetch"
+	case LocDecode:
+		return "decode"
+	case LocExec:
+		return "execute"
+	case LocMem:
+		return "memory"
+	case LocPC:
+		return "pc"
+	case LocBus:
+		return "interconnect"
+	case LocIO:
+		return "io-device"
+	default:
+		return "unknown"
+	}
+}
+
+// Behavior is how the targeted value is corrupted (Section III.A.4).
+type Behavior int
+
+// Fault behaviors.
+const (
+	BehFlip    Behavior = iota + 1 // flip one bit
+	BehXor                         // XOR with a constant
+	BehSet                         // assign an immediate value
+	BehAllZero                     // set all bits to 0
+	BehAllOne                      // set all bits to 1
+)
+
+// String names the behavior.
+func (b Behavior) String() string {
+	switch b {
+	case BehFlip:
+		return "flip"
+	case BehXor:
+		return "xor"
+	case BehSet:
+		return "set"
+	case BehAllZero:
+		return "all-zero"
+	case BehAllOne:
+		return "all-one"
+	default:
+		return "unknown"
+	}
+}
+
+// TimeBase selects whether fault timing counts committed instructions or
+// simulation ticks of the targeted thread (Section III.A.3).
+type TimeBase int
+
+// Time bases.
+const (
+	TimeInst TimeBase = iota + 1
+	TimeTick
+)
+
+// PermanentOcc marks a permanent fault (active until the end of the
+// simulation).
+const PermanentOcc int64 = -1
+
+// Fault is one fault description: one line of the GemFI input file.
+type Fault struct {
+	Loc Location
+
+	// Reg is the register index for register/special faults, or the
+	// operand selector for decode faults (0 = first source, 1 = second
+	// source, 2 = destination).
+	Reg int
+
+	Behavior Behavior
+	Bit      int    // bit position for BehFlip
+	Value    uint64 // constant for BehXor / BehSet
+
+	ThreadID int
+	CPU      string // target CPU name; "" matches any
+
+	Base TimeBase
+	When uint64 // trigger point, relative to fi_activate_inst
+	Occ  int64  // active occurrences; PermanentOcc = permanent
+}
+
+// String renders the fault in the input-file format.
+func (f Fault) String() string {
+	var sb strings.Builder
+	sb.WriteString(faultTypeName(f.Loc))
+	if f.Base == TimeTick {
+		fmt.Fprintf(&sb, " Tick:%d", f.When)
+	} else {
+		fmt.Fprintf(&sb, " Inst:%d", f.When)
+	}
+	switch f.Behavior {
+	case BehFlip:
+		fmt.Fprintf(&sb, " Flip:%d", f.Bit)
+	case BehXor:
+		fmt.Fprintf(&sb, " XOR:0x%x", f.Value)
+	case BehSet:
+		fmt.Fprintf(&sb, " Imm:%d", f.Value)
+	case BehAllZero:
+		sb.WriteString(" AllZero")
+	case BehAllOne:
+		sb.WriteString(" AllOne")
+	}
+	fmt.Fprintf(&sb, " Threadid:%d", f.ThreadID)
+	cpuName := f.CPU
+	if cpuName == "" {
+		cpuName = "system.cpu0"
+	}
+	sb.WriteString(" " + cpuName)
+	if f.Occ == PermanentOcc {
+		sb.WriteString(" occ:all")
+	} else {
+		fmt.Fprintf(&sb, " occ:%d", f.Occ)
+	}
+	switch f.Loc {
+	case LocIntReg:
+		fmt.Fprintf(&sb, " int %d", f.Reg)
+	case LocFloatReg:
+		fmt.Fprintf(&sb, " float %d", f.Reg)
+	case LocSpecialReg:
+		fmt.Fprintf(&sb, " special %d", f.Reg)
+	case LocDecode:
+		fmt.Fprintf(&sb, " op %d", f.Reg)
+	}
+	return sb.String()
+}
+
+func faultTypeName(l Location) string {
+	switch l {
+	case LocIntReg, LocFloatReg, LocSpecialReg:
+		return "RegisterInjectedFault"
+	case LocFetch:
+		return "GeneralFetchInjectedFault"
+	case LocDecode:
+		return "RegisterDecodingInjectedFault"
+	case LocExec:
+		return "ExecutionInjectedFault"
+	case LocMem:
+		return "MemoryInjectedFault"
+	case LocPC:
+		return "PCInjectedFault"
+	case LocBus:
+		return "InterconnectInjectedFault"
+	case LocIO:
+		return "IODeviceInjectedFault"
+	default:
+		return "UnknownInjectedFault"
+	}
+}
+
+// ParseFaults reads a GemFI fault input file: one fault per line, the
+// format of the paper's Listing 1, e.g.
+//
+//	RegisterInjectedFault Inst:2457 Flip:21 Threadid:0 system.cpu1 occ:1 int 1
+//
+// Lines starting with '#' and blank lines are ignored. Quotes around a
+// line (as printed in the paper) are stripped.
+func ParseFaults(r io.Reader) ([]Fault, error) {
+	var out []Fault
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		line = strings.Trim(line, `"`)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f, err := ParseFault(line)
+		if err != nil {
+			return nil, fmt.Errorf("fault file line %d: %w", lineNo, err)
+		}
+		out = append(out, f)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ParseFault parses a single fault description line.
+func ParseFault(line string) (Fault, error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return Fault{}, fmt.Errorf("empty fault description")
+	}
+	f := Fault{Occ: 1, Base: TimeInst}
+
+	switch fields[0] {
+	case "RegisterInjectedFault":
+		f.Loc = LocIntReg // refined by the trailing register class
+	case "GeneralFetchInjectedFault", "FetchInjectedFault":
+		f.Loc = LocFetch
+	case "RegisterDecodingInjectedFault", "DecodeInjectedFault":
+		f.Loc = LocDecode
+	case "ExecutionInjectedFault", "IEWStageInjectedFault":
+		f.Loc = LocExec
+	case "MemoryInjectedFault", "LoadStoreInjectedFault":
+		f.Loc = LocMem
+	case "PCInjectedFault":
+		f.Loc = LocPC
+	case "InterconnectInjectedFault", "BusInjectedFault":
+		f.Loc = LocBus
+	case "IODeviceInjectedFault", "IOInjectedFault":
+		f.Loc = LocIO
+	default:
+		return Fault{}, fmt.Errorf("unknown fault type %q", fields[0])
+	}
+	isRegister := fields[0] == "RegisterInjectedFault"
+
+	var haveBehavior, haveTime bool
+	i := 1
+	for i < len(fields) {
+		tok := fields[i]
+		key, val, hasVal := strings.Cut(tok, ":")
+		switch {
+		case key == "Inst" && hasVal:
+			n, err := parseU64(val)
+			if err != nil {
+				return Fault{}, err
+			}
+			f.Base, f.When, haveTime = TimeInst, n, true
+		case key == "Tick" && hasVal:
+			n, err := parseU64(val)
+			if err != nil {
+				return Fault{}, err
+			}
+			f.Base, f.When, haveTime = TimeTick, n, true
+		case key == "Flip" && hasVal:
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 || n > 63 {
+				return Fault{}, fmt.Errorf("bad flip bit %q", val)
+			}
+			f.Behavior, f.Bit, haveBehavior = BehFlip, n, true
+		case key == "XOR" && hasVal:
+			n, err := parseU64(val)
+			if err != nil {
+				return Fault{}, err
+			}
+			f.Behavior, f.Value, haveBehavior = BehXor, n, true
+		case (key == "Imm" || key == "Value") && hasVal:
+			n, err := parseU64(val)
+			if err != nil {
+				return Fault{}, err
+			}
+			f.Behavior, f.Value, haveBehavior = BehSet, n, true
+		case tok == "AllZero":
+			f.Behavior, haveBehavior = BehAllZero, true
+		case tok == "AllOne":
+			f.Behavior, haveBehavior = BehAllOne, true
+		case key == "Threadid" && hasVal:
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return Fault{}, fmt.Errorf("bad thread id %q", val)
+			}
+			f.ThreadID = n
+		case key == "occ" && hasVal:
+			if val == "all" {
+				f.Occ = PermanentOcc
+			} else {
+				n, err := strconv.ParseInt(val, 10, 64)
+				if err != nil || n < 1 {
+					return Fault{}, fmt.Errorf("bad occ %q", val)
+				}
+				f.Occ = n
+			}
+		case tok == "int" || tok == "float" || tok == "special" || tok == "op":
+			if i+1 >= len(fields) {
+				return Fault{}, fmt.Errorf("%s needs a register number", tok)
+			}
+			n, err := strconv.Atoi(fields[i+1])
+			if err != nil || n < 0 {
+				return Fault{}, fmt.Errorf("bad register number %q", fields[i+1])
+			}
+			f.Reg = n
+			switch tok {
+			case "int":
+				if isRegister {
+					f.Loc = LocIntReg
+				}
+			case "float":
+				if isRegister {
+					f.Loc = LocFloatReg
+				}
+			case "special":
+				if isRegister {
+					f.Loc = LocSpecialReg
+				}
+			case "op":
+				if f.Loc != LocDecode {
+					return Fault{}, fmt.Errorf("operand selector only valid for decode faults")
+				}
+				if n > 2 {
+					return Fault{}, fmt.Errorf("operand selector must be 0..2")
+				}
+			}
+			i++
+		case strings.Contains(tok, "cpu"):
+			f.CPU = tok
+		default:
+			return Fault{}, fmt.Errorf("unknown token %q", tok)
+		}
+		i++
+	}
+	if !haveBehavior {
+		return Fault{}, fmt.Errorf("fault needs a behavior (Flip/XOR/Imm/AllZero/AllOne)")
+	}
+	if !haveTime {
+		return Fault{}, fmt.Errorf("fault needs a time (Inst:N or Tick:N)")
+	}
+	if (f.Loc == LocIntReg || f.Loc == LocFloatReg) && f.Reg > 31 {
+		return Fault{}, fmt.Errorf("register index %d out of range", f.Reg)
+	}
+	return f, nil
+}
+
+func parseU64(s string) (uint64, error) {
+	v, err := strconv.ParseUint(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	return v, nil
+}
+
+// Corrupt applies the fault's behavior to old, masked to width bits
+// (width <= 64).
+func (f Fault) Corrupt(old uint64, width uint) uint64 {
+	mask := ^uint64(0)
+	if width < 64 {
+		mask = (1 << width) - 1
+	}
+	var v uint64
+	switch f.Behavior {
+	case BehFlip:
+		v = old ^ (1 << uint(f.Bit))
+	case BehXor:
+		v = old ^ f.Value
+	case BehSet:
+		v = f.Value
+	case BehAllZero:
+		v = 0
+	case BehAllOne:
+		v = ^uint64(0)
+	default:
+		v = old
+	}
+	return v & mask
+}

@@ -1,0 +1,70 @@
+package core
+
+// FaultOutcome is the engine-level lifecycle summary for one fault. The
+// campaign layer combines it with the program's output comparison to
+// produce the paper's five outcome classes.
+type FaultOutcome struct {
+	Fault Fault
+
+	// Fired: the fault corrupted at least one value.
+	Fired bool
+	// FiredTick / FiredCount: when it first fired.
+	FiredTick  uint64
+	FiredCount uint64
+	// Committed / Squashed: fate of the corrupted instruction(s).
+	Committed bool
+	Squashed  bool
+	// Propagated: the corrupted value was observed by committed execution
+	// (register faults: read before overwrite; stage faults: instruction
+	// retired; PC/special faults: always).
+	Propagated bool
+	// Overwritten: register fault overwritten before any read.
+	Overwritten bool
+	// Detail describes the affected instruction or location, printed for
+	// postmortem correlation like the paper's injection log.
+	Detail string
+}
+
+// NonPropagated reports whether the fault never manifested as an error:
+// it did not fire, only hit squashed instructions, or its register taint
+// was overwritten/never read.
+func (o FaultOutcome) NonPropagated() bool { return !o.Propagated }
+
+// Outcomes returns the lifecycle summary of every armed fault.
+func (e *Engine) Outcomes() []FaultOutcome {
+	out := make([]FaultOutcome, 0, len(e.states))
+	for _, fs := range e.states {
+		out = append(out, FaultOutcome{
+			Fault:       fs.Fault,
+			Fired:       fs.Fired,
+			FiredTick:   fs.FiredTick,
+			FiredCount:  fs.FiredCount,
+			Committed:   fs.Committed,
+			Squashed:    fs.Squashed,
+			Propagated:  fs.Propagated,
+			Overwritten: fs.Overwritten,
+			Detail:      fs.Detail,
+		})
+	}
+	return out
+}
+
+// AnyPropagated reports whether at least one fault propagated.
+func (e *Engine) AnyPropagated() bool {
+	for _, fs := range e.states {
+		if fs.Propagated {
+			return true
+		}
+	}
+	return false
+}
+
+// AnyFired reports whether at least one fault fired.
+func (e *Engine) AnyFired() bool {
+	for _, fs := range e.states {
+		if fs.Fired {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,116 @@
+package cpu
+
+// AtomicModel is the functional CPU model: one instruction per step, one
+// tick per instruction (gem5's "atomic simple"). With Timing set it also
+// charges cache/memory latencies to the tick counter (gem5's "timing
+// simple").
+type AtomicModel struct {
+	C      *Core
+	Timing bool
+
+	out ExecOut // scratch execute-stage output (avoids per-step escapes)
+}
+
+var _ Model = (*AtomicModel)(nil)
+
+// NewAtomic returns the functional model for core c.
+func NewAtomic(c *Core) *AtomicModel { return &AtomicModel{C: c} }
+
+// NewTiming returns the functional model with memory timing for core c.
+func NewTiming(c *Core) *AtomicModel { return &AtomicModel{C: c, Timing: true} }
+
+// ModelName implements Model.
+func (m *AtomicModel) ModelName() string {
+	if m.Timing {
+		return "timing"
+	}
+	return "atomic"
+}
+
+// Drain implements Model; the atomic model holds no speculative state.
+func (m *AtomicModel) Drain() {}
+
+// Step executes one instruction to completion.
+func (m *AtomicModel) Step() bool {
+	c := m.C
+	if c.Stopped {
+		return false
+	}
+	pc := c.Arch.PC
+	seq := c.NextSeq()
+	c.Ticks++
+	if c.FI != nil {
+		c.FI.OnTick(c.Ticks)
+	}
+
+	// Fetch.
+	if pc%4 != 0 {
+		c.stop(&Trap{Kind: TrapFetchFault, PC: pc})
+		return false
+	}
+	word, err := c.Mem.Read32(pc)
+	if err != nil {
+		c.stop(&Trap{Kind: TrapFetchFault, PC: pc})
+		return false
+	}
+	if m.Timing && c.Hier != nil {
+		c.Ticks += c.Hier.FetchLatency(pc) - 1 // the base tick is already counted
+	}
+	fi := c.fiEnabled()
+	if fi {
+		word = c.FI.OnFetch(seq, word)
+	}
+
+	// Decode.
+	in := decodeWord(word)
+	ports := in.Ports()
+	if fi {
+		ports = c.FI.OnDecode(seq, ports)
+	}
+
+	// Execute.
+	a, b, fa, fb := c.readOperands(in, ports)
+	m.out = Execute(in, a, b, fa, fb, pc)
+	out := &m.out
+	if fi {
+		c.FI.OnExecute(seq, in, out)
+	}
+	if out.TrapKind != TrapNone {
+		c.stop(&Trap{Kind: out.TrapKind, PC: pc, Word: in.Raw})
+		return false
+	}
+
+	// Memory.
+	var loadVal uint64
+	if in.Kind.IsMem() {
+		val, lat, trap := c.accessMem(seq, in, out, fi)
+		if trap != nil {
+			trap.PC = pc
+			c.stop(trap)
+			return false
+		}
+		if m.Timing {
+			c.Ticks += lat
+		}
+		loadVal = val
+	}
+
+	// Writeback and next PC.
+	c.writeback(in, ports, *out, loadVal)
+	if in.Kind.IsBranch() && out.Taken {
+		c.Arch.PC = out.Target
+	} else {
+		c.Arch.PC = pc + 4
+	}
+
+	if c.TraceFn != nil {
+		c.TraceFn(pc, in)
+	}
+	red := c.commitEpilogue(seq, in, ports, fi)
+	if red.stopped {
+		return false
+	}
+	// The atomic model always resumes from the architectural PC, so a
+	// redirect needs no extra work.
+	return !c.Stopped
+}

@@ -1,0 +1,373 @@
+package cpu
+
+import (
+	"math"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Injector is the set of per-stage hook points the fault injection engine
+// plugs into (Fig. 1 of the paper: the red components are the possible
+// fault locations). A nil Injector on the Core disables fault injection
+// entirely, which models the unmodified ("vanilla gem5") simulator used as
+// the baseline in the paper's Fig. 7 overhead study.
+//
+// Hooks receive the dynamic sequence number of the instruction so the
+// engine can later learn whether that instruction committed or was
+// squashed (speculative execution in the pipelined model).
+type Injector interface {
+	// Enabled reports whether the currently running thread has activated
+	// fault injection; when false the models skip every other hook — the
+	// paper's per-tick fast path.
+	Enabled() bool
+
+	// OnFetch may corrupt the fetched instruction word.
+	OnFetch(seq uint64, word uint32) uint32
+	// OnDecode may corrupt the register selection produced by decode.
+	OnDecode(seq uint64, ports isa.RegPorts) isa.RegPorts
+	// OnExecute may corrupt the execute-stage output in place.
+	OnExecute(seq uint64, in isa.Inst, out *ExecOut)
+	// OnMem may corrupt the value of a load (after reading) or a store
+	// (before writing); bus reports whether the transaction crossed the
+	// processor/memory interconnect (L1 miss), which is where
+	// interconnect faults strike.
+	OnMem(seq uint64, load bool, addr uint64, val uint64, bus bool) uint64
+	// OnCommit is called once per committed instruction. It advances the
+	// per-thread instruction counter and applies pending register, special
+	// register and PC faults by direct state mutation. It returns true if
+	// it changed the PC (the pipeline must flush and redirect).
+	OnCommit(seq uint64, a *Arch) bool
+	// OnSquash reports that a speculative instruction was squashed.
+	OnSquash(seq uint64)
+	// OnRegRead / OnRegWrite record committed register file traffic for
+	// fault propagation tracking (non-propagated outcome detection).
+	OnRegRead(fp bool, r isa.Reg)
+	OnRegWrite(fp bool, r isa.Reg)
+	// OnActivate handles the fi_activate_inst(id) pseudo-instruction.
+	OnActivate(pcbb uint64, id int)
+	// OnContextSwitch tells the engine the PCB base register changed.
+	OnContextSwitch(pcbb uint64)
+	// OnTick advances the engine's tick count (cycle-based fault timing).
+	OnTick(ticks uint64)
+}
+
+// Scheduler is consulted after every committed instruction; the kernel
+// implements it to preempt the running thread. A context switch mutates
+// core.Arch (including PCBB) and returns true, upon which the core
+// notifies the injector and pipelined models flush.
+type Scheduler interface {
+	MaybeSwitch(c *Core) bool
+}
+
+// PalAction is what the PAL handler asks the core to do after a PAL
+// instruction commits.
+type PalAction int
+
+// PAL actions.
+const (
+	PalContinue PalAction = iota + 1
+	PalStop               // end the simulation (exit status in Core.ExitStatus)
+)
+
+// PalHandler executes PAL-format instructions that reach commit: the
+// kernel implements syscalls and halt.
+type PalHandler interface {
+	HandlePal(c *Core, kind isa.Kind) (PalAction, error)
+}
+
+// Model is a CPU model: it advances the simulation by its natural
+// granularity (one instruction for atomic/timing, one cycle for the
+// pipelined model).
+type Model interface {
+	// Step advances the simulation. It returns false when the core has
+	// stopped (program exit or trap); inspect Core.Trap / Core.ExitStatus.
+	Step() bool
+	// Drain runs the model until no speculative state is in flight
+	// (pipelined models complete or squash in-flight instructions). Used
+	// before switching CPU models mid-simulation.
+	Drain()
+	// ModelName identifies the model ("atomic", "timing", "pipelined").
+	ModelName() string
+}
+
+// Core bundles the architectural state with its memory system, kernel and
+// fault injection hooks. CPU models operate on a Core.
+type Core struct {
+	Name string // e.g. "system.cpu0" — matched against fault descriptions
+
+	Arch  Arch
+	Mem   *mem.Memory
+	Hier  *mem.Hierarchy // nil: no cache timing (pure functional)
+	FI    Injector       // nil: fault injection disabled (vanilla simulator)
+	Pal   PalHandler
+	Sched Scheduler // optional
+
+	// OnCheckpoint is invoked when the guest executes fi_read_init_all()
+	// (the paper's checkpoint-here pseudo-instruction). May be nil.
+	OnCheckpoint func()
+
+	// TraceFn, when set, is called for every committed instruction with
+	// its PC and decoded form — the execution trace used for postmortem
+	// fault correlation. Costs one call per instruction; leave nil for
+	// measurement runs.
+	TraceFn func(pc uint64, in isa.Inst)
+
+	Ticks uint64 // simulation ticks (cycles)
+	Insts uint64 // committed instructions
+
+	Stopped    bool
+	ExitStatus int
+	Trap       *Trap
+
+	seq uint64 // dynamic instruction sequence numbering
+}
+
+// CoreSnapshot is the checkpointable part of a core: the architectural
+// state and counters. Microarchitectural state (pipeline latches, branch
+// predictor) is deliberately excluded — checkpoints are taken at
+// serialization points where the pipeline is drained, exactly like the
+// paper's checkpoint-at-fi_read_init_all flow.
+type CoreSnapshot struct {
+	Arch       Arch
+	Ticks      uint64
+	Insts      uint64
+	Seq        uint64
+	ExitStatus int
+}
+
+// Snapshot captures the core's architectural state.
+func (c *Core) Snapshot() CoreSnapshot {
+	return CoreSnapshot{Arch: c.Arch, Ticks: c.Ticks, Insts: c.Insts, Seq: c.seq, ExitStatus: c.ExitStatus}
+}
+
+// RestoreSnapshot replaces the core's architectural state and clears any
+// stop/trap condition.
+func (c *Core) RestoreSnapshot(s CoreSnapshot) {
+	c.Arch = s.Arch
+	c.Ticks = s.Ticks
+	c.Insts = s.Insts
+	c.seq = s.Seq
+	c.ExitStatus = s.ExitStatus
+	c.Stopped = false
+	c.Trap = nil
+}
+
+// decodeWord decodes an instruction word. Indirection point for a decoded
+// instruction cache if profiling ever warrants one.
+func decodeWord(w uint32) isa.Inst { return isa.Decode(isa.Word(w)) }
+
+// NextSeq allocates the next dynamic instruction sequence number.
+func (c *Core) NextSeq() uint64 {
+	c.seq++
+	return c.seq
+}
+
+// fiEnabled reports whether FI hooks should run for the current thread.
+func (c *Core) fiEnabled() bool { return c.FI != nil && c.FI.Enabled() }
+
+// Stop halts the core with a trap; used by the models for architectural
+// traps and by the kernel for fatal conditions (e.g. a corrupted PCB).
+func (c *Core) Stop(t *Trap) {
+	c.Trap = t
+	c.Stopped = true
+}
+
+// stop is the internal alias of Stop.
+func (c *Core) stop(t *Trap) { c.Stop(t) }
+
+// readOperands reads the register operands for an instruction through the
+// (possibly fault-corrupted) ports.
+func (c *Core) readOperands(in isa.Inst, p isa.RegPorts) (a, b uint64, fa, fb float64) {
+	if p.SrcAUsed {
+		if p.SrcAFP {
+			fa = c.Arch.ReadFReg(p.SrcA)
+		} else {
+			a = c.Arch.ReadReg(p.SrcA)
+		}
+	}
+	if p.SrcBUsed {
+		if p.SrcBFP {
+			fb = c.Arch.ReadFReg(p.SrcB)
+		} else {
+			b = c.Arch.ReadReg(p.SrcB)
+		}
+	}
+	// FP operate instructions carry both operands in the F file; integer
+	// literal forms substitute the literal for operand B.
+	if in.Format == isa.FormatFP {
+		fa = c.Arch.ReadFReg(p.SrcA)
+		fb = c.Arch.ReadFReg(p.SrcB)
+	}
+	if in.IsLit {
+		b = uint64(in.Lit)
+	}
+	return a, b, fa, fb
+}
+
+// accessMem performs the memory stage of a load/store, applying cache
+// timing (if configured) and the FI memory hook. It returns the loaded
+// value (for loads) and the latency in ticks.
+func (c *Core) accessMem(seq uint64, in isa.Inst, o *ExecOut, fi bool) (loadVal uint64, latency uint64, trap *Trap) {
+	size := 8
+	if in.Kind == isa.KindLDBU || in.Kind == isa.KindSTB {
+		size = 1
+	}
+	if size == 8 && o.EA%8 != 0 {
+		return 0, 0, &Trap{Kind: TrapUnaligned, Addr: o.EA, Word: in.Raw}
+	}
+	// Without a cache model every access crosses the interconnect; with
+	// one, only L1 misses do.
+	bus := true
+	if c.Hier != nil {
+		latency = c.Hier.DataLatency(o.EA, in.Kind.IsStore())
+		bus = latency > c.Hier.L1D.Config().HitLatency
+	}
+	if in.Kind.IsStore() {
+		val := o.StoreVal
+		if fi {
+			val = c.FI.OnMem(seq, false, o.EA, val, bus)
+		}
+		var err error
+		if size == 1 {
+			err = c.Mem.StoreByte(o.EA, byte(val))
+		} else {
+			err = c.Mem.Write64(o.EA, val)
+		}
+		if err != nil {
+			return 0, latency, &Trap{Kind: TrapMemFault, Addr: o.EA, Word: in.Raw}
+		}
+		return 0, latency, nil
+	}
+	var (
+		val uint64
+		err error
+	)
+	if size == 1 {
+		var b byte
+		b, err = c.Mem.LoadByte(o.EA)
+		val = uint64(b)
+	} else {
+		val, err = c.Mem.Read64(o.EA)
+	}
+	if err != nil {
+		return 0, latency, &Trap{Kind: TrapMemFault, Addr: o.EA, Word: in.Raw}
+	}
+	if fi {
+		val = c.FI.OnMem(seq, true, o.EA, val, bus)
+	}
+	return val, latency, nil
+}
+
+// writeback writes the destination register of a completed instruction.
+func (c *Core) writeback(in isa.Inst, p isa.RegPorts, o ExecOut, loadVal uint64) {
+	if !p.DstUsed {
+		return
+	}
+	if p.DstFP {
+		v := o.FpRes
+		if in.Kind == isa.KindLDT {
+			v = math.Float64frombits(loadVal)
+		}
+		c.Arch.WriteFReg(p.Dst, v)
+		return
+	}
+	v := o.IntRes
+	if in.Kind.IsLoad() {
+		v = loadVal
+	}
+	c.Arch.WriteReg(p.Dst, v)
+}
+
+// commitRedirect is the result of commitEpilogue: whether the front end
+// must be redirected (kernel switch, PAL serialization, FI PC fault) and
+// to where.
+type commitRedirect struct {
+	redirect bool
+	target   uint64
+	stopped  bool
+}
+
+// commitEpilogue runs the per-committed-instruction bookkeeping shared by
+// all models: FI commit hook and register-traffic notifications, PAL
+// dispatch, scheduler preemption and context switch detection. The
+// architectural PC must already hold the sequentially-next instruction
+// address (or branch target) before the call.
+func (c *Core) commitEpilogue(seq uint64, in isa.Inst, ports isa.RegPorts, fi bool) commitRedirect {
+	c.Insts++
+	var red commitRedirect
+
+	if fi {
+		if ports.SrcAUsed {
+			c.FI.OnRegRead(ports.SrcAFP, ports.SrcA)
+		}
+		if ports.SrcBUsed {
+			c.FI.OnRegRead(ports.SrcBFP, ports.SrcB)
+		}
+		if ports.DstUsed {
+			c.FI.OnRegWrite(ports.DstFP, ports.Dst)
+		}
+	}
+
+	// PAL instructions: FI control, checkpointing, kernel services.
+	if in.Format == isa.FormatPAL && in.Kind != isa.KindNop {
+		switch in.Kind {
+		case isa.KindFIActivate:
+			if c.FI != nil {
+				c.FI.OnActivate(c.Arch.PCBB, int(int64(c.Arch.ReadReg(isa.RegA0))))
+			}
+		case isa.KindFIInit:
+			if c.OnCheckpoint != nil {
+				c.OnCheckpoint()
+			}
+		default:
+			if c.Pal == nil {
+				c.stop(&Trap{Kind: TrapIllegal, PC: c.Arch.PC, Word: in.Raw})
+				red.stopped = true
+				return red
+			}
+			pcbbBefore := c.Arch.PCBB
+			action, err := c.Pal.HandlePal(c, in.Kind)
+			if err != nil {
+				c.stop(&Trap{Kind: TrapKernel, PC: c.Arch.PC, Word: in.Raw})
+				red.stopped = true
+				return red
+			}
+			if action == PalStop {
+				c.Stopped = true
+				red.stopped = true
+				return red
+			}
+			if c.Arch.PCBB != pcbbBefore && c.FI != nil {
+				c.FI.OnContextSwitch(c.Arch.PCBB)
+			}
+		}
+		// All PAL instructions serialize the pipeline.
+		red.redirect = true
+		red.target = c.Arch.PC
+	}
+
+	// FI commit: count the instruction, apply register/PC/special faults.
+	if c.FI != nil && c.FI.Enabled() {
+		if c.FI.OnCommit(seq, &c.Arch) {
+			red.redirect = true
+			red.target = c.Arch.PC
+		}
+	}
+
+	// Preemptive scheduling: the kernel may switch threads here.
+	if c.Sched != nil {
+		pcbbBefore := c.Arch.PCBB
+		if c.Sched.MaybeSwitch(c) {
+			if c.Arch.PCBB != pcbbBefore && c.FI != nil {
+				c.FI.OnContextSwitch(c.Arch.PCBB)
+			}
+			red.redirect = true
+			red.target = c.Arch.PC
+		}
+		if c.Stopped {
+			red.stopped = true
+		}
+	}
+	return red
+}

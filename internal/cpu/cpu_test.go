@@ -1,0 +1,610 @@
+package cpu_test
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+)
+
+// run assembles src, boots it and runs it to completion on the given
+// model kind ("atomic", "timing", "pipelined"), returning the core and
+// kernel for inspection.
+func run(t *testing.T, src, model string) (*cpu.Core, *kernel.Kernel) {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m := mem.New()
+	core := &cpu.Core{Name: "system.cpu0", Mem: m}
+	k := kernel.New(m)
+	if err := k.Boot(core, p); err != nil {
+		t.Fatalf("boot: %v", err)
+	}
+	var mdl cpu.Model
+	switch model {
+	case "atomic":
+		mdl = cpu.NewAtomic(core)
+	case "timing":
+		core.Hier = mem.NewHierarchy(mem.DefaultHierarchyConfig())
+		mdl = cpu.NewTiming(core)
+	case "pipelined":
+		core.Hier = mem.NewHierarchy(mem.DefaultHierarchyConfig())
+		mdl = cpu.NewPipelined(core)
+	default:
+		t.Fatalf("unknown model %q", model)
+	}
+	for i := 0; i < 50_000_000 && mdl.Step(); i++ {
+	}
+	if !core.Stopped {
+		t.Fatalf("%s: watchdog expired (insts=%d)", model, core.Insts)
+	}
+	return core, k
+}
+
+var models = []string{"atomic", "timing", "pipelined"}
+
+const exitStub = `
+    mov  v0, a0
+    li   v0, 1      ; SysExit
+    callsys
+`
+
+func TestArithmeticProgram(t *testing.T) {
+	// Computes sum(1..10) = 55 and exits with it.
+	src := `
+_start:
+    li   t0, 10
+    li   t1, 0
+loop:
+    addq t1, t0, t1
+    subq t0, #1, t0
+    bne  t0, loop
+    mov  t1, v0
+` + exitStub
+	for _, m := range models {
+		core, _ := run(t, src, m)
+		if core.Trap != nil {
+			t.Fatalf("%s: trap %v", m, core.Trap)
+		}
+		if core.ExitStatus != 55 {
+			t.Errorf("%s: exit = %d, want 55", m, core.ExitStatus)
+		}
+	}
+}
+
+func TestLoadsStoresAndBytes(t *testing.T) {
+	src := `
+_start:
+    la   t0, arr
+    li   t1, 7
+    stq  t1, 8(t0)
+    ldq  t2, 8(t0)
+    la   t3, bytes
+    li   t4, 200
+    stb  t4, 3(t3)
+    ldbu t5, 3(t3)
+    addq t2, t5, v0   ; 7 + 200 = 207
+` + exitStub + `
+.data
+arr:   .quad 0, 0, 0
+bytes: .space 8
+`
+	for _, m := range models {
+		core, _ := run(t, src, m)
+		if core.ExitStatus != 207 {
+			t.Errorf("%s: exit = %d, want 207", m, core.ExitStatus)
+		}
+	}
+}
+
+func TestFloatingPoint(t *testing.T) {
+	// ((1.5 + 2.5) * 4 - 6) / 2 = 5; sqrt(25) = 5; exit 10.
+	src := `
+_start:
+    la   t0, consts
+    ldt  f1, 0(t0)    ; 1.5
+    ldt  f2, 8(t0)    ; 2.5
+    ldt  f3, 16(t0)   ; 4.0
+    ldt  f4, 24(t0)   ; 6.0
+    ldt  f5, 32(t0)   ; 2.0
+    ldt  f6, 40(t0)   ; 25.0
+    addt f1, f2, f7
+    mult f7, f3, f7
+    subt f7, f4, f7
+    divt f7, f5, f7   ; 5.0
+    sqrtt f31, f6, f8 ; 5.0
+    addt f7, f8, f9   ; 10.0
+    cvttq f31, f9, f10
+    stt  f10, 48(t0)
+    ldq  v0, 48(t0)
+` + exitStub + `
+.data
+consts: .double 1.5, 2.5, 4.0, 6.0, 2.0, 25.0, 0.0
+`
+	for _, m := range models {
+		core, _ := run(t, src, m)
+		if core.ExitStatus != 10 {
+			t.Errorf("%s: exit = %d, want 10", m, core.ExitStatus)
+		}
+	}
+}
+
+func TestCvtQTRoundTrip(t *testing.T) {
+	// int 42 -> float -> +1.0 -> int 43.
+	src := `
+_start:
+    la   t0, scratch
+    li   t1, 42
+    stq  t1, 0(t0)
+    ldt  f1, 0(t0)     ; reinterpret bits
+    cvtqt f31, f1, f2  ; 42.0
+    la   t2, one
+    ldt  f3, 0(t2)
+    addt f2, f3, f2    ; 43.0
+    cvttq f31, f2, f4
+    stt  f4, 0(t0)
+    ldq  v0, 0(t0)
+` + exitStub + `
+.data
+scratch: .quad 0
+one:     .double 1.0
+`
+	for _, m := range models {
+		core, _ := run(t, src, m)
+		if core.ExitStatus != 43 {
+			t.Errorf("%s: exit = %d, want 43", m, core.ExitStatus)
+		}
+	}
+}
+
+func TestSubroutineCallAndReturn(t *testing.T) {
+	src := `
+_start:
+    li   a0, 20
+    bsr  ra, double
+    mov  v0, t5
+    li   a0, 1
+    bsr  ra, double
+    addq t5, v0, v0   ; 40 + 2 = 42
+` + exitStub + `
+double:
+    addq a0, a0, v0
+    ret
+`
+	for _, m := range models {
+		core, _ := run(t, src, m)
+		if core.ExitStatus != 42 {
+			t.Errorf("%s: exit = %d, want 42", m, core.ExitStatus)
+		}
+	}
+}
+
+func TestIndirectJump(t *testing.T) {
+	src := `
+_start:
+    la   pv, target
+    jsr  ra, (pv)
+    mov  v0, v0
+` + exitStub + `
+target:
+    li   v0, 99
+    ret
+`
+	for _, m := range models {
+		core, _ := run(t, src, m)
+		if core.ExitStatus != 99 {
+			t.Errorf("%s: exit = %d, want 99", m, core.ExitStatus)
+		}
+	}
+}
+
+func TestDivideAndRemainder(t *testing.T) {
+	src := `
+_start:
+    li   t0, -17
+    li   t1, 5
+    divq t0, t1, t2   ; -3
+    remq t0, t1, t3   ; -2
+    mulq t2, t1, t4   ; -15
+    addq t4, t3, t4   ; -17
+    subq t0, t4, v0   ; 0
+    addq v0, #7, v0   ; 7
+` + exitStub
+	for _, m := range models {
+		core, _ := run(t, src, m)
+		if core.ExitStatus != 7 {
+			t.Errorf("%s: exit = %d, want 7", m, core.ExitStatus)
+		}
+	}
+}
+
+func TestDivideByZeroTraps(t *testing.T) {
+	src := `
+_start:
+    li  t0, 1
+    li  t1, 0
+    divq t0, t1, t2
+` + exitStub
+	for _, m := range models {
+		core, _ := run(t, src, m)
+		if core.Trap == nil || core.Trap.Kind != cpu.TrapArith {
+			t.Errorf("%s: trap = %v, want arithmetic", m, core.Trap)
+		}
+	}
+}
+
+func TestIllegalInstructionTraps(t *testing.T) {
+	// 0x04000000 has undefined opcode 0x01.
+	p, err := asm.Assemble("_start:\n nop\n nop\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Text[1] = isa.Word(0x04000000)
+	for _, m := range models {
+		core := bootRaw(t, p, m)
+		if core.Trap == nil || core.Trap.Kind != cpu.TrapIllegal {
+			t.Errorf("%s: trap = %v, want illegal instruction", m, core.Trap)
+		}
+	}
+}
+
+func TestUnmappedLoadSegfaults(t *testing.T) {
+	src := `
+_start:
+    li  t0, 0
+    ldq t1, 0(t0)
+` + exitStub
+	for _, m := range models {
+		core, _ := run(t, src, m)
+		if core.Trap == nil || core.Trap.Kind != cpu.TrapMemFault {
+			t.Errorf("%s: trap = %v, want segfault", m, core.Trap)
+		}
+	}
+}
+
+func TestUnalignedAccessTraps(t *testing.T) {
+	src := `
+_start:
+    la  t0, arr
+    ldq t1, 4(t0)
+` + exitStub + `
+.data
+arr: .quad 1, 2
+`
+	for _, m := range models {
+		core, _ := run(t, src, m)
+		if core.Trap == nil || core.Trap.Kind != cpu.TrapUnaligned {
+			t.Errorf("%s: trap = %v, want unaligned", m, core.Trap)
+		}
+	}
+}
+
+func TestWildJumpFetchFaults(t *testing.T) {
+	src := `
+_start:
+    li  t0, 0x500000
+    jmp (t0)
+` + exitStub
+	for _, m := range models {
+		core, _ := run(t, src, m)
+		if core.Trap == nil || core.Trap.Kind != cpu.TrapFetchFault {
+			t.Errorf("%s: trap = %v, want fetch fault", m, core.Trap)
+		}
+	}
+}
+
+func TestConsoleOutput(t *testing.T) {
+	src := `
+_start:
+    li  a0, 72     ; 'H'
+    li  v0, 2      ; SysPutc
+    callsys
+    li  a0, 105    ; 'i'
+    li  v0, 2
+    callsys
+    li  v0, 0
+` + exitStub
+	for _, m := range models {
+		_, k := run(t, src, m)
+		if got := k.Console(); got != "Hi" {
+			t.Errorf("%s: console = %q", m, got)
+		}
+	}
+}
+
+// TestModelEquivalence runs a branchy, memory-heavy checksum program on
+// all three models and requires identical architectural results — the
+// paper's Section IV.A property that fault-injection-capable simulation
+// does not perturb program semantics, extended across CPU models.
+func TestModelEquivalence(t *testing.T) {
+	src := `
+; xorshift-style mixing over an array, with data-dependent branches
+_start:
+    la   t0, arr
+    li   t1, 64        ; elements
+    li   t2, 12345     ; state
+    li   t3, 0         ; index
+fill:
+    mulq t2, #13, t2
+    addq t2, #7, t2
+    srl  t2, #3, t4
+    xor  t2, t4, t2
+    sll  t3, #3, t5
+    addq t0, t5, t5
+    stq  t2, 0(t5)
+    addq t3, #1, t3
+    cmplt t3, t1, t6
+    bne  t6, fill
+    li   t3, 0
+    li   t7, 0
+sum:
+    sll  t3, #3, t5
+    addq t0, t5, t5
+    ldq  t4, 0(t5)
+    and  t4, #1, t6
+    beq  t6, even
+    addq t7, t4, t7
+    br   next
+even:
+    subq t7, t4, t7
+next:
+    addq t3, #1, t3
+    cmplt t3, t1, t6
+    bne  t6, sum
+    ; fold to a small exit code
+    srl  t7, #17, t8
+    xor  t7, t8, t7
+    and  t7, #255, v0
+` + exitStub + `
+.data
+arr: .space 512
+`
+	var ref int
+	var refInsts uint64
+	for i, m := range models {
+		core, _ := run(t, src, m)
+		if core.Trap != nil {
+			t.Fatalf("%s: trap %v", m, core.Trap)
+		}
+		if i == 0 {
+			ref = core.ExitStatus
+			refInsts = core.Insts
+			continue
+		}
+		if core.ExitStatus != ref {
+			t.Errorf("%s: exit = %d, atomic = %d", m, core.ExitStatus, ref)
+		}
+		if core.Insts != refInsts {
+			t.Errorf("%s: committed %d insts, atomic committed %d", m, core.Insts, refInsts)
+		}
+	}
+}
+
+// TestPipelineCostsMoreTicks checks the basic speed/accuracy trade-off
+// between models that the paper exploits: the cycle-accurate model spends
+// far more ticks than the functional one.
+func TestPipelineCostsMoreTicks(t *testing.T) {
+	src := `
+_start:
+    li   t0, 500
+loop:
+    subq t0, #1, t0
+    bne  t0, loop
+    li   v0, 0
+` + exitStub
+	atomic, _ := run(t, src, "atomic")
+	pipe, _ := run(t, src, "pipelined")
+	if pipe.Ticks <= atomic.Ticks {
+		t.Errorf("pipelined ticks %d <= atomic ticks %d", pipe.Ticks, atomic.Ticks)
+	}
+}
+
+// TestBranchPredictorLearns requires that a hot loop's mispredict rate is
+// low once the tournament predictor warms up.
+func TestBranchPredictorLearns(t *testing.T) {
+	src := `
+_start:
+    li   t0, 2000
+loop:
+    subq t0, #1, t0
+    bne  t0, loop
+    li   v0, 0
+` + exitStub
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := &cpu.Core{Name: "cpu", Mem: mem.New()}
+	k := kernel.New(core.Mem)
+	if err := k.Boot(core, p); err != nil {
+		t.Fatal(err)
+	}
+	mdl := cpu.NewPipelined(core)
+	for mdl.Step() {
+	}
+	if core.Trap != nil {
+		t.Fatalf("trap: %v", core.Trap)
+	}
+	if mdl.Pred.Mispredicts > 50 {
+		t.Errorf("mispredicts = %d for a 2000-iteration loop", mdl.Pred.Mispredicts)
+	}
+	if mdl.Squashes == 0 {
+		t.Error("expected at least some squashed wrong-path instructions")
+	}
+}
+
+// TestSpawnJoinThreads exercises the kernel's thread machinery: two
+// workers increment shared counters; main joins and sums.
+func TestSpawnJoinThreads(t *testing.T) {
+	src := `
+_start:
+    la   t9, cells
+    ; spawn(worker, &cells[0])
+    la   a0, worker
+    mov  t9, a1
+    li   v0, 4
+    callsys
+    mov  v0, s0        ; tid1
+    ; spawn(worker, &cells[1])
+    la   a0, worker
+    addq t9, #8, a1
+    li   v0, 4
+    callsys
+    mov  v0, s1        ; tid2
+    ; join both
+    mov  s0, a0
+    li   v0, 7
+    callsys
+    mov  s1, a0
+    li   v0, 7
+    callsys
+    ; sum the cells
+    ldq  t1, 0(t9)
+    ldq  t2, 8(t9)
+    addq t1, t2, v0
+` + exitStub + `
+worker:
+    ; a0 = target cell; write 21 into it after a small delay loop
+    li   t0, 300
+wspin:
+    subq t0, #1, t0
+    bne  t0, wspin
+    li   t1, 21
+    stq  t1, 0(a0)
+    li   v0, 6        ; SysThreadExit
+    li   a0, 0
+    callsys
+.data
+cells: .quad 0, 0
+`
+	for _, m := range models {
+		core, k := run(t, src, m)
+		if core.Trap != nil {
+			t.Fatalf("%s: trap %v", m, core.Trap)
+		}
+		if core.ExitStatus != 42 {
+			t.Errorf("%s: exit = %d, want 42", m, core.ExitStatus)
+		}
+		if k.ContextSwitches == 0 {
+			t.Errorf("%s: expected context switches", m)
+		}
+	}
+}
+
+// TestPreemptionInterleavesThreads uses a tiny quantum so two spinning
+// threads must interleave for either to observe the other's progress.
+func TestPreemptionInterleavesThreads(t *testing.T) {
+	src := `
+_start:
+    la   a0, flagfn
+    li   a1, 0
+    li   v0, 4        ; spawn
+    callsys
+    ; spin until flag becomes nonzero (requires preemption)
+    la   t0, flag
+wait:
+    ldq  t1, 0(t0)
+    beq  t1, wait
+    mov  t1, v0
+` + exitStub + `
+flagfn:
+    la   t0, flag
+    li   t1, 77
+    stq  t1, 0(t0)
+    li   v0, 6
+    li   a0, 0
+    callsys
+.data
+flag: .quad 0
+`
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := &cpu.Core{Name: "cpu", Mem: mem.New()}
+	k := kernel.New(core.Mem)
+	k.Quantum = 50
+	if err := k.Boot(core, p); err != nil {
+		t.Fatal(err)
+	}
+	mdl := cpu.NewAtomic(core)
+	for i := 0; i < 1_000_000 && mdl.Step(); i++ {
+	}
+	if !core.Stopped || core.ExitStatus != 77 {
+		t.Fatalf("exit=%d stopped=%v trap=%v", core.ExitStatus, core.Stopped, core.Trap)
+	}
+}
+
+// bootRaw boots a pre-built program image.
+func bootRaw(t *testing.T, p *asm.Program, model string) *cpu.Core {
+	t.Helper()
+	core := &cpu.Core{Name: "cpu", Mem: mem.New()}
+	k := kernel.New(core.Mem)
+	if err := k.Boot(core, p); err != nil {
+		t.Fatal(err)
+	}
+	var mdl cpu.Model
+	switch model {
+	case "atomic":
+		mdl = cpu.NewAtomic(core)
+	case "timing":
+		core.Hier = mem.NewHierarchy(mem.DefaultHierarchyConfig())
+		mdl = cpu.NewTiming(core)
+	default:
+		core.Hier = mem.NewHierarchy(mem.DefaultHierarchyConfig())
+		mdl = cpu.NewPipelined(core)
+	}
+	for i := 0; i < 10_000_000 && mdl.Step(); i++ {
+	}
+	return core
+}
+
+func BenchmarkAtomicModel(b *testing.B) {
+	benchModel(b, "atomic")
+}
+
+func BenchmarkPipelinedModel(b *testing.B) {
+	benchModel(b, "pipelined")
+}
+
+func benchModel(b *testing.B, model string) {
+	src := `
+_start:
+    li   t0, 1000
+loop:
+    subq t0, #1, t0
+    bne  t0, loop
+    li   v0, 1
+    li   a0, 0
+    callsys
+`
+	p, err := asm.Assemble(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		core := &cpu.Core{Name: "cpu", Mem: mem.New()}
+		k := kernel.New(core.Mem)
+		if err := k.Boot(core, p); err != nil {
+			b.Fatal(err)
+		}
+		var mdl cpu.Model
+		if model == "atomic" {
+			mdl = cpu.NewAtomic(core)
+		} else {
+			core.Hier = mem.NewHierarchy(mem.DefaultHierarchyConfig())
+			mdl = cpu.NewPipelined(core)
+		}
+		for mdl.Step() {
+		}
+		if core.Trap != nil {
+			b.Fatal(core.Trap)
+		}
+	}
+}

@@ -1,0 +1,397 @@
+package cpu
+
+import (
+	"math"
+
+	"repro/internal/isa"
+)
+
+// f64FromBits is a local alias kept for readability in forwarding paths.
+func f64FromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+// PipelinedModel is the cycle-accurate CPU model: a scalar 5-stage
+// pipeline (IF, ID, EX, MEM, WB) with speculative fetch driven by the
+// tournament branch predictor, full operand forwarding, cache-latency
+// stalls and branch-mispredict squashing. It is the stand-in for gem5's
+// O3 model (see DESIGN.md): it provides the per-stage fault injection
+// points, the commit-or-squash lifecycle the paper's campaign methodology
+// depends on, and a large cycle-cost gap versus the atomic model.
+type PipelinedModel struct {
+	C    *Core
+	Pred *Predictor
+
+	ifs, ids, exs, mms, wbs pipeSlot
+
+	fetchPC      uint64
+	serialize    bool   // a PAL instruction is in flight: stop fetching
+	serializeSeq uint64 // seq of the serializing instruction
+	draining     bool
+
+	Squashes uint64 // squashed instructions (speculation statistics)
+}
+
+var _ Model = (*PipelinedModel)(nil)
+
+// pipeSlot is one pipeline latch.
+type pipeSlot struct {
+	valid bool
+	seq   uint64
+	pc    uint64
+	word  uint32
+	fi    bool // FI hooks were live when this instruction was fetched
+
+	decoded bool
+	in      isa.Inst
+	ports   isa.RegPorts
+
+	executed   bool
+	out        ExecOut
+	actualNext uint64
+
+	accessed bool
+	loadVal  uint64
+	busy     uint64 // remaining stall cycles in the current stage
+
+	predNext uint64
+	trap     *Trap
+}
+
+// NewPipelined builds the pipelined model for core c, starting fetch at
+// the core's architectural PC.
+func NewPipelined(c *Core) *PipelinedModel {
+	return &PipelinedModel{C: c, Pred: NewPredictor(), fetchPC: c.Arch.PC}
+}
+
+// ModelName implements Model.
+func (m *PipelinedModel) ModelName() string { return "pipelined" }
+
+// InFlight reports how many instructions occupy pipeline latches.
+func (m *PipelinedModel) InFlight() int {
+	n := 0
+	for _, s := range []*pipeSlot{&m.ifs, &m.ids, &m.exs, &m.mms, &m.wbs} {
+		if s.valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Drain implements Model: completes (or squashes via traps) everything in
+// flight without fetching new instructions, leaving the architectural PC
+// at the next unexecuted instruction. Used before switching to the atomic
+// model mid-run (the paper's post-fault-manifestation switch).
+func (m *PipelinedModel) Drain() {
+	m.draining = true
+	for m.InFlight() > 0 && !m.C.Stopped {
+		m.Step()
+	}
+	m.draining = false
+	m.fetchPC = m.C.Arch.PC
+	m.serialize = false
+}
+
+// Step advances the pipeline by one cycle.
+func (m *PipelinedModel) Step() bool {
+	c := m.C
+	if c.Stopped {
+		return false
+	}
+	c.Ticks++
+	if c.FI != nil {
+		c.FI.OnTick(c.Ticks)
+	}
+
+	m.commitStage()
+	if c.Stopped {
+		return false
+	}
+	m.memStage()
+	m.execStage()
+	m.decodeStage()
+	m.fetchMove()
+	if !m.draining {
+		m.fetchStage()
+	}
+	return !c.Stopped
+}
+
+// commitStage retires the instruction in WB.
+func (m *PipelinedModel) commitStage() {
+	c := m.C
+	s := &m.wbs
+	if !s.valid {
+		return
+	}
+	if s.trap != nil {
+		s.trap.PC = s.pc
+		m.squashYoungerThanWB()
+		c.stop(s.trap)
+		return
+	}
+	c.writeback(s.in, s.ports, s.out, s.loadVal)
+	c.Arch.PC = s.actualNext
+	if c.TraceFn != nil {
+		c.TraceFn(s.pc, s.in)
+	}
+	red := c.commitEpilogue(s.seq, s.in, s.ports, s.fi)
+	s.valid = false
+	if red.stopped {
+		return
+	}
+	if red.redirect {
+		m.squashYoungerThanWB()
+		m.fetchPC = red.target
+		m.serialize = false
+	}
+}
+
+// memStage performs the memory access and advances MEM -> WB.
+func (m *PipelinedModel) memStage() {
+	c := m.C
+	s := &m.mms
+	if !s.valid || m.wbs.valid {
+		return
+	}
+	if !s.accessed {
+		s.accessed = true
+		if s.trap == nil && s.in.Kind.IsMem() {
+			val, lat, trap := c.accessMem(s.seq, s.in, &s.out, s.fi)
+			if trap != nil {
+				s.trap = trap
+			} else {
+				s.loadVal = val
+			}
+			if lat > 1 {
+				s.busy = lat - 1
+			}
+		}
+	}
+	if s.busy > 0 {
+		s.busy--
+		return
+	}
+	m.wbs = *s
+	s.valid = false
+}
+
+// execStage executes the instruction in EX, resolves branches and
+// advances EX -> MEM.
+func (m *PipelinedModel) execStage() {
+	c := m.C
+	s := &m.exs
+	if !s.valid || m.mms.valid {
+		return
+	}
+	if !s.executed {
+		s.executed = true
+		if s.trap == nil {
+			a, b, fa, fb := m.readOperandsFwd(s)
+			s.out = Execute(s.in, a, b, fa, fb, s.pc)
+			if s.fi {
+				c.FI.OnExecute(s.seq, s.in, &s.out)
+			}
+			if s.out.TrapKind != TrapNone {
+				s.trap = &Trap{Kind: s.out.TrapKind, PC: s.pc, Word: s.in.Raw}
+			}
+		}
+		if s.in.Kind.IsBranch() && s.out.Taken {
+			s.actualNext = s.out.Target
+		} else {
+			s.actualNext = s.pc + 4
+		}
+		if s.trap == nil && s.in.Kind.IsBranch() {
+			m.Pred.Update(BranchInfo{
+				PC:     s.pc,
+				Taken:  s.out.Taken,
+				Target: s.out.Target,
+				IsRet:  s.in.Kind == isa.KindJMP && s.in.Hint == isa.HintRET,
+				IsCall: s.in.Kind == isa.KindBSR || (s.in.Kind == isa.KindJMP && s.in.Hint == isa.HintJSR),
+				Uncond: !s.in.Kind.IsCondBranch(),
+			})
+		}
+		// Redirect the front end on any next-PC mismatch: branch
+		// mispredicts and BTB aliasing alike. PAL instructions serialize
+		// instead (the front end is already stalled).
+		if s.trap == nil && s.in.Format != isa.FormatPAL && s.actualNext != s.predNext {
+			m.Pred.Mispredicts++
+			m.squashFrontend()
+			m.fetchPC = s.actualNext
+		}
+	}
+	m.mms = *s
+	m.mms.accessed = false
+	m.mms.busy = 0
+	s.valid = false
+}
+
+// decodeStage decodes the instruction in ID and advances ID -> EX.
+func (m *PipelinedModel) decodeStage() {
+	c := m.C
+	s := &m.ids
+	if !s.valid || m.exs.valid {
+		return
+	}
+	if !s.decoded {
+		s.decoded = true
+		if s.trap == nil {
+			s.in = decodeWord(s.word)
+			s.ports = s.in.Ports()
+			if s.fi {
+				s.ports = c.FI.OnDecode(s.seq, s.ports)
+			}
+			if s.in.Format == isa.FormatPAL && s.in.Kind != isa.KindNop {
+				// Serialize: nothing younger may enter the pipeline until
+				// this instruction commits and redirects. (Nops flow
+				// normally; illegal PAL encodings trap at commit anyway.)
+				if m.ifs.valid {
+					m.squashSlot(&m.ifs)
+				}
+				m.serialize = true
+				m.serializeSeq = s.seq
+			}
+		}
+	}
+	m.exs = *s
+	s.valid = false
+}
+
+// fetchMove advances IF -> ID once the I-cache access completes.
+func (m *PipelinedModel) fetchMove() {
+	s := &m.ifs
+	if !s.valid {
+		return
+	}
+	if s.busy > 0 {
+		s.busy--
+		return
+	}
+	if m.ids.valid {
+		return
+	}
+	m.ids = *s
+	s.valid = false
+}
+
+// fetchStage fetches a new instruction at fetchPC and predicts the next
+// fetch address.
+func (m *PipelinedModel) fetchStage() {
+	c := m.C
+	if m.ifs.valid || m.serialize {
+		return
+	}
+	pc := m.fetchPC
+	s := pipeSlot{valid: true, seq: c.NextSeq(), pc: pc, fi: c.fiEnabled()}
+	if pc%4 != 0 {
+		s.trap = &Trap{Kind: TrapFetchFault, PC: pc}
+		s.decoded = true // nothing to decode
+	} else if w, err := c.Mem.Read32(pc); err != nil {
+		s.trap = &Trap{Kind: TrapFetchFault, PC: pc}
+		s.decoded = true
+	} else {
+		if c.Hier != nil {
+			if lat := c.Hier.FetchLatency(pc); lat > 1 {
+				s.busy = lat - 1
+			}
+		}
+		if s.fi {
+			w = c.FI.OnFetch(s.seq, w)
+		}
+		s.word = w
+	}
+	pred := m.Pred.Predict(pc)
+	s.predNext = pred.Next
+	m.fetchPC = pred.Next
+	m.ifs = s
+}
+
+// squashSlot invalidates a speculative slot and notifies the injector.
+func (m *PipelinedModel) squashSlot(s *pipeSlot) {
+	if !s.valid {
+		return
+	}
+	if m.C.FI != nil {
+		m.C.FI.OnSquash(s.seq)
+	}
+	if m.serialize && s.seq == m.serializeSeq {
+		m.serialize = false
+	}
+	m.Squashes++
+	s.valid = false
+}
+
+// squashFrontend squashes IF and ID (branch mispredict resolution).
+func (m *PipelinedModel) squashFrontend() {
+	m.squashSlot(&m.ids)
+	m.squashSlot(&m.ifs)
+}
+
+// squashYoungerThanWB squashes everything behind the committing
+// instruction (trap, PAL serialization, kernel redirect, FI PC fault).
+func (m *PipelinedModel) squashYoungerThanWB() {
+	m.squashSlot(&m.mms)
+	m.squashSlot(&m.exs)
+	m.squashSlot(&m.ids)
+	m.squashSlot(&m.ifs)
+}
+
+// readOperandsFwd reads register operands with forwarding from the
+// not-yet-committed instructions in MEM and WB.
+func (m *PipelinedModel) readOperandsFwd(s *pipeSlot) (a, b uint64, fa, fb float64) {
+	p := s.ports
+	if p.SrcAUsed {
+		if p.SrcAFP {
+			fa = m.fwdF(p.SrcA)
+		} else {
+			a = m.fwdR(p.SrcA)
+		}
+	}
+	if p.SrcBUsed {
+		if p.SrcBFP {
+			fb = m.fwdF(p.SrcB)
+		} else {
+			b = m.fwdR(p.SrcB)
+		}
+	}
+	if s.in.Format == isa.FormatFP {
+		fa = m.fwdF(p.SrcA)
+		fb = m.fwdF(p.SrcB)
+	}
+	if s.in.IsLit {
+		b = uint64(s.in.Lit)
+	}
+	return a, b, fa, fb
+}
+
+// fwdR resolves an integer register value, forwarding from in-flight
+// producers (nearest older first: MEM, then WB), falling back to the
+// architectural file.
+func (m *PipelinedModel) fwdR(r isa.Reg) uint64 {
+	if r == isa.ZeroReg {
+		return 0
+	}
+	for _, src := range []*pipeSlot{&m.mms, &m.wbs} {
+		if src.valid && src.trap == nil && src.ports.DstUsed && !src.ports.DstFP && src.ports.Dst == r {
+			if src.in.Kind.IsLoad() {
+				return src.loadVal
+			}
+			return src.out.IntRes
+		}
+	}
+	return m.C.Arch.ReadReg(r)
+}
+
+// fwdF resolves a floating point register value with forwarding.
+func (m *PipelinedModel) fwdF(r isa.Reg) float64 {
+	if r == isa.ZeroReg {
+		return 0
+	}
+	for _, src := range []*pipeSlot{&m.mms, &m.wbs} {
+		if src.valid && src.trap == nil && src.ports.DstUsed && src.ports.DstFP && src.ports.Dst == r {
+			if src.in.Kind == isa.KindLDT {
+				return f64FromBits(src.loadVal)
+			}
+			return src.out.FpRes
+		}
+	}
+	return m.C.Arch.ReadFReg(r)
+}

@@ -1,0 +1,63 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// fregName names a floating point register.
+func fregName(r Reg) string { return fmt.Sprintf("f%d", r&31) }
+
+// Disassemble renders the instruction in assembler syntax. pc, when
+// non-zero, is used to resolve branch targets to absolute addresses.
+func (in Inst) Disassemble(pc uint64) string {
+	var b strings.Builder
+	mn := in.Kind.String()
+	switch in.Format {
+	case FormatMemory:
+		if in.Kind == KindJMP {
+			hint := [...]string{"jmp", "jsr", "ret", "jcr"}[in.Hint&3]
+			fmt.Fprintf(&b, "%s %s, (%s)", hint, in.Ra, in.Rb)
+			break
+		}
+		ra := in.Ra.String()
+		if in.Kind.IsFP() || in.Kind == KindSTT {
+			ra = fregName(in.Ra)
+		}
+		fmt.Fprintf(&b, "%s %s, %d(%s)", mn, ra, in.Disp, in.Rb)
+	case FormatBranch:
+		target := ""
+		if pc != 0 {
+			target = fmt.Sprintf("0x%x", uint64(int64(pc)+4+int64(in.Disp)*4))
+		} else {
+			target = fmt.Sprintf(".%+d", in.Disp)
+		}
+		switch in.Kind {
+		case KindFBEQ, KindFBNE:
+			fmt.Fprintf(&b, "%s %s, %s", mn, fregName(in.Ra), target)
+		default:
+			fmt.Fprintf(&b, "%s %s, %s", mn, in.Ra, target)
+		}
+	case FormatOperate:
+		if in.IsLit {
+			fmt.Fprintf(&b, "%s %s, #%d, %s", mn, in.Ra, in.Lit, in.Rc)
+		} else {
+			fmt.Fprintf(&b, "%s %s, %s, %s", mn, in.Ra, in.Rb, in.Rc)
+		}
+	case FormatFP:
+		fmt.Fprintf(&b, "%s %s, %s, %s", mn, fregName(in.Ra), fregName(in.Rb), fregName(in.Rc))
+	case FormatPAL:
+		switch in.Kind {
+		case KindIllegal:
+			fmt.Fprintf(&b, "call_pal 0x%x?", in.Pal)
+		default:
+			b.WriteString(mn)
+		}
+	default:
+		fmt.Fprintf(&b, ".word 0x%08x", uint32(in.Raw))
+	}
+	return b.String()
+}
+
+// String implements fmt.Stringer without PC-relative target resolution.
+func (in Inst) String() string { return in.Disassemble(0) }

@@ -1,0 +1,57 @@
+package isa
+
+import "fmt"
+
+// MakeMem encodes a memory-format instruction. disp must fit in a signed
+// 16-bit field.
+func MakeMem(op Opcode, ra, rb Reg, disp int32) (Word, error) {
+	if disp < -32768 || disp > 32767 {
+		return 0, fmt.Errorf("memory displacement %d out of 16-bit range", disp)
+	}
+	w := Word(uint32(op)<<26 | uint32(ra&31)<<21 | uint32(rb&31)<<16 | uint32(uint16(disp)))
+	return w, nil
+}
+
+// MakeBranch encodes a branch-format instruction. disp is in instruction
+// words (target = PC+4 + disp*4) and must fit in a signed 21-bit field.
+func MakeBranch(op Opcode, ra Reg, disp int32) (Word, error) {
+	if disp < -(1<<20) || disp >= (1<<20) {
+		return 0, fmt.Errorf("branch displacement %d out of 21-bit range", disp)
+	}
+	w := Word(uint32(op)<<26 | uint32(ra&31)<<21 | (uint32(disp) & 0x1FFFFF))
+	return w, nil
+}
+
+// MakeOperate encodes a register-form integer operate instruction.
+// Bits [15:13] are emitted as zero (SBZ).
+func MakeOperate(op Opcode, fn uint16, ra, rb, rc Reg) Word {
+	return Word(uint32(op)<<26 | uint32(ra&31)<<21 | uint32(rb&31)<<16 |
+		uint32(fn&0x7F)<<5 | uint32(rc&31))
+}
+
+// MakeOperateLit encodes a literal-form integer operate instruction with an
+// 8-bit unsigned literal as the second operand.
+func MakeOperateLit(op Opcode, fn uint16, ra Reg, lit uint8, rc Reg) Word {
+	return Word(uint32(op)<<26 | uint32(ra&31)<<21 | uint32(lit)<<13 |
+		1<<12 | uint32(fn&0x7F)<<5 | uint32(rc&31))
+}
+
+// MakeFP encodes an FP-operate instruction.
+func MakeFP(fn uint16, fa, fb, fc Reg) Word {
+	return Word(uint32(OpFltOp)<<26 | uint32(fa&31)<<21 | uint32(fb&31)<<16 |
+		uint32(fn&0x7FF)<<5 | uint32(fc&31))
+}
+
+// MakePal encodes a PAL-format instruction with a 26-bit function code.
+func MakePal(fn uint32) Word {
+	return Word(uint32(OpCallPal)<<26 | fn&0x3FFFFFF)
+}
+
+// MakeJump encodes a memory-format jump with a hint in disp[15:14].
+func MakeJump(ra, rb Reg, hint int) Word {
+	return Word(uint32(OpJMP)<<26 | uint32(ra&31)<<21 | uint32(rb&31)<<16 |
+		uint32(hint&3)<<14)
+}
+
+// Nop returns an encoding of the architectural no-op.
+func Nop() Word { return MakePal(PalNop) }

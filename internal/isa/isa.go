@@ -1,0 +1,273 @@
+// Package isa defines "Thessaly-64", the Alpha-like 64-bit RISC instruction
+// set simulated by this repository.
+//
+// The four instruction formats reproduce Table I of the GemFI paper (the
+// Alpha instruction formats) bit-for-bit:
+//
+//	Memory:    opcode[31:26] Ra[25:21] Rb[20:16] displacement[15:0]
+//	Branch:    opcode[31:26] Ra[25:21] displacement[20:0]
+//	Operate:   opcode[31:26] Ra[25:21] Rb[20:16] SBZ[15:13] L[12] func[11:5] Rc[4:0]
+//	           (literal form: opcode Ra literal[20:13] L=1 func Rc)
+//	FP Operate:opcode[31:26] Fa[25:21] Fb[20:16] func[15:5]  Fc[4:0]
+//	PALcode:   opcode[31:26] palcode function[25:0]
+//
+// Opcode numbering follows the Alpha layout where practical but is not
+// binary compatible; DIVQ and REMQ are extensions (real Alpha has no
+// integer divide). The fetch-stage fault taxonomy of the paper depends on
+// the existence of unused bits: in register-form Operate instructions bits
+// [15:13] are SBZ and ignored by decode, and in Memory-format jumps the
+// displacement's low 14 bits are a hint ignored by the execution semantics.
+package isa
+
+import "fmt"
+
+// Word is a single 32-bit instruction word.
+type Word uint32
+
+// Reg names an integer register. R31 always reads as zero.
+type Reg uint8
+
+// NumRegs is the number of architectural integer (and floating point)
+// registers.
+const NumRegs = 32
+
+// ZeroReg reads as zero and discards writes, like Alpha R31/F31.
+const ZeroReg Reg = 31
+
+// Conventional register roles (Alpha calling standard).
+const (
+	RegV0 Reg = 0 // function return value
+	RegT0 Reg = 1 // temporaries R1..R8
+	RegT1 Reg = 2
+	RegT2 Reg = 3
+	RegT3 Reg = 4
+	RegT4 Reg = 5
+	RegT5 Reg = 6
+	RegT6 Reg = 7
+	RegT7 Reg = 8
+	RegS0 Reg = 9  // callee-saved R9..R14
+	RegS5 Reg = 14 //
+	RegFP Reg = 15 // frame pointer
+	RegA0 Reg = 16 // arguments R16..R21
+	RegA1 Reg = 17
+	RegA2 Reg = 18
+	RegA3 Reg = 19
+	RegA4 Reg = 20
+	RegA5 Reg = 21
+	RegT8 Reg = 22 // more temporaries R22..R25
+	RegRA Reg = 26 // return address
+	RegPV Reg = 27 // procedure value
+	RegAT Reg = 28 // assembler temporary
+	RegGP Reg = 29 // global pointer (unused by our toolchain)
+	RegSP Reg = 30 // stack pointer
+)
+
+// Format identifies which of the Table I instruction formats a word uses.
+type Format int
+
+// Instruction formats (Table I of the paper).
+const (
+	FormatUnknown Format = iota
+	FormatMemory
+	FormatBranch
+	FormatOperate
+	FormatFP
+	FormatPAL
+)
+
+// String returns the format name as used in Table I.
+func (f Format) String() string {
+	switch f {
+	case FormatMemory:
+		return "Memory"
+	case FormatBranch:
+		return "Branch"
+	case FormatOperate:
+		return "Operate"
+	case FormatFP:
+		return "FP Operate"
+	case FormatPAL:
+		return "PALcode"
+	default:
+		return "Unknown"
+	}
+}
+
+// Opcode is the 6-bit primary opcode field.
+type Opcode uint8
+
+// Primary opcodes. Grouped by format.
+const (
+	OpCallPal Opcode = 0x00 // PAL format: syscalls and FI pseudo-instructions
+
+	// Memory format.
+	OpLDA  Opcode = 0x08 // Ra = Rb + sext(disp)
+	OpLDAH Opcode = 0x09 // Ra = Rb + sext(disp)<<16
+	OpLDBU Opcode = 0x0A // load zero-extended byte
+	OpSTB  Opcode = 0x0E // store byte
+	OpJMP  Opcode = 0x1A // Ra = PC+4; PC = Rb & ^3 (disp[15:14] = hint)
+	OpLDT  Opcode = 0x23 // load 64-bit float
+	OpSTT  Opcode = 0x27 // store 64-bit float
+	OpLDQ  Opcode = 0x29 // load quadword
+	OpSTQ  Opcode = 0x2D // store quadword
+
+	// Operate format (integer).
+	OpIntArith Opcode = 0x10 // add/sub/compare
+	OpIntLogic Opcode = 0x11 // and/or/xor/...
+	OpIntShift Opcode = 0x12 // shifts
+	OpIntMul   Opcode = 0x13 // multiply/divide (DIVQ/REMQ are extensions)
+
+	// FP operate format.
+	OpFltOp Opcode = 0x16
+
+	// Branch format.
+	OpBR   Opcode = 0x30 // unconditional, Ra = PC+4
+	OpFBEQ Opcode = 0x31 // branch if Fa == 0.0
+	OpBSR  Opcode = 0x34 // subroutine call, Ra = PC+4
+	OpFBNE Opcode = 0x35 // branch if Fa != 0.0
+	OpBEQ  Opcode = 0x39
+	OpBLT  Opcode = 0x3A
+	OpBLE  Opcode = 0x3B
+	OpBNE  Opcode = 0x3D
+	OpBGE  Opcode = 0x3E
+	OpBGT  Opcode = 0x3F
+)
+
+// Integer arithmetic function codes (opcode 0x10).
+const (
+	FnADDQ   uint16 = 0x20
+	FnSUBQ   uint16 = 0x29
+	FnCMPEQ  uint16 = 0x2D
+	FnCMPLT  uint16 = 0x4D
+	FnCMPLE  uint16 = 0x6D
+	FnCMPULT uint16 = 0x1D
+	FnCMPULE uint16 = 0x3D
+)
+
+// Integer logical function codes (opcode 0x11).
+const (
+	FnAND   uint16 = 0x00
+	FnBIC   uint16 = 0x08
+	FnBIS   uint16 = 0x20 // OR
+	FnORNOT uint16 = 0x28
+	FnXOR   uint16 = 0x40
+	FnEQV   uint16 = 0x48 // XNOR
+)
+
+// Integer shift function codes (opcode 0x12).
+const (
+	FnSLL uint16 = 0x39
+	FnSRL uint16 = 0x34
+	FnSRA uint16 = 0x3C
+)
+
+// Integer multiply/divide function codes (opcode 0x13).
+const (
+	FnMULQ uint16 = 0x20
+	FnDIVQ uint16 = 0x30 // extension: real Alpha has no integer divide
+	FnREMQ uint16 = 0x31 // extension
+)
+
+// FP operate function codes (opcode 0x16, 11-bit function field).
+const (
+	FnADDT   uint16 = 0x0A0
+	FnSUBT   uint16 = 0x0A1
+	FnMULT   uint16 = 0x0A2
+	FnDIVT   uint16 = 0x0A3
+	FnCMPTEQ uint16 = 0x0A5 // Fc = 2.0 if Fa == Fb else 0.0
+	FnCMPTLT uint16 = 0x0A6
+	FnCMPTLE uint16 = 0x0A7
+	FnSQRTT  uint16 = 0x0AB
+	FnCVTTQ  uint16 = 0x0AF // Fc = float64bits(int64(trunc(Fb)))
+	FnCVTQT  uint16 = 0x0BE // Fc = float64(int64(float64bits(Fb)))
+	FnCPYS   uint16 = 0x020 // copy sign: Fc = copysign(Fb, Fa); CPYS f,f,c moves
+)
+
+// PALcode function codes (opcode 0x00). The FI codes are the GemFI
+// pseudo-instructions of Section III.A of the paper.
+const (
+	PalHalt       uint32 = 0x0000
+	PalCallSys    uint32 = 0x0083 // syscall: number in R0, args in R16..R21
+	PalFIActivate uint32 = 0x0100 // fi_activate_inst(id): id in R16
+	PalFIInit     uint32 = 0x0101 // fi_read_init_all(): checkpoint + FI reset
+	PalNop        uint32 = 0x0102 // no operation (pipeline/testing aid)
+)
+
+// Syscall numbers passed in R0 with PalCallSys.
+const (
+	SysExit       uint64 = 1 // status in R16; terminates the simulation
+	SysPutc       uint64 = 2 // write byte R16 to the console
+	SysGetTID     uint64 = 3 // returns thread id in R0
+	SysSpawn      uint64 = 4 // entry PC in R16, argument in R17; returns tid
+	SysYield      uint64 = 5 // voluntarily give up the time slice
+	SysThreadExit uint64 = 6 // terminate the calling thread only
+	SysJoin       uint64 = 7 // block until thread R16 exits
+)
+
+// JMP hint values stored in displacement bits [15:14] of memory-format
+// jumps. They do not change execution semantics (exactly like Alpha), which
+// makes the remaining displacement bits "unused" for the purposes of the
+// paper's fetch-fault analysis.
+const (
+	HintJMP = 0
+	HintJSR = 1
+	HintRET = 2
+	HintJCR = 3
+)
+
+// regNames are the conventional Alpha register mnemonics.
+var regNames = [NumRegs]string{
+	"v0", "t0", "t1", "t2", "t3", "t4", "t5", "t6",
+	"t7", "s0", "s1", "s2", "s3", "s4", "s5", "fp",
+	"a0", "a1", "a2", "a3", "a4", "a5", "t8", "t9",
+	"t10", "t11", "ra", "pv", "at", "gp", "sp", "zero",
+}
+
+// String returns the conventional mnemonic for the register.
+func (r Reg) String() string {
+	if r < NumRegs {
+		return regNames[r]
+	}
+	return fmt.Sprintf("r%d?", uint8(r))
+}
+
+// RegByName resolves a register mnemonic ("t0", "sp", ...) or numeric name
+// ("r7" / "$7" / "f7" for floating point contexts).
+func RegByName(name string) (Reg, bool) {
+	for i, n := range regNames {
+		if n == name {
+			return Reg(i), true
+		}
+	}
+	if len(name) >= 2 && (name[0] == 'r' || name[0] == 'R' || name[0] == '$' || name[0] == 'f' || name[0] == 'F') {
+		v := 0
+		for _, c := range name[1:] {
+			if c < '0' || c > '9' {
+				return 0, false
+			}
+			v = v*10 + int(c-'0')
+		}
+		if v < NumRegs {
+			return Reg(v), true
+		}
+	}
+	return 0, false
+}
+
+// FormatOf classifies a primary opcode into its Table I format.
+func FormatOf(op Opcode) Format {
+	switch op {
+	case OpCallPal:
+		return FormatPAL
+	case OpLDA, OpLDAH, OpLDBU, OpSTB, OpJMP, OpLDT, OpSTT, OpLDQ, OpSTQ:
+		return FormatMemory
+	case OpIntArith, OpIntLogic, OpIntShift, OpIntMul:
+		return FormatOperate
+	case OpFltOp:
+		return FormatFP
+	case OpBR, OpFBEQ, OpBSR, OpFBNE, OpBEQ, OpBLT, OpBLE, OpBNE, OpBGE, OpBGT:
+		return FormatBranch
+	default:
+		return FormatUnknown
+	}
+}

@@ -1,0 +1,164 @@
+package isa
+
+// Kind is the canonical semantic operation of a decoded instruction. The
+// CPU models dispatch on Kind; a corrupted instruction word that does not
+// decode to any defined operation yields KindIllegal, which the simulator
+// turns into an illegal-instruction trap (the paper: "when faults were
+// injected into the opcode or the function and the resulting
+// opcode/function is not implemented the benchmarks always terminated their
+// execution due to illegal instruction").
+type Kind int
+
+// Semantic operation kinds.
+const (
+	KindIllegal Kind = iota
+
+	// Memory format.
+	KindLDA
+	KindLDAH
+	KindLDBU
+	KindSTB
+	KindLDQ
+	KindSTQ
+	KindLDT
+	KindSTT
+	KindJMP
+
+	// Branch format.
+	KindBR
+	KindBSR
+	KindBEQ
+	KindBNE
+	KindBLT
+	KindBLE
+	KindBGE
+	KindBGT
+	KindFBEQ
+	KindFBNE
+
+	// Integer operate.
+	KindADDQ
+	KindSUBQ
+	KindCMPEQ
+	KindCMPLT
+	KindCMPLE
+	KindCMPULT
+	KindCMPULE
+	KindAND
+	KindBIC
+	KindBIS
+	KindORNOT
+	KindXOR
+	KindEQV
+	KindSLL
+	KindSRL
+	KindSRA
+	KindMULQ
+	KindDIVQ
+	KindREMQ
+
+	// FP operate.
+	KindADDT
+	KindSUBT
+	KindMULT
+	KindDIVT
+	KindCMPTEQ
+	KindCMPTLT
+	KindCMPTLE
+	KindSQRTT
+	KindCVTTQ
+	KindCVTQT
+	KindCPYS
+
+	// PAL format.
+	KindHalt
+	KindSyscall
+	KindFIActivate
+	KindFIInit
+	KindNop
+
+	numKinds
+)
+
+var kindNames = map[Kind]string{
+	KindIllegal: "illegal",
+	KindLDA:     "lda", KindLDAH: "ldah", KindLDBU: "ldbu", KindSTB: "stb",
+	KindLDQ: "ldq", KindSTQ: "stq", KindLDT: "ldt", KindSTT: "stt",
+	KindJMP: "jmp",
+	KindBR:  "br", KindBSR: "bsr",
+	KindBEQ: "beq", KindBNE: "bne", KindBLT: "blt", KindBLE: "ble",
+	KindBGE: "bge", KindBGT: "bgt", KindFBEQ: "fbeq", KindFBNE: "fbne",
+	KindADDQ: "addq", KindSUBQ: "subq",
+	KindCMPEQ: "cmpeq", KindCMPLT: "cmplt", KindCMPLE: "cmple",
+	KindCMPULT: "cmpult", KindCMPULE: "cmpule",
+	KindAND: "and", KindBIC: "bic", KindBIS: "bis", KindORNOT: "ornot",
+	KindXOR: "xor", KindEQV: "eqv",
+	KindSLL: "sll", KindSRL: "srl", KindSRA: "sra",
+	KindMULQ: "mulq", KindDIVQ: "divq", KindREMQ: "remq",
+	KindADDT: "addt", KindSUBT: "subt", KindMULT: "mult", KindDIVT: "divt",
+	KindCMPTEQ: "cmpteq", KindCMPTLT: "cmptlt", KindCMPTLE: "cmptle",
+	KindSQRTT: "sqrtt", KindCVTTQ: "cvttq", KindCVTQT: "cvtqt", KindCPYS: "cpys",
+	KindHalt: "halt", KindSyscall: "callsys",
+	KindFIActivate: "fi_activate_inst", KindFIInit: "fi_read_init_all",
+	KindNop: "nop",
+}
+
+// String returns the assembly mnemonic for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return "kind?"
+}
+
+// IsLoad reports whether the kind reads from memory.
+func (k Kind) IsLoad() bool {
+	switch k {
+	case KindLDBU, KindLDQ, KindLDT:
+		return true
+	}
+	return false
+}
+
+// IsStore reports whether the kind writes to memory.
+func (k Kind) IsStore() bool {
+	switch k {
+	case KindSTB, KindSTQ, KindSTT:
+		return true
+	}
+	return false
+}
+
+// IsMem reports whether the kind performs a memory transaction (the
+// paper's "memory transactions (load/stores)" fault location).
+func (k Kind) IsMem() bool { return k.IsLoad() || k.IsStore() }
+
+// IsBranch reports whether the kind can redirect control flow.
+func (k Kind) IsBranch() bool {
+	switch k {
+	case KindJMP, KindBR, KindBSR, KindBEQ, KindBNE, KindBLT, KindBLE,
+		KindBGE, KindBGT, KindFBEQ, KindFBNE:
+		return true
+	}
+	return false
+}
+
+// IsCondBranch reports whether the branch outcome depends on a register.
+func (k Kind) IsCondBranch() bool {
+	switch k {
+	case KindBEQ, KindBNE, KindBLT, KindBLE, KindBGE, KindBGT, KindFBEQ, KindFBNE:
+		return true
+	}
+	return false
+}
+
+// IsFP reports whether the kind's destination (if any) is a floating point
+// register.
+func (k Kind) IsFP() bool {
+	switch k {
+	case KindLDT, KindADDT, KindSUBT, KindMULT, KindDIVT, KindCMPTEQ,
+		KindCMPTLT, KindCMPTLE, KindSQRTT, KindCVTTQ, KindCVTQT, KindCPYS:
+		return true
+	}
+	return false
+}

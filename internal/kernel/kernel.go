@@ -1,0 +1,492 @@
+// Package kernel implements the micro operating system running inside the
+// simulator: per-thread Process Control Blocks stored in guest memory, a
+// preemptive round-robin scheduler, and the syscall interface. It stands
+// in for the Linux image gem5 boots in the paper's full-system mode.
+//
+// The design detail that matters for GemFI is thread identity: like gem5,
+// threads are identified "at the hardware/simulator level by their unique
+// Process Control Block (PCB) address", and context switches are visible
+// to the fault injection engine as changes of the PCB base register
+// (Arch.PCBB). The PCBs live in *guest* memory, so faults corrupting them
+// produce realistic kernel-level crashes.
+package kernel
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Guest memory layout.
+const (
+	MaxThreads = 8
+
+	PCBBase = 0x00F0_0000
+	PCBSize = 0x400
+
+	StackTop  = 0x00E0_0000 // thread 0 stack grows down from here
+	StackSize = 0x0002_0000 // per-thread stack
+)
+
+// PCB field offsets (bytes from the PCB base).
+const (
+	pcbPC    = 0x000
+	pcbRegs  = 0x008 // 32 x 8 bytes
+	pcbFRegs = 0x108 // 32 x 8 bytes (IEEE 754 bits)
+	pcbTID   = 0x208
+	pcbState = 0x210
+	pcbExit  = 0x218
+	pcbJoin  = 0x220
+)
+
+// Thread states stored in the PCB.
+const (
+	ThreadFree     uint64 = 0
+	ThreadRunnable uint64 = 1
+	ThreadRunning  uint64 = 2
+	ThreadExited   uint64 = 3
+	ThreadBlocked  uint64 = 4 // waiting in join
+)
+
+// DefaultQuantum is the scheduler time slice in committed instructions.
+const DefaultQuantum = 10000
+
+// Kernel is the simulated operating system. It implements cpu.PalHandler
+// (syscalls) and cpu.Scheduler (preemption).
+type Kernel struct {
+	Mem     *mem.Memory
+	Quantum uint64
+
+	cur       int // running thread slot
+	sliceLeft uint64
+	nthreads  int // high-water mark of allocated slots
+
+	console bytes.Buffer
+
+	// IOFilter, when set, transforms every byte written to the console —
+	// the hook the fault injection engine uses for I/O-device faults
+	// (paper Section VII future work).
+	IOFilter func(byte) byte
+
+	exitTrampoline uint64 // return address installed for spawned threads
+
+	// Stats.
+	ContextSwitches uint64
+	SyscallCount    uint64
+}
+
+var (
+	_ cpu.PalHandler = (*Kernel)(nil)
+	_ cpu.Scheduler  = (*Kernel)(nil)
+)
+
+// New returns a kernel managing threads in m.
+func New(m *mem.Memory) *Kernel {
+	return &Kernel{Mem: m, Quantum: DefaultQuantum, sliceLeft: DefaultQuantum}
+}
+
+// Console returns everything the guest wrote with the putc syscall.
+func (k *Kernel) Console() string { return k.console.String() }
+
+// PCBAddr returns the guest address of thread slot i's PCB.
+func PCBAddr(i int) uint64 { return PCBBase + uint64(i)*PCBSize }
+
+// stackTopFor returns the initial stack pointer of thread slot i.
+func stackTopFor(i int) uint64 { return StackTop - uint64(i)*StackSize }
+
+// Boot maps the program image and kernel regions into memory, loads the
+// image, creates thread 0 and points the core at it. It mirrors gem5 FS
+// mode's boot-to-app sequence in miniature.
+func (k *Kernel) Boot(c *cpu.Core, p *asm.Program) error {
+	m := k.Mem
+	textSize := uint64(len(p.Text)) * 4
+	m.Map(p.TextBase, textSize)
+	if len(p.Data) > 0 {
+		m.Map(p.DataBase, uint64(len(p.Data)))
+	}
+	m.Map(StackTop-uint64(MaxThreads)*StackSize, uint64(MaxThreads)*StackSize)
+	m.Map(PCBBase, uint64(MaxThreads)*PCBSize)
+
+	for i, w := range p.Text {
+		if err := m.Write32(p.TextBase+uint64(i)*4, uint32(w)); err != nil {
+			return fmt.Errorf("load text: %w", err)
+		}
+	}
+	if err := m.StoreBytes(p.DataBase, p.Data); err != nil {
+		return fmt.Errorf("load data: %w", err)
+	}
+	if t, ok := p.Symbol("_thread_exit"); ok {
+		k.exitTrampoline = t
+	}
+
+	// Thread 0.
+	if err := k.initPCB(0, p.Entry, 0); err != nil {
+		return err
+	}
+	k.cur = 0
+	k.nthreads = 1
+	if err := k.writePCBField(0, pcbState, ThreadRunning); err != nil {
+		return err
+	}
+	if err := k.loadArch(0, &c.Arch); err != nil {
+		return err
+	}
+	c.Pal = k
+	c.Sched = k
+	return nil
+}
+
+// initPCB builds a fresh PCB for slot i with the given entry PC and a0.
+func (k *Kernel) initPCB(i int, entry, a0 uint64) error {
+	base := PCBAddr(i)
+	zero := make([]byte, PCBSize)
+	if err := k.Mem.StoreBytes(base, zero); err != nil {
+		return err
+	}
+	fields := map[uint64]uint64{
+		pcbPC:                         entry,
+		pcbRegs + 8*uint64(isa.RegSP): stackTopFor(i),
+		pcbRegs + 8*uint64(isa.RegA0): a0,
+		pcbRegs + 8*uint64(isa.RegRA): k.exitTrampoline,
+		pcbTID:                        uint64(i),
+		pcbState:                      ThreadRunnable,
+	}
+	for off, v := range fields {
+		if err := k.Mem.Write64(base+off, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (k *Kernel) readPCBField(i int, off uint64) (uint64, error) {
+	return k.Mem.Read64(PCBAddr(i) + off)
+}
+
+func (k *Kernel) writePCBField(i int, off uint64, v uint64) error {
+	return k.Mem.Write64(PCBAddr(i)+off, v)
+}
+
+// saveArch writes the architectural state into slot i's PCB.
+func (k *Kernel) saveArch(i int, a *cpu.Arch) error {
+	base := PCBAddr(i)
+	if err := k.Mem.Write64(base+pcbPC, a.PC); err != nil {
+		return err
+	}
+	for r := 0; r < isa.NumRegs; r++ {
+		if err := k.Mem.Write64(base+pcbRegs+8*uint64(r), a.R[r]); err != nil {
+			return err
+		}
+		if err := k.Mem.Write64(base+pcbFRegs+8*uint64(r), f2b(a.F[r])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadArch restores the architectural state from slot i's PCB and sets
+// the PCB base register.
+func (k *Kernel) loadArch(i int, a *cpu.Arch) error {
+	base := PCBAddr(i)
+	pc, err := k.Mem.Read64(base + pcbPC)
+	if err != nil {
+		return err
+	}
+	a.PC = pc
+	for r := 0; r < isa.NumRegs; r++ {
+		v, err := k.Mem.Read64(base + pcbRegs + 8*uint64(r))
+		if err != nil {
+			return err
+		}
+		a.R[r] = v
+		fb, err := k.Mem.Read64(base + pcbFRegs + 8*uint64(r))
+		if err != nil {
+			return err
+		}
+		a.F[r] = b2f(fb)
+	}
+	a.R[isa.ZeroReg] = 0
+	a.F[isa.ZeroReg] = 0
+	a.PCBB = base
+	return nil
+}
+
+// HandlePal implements cpu.PalHandler.
+func (k *Kernel) HandlePal(c *cpu.Core, kind isa.Kind) (cpu.PalAction, error) {
+	switch kind {
+	case isa.KindHalt:
+		c.ExitStatus = 0
+		return cpu.PalStop, nil
+	case isa.KindSyscall:
+		return k.syscall(c)
+	default:
+		return cpu.PalContinue, fmt.Errorf("kernel: unhandled PAL kind %v", kind)
+	}
+}
+
+// syscall dispatches on the number in R0 (v0).
+func (k *Kernel) syscall(c *cpu.Core) (cpu.PalAction, error) {
+	k.SyscallCount++
+	a := &c.Arch
+	num := a.ReadReg(isa.RegV0)
+	arg0 := a.ReadReg(isa.RegA0)
+	arg1 := a.ReadReg(isa.RegA1)
+	switch num {
+	case isa.SysExit:
+		c.ExitStatus = int(int64(arg0))
+		if err := k.writePCBField(k.cur, pcbState, ThreadExited); err != nil {
+			return cpu.PalContinue, err
+		}
+		if err := k.writePCBField(k.cur, pcbExit, arg0); err != nil {
+			return cpu.PalContinue, err
+		}
+		return cpu.PalStop, nil
+
+	case isa.SysPutc:
+		b := byte(arg0)
+		if k.IOFilter != nil {
+			b = k.IOFilter(b)
+		}
+		k.console.WriteByte(b)
+		a.WriteReg(isa.RegV0, 0)
+		return cpu.PalContinue, nil
+
+	case isa.SysGetTID:
+		tid, err := k.readPCBField(k.cur, pcbTID)
+		if err != nil {
+			return cpu.PalContinue, err
+		}
+		a.WriteReg(isa.RegV0, tid)
+		return cpu.PalContinue, nil
+
+	case isa.SysSpawn:
+		slot := -1
+		for i := 0; i < MaxThreads; i++ {
+			st, err := k.readPCBField(i, pcbState)
+			if err != nil {
+				return cpu.PalContinue, err
+			}
+			if st == ThreadFree {
+				slot = i
+				break
+			}
+		}
+		if slot < 0 {
+			a.WriteReg(isa.RegV0, ^uint64(0)) // -1: no free slots
+			return cpu.PalContinue, nil
+		}
+		if err := k.initPCB(slot, arg0, arg1); err != nil {
+			return cpu.PalContinue, err
+		}
+		if slot >= k.nthreads {
+			k.nthreads = slot + 1
+		}
+		a.WriteReg(isa.RegV0, uint64(slot))
+		return cpu.PalContinue, nil
+
+	case isa.SysYield:
+		k.sliceLeft = 0
+		a.WriteReg(isa.RegV0, 0)
+		return cpu.PalContinue, nil
+
+	case isa.SysThreadExit:
+		if err := k.writePCBField(k.cur, pcbState, ThreadExited); err != nil {
+			return cpu.PalContinue, err
+		}
+		if err := k.writePCBField(k.cur, pcbExit, arg0); err != nil {
+			return cpu.PalContinue, err
+		}
+		if k.cur == 0 {
+			c.ExitStatus = int(int64(arg0))
+			return cpu.PalStop, nil
+		}
+		if !k.switchFrom(c, false) {
+			// Nothing left to run.
+			c.ExitStatus = 0
+			return cpu.PalStop, nil
+		}
+		return cpu.PalContinue, nil
+
+	case isa.SysJoin:
+		target := int(int64(arg0))
+		if target < 0 || target >= MaxThreads {
+			a.WriteReg(isa.RegV0, ^uint64(0))
+			return cpu.PalContinue, nil
+		}
+		st, err := k.readPCBField(target, pcbState)
+		if err != nil {
+			return cpu.PalContinue, err
+		}
+		if st == ThreadExited || st == ThreadFree {
+			a.WriteReg(isa.RegV0, 0)
+			return cpu.PalContinue, nil
+		}
+		if err := k.writePCBField(k.cur, pcbState, ThreadBlocked); err != nil {
+			return cpu.PalContinue, err
+		}
+		if err := k.writePCBField(k.cur, pcbJoin, uint64(target)); err != nil {
+			return cpu.PalContinue, err
+		}
+		// Re-run the join when the thread is rescheduled.
+		a.PC -= 4
+		a.WriteReg(isa.RegV0, isa.SysJoin)
+		if !k.switchFrom(c, true) {
+			return cpu.PalContinue, fmt.Errorf("kernel: join deadlock")
+		}
+		return cpu.PalContinue, nil
+
+	default:
+		return cpu.PalContinue, fmt.Errorf("kernel: unknown syscall %d", num)
+	}
+}
+
+// MaybeSwitch implements cpu.Scheduler: round-robin preemption every
+// Quantum committed instructions.
+func (k *Kernel) MaybeSwitch(c *cpu.Core) bool {
+	// Quantum may be reconfigured after construction; clamp the current
+	// slice so the new value takes effect immediately.
+	if k.sliceLeft > k.Quantum {
+		k.sliceLeft = k.Quantum
+	}
+	if k.sliceLeft > 1 {
+		k.sliceLeft--
+		return false
+	}
+	k.sliceLeft = k.Quantum
+	if k.nthreads <= 1 {
+		return false
+	}
+	return k.switchFrom(c, true)
+}
+
+// switchFrom saves the current thread (if saveCur) and dispatches the next
+// runnable one. Returns false if no other thread can run.
+func (k *Kernel) switchFrom(c *cpu.Core, saveCur bool) bool {
+	next := k.pickNext(c)
+	if next < 0 {
+		return false
+	}
+	if saveCur {
+		curState, err := k.readPCBField(k.cur, pcbState)
+		if err != nil {
+			k.panic(c, err)
+			return false
+		}
+		if err := k.saveArch(k.cur, &c.Arch); err != nil {
+			k.panic(c, err)
+			return false
+		}
+		if curState == ThreadRunning {
+			if err := k.writePCBField(k.cur, pcbState, ThreadRunnable); err != nil {
+				k.panic(c, err)
+				return false
+			}
+		}
+	}
+	if err := k.writePCBField(next, pcbState, ThreadRunning); err != nil {
+		k.panic(c, err)
+		return false
+	}
+	if err := k.loadArch(next, &c.Arch); err != nil {
+		k.panic(c, err)
+		return false
+	}
+	k.cur = next
+	k.ContextSwitches++
+	return true
+}
+
+// pickNext chooses the next runnable slot after cur (round robin),
+// unblocking joiners whose target has exited.
+func (k *Kernel) pickNext(c *cpu.Core) int {
+	for step := 1; step <= k.nthreads; step++ {
+		i := (k.cur + step) % k.nthreads
+		st, err := k.readPCBField(i, pcbState)
+		if err != nil {
+			k.panic(c, err)
+			return -1
+		}
+		switch st {
+		case ThreadRunnable:
+			return i
+		case ThreadBlocked:
+			tgt, err := k.readPCBField(i, pcbJoin)
+			if err != nil {
+				k.panic(c, err)
+				return -1
+			}
+			if int(tgt) < MaxThreads {
+				ts, err := k.readPCBField(int(tgt), pcbState)
+				if err != nil {
+					k.panic(c, err)
+					return -1
+				}
+				if ts == ThreadExited || ts == ThreadFree {
+					return i
+				}
+			}
+		}
+	}
+	return -1
+}
+
+// panic stops the core with a kernel trap (e.g. fault-corrupted PCB
+// memory becoming unmappable).
+func (k *Kernel) panic(c *cpu.Core, err error) {
+	c.Stop(&cpu.Trap{Kind: cpu.TrapKernel, PC: c.Arch.PC})
+	_ = err
+}
+
+// CurrentSlot returns the running thread slot (for tests and tools).
+func (k *Kernel) CurrentSlot() int { return k.cur }
+
+// Threads returns the number of allocated thread slots.
+func (k *Kernel) Threads() int { return k.nthreads }
+
+// Snapshot captures the kernel scheduling state for checkpointing (the
+// PCBs themselves live in guest memory and are captured with it).
+type Snapshot struct {
+	Cur             int
+	SliceLeft       uint64
+	NThreads        int
+	Console         []byte
+	ExitTrampoline  uint64
+	ContextSwitches uint64
+	SyscallCount    uint64
+	Quantum         uint64
+}
+
+// Snapshot returns a copy of the kernel state.
+func (k *Kernel) Snapshot() Snapshot {
+	return Snapshot{
+		Cur:             k.cur,
+		SliceLeft:       k.sliceLeft,
+		NThreads:        k.nthreads,
+		Console:         append([]byte(nil), k.console.Bytes()...),
+		ExitTrampoline:  k.exitTrampoline,
+		ContextSwitches: k.ContextSwitches,
+		SyscallCount:    k.SyscallCount,
+		Quantum:         k.Quantum,
+	}
+}
+
+// Restore replaces the kernel state with the snapshot's.
+func (k *Kernel) Restore(s Snapshot) {
+	k.cur = s.Cur
+	k.sliceLeft = s.SliceLeft
+	k.nthreads = s.NThreads
+	k.console.Reset()
+	k.console.Write(s.Console)
+	k.exitTrampoline = s.ExitTrampoline
+	k.ContextSwitches = s.ContextSwitches
+	k.SyscallCount = s.SyscallCount
+	k.Quantum = s.Quantum
+}
+
+func f2b(f float64) uint64 { return math.Float64bits(f) }
+func b2f(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,322 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+)
+
+// boot assembles src and boots a core.
+func boot(t *testing.T, src string) (*cpu.Core, *Kernel) {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New()
+	c := &cpu.Core{Name: "cpu", Mem: m}
+	k := New(m)
+	if err := k.Boot(c, p); err != nil {
+		t.Fatal(err)
+	}
+	return c, k
+}
+
+func runAtomic(c *cpu.Core, maxSteps int) {
+	mdl := cpu.NewAtomic(c)
+	for i := 0; i < maxSteps && mdl.Step(); i++ {
+	}
+}
+
+func TestBootInitialState(t *testing.T) {
+	c, k := boot(t, "_start:\n nop\n halt\n")
+	if c.Arch.PCBB != PCBAddr(0) {
+		t.Errorf("PCBB = %#x, want %#x", c.Arch.PCBB, PCBAddr(0))
+	}
+	if c.Arch.R[30] != StackTop {
+		t.Errorf("SP = %#x", c.Arch.R[30])
+	}
+	if k.CurrentSlot() != 0 || k.Threads() != 1 {
+		t.Error("thread bookkeeping wrong")
+	}
+	// PCB 0 must be in guest memory with state running.
+	st, err := k.readPCBField(0, pcbState)
+	if err != nil || st != ThreadRunning {
+		t.Errorf("PCB state = %d, %v", st, err)
+	}
+}
+
+func TestExitSyscallStopsWithStatus(t *testing.T) {
+	c, _ := boot(t, `
+_start:
+    li a0, 42
+    li v0, 1
+    callsys
+`)
+	runAtomic(c, 100)
+	if !c.Stopped || c.ExitStatus != 42 {
+		t.Fatalf("stopped=%v status=%d", c.Stopped, c.ExitStatus)
+	}
+}
+
+func TestHaltStops(t *testing.T) {
+	c, _ := boot(t, "_start:\n halt\n")
+	runAtomic(c, 10)
+	if !c.Stopped || c.Trap != nil {
+		t.Fatalf("halt: stopped=%v trap=%v", c.Stopped, c.Trap)
+	}
+}
+
+func TestUnknownSyscallPanicsKernel(t *testing.T) {
+	c, _ := boot(t, `
+_start:
+    li v0, 999
+    callsys
+`)
+	runAtomic(c, 100)
+	if c.Trap == nil || c.Trap.Kind != cpu.TrapKernel {
+		t.Fatalf("trap = %v, want kernel panic", c.Trap)
+	}
+}
+
+func TestGetTIDAndConsole(t *testing.T) {
+	c, k := boot(t, `
+_start:
+    li v0, 3
+    callsys           ; v0 = tid (0)
+    addq v0, #65, a0  ; 'A'
+    li v0, 2
+    callsys
+    li a0, 0
+    li v0, 1
+    callsys
+`)
+	runAtomic(c, 100)
+	if k.Console() != "A" {
+		t.Errorf("console %q", k.Console())
+	}
+}
+
+func TestSpawnAllocatesPCB(t *testing.T) {
+	c, k := boot(t, `
+_start:
+    la  a0, child
+    li  a1, 5
+    li  v0, 4
+    callsys           ; spawn -> v0 = tid 1
+    mov v0, a0
+    li  v0, 1
+    callsys           ; exit(tid)
+child:
+    li  v0, 6
+    li  a0, 0
+    callsys
+`)
+	runAtomic(c, 1000)
+	if c.ExitStatus != 1 {
+		t.Fatalf("spawn returned %d", c.ExitStatus)
+	}
+	if k.Threads() != 2 {
+		t.Errorf("threads = %d", k.Threads())
+	}
+	// The child PCB must carry its argument in a0's slot.
+	a0, err := k.readPCBField(1, pcbRegs+8*16)
+	if err != nil || a0 != 5 {
+		t.Errorf("child a0 = %d, %v", a0, err)
+	}
+	pc, _ := k.readPCBField(1, pcbPC)
+	if pc == 0 {
+		t.Error("child PC not set")
+	}
+}
+
+func TestSpawnExhaustionReturnsMinusOne(t *testing.T) {
+	src := "_start:\n"
+	for i := 0; i < MaxThreads; i++ { // one more than the free slots
+		src += "    la a0, child\n    li a1, 0\n    li v0, 4\n    callsys\n    mov v0, s0\n"
+	}
+	src += "    mov s0, a0\n    li v0, 1\n    callsys\nchild:\n    li v0, 5\n    callsys\n    br child\n"
+	c, _ := boot(t, src)
+	runAtomic(c, 100000)
+	if c.ExitStatus != -1 {
+		t.Errorf("last spawn = %d, want -1 (no free slots)", c.ExitStatus)
+	}
+}
+
+func TestPreemptionRoundRobin(t *testing.T) {
+	c, k := boot(t, `
+_start:
+    la a0, spinner
+    li a1, 0
+    li v0, 4
+    callsys
+    ; busy loop until the spinner stored its mark
+    la t0, mark
+wait:
+    ldq t1, 0(t0)
+    beq t1, wait
+    mov t1, a0
+    li v0, 1
+    callsys
+spinner:
+    la t0, mark
+    li t1, 9
+    stq t1, 0(t0)
+spin:
+    br spin
+.data
+mark: .quad 0
+`)
+	k.Quantum = 100
+	runAtomic(c, 1_000_000)
+	if c.ExitStatus != 9 {
+		t.Fatalf("exit = %d (trap %v)", c.ExitStatus, c.Trap)
+	}
+	if k.ContextSwitches < 2 {
+		t.Errorf("context switches = %d", k.ContextSwitches)
+	}
+}
+
+func TestYieldSwitchesImmediately(t *testing.T) {
+	c, k := boot(t, `
+_start:
+    la a0, other
+    li a1, 0
+    li v0, 4
+    callsys
+    li v0, 5
+    callsys          ; yield: other runs next
+    la t0, cell
+    ldq a0, 0(t0)
+    li v0, 1
+    callsys
+other:
+    la t0, cell
+    li t1, 33
+    stq t1, 0(t0)
+    li v0, 6
+    li a0, 0
+    callsys
+.data
+cell: .quad 0
+`)
+	k.Quantum = 1_000_000 // preemption never fires; only yield switches
+	runAtomic(c, 1_000_000)
+	if c.ExitStatus != 33 {
+		t.Fatalf("exit = %d", c.ExitStatus)
+	}
+}
+
+func TestJoinBlocksUntilChildExits(t *testing.T) {
+	c, k := boot(t, `
+_start:
+    la a0, worker
+    li a1, 0
+    li v0, 4
+    callsys
+    mov v0, a0
+    li v0, 7
+    callsys           ; join(child)
+    la t0, cell
+    ldq a0, 0(t0)     ; guaranteed 77 after join
+    li v0, 1
+    callsys
+worker:
+    li t0, 500
+delay:
+    subq t0, #1, t0
+    bne t0, delay
+    la t1, cell
+    li t2, 77
+    stq t2, 0(t1)
+    li v0, 6
+    li a0, 0
+    callsys
+.data
+cell: .quad 0
+`)
+	k.Quantum = 50
+	runAtomic(c, 1_000_000)
+	if c.ExitStatus != 77 {
+		t.Fatalf("join did not wait: exit = %d (trap %v)", c.ExitStatus, c.Trap)
+	}
+}
+
+func TestJoinDeadlockPanics(t *testing.T) {
+	c, _ := boot(t, `
+_start:
+    li a0, 0          ; join self
+    li v0, 7
+    callsys
+`)
+	runAtomic(c, 10000)
+	if c.Trap == nil || c.Trap.Kind != cpu.TrapKernel {
+		t.Fatalf("self-join: trap = %v", c.Trap)
+	}
+}
+
+func TestContextSwitchRoundTripsFPRegisters(t *testing.T) {
+	// Thread 0 parks a distinctive FP value, spins across several
+	// quanta, and checks the value survived the context switches.
+	c, k := boot(t, `
+_start:
+    la a0, spinner
+    li a1, 0
+    li v0, 4
+    callsys
+    la t0, fval
+    ldt f5, 0(t0)
+    li t1, 3000
+loop:
+    subq t1, #1, t1
+    bne t1, loop
+    stt f5, 8(t0)
+    ldq t2, 8(t0)
+    ldq t3, 0(t0)
+    subq t2, t3, t4
+    beq t4, good
+    li a0, 1
+    li v0, 1
+    callsys
+good:
+    li a0, 0
+    li v0, 1
+    callsys
+spinner:
+    li v0, 5
+    callsys
+    br spinner
+.data
+fval: .double 2.718281828
+scratch: .quad 0
+`)
+	k.Quantum = 100
+	runAtomic(c, 1_000_000)
+	if c.ExitStatus != 0 {
+		t.Fatalf("FP state corrupted across context switches (exit %d)", c.ExitStatus)
+	}
+	if k.ContextSwitches == 0 {
+		t.Fatal("test did not exercise context switches")
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	c, k := boot(t, "_start:\n nop\n halt\n")
+	runAtomic(c, 1)
+	k.console.WriteString("hello")
+	snap := k.Snapshot()
+	k.console.Reset()
+	k.cur = 3
+	k.Restore(snap)
+	if k.Console() != "hello" || k.CurrentSlot() != 0 {
+		t.Error("restore incomplete")
+	}
+	// Snapshot must be isolated from later mutation.
+	k.console.WriteString("X")
+	if string(snap.Console) != "hello" {
+		t.Error("snapshot aliased console buffer")
+	}
+	_ = c
+}

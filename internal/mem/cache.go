@@ -1,0 +1,199 @@
+package mem
+
+// This file models the timing side of the memory system: set-associative
+// write-back caches with LRU replacement, chained into a hierarchy
+// (L1I / L1D -> unified L2 -> DRAM). Data always lives in Memory; the
+// caches only account for latency and hit/miss statistics, which is how
+// gem5's atomic/timing "classic" memory system behaves.
+
+// Level is anything that can service an access and report its latency in
+// cycles.
+type Level interface {
+	// Access services a read (write=false) or write (write=true) of the
+	// line containing addr and returns the total latency in cycles.
+	Access(addr uint64, write bool) uint64
+	// InvalidateAll drops all cached state (used on checkpoint restore).
+	InvalidateAll()
+}
+
+// FixedLatency is a terminal memory level with a constant access latency,
+// modelling DRAM.
+type FixedLatency struct {
+	Latency  uint64
+	Accesses uint64
+}
+
+var _ Level = (*FixedLatency)(nil)
+
+// Access implements Level.
+func (f *FixedLatency) Access(addr uint64, write bool) uint64 {
+	f.Accesses++
+	return f.Latency
+}
+
+// InvalidateAll implements Level.
+func (f *FixedLatency) InvalidateAll() {}
+
+// CacheConfig describes the geometry and timing of one cache.
+type CacheConfig struct {
+	Name       string
+	SizeBytes  int
+	Assoc      int
+	LineBytes  int
+	HitLatency uint64
+}
+
+// CacheStats counts hit/miss/writeback events.
+type CacheStats struct {
+	Hits       uint64
+	Misses     uint64
+	Writebacks uint64
+}
+
+type cacheLine struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	used  uint64 // LRU timestamp
+}
+
+// Cache is a set-associative write-back, write-allocate cache.
+type Cache struct {
+	cfg      CacheConfig
+	sets     [][]cacheLine
+	numSets  int
+	lineBits uint
+	next     Level
+	clock    uint64
+	stats    CacheStats
+}
+
+var _ Level = (*Cache)(nil)
+
+// NewCache builds a cache in front of next. The configuration must be a
+// power-of-two geometry; NewCache panics otherwise since configurations
+// are static program data, not runtime input.
+func NewCache(cfg CacheConfig, next Level) *Cache {
+	if cfg.LineBytes <= 0 || cfg.Assoc <= 0 || cfg.SizeBytes <= 0 {
+		panic("mem: invalid cache config " + cfg.Name)
+	}
+	numSets := cfg.SizeBytes / (cfg.Assoc * cfg.LineBytes)
+	if numSets <= 0 || numSets&(numSets-1) != 0 || cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		panic("mem: cache geometry must be a power of two: " + cfg.Name)
+	}
+	lineBits := uint(0)
+	for 1<<lineBits < cfg.LineBytes {
+		lineBits++
+	}
+	sets := make([][]cacheLine, numSets)
+	for i := range sets {
+		sets[i] = make([]cacheLine, cfg.Assoc)
+	}
+	return &Cache{cfg: cfg, sets: sets, numSets: numSets, lineBits: lineBits, next: next}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// Stats returns a copy of the hit/miss counters.
+func (c *Cache) Stats() CacheStats { return c.stats }
+
+// Access implements Level.
+func (c *Cache) Access(addr uint64, write bool) uint64 {
+	c.clock++
+	lineAddr := addr >> c.lineBits
+	set := int(lineAddr) & (c.numSets - 1)
+	tag := lineAddr >> 0
+	lines := c.sets[set]
+	for i := range lines {
+		if lines[i].valid && lines[i].tag == tag {
+			c.stats.Hits++
+			lines[i].used = c.clock
+			if write {
+				lines[i].dirty = true
+			}
+			return c.cfg.HitLatency
+		}
+	}
+	// Miss: fetch from the next level, allocate, evict LRU.
+	c.stats.Misses++
+	latency := c.cfg.HitLatency + c.next.Access(addr, false)
+	victim := 0
+	for i := 1; i < len(lines); i++ {
+		if !lines[i].valid {
+			victim = i
+			break
+		}
+		if lines[i].used < lines[victim].used {
+			victim = i
+		}
+	}
+	if lines[victim].valid && lines[victim].dirty {
+		c.stats.Writebacks++
+		latency += c.next.Access(lines[victim].tag<<c.lineBits, true)
+	}
+	lines[victim] = cacheLine{tag: tag, valid: true, dirty: write, used: c.clock}
+	return latency
+}
+
+// InvalidateAll implements Level.
+func (c *Cache) InvalidateAll() {
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			c.sets[s][i] = cacheLine{}
+		}
+	}
+	c.next.InvalidateAll()
+}
+
+// Hierarchy is the standard split-L1 / unified-L2 configuration the paper
+// uses for its validation study ("a L1 instruction cache and a L1 data
+// cache and as a L2 cache we used a unified L2 cache").
+type Hierarchy struct {
+	L1I  *Cache
+	L1D  *Cache
+	L2   *Cache
+	DRAM *FixedLatency
+}
+
+// HierarchyConfig parameterizes NewHierarchy.
+type HierarchyConfig struct {
+	L1I, L1D, L2 CacheConfig
+	DRAMLatency  uint64
+}
+
+// DefaultHierarchyConfig mirrors a small classic gem5 configuration.
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1I:         CacheConfig{Name: "l1i", SizeBytes: 32 << 10, Assoc: 2, LineBytes: 64, HitLatency: 1},
+		L1D:         CacheConfig{Name: "l1d", SizeBytes: 64 << 10, Assoc: 2, LineBytes: 64, HitLatency: 1},
+		L2:          CacheConfig{Name: "l2", SizeBytes: 2 << 20, Assoc: 8, LineBytes: 64, HitLatency: 10},
+		DRAMLatency: 100,
+	}
+}
+
+// NewHierarchy builds the two-level hierarchy.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	dram := &FixedLatency{Latency: cfg.DRAMLatency}
+	l2 := NewCache(cfg.L2, dram)
+	return &Hierarchy{
+		L1I:  NewCache(cfg.L1I, l2),
+		L1D:  NewCache(cfg.L1D, l2),
+		L2:   l2,
+		DRAM: dram,
+	}
+}
+
+// FetchLatency returns the latency of an instruction fetch at addr.
+func (h *Hierarchy) FetchLatency(addr uint64) uint64 { return h.L1I.Access(addr, false) }
+
+// DataLatency returns the latency of a data access at addr.
+func (h *Hierarchy) DataLatency(addr uint64, write bool) uint64 {
+	return h.L1D.Access(addr, write)
+}
+
+// InvalidateAll drops all cached state.
+func (h *Hierarchy) InvalidateAll() {
+	h.L1I.InvalidateAll()
+	h.L1D.InvalidateAll()
+}

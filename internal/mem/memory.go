@@ -1,0 +1,255 @@
+// Package mem implements the simulated memory system: a sparse physical
+// memory with explicit mapped regions (so that wild accesses fault like a
+// virtual-memory system would) and a configurable write-back cache
+// hierarchy used for timing, mirroring gem5's "classic" memory system.
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PageSize is the allocation granule of the sparse physical memory.
+const PageSize = 4096
+
+// AccessError reports an access outside all mapped regions. The simulator
+// turns it into a crash outcome ("segmentation fault").
+type AccessError struct {
+	Addr  uint64
+	Write bool
+	Size  int
+}
+
+// Error implements the error interface.
+func (e *AccessError) Error() string {
+	op := "read"
+	if e.Write {
+		op = "write"
+	}
+	return fmt.Sprintf("segfault: %d-byte %s at 0x%x", e.Size, op, e.Addr)
+}
+
+// region is a half-open mapped address range [Lo, Hi).
+type region struct {
+	Lo, Hi uint64
+}
+
+// Memory is a sparse, little-endian physical memory. The zero value is not
+// usable; call New.
+type Memory struct {
+	pages   map[uint64][]byte
+	regions []region // sorted by Lo, non-overlapping
+}
+
+// New returns an empty memory with no mapped regions.
+func New() *Memory {
+	return &Memory{pages: make(map[uint64][]byte)}
+}
+
+// Map marks [base, base+size) as accessible. Overlapping or adjacent maps
+// are merged.
+func (m *Memory) Map(base, size uint64) {
+	if size == 0 {
+		return
+	}
+	r := region{Lo: base, Hi: base + size}
+	m.regions = append(m.regions, r)
+	sort.Slice(m.regions, func(i, j int) bool { return m.regions[i].Lo < m.regions[j].Lo })
+	merged := m.regions[:1]
+	for _, next := range m.regions[1:] {
+		last := &merged[len(merged)-1]
+		if next.Lo <= last.Hi {
+			if next.Hi > last.Hi {
+				last.Hi = next.Hi
+			}
+		} else {
+			merged = append(merged, next)
+		}
+	}
+	m.regions = merged
+}
+
+// Mapped reports whether the full range [addr, addr+size) is mapped.
+func (m *Memory) Mapped(addr uint64, size int) bool {
+	end := addr + uint64(size)
+	if end < addr {
+		return false
+	}
+	i := sort.Search(len(m.regions), func(i int) bool { return m.regions[i].Hi > addr })
+	return i < len(m.regions) && m.regions[i].Lo <= addr && end <= m.regions[i].Hi
+}
+
+// Regions returns a copy of the mapped regions as (lo, hi) pairs.
+func (m *Memory) Regions() [][2]uint64 {
+	out := make([][2]uint64, len(m.regions))
+	for i, r := range m.regions {
+		out[i] = [2]uint64{r.Lo, r.Hi}
+	}
+	return out
+}
+
+func (m *Memory) page(addr uint64) []byte {
+	base := addr &^ uint64(PageSize-1)
+	p, ok := m.pages[base]
+	if !ok {
+		p = make([]byte, PageSize)
+		m.pages[base] = p
+	}
+	return p
+}
+
+// LoadByte reads one byte.
+func (m *Memory) LoadByte(addr uint64) (byte, error) {
+	if !m.Mapped(addr, 1) {
+		return 0, &AccessError{Addr: addr, Size: 1}
+	}
+	return m.page(addr)[addr%PageSize], nil
+}
+
+// StoreByte writes one byte.
+func (m *Memory) StoreByte(addr uint64, v byte) error {
+	if !m.Mapped(addr, 1) {
+		return &AccessError{Addr: addr, Write: true, Size: 1}
+	}
+	m.page(addr)[addr%PageSize] = v
+	return nil
+}
+
+// Read64 reads a little-endian 64-bit word. The CPU enforces alignment;
+// Memory only enforces mapping.
+func (m *Memory) Read64(addr uint64) (uint64, error) {
+	if !m.Mapped(addr, 8) {
+		return 0, &AccessError{Addr: addr, Size: 8}
+	}
+	off := addr % PageSize
+	if off <= PageSize-8 {
+		p := m.page(addr)
+		return uint64(p[off]) | uint64(p[off+1])<<8 | uint64(p[off+2])<<16 |
+			uint64(p[off+3])<<24 | uint64(p[off+4])<<32 | uint64(p[off+5])<<40 |
+			uint64(p[off+6])<<48 | uint64(p[off+7])<<56, nil
+	}
+	var v uint64
+	for i := 0; i < 8; i++ {
+		b, err := m.LoadByte(addr + uint64(i))
+		if err != nil {
+			return 0, err
+		}
+		v |= uint64(b) << (8 * uint(i))
+	}
+	return v, nil
+}
+
+// Write64 writes a little-endian 64-bit word.
+func (m *Memory) Write64(addr uint64, v uint64) error {
+	if !m.Mapped(addr, 8) {
+		return &AccessError{Addr: addr, Write: true, Size: 8}
+	}
+	off := addr % PageSize
+	if off <= PageSize-8 {
+		p := m.page(addr)
+		p[off] = byte(v)
+		p[off+1] = byte(v >> 8)
+		p[off+2] = byte(v >> 16)
+		p[off+3] = byte(v >> 24)
+		p[off+4] = byte(v >> 32)
+		p[off+5] = byte(v >> 40)
+		p[off+6] = byte(v >> 48)
+		p[off+7] = byte(v >> 56)
+		return nil
+	}
+	for i := 0; i < 8; i++ {
+		if err := m.StoreByte(addr+uint64(i), byte(v>>(8*uint(i)))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Read32 reads a little-endian 32-bit word (instruction fetch).
+func (m *Memory) Read32(addr uint64) (uint32, error) {
+	if !m.Mapped(addr, 4) {
+		return 0, &AccessError{Addr: addr, Size: 4}
+	}
+	off := addr % PageSize
+	if off <= PageSize-4 {
+		p := m.page(addr)
+		return uint32(p[off]) | uint32(p[off+1])<<8 | uint32(p[off+2])<<16 |
+			uint32(p[off+3])<<24, nil
+	}
+	var v uint32
+	for i := 0; i < 4; i++ {
+		b, err := m.LoadByte(addr + uint64(i))
+		if err != nil {
+			return 0, err
+		}
+		v |= uint32(b) << (8 * uint(i))
+	}
+	return v, nil
+}
+
+// Write32 writes a little-endian 32-bit word (used by the loader).
+func (m *Memory) Write32(addr uint64, v uint32) error {
+	for i := 0; i < 4; i++ {
+		if err := m.StoreByte(addr+uint64(i), byte(v>>(8*uint(i)))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StoreBytes copies b into memory starting at addr.
+func (m *Memory) StoreBytes(addr uint64, b []byte) error {
+	for i, c := range b {
+		if err := m.StoreByte(addr+uint64(i), c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadBytes copies n bytes starting at addr.
+func (m *Memory) LoadBytes(addr uint64, n int) ([]byte, error) {
+	out := make([]byte, n)
+	for i := range out {
+		b, err := m.LoadByte(addr + uint64(i))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+// Snapshot captures the full memory contents and mapping for
+// checkpointing. Pages are copied.
+type Snapshot struct {
+	Pages   map[uint64][]byte
+	Regions []region
+}
+
+// Snapshot returns a deep copy of the memory state.
+func (m *Memory) Snapshot() Snapshot {
+	s := Snapshot{
+		Pages:   make(map[uint64][]byte, len(m.pages)),
+		Regions: make([]region, len(m.regions)),
+	}
+	copy(s.Regions, m.regions)
+	for base, p := range m.pages {
+		cp := make([]byte, PageSize)
+		copy(cp, p)
+		s.Pages[base] = cp
+	}
+	return s
+}
+
+// Restore replaces the memory state with the snapshot's (deep copy).
+func (m *Memory) Restore(s Snapshot) {
+	m.pages = make(map[uint64][]byte, len(s.Pages))
+	for base, p := range s.Pages {
+		cp := make([]byte, PageSize)
+		copy(cp, p)
+		m.pages[base] = cp
+	}
+	m.regions = make([]region, len(s.Regions))
+	copy(m.regions, s.Regions)
+}

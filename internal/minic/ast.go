@@ -1,0 +1,174 @@
+package minic
+
+// Type is a mini-C type.
+type Type int
+
+// Types.
+const (
+	TypeVoid Type = iota + 1
+	TypeInt
+	TypeFloat
+)
+
+// String names the type.
+func (t Type) String() string {
+	switch t {
+	case TypeVoid:
+		return "void"
+	case TypeInt:
+		return "int"
+	case TypeFloat:
+		return "float"
+	default:
+		return "?"
+	}
+}
+
+// Program is a parsed translation unit.
+type Program struct {
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// VarDecl declares a global or local variable (scalar or array).
+type VarDecl struct {
+	Name    string
+	Type    Type
+	IsArray bool
+	Len     int64 // array length (elements)
+	// Initializers (globals only; compile-time constants).
+	InitInt   []int64
+	InitFloat []float64
+	HasInit   bool
+	Line      int
+}
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	Name   string
+	Ret    Type
+	Params []*VarDecl
+	Body   *BlockStmt
+	Line   int
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// BlockStmt is { ... }.
+type BlockStmt struct {
+	Stmts []Stmt
+}
+
+// DeclStmt is a local variable declaration.
+type DeclStmt struct {
+	Decl *VarDecl
+	Init Expr // optional scalar initializer
+}
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct {
+	X Expr
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body Stmt
+}
+
+// ForStmt is a C-style for loop.
+type ForStmt struct {
+	Init Stmt // may be nil (DeclStmt or ExprStmt)
+	Cond Expr // may be nil (infinite)
+	Post Expr // may be nil
+	Body Stmt
+}
+
+// ReturnStmt returns from a function.
+type ReturnStmt struct {
+	X Expr // nil for void
+}
+
+// BreakStmt breaks the innermost loop.
+type BreakStmt struct{}
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{}
+
+func (*BlockStmt) stmtNode()    {}
+func (*DeclStmt) stmtNode()     {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+
+// Expr is an expression node.
+type Expr interface {
+	exprNode()
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	V int64
+}
+
+// FloatLit is a float literal.
+type FloatLit struct {
+	V float64
+}
+
+// Ident references a variable.
+type Ident struct {
+	Name string
+}
+
+// Index is arr[i].
+type Index struct {
+	Name string
+	I    Expr
+}
+
+// Unary is -x, !x, ~x.
+type Unary struct {
+	Op string
+	X  Expr
+}
+
+// Binary is x op y.
+type Binary struct {
+	Op   string
+	X, Y Expr
+}
+
+// Assign is lvalue = value. Lvalue is an Ident or Index.
+type Assign struct {
+	LHS Expr
+	RHS Expr
+}
+
+// Call is f(args...). Builtins are resolved during codegen.
+type Call struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+func (*IntLit) exprNode()   {}
+func (*FloatLit) exprNode() {}
+func (*Ident) exprNode()    {}
+func (*Index) exprNode()    {}
+func (*Unary) exprNode()    {}
+func (*Binary) exprNode()   {}
+func (*Assign) exprNode()   {}
+func (*Call) exprNode()     {}

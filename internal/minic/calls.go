@@ -1,0 +1,281 @@
+package minic
+
+import "repro/internal/isa"
+
+// builtin describes a compiler intrinsic.
+type builtin struct {
+	args []Type
+	ret  Type
+}
+
+// builtins exposed to mini-C programs. fi_activate and fi_checkpoint are
+// the paper's two-function user API (Section III.A): fi_activate_inst(id)
+// and fi_read_init_all().
+var builtins = map[string]builtin{
+	"fi_activate":   {args: []Type{TypeInt}, ret: TypeVoid},
+	"fi_checkpoint": {args: nil, ret: TypeVoid},
+	"exit":          {args: []Type{TypeInt}, ret: TypeVoid},
+	"putc":          {args: []Type{TypeInt}, ret: TypeVoid},
+	"tid":           {args: nil, ret: TypeInt},
+	"spawn":         {args: []Type{TypeVoid, TypeInt}, ret: TypeInt}, // (func, arg)
+	"join":          {args: []Type{TypeInt}, ret: TypeVoid},
+	"yield":         {args: nil, ret: TypeVoid},
+	"thread_exit":   {args: nil, ret: TypeVoid},
+	"itof":          {args: []Type{TypeInt}, ret: TypeFloat},
+	"ftoi":          {args: []Type{TypeFloat}, ret: TypeInt},
+	"fsqrt":         {args: []Type{TypeFloat}, ret: TypeFloat},
+	"fabs":          {args: []Type{TypeFloat}, ret: TypeFloat},
+}
+
+func (c *compiler) genCall(x *Call) (Type, error) {
+	if bi, ok := builtins[x.Name]; ok {
+		return c.genBuiltin(x, bi)
+	}
+	fn, ok := c.funcs[x.Name]
+	if !ok {
+		return 0, c.errf("call to undefined function %q (line %d)", x.Name, x.Line)
+	}
+	if len(x.Args) != len(fn.Params) {
+		return 0, c.errf("%q wants %d arguments, got %d", x.Name, len(fn.Params), len(x.Args))
+	}
+
+	savedInt, savedFP := c.spillTemps()
+
+	// Evaluate arguments left to right onto the (now empty) temp stacks,
+	// remembering where each landed.
+	type argSlot struct {
+		ty  Type
+		reg isa.Reg
+	}
+	slots := make([]argSlot, len(x.Args))
+	for i, a := range x.Args {
+		ty, err := c.genExpr(a)
+		if err != nil {
+			return 0, err
+		}
+		if ty != fn.Params[i].Type {
+			return 0, c.errf("argument %d of %q: have %v, want %v", i+1, x.Name, ty, fn.Params[i].Type)
+		}
+		if ty == TypeFloat {
+			slots[i] = argSlot{ty: ty, reg: c.topFP()}
+		} else {
+			slots[i] = argSlot{ty: ty, reg: c.topInt()}
+		}
+	}
+	// Move argument values into the calling convention registers
+	// (a0..a5 for ints, f16..f21 for floats, by position).
+	for i := len(slots) - 1; i >= 0; i-- {
+		s := slots[i]
+		if s.ty == TypeFloat {
+			c.b.FMov(c.popFP(), isa.Reg(16+i))
+		} else {
+			c.b.Mov(c.popInt(), isa.Reg(16+i))
+		}
+	}
+	c.b.Br(isa.OpBSR, isa.RegRA, "fn_"+x.Name)
+
+	c.restoreTemps(savedInt, savedFP)
+	// Push the result.
+	switch fn.Ret {
+	case TypeInt:
+		r, err := c.pushInt()
+		if err != nil {
+			return 0, err
+		}
+		c.b.Mov(isa.RegV0, r)
+	case TypeFloat:
+		r, err := c.pushFP()
+		if err != nil {
+			return 0, err
+		}
+		c.b.FMov(0, r)
+	}
+	return fn.Ret, nil
+}
+
+// spillTemps saves all live expression temps to the frame's spill area
+// and empties the stacks. Returns the saved depths.
+func (c *compiler) spillTemps() (int, int) {
+	for i := 0; i < c.intDepth; i++ {
+		c.b.Mem(isa.OpSTQ, intTemps[i], isa.RegFP, int32(c.spillIntOff+int64(i)*8))
+	}
+	for i := 0; i < c.fpDepth; i++ {
+		c.b.Mem(isa.OpSTT, fpTemps[i], isa.RegFP, int32(c.spillFpOff+int64(i)*8))
+	}
+	si, sf := c.intDepth, c.fpDepth
+	c.intDepth, c.fpDepth = 0, 0
+	return si, sf
+}
+
+// restoreTemps reloads spilled temps and restores the stack depths.
+func (c *compiler) restoreTemps(savedInt, savedFP int) {
+	for i := 0; i < savedInt; i++ {
+		c.b.Mem(isa.OpLDQ, intTemps[i], isa.RegFP, int32(c.spillIntOff+int64(i)*8))
+	}
+	for i := 0; i < savedFP; i++ {
+		c.b.Mem(isa.OpLDT, fpTemps[i], isa.RegFP, int32(c.spillFpOff+int64(i)*8))
+	}
+	c.intDepth, c.fpDepth = savedInt, savedFP
+}
+
+// genBuiltin emits a compiler intrinsic.
+func (c *compiler) genBuiltin(x *Call, bi builtin) (Type, error) {
+	argc := len(bi.args)
+	if len(x.Args) != argc {
+		return 0, c.errf("%q wants %d arguments, got %d (line %d)", x.Name, argc, len(x.Args), x.Line)
+	}
+
+	switch x.Name {
+	case "itof":
+		if ty, err := c.genExprTyped(x.Args[0], TypeInt); err != nil {
+			return ty, err
+		}
+		r := c.popInt()
+		f, err := c.pushFP()
+		if err != nil {
+			return 0, err
+		}
+		c.b.Mem(isa.OpSTQ, r, isa.RegFP, int32(c.convOff))
+		c.b.Mem(isa.OpLDT, f, isa.RegFP, int32(c.convOff))
+		c.b.FP(isa.FnCVTQT, isa.ZeroReg, f, f)
+		return TypeFloat, nil
+
+	case "ftoi":
+		if ty, err := c.genExprTyped(x.Args[0], TypeFloat); err != nil {
+			return ty, err
+		}
+		f := c.popFP()
+		r, err := c.pushInt()
+		if err != nil {
+			return 0, err
+		}
+		c.b.FP(isa.FnCVTTQ, isa.ZeroReg, f, f)
+		c.b.Mem(isa.OpSTT, f, isa.RegFP, int32(c.convOff))
+		c.b.Mem(isa.OpLDQ, r, isa.RegFP, int32(c.convOff))
+		return TypeInt, nil
+
+	case "fsqrt":
+		if ty, err := c.genExprTyped(x.Args[0], TypeFloat); err != nil {
+			return ty, err
+		}
+		f := c.topFP()
+		c.b.FP(isa.FnSQRTT, isa.ZeroReg, f, f)
+		return TypeFloat, nil
+
+	case "fabs":
+		if ty, err := c.genExprTyped(x.Args[0], TypeFloat); err != nil {
+			return ty, err
+		}
+		f := c.topFP()
+		c.b.FP(isa.FnCPYS, isa.ZeroReg, f, f) // sign of f31 (+0.0)
+		return TypeFloat, nil
+
+	case "fi_activate":
+		if ty, err := c.genExprTyped(x.Args[0], TypeInt); err != nil {
+			return ty, err
+		}
+		savedInt, savedFP := c.spillTempsKeepTop(1)
+		c.b.Mov(c.popInt(), isa.RegA0)
+		c.b.Pal(isa.PalFIActivate)
+		c.restoreTemps(savedInt, savedFP)
+		return TypeVoid, nil
+
+	case "fi_checkpoint":
+		c.b.Pal(isa.PalFIInit)
+		return TypeVoid, nil
+
+	case "spawn":
+		// First argument must be a bare function name.
+		fnRef, ok := x.Args[0].(*Ident)
+		if !ok {
+			return 0, c.errf("spawn wants a function name as its first argument")
+		}
+		target, ok := c.funcs[fnRef.Name]
+		if !ok {
+			return 0, c.errf("spawn of undefined function %q", fnRef.Name)
+		}
+		if len(target.Params) > 1 {
+			return 0, c.errf("spawned function %q must take at most one int argument", fnRef.Name)
+		}
+		if ty, err := c.genExprTyped(x.Args[1], TypeInt); err != nil {
+			return ty, err
+		}
+		savedInt, savedFP := c.spillTempsKeepTop(1)
+		c.b.Mov(c.popInt(), isa.RegA1)
+		c.b.LA(isa.RegA0, "fn_"+fnRef.Name)
+		return c.syscallResult(isa.SysSpawn, savedInt, savedFP, TypeInt)
+
+	case "exit", "putc", "join":
+		if ty, err := c.genExprTyped(x.Args[0], TypeInt); err != nil {
+			return ty, err
+		}
+		savedInt, savedFP := c.spillTempsKeepTop(1)
+		c.b.Mov(c.popInt(), isa.RegA0)
+		num := map[string]uint64{"exit": isa.SysExit, "putc": isa.SysPutc, "join": isa.SysJoin}[x.Name]
+		return c.syscallResult(num, savedInt, savedFP, TypeVoid)
+
+	case "tid":
+		savedInt, savedFP := c.spillTempsKeepTop(0)
+		return c.syscallResult(isa.SysGetTID, savedInt, savedFP, TypeInt)
+
+	case "yield":
+		savedInt, savedFP := c.spillTempsKeepTop(0)
+		return c.syscallResult(isa.SysYield, savedInt, savedFP, TypeVoid)
+
+	case "thread_exit":
+		savedInt, savedFP := c.spillTempsKeepTop(0)
+		c.b.LoadImm(isa.RegA0, 0)
+		return c.syscallResult(isa.SysThreadExit, savedInt, savedFP, TypeVoid)
+	}
+	return 0, c.errf("unimplemented builtin %q", x.Name)
+}
+
+// genExprTyped evaluates an expression and checks its type.
+func (c *compiler) genExprTyped(e Expr, want Type) (Type, error) {
+	ty, err := c.genExpr(e)
+	if err != nil {
+		return ty, err
+	}
+	if ty != want {
+		return ty, c.errf("expected %v expression, got %v", want, ty)
+	}
+	return ty, nil
+}
+
+// spillTempsKeepTop spills all temps except the top keep entries of the
+// int stack (arguments already evaluated and about to be consumed).
+// Syscalls clobber v0/a0 but no temps, so only saving what a nested call
+// could clobber is unnecessary — we conservatively spill everything
+// below the kept entries.
+func (c *compiler) spillTempsKeepTop(keep int) (int, int) {
+	for i := 0; i < c.intDepth-keep; i++ {
+		c.b.Mem(isa.OpSTQ, intTemps[i], isa.RegFP, int32(c.spillIntOff+int64(i)*8))
+	}
+	for i := 0; i < c.fpDepth; i++ {
+		c.b.Mem(isa.OpSTT, fpTemps[i], isa.RegFP, int32(c.spillFpOff+int64(i)*8))
+	}
+	return c.intDepth - keep, c.fpDepth
+}
+
+// syscallResult emits the callsys, restores spilled temps and pushes the
+// result if any.
+func (c *compiler) syscallResult(num uint64, savedInt, savedFP int, ret Type) (Type, error) {
+	c.b.LoadImm(isa.RegV0, int64(num))
+	c.b.Pal(isa.PalCallSys)
+	// Restore the spilled prefix; current depths already exclude consumed
+	// arguments.
+	for i := 0; i < savedInt; i++ {
+		c.b.Mem(isa.OpLDQ, intTemps[i], isa.RegFP, int32(c.spillIntOff+int64(i)*8))
+	}
+	for i := 0; i < savedFP; i++ {
+		c.b.Mem(isa.OpLDT, fpTemps[i], isa.RegFP, int32(c.spillFpOff+int64(i)*8))
+	}
+	if ret == TypeInt {
+		r, err := c.pushInt()
+		if err != nil {
+			return 0, err
+		}
+		c.b.Mov(isa.RegV0, r)
+	}
+	return ret, nil
+}

@@ -1,0 +1,965 @@
+package minic
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// Compile parses and compiles mini-C source into a linked program image.
+//
+// Code generation model: all variables live in memory (globals in the
+// data section, locals and parameters in the stack frame); expressions
+// evaluate on a small register stack (t0–t7 for integers, f1–f8 for
+// floats) that spills to reserved frame slots around calls. This produces
+// memory-access-heavy code, like the unoptimized cross-compiled binaries
+// the paper studies.
+func Compile(src string) (*asm.Program, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	c := &compiler{
+		b:       asm.NewBuilder(),
+		globals: make(map[string]*VarDecl),
+		funcs:   make(map[string]*FuncDecl),
+	}
+	return c.compile(prog)
+}
+
+// Register conventions for the expression stack.
+var (
+	intTemps = []isa.Reg{isa.RegT0, isa.RegT1, isa.RegT2, isa.RegT3, isa.RegT4, isa.RegT5, isa.RegT6, isa.RegT7}
+	fpTemps  = []isa.Reg{1, 2, 3, 4, 5, 6, 7, 8} // f1..f8
+)
+
+const maxTemps = 8
+
+type localVar struct {
+	off     int64
+	ty      Type
+	isArray bool
+	length  int64
+	inReg   bool    // promoted to a callee-saved register
+	reg     isa.Reg // valid when inReg
+}
+
+type compiler struct {
+	b       *asm.Builder
+	globals map[string]*VarDecl
+	funcs   map[string]*FuncDecl
+	labelN  int
+
+	// Per-function state.
+	fn        *FuncDecl
+	scopes    []map[string]*localVar
+	nextOff   int64
+	frameSize int64
+	intDepth  int
+	fpDepth   int
+	epilogue  string
+	breaks    []string
+	conts     []string
+
+	convOff     int64 // int<->float reinterpret scratch slot
+	spillIntOff int64
+	spillFpOff  int64
+
+	// promote maps promoted scalar declarations to callee-saved
+	// registers (see regalloc.go); savedRegs lists the registers in use
+	// with their save slots for the prologue/epilogue.
+	promote   map[*VarDecl]regLocal
+	savedRegs []savedReg
+}
+
+// savedReg is one callee-saved register with its frame save slot.
+type savedReg struct {
+	reg isa.Reg
+	fp  bool
+	off int64
+}
+
+func (c *compiler) errf(format string, args ...interface{}) error {
+	where := ""
+	if c.fn != nil {
+		where = " in function " + c.fn.Name
+	}
+	return fmt.Errorf("minic: %s%s", fmt.Sprintf(format, args...), where)
+}
+
+func (c *compiler) label(prefix string) string {
+	c.labelN++
+	return fmt.Sprintf(".L%s%d", prefix, c.labelN)
+}
+
+func (c *compiler) compile(prog *Program) (*asm.Program, error) {
+	for _, g := range prog.Globals {
+		if _, dup := c.globals[g.Name]; dup {
+			return nil, c.errf("duplicate global %q", g.Name)
+		}
+		c.globals[g.Name] = g
+	}
+	for _, f := range prog.Funcs {
+		if _, dup := c.funcs[f.Name]; dup {
+			return nil, c.errf("duplicate function %q", f.Name)
+		}
+		c.funcs[f.Name] = f
+	}
+	if _, ok := c.funcs["main"]; !ok {
+		return nil, c.errf("missing function main")
+	}
+
+	// Runtime startup: call main, pass its result to exit().
+	b := c.b
+	b.Label("_start")
+	b.Br(isa.OpBSR, isa.RegRA, "fn_main")
+	b.Mov(isa.RegV0, isa.RegA0)
+	b.LoadImm(isa.RegV0, int64(isa.SysExit))
+	b.Pal(isa.PalCallSys)
+	// Trampoline for spawned threads whose function returns.
+	b.Label("_thread_exit")
+	b.LoadImm(isa.RegA0, 0)
+	b.LoadImm(isa.RegV0, int64(isa.SysThreadExit))
+	b.Pal(isa.PalCallSys)
+
+	for _, f := range prog.Funcs {
+		if err := c.genFunc(f); err != nil {
+			return nil, err
+		}
+	}
+
+	// Data section.
+	for _, g := range prog.Globals {
+		n := int64(1)
+		if g.IsArray {
+			n = g.Len
+		}
+		switch g.Type {
+		case TypeInt:
+			vals := make([]uint64, n)
+			for i, v := range g.InitInt {
+				vals[i] = uint64(v)
+			}
+			quads := make([]uint64, len(vals))
+			copy(quads, vals)
+			c.b.Quad(g.Name, quads...)
+		case TypeFloat:
+			vals := make([]float64, n)
+			copy(vals, g.InitFloat)
+			c.b.Double(g.Name, vals...)
+		}
+	}
+	return c.b.Build()
+}
+
+// ---- function generation ----
+
+func (c *compiler) genFunc(f *FuncDecl) error {
+	c.fn = f
+	c.scopes = []map[string]*localVar{make(map[string]*localVar)}
+	c.nextOff = 0
+	c.intDepth, c.fpDepth = 0, 0
+	c.epilogue = c.label("ret_" + f.Name)
+	c.breaks, c.conts = nil, nil
+	c.promote = c.planPromotions(f)
+	c.savedRegs = nil
+
+	// Pass 1: size the frame (params + all locals + scratch + spills).
+	for _, p := range f.Params {
+		c.declare(p.Name, &localVar{off: c.alloc(8), ty: p.Type})
+	}
+	var sizeErr error
+	c.sizeLocals(f.Body, &sizeErr)
+	if sizeErr != nil {
+		return sizeErr
+	}
+	c.convOff = c.alloc(8)
+	c.spillIntOff = c.alloc(8 * maxTemps)
+	c.spillFpOff = c.alloc(8 * maxTemps)
+	// Save slots for the callee-saved registers this function uses, in
+	// deterministic (register-number, int-before-fp) order.
+	for _, saved := range []struct {
+		regs []isa.Reg
+		fp   bool
+	}{{intSaved, false}, {fpSaved, true}} {
+		for _, reg := range saved.regs {
+			if c.usesPromoted(reg, saved.fp) {
+				c.savedRegs = append(c.savedRegs, savedReg{reg: reg, fp: saved.fp, off: c.alloc(8)})
+			}
+		}
+	}
+	savedFP := c.alloc(8)
+	savedRA := c.alloc(8)
+	c.frameSize = (c.nextOff + 15) &^ 15
+	if c.frameSize > 32000 {
+		return c.errf("stack frame too large (%d bytes); use global arrays", c.frameSize)
+	}
+
+	// Reset for pass 2 (keep the same deterministic layout).
+	c.scopes = []map[string]*localVar{make(map[string]*localVar)}
+	c.nextOff = 0
+
+	b := c.b
+	b.Label("fn_" + f.Name)
+	b.Mem(isa.OpLDA, isa.RegSP, isa.RegSP, int32(-c.frameSize))
+	b.Mem(isa.OpSTQ, isa.RegRA, isa.RegSP, int32(savedRA))
+	b.Mem(isa.OpSTQ, isa.RegFP, isa.RegSP, int32(savedFP))
+	b.Mov(isa.RegSP, isa.RegFP)
+
+	// Preserve the callee-saved registers this function repurposes.
+	for _, sr := range c.savedRegs {
+		if sr.fp {
+			b.Mem(isa.OpSTT, sr.reg, isa.RegFP, int32(sr.off))
+		} else {
+			b.Mem(isa.OpSTQ, sr.reg, isa.RegFP, int32(sr.off))
+		}
+	}
+
+	// Copy arguments into their homes (register or frame slot).
+	for i, p := range f.Params {
+		lv := &localVar{off: c.alloc(8), ty: p.Type}
+		if rl, ok := c.promote[p]; ok {
+			lv.inReg, lv.reg = true, rl.reg
+		}
+		c.declare(p.Name, lv)
+		if lv.inReg {
+			if p.Type == TypeFloat {
+				b.FMov(isa.Reg(16+i), lv.reg)
+			} else {
+				b.Mov(isa.Reg(16+i), lv.reg)
+			}
+			continue
+		}
+		if p.Type == TypeFloat {
+			b.Mem(isa.OpSTT, isa.Reg(16+i), isa.RegFP, int32(lv.off))
+		} else {
+			b.Mem(isa.OpSTQ, isa.Reg(16+i), isa.RegFP, int32(lv.off))
+		}
+	}
+
+	if err := c.genBlock(f.Body); err != nil {
+		return err
+	}
+
+	// Implicit return (value 0 / 0.0 for non-void falls through).
+	b.Label(c.epilogue)
+	for _, sr := range c.savedRegs {
+		if sr.fp {
+			b.Mem(isa.OpLDT, sr.reg, isa.RegFP, int32(sr.off))
+		} else {
+			b.Mem(isa.OpLDQ, sr.reg, isa.RegFP, int32(sr.off))
+		}
+	}
+	b.Mem(isa.OpLDQ, isa.RegRA, isa.RegFP, int32(savedRA))
+	b.Mem(isa.OpLDQ, isa.RegFP, isa.RegFP, int32(savedFP))
+	b.Mem(isa.OpLDA, isa.RegSP, isa.RegSP, int32(c.frameSize))
+	b.Jump(isa.ZeroReg, isa.RegRA, isa.HintRET)
+	c.fn = nil
+	return nil
+}
+
+// sizeLocals walks the body once, allocating offsets for every
+// declaration so the frame size is known before emitting the prologue.
+func (c *compiler) sizeLocals(s Stmt, errOut *error) {
+	switch st := s.(type) {
+	case *BlockStmt:
+		for _, sub := range st.Stmts {
+			c.sizeLocals(sub, errOut)
+		}
+	case *DeclStmt:
+		size := int64(8)
+		if st.Decl.IsArray {
+			size = 8 * st.Decl.Len
+		}
+		c.alloc(size)
+	case *IfStmt:
+		c.sizeLocals(st.Then, errOut)
+		if st.Else != nil {
+			c.sizeLocals(st.Else, errOut)
+		}
+	case *WhileStmt:
+		c.sizeLocals(st.Body, errOut)
+	case *ForStmt:
+		if st.Init != nil {
+			c.sizeLocals(st.Init, errOut)
+		}
+		c.sizeLocals(st.Body, errOut)
+	}
+}
+
+// usesPromoted reports whether any promoted declaration occupies reg.
+func (c *compiler) usesPromoted(reg isa.Reg, fp bool) bool {
+	for _, rl := range c.promote {
+		if rl.reg == reg && (rl.ty == TypeFloat) == fp {
+			return true
+		}
+	}
+	return false
+}
+
+// alloc bumps the frame allocator.
+func (c *compiler) alloc(size int64) int64 {
+	off := c.nextOff
+	c.nextOff += size
+	return off
+}
+
+// declare binds a name in the innermost scope.
+func (c *compiler) declare(name string, lv *localVar) {
+	c.scopes[len(c.scopes)-1][name] = lv
+}
+
+// lookupLocal resolves a name against the scope stack.
+func (c *compiler) lookupLocal(name string) *localVar {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if lv, ok := c.scopes[i][name]; ok {
+			return lv
+		}
+	}
+	return nil
+}
+
+// ---- statements ----
+
+func (c *compiler) genBlock(b *BlockStmt) error {
+	c.scopes = append(c.scopes, make(map[string]*localVar))
+	for _, s := range b.Stmts {
+		if err := c.genStmt(s); err != nil {
+			return err
+		}
+	}
+	c.scopes = c.scopes[:len(c.scopes)-1]
+	return nil
+}
+
+func (c *compiler) genStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *BlockStmt:
+		return c.genBlock(st)
+
+	case *DeclStmt:
+		size := int64(8)
+		if st.Decl.IsArray {
+			size = 8 * st.Decl.Len
+		}
+		lv := &localVar{off: c.alloc(size), ty: st.Decl.Type, isArray: st.Decl.IsArray, length: st.Decl.Len}
+		if rl, ok := c.promote[st.Decl]; ok {
+			lv.inReg, lv.reg = true, rl.reg
+		}
+		c.declare(st.Decl.Name, lv)
+		if st.Init != nil {
+			ty, err := c.genExpr(st.Init)
+			if err != nil {
+				return err
+			}
+			if ty != st.Decl.Type {
+				return c.errf("initializer type %v for %v variable %q", ty, st.Decl.Type, st.Decl.Name)
+			}
+			if lv.inReg {
+				if ty == TypeFloat {
+					c.b.FMov(c.popFP(), lv.reg)
+				} else {
+					c.b.Mov(c.popInt(), lv.reg)
+				}
+				return nil
+			}
+			if ty == TypeFloat {
+				r := c.popFP()
+				c.b.Mem(isa.OpSTT, r, isa.RegFP, int32(lv.off))
+			} else {
+				r := c.popInt()
+				c.b.Mem(isa.OpSTQ, r, isa.RegFP, int32(lv.off))
+			}
+		}
+		return nil
+
+	case *ExprStmt:
+		ty, err := c.genExpr(st.X)
+		if err != nil {
+			return err
+		}
+		c.discard(ty)
+		return nil
+
+	case *IfStmt:
+		elseL := c.label("else")
+		endL := c.label("endif")
+		target := endL
+		if st.Else != nil {
+			target = elseL
+		}
+		if err := c.genCondBranch(st.Cond, target, false); err != nil {
+			return err
+		}
+		if err := c.genStmt(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			c.b.Br(isa.OpBR, isa.ZeroReg, endL)
+			c.b.Label(elseL)
+			if err := c.genStmt(st.Else); err != nil {
+				return err
+			}
+		}
+		c.b.Label(endL)
+		return nil
+
+	case *WhileStmt:
+		top := c.label("while")
+		end := c.label("endwhile")
+		c.b.Label(top)
+		if err := c.genCondBranch(st.Cond, end, false); err != nil {
+			return err
+		}
+		c.breaks = append(c.breaks, end)
+		c.conts = append(c.conts, top)
+		if err := c.genStmt(st.Body); err != nil {
+			return err
+		}
+		c.breaks = c.breaks[:len(c.breaks)-1]
+		c.conts = c.conts[:len(c.conts)-1]
+		c.b.Br(isa.OpBR, isa.ZeroReg, top)
+		c.b.Label(end)
+		return nil
+
+	case *ForStmt:
+		c.scopes = append(c.scopes, make(map[string]*localVar))
+		if st.Init != nil {
+			if err := c.genStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		top := c.label("for")
+		post := c.label("forpost")
+		end := c.label("endfor")
+		c.b.Label(top)
+		if st.Cond != nil {
+			if err := c.genCondBranch(st.Cond, end, false); err != nil {
+				return err
+			}
+		}
+		c.breaks = append(c.breaks, end)
+		c.conts = append(c.conts, post)
+		if err := c.genStmt(st.Body); err != nil {
+			return err
+		}
+		c.breaks = c.breaks[:len(c.breaks)-1]
+		c.conts = c.conts[:len(c.conts)-1]
+		c.b.Label(post)
+		if st.Post != nil {
+			ty, err := c.genExpr(st.Post)
+			if err != nil {
+				return err
+			}
+			c.discard(ty)
+		}
+		c.b.Br(isa.OpBR, isa.ZeroReg, top)
+		c.b.Label(end)
+		c.scopes = c.scopes[:len(c.scopes)-1]
+		return nil
+
+	case *ReturnStmt:
+		if st.X != nil {
+			ty, err := c.genExpr(st.X)
+			if err != nil {
+				return err
+			}
+			if ty != c.fn.Ret {
+				return c.errf("return type %v, function returns %v", ty, c.fn.Ret)
+			}
+			if ty == TypeFloat {
+				c.b.FMov(c.popFP(), 0) // result in f0
+			} else {
+				c.b.Mov(c.popInt(), isa.RegV0)
+			}
+		} else if c.fn.Ret != TypeVoid {
+			return c.errf("missing return value")
+		}
+		c.b.Br(isa.OpBR, isa.ZeroReg, c.epilogue)
+		return nil
+
+	case *BreakStmt:
+		if len(c.breaks) == 0 {
+			return c.errf("break outside loop")
+		}
+		c.b.Br(isa.OpBR, isa.ZeroReg, c.breaks[len(c.breaks)-1])
+		return nil
+
+	case *ContinueStmt:
+		if len(c.conts) == 0 {
+			return c.errf("continue outside loop")
+		}
+		c.b.Br(isa.OpBR, isa.ZeroReg, c.conts[len(c.conts)-1])
+		return nil
+	}
+	return c.errf("unknown statement %T", s)
+}
+
+// genCondBranch evaluates cond and branches to label when the condition
+// equals want (false => branch on zero).
+func (c *compiler) genCondBranch(cond Expr, label string, want bool) error {
+	ty, err := c.genExpr(cond)
+	if err != nil {
+		return err
+	}
+	if ty == TypeFloat {
+		r := c.popFP()
+		if want {
+			c.b.Br(isa.OpFBNE, r, label)
+		} else {
+			c.b.Br(isa.OpFBEQ, r, label)
+		}
+		return nil
+	}
+	if ty != TypeInt {
+		return c.errf("condition has type %v", ty)
+	}
+	r := c.popInt()
+	if want {
+		c.b.Br(isa.OpBNE, r, label)
+	} else {
+		c.b.Br(isa.OpBEQ, r, label)
+	}
+	return nil
+}
+
+// ---- expression stack ----
+
+func (c *compiler) pushInt() (isa.Reg, error) {
+	if c.intDepth >= maxTemps {
+		return 0, c.errf("integer expression too deep")
+	}
+	r := intTemps[c.intDepth]
+	c.intDepth++
+	return r, nil
+}
+
+func (c *compiler) popInt() isa.Reg {
+	c.intDepth--
+	return intTemps[c.intDepth]
+}
+
+func (c *compiler) topInt() isa.Reg { return intTemps[c.intDepth-1] }
+
+func (c *compiler) pushFP() (isa.Reg, error) {
+	if c.fpDepth >= maxTemps {
+		return 0, c.errf("float expression too deep")
+	}
+	r := fpTemps[c.fpDepth]
+	c.fpDepth++
+	return r, nil
+}
+
+func (c *compiler) popFP() isa.Reg {
+	c.fpDepth--
+	return fpTemps[c.fpDepth]
+}
+
+func (c *compiler) topFP() isa.Reg { return fpTemps[c.fpDepth-1] }
+
+// discard pops a value of the given type (void pops nothing).
+func (c *compiler) discard(ty Type) {
+	switch ty {
+	case TypeInt:
+		c.popInt()
+	case TypeFloat:
+		c.popFP()
+	}
+}
+
+// ---- expressions ----
+
+// genExpr emits code that leaves the expression value on the appropriate
+// register stack and returns its type.
+func (c *compiler) genExpr(e Expr) (Type, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		r, err := c.pushInt()
+		if err != nil {
+			return 0, err
+		}
+		c.b.LoadImm(r, x.V)
+		return TypeInt, nil
+
+	case *FloatLit:
+		r, err := c.pushFP()
+		if err != nil {
+			return 0, err
+		}
+		// Materialize from a constant pool entry.
+		sym := c.floatConst(x.V)
+		c.b.LA(isa.RegAT, sym)
+		c.b.Mem(isa.OpLDT, r, isa.RegAT, 0)
+		return TypeFloat, nil
+
+	case *Ident:
+		return c.genLoadVar(x.Name)
+
+	case *Index:
+		return c.genLoadIndex(x)
+
+	case *Unary:
+		return c.genUnary(x)
+
+	case *Binary:
+		return c.genBinary(x)
+
+	case *Assign:
+		return c.genAssign(x)
+
+	case *Call:
+		return c.genCall(x)
+	}
+	return 0, c.errf("unknown expression %T", e)
+}
+
+// floatConsts pools float literals in the data section.
+var floatConstCounter int
+
+func (c *compiler) floatConst(v float64) string {
+	floatConstCounter++
+	sym := fmt.Sprintf(".fc%d", floatConstCounter)
+	c.b.Double(sym, v)
+	return sym
+}
+
+// addrOf emits code leaving the address of a scalar variable in RegAT.
+func (c *compiler) addrOfVar(name string) (Type, bool, error) {
+	if lv := c.lookupLocal(name); lv != nil {
+		c.b.Mem(isa.OpLDA, isa.RegAT, isa.RegFP, int32(lv.off))
+		return lv.ty, lv.isArray, nil
+	}
+	if g, ok := c.globals[name]; ok {
+		c.b.LA(isa.RegAT, name)
+		return g.Type, g.IsArray, nil
+	}
+	return 0, false, c.errf("undefined variable %q", name)
+}
+
+func (c *compiler) genLoadVar(name string) (Type, error) {
+	if lv := c.lookupLocal(name); lv != nil && lv.inReg {
+		if lv.ty == TypeFloat {
+			r, err := c.pushFP()
+			if err != nil {
+				return 0, err
+			}
+			c.b.FMov(lv.reg, r)
+			return TypeFloat, nil
+		}
+		r, err := c.pushInt()
+		if err != nil {
+			return 0, err
+		}
+		c.b.Mov(lv.reg, r)
+		return TypeInt, nil
+	}
+	ty, isArr, err := c.addrOfVar(name)
+	if err != nil {
+		return 0, err
+	}
+	if isArr {
+		return 0, c.errf("array %q used without index", name)
+	}
+	if ty == TypeFloat {
+		r, err := c.pushFP()
+		if err != nil {
+			return 0, err
+		}
+		c.b.Mem(isa.OpLDT, r, isa.RegAT, 0)
+		return TypeFloat, nil
+	}
+	r, err := c.pushInt()
+	if err != nil {
+		return 0, err
+	}
+	c.b.Mem(isa.OpLDQ, r, isa.RegAT, 0)
+	return TypeInt, nil
+}
+
+// genIndexAddr leaves the element address in RegAT; the index temp is
+// consumed.
+func (c *compiler) genIndexAddr(x *Index) (Type, error) {
+	ity, err := c.genExpr(x.I)
+	if err != nil {
+		return 0, err
+	}
+	if ity != TypeInt {
+		return 0, c.errf("array index must be int")
+	}
+	idx := c.popInt()
+	c.b.OpLit(isa.OpIntShift, isa.FnSLL, idx, 3, idx)
+	ty, isArr, err := c.addrOfVar(x.Name)
+	if err != nil {
+		return 0, err
+	}
+	if !isArr {
+		return 0, c.errf("%q is not an array", x.Name)
+	}
+	c.b.Op(isa.OpIntArith, isa.FnADDQ, isa.RegAT, idx, isa.RegAT)
+	return ty, nil
+}
+
+func (c *compiler) genLoadIndex(x *Index) (Type, error) {
+	ty, err := c.genIndexAddr(x)
+	if err != nil {
+		return 0, err
+	}
+	if ty == TypeFloat {
+		r, err := c.pushFP()
+		if err != nil {
+			return 0, err
+		}
+		c.b.Mem(isa.OpLDT, r, isa.RegAT, 0)
+		return TypeFloat, nil
+	}
+	r, err := c.pushInt()
+	if err != nil {
+		return 0, err
+	}
+	c.b.Mem(isa.OpLDQ, r, isa.RegAT, 0)
+	return TypeInt, nil
+}
+
+func (c *compiler) genAssign(x *Assign) (Type, error) {
+	rty, err := c.genExpr(x.RHS)
+	if err != nil {
+		return 0, err
+	}
+	switch lhs := x.LHS.(type) {
+	case *Ident:
+		if lv := c.lookupLocal(lhs.Name); lv != nil && lv.inReg {
+			if lv.ty != rty {
+				return 0, c.errf("assigning %v to %v variable %q", rty, lv.ty, lhs.Name)
+			}
+			// Write through to the register, keeping the value on the
+			// expression stack as the assignment's result.
+			if rty == TypeFloat {
+				c.b.FMov(c.topFP(), lv.reg)
+			} else {
+				c.b.Mov(c.topInt(), lv.reg)
+			}
+			return rty, nil
+		}
+		ty, isArr, err := c.addrOfVar(lhs.Name)
+		if err != nil {
+			return 0, err
+		}
+		if isArr {
+			return 0, c.errf("cannot assign to array %q", lhs.Name)
+		}
+		if ty != rty {
+			return 0, c.errf("assigning %v to %v variable %q", rty, ty, lhs.Name)
+		}
+	case *Index:
+		ty, err := c.genIndexAddr(lhs)
+		if err != nil {
+			return 0, err
+		}
+		if ty != rty {
+			return 0, c.errf("assigning %v to %v array %q", rty, ty, lhs.Name)
+		}
+	default:
+		return 0, c.errf("invalid assignment target")
+	}
+	// Store the value, keeping it on the stack as the expression result.
+	if rty == TypeFloat {
+		c.b.Mem(isa.OpSTT, c.topFP(), isa.RegAT, 0)
+	} else {
+		c.b.Mem(isa.OpSTQ, c.topInt(), isa.RegAT, 0)
+	}
+	return rty, nil
+}
+
+func (c *compiler) genUnary(x *Unary) (Type, error) {
+	ty, err := c.genExpr(x.X)
+	if err != nil {
+		return 0, err
+	}
+	switch x.Op {
+	case "-":
+		if ty == TypeFloat {
+			r := c.topFP()
+			c.b.FP(isa.FnSUBT, isa.ZeroReg, r, r) // 0.0 - x
+			return TypeFloat, nil
+		}
+		r := c.topInt()
+		c.b.Op(isa.OpIntArith, isa.FnSUBQ, isa.ZeroReg, r, r)
+		return TypeInt, nil
+	case "!":
+		if ty != TypeInt {
+			return 0, c.errf("! needs an int operand")
+		}
+		r := c.topInt()
+		c.b.OpLit(isa.OpIntArith, isa.FnCMPEQ, r, 0, r)
+		return TypeInt, nil
+	case "~":
+		if ty != TypeInt {
+			return 0, c.errf("~ needs an int operand")
+		}
+		r := c.topInt()
+		c.b.Op(isa.OpIntLogic, isa.FnORNOT, isa.ZeroReg, r, r)
+		return TypeInt, nil
+	}
+	return 0, c.errf("unknown unary operator %q", x.Op)
+}
+
+// intBinOps maps int operators to (opcode, function, swap-operands).
+var intBinOps = map[string]struct {
+	op   isa.Opcode
+	fn   uint16
+	swap bool
+	not  bool // complement the 0/1 result
+}{
+	"+":  {isa.OpIntArith, isa.FnADDQ, false, false},
+	"-":  {isa.OpIntArith, isa.FnSUBQ, false, false},
+	"*":  {isa.OpIntMul, isa.FnMULQ, false, false},
+	"/":  {isa.OpIntMul, isa.FnDIVQ, false, false},
+	"%":  {isa.OpIntMul, isa.FnREMQ, false, false},
+	"&":  {isa.OpIntLogic, isa.FnAND, false, false},
+	"|":  {isa.OpIntLogic, isa.FnBIS, false, false},
+	"^":  {isa.OpIntLogic, isa.FnXOR, false, false},
+	"<<": {isa.OpIntShift, isa.FnSLL, false, false},
+	">>": {isa.OpIntShift, isa.FnSRA, false, false},
+	"==": {isa.OpIntArith, isa.FnCMPEQ, false, false},
+	"!=": {isa.OpIntArith, isa.FnCMPEQ, false, true},
+	"<":  {isa.OpIntArith, isa.FnCMPLT, false, false},
+	"<=": {isa.OpIntArith, isa.FnCMPLE, false, false},
+	">":  {isa.OpIntArith, isa.FnCMPLT, true, false},
+	">=": {isa.OpIntArith, isa.FnCMPLE, true, false},
+}
+
+// fpCmpOps maps float comparison operators to (function, swap).
+var fpCmpOps = map[string]struct {
+	fn   uint16
+	swap bool
+	not  bool
+}{
+	"==": {isa.FnCMPTEQ, false, false},
+	"!=": {isa.FnCMPTEQ, false, true},
+	"<":  {isa.FnCMPTLT, false, false},
+	"<=": {isa.FnCMPTLE, false, false},
+	">":  {isa.FnCMPTLT, true, false},
+	">=": {isa.FnCMPTLE, true, false},
+}
+
+var fpArithOps = map[string]uint16{
+	"+": isa.FnADDT, "-": isa.FnSUBT, "*": isa.FnMULT, "/": isa.FnDIVT,
+}
+
+func (c *compiler) genBinary(x *Binary) (Type, error) {
+	// Short-circuit logical operators.
+	if x.Op == "&&" || x.Op == "||" {
+		return c.genLogical(x)
+	}
+
+	tx, err := c.genExpr(x.X)
+	if err != nil {
+		return 0, err
+	}
+	ty, err := c.genExpr(x.Y)
+	if err != nil {
+		return 0, err
+	}
+	if tx != ty {
+		return 0, c.errf("operator %q with mixed types %v and %v (use itof/ftoi)", x.Op, tx, ty)
+	}
+
+	if tx == TypeFloat {
+		if fn, ok := fpArithOps[x.Op]; ok {
+			rb := c.popFP()
+			ra := c.topFP()
+			c.b.FP(fn, ra, rb, ra)
+			return TypeFloat, nil
+		}
+		if cmp, ok := fpCmpOps[x.Op]; ok {
+			rb := c.popFP()
+			ra := c.popFP()
+			if cmp.swap {
+				ra, rb = rb, ra
+			}
+			// Compare into an FP temp, then convert 2.0/0.0 into int 0/1.
+			c.b.FP(cmp.fn, ra, rb, ra)
+			rd, err := c.pushInt()
+			if err != nil {
+				return 0, err
+			}
+			trueL := c.label("fcmpt")
+			endL := c.label("fcmpe")
+			branchOp := isa.OpFBNE
+			if cmp.not {
+				branchOp = isa.OpFBEQ
+			}
+			c.b.Br(branchOp, ra, trueL)
+			c.b.LoadImm(rd, 0)
+			c.b.Br(isa.OpBR, isa.ZeroReg, endL)
+			c.b.Label(trueL)
+			c.b.LoadImm(rd, 1)
+			c.b.Label(endL)
+			return TypeInt, nil
+		}
+		return 0, c.errf("operator %q not defined for float", x.Op)
+	}
+
+	ent, ok := intBinOps[x.Op]
+	if !ok {
+		return 0, c.errf("operator %q not defined for int", x.Op)
+	}
+	rb := c.popInt()
+	ra := c.popInt()
+	rd := ra // result goes to the slot that becomes the new stack top
+	opA, opB := ra, rb
+	if ent.swap {
+		opA, opB = rb, ra
+	}
+	c.b.Op(ent.op, ent.fn, opA, opB, rd)
+	if ent.not {
+		c.b.OpLit(isa.OpIntLogic, isa.FnXOR, rd, 1, rd)
+	}
+	c.intDepth++ // result back on the stack (in rd's slot)
+	return TypeInt, nil
+}
+
+// genLogical emits short-circuit && / ||.
+func (c *compiler) genLogical(x *Binary) (Type, error) {
+	rd, err := c.pushInt()
+	if err != nil {
+		return 0, err
+	}
+	shortL := c.label("sc")
+	endL := c.label("scend")
+	// Evaluate X.
+	tx, err := c.genExpr(x.X)
+	if err != nil {
+		return 0, err
+	}
+	if tx != TypeInt {
+		return 0, c.errf("%q needs int operands", x.Op)
+	}
+	rx := c.popInt()
+	if x.Op == "&&" {
+		c.b.Br(isa.OpBEQ, rx, shortL) // false: result 0
+	} else {
+		c.b.Br(isa.OpBNE, rx, shortL) // true: result 1
+	}
+	tyY, err := c.genExpr(x.Y)
+	if err != nil {
+		return 0, err
+	}
+	if tyY != TypeInt {
+		return 0, c.errf("%q needs int operands", x.Op)
+	}
+	ry := c.popInt()
+	// Normalize Y to 0/1.
+	c.b.Op(isa.OpIntArith, isa.FnCMPEQ, ry, isa.ZeroReg, rd)
+	c.b.OpLit(isa.OpIntLogic, isa.FnXOR, rd, 1, rd)
+	c.b.Br(isa.OpBR, isa.ZeroReg, endL)
+	c.b.Label(shortL)
+	if x.Op == "&&" {
+		c.b.LoadImm(rd, 0)
+	} else {
+		c.b.LoadImm(rd, 1)
+	}
+	c.b.Label(endL)
+	return TypeInt, nil
+}

@@ -1,0 +1,203 @@
+package minic_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/minic"
+	"repro/internal/sim"
+)
+
+// TestExpressionFuzz generates random integer expression trees, evaluates
+// them host-side with Go semantics, and requires the compiled guest
+// program to agree. This is the compiler's differential oracle: any
+// mismatch in operator precedence, code generation, temp-stack handling
+// or 64-bit arithmetic shows up here.
+func TestExpressionFuzz(t *testing.T) {
+	const trees = 120
+	for seed := int64(0); seed < trees; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		env := map[string]int64{
+			"a": rng.Int63n(1000) - 500,
+			"b": rng.Int63n(1000) - 500,
+			"c": rng.Int63n(100) + 1, // safe divisor
+			"d": rng.Int63n(63),      // safe shift amount
+		}
+		exprSrc, want := genExpr(rng, env, 0)
+
+		src := fmt.Sprintf(`
+int main() {
+    int a = %d;
+    int b = %d;
+    int c = %d;
+    int d = %d;
+    int r = %s;
+    // Fold to a byte so the exit status carries it faithfully.
+    int folded = r %% 251;
+    if (folded < 0) { folded = folded + 251; }
+    return folded;
+}`, env["a"], env["b"], env["c"], env["d"], exprSrc)
+
+		wantFolded := want % 251
+		if wantFolded < 0 {
+			wantFolded += 251
+		}
+
+		p, err := minic.Compile(src)
+		if err != nil {
+			t.Fatalf("seed %d: compile %q: %v", seed, exprSrc, err)
+		}
+		s := sim.New(sim.Config{Model: sim.ModelAtomic, EnableFI: false, MaxInsts: 10_000_000})
+		if err := s.Load(p); err != nil {
+			t.Fatal(err)
+		}
+		r := s.Run()
+		if r.Crashed || r.Hung {
+			t.Fatalf("seed %d: expr %q crashed: %+v", seed, exprSrc, r)
+		}
+		if int64(r.ExitStatus) != wantFolded {
+			t.Fatalf("seed %d: expr %q = %d (guest) vs %d (host)", seed, exprSrc, r.ExitStatus, wantFolded)
+		}
+	}
+}
+
+// genExpr builds a random expression string over variables a,b (values),
+// c (nonzero divisor), d (shift in [0,63)) and returns the host-computed
+// value alongside. depth bounds the temp-stack pressure.
+func genExpr(rng *rand.Rand, env map[string]int64, depth int) (string, int64) {
+	if depth >= 4 || rng.Intn(3) == 0 {
+		// Leaf: variable or literal.
+		switch rng.Intn(3) {
+		case 0:
+			v := rng.Int63n(2000) - 1000
+			return fmt.Sprintf("%d", v), v
+		case 1:
+			name := []string{"a", "b"}[rng.Intn(2)]
+			return name, env[name]
+		default:
+			v := rng.Int63n(200)
+			return fmt.Sprintf("%d", v), v
+		}
+	}
+	lhs, lv := genExpr(rng, env, depth+1)
+	switch rng.Intn(10) {
+	case 0: // division by the safe variable
+		return fmt.Sprintf("((%s) / c)", lhs), lv / env["c"]
+	case 1: // modulo by the safe variable
+		return fmt.Sprintf("((%s) %% c)", lhs), lv % env["c"]
+	case 2: // shift by the safe amount
+		if rng.Intn(2) == 0 {
+			return fmt.Sprintf("((%s) << (d %% 8))", lhs), lv << uint(env["d"]%8)
+		}
+		return fmt.Sprintf("((%s) >> (d %% 8))", lhs), lv >> uint(env["d"]%8)
+	case 3: // unary
+		switch rng.Intn(3) {
+		case 0:
+			return fmt.Sprintf("(-(%s))", lhs), -lv
+		case 1:
+			return fmt.Sprintf("(~(%s))", lhs), ^lv
+		default:
+			r := int64(0)
+			if lv == 0 {
+				r = 1
+			}
+			return fmt.Sprintf("(!(%s))", lhs), r
+		}
+	default:
+		rhs, rv := genExpr(rng, env, depth+1)
+		ops := []struct {
+			op string
+			f  func(a, b int64) int64
+		}{
+			{"+", func(a, b int64) int64 { return a + b }},
+			{"-", func(a, b int64) int64 { return a - b }},
+			{"*", func(a, b int64) int64 { return a * b }},
+			{"&", func(a, b int64) int64 { return a & b }},
+			{"|", func(a, b int64) int64 { return a | b }},
+			{"^", func(a, b int64) int64 { return a ^ b }},
+			{"<", func(a, b int64) int64 { return b2i(a < b) }},
+			{"<=", func(a, b int64) int64 { return b2i(a <= b) }},
+			{">", func(a, b int64) int64 { return b2i(a > b) }},
+			{">=", func(a, b int64) int64 { return b2i(a >= b) }},
+			{"==", func(a, b int64) int64 { return b2i(a == b) }},
+			{"!=", func(a, b int64) int64 { return b2i(a != b) }},
+		}
+		o := ops[rng.Intn(len(ops))]
+		return fmt.Sprintf("(%s %s %s)", lhs, o.op, rhs), o.f(lv, rv)
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// TestStatementFuzz generates random straight-line statement sequences
+// (assignments, compound assignments, if/else over a small variable set)
+// and compares the guest's final state with a host-side interpreter.
+func TestStatementFuzz(t *testing.T) {
+	const programs = 60
+	for seed := int64(1000); seed < 1000+programs; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		vars := map[string]int64{"x": 7, "y": -3, "z": 100}
+		var body strings.Builder
+		n := 5 + rng.Intn(15)
+		for i := 0; i < n; i++ {
+			name := []string{"x", "y", "z"}[rng.Intn(3)]
+			switch rng.Intn(4) {
+			case 0:
+				v := rng.Int63n(100)
+				fmt.Fprintf(&body, "    %s += %d;\n", name, v)
+				vars[name] += v
+			case 1:
+				v := rng.Int63n(100) + 1
+				fmt.Fprintf(&body, "    %s *= %d;\n", name, v)
+				vars[name] *= v
+			case 2:
+				other := []string{"x", "y", "z"}[rng.Intn(3)]
+				fmt.Fprintf(&body, "    %s = %s - %s;\n", name, other, name)
+				vars[name] = vars[other] - vars[name]
+			default:
+				other := []string{"x", "y", "z"}[rng.Intn(3)]
+				fmt.Fprintf(&body, "    if (%s > %s) { %s++; } else { %s--; }\n", name, other, name, name)
+				if vars[name] > vars[other] {
+					vars[name]++
+				} else {
+					vars[name]--
+				}
+			}
+		}
+		want := (vars["x"] ^ vars["y"] ^ vars["z"]) % 251
+		if want < 0 {
+			want += 251
+		}
+		src := fmt.Sprintf(`
+int main() {
+    int x = 7;
+    int y = -3;
+    int z = 100;
+%s    int folded = (x ^ y ^ z) %% 251;
+    if (folded < 0) { folded += 251; }
+    return folded;
+}`, body.String())
+		p, err := minic.Compile(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+		s := sim.New(sim.Config{Model: sim.ModelAtomic, EnableFI: false, MaxInsts: 10_000_000})
+		if err := s.Load(p); err != nil {
+			t.Fatal(err)
+		}
+		r := s.Run()
+		if r.Crashed || r.Hung {
+			t.Fatalf("seed %d crashed: %+v\n%s", seed, r, src)
+		}
+		if int64(r.ExitStatus) != want {
+			t.Fatalf("seed %d: guest %d vs host %d\n%s", seed, r.ExitStatus, want, src)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+// Package minic implements a small C-like language ("mini-C") compiled to
+// Thessaly-64 assembly. It is the stand-in for the gcc Alpha
+// cross-compiler of the paper's workflow: the six benchmark applications
+// of Section IV are written in mini-C, compiled by this package, and run
+// on the simulated CPU where GemFI injects faults.
+//
+// Language summary:
+//
+//	int / float scalars, fixed-size global and local arrays
+//	functions with up to 6 parameters, int/float/void returns
+//	if/else, while, for, break, continue, return
+//	arithmetic, comparison, logical (&&, || short-circuit), bitwise ops
+//	intrinsics: fi_activate(id), fi_checkpoint(), putc(c), tid(),
+//	            spawn(func, arg), join(t), yield(), thread_exit(),
+//	            itof(i), ftoi(f), fsqrt(f), exit(status)
+//	global initializers: scalars and {…} lists (computed at compile time
+//	    by the host harness when generating workload sources)
+package minic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota + 1
+	tokIdent
+	tokIntLit
+	tokFloatLit
+	tokPunct // operators and punctuation
+	tokKeyword
+)
+
+var keywords = map[string]bool{
+	"int": true, "float": true, "void": true,
+	"if": true, "else": true, "while": true, "for": true,
+	"return": true, "break": true, "continue": true,
+}
+
+type token struct {
+	kind tokKind
+	text string
+	ival int64
+	fval float64
+	line int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of file"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lexer tokenizes mini-C source.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+// twoCharOps are the multi-character operators, longest match first.
+var twoCharOps = []string{
+	"<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+	"+=", "-=", "*=", "/=", "%=", "++", "--",
+}
+
+func (l *lexer) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+// next scans the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpace()
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: l.line}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case unicode.IsLetter(rune(c)) || c == '_':
+		start := l.pos
+		for l.pos < len(l.src) && (isIdentChar(l.src[l.pos])) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		k := tokIdent
+		if keywords[text] {
+			k = tokKeyword
+		}
+		return token{kind: k, text: text, line: l.line}, nil
+
+	case unicode.IsDigit(rune(c)):
+		return l.number()
+
+	case c == '\'':
+		// Character literal -> int.
+		if l.pos+2 < len(l.src) && l.src[l.pos+1] == '\\' {
+			esc := l.src[l.pos+2]
+			if l.pos+3 >= len(l.src) || l.src[l.pos+3] != '\'' {
+				return token{}, l.errf("unterminated char literal")
+			}
+			v, ok := map[byte]int64{'n': 10, 't': 9, '0': 0, 'r': 13, '\\': 92, '\'': 39}[esc]
+			if !ok {
+				return token{}, l.errf("unknown escape \\%c", esc)
+			}
+			l.pos += 4
+			return token{kind: tokIntLit, text: "'\\'", ival: v, line: l.line}, nil
+		}
+		if l.pos+2 < len(l.src) && l.src[l.pos+2] == '\'' {
+			v := int64(l.src[l.pos+1])
+			l.pos += 3
+			return token{kind: tokIntLit, text: "'c'", ival: v, line: l.line}, nil
+		}
+		return token{}, l.errf("bad char literal")
+
+	default:
+		for _, op := range twoCharOps {
+			if strings.HasPrefix(l.src[l.pos:], op) {
+				l.pos += 2
+				return token{kind: tokPunct, text: op, line: l.line}, nil
+			}
+		}
+		if strings.ContainsRune("+-*/%<>=!&|^~(){}[],;", rune(c)) {
+			l.pos++
+			return token{kind: tokPunct, text: string(c), line: l.line}, nil
+		}
+		return token{}, l.errf("unexpected character %q", c)
+	}
+}
+
+func (l *lexer) number() (token, error) {
+	start := l.pos
+	isFloat := false
+	if strings.HasPrefix(l.src[l.pos:], "0x") || strings.HasPrefix(l.src[l.pos:], "0X") {
+		l.pos += 2
+		for l.pos < len(l.src) && isHexDigit(l.src[l.pos]) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		v, err := strconv.ParseInt(text, 0, 64)
+		if err != nil {
+			return token{}, l.errf("bad hex literal %q", text)
+		}
+		return token{kind: tokIntLit, text: text, ival: v, line: l.line}, nil
+	}
+	for l.pos < len(l.src) && (unicode.IsDigit(rune(l.src[l.pos])) || l.src[l.pos] == '.' ||
+		l.src[l.pos] == 'e' || l.src[l.pos] == 'E' ||
+		((l.src[l.pos] == '+' || l.src[l.pos] == '-') && l.pos > start && (l.src[l.pos-1] == 'e' || l.src[l.pos-1] == 'E'))) {
+		if l.src[l.pos] == '.' || l.src[l.pos] == 'e' || l.src[l.pos] == 'E' {
+			isFloat = true
+		}
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	if isFloat {
+		var f float64
+		if _, err := fmt.Sscanf(text, "%g", &f); err != nil {
+			return token{}, l.errf("bad float literal %q", text)
+		}
+		return token{kind: tokFloatLit, text: text, fval: f, line: l.line}, nil
+	}
+	var v int64
+	if _, err := fmt.Sscanf(text, "%d", &v); err != nil {
+		return token{}, l.errf("bad int literal %q", text)
+	}
+	return token{kind: tokIntLit, text: text, ival: v, line: l.line}, nil
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case strings.HasPrefix(l.src[l.pos:], "//"):
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case strings.HasPrefix(l.src[l.pos:], "/*"):
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				l.pos = len(l.src)
+				return
+			}
+			l.line += strings.Count(l.src[l.pos:l.pos+2+end+2], "\n")
+			l.pos += 2 + end + 2
+		default:
+			return
+		}
+	}
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func isHexDigit(c byte) bool {
+	return unicode.IsDigit(rune(c)) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// lexAll tokenizes the whole source.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,433 @@
+package minic_test
+
+import (
+	"testing"
+
+	"repro/internal/minic"
+	"repro/internal/sim"
+)
+
+// runProgram compiles src and runs it on the atomic model, returning the
+// exit status and console output.
+func runProgram(t testing.TB, src string) (int, string) {
+	t.Helper()
+	p, err := minic.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	s := sim.New(sim.Config{Model: sim.ModelAtomic, EnableFI: true, MaxInsts: 100_000_000})
+	if err := s.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	r := s.Run()
+	if r.Crashed || r.Hung {
+		t.Fatalf("program crashed: %+v", r)
+	}
+	return r.ExitStatus, r.Console
+}
+
+// expectExit asserts the program exits with the given status.
+func expectExit(t *testing.T, src string, want int) {
+	t.Helper()
+	got, _ := runProgram(t, src)
+	if got != want {
+		t.Errorf("exit = %d, want %d", got, want)
+	}
+}
+
+func TestReturnConstant(t *testing.T) {
+	expectExit(t, `int main() { return 42; }`, 42)
+}
+
+func TestArithmetic(t *testing.T) {
+	expectExit(t, `int main() { return (2 + 3) * 8 - 50 / 2 + 100 % 7; }`, 17)
+}
+
+func TestVariablesAndAssignment(t *testing.T) {
+	expectExit(t, `
+int main() {
+    int x = 10;
+    int y;
+    y = x * 3;
+    x = y - 5;
+    return x;
+}`, 25)
+}
+
+func TestGlobalVariables(t *testing.T) {
+	expectExit(t, `
+int counter = 7;
+int scale;
+int main() {
+    scale = 6;
+    counter = counter * scale;
+    return counter;
+}`, 42)
+}
+
+func TestGlobalArrayInitializer(t *testing.T) {
+	expectExit(t, `
+int table[5] = {3, 1, 4, 1, 5};
+int main() {
+    int s = 0;
+    for (int i = 0; i < 5; i = i + 1) {
+        s = s + table[i];
+    }
+    return s;
+}`, 14)
+}
+
+func TestLocalArrays(t *testing.T) {
+	expectExit(t, `
+int main() {
+    int a[10];
+    for (int i = 0; i < 10; i = i + 1) { a[i] = i * i; }
+    int s = 0;
+    for (int i = 0; i < 10; i = i + 1) { s = s + a[i]; }
+    return s;
+}`, 285)
+}
+
+func TestIfElseChains(t *testing.T) {
+	src := `
+int classify(int x) {
+    if (x < 0) { return 1; }
+    else if (x == 0) { return 2; }
+    else if (x < 10) { return 3; }
+    else { return 4; }
+}
+int main() {
+    return classify(0-5) * 1000 + classify(0) * 100 + classify(5) * 10 + classify(50);
+}`
+	expectExit(t, src, 1234)
+}
+
+func TestWhileLoopBreakContinue(t *testing.T) {
+	expectExit(t, `
+int main() {
+    int i = 0;
+    int s = 0;
+    while (1) {
+        i = i + 1;
+        if (i > 100) { break; }
+        if (i % 2 == 0) { continue; }
+        s = s + i;       // sum of odd numbers 1..99 = 2500
+    }
+    return s / 25;
+}`, 100)
+}
+
+func TestLogicalShortCircuit(t *testing.T) {
+	// The right operand of && must not evaluate when the left is false:
+	// if it did, the division by zero would trap and the run would crash.
+	expectExit(t, `
+int zero = 0;
+int main() {
+    int hits = 0;
+    if (zero != 0 && 10 / zero > 0) { hits = hits + 1; }
+    if (zero == 0 || 10 / zero > 0) { hits = hits + 10; }
+    if (1 && 2) { hits = hits + 100; }
+    if (0 || 0) { hits = hits + 1000; }
+    return hits;
+}`, 110)
+}
+
+func TestBitwiseOps(t *testing.T) {
+	expectExit(t, `
+int main() {
+    int a = 0xF0;
+    int b = 0x0F;
+    int r = (a | b) + (a & 0xFF) + (a ^ b) + (~0 & 15) + (1 << 6) + (256 >> 2);
+    return r % 251;
+}`, (0xFF+0xF0+0xFF+15+64+64)%251)
+}
+
+func TestRecursion(t *testing.T) {
+	expectExit(t, `
+int fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+int main() { return fib(10); }`, 55)
+}
+
+func TestMutualRecursion(t *testing.T) {
+	// Forward references work without prototypes: all functions are
+	// registered before code generation.
+	expectExit(t, `
+int isEven(int n) {
+    if (n == 0) { return 1; }
+    return isOdd(n - 1);
+}
+int isOdd(int n) {
+    if (n == 0) { return 0; }
+    return isEven(n - 1);
+}
+int main() { return isEven(10) * 10 + isOdd(7); }`, 11)
+}
+
+func TestFloatArithmetic(t *testing.T) {
+	expectExit(t, `
+int main() {
+    float a = 1.5;
+    float b = 2.25;
+    float c = (a + b) * 4.0 - 5.0;   // 10.0
+    return ftoi(c);
+}`, 10)
+}
+
+func TestFloatComparisonsAndSqrt(t *testing.T) {
+	expectExit(t, `
+int main() {
+    float x = fsqrt(144.0);
+    int r = 0;
+    if (x == 12.0) { r = r + 1; }
+    if (x > 11.5) { r = r + 10; }
+    if (x <= 12.0) { r = r + 100; }
+    if (x != 13.0) { r = r + 1000; }
+    if (fabs(0.0 - 3.5) == 3.5) { r = r + 10000; }
+    return r % 251;
+}`, 11111%251)
+}
+
+func TestItofFtoi(t *testing.T) {
+	expectExit(t, `
+int main() {
+    float f = itof(41);
+    f = f + 1.75;
+    return ftoi(f);   // trunc(42.75) = 42
+}`, 42)
+}
+
+func TestFloatGlobalsAndArrays(t *testing.T) {
+	expectExit(t, `
+float weights[4] = {0.5, 1.5, 2.0, 4.0};
+float bias = 2.0;
+int main() {
+    float s = bias;
+    for (int i = 0; i < 4; i = i + 1) { s = s + weights[i]; }
+    return ftoi(s);   // 2 + 8 = 10
+}`, 10)
+}
+
+func TestPutcConsole(t *testing.T) {
+	_, console := runProgram(t, `
+void puts2(int a, int b) { putc(a); putc(b); }
+int main() { puts2('O', 'K'); putc('\n'); return 0; }`)
+	if console != "OK\n" {
+		t.Errorf("console = %q", console)
+	}
+}
+
+func TestManyParams(t *testing.T) {
+	expectExit(t, `
+int sum6(int a, int b, int c, int d, int e, int f) {
+    return a + b*2 + c*3 + d*4 + e*5 + f*6;
+}
+int main() { return sum6(1, 2, 3, 4, 5, 6); }`, 1+4+9+16+25+36)
+}
+
+func TestFloatParamsAndReturn(t *testing.T) {
+	expectExit(t, `
+float mix(float a, float b) { return a * 2.0 + b; }
+int main() { return ftoi(mix(10.5, 4.0)); }`, 25)
+}
+
+func TestNestedCallsSpillTemps(t *testing.T) {
+	// Deep expression with interleaved calls forces temp spilling.
+	expectExit(t, `
+int id(int x) { return x; }
+int main() {
+    return id(1) + (id(2) + (id(3) + (id(4) + id(5) * id(6))));
+}`, 40)
+}
+
+func TestThreadsSpawnJoin(t *testing.T) {
+	expectExit(t, `
+int results[4];
+void worker(int slot) {
+    results[slot] = slot * 10 + 1;
+}
+int main() {
+    int t1 = spawn(worker, 1);
+    int t2 = spawn(worker, 2);
+    join(t1);
+    join(t2);
+    return results[1] + results[2];
+}`, 32)
+}
+
+func TestFIIntrinsics(t *testing.T) {
+	// fi_checkpoint + fi_activate toggling must compile and run cleanly.
+	p, err := minic.Compile(`
+int main() {
+    fi_checkpoint();
+    fi_activate(0);
+    int s = 0;
+    for (int i = 0; i < 10; i = i + 1) { s = s + i; }
+    fi_activate(0);
+    return s;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New(sim.Config{Model: sim.ModelAtomic, EnableFI: true})
+	if err := s.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	r := s.Run()
+	if r.ExitStatus != 45 {
+		t.Errorf("exit = %d", r.ExitStatus)
+	}
+	if s.CheckpointHits != 1 {
+		t.Errorf("checkpoints = %d", s.CheckpointHits)
+	}
+	if s.Engine.Activations != 1 {
+		t.Errorf("activations = %d", s.Engine.Activations)
+	}
+}
+
+func TestCharLiterals(t *testing.T) {
+	expectExit(t, `int main() { return 'A' + '\n'; }`, 75)
+}
+
+func TestComments(t *testing.T) {
+	expectExit(t, `
+// line comment
+/* block
+   comment */
+int main() { return /* inline */ 5; }`, 5)
+}
+
+func TestPipelinedExecutionMatchesAtomic(t *testing.T) {
+	src := `
+int data[32];
+int main() {
+    int seed = 987654321;
+    for (int i = 0; i < 32; i = i + 1) {
+        seed = (seed * 1103515245 + 12345) % 2147483648;
+        data[i] = seed % 100;
+    }
+    int s = 0;
+    for (int i = 0; i < 32; i = i + 1) {
+        if (data[i] % 3 == 0) { s = s + data[i]; }
+        else { s = s - data[i] / 2; }
+    }
+    return (s % 251 + 251) % 251;
+}`
+	p, err := minic.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exits []int
+	for _, kind := range []sim.ModelKind{sim.ModelAtomic, sim.ModelPipelined} {
+		s := sim.New(sim.Config{Model: kind, EnableFI: true, MaxInsts: 100_000_000})
+		if err := s.Load(p); err != nil {
+			t.Fatal(err)
+		}
+		r := s.Run()
+		if r.Crashed || r.Hung {
+			t.Fatalf("%s: %+v", kind, r)
+		}
+		exits = append(exits, r.ExitStatus)
+	}
+	if exits[0] != exits[1] {
+		t.Errorf("atomic exit %d != pipelined exit %d", exits[0], exits[1])
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"missing main", `int foo() { return 1; }`},
+		{"undefined variable", `int main() { return x; }`},
+		{"undefined function", `int main() { return foo(); }`},
+		{"duplicate function", `int f() { return 1; } int f() { return 2; } int main() { return 0; }`},
+		{"type mismatch", `int main() { float f = 1.0; return f + 1; }`},
+		{"bad assign target", `int main() { 5 = 6; return 0; }`},
+		{"array without index", `int a[4]; int main() { return a; }`},
+		{"index on scalar", `int a; int main() { return a[0]; }`},
+		{"wrong arg count", `int f(int a) { return a; } int main() { return f(1, 2); }`},
+		{"return type mismatch", `float main() { return 1; }`},
+		{"break outside loop", `int main() { break; return 0; }`},
+		{"too many params", `int f(int a, int b, int c, int d, int e, int g, int h) { return 0; } int main() { return 0; }`},
+		{"void variable", `void v; int main() { return 0; }`},
+		{"float initializer for int", `int x = 1.5; int main() { return 0; }`},
+	}
+	for _, tc := range cases {
+		if _, err := minic.Compile(tc.src); err == nil {
+			t.Errorf("%s: expected compile error", tc.name)
+		}
+	}
+}
+
+func TestParseErrorLineNumbers(t *testing.T) {
+	_, err := minic.Compile("int main() {\n    return $;\n}")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func BenchmarkCompile(b *testing.B) {
+	src := `
+int fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+int main() { return fib(10); }`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := minic.Compile(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestCompoundAssignment(t *testing.T) {
+	expectExit(t, `
+int main() {
+    int x = 10;
+    x += 5;      // 15
+    x -= 3;      // 12
+    x *= 4;      // 48
+    x /= 6;      // 8
+    x %= 5;      // 3
+    int a[3];
+    a[1] = 7;
+    a[1] += x;   // 10
+    return a[1] * 10 + x;
+}`, 103)
+}
+
+func TestIncrementDecrement(t *testing.T) {
+	expectExit(t, `
+int main() {
+    int s = 0;
+    for (int i = 0; i < 10; i++) { s += i; }
+    int j = 5;
+    j--;
+    j--;
+    return s * 10 + j;   // 450 + 3
+}`, 453)
+}
+
+func TestFloatCompoundAssignment(t *testing.T) {
+	expectExit(t, `
+int main() {
+    float f = 2.5;
+    f += 1.5;    // 4.0
+    f *= 2.0;    // 8.0
+    return ftoi(f);
+}`, 8)
+}
+
+func TestCompoundAssignErrors(t *testing.T) {
+	if _, err := minic.Compile(`int main() { 5 += 1; return 0; }`); err == nil {
+		t.Error("compound assignment to literal must fail")
+	}
+	if _, err := minic.Compile(`int main() { int x; x++ ++; return 0; }`); err == nil {
+		t.Error("double increment must fail")
+	}
+}

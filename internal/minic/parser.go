@@ -1,0 +1,581 @@
+package minic
+
+import "fmt"
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses a mini-C translation unit.
+func Parse(src string) (*Program, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for !p.at(tokEOF, "") {
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if p.accept("(") {
+			fn, err := p.parseFunc(ty, name)
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, fn)
+			continue
+		}
+		decl, err := p.parseGlobalRest(ty, name)
+		if err != nil {
+			return nil, err
+		}
+		prog.Globals = append(prog.Globals, decl)
+	}
+	return prog, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("line %d: %s (at %v)", p.cur().line, fmt.Sprintf(format, args...), p.cur())
+}
+
+// at reports whether the current token matches.
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+// accept consumes a punct/keyword token if it matches.
+func (p *parser) accept(text string) bool {
+	t := p.cur()
+	if (t.kind == tokPunct || t.kind == tokKeyword) && t.text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// expect consumes a required token.
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		return p.errf("expected %q", text)
+	}
+	return nil
+}
+
+// ident consumes an identifier.
+func (p *parser) ident() (string, error) {
+	if !p.at(tokIdent, "") {
+		return "", p.errf("expected identifier")
+	}
+	name := p.cur().text
+	p.pos++
+	return name, nil
+}
+
+// parseType consumes int/float/void.
+func (p *parser) parseType() (Type, error) {
+	switch {
+	case p.accept("int"):
+		return TypeInt, nil
+	case p.accept("float"):
+		return TypeFloat, nil
+	case p.accept("void"):
+		return TypeVoid, nil
+	}
+	return 0, p.errf("expected type")
+}
+
+// parseGlobalRest parses the remainder of a global declaration after
+// "type name".
+func (p *parser) parseGlobalRest(ty Type, name string) (*VarDecl, error) {
+	if ty == TypeVoid {
+		return nil, p.errf("void variable %q", name)
+	}
+	d := &VarDecl{Name: name, Type: ty, Line: p.cur().line}
+	if p.accept("[") {
+		n, err := p.constInt()
+		if err != nil {
+			return nil, err
+		}
+		if n <= 0 {
+			return nil, p.errf("array %q must have positive length", name)
+		}
+		d.IsArray, d.Len = true, n
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept("=") {
+		d.HasInit = true
+		if d.IsArray {
+			if err := p.expect("{"); err != nil {
+				return nil, err
+			}
+			for !p.accept("}") {
+				if err := p.appendConst(d); err != nil {
+					return nil, err
+				}
+				if !p.accept(",") && !p.at(tokPunct, "}") {
+					return nil, p.errf("expected ',' or '}' in initializer")
+				}
+			}
+			if int64(len(d.InitInt))+int64(len(d.InitFloat)) > d.Len {
+				return nil, p.errf("too many initializers for %q", name)
+			}
+		} else {
+			if err := p.appendConst(d); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// appendConst parses one (possibly negated) constant into the decl's
+// initializer list.
+func (p *parser) appendConst(d *VarDecl) error {
+	neg := p.accept("-")
+	t := p.cur()
+	switch t.kind {
+	case tokIntLit:
+		v := t.ival
+		if neg {
+			v = -v
+		}
+		if d.Type == TypeFloat {
+			d.InitFloat = append(d.InitFloat, float64(v))
+		} else {
+			d.InitInt = append(d.InitInt, v)
+		}
+	case tokFloatLit:
+		if d.Type != TypeFloat {
+			return p.errf("float initializer for int variable %q", d.Name)
+		}
+		v := t.fval
+		if neg {
+			v = -v
+		}
+		d.InitFloat = append(d.InitFloat, v)
+	default:
+		return p.errf("expected constant initializer")
+	}
+	p.pos++
+	return nil
+}
+
+// constInt parses a constant integer.
+func (p *parser) constInt() (int64, error) {
+	if !p.at(tokIntLit, "") {
+		return 0, p.errf("expected integer constant")
+	}
+	v := p.cur().ival
+	p.pos++
+	return v, nil
+}
+
+// parseFunc parses a function after "type name (".
+func (p *parser) parseFunc(ret Type, name string) (*FuncDecl, error) {
+	fn := &FuncDecl{Name: name, Ret: ret, Line: p.cur().line}
+	if !p.accept(")") {
+		for {
+			pty, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			if pty == TypeVoid {
+				if p.accept(")") && len(fn.Params) == 0 {
+					break // f(void)
+				}
+				return nil, p.errf("void parameter")
+			}
+			pname, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			fn.Params = append(fn.Params, &VarDecl{Name: pname, Type: pty})
+			if p.accept(")") {
+				break
+			}
+			if err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(fn.Params) > 6 {
+		return nil, p.errf("function %q has more than 6 parameters", name)
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+// parseBlock parses { stmt* }.
+func (p *parser) parseBlock() (*BlockStmt, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{}
+	for !p.accept("}") {
+		if p.at(tokEOF, "") {
+			return nil, p.errf("unexpected end of file in block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, nil
+}
+
+// parseStmt parses one statement.
+func (p *parser) parseStmt() (Stmt, error) {
+	switch {
+	case p.at(tokPunct, "{"):
+		return p.parseBlock()
+
+	case p.at(tokKeyword, "int") || p.at(tokKeyword, "float"):
+		return p.parseDeclStmt()
+
+	case p.accept("if"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{Cond: cond, Then: then}
+		if p.accept("else") {
+			els, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+		return st, nil
+
+	case p.accept("while"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body}, nil
+
+	case p.accept("for"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		st := &ForStmt{}
+		if !p.accept(";") {
+			if p.at(tokKeyword, "int") || p.at(tokKeyword, "float") {
+				init, err := p.parseDeclStmt()
+				if err != nil {
+					return nil, err
+				}
+				st.Init = init
+			} else {
+				x, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				st.Init = &ExprStmt{X: x}
+				if err := p.expect(";"); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if !p.accept(";") {
+			cond, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Cond = cond
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		}
+		if !p.accept(")") {
+			post, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Post = post
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		st.Body = body
+		return st, nil
+
+	case p.accept("return"):
+		st := &ReturnStmt{}
+		if !p.accept(";") {
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.X = x
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		}
+		return st, nil
+
+	case p.accept("break"):
+		return &BreakStmt{}, p.expect(";")
+
+	case p.accept("continue"):
+		return &ContinueStmt{}, p.expect(";")
+
+	case p.accept(";"):
+		return &BlockStmt{}, nil
+
+	default:
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: x}, p.expect(";")
+	}
+}
+
+// parseDeclStmt parses a local declaration statement.
+func (p *parser) parseDeclStmt() (Stmt, error) {
+	ty, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	d := &VarDecl{Name: name, Type: ty, Line: p.cur().line}
+	st := &DeclStmt{Decl: d}
+	if p.accept("[") {
+		n, err := p.constInt()
+		if err != nil {
+			return nil, err
+		}
+		if n <= 0 {
+			return nil, p.errf("array %q must have positive length", name)
+		}
+		d.IsArray, d.Len = true, n
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+	} else if p.accept("=") {
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Init = init
+	}
+	return st, p.expect(";")
+}
+
+// Operator precedence climbing. Levels, loosest first:
+//
+//	||  &&  |  ^  &  == !=  < <= > >=  << >>  + -  * / %
+var precedence = map[string]int{
+	"||": 1, "&&": 2,
+	"|": 3, "^": 4, "&": 5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+// parseExpr parses an assignment, compound assignment, increment or
+// binary expression. Compound forms desugar: `x += e` becomes
+// `x = x + (e)` and `x++` becomes `x = x + 1` (the expression's value is
+// the updated value; the left side is re-evaluated, which is observable
+// only through array index expressions with side effects).
+func (p *parser) parseExpr() (Expr, error) {
+	lhs, err := p.parseBinary(1)
+	if err != nil {
+		return nil, err
+	}
+	if p.accept("=") {
+		if err := checkLValue(p, lhs); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Assign{LHS: lhs, RHS: rhs}, nil
+	}
+	for _, op := range []string{"+=", "-=", "*=", "/=", "%="} {
+		if p.accept(op) {
+			if err := checkLValue(p, lhs); err != nil {
+				return nil, err
+			}
+			rhs, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &Assign{LHS: lhs, RHS: &Binary{Op: op[:1], X: lhs, Y: rhs}}, nil
+		}
+	}
+	if p.accept("++") {
+		if err := checkLValue(p, lhs); err != nil {
+			return nil, err
+		}
+		return &Assign{LHS: lhs, RHS: &Binary{Op: "+", X: lhs, Y: &IntLit{V: 1}}}, nil
+	}
+	if p.accept("--") {
+		if err := checkLValue(p, lhs); err != nil {
+			return nil, err
+		}
+		return &Assign{LHS: lhs, RHS: &Binary{Op: "-", X: lhs, Y: &IntLit{V: 1}}}, nil
+	}
+	return lhs, nil
+}
+
+// checkLValue rejects assignment to non-lvalues.
+func checkLValue(p *parser, e Expr) error {
+	switch e.(type) {
+	case *Ident, *Index:
+		return nil
+	}
+	return p.errf("invalid assignment target")
+}
+
+func (p *parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokPunct {
+			return lhs, nil
+		}
+		prec, ok := precedence[t.text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		// Don't eat '=' as part of a comparison; precedence map has no
+		// '=' so this is naturally safe.
+		op := t.text
+		p.pos++
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{Op: op, X: lhs, Y: rhs}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	switch {
+	case p.accept("-"):
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "-", X: x}, nil
+	case p.accept("!"):
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "!", X: x}, nil
+	case p.accept("~"):
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "~", X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokIntLit:
+		p.pos++
+		return &IntLit{V: t.ival}, nil
+	case t.kind == tokFloatLit:
+		p.pos++
+		return &FloatLit{V: t.fval}, nil
+	case p.accept("("):
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return x, p.expect(")")
+	case t.kind == tokIdent:
+		name := t.text
+		line := t.line
+		p.pos++
+		if p.accept("(") {
+			call := &Call{Name: name, Line: line}
+			if !p.accept(")") {
+				for {
+					arg, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, arg)
+					if p.accept(")") {
+						break
+					}
+					if err := p.expect(","); err != nil {
+						return nil, err
+					}
+				}
+			}
+			return call, nil
+		}
+		if p.accept("[") {
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &Index{Name: name, I: idx}, p.expect("]")
+		}
+		return &Ident{Name: name}, nil
+	}
+	return nil, p.errf("expected expression")
+}

@@ -1,0 +1,180 @@
+package minic
+
+import (
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// Register promotion: the most-used scalar locals of each function are
+// allocated to callee-saved registers (s0–s5 for ints, f9–f14 for
+// floats) instead of stack slots. Besides speed, this matters for
+// fidelity to the paper: its fault injection results assume compiled
+// code keeps hot values — loop counters, accumulators, base addresses —
+// live in the register file for long spans ("integer registers tend to
+// be live during large spans of the application life"), which is what
+// makes register faults consequential.
+
+// intSaved / fpSaved are the promotion target registers, in allocation
+// order.
+var (
+	intSaved = []isa.Reg{isa.RegS0, 10, 11, 12, 13, isa.RegS5}
+	fpSaved  = []isa.Reg{9, 10, 11, 12, 13, 14}
+)
+
+// regLocal records a promoted variable.
+type regLocal struct {
+	reg isa.Reg
+	ty  Type
+}
+
+// planPromotions chooses which of fn's scalar declarations live in
+// callee-saved registers. Each *declaration* (parameter or DeclStmt) is a
+// separate candidate, so loop variables re-declared per loop are promoted
+// independently; the code generator's scope stack resolves references to
+// the right instance. Every promoted declaration gets a distinct
+// register, so simultaneously-live declarations never conflict.
+func (c *compiler) planPromotions(fn *FuncDecl) map[*VarDecl]regLocal {
+	uses := map[string]int{}
+	countUses(fn.Body, uses)
+
+	type cand struct {
+		decl  *VarDecl
+		order int
+		n     int
+	}
+	var cands []cand
+	add := func(d *VarDecl) {
+		if d.IsArray {
+			return
+		}
+		cands = append(cands, cand{decl: d, order: len(cands), n: uses[d.Name]})
+	}
+	for _, p := range fn.Params {
+		add(p)
+	}
+	collectDecls(fn.Body, add)
+
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].n != cands[j].n {
+			return cands[i].n > cands[j].n
+		}
+		return cands[i].order < cands[j].order
+	})
+
+	out := make(map[*VarDecl]regLocal)
+	nextInt, nextFP := 0, 0
+	for _, cd := range cands {
+		switch cd.decl.Type {
+		case TypeInt:
+			if nextInt < len(intSaved) {
+				out[cd.decl] = regLocal{reg: intSaved[nextInt], ty: TypeInt}
+				nextInt++
+			}
+		case TypeFloat:
+			if nextFP < len(fpSaved) {
+				out[cd.decl] = regLocal{reg: fpSaved[nextFP], ty: TypeFloat}
+				nextFP++
+			}
+		}
+	}
+	return out
+}
+
+// collectDecls visits every local declaration in a statement tree.
+func collectDecls(s Stmt, visit func(*VarDecl)) {
+	switch st := s.(type) {
+	case *BlockStmt:
+		for _, sub := range st.Stmts {
+			collectDecls(sub, visit)
+		}
+	case *DeclStmt:
+		visit(st.Decl)
+	case *IfStmt:
+		collectDecls(st.Then, visit)
+		if st.Else != nil {
+			collectDecls(st.Else, visit)
+		}
+	case *WhileStmt:
+		collectDecls(st.Body, visit)
+	case *ForStmt:
+		if st.Init != nil {
+			collectDecls(st.Init, visit)
+		}
+		collectDecls(st.Body, visit)
+	}
+}
+
+// countUses tallies variable references in a statement tree. Loop-body
+// references count double so loop-carried variables win promotion.
+func countUses(s Stmt, uses map[string]int) {
+	switch st := s.(type) {
+	case *BlockStmt:
+		for _, sub := range st.Stmts {
+			countUses(sub, uses)
+		}
+	case *DeclStmt:
+		if st.Init != nil {
+			countExprUses(st.Init, uses, 1)
+		}
+	case *ExprStmt:
+		countExprUses(st.X, uses, 1)
+	case *IfStmt:
+		countExprUses(st.Cond, uses, 1)
+		countUses(st.Then, uses)
+		if st.Else != nil {
+			countUses(st.Else, uses)
+		}
+	case *WhileStmt:
+		countExprUses(st.Cond, uses, 4)
+		countScaled(st.Body, uses, 4)
+	case *ForStmt:
+		if st.Init != nil {
+			countUses(st.Init, uses)
+		}
+		if st.Cond != nil {
+			countExprUses(st.Cond, uses, 4)
+		}
+		if st.Post != nil {
+			countExprUses(st.Post, uses, 4)
+		}
+		countScaled(st.Body, uses, 4)
+	case *ReturnStmt:
+		if st.X != nil {
+			countExprUses(st.X, uses, 1)
+		}
+	}
+}
+
+// countScaled counts a loop body with a weight multiplier (approximated
+// by repeating the walk's weight).
+func countScaled(s Stmt, uses map[string]int, weight int) {
+	tmp := map[string]int{}
+	countUses(s, tmp)
+	for name, n := range tmp {
+		uses[name] += n * weight
+	}
+}
+
+// countExprUses tallies variable references in an expression.
+func countExprUses(e Expr, uses map[string]int, weight int) {
+	switch x := e.(type) {
+	case *Ident:
+		uses[x.Name] += weight
+	case *Index:
+		uses[x.Name] += weight
+		countExprUses(x.I, uses, weight)
+	case *Unary:
+		countExprUses(x.X, uses, weight)
+	case *Binary:
+		countExprUses(x.X, uses, weight)
+		countExprUses(x.Y, uses, weight)
+	case *Assign:
+		countExprUses(x.LHS, uses, weight)
+		countExprUses(x.RHS, uses, weight)
+	case *Call:
+		for _, a := range x.Args {
+			countExprUses(a, uses, weight)
+		}
+	}
+}

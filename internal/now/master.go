@@ -1,0 +1,229 @@
+package now
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"repro/internal/campaign"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// MasterConfig parameterizes a campaign master.
+type MasterConfig struct {
+	// Workload + Scale identify the application; workers rebuild the
+	// (deterministic) program image locally and receive the checkpoint.
+	Workload string
+	Scale    workloads.Scale
+
+	Experiments []campaign.Experiment
+
+	// Model / MaxInsts configure worker simulators.
+	Model    sim.ModelKind
+	MaxInsts uint64
+
+	// Quiet suppresses progress logging.
+	Quiet bool
+}
+
+// Master owns the experiment queue and the checkpoint, and serves
+// workers over TCP.
+type Master struct {
+	cfg    MasterConfig
+	ln     net.Listener
+	ckpt   []byte
+	window uint64
+
+	mu      sync.Mutex
+	pending []campaign.Experiment
+	flight  map[string][]campaign.Experiment // per-connection assignments
+	results map[int]campaign.Result
+	want    int
+	doneCh  chan struct{}
+
+	wg sync.WaitGroup
+}
+
+// NewMaster prepares the campaign: runs the golden simulation up to
+// fi_read_init_all, captures the checkpoint, and starts listening on
+// addr (e.g. "127.0.0.1:0").
+func NewMaster(addr string, cfg MasterConfig) (*Master, error) {
+	if cfg.Model == "" {
+		cfg.Model = sim.ModelAtomic
+	}
+	if cfg.MaxInsts == 0 {
+		cfg.MaxInsts = 2_000_000_000
+	}
+	w, err := workloads.ByName(cfg.Workload, cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	runnerCfg := sim.Config{Model: cfg.Model, EnableFI: true, MaxInsts: cfg.MaxInsts}
+	runner, err := campaign.NewRunner(w, campaign.RunnerOptions{Cfg: &runnerCfg})
+	if err != nil {
+		return nil, err
+	}
+	ckptBytes, err := runner.Ckpt.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	m := &Master{
+		cfg:     cfg,
+		ln:      ln,
+		ckpt:    ckptBytes,
+		window:  runner.WindowInsts,
+		pending: append([]campaign.Experiment(nil), cfg.Experiments...),
+		flight:  make(map[string][]campaign.Experiment),
+		results: make(map[int]campaign.Result),
+		want:    len(cfg.Experiments),
+		doneCh:  make(chan struct{}),
+	}
+	m.wg.Add(1)
+	go m.accept()
+	return m, nil
+}
+
+// Addr returns the listening address workers should dial.
+func (m *Master) Addr() string { return m.ln.Addr().String() }
+
+// WindowInsts returns the golden run's fault-injection window size (for
+// generating experiments against this master's workload).
+func (m *Master) WindowInsts() uint64 { return m.window }
+
+// accept serves worker connections until the listener closes.
+func (m *Master) accept() {
+	defer m.wg.Done()
+	var id int
+	for {
+		raw, err := m.ln.Accept()
+		if err != nil {
+			return
+		}
+		id++
+		name := fmt.Sprintf("conn%d-%s", id, raw.RemoteAddr())
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			m.serve(name, newConn(raw))
+		}()
+	}
+}
+
+// serve runs the master side of one worker connection.
+func (m *Master) serve(name string, c *conn) {
+	defer c.close()
+	defer m.requeue(name)
+
+	hello, err := c.recv()
+	if err != nil || hello.Type != MsgHello {
+		return
+	}
+	welcome := Message{
+		Type:        MsgWelcome,
+		Workload:    m.cfg.Workload,
+		Scale:       int(m.cfg.Scale),
+		Checkpoint:  m.ckpt,
+		WindowInsts: m.window,
+		Model:       string(m.cfg.Model),
+		MaxInsts:    m.cfg.MaxInsts,
+	}
+	if err := c.send(welcome); err != nil {
+		return
+	}
+	for {
+		msg, err := c.recv()
+		if err != nil {
+			return
+		}
+		switch msg.Type {
+		case MsgFetch:
+			exp, ok := m.take(name)
+			if !ok {
+				_ = c.send(Message{Type: MsgDone})
+				return
+			}
+			if err := c.send(Message{Type: MsgExperiment, Experiment: &exp}); err != nil {
+				return
+			}
+		case MsgResult:
+			if msg.Result != nil {
+				m.complete(name, *msg.Result)
+			}
+		default:
+			_ = c.send(Message{Type: MsgError, Error: "unexpected " + msg.Type})
+			return
+		}
+	}
+}
+
+// take pops one pending experiment and records the assignment.
+func (m *Master) take(worker string) (campaign.Experiment, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.pending) == 0 {
+		return campaign.Experiment{}, false
+	}
+	exp := m.pending[0]
+	m.pending = m.pending[1:]
+	m.flight[worker] = append(m.flight[worker], exp)
+	return exp, true
+}
+
+// complete records a result and clears the assignment.
+func (m *Master) complete(worker string, r campaign.Result) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	assigned := m.flight[worker]
+	for i, e := range assigned {
+		if e.ID == r.ID {
+			m.flight[worker] = append(assigned[:i], assigned[i+1:]...)
+			break
+		}
+	}
+	if _, dup := m.results[r.ID]; !dup {
+		m.results[r.ID] = r
+		if !m.cfg.Quiet && len(m.results)%50 == 0 {
+			log.Printf("now: %d/%d experiments done", len(m.results), m.want)
+		}
+		if len(m.results) == m.want {
+			close(m.doneCh)
+		}
+	}
+}
+
+// requeue returns a dead worker's in-flight experiments to the queue.
+func (m *Master) requeue(worker string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if lost := m.flight[worker]; len(lost) > 0 {
+		m.pending = append(m.pending, lost...)
+		delete(m.flight, worker)
+	}
+}
+
+// Wait blocks until every experiment has a result, then returns them
+// ordered by ID. It closes the listener.
+func (m *Master) Wait() []campaign.Result {
+	<-m.doneCh
+	_ = m.ln.Close()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]campaign.Result, 0, len(m.results))
+	for i := 0; i < m.want; i++ {
+		if r, ok := m.results[i]; ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Close shuts the master down without waiting for completion.
+func (m *Master) Close() {
+	_ = m.ln.Close()
+}

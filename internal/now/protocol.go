@@ -1,0 +1,117 @@
+// Package now implements GemFI's campaign distribution over a Network of
+// Workstations (Section III.E of the paper). The paper uses shell scripts
+// and an NFS share; this implementation replaces the share with a TCP
+// master that plays the same role:
+//
+//  1. the master holds the fault configurations of all experiments;
+//  2. a simulation is executed up to the fi_read_init_all point and the
+//     checkpoint is stored on the master;
+//  3. each worker gets a local copy of the checkpoint when it connects;
+//  4. workers repeatedly fetch one remaining experiment, execute it
+//     locally from the checkpointed state, and send the result back;
+//  5. until no experiments are left.
+//
+// Workers that die mid-experiment have their assignments re-queued, which
+// is what makes campaigns safe on non-dedicated machines.
+package now
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+
+	"repro/internal/campaign"
+)
+
+// Message is the single wire envelope; Type selects which fields are
+// meaningful. One JSON object per line.
+type Message struct {
+	Type string `json:"type"`
+
+	// hello (worker -> master)
+	WorkerName string `json:"workerName,omitempty"`
+
+	// welcome (master -> worker)
+	Workload    string `json:"workload,omitempty"`
+	Scale       int    `json:"scale,omitempty"`
+	Checkpoint  []byte `json:"checkpoint,omitempty"` // gob bytes (base64 via JSON)
+	WindowInsts uint64 `json:"windowInsts,omitempty"`
+	Model       string `json:"model,omitempty"`
+	MaxInsts    uint64 `json:"maxInsts,omitempty"`
+
+	// experiment (master -> worker)
+	Experiment *campaign.Experiment `json:"experiment,omitempty"`
+
+	// result (worker -> master)
+	Result *campaign.Result `json:"result,omitempty"`
+
+	// error (either direction)
+	Error string `json:"error,omitempty"`
+}
+
+// Message types.
+const (
+	MsgHello      = "hello"
+	MsgWelcome    = "welcome"
+	MsgFetch      = "fetch"
+	MsgExperiment = "experiment"
+	MsgResult     = "result"
+	MsgDone       = "done"
+	MsgError      = "error"
+)
+
+// conn wraps a net.Conn with line-delimited JSON framing.
+type conn struct {
+	raw net.Conn
+	r   *bufio.Scanner
+	w   *bufio.Writer
+}
+
+// maxLine bounds a single message (checkpoints ride in one line).
+const maxLine = 256 << 20
+
+func newConn(raw net.Conn) *conn {
+	sc := bufio.NewScanner(raw)
+	sc.Buffer(make([]byte, 64<<10), maxLine)
+	return &conn{raw: raw, r: sc, w: bufio.NewWriterSize(raw, 64<<10)}
+}
+
+// send writes one message.
+func (c *conn) send(m Message) error {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("now: marshal: %w", err)
+	}
+	if _, err := c.w.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// recv reads one message.
+func (c *conn) recv() (Message, error) {
+	if !c.r.Scan() {
+		if err := c.r.Err(); err != nil {
+			return Message{}, err
+		}
+		return Message{}, fmt.Errorf("now: connection closed")
+	}
+	var m Message
+	if err := json.Unmarshal(c.r.Bytes(), &m); err != nil {
+		return Message{}, fmt.Errorf("now: bad message: %w", err)
+	}
+	return m, nil
+}
+
+func (c *conn) close() { _ = c.raw.Close() }
+
+// dialRaw opens a framed connection to addr (exposed for tests and
+// tools that speak the protocol directly).
+func dialRaw(addr string) (*conn, error) {
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return newConn(raw), nil
+}

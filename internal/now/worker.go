@@ -1,0 +1,159 @@
+package now
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/campaign"
+	"repro/internal/checkpoint"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// WorkerConfig parameterizes a workstation process.
+type WorkerConfig struct {
+	// Addr is the master's address.
+	Addr string
+	// Slots is how many experiments run simultaneously (the paper ran 4
+	// per quad-core workstation).
+	Slots int
+	// Name identifies the worker in master logs.
+	Name string
+}
+
+// Worker pulls experiments from a master and executes them locally from
+// the received checkpoint.
+type Worker struct {
+	cfg WorkerConfig
+}
+
+// NewWorker returns a worker; call Run to process the campaign.
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.Slots <= 0 {
+		cfg.Slots = 1
+	}
+	if cfg.Name == "" {
+		cfg.Name = "worker"
+	}
+	return &Worker{cfg: cfg}
+}
+
+// Run processes experiments until the master reports the campaign done.
+// Each slot opens its own connection (its own "simulation process"), so
+// slot failures are independent. It returns the number of experiments
+// this worker completed.
+func (w *Worker) Run() (int, error) {
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		total int
+		first error
+	)
+	for i := 0; i < w.cfg.Slots; i++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			n, err := w.runSlot(fmt.Sprintf("%s/slot%d", w.cfg.Name, slot))
+			mu.Lock()
+			defer mu.Unlock()
+			total += n
+			if err != nil && first == nil {
+				first = err
+			}
+		}(i)
+	}
+	wg.Wait()
+	return total, first
+}
+
+// runSlot is one slot's fetch/execute/report loop.
+func (w *Worker) runSlot(name string) (int, error) {
+	raw, err := net.Dial("tcp", w.cfg.Addr)
+	if err != nil {
+		return 0, fmt.Errorf("now: dial master: %w", err)
+	}
+	c := newConn(raw)
+	defer c.close()
+
+	if err := c.send(Message{Type: MsgHello, WorkerName: name}); err != nil {
+		return 0, err
+	}
+	welcome, err := c.recv()
+	if err != nil {
+		return 0, err
+	}
+	if welcome.Type != MsgWelcome {
+		return 0, fmt.Errorf("now: expected welcome, got %q", welcome.Type)
+	}
+
+	runner, err := buildRunner(welcome)
+	if err != nil {
+		return 0, err
+	}
+
+	done := 0
+	for {
+		if err := c.send(Message{Type: MsgFetch}); err != nil {
+			return done, err
+		}
+		msg, err := c.recv()
+		if err != nil {
+			return done, err
+		}
+		switch msg.Type {
+		case MsgDone:
+			return done, nil
+		case MsgExperiment:
+			res := runner.Run(*msg.Experiment)
+			if err := c.send(Message{Type: MsgResult, Result: &res}); err != nil {
+				return done, err
+			}
+			done++
+		case MsgError:
+			return done, fmt.Errorf("now: master error: %s", msg.Error)
+		default:
+			return done, fmt.Errorf("now: unexpected message %q", msg.Type)
+		}
+	}
+}
+
+// buildRunner reconstructs the campaign runner from a welcome message:
+// the program is rebuilt deterministically from (workload, scale), and
+// the simulator state comes from the shipped checkpoint — the "local
+// copy of the checkpoint" of the paper's step 3.
+func buildRunner(welcome Message) (*campaign.Runner, error) {
+	wl, err := workloads.ByName(welcome.Workload, workloads.Scale(welcome.Scale))
+	if err != nil {
+		return nil, err
+	}
+	st, err := checkpoint.FromBytes(welcome.Checkpoint)
+	if err != nil {
+		return nil, err
+	}
+	cfg := sim.Config{
+		Model:    sim.ModelKind(welcome.Model),
+		EnableFI: true,
+		MaxInsts: welcome.MaxInsts,
+	}
+	// Build the golden reference locally by finishing a fault-free run
+	// from the checkpoint.
+	p, err := wl.Build()
+	if err != nil {
+		return nil, err
+	}
+	s := sim.New(cfg)
+	if err := s.Load(p); err != nil {
+		return nil, err
+	}
+	s.Restore(st, nil)
+	r := s.Run()
+	if r.Failed() {
+		return nil, fmt.Errorf("now: fault-free continuation failed: %+v", r)
+	}
+	golden, err := workloads.Extract(wl, s)
+	if err != nil {
+		return nil, err
+	}
+	return campaign.NewRestoredRunner(wl, cfg, golden, welcome.WindowInsts, st)
+}

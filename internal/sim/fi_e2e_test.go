@@ -1,0 +1,280 @@
+package sim
+
+import (
+	"io"
+	"strings"
+
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/minic"
+)
+
+// compileMC compiles mini-C and loads it into a fresh simulator.
+func compileMC(t *testing.T, src string, cfg Config) *Simulator {
+	t.Helper()
+	p, err := minic.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(cfg)
+	if err := s.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestTickBasedFaultEndToEnd schedules a fault by simulation ticks
+// instead of instructions (the paper's second time base) and checks it
+// fires during the run.
+func TestTickBasedFaultEndToEnd(t *testing.T) {
+	src := `
+int out[1];
+int main() {
+    fi_checkpoint();
+    fi_activate(0);
+    int s = 0;
+    for (int i = 0; i < 500; i = i + 1) { s = s + i; }
+    out[0] = s;
+    fi_activate(0);
+    return 0;
+}`
+	for _, model := range []ModelKind{ModelAtomic, ModelPipelined} {
+		f := core.Fault{
+			Loc: core.LocIntReg, Reg: 9, Behavior: core.BehFlip, Bit: 2,
+			Base: core.TimeTick, When: 400, Occ: 1,
+		}
+		s := compileMC(t, src, Config{Model: model, EnableFI: true, Faults: []core.Fault{f}, MaxInsts: 10_000_000})
+		r := s.Run()
+		if r.Hung {
+			t.Fatalf("%s: hung", model)
+		}
+		if !r.Outcomes[0].Fired {
+			t.Errorf("%s: tick-based fault never fired", model)
+		}
+	}
+}
+
+// TestPermanentStuckAtFaultEndToEnd pins a register bit for the whole
+// run (occ:all on a register fault re-applies every instruction): a
+// stuck-at-1 on the loop accumulator's register forces a wrong sum.
+func TestPermanentStuckAtFaultEndToEnd(t *testing.T) {
+	src := `
+int out[1];
+int main() {
+    fi_checkpoint();
+    fi_activate(0);
+    int s = 0;
+    for (int i = 0; i < 100; i = i + 1) { s = s + 2; }  // s even at every step
+    out[0] = s;
+    fi_activate(0);
+    return 0;
+}`
+	// Permanent stuck value on s0 (the promoted loop counter): with
+	// occ:all the corruption re-applies after every instruction, so the
+	// loop exits far from its natural trip count. (A toggling XOR fault
+	// can cancel itself on even instruction parity — a SET fault cannot.)
+	f := core.Fault{
+		Loc: core.LocIntReg, Reg: 9, Behavior: core.BehSet, Value: 1 << 20,
+		Base: core.TimeInst, When: 10, Occ: core.PermanentOcc,
+	}
+	s := compileMC(t, src, Config{Model: ModelAtomic, EnableFI: true, Faults: []core.Fault{f}, MaxInsts: 10_000_000})
+	r := s.Run()
+	if r.Hung {
+		t.Fatal("hung")
+	}
+	oc := r.Outcomes[0]
+	if !oc.Fired || !oc.Propagated {
+		t.Fatalf("permanent fault must fire and propagate: %+v", oc)
+	}
+	if !r.Failed() {
+		out, _ := s.ReadMem64(s.Program.MustSymbol("out"))
+		if out == 200 {
+			t.Error("permanent stuck-value fault left the result clean")
+		}
+	}
+}
+
+// TestThreadTargetedFaultHitsOnlyItsThread runs two FI-enabled threads
+// with different ids; a fault targeting thread id 1 must corrupt thread
+// 1's output and leave thread 0's alone.
+func TestThreadTargetedFaultHitsOnlyItsThread(t *testing.T) {
+	src := `
+int sums[2];
+int done[2];
+
+void worker(int id) {
+    fi_activate(1);          // this thread is FI id 1
+    int s = 0;
+    for (int i = 0; i < 200; i = i + 1) { s = s + 3; }
+    sums[1] = s;
+    fi_activate(1);
+    done[1] = 1;
+    thread_exit();
+}
+
+int main() {
+    fi_checkpoint();
+    int tid = spawn(worker, 0);
+    fi_activate(0);          // main is FI id 0
+    int s = 0;
+    for (int i = 0; i < 200; i = i + 1) { s = s + 3; }
+    sums[0] = s;
+    fi_activate(0);
+    join(tid);
+    return 0;
+}`
+	run := func(faults []core.Fault) (uint64, uint64) {
+		s := compileMC(t, src, Config{
+			Model: ModelAtomic, EnableFI: true, Faults: faults,
+			Quantum: 100, MaxInsts: 50_000_000,
+		})
+		r := s.Run()
+		if r.Failed() {
+			t.Fatalf("%+v", r)
+		}
+		base := s.Program.MustSymbol("sums")
+		a, _ := s.ReadMem64(base)
+		b, _ := s.ReadMem64(base + 8)
+		return a, b
+	}
+	clean0, clean1 := run(nil)
+	if clean0 != 600 || clean1 != 600 {
+		t.Fatalf("clean sums = %d,%d", clean0, clean1)
+	}
+	// Permanent corruption of the worker's accumulator register, aimed at
+	// FI thread id 1 only. Main uses the same architectural register but
+	// must be untouched.
+	f := core.Fault{
+		Loc: core.LocIntReg, Reg: 9, Behavior: core.BehXor, Value: 1 << 20,
+		ThreadID: 1, Base: core.TimeInst, When: 50, Occ: 4,
+	}
+	f0, f1 := run([]core.Fault{f})
+	if f0 != 600 {
+		t.Errorf("thread 0 corrupted by a thread-1 fault: %d", f0)
+	}
+	if f1 == 600 {
+		t.Errorf("thread 1 fault did not land: %d", f1)
+	}
+}
+
+// TestWrongPathFaultIsSquashed injects a fetch fault into a dynamically
+// wrong-path instruction in the pipelined model: the engine must report
+// the hit as squashed/non-propagated and the program output must be
+// bit-exact.
+func TestWrongPathFaultIsSquashed(t *testing.T) {
+	// A loop whose closing branch is taken 499 times: fall-through
+	// fetches after the branch are wrong-path until the predictor warms.
+	src := `
+int out[1];
+int main() {
+    fi_checkpoint();
+    fi_activate(0);
+    int s = 0;
+    for (int i = 0; i < 500; i = i + 1) { s = s + i; }
+    out[0] = s;
+    fi_activate(0);
+    return 0;
+}`
+	// Sweep fetch faults over the first few dozen fetch indices until one
+	// lands on a squashed slot: the first loop-closing branch is a BTB
+	// miss, so the fall-through fetches behind it are wrong-path.
+	foundSquashed := false
+	for when := uint64(2); when < 60 && !foundSquashed; when++ {
+		f := core.Fault{
+			Loc: core.LocFetch, Behavior: core.BehAllOne,
+			Base: core.TimeInst, When: when, Occ: 1,
+		}
+		s := compileMC(t, src, Config{Model: ModelPipelined, EnableFI: true, Faults: []core.Fault{f}, MaxInsts: 10_000_000})
+		r := s.Run()
+		oc := r.Outcomes[0]
+		if oc.Fired && oc.Squashed && !oc.Committed {
+			foundSquashed = true
+			if r.Failed() {
+				t.Fatalf("when=%d: squashed-only fault crashed the run: %+v", when, r)
+			}
+			out, _ := s.ReadMem64(s.Program.MustSymbol("out"))
+			if out != 124750 {
+				t.Errorf("when=%d: squashed fault changed output: %d", when, out)
+			}
+			if oc.Propagated {
+				t.Errorf("when=%d: squashed fault marked propagated", when)
+			}
+		}
+	}
+	if !foundSquashed {
+		t.Error("no fetch fault landed on a squashed wrong-path instruction in the sweep")
+	}
+}
+
+// TestMultipleFaultsInOneExperiment injects several faults at once (the
+// input file supports one fault per line) and checks each is tracked
+// independently.
+func TestMultipleFaultsInOneExperiment(t *testing.T) {
+	src := `
+int out[1];
+int main() {
+    fi_checkpoint();
+    fi_activate(0);
+    int s = 0;
+    for (int i = 0; i < 300; i = i + 1) { s = s + 1; }
+    out[0] = s;
+    fi_activate(0);
+    return 0;
+}`
+	faults := []core.Fault{
+		{Loc: core.LocIntReg, Reg: 14, Behavior: core.BehFlip, Bit: 1, Base: core.TimeInst, When: 10, Occ: 1},
+		{Loc: core.LocIntReg, Reg: 13, Behavior: core.BehFlip, Bit: 1, Base: core.TimeInst, When: 20, Occ: 1},
+		{Loc: core.LocMem, Behavior: core.BehFlip, Bit: 0, Base: core.TimeInst, When: 10_000_000, Occ: 1}, // never fires
+	}
+	s := compileMC(t, src, Config{Model: ModelAtomic, EnableFI: true, Faults: faults, MaxInsts: 10_000_000})
+	r := s.Run()
+	if len(r.Outcomes) != 3 {
+		t.Fatalf("outcomes = %d", len(r.Outcomes))
+	}
+	if !r.Outcomes[0].Fired || !r.Outcomes[1].Fired {
+		t.Error("register faults did not fire")
+	}
+	if r.Outcomes[2].Fired {
+		t.Error("beyond-end fault fired")
+	}
+}
+
+// TestFaultFileDrivesSimulator goes through the textual input file end
+// to end: parse the paper-format lines, run, observe.
+func TestFaultFileDrivesSimulator(t *testing.T) {
+	lines := `
+# paper Listing 1 format
+RegisterInjectedFault Inst:30 Flip:4 Threadid:0 system.cpu0 occ:1 int 9
+MemoryInjectedFault Inst:40 Flip:2 Threadid:0 system.cpu0 occ:1
+`
+	faults, err := core.ParseFaults(stringsReader(lines))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := `
+int out[1];
+int main() {
+    fi_checkpoint();
+    fi_activate(0);
+    int s = 0;
+    for (int i = 0; i < 100; i = i + 1) { s = s + i; }
+    out[0] = s;
+    fi_activate(0);
+    return 0;
+}`
+	s := compileMC(t, src, Config{Model: ModelAtomic, EnableFI: true, Faults: faults, MaxInsts: 10_000_000})
+	r := s.Run()
+	fired := 0
+	for _, oc := range r.Outcomes {
+		if oc.Fired {
+			fired++
+		}
+	}
+	if fired == 0 {
+		t.Error("no fault from the input file fired")
+	}
+}
+
+// stringsReader avoids importing strings just for one call site.
+func stringsReader(s string) io.Reader { return strings.NewReader(s) }

@@ -1,0 +1,296 @@
+// Package sim wires the simulated machine together: memory, caches, CPU
+// model, kernel and the GemFI fault injection engine. It owns the run
+// loop, the watchdog, checkpoint capture/restore, and the campaign
+// methodology's mid-run model switch (pipelined until the injected fault
+// commits or squashes, then atomic — Section IV.B.1 of the paper).
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+)
+
+// ModelKind selects the CPU model.
+type ModelKind string
+
+// CPU models (the paper's speed/accuracy trade-off points).
+const (
+	ModelAtomic    ModelKind = "atomic"
+	ModelTiming    ModelKind = "timing"
+	ModelPipelined ModelKind = "pipelined"
+)
+
+// Config parameterizes a simulator.
+type Config struct {
+	CPUName string
+	Model   ModelKind
+
+	// EnableFI attaches a fault engine; false models unmodified gem5.
+	EnableFI bool
+	Faults   []core.Fault
+
+	// Quantum is the scheduler time slice in instructions (0 = default).
+	Quantum uint64
+
+	// MaxInsts stops a runaway simulation (0 = no watchdog). The campaign
+	// layer classifies a watchdog stop as a crash (hang).
+	MaxInsts uint64
+
+	// SwitchToAtomicOnResolve switches from the pipelined model to the
+	// atomic model once every fault has fired and its affected
+	// instruction has committed or squashed.
+	SwitchToAtomicOnResolve bool
+
+	// Hierarchy overrides the cache configuration (nil = default). Only
+	// timing and pipelined models consume cache latencies.
+	Hierarchy *mem.HierarchyConfig
+
+	// StopAtCheckpoint ends Run when the guest executes
+	// fi_read_init_all() (after taking the checkpoint callback).
+	StopAtCheckpoint bool
+}
+
+// DefaultConfig returns the configuration used throughout the paper's
+// validation study: a single pipelined core with split L1s, a unified L2
+// and fault injection enabled.
+func DefaultConfig() Config {
+	return Config{
+		CPUName:                 "system.cpu0",
+		Model:                   ModelPipelined,
+		EnableFI:                true,
+		SwitchToAtomicOnResolve: true,
+	}
+}
+
+// Simulator is a fully wired simulated machine.
+type Simulator struct {
+	Cfg    Config
+	Mem    *mem.Memory
+	Hier   *mem.Hierarchy
+	Core   *cpu.Core
+	Kernel *kernel.Kernel
+	Engine *core.Engine // nil when EnableFI is false
+	Model  cpu.Model
+
+	Program *asm.Program
+
+	// OnCheckpoint is called when the guest executes fi_read_init_all().
+	// The default records that the request happened; campaign drivers
+	// replace it to capture a checkpoint.
+	OnCheckpoint func(*Simulator)
+
+	CheckpointHits int
+	stopRequested  bool
+	switched       bool
+}
+
+// New builds a simulator (without a program; call Load).
+func New(cfg Config) *Simulator {
+	if cfg.CPUName == "" {
+		cfg.CPUName = "system.cpu0"
+	}
+	s := &Simulator{Cfg: cfg}
+	s.Mem = mem.New()
+	s.Core = &cpu.Core{Name: cfg.CPUName, Mem: s.Mem}
+	if cfg.Model != ModelAtomic {
+		hc := mem.DefaultHierarchyConfig()
+		if cfg.Hierarchy != nil {
+			hc = *cfg.Hierarchy
+		}
+		s.Hier = mem.NewHierarchy(hc)
+		s.Core.Hier = s.Hier
+	}
+	s.Kernel = kernel.New(s.Mem)
+	if cfg.Quantum > 0 {
+		s.Kernel.Quantum = cfg.Quantum
+	}
+	if cfg.EnableFI {
+		s.Engine = core.NewEngine(cfg.CPUName, cfg.Faults)
+		s.Core.FI = s.Engine
+		s.Kernel.IOFilter = s.Engine.OnIO
+	}
+	s.Core.OnCheckpoint = func() {
+		s.CheckpointHits++
+		if s.OnCheckpoint != nil {
+			s.OnCheckpoint(s)
+		}
+		if s.Cfg.StopAtCheckpoint {
+			s.stopRequested = true
+		}
+	}
+	return s
+}
+
+// Load boots the program image.
+func (s *Simulator) Load(p *asm.Program) error {
+	s.Program = p
+	if err := s.Kernel.Boot(s.Core, p); err != nil {
+		return fmt.Errorf("sim load: %w", err)
+	}
+	s.Model = s.newModel(s.Cfg.Model)
+	return nil
+}
+
+func (s *Simulator) newModel(kind ModelKind) cpu.Model {
+	switch kind {
+	case ModelAtomic:
+		return cpu.NewAtomic(s.Core)
+	case ModelTiming:
+		return cpu.NewTiming(s.Core)
+	default:
+		return cpu.NewPipelined(s.Core)
+	}
+}
+
+// RunResult summarizes a completed simulation.
+type RunResult struct {
+	Exited              bool
+	ExitStatus          int
+	Crashed             bool
+	CrashCause          string
+	Hung                bool
+	StoppedAtCheckpoint bool
+
+	Insts uint64
+	Ticks uint64
+
+	Console  string
+	Model    string // model active at the end of the run
+	Switched bool   // pipelined -> atomic switch happened
+
+	Outcomes []core.FaultOutcome
+}
+
+// Failed reports whether the run should be classified as crashed
+// (trap, hang or nonzero exit).
+func (r RunResult) Failed() bool {
+	return r.Crashed || r.Hung || (r.Exited && r.ExitStatus != 0)
+}
+
+// Run drives the simulation to completion (program exit, trap, watchdog,
+// or checkpoint stop).
+func (s *Simulator) Run() RunResult {
+	if s.Model == nil {
+		return RunResult{Crashed: true, CrashCause: "no program loaded"}
+	}
+	for !s.Core.Stopped && !s.stopRequested {
+		if !s.Model.Step() {
+			break
+		}
+		if s.Cfg.MaxInsts > 0 && s.Core.Insts >= s.Cfg.MaxInsts {
+			return s.result(false, true)
+		}
+		if s.Cfg.SwitchToAtomicOnResolve && !s.switched && s.Engine != nil &&
+			s.Cfg.Model == ModelPipelined && s.Engine.AnyFired() && s.Engine.Resolved() {
+			s.SwitchModel(ModelAtomic)
+		}
+	}
+	stoppedAtCkpt := s.stopRequested && !s.Core.Stopped
+	s.stopRequested = false
+	r := s.result(stoppedAtCkpt, false)
+	return r
+}
+
+// result assembles the RunResult.
+func (s *Simulator) result(atCheckpoint, hung bool) RunResult {
+	r := RunResult{
+		Insts:               s.Core.Insts,
+		Ticks:               s.Core.Ticks,
+		Console:             s.Kernel.Console(),
+		Model:               s.Model.ModelName(),
+		Switched:            s.switched,
+		Hung:                hung,
+		StoppedAtCheckpoint: atCheckpoint,
+	}
+	if s.Engine != nil {
+		r.Outcomes = s.Engine.Outcomes()
+	}
+	if hung {
+		return r
+	}
+	if atCheckpoint {
+		return r
+	}
+	if s.Core.Trap != nil {
+		r.Crashed = true
+		r.CrashCause = s.Core.Trap.Error()
+		return r
+	}
+	if s.Core.Stopped {
+		r.Exited = true
+		r.ExitStatus = s.Core.ExitStatus
+	}
+	return r
+}
+
+// SwitchModel drains the current model and continues with another —
+// gem5's CPU-model switching, used by the campaign methodology to finish
+// runs in fast atomic mode after fault manifestation.
+func (s *Simulator) SwitchModel(kind ModelKind) {
+	s.Model.Drain()
+	if s.Core.Stopped {
+		return
+	}
+	s.Model = s.newModel(kind)
+	s.switched = true
+}
+
+// Checkpoint captures the whole-machine state.
+func (s *Simulator) Checkpoint() *checkpoint.State {
+	return &checkpoint.State{
+		Core:   s.Core.Snapshot(),
+		Mem:    s.Mem.Snapshot(),
+		Kernel: s.Kernel.Snapshot(),
+	}
+}
+
+// Restore rewinds the machine to a checkpoint and re-arms the fault
+// engine with a fresh fault list (the fi_read_init_all contract: "upon
+// restoring a checkpoint GemFI parses again the faults configuration
+// file"). The CPU model restarts cleanly (drained pipeline, cold
+// predictor and caches).
+func (s *Simulator) Restore(st *checkpoint.State, faults []core.Fault) {
+	s.Mem.Restore(st.Mem)
+	s.Core.RestoreSnapshot(st.Core)
+	s.Kernel.Restore(st.Kernel)
+	if s.Hier != nil {
+		s.Hier.InvalidateAll()
+	}
+	if s.Engine != nil {
+		s.Engine.Reset(faults)
+	}
+	s.Model = s.newModel(s.Cfg.Model)
+	s.switched = false
+	s.stopRequested = false
+}
+
+// RunToCheckpoint runs until fi_read_init_all() executes and returns the
+// captured state; an error is returned if the program ends first.
+func (s *Simulator) RunToCheckpoint() (*checkpoint.State, RunResult, error) {
+	var captured *checkpoint.State
+	prevHook := s.OnCheckpoint
+	prevStop := s.Cfg.StopAtCheckpoint
+	s.OnCheckpoint = func(sim *Simulator) { captured = sim.Checkpoint() }
+	s.Cfg.StopAtCheckpoint = true
+	res := s.Run()
+	s.OnCheckpoint = prevHook
+	s.Cfg.StopAtCheckpoint = prevStop
+	if captured == nil {
+		return nil, res, fmt.Errorf("sim: program ended without reaching fi_read_init_all")
+	}
+	return captured, res, nil
+}
+
+// ReadMem64 reads a quadword of guest memory (harness output extraction).
+func (s *Simulator) ReadMem64(addr uint64) (uint64, error) { return s.Mem.Read64(addr) }
+
+// ReadMemBytes reads guest memory (harness output extraction).
+func (s *Simulator) ReadMemBytes(addr uint64, n int) ([]byte, error) {
+	return s.Mem.LoadBytes(addr, n)
+}

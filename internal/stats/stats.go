@@ -1,0 +1,214 @@
+// Package stats provides the statistical machinery the paper's
+// methodology relies on: the Leveugle et al. (DATE'09) sample-size
+// formula used to size fault injection campaigns ("the number of
+// executions ... has been calculated using the method presented in [7],
+// setting 99% as a target confidence level and 1% as the error margin"),
+// proportion and mean confidence intervals for reporting, and PSNR for
+// the image-quality outcome thresholds.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ZFor returns the two-sided normal critical value for a confidence
+// level (e.g. 0.95 -> 1.96). Supported levels are the ones used in
+// dependability papers; intermediate levels interpolate.
+func ZFor(confidence float64) float64 {
+	table := []struct{ c, z float64 }{
+		{0.80, 1.2816}, {0.90, 1.6449}, {0.95, 1.9600},
+		{0.98, 2.3263}, {0.99, 2.5758}, {0.995, 2.8070}, {0.999, 3.2905},
+	}
+	if confidence <= table[0].c {
+		return table[0].z
+	}
+	for i := 1; i < len(table); i++ {
+		if confidence <= table[i].c {
+			lo, hi := table[i-1], table[i]
+			t := (confidence - lo.c) / (hi.c - lo.c)
+			return lo.z + t*(hi.z-lo.z)
+		}
+	}
+	return table[len(table)-1].z
+}
+
+// SampleSize computes the Leveugle statistical fault injection sample
+// size: the number of experiments needed to estimate a proportion within
+// margin e at the given confidence, drawing without replacement from a
+// fault population of size N (pass N <= 0 for an infinite population):
+//
+//	n = N / (1 + e^2 * (N-1) / (t^2 * p * (1-p)))
+//
+// p is the assumed proportion (0.5 maximizes n and is the conservative
+// choice the paper uses).
+func SampleSize(populationN int64, confidence, margin, p float64) int64 {
+	if margin <= 0 || p <= 0 || p >= 1 {
+		return 0
+	}
+	t := ZFor(confidence)
+	infinite := t * t * p * (1 - p) / (margin * margin)
+	if populationN <= 0 {
+		return int64(math.Ceil(infinite))
+	}
+	n := float64(populationN) / (1 + margin*margin*float64(populationN-1)/(t*t*p*(1-p)))
+	return int64(math.Ceil(n))
+}
+
+// Proportion is a binomial outcome summary.
+type Proportion struct {
+	Successes int
+	Total     int
+}
+
+// P returns the point estimate.
+func (pr Proportion) P() float64 {
+	if pr.Total == 0 {
+		return 0
+	}
+	return float64(pr.Successes) / float64(pr.Total)
+}
+
+// Interval returns the normal-approximation confidence interval,
+// clamped to [0, 1].
+func (pr Proportion) Interval(confidence float64) (lo, hi float64) {
+	if pr.Total == 0 {
+		return 0, 0
+	}
+	p := pr.P()
+	se := math.Sqrt(p * (1 - p) / float64(pr.Total))
+	z := ZFor(confidence)
+	lo = math.Max(0, p-z*se)
+	hi = math.Min(1, p+z*se)
+	return lo, hi
+}
+
+// Mean summarizes a sample of float64 observations.
+type Mean struct {
+	N    int
+	Sum  float64
+	Sum2 float64
+}
+
+// Add accumulates an observation.
+func (m *Mean) Add(x float64) {
+	m.N++
+	m.Sum += x
+	m.Sum2 += x * x
+}
+
+// Value returns the sample mean.
+func (m *Mean) Value() float64 {
+	if m.N == 0 {
+		return 0
+	}
+	return m.Sum / float64(m.N)
+}
+
+// StdDev returns the sample standard deviation.
+func (m *Mean) StdDev() float64 {
+	if m.N < 2 {
+		return 0
+	}
+	mean := m.Value()
+	v := (m.Sum2 - float64(m.N)*mean*mean) / float64(m.N-1)
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Interval returns the normal-approximation confidence interval of the
+// mean (the paper reports 95% CIs in Fig. 7).
+func (m *Mean) Interval(confidence float64) (lo, hi float64) {
+	if m.N == 0 {
+		return 0, 0
+	}
+	se := m.StdDev() / math.Sqrt(float64(m.N))
+	z := ZFor(confidence)
+	return m.Value() - z*se, m.Value() + z*se
+}
+
+// PSNR computes the peak signal-to-noise ratio in dB between two
+// equal-length 8-bit sample sequences (peak = 255). It returns +Inf for
+// identical inputs. The paper's quality thresholds: DCT output vs input
+// >= 30 dB is "correct"; deblocking output vs error-free output >= 80 dB
+// is "correct".
+func PSNR(a, b []byte) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("stats: PSNR length mismatch %d vs %d", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return 0, fmt.Errorf("stats: PSNR of empty images")
+	}
+	var mse float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		mse += d * d
+	}
+	mse /= float64(len(a))
+	if mse == 0 {
+		return math.Inf(1), nil
+	}
+	return 10 * math.Log10(255*255/mse), nil
+}
+
+// PSNR64 computes PSNR between two sequences of 64-bit integer samples
+// clamped to [0, peak].
+func PSNR64(a, b []int64, peak float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("stats: PSNR length mismatch %d vs %d", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return 0, fmt.Errorf("stats: PSNR of empty images")
+	}
+	var mse float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		mse += d * d
+	}
+	mse /= float64(len(a))
+	if mse == 0 {
+		return math.Inf(1), nil
+	}
+	return 10 * math.Log10(peak*peak/mse), nil
+}
+
+// Histogram bins observations in [0,1) into n equal bins (used for the
+// Fig. 6 injection-time sweeps).
+type Histogram struct {
+	Bins []int
+}
+
+// NewHistogram returns a histogram with n bins.
+func NewHistogram(n int) *Histogram { return &Histogram{Bins: make([]int, n)} }
+
+// Add records an observation x in [0, 1]; out-of-range values clamp.
+func (h *Histogram) Add(x float64) {
+	i := int(x * float64(len(h.Bins)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Bins) {
+		i = len(h.Bins) - 1
+	}
+	h.Bins[i]++
+}
+
+// Quantile returns the q-quantile (0..1) of a sample (sorted copy).
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	i := int(q * float64(len(s)-1))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}

@@ -1,0 +1,216 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZFor(t *testing.T) {
+	cases := map[float64]float64{0.95: 1.96, 0.99: 2.5758, 0.90: 1.6449}
+	for c, want := range cases {
+		if got := ZFor(c); math.Abs(got-want) > 0.001 {
+			t.Errorf("ZFor(%v) = %v want %v", c, got, want)
+		}
+	}
+	if ZFor(0.97) <= ZFor(0.95) || ZFor(0.97) >= ZFor(0.98) {
+		t.Error("interpolation not monotone")
+	}
+}
+
+// TestLeveugleSampleSize reproduces the paper's campaign sizing: "the
+// number of executions of each application for every experiment varied
+// from 2501 to 2504 ... setting 99% as a target confidence level and 1%
+// as the error margin". With a finite per-application fault population
+// in the low thousands, the formula lands exactly in that band.
+func TestLeveugleSampleSize(t *testing.T) {
+	// Infinite population at 99%/1% -> t^2 p(1-p)/e^2 ~= 16587.
+	inf := SampleSize(0, 0.99, 0.01, 0.5)
+	if inf < 16500 || inf > 16700 {
+		t.Errorf("infinite-population size = %d", inf)
+	}
+	// A finite population reproducing the paper's 2501..2504 band.
+	n := SampleSize(2950, 0.99, 0.01, 0.5)
+	if n < 2400 || n > 2600 {
+		t.Errorf("finite-population size = %d, want ~2500 (paper: 2501-2504)", n)
+	}
+	t.Logf("paper-style sizing: population 2950 -> %d experiments (paper: 2501-2504)", n)
+}
+
+func TestSampleSizeMonotonicity(t *testing.T) {
+	f := func(nRaw uint32) bool {
+		n := int64(nRaw%100000) + 2
+		s := SampleSize(n, 0.99, 0.01, 0.5)
+		sLooser := SampleSize(n, 0.95, 0.01, 0.5)
+		sWider := SampleSize(n, 0.99, 0.05, 0.5)
+		return s <= n && sLooser <= s && sWider <= s && s >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleSizeDegenerate(t *testing.T) {
+	if SampleSize(100, 0.99, 0, 0.5) != 0 {
+		t.Error("zero margin should return 0")
+	}
+	if SampleSize(100, 0.99, 0.01, 0) != 0 {
+		t.Error("p=0 should return 0")
+	}
+}
+
+func TestProportionInterval(t *testing.T) {
+	pr := Proportion{Successes: 50, Total: 100}
+	lo, hi := pr.Interval(0.95)
+	if lo >= 0.5 || hi <= 0.5 {
+		t.Errorf("interval [%v,%v] must bracket 0.5", lo, hi)
+	}
+	if hi-lo > 0.25 {
+		t.Errorf("interval too wide: [%v,%v]", lo, hi)
+	}
+	// Tighter with more samples.
+	big := Proportion{Successes: 5000, Total: 10000}
+	blo, bhi := big.Interval(0.95)
+	if bhi-blo >= hi-lo {
+		t.Error("interval must shrink with sample size")
+	}
+	// Clamped at the edges.
+	edge := Proportion{Successes: 0, Total: 10}
+	elo, _ := edge.Interval(0.99)
+	if elo < 0 {
+		t.Error("interval must clamp at 0")
+	}
+}
+
+func TestMeanInterval(t *testing.T) {
+	var m Mean
+	for _, x := range []float64{10, 12, 8, 11, 9, 10, 10, 10} {
+		m.Add(x)
+	}
+	if math.Abs(m.Value()-10) > 0.01 {
+		t.Errorf("mean = %v", m.Value())
+	}
+	lo, hi := m.Interval(0.95)
+	if lo >= 10 || hi <= 10 {
+		t.Errorf("interval [%v,%v] must bracket the mean", lo, hi)
+	}
+	if m.StdDev() <= 0 {
+		t.Error("stddev must be positive for a spread sample")
+	}
+}
+
+func TestMeanSingleObservation(t *testing.T) {
+	var m Mean
+	m.Add(5)
+	if m.StdDev() != 0 {
+		t.Error("single observation stddev must be 0")
+	}
+	lo, hi := m.Interval(0.95)
+	if lo != 5 || hi != 5 {
+		t.Errorf("degenerate interval [%v,%v]", lo, hi)
+	}
+}
+
+func TestPSNRIdentical(t *testing.T) {
+	img := []byte{1, 2, 3, 255, 0, 128}
+	p, err := PSNR(img, img)
+	if err != nil || !math.IsInf(p, 1) {
+		t.Errorf("identical images: %v, %v", p, err)
+	}
+}
+
+func TestPSNRKnownValue(t *testing.T) {
+	a := make([]byte, 100)
+	b := make([]byte, 100)
+	for i := range b {
+		b[i] = 10 // MSE = 100 -> PSNR = 10*log10(65025/100) ~= 28.13
+	}
+	p, err := PSNR(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-28.13) > 0.01 {
+		t.Errorf("PSNR = %v, want ~28.13", p)
+	}
+}
+
+func TestPSNRThresholdOrdering(t *testing.T) {
+	// Smaller corruption => higher PSNR.
+	base := make([]byte, 1000)
+	for i := range base {
+		base[i] = byte(i % 251)
+	}
+	small := append([]byte(nil), base...)
+	small[0] ^= 1
+	large := append([]byte(nil), base...)
+	for i := 0; i < 100; i++ {
+		large[i] ^= 0x80
+	}
+	ps, _ := PSNR(base, small)
+	pl, _ := PSNR(base, large)
+	if ps <= pl {
+		t.Errorf("PSNR ordering wrong: small=%v large=%v", ps, pl)
+	}
+	if ps < 70 {
+		t.Errorf("single-LSB corruption should exceed 70 dB, got %v", ps)
+	}
+	if pl > 30 {
+		t.Errorf("heavy corruption should be below 30 dB, got %v", pl)
+	}
+}
+
+func TestPSNRErrors(t *testing.T) {
+	if _, err := PSNR([]byte{1}, []byte{1, 2}); err == nil {
+		t.Error("length mismatch must error")
+	}
+	if _, err := PSNR(nil, nil); err == nil {
+		t.Error("empty images must error")
+	}
+}
+
+func TestPSNR64(t *testing.T) {
+	a := []int64{0, 100, 200}
+	p, err := PSNR64(a, a, 255)
+	if err != nil || !math.IsInf(p, 1) {
+		t.Errorf("identical: %v %v", p, err)
+	}
+	b := []int64{1, 101, 201}
+	p2, err := PSNR64(a, b, 255)
+	if err != nil || p2 < 40 {
+		t.Errorf("1-LSB: %v %v", p2, err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i) / 100)
+	}
+	for i, n := range h.Bins {
+		if n != 10 {
+			t.Errorf("bin %d = %d, want 10", i, n)
+		}
+	}
+	h.Add(-1)
+	h.Add(2)
+	if h.Bins[0] != 11 || h.Bins[9] != 11 {
+		t.Error("clamping failed")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 5 {
+		t.Error("extreme quantiles wrong")
+	}
+	if Quantile(xs, 0.5) != 3 {
+		t.Errorf("median = %v", Quantile(xs, 0.5))
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile must be 0")
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Error("Quantile mutated its input")
+	}
+}

@@ -1,0 +1,164 @@
+package workloads
+
+import "fmt"
+
+// cannealParams returns (elements, nets, steps, swapsPerStep).
+func cannealParams(scale Scale) (elems, nets, steps, swaps int) {
+	switch scale {
+	case ScalePaper:
+		return 256, 100, 100, 100 // "100 nets, allowing up to 100 swaps in each step"
+	case ScaleSmall:
+		return 64, 50, 40, 20
+	default:
+		return 16, 10, 15, 8
+	}
+}
+
+// Canneal builds the simulated-annealing netlist routing workload
+// (modeled on PARSEC's canneal): elements on a grid, nets connecting
+// pairs, cost = total Manhattan wire length, random swaps accepted when
+// they reduce cost or — early on — probabilistically (the annealing
+// schedule). Outcome criterion from the paper: "Correct Canneal
+// executions are those that reduce the total cost of routing and produce
+// a correct chip" — i.e. the final placement is a valid permutation with
+// cost below the initial placement's.
+func Canneal(scale Scale) *Workload {
+	elems, nets, steps, swaps := cannealParams(scale)
+	gw := 1
+	for gw*gw < elems {
+		gw++
+	}
+	rng := newLCG(909090)
+	netA := make([]int64, nets)
+	netB := make([]int64, nets)
+	for i := 0; i < nets; i++ {
+		a := rng.intn(elems)
+		b := rng.intn(elems)
+		for b == a {
+			b = rng.intn(elems)
+		}
+		netA[i], netB[i] = int64(a), int64(b)
+	}
+
+	src := fmt.Sprintf(`
+// Simulated-annealing netlist routing (paper benchmark "Canneal").
+int netA[%[1]d] = %[2]s;
+int netB[%[1]d] = %[3]s;
+int pos[%[4]d];
+int cost_out[2];   // [0] final cost, [1] initial cost
+
+int seed_g = 5550123;
+
+int lcg() {
+    seed_g = (seed_g * 1103515245 + 12345) & 0x7FFFFFFF;
+    return seed_g;
+}
+
+int iabs2(int v) {
+    if (v < 0) { return -v; }
+    return v;
+}
+
+int total_cost() {
+    int gw = %[5]d;
+    int c = 0;
+    for (int i = 0; i < %[1]d; i = i + 1) {
+        int pa = pos[netA[i]];
+        int pb = pos[netB[i]];
+        c = c + iabs2(pa %% gw - pb %% gw) + iabs2(pa / gw - pb / gw);
+    }
+    return c;
+}
+
+int main() {
+    int n = %[4]d;
+    os_boot();
+    fi_checkpoint();
+    fi_activate(0);
+    // Initial placement: identity permutation, then shuffle.
+    for (int i = 0; i < n; i = i + 1) { pos[i] = i; }
+    for (int i = n - 1; i > 0; i = i - 1) {
+        int j = lcg() %% (i + 1);
+        int t = pos[i];
+        pos[i] = pos[j];
+        pos[j] = t;
+    }
+    int cost = total_cost();
+    cost_out[1] = cost;
+    int steps = %[6]d;
+    for (int s = 0; s < steps; s = s + 1) {
+        int temp = (steps - s) * 100 / steps;   // declining acceptance %%
+        for (int k = 0; k < %[7]d; k = k + 1) {
+            int i = lcg() %% n;
+            int j = lcg() %% n;
+            if (i == j) { continue; }
+            int t = pos[i];
+            pos[i] = pos[j];
+            pos[j] = t;
+            int nc = total_cost();
+            if (nc < cost || lcg() %% 400 < temp) {
+                cost = nc;
+            } else {
+                t = pos[i];
+                pos[i] = pos[j];
+                pos[j] = t;
+            }
+        }
+    }
+    cost_out[0] = total_cost();
+    fi_activate(0);
+    return 0;
+}
+`, nets, intArray(netA), intArray(netB), elems, gw, steps, swaps)
+
+	src = bootPreamble(scale) + src
+
+	specs := []OutputSpec{
+		{Symbol: "cost_out", Count: 2},
+		{Symbol: "pos", Count: elems},
+	}
+	return &Workload{
+		Name:    "canneal",
+		Source:  src,
+		Outputs: specs,
+		Classify: func(golden, run *Result) Grade {
+			if bitsEqual(golden.Data, run.Data, specs) {
+				return GradeStrict
+			}
+			finalCost := int64(run.Data["cost_out"][0])
+			initCost := int64(run.Data["cost_out"][1])
+			// "A correct chip": the placement must still be a valid
+			// permutation (every slot exactly once).
+			seen := make(map[uint64]bool, elems)
+			valid := true
+			for _, p := range run.Data["pos"] {
+				if p >= uint64(elems) || seen[p] {
+					valid = false
+					break
+				}
+				seen[p] = true
+			}
+			// Audit the claimed final cost against the placement.
+			if valid {
+				var audit int64
+				for i := 0; i < nets; i++ {
+					pa := int64(run.Data["pos"][netA[i]])
+					pb := int64(run.Data["pos"][netB[i]])
+					audit += absI64(pa%int64(gw)-pb%int64(gw)) + absI64(pa/int64(gw)-pb/int64(gw))
+				}
+				valid = audit == finalCost
+			}
+			if valid && finalCost < initCost {
+				return GradeCorrect
+			}
+			return GradeSDC
+		},
+	}
+}
+
+func absI64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,122 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// deblockDims returns the frame dimensions for a scale.
+func deblockDims(scale Scale) (w, h int) {
+	switch scale {
+	case ScalePaper:
+		return 720, 240 // "a 720X240 pixel image"
+	case ScaleSmall:
+		return 48, 16
+	default:
+		return 16, 16
+	}
+}
+
+// Deblock builds the AVS-style deblocking filter workload: integer-only
+// edge smoothing across 8x8 block boundaries with strength clipping.
+// Outcome criterion from the paper: "outputs with PSNR higher than 80 dB,
+// when compared with the error-free execution, are characterized as
+// correct". Being integer-only, it is the paper's poster child for 100%
+// strict correctness under FP-register faults.
+func Deblock(scale Scale) *Workload {
+	w, h := deblockDims(scale)
+	// A blocky synthetic frame: per-block DC offsets create the edges a
+	// deblocking filter exists to smooth.
+	rng := newLCG(31337)
+	img := make([]int64, w*h)
+	for by := 0; by < (h+7)/8; by++ {
+		for bx := 0; bx < (w+7)/8; bx++ {
+			dc := int64(rng.intn(200) + 20)
+			for y := by * 8; y < by*8+8 && y < h; y++ {
+				for x := bx * 8; x < bx*8+8 && x < w; x++ {
+					v := dc + int64(rng.intn(9)) - 4
+					if v < 0 {
+						v = 0
+					}
+					if v > 255 {
+						v = 255
+					}
+					img[y*w+x] = v
+				}
+			}
+		}
+	}
+
+	src := fmt.Sprintf(`
+// AVS-style deblocking filter (paper benchmark "Deblocking").
+int frame[%[1]d] = %[2]s;
+
+int clip255(int v) {
+    if (v < 0) { return 0; }
+    if (v > 255) { return 255; }
+    return v;
+}
+
+int iabs(int v) {
+    if (v < 0) { return -v; }
+    return v;
+}
+
+// Filter one 4-sample edge segment: p1 p0 | q0 q1 laid out at stride s
+// around boundary index b.
+void filter_edge(int b, int s) {
+    int alpha = 22;
+    int beta = 6;
+    int p1 = frame[b - 2 * s];
+    int p0 = frame[b - s];
+    int q0 = frame[b];
+    int q1 = frame[b + s];
+    if (iabs(p0 - q0) < alpha && iabs(p1 - p0) < beta && iabs(q1 - q0) < beta) {
+        frame[b - s] = clip255((p1 + 2 * p0 + q0 + 2) >> 2);
+        frame[b]     = clip255((p0 + 2 * q0 + q1 + 2) >> 2);
+    }
+}
+
+int main() {
+    int w = %[3]d;
+    int h = %[4]d;
+    os_boot();
+    fi_checkpoint();
+    fi_activate(0);
+    // Vertical edges (filter across columns at x = 8, 16, ...).
+    for (int x = 8; x < w; x = x + 8) {
+        for (int y = 0; y < h; y = y + 1) {
+            filter_edge(y * w + x, 1);
+        }
+    }
+    // Horizontal edges (filter across rows at y = 8, 16, ...).
+    for (int y = 8; y < h; y = y + 8) {
+        for (int x = 0; x < w; x = x + 1) {
+            filter_edge(y * w + x, w);
+        }
+    }
+    fi_activate(0);
+    return 0;
+}
+`, w*h, intArray(img), w, h)
+
+	src = bootPreamble(scale) + src
+
+	specs := []OutputSpec{{Symbol: "frame", Count: w * h}}
+	return &Workload{
+		Name:    "deblock",
+		Source:  src,
+		Outputs: specs,
+		Classify: func(golden, run *Result) Grade {
+			if bitsEqual(golden.Data, run.Data, specs) {
+				return GradeStrict
+			}
+			psnr, err := stats.PSNR64(toInt64s(golden.Data["frame"]), toInt64s(run.Data["frame"]), 255)
+			if err == nil && psnr >= 80 {
+				return GradeCorrect
+			}
+			return GradeSDC
+		},
+	}
+}

@@ -1,0 +1,98 @@
+package workloads
+
+import "fmt"
+
+// jacobiN returns the system size for a scale.
+func jacobiN(scale Scale) int {
+	switch scale {
+	case ScalePaper:
+		return 64 // "a diagonally dominant 64X64 matrix"
+	case ScaleSmall:
+		return 16
+	default:
+		return 8
+	}
+}
+
+// Jacobi builds the iterative linear solver workload. Outcome criterion
+// from the paper: "we characterize as correct solutions that result to
+// the same (bit-exact) output as the golden model, converging after a
+// potentially different number of iterations".
+func Jacobi(scale Scale) *Workload {
+	n := jacobiN(scale)
+	rng := newLCG(777)
+	a := make([]float64, n*n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		rowSum := 0.0
+		for j := 0; j < n; j++ {
+			if i != j {
+				v := float64(rng.intn(9)+1) / 10.0
+				a[i*n+j] = v
+				rowSum += v
+			}
+		}
+		a[i*n+i] = rowSum + float64(rng.intn(10)+5) // strictly dominant
+		b[i] = float64(rng.intn(200) - 100)
+	}
+
+	src := fmt.Sprintf(`
+// Jacobi iterative solver (paper benchmark "Jacobi").
+float A[%[1]d] = %[2]s;
+float b[%[3]d] = %[4]s;
+float x[%[3]d];
+float xn[%[3]d];
+int iters[1];
+
+int main() {
+    int n = %[3]d;
+    os_boot();
+    fi_checkpoint();
+    fi_activate(0);
+    int it = 0;
+    float eps = 0.0;   // iterate to the exact float fixed point
+    while (it < 6000) {
+        float maxdiff = 0.0;
+        for (int i = 0; i < n; i = i + 1) {
+            float s = b[i];
+            for (int j = 0; j < n; j = j + 1) {
+                if (j != i) { s = s - A[i * n + j] * x[j]; }
+            }
+            xn[i] = s / A[i * n + i];
+            float d = fabs(xn[i] - x[i]);
+            if (d > maxdiff) { maxdiff = d; }
+        }
+        for (int i = 0; i < n; i = i + 1) { x[i] = xn[i]; }
+        it = it + 1;
+        if (maxdiff <= eps) { break; }
+    }
+    iters[0] = it;
+    fi_activate(0);
+    return 0;
+}
+`, n*n, floatArray(a), n, floatArray(b))
+
+	src = bootPreamble(scale) + src
+
+	specs := []OutputSpec{
+		{Symbol: "x", Count: n},
+		{Symbol: "iters", Count: 1},
+	}
+	solSpec := []OutputSpec{{Symbol: "x", Count: n}}
+	return &Workload{
+		Name:    "jacobi",
+		Source:  src,
+		Outputs: specs,
+		Classify: func(golden, run *Result) Grade {
+			if bitsEqual(golden.Data, run.Data, specs) {
+				return GradeStrict
+			}
+			// Bit-exact solution with a different iteration count is the
+			// paper's "correct" class for Jacobi.
+			if bitsEqual(golden.Data, run.Data, solSpec) {
+				return GradeCorrect
+			}
+			return GradeSDC
+		},
+	}
+}

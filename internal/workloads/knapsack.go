@@ -1,0 +1,138 @@
+package workloads
+
+import "fmt"
+
+// knapsackParams returns (items, population, generations) for a scale.
+func knapsackParams(scale Scale) (items, pop, gens int) {
+	switch scale {
+	case ScalePaper:
+		return 24, 32, 200 // "an input of 24 items and a weight limit of 500"
+	case ScaleSmall:
+		return 24, 16, 40
+	default:
+		return 16, 8, 15
+	}
+}
+
+// knapsackLimit is the paper's weight limit.
+const knapsackLimit = 500
+
+// Knapsack builds the 0/1-knapsack-via-genetic-algorithm workload.
+// The paper does not state a numeric tolerance; we classify a run as
+// correct when its best solution is feasible (within the weight limit)
+// and achieves at least 95% of the fault-free fitness, which captures
+// "the GA still found a good solution".
+func Knapsack(scale Scale) *Workload {
+	items, pop, gens := knapsackParams(scale)
+	rng := newLCG(4242)
+	values := make([]int64, items)
+	weights := make([]int64, items)
+	for i := 0; i < items; i++ {
+		values[i] = int64(rng.intn(90) + 10)
+		weights[i] = int64(rng.intn(45) + 5)
+	}
+
+	src := fmt.Sprintf(`
+// 0/1 knapsack via a genetic algorithm (paper benchmark "Knapsack").
+int values[%[1]d] = %[2]s;
+int weights[%[1]d] = %[3]s;
+int popv[%[4]d];
+int best_out[2];   // [0] best fitness, [1] best genome
+
+int seed_g = 20070705;
+
+int lcg() {
+    seed_g = (seed_g * 1103515245 + 12345) & 0x7FFFFFFF;
+    return seed_g;
+}
+
+int fitness(int genome) {
+    int v = 0;
+    int w = 0;
+    for (int i = 0; i < %[1]d; i = i + 1) {
+        if ((genome >> i) & 1) {
+            v = v + values[i];
+            w = w + weights[i];
+        }
+    }
+    if (w > %[5]d) { return 0; }
+    return v;
+}
+
+int main() {
+    int items = %[1]d;
+    int psize = %[4]d;
+    int mask = (1 << items) - 1;
+    os_boot();
+    fi_checkpoint();
+    fi_activate(0);
+    for (int i = 0; i < psize; i = i + 1) {
+        popv[i] = lcg() & mask;
+    }
+    int best = 0;
+    int bestg = 0;
+    for (int g = 0; g < %[6]d; g = g + 1) {
+        for (int i = 0; i < psize; i = i + 1) {
+            // Tournament selection of two parents.
+            int a = popv[lcg() %% psize];
+            int b = popv[lcg() %% psize];
+            int pa;
+            if (fitness(a) >= fitness(b)) { pa = a; } else { pa = b; }
+            int c = popv[lcg() %% psize];
+            int d = popv[lcg() %% psize];
+            int pb;
+            if (fitness(c) >= fitness(d)) { pb = c; } else { pb = d; }
+            // Single-point crossover.
+            int cut = lcg() %% items;
+            int lowmask = (1 << cut) - 1;
+            int child = (pa & lowmask) | (pb & (mask ^ lowmask));
+            // Mutation.
+            if (lcg() %% 8 == 0) {
+                child = child ^ (1 << (lcg() %% items));
+            }
+            popv[i] = child;
+            int f = fitness(child);
+            if (f > best) {
+                best = f;
+                bestg = child;
+            }
+        }
+    }
+    best_out[0] = best;
+    best_out[1] = bestg;
+    fi_activate(0);
+    return 0;
+}
+`, items, intArray(values), intArray(weights), pop, knapsackLimit, gens)
+
+	src = bootPreamble(scale) + src
+
+	specs := []OutputSpec{{Symbol: "best_out", Count: 2}}
+	return &Workload{
+		Name:    "knapsack",
+		Source:  src,
+		Outputs: specs,
+		Classify: func(golden, run *Result) Grade {
+			if bitsEqual(golden.Data, run.Data, specs) {
+				return GradeStrict
+			}
+			goldenBest := int64(golden.Data["best_out"][0])
+			runBest := int64(run.Data["best_out"][0])
+			genome := int64(run.Data["best_out"][1])
+			// Host-side feasibility + claimed-fitness audit using the
+			// known item table.
+			var v, w int64
+			for i := 0; i < items; i++ {
+				if genome>>uint(i)&1 == 1 {
+					v += values[i]
+					w += weights[i]
+				}
+			}
+			feasible := w <= knapsackLimit && v == runBest
+			if feasible && runBest*100 >= goldenBest*95 {
+				return GradeCorrect
+			}
+			return GradeSDC
+		},
+	}
+}

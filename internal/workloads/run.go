@@ -1,0 +1,67 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Execute compiles (cached), loads and runs the workload to completion on
+// a fresh simulator, returning the extracted outputs. A nil Result with a
+// nil error means the run failed (crashed/hung); inspect the RunResult.
+func Execute(w *Workload, cfg sim.Config, faults []core.Fault) (*Result, sim.RunResult, error) {
+	p, err := w.Build()
+	if err != nil {
+		return nil, sim.RunResult{}, err
+	}
+	cfg.Faults = faults
+	s := sim.New(cfg)
+	if err := s.Load(p); err != nil {
+		return nil, sim.RunResult{}, err
+	}
+	r := s.Run()
+	if r.Failed() {
+		return nil, r, nil
+	}
+	res, err := Extract(w, s)
+	if err != nil {
+		return nil, r, err
+	}
+	res.ExitStatus = r.ExitStatus
+	return res, r, nil
+}
+
+// Extract reads the workload's output symbols from a stopped simulator.
+func Extract(w *Workload, s *sim.Simulator) (*Result, error) {
+	res := &Result{Data: make(map[string][]uint64, len(w.Outputs))}
+	for _, spec := range w.Outputs {
+		addr, ok := s.Program.Symbol(spec.Symbol)
+		if !ok {
+			return nil, fmt.Errorf("workload %s: missing output symbol %q", w.Name, spec.Symbol)
+		}
+		vals := make([]uint64, spec.Count)
+		for i := 0; i < spec.Count; i++ {
+			v, err := s.ReadMem64(addr + uint64(i)*8)
+			if err != nil {
+				return nil, fmt.Errorf("workload %s: reading %s[%d]: %w", w.Name, spec.Symbol, i, err)
+			}
+			vals[i] = v
+		}
+		res.Data[spec.Symbol] = vals
+	}
+	return res, nil
+}
+
+// Golden runs the workload fault-free on the atomic model and returns
+// the reference outputs.
+func Golden(w *Workload) (*Result, sim.RunResult, error) {
+	res, r, err := Execute(w, sim.Config{Model: sim.ModelAtomic, EnableFI: true, MaxInsts: 2_000_000_000}, nil)
+	if err != nil {
+		return nil, r, err
+	}
+	if res == nil {
+		return nil, r, fmt.Errorf("workload %s: golden run failed: %+v", w.Name, r)
+	}
+	return res, r, nil
+}

@@ -1,0 +1,80 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// TestScaleSmallGolden runs every workload at ScaleSmall (the benchmark
+// scale) once, fault-free. It proves the larger problem sizes compile,
+// terminate and classify; skipped under -short.
+func TestScaleSmallGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ScaleSmall goldens are slow; run without -short")
+	}
+	for _, w := range All(ScaleSmall) {
+		g, r, err := Golden(w)
+		if err != nil {
+			t.Fatalf("%s: %v (%+v)", w.Name, err, r)
+		}
+		if got := w.Classify(g, g); got != GradeStrict {
+			t.Errorf("%s: golden self-grade = %v", w.Name, got)
+		}
+		t.Logf("%s @small: %d instructions", w.Name, r.Insts)
+	}
+}
+
+// TestScaleSmallFaultInjection runs one mid-window register fault per
+// workload at ScaleSmall on the paper's pipelined-then-atomic
+// methodology; skipped under -short.
+func TestScaleSmallFaultInjection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow; run without -short")
+	}
+	for _, w := range All(ScaleSmall) {
+		g, _, err := Golden(w)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		f := core.Fault{
+			Loc: core.LocIntReg, Reg: 9, Behavior: core.BehFlip, Bit: 13,
+			Base: core.TimeInst, When: 20_000, Occ: 1,
+		}
+		cfg := sim.DefaultConfig()
+		cfg.MaxInsts = 4_000_000_000
+		res, r, err := Execute(w, cfg, []core.Fault{f})
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if r.Hung {
+			t.Errorf("%s: hung", w.Name)
+			continue
+		}
+		outcome := "crash"
+		if res != nil {
+			outcome = w.Classify(g, res).String()
+		}
+		t.Logf("%s @small pipelined: s0 bit-13 flip -> %s", w.Name, outcome)
+	}
+}
+
+// TestPaperScaleCompiles builds (but does not run) the paper-scale
+// programs: 512x512 DCT, 64x64 Jacobi, 1e5-point PI, 720x240 deblocking.
+// Compilation exercises the large-initializer paths of the toolchain.
+func TestPaperScaleCompiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale sources are large; run without -short")
+	}
+	for _, w := range All(ScalePaper) {
+		p, err := w.Build()
+		if err != nil {
+			t.Fatalf("%s @paper: %v", w.Name, err)
+		}
+		if len(p.Text) == 0 || len(p.Data) == 0 {
+			t.Errorf("%s @paper: empty image", w.Name)
+		}
+		t.Logf("%s @paper: %d instructions, %d KiB data", w.Name, len(p.Text), len(p.Data)>>10)
+	}
+}

@@ -1,0 +1,139 @@
+package gemfi
+
+import (
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+// TestFig5ShapeClaims encodes the paper's qualitative Fig. 5 findings as
+// assertions, so regressions in the simulator or engine that would break
+// the reproduction fail CI rather than silently skewing EXPERIMENTS.md.
+// Run on two workloads with enough samples for stable ordering; skipped
+// under -short.
+func TestFig5ShapeClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign shape test is slow; run without -short")
+	}
+	const perLocation = 30
+
+	type rowStats struct {
+		crash, nonprop, acceptable float64
+	}
+	measure := func(t *testing.T, w *workloads.Workload, locs []core.Location) map[core.Location]rowStats {
+		t.Helper()
+		pool, err := campaign.NewPool(w, 2, campaign.RunnerOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[core.Location]rowStats)
+		for _, loc := range locs {
+			exps := campaign.GenerateUniform(perLocation, campaign.GenConfig{
+				Locations:   []core.Location{loc},
+				WindowInsts: pool.Runner().WindowInsts,
+				Seed:        77 + int64(loc),
+			})
+			tally := campaign.TallyOf(pool.RunAll(exps))
+			acc := tally.Fraction(campaign.OutcomeStrictlyCorrect) +
+				tally.Fraction(campaign.OutcomeCorrect) +
+				tally.Fraction(campaign.OutcomeNonPropagated)
+			out[loc] = rowStats{
+				crash:      tally.Fraction(campaign.OutcomeCrashed),
+				nonprop:    tally.Fraction(campaign.OutcomeNonPropagated),
+				acceptable: acc,
+			}
+		}
+		return out
+	}
+
+	t.Run("dct", func(t *testing.T) {
+		locs := []core.Location{core.LocIntReg, core.LocFloatReg, core.LocExec, core.LocPC}
+		rows := measure(t, workloads.DCT(workloads.ScaleTest), locs)
+
+		// "All applications demonstrate their highest resiliency to
+		// faults targeting floating point registers."
+		if rows[core.LocFloatReg].crash > rows[core.LocIntReg].crash {
+			t.Errorf("FP-register faults crash more than int-register faults: %v vs %v",
+				rows[core.LocFloatReg].crash, rows[core.LocIntReg].crash)
+		}
+		if rows[core.LocFloatReg].acceptable < 0.9 {
+			t.Errorf("FP-register faults acceptable fraction = %v, want ~benign", rows[core.LocFloatReg].acceptable)
+		}
+
+		// "Faults altering the value of the PC address were almost always
+		// fatal": PC must be the most crash-prone of the measured rows.
+		for loc, row := range rows {
+			if loc == core.LocPC {
+				continue
+			}
+			if row.crash > rows[core.LocPC].crash {
+				t.Errorf("%v crashes more than PC faults: %v vs %v", loc, row.crash, rows[core.LocPC].crash)
+			}
+		}
+		if rows[core.LocPC].crash < 0.5 {
+			t.Errorf("PC fault crash rate = %v, want 'almost always fatal'", rows[core.LocPC].crash)
+		}
+
+		// Execute-stage faults on a memory-heavy app crash frequently
+		// (corrupted effective addresses).
+		if rows[core.LocExec].crash < 0.25 {
+			t.Errorf("execute-stage crash rate on DCT = %v, want substantial", rows[core.LocExec].crash)
+		}
+	})
+
+	t.Run("deblock-integer-only", func(t *testing.T) {
+		rows := measure(t, workloads.Deblock(workloads.ScaleTest), []core.Location{core.LocFloatReg})
+		// "Deblocking, a benchmark with no floating point operations,
+		// behaves exactly as expected, demonstrating 100% strict
+		// correctness" under FP-register faults.
+		fp := rows[core.LocFloatReg]
+		if fp.crash != 0 || fp.acceptable != 1 {
+			t.Errorf("deblock FP row must be 100%% benign: crash=%v acceptable=%v", fp.crash, fp.acceptable)
+		}
+	})
+}
+
+// TestFig6ShapeClaims encodes the Fig. 6 trends: Knapsack's acceptable
+// fraction must not degrade over injection time (it trends upward), and
+// Jacobi must exhibit the correct-class (extra iterations) outcomes that
+// strict-only workloads lack. Skipped under -short.
+func TestFig6ShapeClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign shape test is slow; run without -short")
+	}
+	knap, err := campaign.RunFig6(campaign.Fig6Config{
+		Workload:    workloads.Knapsack(workloads.ScaleTest),
+		Experiments: 150,
+		Bins:        3,
+		Parallelism: 2,
+		Seed:        42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := knap.Bins[0], knap.Bins[len(knap.Bins)-1]
+	if last.Acceptable+0.05 < first.Acceptable {
+		t.Errorf("knapsack late-fault acceptability (%v) fell below early (%v): Fig.6 trend lost",
+			last.Acceptable, first.Acceptable)
+	}
+
+	jac, err := campaign.RunFig6(campaign.Fig6Config{
+		Workload:    workloads.Jacobi(workloads.ScaleTest),
+		Experiments: 150,
+		Bins:        3,
+		Parallelism: 2,
+		Seed:        43,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correctTotal := 0.0
+	for _, b := range jac.Bins {
+		correctTotal += b.Correct
+	}
+	if correctTotal == 0 {
+		t.Error("jacobi shows no correct-with-extra-iterations outcomes: convergence absorption lost")
+	}
+}
