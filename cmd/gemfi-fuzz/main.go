@@ -1,0 +1,132 @@
+// gemfi-fuzz runs lockstep differential fuzzing across the CPU models:
+// it generates random Thessaly-64 programs, runs each on every selected
+// model in lockstep, and reports any architectural divergence with a
+// disassembled trace diff and a minimized reproducer.
+//
+// Exit status is 0 when all programs agree, 1 on any divergence.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/conformance"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gemfi-fuzz:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		seed     = flag.Int64("seed", 1, "first generator seed")
+		n        = flag.Int("n", 100, "number of programs to run (seeds seed..seed+n-1)")
+		models   = flag.String("models", "atomic,timing,pipelined", "comma-separated CPU models to compare")
+		sync     = flag.Uint64("sync", 64, "compare architectural state every N committed instructions")
+		units    = flag.Int("units", 0, "units per generated program (0 = seed-derived)")
+		minimize = flag.Bool("minimize", true, "shrink diverging programs to a minimal reproducer")
+		perturb  = flag.String("perturb", "", "inject a synthetic model bug: model[:reg:bit:after], e.g. pipelined:9:17:2")
+		maxSteps = flag.Uint64("maxsteps", 0, "per-model step budget (0 = default)")
+		verbose  = flag.Bool("v", false, "log every program, not just divergences")
+	)
+	flag.Parse()
+
+	cfg := conformance.Config{SyncInterval: *sync, MaxSteps: *maxSteps}
+	for _, m := range strings.Split(*models, ",") {
+		switch kind := sim.ModelKind(strings.TrimSpace(m)); kind {
+		case sim.ModelAtomic, sim.ModelTiming, sim.ModelPipelined:
+			cfg.Models = append(cfg.Models, kind)
+		default:
+			return fmt.Errorf("unknown model %q", m)
+		}
+	}
+	if len(cfg.Models) < 2 {
+		return fmt.Errorf("need at least two models to compare, got %q", *models)
+	}
+	if *perturb != "" {
+		spec, err := parsePerturb(*perturb)
+		if err != nil {
+			return err
+		}
+		cfg.Perturb = spec
+	}
+
+	divergences := 0
+	for i := 0; i < *n; i++ {
+		s := *seed + int64(i)
+		p := conformance.Generate(s, conformance.GenConfig{Units: *units})
+		prog, err := p.Build()
+		if err != nil {
+			return fmt.Errorf("seed %d: build: %w", s, err)
+		}
+		d, err := conformance.RunLockstep(prog, cfg)
+		if err != nil {
+			return fmt.Errorf("seed %d: %w", s, err)
+		}
+		if d == nil {
+			if *verbose {
+				fmt.Printf("seed %d: ok (%d units, %d insts)\n", s, len(p.Units), len(prog.Text))
+			}
+			continue
+		}
+		divergences++
+		fmt.Printf("seed %d: DIVERGENCE\n%s", s, d.Report())
+		if *minimize {
+			min, md := conformance.MinimizeDivergence(p, cfg)
+			if min == nil {
+				fmt.Println("  (divergence did not reproduce during minimization)")
+				continue
+			}
+			minProg, err := min.Build()
+			if err != nil {
+				return fmt.Errorf("seed %d: rebuild minimized: %w", s, err)
+			}
+			fmt.Printf("minimized reproducer (%d units, %d instructions):\n%s",
+				len(min.Units), len(minProg.Text), conformance.Listing(minProg))
+			if md != nil {
+				fmt.Printf("minimized divergence:\n%s", md.Report())
+			}
+		}
+	}
+	fmt.Printf("gemfi-fuzz: %d programs, %d divergences (models: %s)\n", *n, divergences, *models)
+	if divergences > 0 {
+		return fmt.Errorf("%d of %d programs diverged", divergences, *n)
+	}
+	return nil
+}
+
+// parsePerturb parses model[:reg:bit:after].
+func parsePerturb(s string) (*conformance.PerturbSpec, error) {
+	parts := strings.Split(s, ":")
+	spec := &conformance.PerturbSpec{Reg: 9, Bit: 17, After: 2}
+	switch kind := sim.ModelKind(parts[0]); kind {
+	case sim.ModelAtomic, sim.ModelTiming, sim.ModelPipelined:
+		spec.Model = kind
+	default:
+		return nil, fmt.Errorf("perturb: unknown model %q", parts[0])
+	}
+	if len(parts) == 1 {
+		return spec, nil
+	}
+	if len(parts) != 4 {
+		return nil, fmt.Errorf("perturb: want model[:reg:bit:after], got %q", s)
+	}
+	var err error
+	if spec.Reg, err = strconv.Atoi(parts[1]); err != nil {
+		return nil, fmt.Errorf("perturb: bad reg %q", parts[1])
+	}
+	if spec.Bit, err = strconv.Atoi(parts[2]); err != nil {
+		return nil, fmt.Errorf("perturb: bad bit %q", parts[2])
+	}
+	if spec.After, err = strconv.ParseUint(parts[3], 10, 64); err != nil {
+		return nil, fmt.Errorf("perturb: bad after %q", parts[3])
+	}
+	return spec, nil
+}

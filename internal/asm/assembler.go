@@ -256,15 +256,13 @@ func assembleInst(b *Builder, mn string, ops []string) error {
 			if op != isa.OpBR && op != isa.OpBSR {
 				return fmt.Errorf("%s wants 2 operands", mn)
 			}
-			b.Br(op, isa.ZeroReg, ops[0])
-			return nil
+			return branchTo(b, op, isa.ZeroReg, ops[0])
 		case 2:
 			ra, err := reg(ops[0])
 			if err != nil {
 				return err
 			}
-			b.Br(op, ra, ops[1])
-			return nil
+			return branchTo(b, op, ra, ops[1])
 		default:
 			return fmt.Errorf("%s wants 1 or 2 operands", mn)
 		}
@@ -373,6 +371,23 @@ func assembleInst(b *Builder, mn string, ops []string) error {
 		return nil
 	}
 	return fmt.Errorf("unknown mnemonic %q", mn)
+}
+
+// branchTo emits a branch to a label, or — when the target has the
+// disassembler's ".+N"/".-N" relative form — with an explicit word
+// displacement. The latter makes disassembler output re-assemblable.
+func branchTo(b *Builder, op isa.Opcode, ra isa.Reg, target string) error {
+	target = strings.TrimSpace(target)
+	if strings.HasPrefix(target, ".") && len(target) > 1 {
+		disp, err := strconv.ParseInt(target[1:], 0, 32)
+		if err != nil {
+			return fmt.Errorf("bad branch displacement %q", target)
+		}
+		b.BrDisp(op, ra, int32(disp))
+		return nil
+	}
+	b.Br(op, ra, target)
+	return nil
 }
 
 // reg parses a register operand.

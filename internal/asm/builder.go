@@ -120,6 +120,17 @@ func (b *Builder) Br(op isa.Opcode, ra isa.Reg, label string) {
 	b.Raw(w)
 }
 
+// BrDisp emits a branch-format instruction with an explicit word
+// displacement (target = PC+4 + disp*4), bypassing label resolution.
+func (b *Builder) BrDisp(op isa.Opcode, ra isa.Reg, disp int32) {
+	w, err := isa.MakeBranch(op, ra, disp)
+	if err != nil {
+		b.errf("%v", err)
+		w = isa.Nop()
+	}
+	b.Raw(w)
+}
+
 // Op emits a register-form integer operate instruction.
 func (b *Builder) Op(op isa.Opcode, fn uint16, ra, rb, rc isa.Reg) {
 	b.Raw(isa.MakeOperate(op, fn, ra, rb, rc))

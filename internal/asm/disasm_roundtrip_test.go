@@ -1,0 +1,100 @@
+package asm
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// disasmSamples enumerates encodable words across all four instruction
+// formats plus PAL, mirroring the ISA round-trip sample set.
+func disasmSamples(t *testing.T) []isa.Word {
+	t.Helper()
+	var words []isa.Word
+	emit := func(w isa.Word, err error) {
+		if err != nil {
+			t.Fatalf("sample encode: %v", err)
+		}
+		words = append(words, w)
+	}
+
+	for _, op := range []isa.Opcode{isa.OpLDA, isa.OpLDAH, isa.OpLDBU, isa.OpSTB,
+		isa.OpLDQ, isa.OpSTQ, isa.OpLDT, isa.OpSTT} {
+		for _, disp := range []int32{0, 1, -1, 255, 32767, -32768} {
+			emit(isa.MakeMem(op, isa.RegT0, isa.RegSP, disp))
+			emit(isa.MakeMem(op, isa.RegS0, isa.ZeroReg, disp))
+		}
+	}
+	for _, ra := range []isa.Reg{isa.ZeroReg, isa.RegV0, isa.RegRA, isa.RegT5} {
+		for hint := 0; hint < 4; hint++ {
+			emit(isa.MakeJump(ra, isa.RegPV, hint), nil)
+		}
+	}
+	for _, op := range []isa.Opcode{isa.OpBR, isa.OpBSR, isa.OpBEQ, isa.OpBNE,
+		isa.OpBLT, isa.OpBLE, isa.OpBGE, isa.OpBGT, isa.OpFBEQ, isa.OpFBNE} {
+		for _, disp := range []int32{0, 1, -1, (1 << 20) - 1, -(1 << 20)} {
+			emit(isa.MakeBranch(op, isa.RegT3, disp))
+		}
+	}
+	for _, ent := range opTable {
+		emit(isa.MakeOperate(ent.op, ent.fn, isa.RegT0, isa.RegT1, isa.RegT2), nil)
+		emit(isa.MakeOperateLit(ent.op, ent.fn, isa.RegA0, 255, isa.RegV0), nil)
+	}
+	for _, fn := range fpTable {
+		emit(isa.MakeFP(fn, isa.Reg(1), isa.Reg(2), isa.Reg(3)), nil)
+	}
+	for _, pal := range []uint32{isa.PalHalt, isa.PalCallSys, isa.PalFIActivate,
+		isa.PalFIInit, isa.PalNop} {
+		emit(isa.MakePal(pal), nil)
+	}
+	return words
+}
+
+// TestDisassemblyReassembles asserts that the disassembler's output for
+// every sampled word is valid assembler input producing the same word —
+// so listings in divergence reports and trace dumps are directly usable
+// as reproducer sources.
+func TestDisassemblyReassembles(t *testing.T) {
+	for _, w := range disasmSamples(t) {
+		in := isa.Decode(w)
+		if in.Kind == isa.KindIllegal {
+			t.Fatalf("sample word %08x is illegal", uint32(w))
+		}
+		src := in.Disassemble(0)
+		p, err := Assemble(src)
+		if err != nil {
+			t.Errorf("word %08x: %q does not assemble: %v", uint32(w), src, err)
+			continue
+		}
+		if len(p.Text) != 1 {
+			t.Errorf("word %08x: %q assembled to %d words", uint32(w), src, len(p.Text))
+			continue
+		}
+		if p.Text[0] != w {
+			t.Errorf("round trip changed word: %08x -> %q -> %08x (%s)",
+				uint32(w), src, uint32(p.Text[0]), isa.Decode(p.Text[0]))
+		}
+	}
+}
+
+// TestBrDispMatchesLabelResolution pins the ".+N" displacement syntax to
+// the label-based encoding of the same control flow.
+func TestBrDispMatchesLabelResolution(t *testing.T) {
+	viaLabel, err := Assemble("beq t0, skip\naddq t1, t2, t3\nskip:\n\tnop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaDisp, err := Assemble("beq t0, .+1\naddq t1, t2, t3\nnop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viaLabel.Text) != len(viaDisp.Text) {
+		t.Fatalf("lengths differ: %d vs %d", len(viaLabel.Text), len(viaDisp.Text))
+	}
+	for i := range viaLabel.Text {
+		if viaLabel.Text[i] != viaDisp.Text[i] {
+			t.Fatalf("word %d: label form %08x, displacement form %08x",
+				i, uint32(viaLabel.Text[i]), uint32(viaDisp.Text[i]))
+		}
+	}
+}

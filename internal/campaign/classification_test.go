@@ -1,0 +1,136 @@
+package campaign
+
+import (
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// Fixed-seed campaign used by the regression tests below: small enough to
+// run three times in a unit test, large enough to hit several outcome
+// classes.
+const (
+	regressionSeed = 99
+	regressionN    = 18
+)
+
+func regressionExperiments(t *testing.T, r *Runner) []Experiment {
+	t.Helper()
+	return GenerateUniform(regressionN, GenConfig{
+		WindowInsts: r.WindowInsts,
+		Seed:        regressionSeed,
+	})
+}
+
+// TestClassificationStableAcrossRuns runs the identical fixed-seed
+// campaign twice on one runner and requires per-experiment outcome
+// equality — injection, classification and the golden comparison must be
+// free of run-to-run nondeterminism.
+func TestClassificationStableAcrossRuns(t *testing.T) {
+	w := workloads.MonteCarloPI(workloads.ScaleTest)
+	r, err := NewRunner(w, RunnerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exps := regressionExperiments(t, r)
+
+	run := func() []Result {
+		out := make([]Result, 0, len(exps))
+		for _, e := range exps {
+			out = append(out, r.Run(e))
+		}
+		return out
+	}
+	first, second := run(), run()
+	for i := range first {
+		a, b := first[i], second[i]
+		if a.Outcome != b.Outcome || a.Fired != b.Fired || a.Insts != b.Insts {
+			t.Errorf("experiment %d unstable across runs: outcome %v/%v fired %v/%v insts %d/%d",
+				a.ID, a.Outcome, b.Outcome, a.Fired, b.Fired, a.Insts, b.Insts)
+		}
+	}
+	tally := TallyOf(first)
+	if tally.Total() != regressionN {
+		t.Errorf("tally covers %d experiments, want %d", tally.Total(), regressionN)
+	}
+	if !equalTallies(tally, TallyOf(second)) {
+		t.Errorf("outcome tallies differ across runs: %v vs %v", tally, TallyOf(second))
+	}
+}
+
+// TestClassificationStableAcrossPoolSizes requires the same campaign to
+// classify identically when sharded over worker pools of different sizes:
+// outcomes are a function of the experiment alone, not of scheduling.
+func TestClassificationStableAcrossPoolSizes(t *testing.T) {
+	w := workloads.MonteCarloPI(workloads.ScaleTest)
+	serial, err := NewRunner(w, RunnerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exps := regressionExperiments(t, serial)
+	want := make([]Result, 0, len(exps))
+	for _, e := range exps {
+		want = append(want, serial.Run(e))
+	}
+
+	for _, size := range []int{1, 3} {
+		pool, err := NewPool(w, size, RunnerOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := pool.RunAll(exps)
+		if len(got) != len(want) {
+			t.Fatalf("pool size %d returned %d results, want %d", size, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].ID != want[i].ID || got[i].Outcome != want[i].Outcome {
+				t.Errorf("pool size %d, experiment %d: outcome %v, want %v",
+					size, want[i].ID, got[i].Outcome, want[i].Outcome)
+			}
+		}
+		if !equalTallies(TallyOf(got), TallyOf(want)) {
+			t.Errorf("pool size %d tallies differ: %v vs %v", size, TallyOf(got), TallyOf(want))
+		}
+	}
+}
+
+// TestGenerateUniformIsSeedDeterministic pins experiment generation
+// itself: same seed, same faults.
+func TestGenerateUniformIsSeedDeterministic(t *testing.T) {
+	gc := GenConfig{WindowInsts: 100_000, Seed: regressionSeed}
+	a, b := GenerateUniform(regressionN, gc), GenerateUniform(regressionN, gc)
+	for i := range a {
+		if len(a[i].Faults) != len(b[i].Faults) {
+			t.Fatalf("experiment %d: fault counts differ", i)
+		}
+		for j := range a[i].Faults {
+			if a[i].Faults[j] != b[i].Faults[j] {
+				t.Errorf("experiment %d fault %d differs: %+v vs %+v", i, j, a[i].Faults[j], b[i].Faults[j])
+			}
+		}
+	}
+	other := GenerateUniform(regressionN, GenConfig{WindowInsts: 100_000, Seed: regressionSeed + 1})
+	same := true
+	for i := range a {
+		for j := range a[i].Faults {
+			if j < len(other[i].Faults) && a[i].Faults[j] != other[i].Faults[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical fault lists")
+	}
+}
+
+func equalTallies(a, b Tally) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}

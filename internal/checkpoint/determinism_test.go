@@ -1,0 +1,247 @@
+package checkpoint_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/checkpoint"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// determinismGuest does real work on both sides of its fi_read_init_all
+// checkpoint: an LCG fills a buffer before the checkpoint, and after it
+// the buffer is folded into a digest that drives console output and the
+// exit status. Any state lost across checkpoint/restore corrupts the
+// digest, the console bytes, or the retired-instruction count.
+const determinismGuest = `
+_start:
+	la s0, buf
+	la s1, out
+	li t0, 0
+	li t1, 12345
+	li t2, 25214903917
+	li t3, 11
+	li t5, 16
+init:
+	mulq t1, t2, t1
+	addq t1, t3, t1
+	sll t0, #3, t4
+	addq s0, t4, t4
+	stq t1, 0(t4)
+	addq t0, #1, t0
+	cmplt t0, t5, t6
+	bne t6, init
+	fi_read_init_all
+	li t0, 0
+	li t7, 0
+fold:
+	sll t0, #3, t4
+	addq s0, t4, t4
+	ldq t8, 0(t4)
+	xor t7, t8, t7
+	addq t0, #1, t0
+	cmplt t0, t5, t6
+	bne t6, fold
+	stq t7, 0(s1)
+	li t9, 4
+print:
+	and t7, #63, a0
+	addq a0, #48, a0
+	li v0, 2
+	callsys
+	srl t7, #6, t7
+	subq t9, #1, t9
+	bgt t9, print
+	and t7, #255, a0
+	li v0, 1
+	callsys
+
+.data
+buf: .space 128
+out: .space 8
+`
+
+type finalState struct {
+	arch    [isa.NumRegs]uint64
+	fbits   [isa.NumRegs]uint64
+	pc      uint64
+	insts   uint64
+	ticks   uint64
+	exit    int
+	console string
+	mem     mem.Snapshot
+}
+
+func capture(t *testing.T, s *sim.Simulator, r sim.RunResult) finalState {
+	t.Helper()
+	if !r.Exited || r.Crashed || r.Hung {
+		t.Fatalf("guest did not exit cleanly: %+v", r)
+	}
+	f := finalState{
+		pc:      s.Core.Arch.PC,
+		insts:   s.Core.Insts,
+		ticks:   s.Core.Ticks,
+		exit:    r.ExitStatus,
+		console: r.Console,
+		mem:     s.Mem.Snapshot(),
+	}
+	f.arch = s.Core.Arch.R
+	for i, v := range s.Core.Arch.F {
+		f.fbits[i] = math.Float64bits(v)
+	}
+	return f
+}
+
+// compare asserts byte-identical final state. Ticks are only compared
+// when compareTicks is set: a restored pipelined/timing model restarts
+// with cold caches and predictor, so its cycle count legitimately
+// differs; architectural state may not.
+func compare(t *testing.T, want, got finalState, compareTicks bool) {
+	t.Helper()
+	if got.arch != want.arch {
+		t.Errorf("integer register files differ: %#x vs %#x", want.arch, got.arch)
+	}
+	if got.fbits != want.fbits {
+		t.Errorf("FP register files differ")
+	}
+	if got.pc != want.pc {
+		t.Errorf("final PC %#x, want %#x", got.pc, want.pc)
+	}
+	if got.insts != want.insts {
+		t.Errorf("retired %d instructions, want %d", got.insts, want.insts)
+	}
+	if compareTicks && got.ticks != want.ticks {
+		t.Errorf("ticks %d, want %d", got.ticks, want.ticks)
+	}
+	if got.exit != want.exit {
+		t.Errorf("exit status %d, want %d", got.exit, want.exit)
+	}
+	if got.console != want.console {
+		t.Errorf("console %q, want %q", got.console, want.console)
+	}
+	compareMem(t, want.mem, got.mem)
+}
+
+// compareMem treats pages missing on one side as all-zero, matching the
+// sparse memory's allocate-on-touch behavior.
+func compareMem(t *testing.T, a, b mem.Snapshot) {
+	t.Helper()
+	bases := map[uint64]bool{}
+	for base := range a.Pages {
+		bases[base] = true
+	}
+	for base := range b.Pages {
+		bases[base] = true
+	}
+	for base := range bases {
+		pa, pb := a.Pages[base], b.Pages[base]
+		for i := 0; i < mem.PageSize; i++ {
+			var x, y byte
+			if pa != nil {
+				x = pa[i]
+			}
+			if pb != nil {
+				y = pb[i]
+			}
+			if x != y {
+				t.Errorf("memory differs at %#x: %#02x vs %#02x", base+uint64(i), x, y)
+				return
+			}
+		}
+	}
+}
+
+// TestCheckpointRestoreDeterminism checkpoints the guest mid-run at its
+// fi_read_init_all, serializes the state, restores it into a completely
+// fresh simulator, and requires the resumed run's final architectural
+// state, memory image, console output and exit status to be byte-identical
+// to an uninterrupted run.
+func TestCheckpointRestoreDeterminism(t *testing.T) {
+	prog, err := asm.Assemble(determinismGuest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, model := range []sim.ModelKind{sim.ModelAtomic, sim.ModelTiming, sim.ModelPipelined} {
+		model := model
+		t.Run(string(model), func(t *testing.T) {
+			cfg := sim.Config{Model: model, EnableFI: true, MaxInsts: 10_000_000}
+
+			// Uninterrupted reference run.
+			ref := sim.New(cfg)
+			if err := ref.Load(prog); err != nil {
+				t.Fatal(err)
+			}
+			want := capture(t, ref, ref.Run())
+
+			// Checkpoint at fi_read_init_all, serialize, restore into a
+			// fresh simulator, resume.
+			first := sim.New(cfg)
+			if err := first.Load(prog); err != nil {
+				t.Fatal(err)
+			}
+			st, _, err := first.RunToCheckpoint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw, err := st.Bytes()
+			if err != nil {
+				t.Fatal(err)
+			}
+			st2, err := checkpoint.FromBytes(raw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			second := sim.New(cfg)
+			if err := second.Load(prog); err != nil {
+				t.Fatal(err)
+			}
+			second.Restore(st2, nil)
+			got := capture(t, second, second.Run())
+
+			// Atomic cycle counts must also line up exactly; the timing
+			// and pipelined models restart with cold caches/predictor, so
+			// only architectural state is required to match there.
+			compare(t, want, got, model == sim.ModelAtomic)
+		})
+	}
+}
+
+// TestCheckpointRestartRetirement asserts the restored run re-executes
+// nothing before the checkpoint: resuming must retire exactly the
+// remaining instructions.
+func TestCheckpointRestartRetirement(t *testing.T) {
+	prog, err := asm.Assemble(determinismGuest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.Config{Model: sim.ModelAtomic, EnableFI: true, MaxInsts: 10_000_000}
+	ref := sim.New(cfg)
+	if err := ref.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	total := ref.Run().Insts
+
+	s := sim.New(cfg)
+	if err := s.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	st, res, err := s.RunToCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	atCkpt := res.Insts
+	if atCkpt == 0 || atCkpt >= total {
+		t.Fatalf("checkpoint at %d of %d insts: not mid-run", atCkpt, total)
+	}
+	fresh := sim.New(cfg)
+	if err := fresh.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	fresh.Restore(st, nil)
+	if final := fresh.Run().Insts; final != total {
+		t.Errorf("resumed run finished at %d retired instructions, want %d", final, total)
+	}
+}

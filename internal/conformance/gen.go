@@ -1,0 +1,460 @@
+// Package conformance enforces the paper's core validity claim: fault-free
+// simulation must be deterministic and bit-identical across the atomic,
+// timing and pipelined CPU models (Section V — the golden run is the
+// reference every injection outcome is classified against, so any silent
+// model divergence corrupts every campaign result downstream).
+//
+// It provides a seedable random program generator covering all four
+// Thessaly-64 instruction formats, a lockstep differential harness that
+// compares full architectural state at configurable sync intervals, a
+// divergence reporter with disassembled trace diffs, a greedy program
+// minimizer, and a golden-trace capture/verify format used as regression
+// fixtures for the six paper workloads.
+package conformance
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// Register conventions of generated programs. Units operate on a small
+// pool of value registers so that generated data flow is dense; the
+// remaining registers have fixed structural roles and are never clobbered
+// by pool operations.
+const (
+	intBase  = isa.RegS0   // r9:  base of the integer scratch buffer
+	fpBase   = isa.Reg(10) // r10: base of the FP scratch buffer
+	loopCtr  = isa.Reg(11) // r11: bounded-loop counter
+	unitTmp  = isa.RegT8   // r22: unit-internal temporary
+	addrTmp  = isa.RegAT   // r28: address temporary for computed jumps
+	poolSize = 8           // value registers t0..t7 (r1..r8) and f1..f8
+)
+
+// Unit is one independently deletable fragment of a generated program.
+// All random choices are made at generation time, so re-emitting a unit
+// (during shrinking) is deterministic.
+type Unit struct {
+	Desc string
+	emit func(b *asm.Builder) // body instructions, in program order
+	aux  func(b *asm.Builder) // out-of-line code (leaf functions), or nil
+}
+
+// Program is a generated conformance test program: a fixed prologue and
+// epilogue around a list of deletable units.
+type Program struct {
+	Seed  int64
+	Units []Unit
+}
+
+// Build assembles the program image: prologue (scratch base registers),
+// the unit bodies, a clean exit, then out-of-line leaf functions and the
+// scratch data sections.
+func (p *Program) Build() (*asm.Program, error) {
+	b := asm.NewBuilder()
+	b.Label("_start")
+	b.LA(intBase, "iscratch")
+	b.LA(fpBase, "fscratch")
+	for i := range p.Units {
+		p.Units[i].emit(b)
+	}
+	// Exit status: a register checksum folded into 8 bits, so epilogue
+	// state feeds the exit-code comparison even without a register diff.
+	b.Op(isa.OpIntLogic, isa.FnXOR, 1, 2, isa.RegA0)
+	b.OpLit(isa.OpIntLogic, isa.FnAND, isa.RegA0, 255, isa.RegA0)
+	b.LoadImm(isa.RegV0, int64(isa.SysExit))
+	b.Pal(isa.PalCallSys)
+	for i := range p.Units {
+		if p.Units[i].aux != nil {
+			p.Units[i].aux(b)
+		}
+	}
+	b.Space("iscratch", 256)
+	b.Space("fscratch", 256)
+	return b.Build()
+}
+
+// without returns a copy of the program with units [i, j) removed.
+func (p *Program) without(i, j int) *Program {
+	units := make([]Unit, 0, len(p.Units)-(j-i))
+	units = append(units, p.Units[:i]...)
+	units = append(units, p.Units[j:]...)
+	return &Program{Seed: p.Seed, Units: units}
+}
+
+// GenConfig tunes program generation.
+type GenConfig struct {
+	// Units is the number of body units (0 = seed-derived default in
+	// [24, 80)).
+	Units int
+}
+
+// Generate produces a random but well-formed, always-terminating program:
+// every loop is counter-bounded, every call targets a leaf function that
+// returns, forward branches skip a fixed window, and memory accesses stay
+// inside the scratch buffers.
+func Generate(seed int64, cfg GenConfig) *Program {
+	rng := rand.New(rand.NewSource(seed))
+	n := cfg.Units
+	if n <= 0 {
+		n = 24 + rng.Intn(56)
+	}
+	g := &generator{rng: rng}
+	units := make([]Unit, 0, n)
+	for i := 0; i < n; i++ {
+		units = append(units, g.unit(i))
+	}
+	return &Program{Seed: seed, Units: units}
+}
+
+// generator holds the RNG; unit constructors freeze all parameters into
+// closures so emission is replayable.
+type generator struct {
+	rng *rand.Rand
+}
+
+func (g *generator) reg() isa.Reg  { return isa.Reg(1 + g.rng.Intn(poolSize)) }
+func (g *generator) freg() isa.Reg { return isa.Reg(1 + g.rng.Intn(poolSize)) }
+
+// unit draws one weighted-random unit. Data-flow units dominate; control
+// flow and PAL serialization points are sprinkled in.
+func (g *generator) unit(idx int) Unit {
+	switch r := g.rng.Intn(100); {
+	case r < 16:
+		return g.aluReg()
+	case r < 26:
+		return g.aluLit()
+	case r < 34:
+		return g.loadImm()
+	case r < 44:
+		return g.memQuad()
+	case r < 50:
+		return g.memByte()
+	case r < 56:
+		return g.fpInit()
+	case r < 66:
+		return g.fpOp()
+	case r < 72:
+		return g.fpMem()
+	case r < 78:
+		return g.fwdBranch(idx)
+	case r < 84:
+		return g.loop(idx)
+	case r < 89:
+		return g.call(idx)
+	case r < 92:
+		return g.jump(idx)
+	case r < 96:
+		return g.divMod()
+	case r < 98:
+		return g.putc()
+	default:
+		return g.nop()
+	}
+}
+
+var intALU = []struct {
+	op isa.Opcode
+	fn uint16
+	mn string
+}{
+	{isa.OpIntArith, isa.FnADDQ, "addq"}, {isa.OpIntArith, isa.FnSUBQ, "subq"},
+	{isa.OpIntArith, isa.FnCMPEQ, "cmpeq"}, {isa.OpIntArith, isa.FnCMPLT, "cmplt"},
+	{isa.OpIntArith, isa.FnCMPLE, "cmple"}, {isa.OpIntArith, isa.FnCMPULT, "cmpult"},
+	{isa.OpIntArith, isa.FnCMPULE, "cmpule"},
+	{isa.OpIntLogic, isa.FnAND, "and"}, {isa.OpIntLogic, isa.FnBIC, "bic"},
+	{isa.OpIntLogic, isa.FnBIS, "bis"}, {isa.OpIntLogic, isa.FnORNOT, "ornot"},
+	{isa.OpIntLogic, isa.FnXOR, "xor"}, {isa.OpIntLogic, isa.FnEQV, "eqv"},
+	{isa.OpIntMul, isa.FnMULQ, "mulq"},
+}
+
+func (g *generator) aluReg() Unit {
+	f := intALU[g.rng.Intn(len(intALU))]
+	ra, rb, rc := g.reg(), g.reg(), g.reg()
+	return Unit{
+		Desc: fmt.Sprintf("%s r%d, r%d, r%d", f.mn, ra, rb, rc),
+		emit: func(b *asm.Builder) { b.Op(f.op, f.fn, ra, rb, rc) },
+	}
+}
+
+var intALULit = []struct {
+	op isa.Opcode
+	fn uint16
+	mn string
+}{
+	{isa.OpIntArith, isa.FnADDQ, "addq"}, {isa.OpIntArith, isa.FnSUBQ, "subq"},
+	{isa.OpIntLogic, isa.FnAND, "and"}, {isa.OpIntLogic, isa.FnBIS, "bis"},
+	{isa.OpIntLogic, isa.FnXOR, "xor"},
+	{isa.OpIntShift, isa.FnSLL, "sll"}, {isa.OpIntShift, isa.FnSRL, "srl"},
+	{isa.OpIntShift, isa.FnSRA, "sra"},
+}
+
+func (g *generator) aluLit() Unit {
+	f := intALULit[g.rng.Intn(len(intALULit))]
+	ra, rc := g.reg(), g.reg()
+	lit := int64(g.rng.Intn(256))
+	return Unit{
+		Desc: fmt.Sprintf("%s r%d, #%d, r%d", f.mn, ra, lit, rc),
+		emit: func(b *asm.Builder) { b.OpLit(f.op, f.fn, ra, lit, rc) },
+	}
+}
+
+func (g *generator) loadImm() Unit {
+	r := g.reg()
+	var v int64
+	switch g.rng.Intn(4) {
+	case 0:
+		v = g.rng.Int63n(256)
+	case 1:
+		v = -g.rng.Int63n(1 << 20)
+	case 2:
+		v = g.rng.Int63n(1<<40) - (1 << 39)
+	default:
+		v = int64(g.rng.Uint64())
+	}
+	return Unit{
+		Desc: fmt.Sprintf("li r%d, %d", r, v),
+		emit: func(b *asm.Builder) { b.LoadImm(r, v) },
+	}
+}
+
+func (g *generator) memQuad() Unit {
+	off := int32(g.rng.Intn(32)) * 8
+	rs, rl := g.reg(), g.reg()
+	return Unit{
+		Desc: fmt.Sprintf("stq/ldq r%d -> r%d @iscratch+%d", rs, rl, off),
+		emit: func(b *asm.Builder) {
+			b.Mem(isa.OpSTQ, rs, intBase, off)
+			b.Mem(isa.OpLDQ, rl, intBase, off)
+		},
+	}
+}
+
+func (g *generator) memByte() Unit {
+	off := int32(g.rng.Intn(256))
+	rs, rl := g.reg(), g.reg()
+	return Unit{
+		Desc: fmt.Sprintf("stb/ldbu r%d -> r%d @iscratch+%d", rs, rl, off),
+		emit: func(b *asm.Builder) {
+			b.Mem(isa.OpSTB, rs, intBase, off)
+			b.Mem(isa.OpLDBU, rl, intBase, off)
+		},
+	}
+}
+
+// fpSeeds are the bit patterns fpInit materializes into FP registers:
+// ordinary values, negatives, huge/tiny magnitudes and integral values
+// (so CVTTQ/CVTQT and compares see varied inputs).
+var fpSeeds = []float64{
+	0.0, 1.0, -1.0, 2.5, -2.5, 0.5, 1e10, -1e-10, 3.14159265358979, 1e300, -7.0, 42.0,
+}
+
+func (g *generator) fpInit() Unit {
+	f := g.freg()
+	v := fpSeeds[g.rng.Intn(len(fpSeeds))]
+	bits := int64(math.Float64bits(v))
+	slot := int32(g.rng.Intn(32)) * 8
+	return Unit{
+		Desc: fmt.Sprintf("finit f%d = %g", f, v),
+		emit: func(b *asm.Builder) {
+			b.LoadImm(unitTmp, bits)
+			b.Mem(isa.OpSTQ, unitTmp, fpBase, slot)
+			b.Mem(isa.OpLDT, f, fpBase, slot)
+		},
+	}
+}
+
+var fpBinOps = []struct {
+	fn uint16
+	mn string
+}{
+	{isa.FnADDT, "addt"}, {isa.FnSUBT, "subt"}, {isa.FnMULT, "mult"},
+	{isa.FnDIVT, "divt"}, {isa.FnCMPTEQ, "cmpteq"}, {isa.FnCMPTLT, "cmptlt"},
+	{isa.FnCMPTLE, "cmptle"}, {isa.FnCPYS, "cpys"},
+}
+
+var fpUnaryOps = []struct {
+	fn uint16
+	mn string
+}{
+	{isa.FnSQRTT, "sqrtt"}, {isa.FnCVTTQ, "cvttq"}, {isa.FnCVTQT, "cvtqt"},
+}
+
+func (g *generator) fpOp() Unit {
+	if g.rng.Intn(3) == 0 {
+		f := fpUnaryOps[g.rng.Intn(len(fpUnaryOps))]
+		fb, fc := g.freg(), g.freg()
+		return Unit{
+			Desc: fmt.Sprintf("%s f%d, f%d", f.mn, fb, fc),
+			emit: func(b *asm.Builder) { b.FP(f.fn, isa.ZeroReg, fb, fc) },
+		}
+	}
+	f := fpBinOps[g.rng.Intn(len(fpBinOps))]
+	fa, fb, fc := g.freg(), g.freg(), g.freg()
+	return Unit{
+		Desc: fmt.Sprintf("%s f%d, f%d, f%d", f.mn, fa, fb, fc),
+		emit: func(b *asm.Builder) { b.FP(f.fn, fa, fb, fc) },
+	}
+}
+
+func (g *generator) fpMem() Unit {
+	off := int32(g.rng.Intn(32)) * 8
+	fs, fl := g.freg(), g.freg()
+	return Unit{
+		Desc: fmt.Sprintf("stt/ldt f%d -> f%d @fscratch+%d", fs, fl, off),
+		emit: func(b *asm.Builder) {
+			b.Mem(isa.OpSTT, fs, fpBase, off)
+			b.Mem(isa.OpLDT, fl, fpBase, off)
+		},
+	}
+}
+
+var condBranches = []struct {
+	op isa.Opcode
+	mn string
+}{
+	{isa.OpBEQ, "beq"}, {isa.OpBNE, "bne"}, {isa.OpBLT, "blt"},
+	{isa.OpBLE, "ble"}, {isa.OpBGE, "bge"}, {isa.OpBGT, "bgt"},
+}
+
+func (g *generator) fwdBranch(idx int) Unit {
+	useFP := g.rng.Intn(4) == 0
+	var op isa.Opcode
+	var cond isa.Reg
+	if useFP {
+		op = [...]isa.Opcode{isa.OpFBEQ, isa.OpFBNE}[g.rng.Intn(2)]
+		cond = g.freg()
+	} else {
+		c := condBranches[g.rng.Intn(len(condBranches))]
+		op = c.op
+		cond = g.reg()
+	}
+	skipped := []Unit{g.aluReg()}
+	if g.rng.Intn(2) == 0 {
+		skipped = append(skipped, g.aluLit())
+	}
+	label := fmt.Sprintf("u%d_skip", idx)
+	return Unit{
+		Desc: fmt.Sprintf("forward branch over %d insts", len(skipped)),
+		emit: func(b *asm.Builder) {
+			b.Br(op, cond, label)
+			for i := range skipped {
+				skipped[i].emit(b)
+			}
+			b.Label(label)
+		},
+	}
+}
+
+// loop emits a counter-bounded backward branch: the loop body runs a
+// fixed 1..4 iterations regardless of pool register contents, so
+// generated programs always terminate.
+func (g *generator) loop(idx int) Unit {
+	iters := int64(1 + g.rng.Intn(4))
+	body := make([]Unit, 1+g.rng.Intn(3))
+	for i := range body {
+		if g.rng.Intn(2) == 0 {
+			body[i] = g.aluReg()
+		} else {
+			body[i] = g.aluLit()
+		}
+	}
+	label := fmt.Sprintf("u%d_loop", idx)
+	return Unit{
+		Desc: fmt.Sprintf("loop x%d, %d-inst body", iters, len(body)),
+		emit: func(b *asm.Builder) {
+			b.LoadImm(loopCtr, iters)
+			b.Label(label)
+			for i := range body {
+				body[i].emit(b)
+			}
+			b.OpLit(isa.OpIntArith, isa.FnSUBQ, loopCtr, 1, loopCtr)
+			b.Br(isa.OpBGT, loopCtr, label)
+		},
+	}
+}
+
+// call emits a BSR to a leaf function placed after the exit sequence; the
+// function body is ALU/FP-only and returns through RA, exercising the
+// predictor's call/return path.
+func (g *generator) call(idx int) Unit {
+	body := make([]Unit, 1+g.rng.Intn(3))
+	for i := range body {
+		switch g.rng.Intn(3) {
+		case 0:
+			body[i] = g.aluReg()
+		case 1:
+			body[i] = g.aluLit()
+		default:
+			body[i] = g.fpOp()
+		}
+	}
+	fn := fmt.Sprintf("u%d_fn", idx)
+	return Unit{
+		Desc: fmt.Sprintf("call %s (%d-inst leaf)", fn, len(body)),
+		emit: func(b *asm.Builder) { b.Br(isa.OpBSR, isa.RegRA, fn) },
+		aux: func(b *asm.Builder) {
+			b.Label(fn)
+			for i := range body {
+				body[i].emit(b)
+			}
+			b.Jump(isa.ZeroReg, isa.RegRA, isa.HintRET)
+		},
+	}
+}
+
+// jump emits a computed jump through a register to the next instruction,
+// linking the return address into a pool register (JMP's only
+// architectural effect besides the redirect).
+func (g *generator) jump(idx int) Unit {
+	link := g.reg()
+	label := fmt.Sprintf("u%d_jt", idx)
+	return Unit{
+		Desc: fmt.Sprintf("computed jmp, link r%d", link),
+		emit: func(b *asm.Builder) {
+			b.LA(addrTmp, label)
+			b.Jump(link, addrTmp, isa.HintJMP)
+			b.Label(label)
+		},
+	}
+}
+
+// divMod emits DIVQ/REMQ with a divisor forced odd (hence nonzero), so
+// arithmetic traps cannot fire but the divide path is exercised.
+func (g *generator) divMod() Unit {
+	fn := isa.FnDIVQ
+	mn := "divq"
+	if g.rng.Intn(2) == 0 {
+		fn = isa.FnREMQ
+		mn = "remq"
+	}
+	ra, rb, rc := g.reg(), g.reg(), g.reg()
+	return Unit{
+		Desc: fmt.Sprintf("%s r%d, r%d|1, r%d", mn, ra, rb, rc),
+		emit: func(b *asm.Builder) {
+			b.OpLit(isa.OpIntLogic, isa.FnBIS, rb, 1, unitTmp)
+			b.Op(isa.OpIntMul, fn, ra, unitTmp, rc)
+		},
+	}
+}
+
+// putc emits a console-write syscall: a PAL serialization point in the
+// pipelined model and kernel console traffic for the output comparison.
+func (g *generator) putc() Unit {
+	ch := int64(33 + g.rng.Intn(94)) // printable ASCII
+	return Unit{
+		Desc: fmt.Sprintf("putc %q", rune(ch)),
+		emit: func(b *asm.Builder) {
+			b.LoadImm(isa.RegV0, int64(isa.SysPutc))
+			b.LoadImm(isa.RegA0, ch)
+			b.Pal(isa.PalCallSys)
+		},
+	}
+}
+
+func (g *generator) nop() Unit {
+	return Unit{Desc: "nop", emit: func(b *asm.Builder) { b.Nop() }}
+}

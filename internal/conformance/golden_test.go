@@ -1,0 +1,89 @@
+package conformance
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+var update = flag.Bool("update", false, "regenerate golden trace fixtures in testdata/")
+
+const goldenInterval = 50_000
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", name+".trace")
+}
+
+// TestGoldenTraces verifies (or with -update, regenerates) a golden commit
+// trace for each of the six paper workloads at test scale on the atomic
+// model. Any semantic change to the ISA, assembler, kernel, memory system
+// or atomic CPU moves a digest and is pinned to a commit window.
+func TestGoldenTraces(t *testing.T) {
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range workloads.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			path := goldenPath(name)
+			if *update {
+				tr, err := Capture(name, "test", sim.ModelAtomic, goldenInterval)
+				if err != nil {
+					t.Fatal(err)
+				}
+				f, err := os.Create(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer f.Close()
+				if err := tr.Encode(f); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d insts, %d windows)", path, tr.Insts, len(tr.Windows))
+				return
+			}
+			tr, err := ParseFile(path)
+			if err != nil {
+				t.Fatalf("%v (regenerate with: go test ./internal/conformance -run TestGoldenTraces -update)", err)
+			}
+			if tr.Workload != name {
+				t.Fatalf("fixture %s is for workload %q", path, tr.Workload)
+			}
+			if err := tr.Verify(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// The six fixtures must all be present, so a deleted file cannot silently
+// skip its workload.
+func TestGoldenFixturesExist(t *testing.T) {
+	if *update {
+		t.Skip("regenerating")
+	}
+	for _, name := range workloads.Names() {
+		if _, err := os.Stat(goldenPath(name)); err != nil {
+			t.Errorf("missing golden fixture for %s: %v (regenerate with -update)", name, err)
+		}
+	}
+}
+
+// Example of reading one fixture programmatically.
+func ExampleParseFile() {
+	tr, err := ParseFile(goldenPath("pi"))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(tr.Workload, tr.Scale)
+	// Output: pi test
+}

@@ -1,0 +1,59 @@
+package conformance
+
+// Shrink greedily minimizes a failing program using ddmin-style chunk
+// deletion over generator units: it repeatedly tries to delete runs of
+// units, keeping any deletion after which stillFails still reports a
+// divergence. Unit labels are keyed to the unit's original index, so the
+// surviving units always rebuild into a valid program.
+func Shrink(p *Program, stillFails func(*Program) bool) *Program {
+	cur := p
+	chunk := len(cur.Units) / 2
+	if chunk < 1 {
+		chunk = 1
+	}
+	for chunk >= 1 {
+		removedAny := false
+		for start := 0; start < len(cur.Units); {
+			end := start + chunk
+			if end > len(cur.Units) {
+				end = len(cur.Units)
+			}
+			cand := cur.without(start, end)
+			if len(cand.Units) < len(cur.Units) && stillFails(cand) {
+				cur = cand
+				removedAny = true
+				// Do not advance: the next chunk slid into this position.
+			} else {
+				start = end
+			}
+		}
+		if !removedAny {
+			chunk /= 2
+		}
+	}
+	return cur
+}
+
+// MinimizeDivergence re-runs p under cfg to confirm it diverges, then
+// shrinks it to a minimal reproducer. Returns the minimized program and
+// the divergence it still exhibits (nil, nil if p does not diverge).
+func MinimizeDivergence(p *Program, cfg Config) (*Program, *Divergence) {
+	fails := func(q *Program) bool {
+		prog, err := q.Build()
+		if err != nil {
+			return false
+		}
+		d, err := RunLockstep(prog, cfg)
+		return err == nil && d != nil
+	}
+	if !fails(p) {
+		return nil, nil
+	}
+	min := Shrink(p, fails)
+	prog, err := min.Build()
+	if err != nil {
+		return min, nil
+	}
+	d, _ := RunLockstep(prog, cfg)
+	return min, d
+}

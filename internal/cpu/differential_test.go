@@ -1,173 +1,56 @@
 package cpu_test
 
 import (
-	"math/rand"
+	"flag"
+	"fmt"
 	"testing"
 
-	"repro/internal/asm"
-	"repro/internal/cpu"
-	"repro/internal/isa"
-	"repro/internal/kernel"
-	"repro/internal/mem"
+	"repro/internal/conformance"
 )
 
-// TestDifferentialRandomPrograms generates random (structurally valid)
-// guest programs and requires that the atomic, timing and pipelined
-// models agree bit-exactly on the final architectural state. This is the
+// Differential testing now delegates to internal/conformance, which
+// generates programs over all four instruction formats (integer ALU, FP,
+// memory, branches/call/return) and compares full architectural state —
+// including FP registers, memory image and console — at sync intervals,
+// not just at exit.
+//
+// Seeds are fixed so failures are always reproducible; -fuzzseed narrows
+// the run to a single reported seed.
+var (
+	diffSeed = flag.Int64("fuzzseed", -1, "run the differential test with this single seed")
+	diffN    = flag.Int("fuzzn", 30, "number of fixed seeds for the differential test")
+)
+
+// TestDifferentialRandomPrograms requires that the atomic, timing and
+// pipelined models agree bit-exactly on architectural state every 64
+// committed instructions and on the complete final state. This is the
 // strongest cross-check we have that speculation, forwarding, stalls and
 // squashes in the pipelined model are semantically invisible.
 func TestDifferentialRandomPrograms(t *testing.T) {
-	const programs = 60
-	for seed := int64(0); seed < programs; seed++ {
-		rng := rand.New(rand.NewSource(seed))
-		prog, err := randomProgram(rng)
-		if err != nil {
-			t.Fatalf("seed %d: %v", seed, err)
-		}
-		type final struct {
-			arch  cpu.Arch
-			insts uint64
-			exit  int
-			trap  cpu.TrapKind
-		}
-		var results [3]final
-		for mi, model := range models {
-			m := mem.New()
-			core := &cpu.Core{Name: "cpu", Mem: m}
-			k := kernel.New(m)
-			if err := k.Boot(core, prog); err != nil {
-				t.Fatalf("seed %d: %v", seed, err)
-			}
-			var mdl cpu.Model
-			switch model {
-			case "atomic":
-				mdl = cpu.NewAtomic(core)
-			case "timing":
-				core.Hier = mem.NewHierarchy(mem.DefaultHierarchyConfig())
-				mdl = cpu.NewTiming(core)
-			default:
-				core.Hier = mem.NewHierarchy(mem.DefaultHierarchyConfig())
-				mdl = cpu.NewPipelined(core)
-			}
-			for i := 0; i < 5_000_000 && mdl.Step(); i++ {
-			}
-			if !core.Stopped {
-				t.Fatalf("seed %d model %s: did not stop", seed, model)
-			}
-			f := final{arch: core.Arch, insts: core.Insts, exit: core.ExitStatus}
-			if core.Trap != nil {
-				f.trap = core.Trap.Kind
-			}
-			results[mi] = f
-		}
-		for mi := 1; mi < 3; mi++ {
-			a, b := results[0], results[mi]
-			if a.trap != b.trap || a.exit != b.exit || a.insts != b.insts {
-				t.Fatalf("seed %d: %s diverged from atomic: trap %v/%v exit %d/%d insts %d/%d",
-					seed, models[mi], a.trap, b.trap, a.exit, b.exit, a.insts, b.insts)
-			}
-			if a.trap != cpu.TrapNone {
-				continue // trap PCs match; register file comparison below needs clean exit
-			}
-			for r := 0; r < isa.NumRegs; r++ {
-				if a.arch.R[r] != b.arch.R[r] {
-					t.Fatalf("seed %d: %s R[%d] = %#x, atomic %#x", seed, models[mi], r, b.arch.R[r], a.arch.R[r])
-				}
-			}
+	seeds := make([]int64, 0, *diffN)
+	if *diffSeed >= 0 {
+		seeds = append(seeds, *diffSeed)
+	} else {
+		for i := 0; i < *diffN; i++ {
+			seeds = append(seeds, int64(1000+i))
 		}
 	}
-}
-
-// randomProgram emits a random but well-formed program: arithmetic over
-// initialized registers, data-dependent short branches (always forward,
-// so the program cannot hang), loads/stores within a scratch buffer, and
-// a clean exit. Division is emitted with a nonzero-or-fixed divisor so
-// arithmetic traps stay rare but possible.
-func randomProgram(rng *rand.Rand) (*asm.Program, error) {
-	b := asm.NewBuilder()
-	b.Label("_start")
-	// Initialize a few registers deterministically from the seed stream.
-	for r := isa.Reg(1); r <= 8; r++ {
-		b.LoadImm(r, rng.Int63n(1<<30)-(1<<29))
-	}
-	b.LA(isa.RegS0, "scratch") // s0 = scratch base
-
-	ops := []func(i int){
-		func(i int) { // ALU register form
-			fns := []struct {
-				op isa.Opcode
-				fn uint16
-			}{
-				{isa.OpIntArith, isa.FnADDQ}, {isa.OpIntArith, isa.FnSUBQ},
-				{isa.OpIntLogic, isa.FnAND}, {isa.OpIntLogic, isa.FnBIS},
-				{isa.OpIntLogic, isa.FnXOR}, {isa.OpIntMul, isa.FnMULQ},
-				{isa.OpIntArith, isa.FnCMPLT}, {isa.OpIntArith, isa.FnCMPEQ},
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			p := conformance.Generate(seed, conformance.GenConfig{})
+			prog, err := p.Build()
+			if err != nil {
+				t.Fatalf("build: %v", err)
 			}
-			f := fns[rng.Intn(len(fns))]
-			b.Op(f.op, f.fn, reg8(rng), reg8(rng), reg8(rng))
-		},
-		func(i int) { // ALU literal form
-			fns := []struct {
-				op isa.Opcode
-				fn uint16
-			}{
-				{isa.OpIntArith, isa.FnADDQ}, {isa.OpIntShift, isa.FnSLL},
-				{isa.OpIntShift, isa.FnSRL}, {isa.OpIntShift, isa.FnSRA},
+			d, err := conformance.RunLockstep(prog, conformance.Config{SyncInterval: 64})
+			if err != nil {
+				t.Fatalf("lockstep: %v", err)
 			}
-			f := fns[rng.Intn(len(fns))]
-			lit := rng.Int63n(64)
-			b.OpLit(f.op, f.fn, reg8(rng), lit, reg8(rng))
-		},
-		func(i int) { // store then load within the scratch buffer
-			off := int32(rng.Intn(32)) * 8
-			b.Mem(isa.OpSTQ, reg8(rng), isa.RegS0, off)
-			b.Mem(isa.OpLDQ, reg8(rng), isa.RegS0, off)
-		},
-		func(i int) { // data-dependent forward branch over one instruction
-			cond := []isa.Opcode{isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE}
-			label := labelFor(i)
-			b.Br(cond[rng.Intn(len(cond))], reg8(rng), label)
-			b.Op(isa.OpIntArith, isa.FnADDQ, reg8(rng), reg8(rng), reg8(rng))
-			b.Label(label)
-		},
-		func(i int) { // guarded division (traps only if the guard register is 0 at runtime: never, because we or-in 1)
-			d := reg8(rng)
-			b.OpLit(isa.OpIntLogic, isa.FnBIS, d, 1, d) // ensure nonzero
-			b.Op(isa.OpIntMul, isa.FnDIVQ, reg8(rng), d, reg8(rng))
-		},
+			if d != nil {
+				t.Fatalf("models diverged (reproduce with -fuzzseed %d):\n%s", seed, d.Report())
+			}
+		})
 	}
-	n := 30 + rng.Intn(120)
-	for i := 0; i < n; i++ {
-		ops[rng.Intn(len(ops))](i)
-	}
-	// Exit with a checksum folded into 8 bits.
-	b.Op(isa.OpIntLogic, isa.FnXOR, 1, 2, isa.RegA0)
-	b.OpLit(isa.OpIntLogic, isa.FnAND, isa.RegA0, 255, isa.RegA0)
-	b.LoadImm(isa.RegV0, int64(isa.SysExit))
-	b.Pal(isa.PalCallSys)
-	b.Space("scratch", 256)
-	return b.Build()
-}
-
-func reg8(rng *rand.Rand) isa.Reg { return isa.Reg(1 + rng.Intn(8)) }
-
-var labelCounter int
-
-func labelFor(i int) string {
-	labelCounter++
-	return "L" + itoa(labelCounter)
-}
-
-func itoa(v int) string {
-	if v == 0 {
-		return "0"
-	}
-	var buf [8]byte
-	i := len(buf)
-	for v > 0 {
-		i--
-		buf[i] = byte('0' + v%10)
-		v /= 10
-	}
-	return string(buf[i:])
 }

@@ -1,0 +1,151 @@
+package isa
+
+import "testing"
+
+// sampleWords enumerates representative encodable words for every
+// instruction kind: each memory/branch opcode at its displacement
+// extremes, every operate function in register and literal form, every FP
+// function, every jump hint and every PAL code.
+func sampleWords(t *testing.T) []Word {
+	t.Helper()
+	var words []Word
+	emit := func(w Word, err error) {
+		if err != nil {
+			t.Fatalf("sample encode: %v", err)
+		}
+		words = append(words, w)
+	}
+
+	memOps := []Opcode{OpLDA, OpLDAH, OpLDBU, OpSTB, OpLDQ, OpSTQ, OpLDT, OpSTT}
+	for _, op := range memOps {
+		for _, disp := range []int32{0, 1, -1, 255, 32767, -32768} {
+			emit(MakeMem(op, RegT0, RegSP, disp))
+			emit(MakeMem(op, RegS0, ZeroReg, disp))
+		}
+	}
+	for ra := Reg(0); ra < NumRegs; ra++ {
+		for hint := 0; hint < 4; hint++ {
+			emit(MakeJump(ra, RegRA, hint), nil)
+		}
+	}
+
+	brOps := []Opcode{OpBR, OpBSR, OpBEQ, OpBNE, OpBLT, OpBLE, OpBGE, OpBGT, OpFBEQ, OpFBNE}
+	for _, op := range brOps {
+		for _, disp := range []int32{0, 1, -1, (1 << 20) - 1, -(1 << 20)} {
+			emit(MakeBranch(op, RegT3, disp))
+		}
+	}
+
+	intFns := []struct {
+		op Opcode
+		fn uint16
+	}{
+		{OpIntArith, FnADDQ}, {OpIntArith, FnSUBQ}, {OpIntArith, FnCMPEQ},
+		{OpIntArith, FnCMPLT}, {OpIntArith, FnCMPLE}, {OpIntArith, FnCMPULT},
+		{OpIntArith, FnCMPULE},
+		{OpIntLogic, FnAND}, {OpIntLogic, FnBIC}, {OpIntLogic, FnBIS},
+		{OpIntLogic, FnORNOT}, {OpIntLogic, FnXOR}, {OpIntLogic, FnEQV},
+		{OpIntShift, FnSLL}, {OpIntShift, FnSRL}, {OpIntShift, FnSRA},
+		{OpIntMul, FnMULQ}, {OpIntMul, FnDIVQ}, {OpIntMul, FnREMQ},
+	}
+	for _, f := range intFns {
+		emit(MakeOperate(f.op, f.fn, RegT0, RegT1, RegT2), nil)
+		for _, lit := range []uint8{0, 1, 255} {
+			emit(MakeOperateLit(f.op, f.fn, RegA0, lit, RegV0), nil)
+		}
+	}
+
+	fpFns := []uint16{FnADDT, FnSUBT, FnMULT, FnDIVT, FnCMPTEQ, FnCMPTLT,
+		FnCMPTLE, FnSQRTT, FnCVTTQ, FnCVTQT, FnCPYS}
+	for _, fn := range fpFns {
+		emit(MakeFP(fn, Reg(1), Reg(2), Reg(3)), nil)
+		emit(MakeFP(fn, ZeroReg, Reg(7), Reg(8)), nil)
+	}
+
+	for _, pal := range []uint32{PalHalt, PalCallSys, PalFIActivate, PalFIInit, PalNop} {
+		emit(MakePal(pal), nil)
+	}
+	return words
+}
+
+// reencode rebuilds a word from its decoded fields through the public
+// constructors, so any information the decoder drops shows up as a
+// mismatch.
+func reencode(t *testing.T, in Inst) Word {
+	t.Helper()
+	switch in.Format {
+	case FormatMemory:
+		if in.Kind == KindJMP {
+			return MakeJump(in.Ra, in.Rb, in.Hint)
+		}
+		w, err := MakeMem(in.Op, in.Ra, in.Rb, in.Disp)
+		if err != nil {
+			t.Fatalf("re-encode %v: %v", in, err)
+		}
+		return w
+	case FormatBranch:
+		w, err := MakeBranch(in.Op, in.Ra, in.Disp)
+		if err != nil {
+			t.Fatalf("re-encode %v: %v", in, err)
+		}
+		return w
+	case FormatOperate:
+		if in.IsLit {
+			return MakeOperateLit(in.Op, in.Func, in.Ra, in.Lit, in.Rc)
+		}
+		return MakeOperate(in.Op, in.Func, in.Ra, in.Rb, in.Rc)
+	case FormatFP:
+		return MakeFP(in.Func, in.Ra, in.Rb, in.Rc)
+	case FormatPAL:
+		return MakePal(in.Pal)
+	}
+	t.Fatalf("re-encode %v: unknown format %v", in, in.Format)
+	return 0
+}
+
+// TestDecodeEncodeRoundTrip asserts decode(encode(x)) == x for every
+// sampled word: decoding then re-encoding through the constructors must
+// reproduce the exact word.
+func TestDecodeEncodeRoundTrip(t *testing.T) {
+	for _, w := range sampleWords(t) {
+		in := Decode(w)
+		if in.Kind == KindIllegal {
+			t.Errorf("word %08x decodes as illegal", uint32(w))
+			continue
+		}
+		if in.Raw != w {
+			t.Errorf("word %08x: decoded Raw = %08x", uint32(w), uint32(in.Raw))
+		}
+		if got := reencode(t, in); got != w {
+			t.Errorf("word %08x (%s): re-encoded to %08x", uint32(w), in, uint32(got))
+		}
+	}
+}
+
+// TestSampleCoversAllKinds asserts the sample exercises every defined
+// instruction kind, so new kinds cannot dodge the round-trip property.
+func TestSampleCoversAllKinds(t *testing.T) {
+	seen := make(map[Kind]bool)
+	for _, w := range sampleWords(t) {
+		seen[Decode(w).Kind] = true
+	}
+	for k := KindIllegal + 1; k < numKinds; k++ {
+		if !seen[k] {
+			t.Errorf("kind %v not covered by sampleWords", k)
+		}
+	}
+}
+
+// TestDecodeNeverPanics sweeps structured corruptions of a valid word —
+// the fault model's single- and double-bit flips — checking Decode is
+// total (the paper relies on corrupted fetches decoding to either a valid
+// instruction or KindIllegal, never a simulator crash).
+func TestDecodeNeverPanics(t *testing.T) {
+	for _, w := range sampleWords(t) {
+		for bit := 0; bit < 32; bit++ {
+			in := Decode(w ^ Word(1<<uint(bit)))
+			_ = in.Kind.String()
+			_ = in.String()
+		}
+	}
+}
