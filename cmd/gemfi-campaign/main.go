@@ -14,8 +14,10 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 )
@@ -40,12 +42,46 @@ func run() error {
 		seed       = flag.Int64("seed", 1, "campaign seed")
 		model      = flag.String("model", "atomic", "CPU model for experiments")
 		jsonOut    = flag.String("json", "", "also write the report as JSON to this file")
+		traceOut   = flag.String("trace", "", "stream campaign trace events as JSON lines to this file (custom experiment)")
+		metrics    = flag.Bool("metrics", false, "print the campaign metrics registry at exit")
+		progress   = flag.Bool("progress", true, "print periodic progress lines (custom experiment)")
 	)
 	flag.Parse()
 
 	scale, err := parseScale(*scaleName)
 	if err != nil {
 		return err
+	}
+
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+	}
+	var tracer *obs.Tracer
+	var traceFile *os.File
+	if *traceOut != "" {
+		traceFile, err = os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		tracer = obs.NewTracer()
+		tracer.StreamJSONL(traceFile)
+	}
+	// dumpObs flushes trace/metrics output on the paths that ran a
+	// campaign.
+	dumpObs := func() error {
+		if tracer != nil {
+			if err := tracer.Flush(); err != nil {
+				return err
+			}
+			if err := traceFile.Close(); err != nil {
+				return err
+			}
+		}
+		if reg != nil {
+			return reg.WriteText(os.Stdout)
+		}
+		return nil
 	}
 	cfg := sim.Config{
 		Model:                   sim.ModelKind(*model),
@@ -94,6 +130,7 @@ func run() error {
 		rep, err := campaign.RunFig7(campaign.Fig7Config{
 			Workloads: workloads.All(scale),
 			Trials:    *trials,
+			Metrics:   reg,
 		})
 		if err != nil {
 			return err
@@ -107,6 +144,7 @@ func run() error {
 			Workers:     *workers,
 			Seed:        *seed,
 			Cfg:         &cfg,
+			Metrics:     reg,
 		})
 		if err != nil {
 			return err
@@ -153,6 +191,21 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		pool.Metrics = reg
+		pool.Tracer = tracer
+		if *progress {
+			// Throttled progress: at most one line every ~2s, plus the
+			// final one.
+			var last time.Time
+			pool.OnProgress = func(done, total int, elapsed time.Duration) {
+				if done != total && time.Since(last) < 2*time.Second {
+					return
+				}
+				last = time.Now()
+				rate := float64(done) / elapsed.Seconds()
+				fmt.Fprintf(os.Stderr, "campaign: %d/%d experiments (%.1f exp/s)\n", done, total, rate)
+			}
+		}
 		exps := campaign.GenerateUniform(*n, campaign.GenConfig{
 			WindowInsts: pool.Runner().WindowInsts,
 			Seed:        *seed,
@@ -164,9 +217,11 @@ func run() error {
 			fmt.Printf("  %-18s %5d (%5.1f%%)\n", o, tally[o], 100*tally.Fraction(o))
 		}
 		if *jsonOut != "" {
-			return writeJSON(*jsonOut, results)
+			if err := writeJSON(*jsonOut, results); err != nil {
+				return err
+			}
 		}
-		return nil
+		return dumpObs()
 
 	default:
 		return fmt.Errorf("unknown experiment %q", *experiment)
@@ -174,9 +229,11 @@ func run() error {
 
 	fmt.Print(report.String())
 	if *jsonOut != "" {
-		return writeJSON(*jsonOut, report)
+		if err := writeJSON(*jsonOut, report); err != nil {
+			return err
+		}
 	}
-	return nil
+	return dumpObs()
 }
 
 func writeJSON(path string, v interface{}) error {

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"repro/internal/conformance"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -35,8 +36,23 @@ func run() error {
 		perturb  = flag.String("perturb", "", "inject a synthetic model bug: model[:reg:bit:after], e.g. pipelined:9:17:2")
 		maxSteps = flag.Uint64("maxsteps", 0, "per-model step budget (0 = default)")
 		verbose  = flag.Bool("v", false, "log every program, not just divergences")
+		metrics  = flag.Bool("metrics", false, "print fuzzing counters at exit")
 	)
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+	}
+	programs := reg.Counter("fuzz.programs")
+	diverged := reg.Counter("fuzz.divergences")
+	minimized := reg.Counter("fuzz.minimizations")
+	instsRun := reg.Counter("fuzz.program_insts")
+	dumpObs := func() {
+		if reg != nil {
+			_ = reg.WriteText(os.Stdout)
+		}
+	}
 
 	cfg := conformance.Config{SyncInterval: *sync, MaxSteps: *maxSteps}
 	for _, m := range strings.Split(*models, ",") {
@@ -70,6 +86,8 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("seed %d: %w", s, err)
 		}
+		programs.Inc()
+		instsRun.Add(uint64(len(prog.Text)))
 		if d == nil {
 			if *verbose {
 				fmt.Printf("seed %d: ok (%d units, %d insts)\n", s, len(p.Units), len(prog.Text))
@@ -77,8 +95,10 @@ func run() error {
 			continue
 		}
 		divergences++
+		diverged.Inc()
 		fmt.Printf("seed %d: DIVERGENCE\n%s", s, d.Report())
 		if *minimize {
+			minimized.Inc()
 			min, md := conformance.MinimizeDivergence(p, cfg)
 			if min == nil {
 				fmt.Println("  (divergence did not reproduce during minimization)")
@@ -96,6 +116,7 @@ func run() error {
 		}
 	}
 	fmt.Printf("gemfi-fuzz: %d programs, %d divergences (models: %s)\n", *n, divergences, *models)
+	dumpObs()
 	if divergences > 0 {
 		return fmt.Errorf("%d of %d programs diverged", divergences, *n)
 	}

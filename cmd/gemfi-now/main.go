@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/now"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 )
@@ -151,6 +152,7 @@ func runMaster(args []string) error {
 		n         = fs.Int("n", 100, "number of experiments")
 		seed      = fs.Int64("seed", 1, "campaign seed")
 		model     = fs.String("model", "atomic", "CPU model")
+		metrics   = fs.Bool("metrics", false, "print master telemetry (now.master.*) at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -158,6 +160,10 @@ func runMaster(args []string) error {
 	scale, err := parseScale(*scaleName)
 	if err != nil {
 		return err
+	}
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
 	}
 
 	// Bootstrap: a throwaway master run discovers the injection window
@@ -174,6 +180,7 @@ func runMaster(args []string) error {
 	exps := campaign.GenerateUniform(*n, campaign.GenConfig{WindowInsts: window, Seed: *seed})
 	m, err := now.NewMaster(*addr, now.MasterConfig{
 		Workload: *workload, Scale: scale, Experiments: exps, Model: sim.ModelKind(*model),
+		Metrics: reg,
 	})
 	if err != nil {
 		return err
@@ -181,9 +188,13 @@ func runMaster(args []string) error {
 	fmt.Printf("master: serving %d experiments of %s on %s\n", len(exps), *workload, m.Addr())
 	results := m.Wait()
 	tally := campaign.TallyOf(results)
-	fmt.Printf("campaign complete: %d experiments\n", tally.Total())
+	fmt.Printf("campaign complete: %d experiments (%d requeued after disconnects)\n",
+		tally.Total(), m.Requeued())
 	for _, o := range campaign.Outcomes() {
 		fmt.Printf("  %-18s %5d (%5.1f%%)\n", o, tally[o], 100*tally.Fraction(o))
+	}
+	if reg != nil {
+		return reg.WriteText(os.Stdout)
 	}
 	return nil
 }
@@ -191,16 +202,36 @@ func runMaster(args []string) error {
 func runWorker(args []string) error {
 	fs := flag.NewFlagSet("worker", flag.ExitOnError)
 	var (
-		addr  = fs.String("addr", "127.0.0.1:7070", "master address")
-		slots = fs.Int("slots", 4, "simultaneous experiments")
-		name  = fs.String("name", "", "worker name for master logs")
+		addr       = fs.String("addr", "127.0.0.1:7070", "master address")
+		slots      = fs.Int("slots", 4, "simultaneous experiments")
+		name       = fs.String("name", "", "worker name for master logs")
+		dialTries  = fs.Int("dial-attempts", 5, "connection attempts before giving up")
+		expTimeout = fs.Duration("exp-timeout", 0, "per-experiment wall-time bound (0 = unbounded)")
+		retries    = fs.Int("retries", 2, "local retries for a timed-out experiment")
+		heartbeat  = fs.Duration("heartbeat", 5*time.Second, "liveness message interval (0 = off)")
+		metrics    = fs.Bool("metrics", false, "print worker telemetry (now.worker.*) at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	w := now.NewWorker(now.WorkerConfig{Addr: *addr, Slots: *slots, Name: *name})
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+	}
+	w := now.NewWorker(now.WorkerConfig{
+		Addr: *addr, Slots: *slots, Name: *name,
+		DialAttempts: *dialTries,
+		ExpTimeout:   *expTimeout, ExpRetries: *retries,
+		Heartbeat: *heartbeat,
+		Metrics:   reg,
+	})
 	n, err := w.Run()
 	fmt.Printf("worker: completed %d experiments\n", n)
+	if reg != nil {
+		if werr := reg.WriteText(os.Stdout); werr != nil && err == nil {
+			err = werr
+		}
+	}
 	return err
 }
 

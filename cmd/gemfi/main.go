@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/minic"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 )
@@ -41,11 +42,31 @@ func run() error {
 		maxInsts  = flag.Uint64("max-insts", 2_000_000_000, "watchdog instruction limit")
 		noFI      = flag.Bool("no-fi", false, "disable the fault injection engine entirely (vanilla simulator)")
 		verbose   = flag.Bool("v", false, "print statistics and fault lifecycle details")
-		traceN    = flag.Uint64("trace", 0, "print the first N committed instructions")
+		traceN    = flag.Uint64("trace-insts", 0, "print the first N committed instructions")
 		saveCkpt  = flag.String("save-checkpoint", "", "run to fi_read_init_all, save the checkpoint here, and exit")
 		loadCkpt  = flag.String("restore", "", "restore this checkpoint before running (skips boot + init)")
+
+		traceOut    = flag.String("trace", "", "write a Chrome trace_event JSON file (load in chrome://tracing or Perfetto)")
+		traceJSONL  = flag.String("trace-jsonl", "", "stream trace events as JSON lines to this file")
+		metricsDump = flag.Bool("metrics", false, "print the metrics registry (gem5 stats style) at exit")
+		metricsJSON = flag.String("metrics-json", "", "write the metrics registry as JSON to this file at exit")
+		validate    = flag.String("validate-trace", "", "validate a JSONL trace file against the event schema and exit")
 	)
 	flag.Parse()
+
+	if *validate != "" {
+		f, err := os.Open(*validate)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		n, err := obs.ValidateJSONL(f)
+		if err != nil {
+			return fmt.Errorf("%s: %w", *validate, err)
+		}
+		fmt.Printf("%s: %d events OK\n", *validate, n)
+		return nil
+	}
 
 	prog, err := loadProgram(*progPath, *workload, *scaleName)
 	if err != nil {
@@ -72,6 +93,66 @@ func run() error {
 		MaxInsts:                *maxInsts,
 		SwitchToAtomicOnResolve: sim.ModelKind(*model) == sim.ModelPipelined,
 	}
+	if *metricsDump || *metricsJSON != "" {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	if *traceOut != "" || *traceJSONL != "" {
+		cfg.Tracer = obs.NewTracer()
+	}
+	var jsonlFile *os.File
+	if *traceJSONL != "" {
+		var err error
+		jsonlFile, err = os.Create(*traceJSONL)
+		if err != nil {
+			return err
+		}
+		cfg.Tracer.StreamJSONL(jsonlFile)
+	}
+	// dumpObs flushes the observability outputs; every exit path that ran
+	// any simulation calls it.
+	dumpObs := func() error {
+		if jsonlFile != nil {
+			if err := cfg.Tracer.Flush(); err != nil {
+				return err
+			}
+			if err := jsonlFile.Close(); err != nil {
+				return err
+			}
+		}
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				return err
+			}
+			if err := cfg.Tracer.WriteChromeTrace(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("trace written to %s (%d events)\n", *traceOut, len(cfg.Tracer.Events()))
+		}
+		if *metricsDump {
+			if err := cfg.Metrics.WriteText(os.Stdout); err != nil {
+				return err
+			}
+		}
+		if *metricsJSON != "" {
+			f, err := os.Create(*metricsJSON)
+			if err != nil {
+				return err
+			}
+			if err := cfg.Metrics.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	s := sim.New(cfg)
 	if err := s.Load(prog); err != nil {
 		return err
@@ -97,7 +178,7 @@ func run() error {
 			return err
 		}
 		fmt.Printf("checkpoint saved to %s after %d instructions\n", *saveCkpt, res.Insts)
-		return nil
+		return dumpObs()
 	}
 	if *loadCkpt != "" {
 		st, err := checkpoint.LoadFile(*loadCkpt)
@@ -130,6 +211,9 @@ func run() error {
 			fmt.Printf("fault %q: fired=%v committed=%v squashed=%v propagated=%v overwritten=%v detail=%q\n",
 				oc.Fault.String(), oc.Fired, oc.Committed, oc.Squashed, oc.Propagated, oc.Overwritten, oc.Detail)
 		}
+	}
+	if err := dumpObs(); err != nil {
+		return err
 	}
 	if r.Failed() {
 		os.Exit(2)

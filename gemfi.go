@@ -32,6 +32,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/minic"
 	"repro/internal/now"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workloads"
@@ -180,6 +181,32 @@ func GenerateUniform(n int, gc campaign.GenConfig) []Experiment {
 func SampleSize(populationN int64, confidence, margin, p float64) int64 {
 	return stats.SampleSize(populationN, confidence, margin, p)
 }
+
+// ---- observability ----
+
+// MetricsRegistry collects counters/gauges/histograms from the
+// simulator, campaigns and NoW components; attach one via
+// SimConfig.Metrics. A nil registry disables collection at near-zero
+// cost.
+type MetricsRegistry = obs.Registry
+
+// Tracer records structured fault-lifecycle and simulation events;
+// attach one via SimConfig.Tracer. Export with WriteChromeTrace (load
+// in chrome://tracing or Perfetto) or stream JSONL with StreamJSONL.
+type Tracer = obs.Tracer
+
+// TraceEvent is one structured trace record.
+type TraceEvent = obs.Event
+
+// NewMetricsRegistry builds an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewTracer builds an in-memory event tracer.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// ValidateTraceJSONL checks a JSON-lines trace stream against the event
+// schema and returns the number of valid events.
+func ValidateTraceJSONL(r io.Reader) (int, error) { return obs.ValidateJSONL(r) }
 
 // ---- workloads ----
 

@@ -16,6 +16,12 @@ import (
 	"repro/internal/workloads"
 )
 
+// CrashInterrupted is the CrashCause reported when a run was stopped via
+// Runner.Interrupt — e.g. by a NoW worker's per-experiment timeout. The
+// worker retries such results; they are never final outcomes unless the
+// retry budget is exhausted.
+const CrashInterrupted = "interrupted"
+
 // Outcome is the classification of one experiment (Section IV.B.1).
 type Outcome int
 
@@ -215,6 +221,18 @@ func NewRestoredRunner(w *workloads.Workload, cfg sim.Config, golden *workloads.
 	}, nil
 }
 
+// Interrupt asks the in-progress experiment's simulation to stop at its
+// next poll point; Run then returns a Result with CrashCause
+// CrashInterrupted. It is safe to call concurrently with Run only on
+// checkpoint-backed runners (NewRunner without DisableCheckpoint, or
+// NewRestoredRunner), where the simulator is fixed at construction — the
+// NoW worker path.
+func (r *Runner) Interrupt() {
+	if r.sim != nil {
+		r.sim.Interrupt()
+	}
+}
+
 // Run executes one experiment and classifies its outcome.
 func (r *Runner) Run(exp Experiment) Result {
 	res := Result{ID: exp.ID}
@@ -255,6 +273,14 @@ func (r *Runner) Run(exp Experiment) Result {
 		if oc.Fired {
 			res.Fired = true
 		}
+	}
+
+	if runRes.Interrupted {
+		// Externally stopped (timeout): the simulator state is mid-run,
+		// so no output classification is possible.
+		res.Outcome = OutcomeCrashed
+		res.CrashCause = CrashInterrupted
+		return res
 	}
 
 	if runRes.Failed() {

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workloads"
@@ -34,6 +35,9 @@ type Fig7Config struct {
 	Workloads []*workloads.Workload
 	Trials    int
 	Model     sim.ModelKind // the paper measures on the O3 (pipelined) model
+	// Metrics, when set, records every trial's wall time in
+	// campaign.fig7.{vanilla,gemfi}_us histograms.
+	Metrics *obs.Registry
 }
 
 // RunFig7 measures GemFI's overhead over the vanilla simulator. Per the
@@ -68,8 +72,10 @@ func RunFig7(cfg Fig7Config) (*Fig7Report, error) {
 				}
 				if enabled {
 					gemfi.Add(elapsed)
+					cfg.Metrics.Histogram("campaign.fig7.gemfi_us").Observe(elapsed * 1e6)
 				} else {
 					vanilla.Add(elapsed)
+					cfg.Metrics.Histogram("campaign.fig7.vanilla_us").Observe(elapsed * 1e6)
 				}
 			}
 		}
@@ -130,6 +136,9 @@ type Fig8Config struct {
 	Workers     int // simultaneous experiments in the parallel phase
 	Seed        int64
 	Cfg         *sim.Config
+	// Metrics, when set, records the per-phase campaign times as gauges
+	// (campaign.fig8.<workload>.{baseline,checkpoint,parallel}_sec).
+	Metrics *obs.Registry
 }
 
 // RunFig8 measures the campaign-time effect of GemFI's two optimizations
@@ -184,6 +193,10 @@ func RunFig8(cfg Fig8Config) (*Fig8Report, error) {
 			row.CheckpointSpeedup = row.BaselineSec / row.CheckpointSec
 			row.ParallelSpeedup = row.CheckpointSec / row.ParallelSec
 		}
+		prefix := "campaign.fig8." + w.Name + "."
+		cfg.Metrics.Gauge(prefix + "baseline_sec").Set(row.BaselineSec)
+		cfg.Metrics.Gauge(prefix + "checkpoint_sec").Set(row.CheckpointSec)
+		cfg.Metrics.Gauge(prefix + "parallel_sec").Set(row.ParallelSec)
 		rep.Rows = append(rep.Rows, row)
 	}
 	return rep, nil

@@ -3,7 +3,10 @@ package campaign
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 )
@@ -14,6 +17,21 @@ import (
 // (the paper ran 4 per quad-core node).
 type Pool struct {
 	runners []*Runner
+
+	// Metrics, when set, receives campaign counters: per-outcome tallies
+	// (campaign.outcome.<name>), the completed-experiment count, and an
+	// experiment-duration histogram (campaign.exp_duration_us). Nil
+	// disables at no cost.
+	Metrics *obs.Registry
+	// Tracer, when set, receives one complete ("X") span per experiment,
+	// with the pool worker index as the tid — loading the Chrome export
+	// shows per-worker occupancy lanes. Nil disables.
+	Tracer *obs.Tracer
+	// OnProgress, when set, is called after every completed experiment
+	// with the done count, the total, and the elapsed wall time. Calls
+	// are serialized; keep the callback cheap (drivers use it for
+	// throttled progress lines).
+	OnProgress func(done, total int, elapsed time.Duration)
 }
 
 // NewPool builds n parallel runners for the workload. The golden run and
@@ -64,15 +82,42 @@ func (p *Pool) Runner() *Runner { return p.runners[0] }
 func (p *Pool) RunAll(exps []Experiment) []Result {
 	jobs := make(chan Experiment)
 	results := make([]Result, len(exps))
+	start := time.Now()
+
+	// Instruments are fetched once up front so workers never touch the
+	// registry lock; outcomeCounters is read-only during the run.
+	durHist := p.Metrics.Histogram("campaign.exp_duration_us")
+	completed := p.Metrics.Counter("campaign.completed")
+	outcomeCounters := make(map[Outcome]*obs.Counter, int(numOutcomes))
+	for _, o := range Outcomes() {
+		outcomeCounters[o] = p.Metrics.Counter("campaign.outcome." + o.String())
+	}
+
+	var done atomic.Int64
+	var progressMu sync.Mutex
 	var wg sync.WaitGroup
-	for _, r := range p.runners {
+	for wi, r := range p.runners {
 		wg.Add(1)
-		go func(r *Runner) {
+		go func(wi int, r *Runner) {
 			defer wg.Done()
 			for exp := range jobs {
-				results[exp.ID] = r.Run(exp)
+				endSpan := p.Tracer.Span(obs.CatCampaign, "experiment", wi+1)
+				t0 := time.Now()
+				res := r.Run(exp)
+				results[exp.ID] = res
+				durHist.Observe(float64(time.Since(t0).Microseconds()))
+				completed.Inc()
+				outcomeCounters[res.Outcome].Inc()
+				endSpan(map[string]any{
+					"id": exp.ID, "outcome": res.Outcome.String(), "fired": res.Fired,
+				})
+				if n := done.Add(1); p.OnProgress != nil {
+					progressMu.Lock()
+					p.OnProgress(int(n), len(exps), time.Since(start))
+					progressMu.Unlock()
+				}
 			}
-		}(r)
+		}(wi, r)
 	}
 	for i := range exps {
 		if exps[i].ID != i {

@@ -29,6 +29,19 @@ type State struct {
 	Kernel kernel.Snapshot
 }
 
+// ApproxSize estimates the serialized size in bytes without encoding:
+// the guest memory pages dominate, so page bytes plus a small fixed
+// overhead per snapshot is within a few percent of the gob size. Used for
+// observability (checkpoint-capture trace events, NoW shipping metrics)
+// where an exact byte count is not worth a full encode.
+func (s *State) ApproxSize() int {
+	n := 4096 // core + kernel snapshots and gob framing
+	for _, page := range s.Mem.Pages {
+		n += len(page) + 16
+	}
+	return n
+}
+
 // Save writes the state to w in gob format.
 func (s *State) Save(w io.Writer) error {
 	if err := gob.NewEncoder(w).Encode(s); err != nil {

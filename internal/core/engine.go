@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/isa"
+	"repro/internal/obs"
 )
 
 // Stage indexes the engine's five internal fault queues — "the file is
@@ -61,6 +62,7 @@ type ThreadEnabledFault struct {
 // faultState is the runtime wrapper around one fault description.
 type faultState struct {
 	Fault
+	idx       int   // position in the armed fault list (stable event key)
 	remaining int64 // occurrences left (<0: permanent)
 
 	Fired       bool // corrupted at least one value
@@ -118,6 +120,13 @@ func (fs *faultState) consume(count, tick uint64) {
 type Engine struct {
 	CPUName string
 
+	// Trace, when non-nil, receives the fault lifecycle as structured
+	// events (armed -> injected -> committed/squashed -> first-read /
+	// masked). Every emission site is on a fault-firing path, never on the
+	// per-instruction fast path, so tracing costs nothing until a fault
+	// actually strikes.
+	Trace *obs.Tracer
+
 	faults []Fault // immutable, as parsed (re-armed by Reset)
 	queues [numStages][]*faultState
 	states []*faultState
@@ -163,10 +172,11 @@ func (e *Engine) rearm() {
 		if f.CPU != "" && e.CPUName != "" && f.CPU != e.CPUName {
 			continue
 		}
-		fs := &faultState{Fault: f, remaining: f.Occ}
+		fs := &faultState{Fault: f, idx: len(e.states), remaining: f.Occ}
 		e.states = append(e.states, fs)
 		s := stageOf(f.Loc)
 		e.queues[s] = append(e.queues[s], fs)
+		e.traceFault("fault.armed", fs, nil)
 	}
 	e.threads = make(map[uint64]*ThreadEnabledFault)
 	e.current = nil
@@ -201,12 +211,19 @@ func (e *Engine) OnActivate(pcbb uint64, id int) {
 		if e.current == t {
 			e.current = nil
 		}
+		if e.Trace != nil {
+			e.Trace.Instant(obs.CatFI, "fi.window.close", e.ticksNow,
+				map[string]any{"thread": t.ID, "commits": t.Commits})
+		}
 		return
 	}
 	t := &ThreadEnabledFault{ID: id, PCB: pcbb, TickStart: e.ticksNow}
 	e.threads[pcbb] = t
 	e.current = t
 	e.Activations++
+	if e.Trace != nil {
+		e.Trace.Instant(obs.CatFI, "fi.window.open", e.ticksNow, map[string]any{"thread": id})
+	}
 }
 
 // OnContextSwitch implements cpu.Injector: re-resolve the cached pointer
@@ -218,11 +235,52 @@ func (e *Engine) OnContextSwitch(pcbb uint64) {
 // OnTick implements cpu.Injector.
 func (e *Engine) OnTick(ticks uint64) { e.ticksNow = ticks }
 
+// traceFault emits one fault-lifecycle event; a no-op without a tracer.
+func (e *Engine) traceFault(name string, fs *faultState, extra map[string]any) {
+	if e.Trace == nil {
+		return
+	}
+	args := map[string]any{
+		"fault": fs.Fault.String(),
+		"loc":   fs.Loc.String(),
+		"idx":   fs.idx,
+	}
+	if fs.Detail != "" {
+		args["detail"] = fs.Detail
+	}
+	for k, v := range extra {
+		args[k] = v
+	}
+	e.Trace.Instant(obs.CatFI, name, e.ticksNow, args)
+}
+
+// AttachTracer sets the lifecycle tracer and announces the already-armed
+// faults (NewEngine arms before the simulator can hand over a tracer).
+func (e *Engine) AttachTracer(t *obs.Tracer) {
+	e.Trace = t
+	for _, fs := range e.states {
+		e.traceFault("fault.armed", fs, nil)
+	}
+}
+
+// RegisterMetrics exposes the engine's counters as pull-collectors.
+func (e *Engine) RegisterMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.RegisterFunc("fi.activations", func() float64 { return float64(e.Activations) })
+	r.RegisterFunc("fi.hook_calls", func() float64 { return float64(e.HookCalls) })
+	r.RegisterFunc("fi.injections", func() float64 { return float64(e.Injections) })
+	r.RegisterFunc("fi.threads_active", func() float64 { return float64(len(e.threads)) })
+	r.RegisterFunc("fi.faults_armed", func() float64 { return float64(len(e.states)) })
+}
+
 // recordHit associates a fired fault with an in-flight instruction.
 func (e *Engine) recordHit(seq uint64, fs *faultState) {
 	fs.pending++
 	e.bySeq[seq] = append(e.bySeq[seq], fs)
 	e.Injections++
+	e.traceFault("fault.injected", fs, map[string]any{"seq": seq})
 }
 
 // OnFetch implements cpu.Injector: corrupts the fetched instruction word
@@ -355,6 +413,7 @@ func (e *Engine) OnIO(b byte) byte {
 			fs.Propagated = true // reached the device
 			fs.Detail = "console output byte"
 			e.Injections++
+			e.traceFault("fault.injected", fs, map[string]any{"stage": "io"})
 		}
 	}
 	return b
@@ -370,6 +429,7 @@ func (e *Engine) OnCommit(seq uint64, a *cpu.Arch) bool {
 			fs.pending--
 			fs.Committed = true
 			fs.Propagated = true // a corrupted instruction retired
+			e.traceFault("fault.committed", fs, map[string]any{"seq": seq})
 		}
 		delete(e.bySeq, seq)
 	}
@@ -415,6 +475,7 @@ func (e *Engine) OnCommit(seq uint64, a *cpu.Arch) bool {
 		fs.consume(t.Commits, e.ticksNow)
 		fs.Committed = true
 		e.Injections++
+		e.traceFault("fault.injected", fs, map[string]any{"stage": "commit"})
 	}
 	return pcChanged
 }
@@ -429,6 +490,7 @@ func (e *Engine) OnSquash(seq uint64) {
 	for _, fs := range hits {
 		fs.pending--
 		fs.Squashed = true
+		e.traceFault("fault.squashed", fs, map[string]any{"seq": seq})
 	}
 	delete(e.bySeq, seq)
 }
@@ -446,6 +508,7 @@ func (e *Engine) OnRegRead(fp bool, r isa.Reg) {
 	if fs := taint[r]; fs != nil {
 		fs.Propagated = true
 		taint[r] = nil
+		e.traceFault("fault.first-read", fs, map[string]any{"reg": r.String()})
 	}
 }
 
@@ -463,6 +526,7 @@ func (e *Engine) OnRegWrite(fp bool, r isa.Reg) {
 	if fs := taint[r]; fs != nil {
 		if !fs.Propagated {
 			fs.Overwritten = true
+			e.traceFault("fault.masked", fs, map[string]any{"reason": "overwritten", "reg": r.String()})
 		}
 		taint[r] = nil
 	}

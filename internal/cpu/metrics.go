@@ -1,0 +1,27 @@
+package cpu
+
+import "repro/internal/obs"
+
+// RegisterMetrics exposes the core's architectural counters as
+// pull-collectors on r. The commit loop keeps incrementing its plain
+// fields (Insts, Ticks) and pays nothing for the registration: values are
+// read only when the registry is dumped — the same split gem5's Stats
+// framework uses between counter storage and stat visitation.
+func (c *Core) RegisterMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.RegisterFunc("cpu.insts", func() float64 { return float64(c.Insts) })
+	r.RegisterFunc("cpu.ticks", func() float64 { return float64(c.Ticks) })
+	r.RegisterFunc("cpu.seq", func() float64 { return float64(c.seq) })
+}
+
+// RegisterMetrics exposes the pipelined model's speculation counters.
+func (m *PipelinedModel) RegisterMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.RegisterFunc("cpu.squashes", func() float64 { return float64(m.Squashes) })
+	r.RegisterFunc("cpu.branch.mispredicts", func() float64 { return float64(m.Pred.Mispredicts) })
+	r.RegisterFunc("cpu.pipeline.inflight", func() float64 { return float64(m.InFlight()) })
+}

@@ -1,0 +1,28 @@
+package mem
+
+import "repro/internal/obs"
+
+// RegisterMetrics exposes one cache's hit/miss/writeback counters under
+// "mem.<name>." as pull-collectors: the access path keeps its plain
+// CacheStats fields and the registry reads them at dump time.
+func (c *Cache) RegisterMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	prefix := "mem." + c.cfg.Name + "."
+	r.RegisterFunc(prefix+"hits", func() float64 { return float64(c.stats.Hits) })
+	r.RegisterFunc(prefix+"misses", func() float64 { return float64(c.stats.Misses) })
+	r.RegisterFunc(prefix+"writebacks", func() float64 { return float64(c.stats.Writebacks) })
+	r.RegisterFunc(prefix+"accesses", func() float64 { return float64(c.stats.Hits + c.stats.Misses) })
+}
+
+// RegisterMetrics exposes the whole hierarchy (L1I, L1D, L2, DRAM).
+func (h *Hierarchy) RegisterMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	h.L1I.RegisterMetrics(r)
+	h.L1D.RegisterMetrics(r)
+	h.L2.RegisterMetrics(r)
+	r.RegisterFunc("mem.dram.accesses", func() float64 { return float64(h.DRAM.Accesses) })
+}

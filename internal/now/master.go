@@ -4,9 +4,12 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 )
@@ -26,6 +29,22 @@ type MasterConfig struct {
 
 	// Quiet suppresses progress logging.
 	Quiet bool
+
+	// Metrics, when set, receives master telemetry: queue depth and
+	// in-flight gauges (pull-collectors), requeue/heartbeat counters,
+	// and the completed-result count. Nil disables.
+	Metrics *obs.Registry
+}
+
+// WorkerStat is a point-in-time view of one worker connection, built
+// from hello and heartbeat messages.
+type WorkerStat struct {
+	// Name is the worker's self-reported name (hello WorkerName).
+	Name string
+	// LastSeen is the time of the last message from the worker.
+	LastSeen time.Time
+	// Done is the completed-experiment count from the latest heartbeat.
+	Done int
 }
 
 // Master owns the experiment queue and the checkpoint, and serves
@@ -35,13 +54,19 @@ type Master struct {
 	ln     net.Listener
 	ckpt   []byte
 	window uint64
+	start  time.Time
 
-	mu      sync.Mutex
-	pending []campaign.Experiment
-	flight  map[string][]campaign.Experiment // per-connection assignments
-	results map[int]campaign.Result
-	want    int
-	doneCh  chan struct{}
+	mu       sync.Mutex
+	pending  []campaign.Experiment
+	flight   map[string][]campaign.Experiment // per-connection assignments
+	results  map[int]campaign.Result
+	workers  map[string]*WorkerStat // per-connection liveness, keyed like flight
+	requeued int
+	want     int
+	doneCh   chan struct{}
+
+	requeuedC   *obs.Counter
+	heartbeatsC *obs.Counter
 
 	wg sync.WaitGroup
 }
@@ -78,15 +103,53 @@ func NewMaster(addr string, cfg MasterConfig) (*Master, error) {
 		ln:      ln,
 		ckpt:    ckptBytes,
 		window:  runner.WindowInsts,
+		start:   time.Now(),
 		pending: append([]campaign.Experiment(nil), cfg.Experiments...),
 		flight:  make(map[string][]campaign.Experiment),
 		results: make(map[int]campaign.Result),
+		workers: make(map[string]*WorkerStat),
 		want:    len(cfg.Experiments),
 		doneCh:  make(chan struct{}),
 	}
+	m.registerMetrics()
 	m.wg.Add(1)
 	go m.accept()
 	return m, nil
+}
+
+// registerMetrics wires master telemetry into the configured registry;
+// the gauges are pull-collectors so the scheduler pays nothing per
+// experiment.
+func (m *Master) registerMetrics() {
+	r := m.cfg.Metrics
+	m.requeuedC = r.Counter("now.master.requeued")
+	m.heartbeatsC = r.Counter("now.master.heartbeats")
+	if r == nil {
+		return
+	}
+	locked := func(f func() float64) func() float64 {
+		return func() float64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return f()
+		}
+	}
+	r.RegisterFunc("now.master.queue_depth", locked(func() float64 {
+		return float64(len(m.pending))
+	}))
+	r.RegisterFunc("now.master.inflight", locked(func() float64 {
+		n := 0
+		for _, exps := range m.flight {
+			n += len(exps)
+		}
+		return float64(n)
+	}))
+	r.RegisterFunc("now.master.results", locked(func() float64 {
+		return float64(len(m.results))
+	}))
+	r.RegisterFunc("now.master.workers", locked(func() float64 {
+		return float64(len(m.workers))
+	}))
 }
 
 // Addr returns the listening address workers should dial.
@@ -95,6 +158,27 @@ func (m *Master) Addr() string { return m.ln.Addr().String() }
 // WindowInsts returns the golden run's fault-injection window size (for
 // generating experiments against this master's workload).
 func (m *Master) WindowInsts() uint64 { return m.window }
+
+// Requeued returns how many experiments were returned to the queue by
+// worker disconnects so far.
+func (m *Master) Requeued() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.requeued
+}
+
+// Workers returns a snapshot of the connected workers' liveness stats,
+// sorted by name.
+func (m *Master) Workers() []WorkerStat {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]WorkerStat, 0, len(m.workers))
+	for _, ws := range m.workers {
+		out = append(out, *ws)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
 
 // accept serves worker connections until the listener closes.
 func (m *Master) accept() {
@@ -119,11 +203,13 @@ func (m *Master) accept() {
 func (m *Master) serve(name string, c *conn) {
 	defer c.close()
 	defer m.requeue(name)
+	defer m.dropWorker(name)
 
 	hello, err := c.recv()
 	if err != nil || hello.Type != MsgHello {
 		return
 	}
+	m.noteWorker(name, hello.WorkerName, 0)
 	welcome := Message{
 		Type:        MsgWelcome,
 		Workload:    m.cfg.Workload,
@@ -155,11 +241,39 @@ func (m *Master) serve(name string, c *conn) {
 			if msg.Result != nil {
 				m.complete(name, *msg.Result)
 			}
+		case MsgHeartbeat:
+			m.heartbeatsC.Inc()
+			m.noteWorker(name, msg.WorkerName, msg.Completed)
 		default:
 			_ = c.send(Message{Type: MsgError, Error: "unexpected " + msg.Type})
 			return
 		}
 	}
+}
+
+// noteWorker refreshes a connection's liveness record.
+func (m *Master) noteWorker(conn, reported string, done int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ws := m.workers[conn]
+	if ws == nil {
+		ws = &WorkerStat{Name: conn}
+		m.workers[conn] = ws
+	}
+	if reported != "" {
+		ws.Name = reported
+	}
+	ws.LastSeen = time.Now()
+	if done > ws.Done {
+		ws.Done = done
+	}
+}
+
+// dropWorker removes a disconnected worker's liveness record.
+func (m *Master) dropWorker(conn string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.workers, conn)
 }
 
 // take pops one pending experiment and records the assignment.
@@ -189,7 +303,17 @@ func (m *Master) complete(worker string, r campaign.Result) {
 	if _, dup := m.results[r.ID]; !dup {
 		m.results[r.ID] = r
 		if !m.cfg.Quiet && len(m.results)%50 == 0 {
-			log.Printf("now: %d/%d experiments done", len(m.results), m.want)
+			elapsed := time.Since(m.start).Seconds()
+			rate := 0.0
+			if elapsed > 0 {
+				rate = float64(len(m.results)) / elapsed
+			}
+			inflight := 0
+			for _, exps := range m.flight {
+				inflight += len(exps)
+			}
+			log.Printf("now: %d/%d experiments done (%.1f exp/s, %d queued, %d in flight, %d workers)",
+				len(m.results), m.want, rate, len(m.pending), inflight, len(m.workers))
 		}
 		if len(m.results) == m.want {
 			close(m.doneCh)
@@ -204,14 +328,31 @@ func (m *Master) requeue(worker string) {
 	if lost := m.flight[worker]; len(lost) > 0 {
 		m.pending = append(m.pending, lost...)
 		delete(m.flight, worker)
+		m.requeued += len(lost)
+		m.requeuedC.Add(uint64(len(lost)))
+		if !m.cfg.Quiet {
+			log.Printf("now: worker %s died, requeued %d experiment(s)", worker, len(lost))
+		}
 	}
 }
 
 // Wait blocks until every experiment has a result, then returns them
-// ordered by ID. It closes the listener.
+// ordered by ID. It closes the listener and briefly drains the serving
+// goroutines so in-flight "done" replies reach their workers before the
+// master process exits (bounded: a worker that connects and never
+// fetches must not wedge shutdown).
 func (m *Master) Wait() []campaign.Result {
 	<-m.doneCh
 	_ = m.ln.Close()
+	drained := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-time.After(2 * time.Second):
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := make([]campaign.Result, 0, len(m.results))

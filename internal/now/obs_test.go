@@ -1,0 +1,199 @@
+package now
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/obs"
+	"repro/internal/workloads"
+)
+
+func counterValue(t *testing.T, r *obs.Registry, name string) float64 {
+	t.Helper()
+	for _, m := range r.Snapshot() {
+		if m.Name == name {
+			return m.Value
+		}
+	}
+	return 0
+}
+
+// TestMasterDisconnectRequeuedExactlyOnce is the worker-disconnect
+// contract: a client that dies holding an assignment gets that
+// experiment requeued exactly once, the campaign still yields one result
+// per experiment, and nothing is double-counted.
+func TestMasterDisconnectRequeuedExactlyOnce(t *testing.T) {
+	reg := obs.NewRegistry()
+	m, err := NewMaster("127.0.0.1:0", MasterConfig{
+		Workload: "pi", Scale: workloads.ScaleTest, Quiet: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exps := campaign.GenerateUniform(8, campaign.GenConfig{WindowInsts: m.WindowInsts(), Seed: 7})
+	m.Close()
+	m, err = NewMaster("127.0.0.1:0", MasterConfig{
+		Workload: "pi", Scale: workloads.ScaleTest, Experiments: exps,
+		Quiet: true, Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The flaky client: completes the handshake, fetches exactly one
+	// experiment, and disconnects without reporting a result.
+	c, err := dialRaw(m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.send(Message{Type: MsgHello, WorkerName: "flaky"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.recv(); err != nil { // welcome
+		t.Fatal(err)
+	}
+	if err := c.send(Message{Type: MsgFetch}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.recv(); err != nil { // experiment assigned
+		t.Fatal(err)
+	}
+	c.close()
+
+	go func() {
+		w := NewWorker(WorkerConfig{Addr: m.Addr(), Slots: 1, Metrics: reg})
+		if _, err := w.Run(); err != nil {
+			t.Errorf("worker: %v", err)
+		}
+	}()
+	results := m.Wait()
+
+	if len(results) != len(exps) {
+		t.Fatalf("campaign incomplete: %d of %d results", len(results), len(exps))
+	}
+	seen := map[int]bool{}
+	for _, r := range results {
+		if seen[r.ID] {
+			t.Errorf("experiment %d counted twice", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	for i := range exps {
+		if !seen[i] {
+			t.Errorf("experiment %d has no result", i)
+		}
+	}
+	if got := m.Requeued(); got != 1 {
+		t.Errorf("Requeued() = %d, want exactly 1", got)
+	}
+	if got := counterValue(t, reg, "now.master.requeued"); got != 1 {
+		t.Errorf("now.master.requeued = %g, want 1", got)
+	}
+	// Every experiment completed, so the healthy worker must account for
+	// all of them (8 fetched, including the requeued one).
+	if got := counterValue(t, reg, "now.worker.completed"); got != float64(len(exps)) {
+		t.Errorf("now.worker.completed = %g, want %d", got, len(exps))
+	}
+}
+
+// TestWorkerExperimentTimeoutRetries pins the per-experiment timeout
+// path: a timeout far below the experiment's runtime interrupts every
+// attempt, the worker retries ExpRetries times, and the final result is
+// reported as crashed/interrupted. Runtime at pi/ScaleSmall is ~40ms per
+// experiment; the 4ms bound leaves an order of magnitude of margin on
+// both sides (checkpoint restore is well under 1ms).
+func TestWorkerExperimentTimeoutRetries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ScaleSmall golden run in -short mode")
+	}
+	wl, err := workloads.ByName("pi", workloads.ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner, err := campaign.NewRunner(wl, campaign.RunnerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := campaign.GenerateUniform(1, campaign.GenConfig{WindowInsts: runner.WindowInsts, Seed: 3})[0]
+
+	// Baseline sanity: untimed, the experiment completes.
+	if res := runner.Run(exp); res.CrashCause == campaign.CrashInterrupted {
+		t.Fatalf("untimed run reported interrupted: %+v", res)
+	}
+
+	reg := obs.NewRegistry()
+	w := NewWorker(WorkerConfig{
+		Addr: "unused", ExpTimeout: 4 * time.Millisecond, ExpRetries: 2, Metrics: reg,
+	})
+	res := w.runExperiment(runner, exp)
+	if res.Outcome != campaign.OutcomeCrashed || res.CrashCause != campaign.CrashInterrupted {
+		t.Fatalf("result = %+v, want crashed/interrupted", res)
+	}
+	if got := counterValue(t, reg, "now.worker.timeouts"); got != 3 {
+		t.Errorf("now.worker.timeouts = %g, want 3 (initial + 2 retries)", got)
+	}
+	if got := counterValue(t, reg, "now.worker.retries"); got != 2 {
+		t.Errorf("now.worker.retries = %g, want 2", got)
+	}
+
+	// The runner survives interruption: a generous timeout completes.
+	w2 := NewWorker(WorkerConfig{Addr: "unused", ExpTimeout: time.Minute, Metrics: reg})
+	if res := w2.runExperiment(runner, exp); res.CrashCause == campaign.CrashInterrupted {
+		t.Fatalf("generous timeout still interrupted: %+v", res)
+	}
+}
+
+// TestWorkerDialRetryBackoff: with nothing listening, the worker makes
+// DialAttempts attempts (counting the retries) before reporting failure.
+func TestWorkerDialRetryBackoff(t *testing.T) {
+	reg := obs.NewRegistry()
+	// 127.0.0.1:1 is reserved (tcpmux) and never bound in tests.
+	w := NewWorker(WorkerConfig{
+		Addr: "127.0.0.1:1", Slots: 1,
+		DialAttempts: 3, DialBackoff: time.Millisecond, Metrics: reg,
+	})
+	if _, err := w.Run(); err == nil {
+		t.Fatal("worker connected to a dead address")
+	}
+	if got := counterValue(t, reg, "now.worker.dial_retries"); got != 2 {
+		t.Errorf("now.worker.dial_retries = %g, want 2", got)
+	}
+}
+
+// TestWorkerHeartbeats: a heartbeating worker is visible in the master's
+// telemetry.
+func TestWorkerHeartbeats(t *testing.T) {
+	reg := obs.NewRegistry()
+	m, err := NewMaster("127.0.0.1:0", MasterConfig{
+		Workload: "pi", Scale: workloads.ScaleTest, Quiet: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exps := campaign.GenerateUniform(12, campaign.GenConfig{WindowInsts: m.WindowInsts(), Seed: 5})
+	m.Close()
+	m, err = NewMaster("127.0.0.1:0", MasterConfig{
+		Workload: "pi", Scale: workloads.ScaleTest, Experiments: exps,
+		Quiet: true, Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		w := NewWorker(WorkerConfig{
+			Addr: m.Addr(), Slots: 1, Name: "hb",
+			Heartbeat: time.Millisecond, Metrics: reg,
+		})
+		if _, err := w.Run(); err != nil {
+			t.Errorf("worker: %v", err)
+		}
+	}()
+	results := m.Wait()
+	if len(results) != len(exps) {
+		t.Fatalf("campaign incomplete: %d of %d", len(results), len(exps))
+	}
+	if got := counterValue(t, reg, "now.master.heartbeats"); got < 1 {
+		t.Errorf("now.master.heartbeats = %g, want >= 1", got)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"sync"
 
 	"repro/internal/campaign"
 )
@@ -29,8 +30,11 @@ import (
 type Message struct {
 	Type string `json:"type"`
 
-	// hello (worker -> master)
+	// hello (worker -> master); WorkerName also rides on heartbeats
 	WorkerName string `json:"workerName,omitempty"`
+
+	// heartbeat (worker -> master): experiments this slot has completed
+	Completed int `json:"completed,omitempty"`
 
 	// welcome (master -> worker)
 	Workload    string `json:"workload,omitempty"`
@@ -57,14 +61,18 @@ const (
 	MsgFetch      = "fetch"
 	MsgExperiment = "experiment"
 	MsgResult     = "result"
+	MsgHeartbeat  = "heartbeat"
 	MsgDone       = "done"
 	MsgError      = "error"
 )
 
-// conn wraps a net.Conn with line-delimited JSON framing.
+// conn wraps a net.Conn with line-delimited JSON framing. Sends are
+// mutex-serialized because a worker slot's heartbeat goroutine shares the
+// connection with its fetch/result loop; receives stay single-reader.
 type conn struct {
 	raw net.Conn
 	r   *bufio.Scanner
+	wmu sync.Mutex
 	w   *bufio.Writer
 }
 
@@ -77,12 +85,14 @@ func newConn(raw net.Conn) *conn {
 	return &conn{raw: raw, r: sc, w: bufio.NewWriterSize(raw, 64<<10)}
 }
 
-// send writes one message.
+// send writes one message; safe for concurrent callers.
 func (c *conn) send(m Message) error {
 	b, err := json.Marshal(m)
 	if err != nil {
 		return fmt.Errorf("now: marshal: %w", err)
 	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
 	if _, err := c.w.Write(append(b, '\n')); err != nil {
 		return err
 	}

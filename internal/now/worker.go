@@ -4,9 +4,12 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/checkpoint"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 )
@@ -20,6 +23,30 @@ type WorkerConfig struct {
 	Slots int
 	// Name identifies the worker in master logs.
 	Name string
+
+	// DialAttempts is how many times a slot tries to reach the master
+	// before giving up (default 3) — campaigns on non-dedicated machines
+	// routinely race worker start against master start.
+	DialAttempts int
+	// DialBackoff is the wait before the first retry; it doubles per
+	// attempt (default 100ms).
+	DialBackoff time.Duration
+
+	// ExpTimeout bounds one experiment's wall time; 0 means unbounded.
+	// On expiry the simulation is interrupted at its next poll point and
+	// the experiment retried locally.
+	ExpTimeout time.Duration
+	// ExpRetries is how many local retries a timed-out experiment gets
+	// before being reported to the master as crashed ("interrupted").
+	ExpRetries int
+
+	// Heartbeat is the interval between liveness messages to the master;
+	// 0 disables them.
+	Heartbeat time.Duration
+
+	// Metrics, when set, receives worker counters (now.worker.*): dial
+	// retries, experiment timeouts and retries, completed experiments.
+	Metrics *obs.Registry
 }
 
 // Worker pulls experiments from a master and executes them locally from
@@ -35,6 +62,12 @@ func NewWorker(cfg WorkerConfig) *Worker {
 	}
 	if cfg.Name == "" {
 		cfg.Name = "worker"
+	}
+	if cfg.DialAttempts <= 0 {
+		cfg.DialAttempts = 3
+	}
+	if cfg.DialBackoff <= 0 {
+		cfg.DialBackoff = 100 * time.Millisecond
 	}
 	return &Worker{cfg: cfg}
 }
@@ -67,11 +100,33 @@ func (w *Worker) Run() (int, error) {
 	return total, first
 }
 
+// dial connects to the master with exponential backoff: campaign launch
+// scripts start masters and workers concurrently, so the first attempts
+// may land before the master listens.
+func (w *Worker) dial() (net.Conn, error) {
+	backoff := w.cfg.DialBackoff
+	var lastErr error
+	for attempt := 0; attempt < w.cfg.DialAttempts; attempt++ {
+		if attempt > 0 {
+			w.cfg.Metrics.Counter("now.worker.dial_retries").Inc()
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		raw, err := net.Dial("tcp", w.cfg.Addr)
+		if err == nil {
+			return raw, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("now: dial master %s (%d attempts): %w",
+		w.cfg.Addr, w.cfg.DialAttempts, lastErr)
+}
+
 // runSlot is one slot's fetch/execute/report loop.
 func (w *Worker) runSlot(name string) (int, error) {
-	raw, err := net.Dial("tcp", w.cfg.Addr)
+	raw, err := w.dial()
 	if err != nil {
-		return 0, fmt.Errorf("now: dial master: %w", err)
+		return 0, err
 	}
 	c := newConn(raw)
 	defer c.close()
@@ -92,29 +147,78 @@ func (w *Worker) runSlot(name string) (int, error) {
 		return 0, err
 	}
 
-	done := 0
+	var completed atomic.Int64
+	if w.cfg.Heartbeat > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			t := time.NewTicker(w.cfg.Heartbeat)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					msg := Message{Type: MsgHeartbeat, WorkerName: name,
+						Completed: int(completed.Load())}
+					if c.send(msg) != nil {
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	completedCounter := w.cfg.Metrics.Counter("now.worker.completed")
 	for {
 		if err := c.send(Message{Type: MsgFetch}); err != nil {
-			return done, err
+			return int(completed.Load()), err
 		}
 		msg, err := c.recv()
 		if err != nil {
-			return done, err
+			return int(completed.Load()), err
 		}
 		switch msg.Type {
 		case MsgDone:
-			return done, nil
+			return int(completed.Load()), nil
 		case MsgExperiment:
-			res := runner.Run(*msg.Experiment)
+			res := w.runExperiment(runner, *msg.Experiment)
 			if err := c.send(Message{Type: MsgResult, Result: &res}); err != nil {
-				return done, err
+				return int(completed.Load()), err
 			}
-			done++
+			completed.Add(1)
+			completedCounter.Inc()
 		case MsgError:
-			return done, fmt.Errorf("now: master error: %s", msg.Error)
+			return int(completed.Load()), fmt.Errorf("now: master error: %s", msg.Error)
 		default:
-			return done, fmt.Errorf("now: unexpected message %q", msg.Type)
+			return int(completed.Load()), fmt.Errorf("now: unexpected message %q", msg.Type)
 		}
+	}
+}
+
+// runExperiment executes one experiment under the configured wall-time
+// bound, retrying timed-out runs up to ExpRetries times. The timeout
+// interrupts the simulation at its next poll point; because the runner
+// restores the checkpoint at the start of every Run, a timer that fires
+// in the gap after a run completes cannot poison the next experiment.
+func (w *Worker) runExperiment(runner *campaign.Runner, exp campaign.Experiment) campaign.Result {
+	for attempt := 0; ; attempt++ {
+		var timer *time.Timer
+		if w.cfg.ExpTimeout > 0 {
+			timer = time.AfterFunc(w.cfg.ExpTimeout, runner.Interrupt)
+		}
+		res := runner.Run(exp)
+		if timer != nil {
+			timer.Stop()
+		}
+		if res.CrashCause != campaign.CrashInterrupted {
+			return res
+		}
+		w.cfg.Metrics.Counter("now.worker.timeouts").Inc()
+		if attempt >= w.cfg.ExpRetries {
+			return res
+		}
+		w.cfg.Metrics.Counter("now.worker.retries").Inc()
 	}
 }
 

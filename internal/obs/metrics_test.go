@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Errorf("nil counter value = %d", c.Value())
+	}
+	g := r.Gauge("y")
+	g.Set(3)
+	if g.Value() != 0 {
+		t.Errorf("nil gauge value = %g", g.Value())
+	}
+	h := r.Histogram("z")
+	h.Observe(1)
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Errorf("nil histogram count = %d", s.Count)
+	}
+	r.RegisterFunc("f", func() float64 { return 1 })
+	if snap := r.Snapshot(); snap != nil {
+		t.Errorf("nil registry snapshot = %v", snap)
+	}
+}
+
+func TestRegistryInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cpu.insts")
+	c.Add(41)
+	c.Inc()
+	if r.Counter("cpu.insts") != c {
+		t.Error("counter lookup is not idempotent")
+	}
+	r.Gauge("queue.depth").Set(7)
+	h := r.Histogram("exp.duration_us")
+	h.Observe(100)
+	h.Observe(300)
+	r.RegisterFunc("cache.hits", func() float64 { return 12 })
+
+	byName := map[string]Metric{}
+	for _, m := range r.Snapshot() {
+		byName[m.Name] = m
+	}
+	if m := byName["cpu.insts"]; m.Value != 42 || m.Kind != "counter" {
+		t.Errorf("cpu.insts = %+v", m)
+	}
+	if m := byName["queue.depth"]; m.Value != 7 || m.Kind != "gauge" {
+		t.Errorf("queue.depth = %+v", m)
+	}
+	if m := byName["exp.duration_us"]; m.Count != 2 || m.Mean != 200 || m.Min != 100 || m.Max != 300 {
+		t.Errorf("exp.duration_us = %+v", m)
+	}
+	if m := byName["cache.hits"]; m.Value != 12 || m.Kind != "func" {
+		t.Errorf("cache.hits = %+v", m)
+	}
+
+	// Snapshot is sorted by name.
+	snap := r.Snapshot()
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Name >= snap[i].Name {
+			t.Fatalf("snapshot not sorted: %q >= %q", snap[i-1].Name, snap[i].Name)
+		}
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("shared").Inc()
+				r.Histogram("h").Observe(float64(j))
+				r.Gauge("g").Set(float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 8000 {
+		t.Errorf("shared counter = %d, want 8000", got)
+	}
+	if s := r.Histogram("h").Snapshot(); s.Count != 8000 {
+		t.Errorf("histogram count = %d, want 8000", s.Count)
+	}
+}
+
+func TestWriteTextAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.count").Add(3)
+	r.Histogram("b.hist").Observe(2)
+	var text bytes.Buffer
+	if err := r.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "a.count") || !strings.Contains(text.String(), "b.hist") {
+		t.Errorf("text dump missing rows:\n%s", text.String())
+	}
+	var js bytes.Buffer
+	if err := r.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var rows []Metric
+	if err := json.Unmarshal(js.Bytes(), &rows); err != nil {
+		t.Fatalf("JSON dump not parseable: %v\n%s", err, js.String())
+	}
+	if len(rows) != 2 {
+		t.Errorf("JSON rows = %d", len(rows))
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(5)
+	h.Observe(-3) // clamps to 0
+	s := h.Snapshot()
+	if s.Count != 4 || s.Min != 0 || s.Max != 5 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	var total uint64
+	for _, b := range s.Buckets {
+		total += b
+	}
+	if total != 4 {
+		t.Errorf("bucket total = %d", total)
+	}
+}

@@ -1,0 +1,300 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event phases, a subset of the Chrome trace_event format phases that
+// Perfetto understands.
+const (
+	PhaseInstant  = "i" // a point event
+	PhaseBegin    = "B" // start of a span (paired with PhaseEnd)
+	PhaseEnd      = "E"
+	PhaseComplete = "X" // a span with an inline duration
+	PhaseCounter  = "C" // a sampled counter series
+	PhaseMeta     = "M" // process/thread naming metadata
+)
+
+// Event categories used across the simulator.
+const (
+	CatFI         = "fi"         // fault-injection lifecycle
+	CatSim        = "sim"        // run phases, model switches, watchdog
+	CatCheckpoint = "checkpoint" // capture/restore
+	CatCache      = "cache"      // memory-hierarchy events
+	CatCampaign   = "campaign"   // experiment execution
+	CatNoW        = "now"        // master/worker telemetry
+)
+
+// Event is one structured trace record. The field names follow the Chrome
+// trace_event JSON keys (ts/ph/cat/name/dur/pid/tid/args) so a JSONL
+// stream is line-per-line convertible into a trace Perfetto loads; Tick
+// is our addition carrying simulation time alongside the wall clock.
+type Event struct {
+	TS   int64          `json:"ts"`             // µs since trace start (wall clock)
+	Tick uint64         `json:"tick,omitempty"` // simulation tick, when meaningful
+	Ph   string         `json:"ph"`
+	Cat  string         `json:"cat"`
+	Name string         `json:"name"`
+	Dur  int64          `json:"dur,omitempty"` // µs, PhaseComplete only
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// maxBufferedEvents bounds the in-memory event buffer; beyond it events
+// still stream to the JSONL sink but are dropped from the Chrome export
+// (the drop count is reported by a final meta event).
+const maxBufferedEvents = 1 << 20
+
+// Tracer collects events. A nil *Tracer is the disabled tracer: Emit and
+// every helper are no-ops, so instrumentation sites pay one nil check.
+// Tracers are safe for concurrent use.
+type Tracer struct {
+	mu      sync.Mutex
+	start   time.Time
+	events  []Event
+	dropped uint64
+	jsonl   *bufio.Writer
+	jsonlEr error
+}
+
+// NewTracer returns an enabled tracer with an in-memory buffer.
+func NewTracer() *Tracer {
+	return &Tracer{start: time.Now()}
+}
+
+// StreamJSONL additionally streams every event to w as one JSON object
+// per line, as it is emitted. Call Flush before reading the sink.
+func (t *Tracer) StreamJSONL(w io.Writer) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.jsonl = bufio.NewWriterSize(w, 64<<10)
+	t.mu.Unlock()
+}
+
+// Emit records one event. Zero TS is stamped with the current offset from
+// trace start.
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if e.TS == 0 {
+		e.TS = time.Since(t.start).Microseconds()
+	}
+	if len(t.events) < maxBufferedEvents {
+		t.events = append(t.events, e)
+	} else {
+		t.dropped++
+	}
+	if t.jsonl != nil && t.jsonlEr == nil {
+		b, err := json.Marshal(e)
+		if err == nil {
+			_, err = t.jsonl.Write(append(b, '\n'))
+		}
+		t.jsonlEr = err
+	}
+	t.mu.Unlock()
+}
+
+// Instant emits a point event.
+func (t *Tracer) Instant(cat, name string, tick uint64, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Ph: PhaseInstant, Cat: cat, Name: name, Tick: tick, Args: args})
+}
+
+// CounterSample emits a counter-series sample (rendered as a track in
+// Perfetto).
+func (t *Tracer) CounterSample(cat, name string, tick uint64, value float64) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Ph: PhaseCounter, Cat: cat, Name: name, Tick: tick, Args: map[string]any{"value": value}})
+}
+
+// Span starts a complete-event span on thread tid and returns the closure
+// that ends it; args passed to the closure are attached to the event.
+// Usage: end := tr.Span(obs.CatSim, "run", 0); defer end(nil).
+func (t *Tracer) Span(cat, name string, tid int) func(args map[string]any) {
+	if t == nil {
+		return func(map[string]any) {}
+	}
+	begin := time.Since(t.start)
+	return func(args map[string]any) {
+		end := time.Since(t.start)
+		t.Emit(Event{
+			TS: begin.Microseconds(), Ph: PhaseComplete, Cat: cat, Name: name,
+			Dur: (end - begin).Microseconds(), TID: tid, Args: args,
+		})
+	}
+}
+
+// Dropped reports how many events overflowed the in-memory buffer.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Events returns a copy of the buffered events.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// Flush flushes the JSONL sink and reports any deferred write error.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.jsonl != nil {
+		if err := t.jsonl.Flush(); err != nil && t.jsonlEr == nil {
+			t.jsonlEr = err
+		}
+	}
+	return t.jsonlEr
+}
+
+// WriteChromeTrace writes the buffered events in the Chrome trace_event
+// "JSON object format" ({"traceEvents": [...]}), which chrome://tracing
+// and Perfetto load directly. Complete events keep their duration; a
+// trailing metadata event reports the overflow drop count if any.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("obs: nil tracer has no trace")
+	}
+	t.mu.Lock()
+	events := append([]Event(nil), t.events...)
+	dropped := t.dropped
+	t.mu.Unlock()
+
+	bw := bufio.NewWriterSize(w, 64<<10)
+	if _, err := bw.WriteString(`{"traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	writeEvent := func(e Event) error {
+		if !first {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		first = false
+		b, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		_, err = bw.Write(b)
+		return err
+	}
+	// Process metadata so Perfetto shows a sensible track name.
+	if err := writeEvent(Event{Ph: PhaseMeta, Cat: "__metadata", Name: "process_name",
+		Args: map[string]any{"name": "gemfi"}}); err != nil {
+		return err
+	}
+	for _, e := range events {
+		// Fold the simulation tick into args so it survives the viewer.
+		if e.Tick != 0 {
+			args := make(map[string]any, len(e.Args)+1)
+			for k, v := range e.Args {
+				args[k] = v
+			}
+			args["tick"] = e.Tick
+			e.Args = args
+		}
+		if err := writeEvent(e); err != nil {
+			return err
+		}
+	}
+	if dropped > 0 {
+		if err := writeEvent(Event{Ph: PhaseMeta, Cat: "__metadata", Name: "dropped_events",
+			Args: map[string]any{"count": dropped}}); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString(`],"displayTimeUnit":"ms"}` + "\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// validPhases is the event schema's phase whitelist.
+var validPhases = map[string]bool{
+	PhaseInstant: true, PhaseBegin: true, PhaseEnd: true,
+	PhaseComplete: true, PhaseCounter: true, PhaseMeta: true,
+}
+
+// ValidateEvent checks one event against the schema: a known phase, a
+// non-empty category and name, non-negative timestamps, and a duration
+// only on complete events.
+func ValidateEvent(e Event) error {
+	if !validPhases[e.Ph] {
+		return fmt.Errorf("obs: invalid phase %q", e.Ph)
+	}
+	if e.Name == "" {
+		return fmt.Errorf("obs: event with empty name")
+	}
+	if e.Cat == "" {
+		return fmt.Errorf("obs: event %q with empty category", e.Name)
+	}
+	if e.TS < 0 {
+		return fmt.Errorf("obs: event %q with negative ts %d", e.Name, e.TS)
+	}
+	if e.Dur < 0 {
+		return fmt.Errorf("obs: event %q with negative dur %d", e.Name, e.Dur)
+	}
+	if e.Dur != 0 && e.Ph != PhaseComplete {
+		return fmt.Errorf("obs: event %q carries dur but phase is %q", e.Name, e.Ph)
+	}
+	return nil
+}
+
+// ValidateJSONL reads a JSONL event stream and validates every line
+// against the event schema. It returns the number of valid events; the
+// error identifies the first offending line.
+func ValidateJSONL(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	n := 0
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return n, fmt.Errorf("obs: line %d: not a JSON event: %w", line, err)
+		}
+		if err := ValidateEvent(e); err != nil {
+			return n, fmt.Errorf("obs: line %d: %w", line, err)
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return n, err
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("obs: empty trace")
+	}
+	return n, nil
+}

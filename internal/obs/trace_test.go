@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Event{Ph: PhaseInstant, Cat: CatSim, Name: "x"})
+	tr.Instant(CatFI, "y", 0, nil)
+	end := tr.Span(CatSim, "z", 0)
+	end(nil)
+	if tr.Events() != nil {
+		t.Error("nil tracer buffered events")
+	}
+	if err := tr.Flush(); err != nil {
+		t.Errorf("nil flush: %v", err)
+	}
+}
+
+func TestTracerJSONLStreamValidates(t *testing.T) {
+	tr := NewTracer()
+	var sink bytes.Buffer
+	tr.StreamJSONL(&sink)
+
+	tr.Instant(CatFI, "fault.injected", 1234, map[string]any{"loc": "exec"})
+	end := tr.Span(CatSim, "run", 0)
+	end(map[string]any{"exit": 0})
+	tr.CounterSample(CatNoW, "queue.depth", 0, 17)
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	n, err := ValidateJSONL(&sink)
+	if err != nil {
+		t.Fatalf("stream does not validate: %v", err)
+	}
+	if n != 3 {
+		t.Errorf("validated %d events, want 3", n)
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	tr := NewTracer()
+	tr.Instant(CatFI, "fault.armed", 0, map[string]any{"loc": "IntRegisterFile"})
+	tr.Instant(CatFI, "fault.injected", 99, nil)
+	end := tr.Span(CatCampaign, "experiment", 2)
+	end(map[string]any{"outcome": "SDC"})
+
+	var out bytes.Buffer
+	if err := tr.WriteChromeTrace(&out); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, out.String())
+	}
+	// metadata + 3 events
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("traceEvents = %d, want 4", len(doc.TraceEvents))
+	}
+	names := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		names[e["name"].(string)] = true
+	}
+	for _, want := range []string{"process_name", "fault.armed", "fault.injected", "experiment"} {
+		if !names[want] {
+			t.Errorf("missing event %q in chrome trace", want)
+		}
+	}
+	// The sim tick must survive into args.
+	if !strings.Contains(out.String(), `"tick":99`) {
+		t.Error("tick not folded into chrome trace args")
+	}
+}
+
+func TestValidateJSONLRejectsBadEvents(t *testing.T) {
+	cases := []struct{ name, line string }{
+		{"garbage", "not json"},
+		{"bad phase", `{"ph":"Q","cat":"sim","name":"x"}`},
+		{"empty name", `{"ph":"i","cat":"sim","name":""}`},
+		{"empty cat", `{"ph":"i","cat":"","name":"x"}`},
+		{"negative ts", `{"ph":"i","cat":"sim","name":"x","ts":-1}`},
+		{"dur on instant", `{"ph":"i","cat":"sim","name":"x","dur":5}`},
+	}
+	for _, tc := range cases {
+		if _, err := ValidateJSONL(strings.NewReader(tc.line)); err == nil {
+			t.Errorf("%s: validated but should not", tc.name)
+		}
+	}
+	if _, err := ValidateJSONL(strings.NewReader("")); err == nil {
+		t.Error("empty trace validated")
+	}
+	if n, err := ValidateJSONL(strings.NewReader(`{"ph":"X","cat":"sim","name":"run","dur":5}` + "\n")); err != nil || n != 1 {
+		t.Errorf("valid complete event rejected: n=%d err=%v", n, err)
+	}
+}
+
+func TestSpanDuration(t *testing.T) {
+	tr := NewTracer()
+	end := tr.Span(CatSim, "run", 1)
+	end(nil)
+	evs := tr.Events()
+	if len(evs) != 1 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	e := evs[0]
+	if e.Ph != PhaseComplete || e.TID != 1 || e.Dur < 0 {
+		t.Errorf("span event = %+v", e)
+	}
+}

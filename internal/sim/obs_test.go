@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// eventNames collects the set of event names a tracer saw.
+func eventNames(tr *obs.Tracer) map[string]int {
+	names := map[string]int{}
+	for _, e := range tr.Events() {
+		names[e.Name]++
+	}
+	return names
+}
+
+// TestObsInjectionLifecycle runs a register fault with full observability
+// on and checks the whole armed -> injected -> first-read/masked chain
+// lands in the trace, and that the registry dump covers CPU, cache and FI
+// counters — the acceptance surface of the observability subsystem.
+func TestObsInjectionLifecycle(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer()
+	fault := core.Fault{
+		Loc: core.LocIntReg, Reg: 6, /* t5, the live accumulator */
+		Behavior: core.BehFlip, Bit: 3, ThreadID: 0,
+		Base: core.TimeInst, When: 5, Occ: 1,
+	}
+	s := newSim(t, Config{
+		Model: ModelTiming, EnableFI: true,
+		Faults:  []core.Fault{fault},
+		Metrics: reg, Tracer: tr,
+	})
+	r := s.Run()
+	if r.Hung {
+		t.Fatalf("run hung: %+v", r)
+	}
+
+	names := eventNames(tr)
+	if names["fault.armed"] == 0 {
+		t.Error("no fault.armed event")
+	}
+	if names["fault.injected"] == 0 {
+		t.Error("no fault.injected event")
+	}
+	if names["fi.window.open"] == 0 || names["fi.window.close"] == 0 {
+		t.Errorf("missing FI window events: %v", names)
+	}
+	// The corrupted accumulator is read by the next loop iteration (or
+	// overwritten): one of the two terminal lifecycle events must fire.
+	if names["fault.first-read"] == 0 && names["fault.masked"] == 0 {
+		t.Errorf("no terminal lifecycle event (first-read/masked): %v", names)
+	}
+	if names["run"] == 0 {
+		t.Errorf("no run span: %v", names)
+	}
+
+	byName := map[string]obs.Metric{}
+	for _, m := range reg.Snapshot() {
+		byName[m.Name] = m
+	}
+	for _, want := range []string{
+		"cpu.insts", "cpu.ticks",
+		"mem.l1d.hits", "mem.l1d.misses", "mem.l1i.hits",
+		"fi.injections", "fi.activations", "fi.hook_calls",
+		"sim.checkpoint.hits",
+	} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("registry missing %q", want)
+		}
+	}
+	if byName["cpu.insts"].Value != float64(r.Insts) {
+		t.Errorf("cpu.insts = %g, want %d", byName["cpu.insts"].Value, r.Insts)
+	}
+	if byName["fi.injections"].Value < 1 {
+		t.Error("fi.injections not counted")
+	}
+	if byName["mem.l1d.hits"].Value == 0 && byName["mem.l1d.misses"].Value == 0 {
+		t.Error("cache counters never moved on the timing model")
+	}
+
+	// The full event stream must satisfy the trace schema and the Chrome
+	// export must be loadable JSON.
+	for _, e := range tr.Events() {
+		if err := obs.ValidateEvent(e); err != nil {
+			t.Fatalf("emitted event fails schema: %v (%+v)", err, e)
+		}
+	}
+	var chrome bytes.Buffer
+	if err := tr.WriteChromeTrace(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	if chrome.Len() == 0 {
+		t.Fatal("empty chrome trace")
+	}
+}
+
+// TestObsCheckpointEvents verifies capture/restore instrumentation.
+func TestObsCheckpointEvents(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer()
+	s := newSim(t, Config{Model: ModelAtomic, EnableFI: true, Metrics: reg, Tracer: tr})
+	st, _, err := s.RunToCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Restore(st, nil)
+	if r := s.Run(); !r.Exited || r.ExitStatus != 0 {
+		t.Fatalf("restored run failed: %+v", r)
+	}
+	names := eventNames(tr)
+	if names["checkpoint.capture"] == 0 || names["checkpoint.restore"] == 0 {
+		t.Errorf("checkpoint events missing: %v", names)
+	}
+	byName := map[string]obs.Metric{}
+	for _, m := range reg.Snapshot() {
+		byName[m.Name] = m
+	}
+	if byName["sim.checkpoint.captures"].Value != 1 || byName["sim.checkpoint.restores"].Value != 1 {
+		t.Errorf("checkpoint counters: captures=%g restores=%g",
+			byName["sim.checkpoint.captures"].Value, byName["sim.checkpoint.restores"].Value)
+	}
+}
+
+// TestInterrupt stops an infinite loop from another goroutine.
+func TestInterrupt(t *testing.T) {
+	s := newSim(t, Config{Model: ModelAtomic, EnableFI: true})
+	s.Interrupt() // pre-set: the run must notice at its first poll
+	r := s.Run()
+	if !r.Interrupted {
+		t.Fatalf("run not interrupted: %+v", r)
+	}
+	// The simulator stays usable: the next Run completes normally.
+	r = s.Run()
+	if !r.Exited || r.ExitStatus != 0 {
+		t.Fatalf("run after interrupt failed: %+v", r)
+	}
+}
+
+// TestObsDisabledIsFreeOfSideEffects: with both hooks nil the run must
+// behave identically (guards against accidental nil dereference on any
+// instrumentation site).
+func TestObsDisabledIsFreeOfSideEffects(t *testing.T) {
+	fault := core.Fault{
+		Loc: core.LocIntReg, Reg: 6, Behavior: core.BehFlip, Bit: 3,
+		ThreadID: 0, Base: core.TimeInst, When: 5, Occ: 1,
+	}
+	run := func(cfg Config) RunResult {
+		s := newSim(t, cfg)
+		return s.Run()
+	}
+	plain := run(Config{Model: ModelTiming, EnableFI: true, Faults: []core.Fault{fault}})
+	instr := run(Config{Model: ModelTiming, EnableFI: true, Faults: []core.Fault{fault},
+		Metrics: obs.NewRegistry(), Tracer: obs.NewTracer()})
+	if plain.Insts != instr.Insts || plain.Ticks != instr.Ticks || plain.ExitStatus != instr.ExitStatus {
+		t.Errorf("observability changed the simulation: %+v vs %+v", plain, instr)
+	}
+}

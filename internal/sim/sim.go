@@ -7,6 +7,7 @@ package sim
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/asm"
 	"repro/internal/checkpoint"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/kernel"
 	"repro/internal/mem"
+	"repro/internal/obs"
 )
 
 // ModelKind selects the CPU model.
@@ -54,6 +56,17 @@ type Config struct {
 	// StopAtCheckpoint ends Run when the guest executes
 	// fi_read_init_all() (after taking the checkpoint callback).
 	StopAtCheckpoint bool
+
+	// Metrics, when non-nil, receives the whole machine's counters (CPU,
+	// caches, FI engine, checkpoint traffic) as pull-collectors; dump it
+	// with Metrics.WriteText after the run. Nil disables metrics at zero
+	// hot-path cost.
+	Metrics *obs.Registry
+
+	// Tracer, when non-nil, receives structured events: the fault
+	// injection lifecycle, run phases, CPU-model switches and checkpoint
+	// captures/restores. Nil disables tracing at zero hot-path cost.
+	Tracer *obs.Tracer
 }
 
 // DefaultConfig returns the configuration used throughout the paper's
@@ -88,6 +101,7 @@ type Simulator struct {
 	CheckpointHits int
 	stopRequested  bool
 	switched       bool
+	interrupted    atomic.Bool
 }
 
 // New builds a simulator (without a program; call Load).
@@ -114,6 +128,9 @@ func New(cfg Config) *Simulator {
 		s.Engine = core.NewEngine(cfg.CPUName, cfg.Faults)
 		s.Core.FI = s.Engine
 		s.Kernel.IOFilter = s.Engine.OnIO
+		if cfg.Tracer != nil {
+			s.Engine.AttachTracer(cfg.Tracer)
+		}
 	}
 	s.Core.OnCheckpoint = func() {
 		s.CheckpointHits++
@@ -124,7 +141,27 @@ func New(cfg Config) *Simulator {
 			s.stopRequested = true
 		}
 	}
+	s.registerMetrics()
 	return s
+}
+
+// registerMetrics wires every component's counters into the configured
+// registry (the gem5 "stats visitation" analogue). Pull-collectors read
+// the components' plain fields at dump time, so the simulation loop is
+// untouched.
+func (s *Simulator) registerMetrics() {
+	r := s.Cfg.Metrics
+	if r == nil {
+		return
+	}
+	s.Core.RegisterMetrics(r)
+	if s.Hier != nil {
+		s.Hier.RegisterMetrics(r)
+	}
+	if s.Engine != nil {
+		s.Engine.RegisterMetrics(r)
+	}
+	r.RegisterFunc("sim.checkpoint.hits", func() float64 { return float64(s.CheckpointHits) })
 }
 
 // Load boots the program image.
@@ -144,7 +181,9 @@ func (s *Simulator) newModel(kind ModelKind) cpu.Model {
 	case ModelTiming:
 		return cpu.NewTiming(s.Core)
 	default:
-		return cpu.NewPipelined(s.Core)
+		m := cpu.NewPipelined(s.Core)
+		m.RegisterMetrics(s.Cfg.Metrics)
+		return m
 	}
 }
 
@@ -155,6 +194,7 @@ type RunResult struct {
 	Crashed             bool
 	CrashCause          string
 	Hung                bool
+	Interrupted         bool // stopped by Interrupt() (external timeout)
 	StoppedAtCheckpoint bool
 
 	Insts uint64
@@ -173,17 +213,39 @@ func (r RunResult) Failed() bool {
 	return r.Crashed || r.Hung || (r.Exited && r.ExitStatus != 0)
 }
 
+// Interrupt asks a running simulation to stop at the next step-batch
+// boundary. It is the only Simulator method safe to call from another
+// goroutine; the NoW worker's per-experiment timeout uses it to reclaim a
+// hung simulation. The interrupted Run returns with Interrupted set.
+func (s *Simulator) Interrupt() { s.interrupted.Store(true) }
+
 // Run drives the simulation to completion (program exit, trap, watchdog,
-// or checkpoint stop).
+// checkpoint stop, or external interrupt).
 func (s *Simulator) Run() RunResult {
 	if s.Model == nil {
 		return RunResult{Crashed: true, CrashCause: "no program loaded"}
 	}
+	endSpan := s.Cfg.Tracer.Span(obs.CatSim, "run", 0)
+	var steps uint64
 	for !s.Core.Stopped && !s.stopRequested {
+		// The interrupt flag is polled once per 256 steps so the atomic
+		// load stays off the per-instruction critical path.
+		if steps&255 == 0 && s.interrupted.Load() {
+			s.interrupted.Store(false)
+			s.Cfg.Tracer.Instant(obs.CatSim, "run.interrupted", s.Core.Ticks, nil)
+			r := s.result(false, false)
+			r.Interrupted = true
+			endSpan(map[string]any{"outcome": "interrupted"})
+			return r
+		}
+		steps++
 		if !s.Model.Step() {
 			break
 		}
 		if s.Cfg.MaxInsts > 0 && s.Core.Insts >= s.Cfg.MaxInsts {
+			s.Cfg.Tracer.Instant(obs.CatSim, "watchdog.hang", s.Core.Ticks,
+				map[string]any{"insts": s.Core.Insts})
+			endSpan(map[string]any{"outcome": "hang"})
 			return s.result(false, true)
 		}
 		if s.Cfg.SwitchToAtomicOnResolve && !s.switched && s.Engine != nil &&
@@ -194,7 +256,24 @@ func (s *Simulator) Run() RunResult {
 	stoppedAtCkpt := s.stopRequested && !s.Core.Stopped
 	s.stopRequested = false
 	r := s.result(stoppedAtCkpt, false)
+	endSpan(map[string]any{
+		"outcome": runOutcomeName(r), "insts": r.Insts, "ticks": r.Ticks, "model": r.Model,
+	})
 	return r
+}
+
+// runOutcomeName labels a result for trace events.
+func runOutcomeName(r RunResult) string {
+	switch {
+	case r.Crashed:
+		return "crashed"
+	case r.Hung:
+		return "hang"
+	case r.StoppedAtCheckpoint:
+		return "checkpoint"
+	default:
+		return "exit"
+	}
 }
 
 // result assembles the RunResult.
@@ -233,21 +312,29 @@ func (s *Simulator) result(atCheckpoint, hung bool) RunResult {
 // gem5's CPU-model switching, used by the campaign methodology to finish
 // runs in fast atomic mode after fault manifestation.
 func (s *Simulator) SwitchModel(kind ModelKind) {
+	from := s.Model.ModelName()
 	s.Model.Drain()
 	if s.Core.Stopped {
 		return
 	}
 	s.Model = s.newModel(kind)
 	s.switched = true
+	s.Cfg.Metrics.Counter("sim.model_switches").Inc()
+	s.Cfg.Tracer.Instant(obs.CatSim, "model.switch", s.Core.Ticks,
+		map[string]any{"from": from, "to": string(kind)})
 }
 
 // Checkpoint captures the whole-machine state.
 func (s *Simulator) Checkpoint() *checkpoint.State {
-	return &checkpoint.State{
+	st := &checkpoint.State{
 		Core:   s.Core.Snapshot(),
 		Mem:    s.Mem.Snapshot(),
 		Kernel: s.Kernel.Snapshot(),
 	}
+	s.Cfg.Metrics.Counter("sim.checkpoint.captures").Inc()
+	s.Cfg.Tracer.Instant(obs.CatCheckpoint, "checkpoint.capture", s.Core.Ticks,
+		map[string]any{"insts": st.Core.Insts, "approx_bytes": st.ApproxSize()})
+	return st
 }
 
 // Restore rewinds the machine to a checkpoint and re-arms the fault
@@ -268,6 +355,10 @@ func (s *Simulator) Restore(st *checkpoint.State, faults []core.Fault) {
 	s.Model = s.newModel(s.Cfg.Model)
 	s.switched = false
 	s.stopRequested = false
+	s.interrupted.Store(false)
+	s.Cfg.Metrics.Counter("sim.checkpoint.restores").Inc()
+	s.Cfg.Tracer.Instant(obs.CatCheckpoint, "checkpoint.restore", s.Core.Ticks,
+		map[string]any{"insts": st.Core.Insts, "faults": len(faults)})
 }
 
 // RunToCheckpoint runs until fi_read_init_all() executes and returns the

@@ -14,8 +14,12 @@ import (
 )
 
 // ZFor returns the two-sided normal critical value for a confidence
-// level (e.g. 0.95 -> 1.96). Supported levels are the ones used in
-// dependability papers; intermediate levels interpolate.
+// level (e.g. 0.95 -> 1.96). The supported range is [0.80, 0.999] — the
+// levels used in dependability papers; intermediate levels interpolate
+// linearly between table entries, and out-of-range inputs clamp to the
+// nearest endpoint (confidence <= 0.80 -> 1.2816, confidence >= 0.999 ->
+// 3.2905). Clamping rather than extrapolating keeps sample sizes finite
+// for degenerate requests like confidence = 1.0.
 func ZFor(confidence float64) float64 {
 	table := []struct{ c, z float64 }{
 		{0.80, 1.2816}, {0.90, 1.6449}, {0.95, 1.9600},
@@ -23,6 +27,9 @@ func ZFor(confidence float64) float64 {
 	}
 	if confidence <= table[0].c {
 		return table[0].z
+	}
+	if confidence >= table[len(table)-1].c {
+		return table[len(table)-1].z
 	}
 	for i := 1; i < len(table); i++ {
 		if confidence <= table[i].c {

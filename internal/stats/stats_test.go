@@ -18,6 +18,26 @@ func TestZFor(t *testing.T) {
 	}
 }
 
+// TestZForClamps pins the documented [0.80, 0.999] range: requests past
+// either end clamp to the endpoint z-value instead of extrapolating, so
+// confidence = 1.0 (or a stray 99.9 passed as a percentage) still yields
+// a finite sample size.
+func TestZForClamps(t *testing.T) {
+	for _, c := range []float64{0.999, 0.9995, 0.9999, 1.0, 99.9} {
+		if got := ZFor(c); math.Abs(got-3.2905) > 1e-9 {
+			t.Errorf("ZFor(%v) = %v, want clamp to 3.2905", c, got)
+		}
+	}
+	for _, c := range []float64{0.80, 0.5, 0, -1} {
+		if got := ZFor(c); math.Abs(got-1.2816) > 1e-9 {
+			t.Errorf("ZFor(%v) = %v, want clamp to 1.2816", c, got)
+		}
+	}
+	if n := SampleSize(0, 1.0, 0.01, 0.5); n <= 0 {
+		t.Errorf("SampleSize at clamped confidence 1.0 = %d, want finite positive", n)
+	}
+}
+
 // TestLeveugleSampleSize reproduces the paper's campaign sizing: "the
 // number of executions of each application for every experiment varied
 // from 2501 to 2504 ... setting 99% as a target confidence level and 1%
