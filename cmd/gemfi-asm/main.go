@@ -35,7 +35,7 @@ func run() error {
 	}
 	symAt := map[uint64][]string{}
 	for _, name := range p.SortedSymbols() {
-		symAt[p.Symbols[name]] = append(symAt[p.Symbols[name]], name)
+		symAt[p.SymbolMap[name]] = append(symAt[p.SymbolMap[name]], name)
 	}
 	fmt.Printf("; entry 0x%x, %d instructions, %d data bytes\n", p.Entry, len(p.Text), len(p.Data))
 	for i, w := range p.Text {

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/obs"
+	"repro/internal/obs/httpserv"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 )
@@ -45,6 +46,9 @@ func run() error {
 		traceOut   = flag.String("trace", "", "stream campaign trace events as JSON lines to this file (custom experiment)")
 		metrics    = flag.Bool("metrics", false, "print the campaign metrics registry at exit")
 		progress   = flag.Bool("progress", true, "print periodic progress lines (custom experiment)")
+		httpAddr   = flag.String("http", "", "serve live observability endpoints (/metrics /status /profile /debug/pprof) during the campaign (custom experiment)")
+		profile    = flag.Bool("profile", false, "profile the guest across all experiments and print the top table plus the per-PC outcome attribution (custom experiment)")
+		profileTop = flag.Int("profile-top", 20, "rows in the -profile tables")
 	)
 	flag.Parse()
 
@@ -54,7 +58,7 @@ func run() error {
 	}
 
 	var reg *obs.Registry
-	if *metrics {
+	if *metrics || *httpAddr != "" {
 		reg = obs.NewRegistry()
 	}
 	var tracer *obs.Tracer
@@ -193,6 +197,22 @@ func run() error {
 		}
 		pool.Metrics = reg
 		pool.Tracer = tracer
+		if *profile || *httpAddr != "" {
+			pool.AttachProfilers()
+		}
+		if *httpAddr != "" {
+			srv, err := httpserv.New(*httpAddr, httpserv.Config{
+				Metrics: reg,
+				Status:  func() any { return pool.Status() },
+				Profile: pool.Profile,
+				TopN:    *profileTop,
+			})
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "observability server on http://%s\n", srv.Addr())
+		}
 		if *progress {
 			// Throttled progress: at most one line every ~2s, plus the
 			// final one.
@@ -215,6 +235,23 @@ func run() error {
 		fmt.Printf("workload %s: %d experiments\n", w.Name, tally.Total())
 		for _, o := range campaign.Outcomes() {
 			fmt.Printf("  %-18s %5d (%5.1f%%)\n", o, tally[o], 100*tally.Fraction(o))
+		}
+		if *profile {
+			if p := pool.Profile(); p != nil {
+				fmt.Println()
+				if err := p.WriteTop(os.Stdout, *profileTop); err != nil {
+					return err
+				}
+			}
+			syms := pool.Runner().Profiler().Symbols()
+			rows, unattributed := campaign.AttributeByPC(results, syms)
+			if len(rows) > *profileTop {
+				rows = rows[:*profileTop]
+			}
+			fmt.Println()
+			if err := campaign.WritePCReport(os.Stdout, rows, unattributed); err != nil {
+				return err
+			}
 		}
 		if *jsonOut != "" {
 			if err := writeJSON(*jsonOut, results); err != nil {

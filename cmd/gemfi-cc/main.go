@@ -64,7 +64,7 @@ func printListing(p *asm.Program) {
 	// Build a reverse symbol map for text addresses.
 	symAt := map[uint64][]string{}
 	for _, name := range p.SortedSymbols() {
-		symAt[p.Symbols[name]] = append(symAt[p.Symbols[name]], name)
+		symAt[p.SymbolMap[name]] = append(symAt[p.SymbolMap[name]], name)
 	}
 	fmt.Printf("; text 0x%x (%d instructions), data 0x%x (%d bytes), entry 0x%x\n",
 		p.TextBase, len(p.Text), p.DataBase, len(p.Data), p.Entry)
@@ -77,6 +77,6 @@ func printListing(p *asm.Program) {
 	}
 	fmt.Println("; symbols:")
 	for _, name := range p.SortedSymbols() {
-		fmt.Printf(";   %-24s 0x%x\n", name, p.Symbols[name])
+		fmt.Printf(";   %-24s 0x%x\n", name, p.SymbolMap[name])
 	}
 }

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/conformance"
 	"repro/internal/obs"
+	"repro/internal/obs/httpserv"
 	"repro/internal/sim"
 )
 
@@ -37,12 +38,21 @@ func run() error {
 		maxSteps = flag.Uint64("maxsteps", 0, "per-model step budget (0 = default)")
 		verbose  = flag.Bool("v", false, "log every program, not just divergences")
 		metrics  = flag.Bool("metrics", false, "print fuzzing counters at exit")
+		httpAddr = flag.String("http", "", "serve live observability endpoints (/metrics /debug/pprof) during the fuzz run")
 	)
 	flag.Parse()
 
 	var reg *obs.Registry
-	if *metrics {
+	if *metrics || *httpAddr != "" {
 		reg = obs.NewRegistry()
+	}
+	if *httpAddr != "" {
+		srv, err := httpserv.New(*httpAddr, httpserv.Config{Metrics: reg})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "observability server on http://%s\n", srv.Addr())
 	}
 	programs := reg.Counter("fuzz.programs")
 	diverged := reg.Counter("fuzz.divergences")

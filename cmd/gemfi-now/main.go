@@ -19,6 +19,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/now"
 	"repro/internal/obs"
+	"repro/internal/obs/httpserv"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 )
@@ -153,6 +154,7 @@ func runMaster(args []string) error {
 		seed      = fs.Int64("seed", 1, "campaign seed")
 		model     = fs.String("model", "atomic", "CPU model")
 		metrics   = fs.Bool("metrics", false, "print master telemetry (now.master.*) at exit")
+		httpAddr  = fs.String("http", "", "serve live observability endpoints (/metrics /status /debug/pprof) on this address")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -162,7 +164,7 @@ func runMaster(args []string) error {
 		return err
 	}
 	var reg *obs.Registry
-	if *metrics {
+	if *metrics || *httpAddr != "" {
 		reg = obs.NewRegistry()
 	}
 
@@ -184,6 +186,17 @@ func runMaster(args []string) error {
 	})
 	if err != nil {
 		return err
+	}
+	if *httpAddr != "" {
+		srv, err := httpserv.New(*httpAddr, httpserv.Config{
+			Metrics: reg,
+			Status:  func() any { return m.Status() },
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "observability server on http://%s\n", srv.Addr())
 	}
 	fmt.Printf("master: serving %d experiments of %s on %s\n", len(exps), *workload, m.Addr())
 	results := m.Wait()

@@ -21,6 +21,8 @@ import (
 	"repro/internal/isa"
 	"repro/internal/minic"
 	"repro/internal/obs"
+	"repro/internal/obs/httpserv"
+	"repro/internal/prof"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 )
@@ -51,6 +53,13 @@ func run() error {
 		metricsDump = flag.Bool("metrics", false, "print the metrics registry (gem5 stats style) at exit")
 		metricsJSON = flag.String("metrics-json", "", "write the metrics registry as JSON to this file at exit")
 		validate    = flag.String("validate-trace", "", "validate a JSONL trace file against the event schema and exit")
+
+		profile       = flag.Bool("profile", false, "profile the guest per PC and print the top-N table at exit")
+		profileTop    = flag.Int("profile-top", 20, "rows in the -profile text table")
+		profileJSON   = flag.String("profile-json", "", "write the guest profile as JSON to this file at exit (implies -profile)")
+		profileFolded = flag.String("profile-folded", "", "write the guest profile in folded-stack (flamegraph) format to this file (implies -profile)")
+		httpAddr      = flag.String("http", "", "serve live observability HTTP endpoints (/metrics /status /profile /debug/pprof) on this address")
+		validateProm  = flag.String("validate-prom", "", "validate a Prometheus text exposition file and exit")
 	)
 	flag.Parse()
 
@@ -65,6 +74,19 @@ func run() error {
 			return fmt.Errorf("%s: %w", *validate, err)
 		}
 		fmt.Printf("%s: %d events OK\n", *validate, n)
+		return nil
+	}
+	if *validateProm != "" {
+		f, err := os.Open(*validateProm)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		n, err := obs.ValidateProm(f)
+		if err != nil {
+			return fmt.Errorf("%s: %w", *validateProm, err)
+		}
+		fmt.Printf("%s: %d samples OK\n", *validateProm, n)
 		return nil
 	}
 
@@ -93,8 +115,11 @@ func run() error {
 		MaxInsts:                *maxInsts,
 		SwitchToAtomicOnResolve: sim.ModelKind(*model) == sim.ModelPipelined,
 	}
-	if *metricsDump || *metricsJSON != "" {
+	if *metricsDump || *metricsJSON != "" || *httpAddr != "" {
 		cfg.Metrics = obs.NewRegistry()
+	}
+	if *profile || *profileJSON != "" || *profileFolded != "" || *httpAddr != "" {
+		cfg.EnableProfiler = true
 	}
 	if *traceOut != "" || *traceJSONL != "" {
 		cfg.Tracer = obs.NewTracer()
@@ -158,13 +183,76 @@ func run() error {
 		return err
 	}
 	if *traceN > 0 {
+		// Symbolize the trace against the program's function symbols;
+		// Format falls back to bare hex for PCs outside every symbol.
+		syms := prog.Symbols()
 		var traced uint64
 		s.Core.TraceFn = func(pc uint64, in isa.Inst) {
 			if traced < *traceN {
-				fmt.Printf("%12d  0x%06x  %s\n", s.Core.Insts+1, pc, in.Disassemble(pc))
+				fmt.Printf("%12d  0x%06x  %-24s  %s\n",
+					s.Core.Insts+1, pc, syms.Format(pc), in.Disassemble(pc))
 				traced++
 			}
 		}
+	}
+	if *httpAddr != "" {
+		srv, err := httpserv.New(*httpAddr, httpserv.Config{
+			Metrics: cfg.Metrics,
+			Status: func() any {
+				return map[string]any{"insts": s.Core.Insts, "ticks": s.Core.Ticks}
+			},
+			Profile: func() *prof.Profile {
+				if pr := s.Profiler(); pr != nil {
+					return pr.Snapshot()
+				}
+				return nil
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "observability server on http://%s\n", srv.Addr())
+	}
+	// dumpProfile writes the requested guest-profile outputs at exit.
+	dumpProfile := func() error {
+		pr := s.Profiler()
+		if pr == nil {
+			return nil
+		}
+		snap := pr.Snapshot()
+		if *profile {
+			if err := snap.WriteTop(os.Stdout, *profileTop); err != nil {
+				return err
+			}
+		}
+		if *profileJSON != "" {
+			f, err := os.Create(*profileJSON)
+			if err != nil {
+				return err
+			}
+			if err := snap.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		if *profileFolded != "" {
+			f, err := os.Create(*profileFolded)
+			if err != nil {
+				return err
+			}
+			if err := snap.WriteFolded(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 
 	// Checkpoint workflows (the paper's campaign fast-forwarding, as a
@@ -211,6 +299,9 @@ func run() error {
 			fmt.Printf("fault %q: fired=%v committed=%v squashed=%v propagated=%v overwritten=%v detail=%q\n",
 				oc.Fault.String(), oc.Fired, oc.Committed, oc.Squashed, oc.Propagated, oc.Overwritten, oc.Detail)
 		}
+	}
+	if err := dumpProfile(); err != nil {
+		return err
 	}
 	if err := dumpObs(); err != nil {
 		return err

@@ -33,6 +33,8 @@ import (
 	"repro/internal/minic"
 	"repro/internal/now"
 	"repro/internal/obs"
+	"repro/internal/obs/httpserv"
+	"repro/internal/prof"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workloads"
@@ -207,6 +209,53 @@ func NewTracer() *Tracer { return obs.NewTracer() }
 // ValidateTraceJSONL checks a JSON-lines trace stream against the event
 // schema and returns the number of valid events.
 func ValidateTraceJSONL(r io.Reader) (int, error) { return obs.ValidateJSONL(r) }
+
+// ValidateProm checks a Prometheus text exposition stream (such as a
+// /metrics scrape) and returns the number of sample lines.
+func ValidateProm(r io.Reader) (int, error) { return obs.ValidateProm(r) }
+
+// Profiler is the exact per-PC guest profiler: retired instructions,
+// cycles, cache misses, branch mispredicts and pipeline stall causes,
+// symbolized against the program's function symbols. Attach one via
+// SimConfig.Profiler (or set SimConfig.EnableProfiler and retrieve it
+// with Simulator.Profiler). Nil disables profiling at zero hot-loop
+// cost.
+type Profiler = prof.Profiler
+
+// Profile is an immutable profiler snapshot; render it with WriteTop,
+// WriteJSON or WriteFolded (flamegraph collapsed format).
+type Profile = prof.Profile
+
+// NewProfilerFor builds a profiler sized and symbolized for a program.
+func NewProfilerFor(p *Program) *Profiler { return prof.ForProgram(p) }
+
+// MergeProfiles merges worker profiles into one campaign-wide profile.
+func MergeProfiles(ps ...*Profile) *Profile { return prof.MergeProfiles(ps...) }
+
+// Symbol is one named guest address range.
+type Symbol = asm.Symbol
+
+// SymbolTable maps PCs back to guest function symbols.
+type SymbolTable = asm.SymbolTable
+
+// ObsServer is the live observability HTTP server: /metrics (Prometheus
+// exposition), /status (campaign JSON), /profile and /debug/pprof.
+type ObsServer = httpserv.Server
+
+// ObsServerConfig wires the server's data sources.
+type ObsServerConfig = httpserv.Config
+
+// NewObsServer starts an observability server on addr.
+func NewObsServer(addr string, cfg ObsServerConfig) (*ObsServer, error) {
+	return httpserv.New(addr, cfg)
+}
+
+// AttributeOutcomesByPC buckets campaign results by the PC the fault
+// struck, symbolized against syms — the per-instruction vulnerability
+// report.
+func AttributeOutcomesByPC(results []ExperimentResult, syms SymbolTable) (rows []campaign.PCOutcome, unattributed int) {
+	return campaign.AttributeByPC(results, syms)
+}
 
 // ---- workloads ----
 

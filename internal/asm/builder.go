@@ -27,19 +27,25 @@ type Program struct {
 	Text     []isa.Word
 	DataBase uint64
 	Data     []byte
-	Symbols  map[string]uint64
+	// SymbolMap holds every label -> absolute address. For the sized,
+	// sorted code view used by symbolization, see Symbols.
+	SymbolMap map[string]uint64
+	// FuncSyms marks which code symbols are function entry points
+	// (Builder.Func). Empty for toolchains that never mark functions;
+	// Symbols then falls back to treating every non-local label as one.
+	FuncSyms map[string]bool
 }
 
 // Symbol resolves a label to its address.
 func (p *Program) Symbol(name string) (uint64, bool) {
-	a, ok := p.Symbols[name]
+	a, ok := p.SymbolMap[name]
 	return a, ok
 }
 
 // MustSymbol resolves a label, panicking if absent (programming error in
 // the host harness, not runtime input).
 func (p *Program) MustSymbol(name string) uint64 {
-	a, ok := p.Symbols[name]
+	a, ok := p.SymbolMap[name]
 	if !ok {
 		panic("asm: undefined symbol " + name)
 	}
@@ -74,6 +80,7 @@ type Builder struct {
 	textBase uint64
 	text     []isa.Word
 	labels   map[string]uint64 // text labels -> absolute address
+	funcs    map[string]bool   // labels marked as function entries
 	fixups   []fixup
 	data     []dataItem
 	errs     []error
@@ -98,6 +105,17 @@ func (b *Builder) Label(name string) {
 		return
 	}
 	b.labels[name] = b.PC()
+}
+
+// Func defines a code label at the current position and marks it as a
+// function entry, so Program.Symbols reports function-granularity
+// ranges even when inner labels exist.
+func (b *Builder) Func(name string) {
+	b.Label(name)
+	if b.funcs == nil {
+		b.funcs = make(map[string]bool)
+	}
+	b.funcs[name] = true
 }
 
 // Raw emits a raw instruction word.
@@ -256,13 +274,19 @@ func (b *Builder) Build() (*Program, error) {
 		return nil, b.errs[0]
 	}
 	p := &Program{
-		TextBase: b.textBase,
-		Text:     make([]isa.Word, len(b.text)),
-		Symbols:  make(map[string]uint64, len(b.labels)+len(b.data)),
+		TextBase:  b.textBase,
+		Text:      make([]isa.Word, len(b.text)),
+		SymbolMap: make(map[string]uint64, len(b.labels)+len(b.data)),
 	}
 	copy(p.Text, b.text)
 	for name, addr := range b.labels {
-		p.Symbols[name] = addr
+		p.SymbolMap[name] = addr
+	}
+	if len(b.funcs) > 0 {
+		p.FuncSyms = make(map[string]bool, len(b.funcs))
+		for name := range b.funcs {
+			p.FuncSyms[name] = true
+		}
 	}
 
 	// Data layout, 8-byte aligned items, section aligned to DataAlign.
@@ -275,10 +299,10 @@ func (b *Builder) Build() (*Program, error) {
 		}
 		addr := p.DataBase + uint64(len(data))
 		if item.label != "" {
-			if _, dup := p.Symbols[item.label]; dup {
+			if _, dup := p.SymbolMap[item.label]; dup {
 				return nil, fmt.Errorf("duplicate symbol %q", item.label)
 			}
-			p.Symbols[item.label] = addr
+			p.SymbolMap[item.label] = addr
 		}
 		data = append(data, item.bytes...)
 	}
@@ -286,7 +310,7 @@ func (b *Builder) Build() (*Program, error) {
 
 	// Fixups.
 	for _, f := range b.fixups {
-		target, ok := p.Symbols[f.sym]
+		target, ok := p.SymbolMap[f.sym]
 		if !ok {
 			return nil, fmt.Errorf("undefined symbol %q", f.sym)
 		}
@@ -322,7 +346,7 @@ func (b *Builder) Build() (*Program, error) {
 	}
 
 	// Entry point.
-	if e, ok := p.Symbols["_start"]; ok {
+	if e, ok := p.SymbolMap["_start"]; ok {
 		p.Entry = e
 	} else {
 		p.Entry = p.TextBase
@@ -333,13 +357,13 @@ func (b *Builder) Build() (*Program, error) {
 // SortedSymbols returns symbol names ordered by address (for
 // disassembly listings).
 func (p *Program) SortedSymbols() []string {
-	names := make([]string, 0, len(p.Symbols))
-	for n := range p.Symbols {
+	names := make([]string, 0, len(p.SymbolMap))
+	for n := range p.SymbolMap {
 		names = append(names, n)
 	}
 	sort.Slice(names, func(i, j int) bool {
-		if p.Symbols[names[i]] != p.Symbols[names[j]] {
-			return p.Symbols[names[i]] < p.Symbols[names[j]]
+		if p.SymbolMap[names[i]] != p.SymbolMap[names[j]] {
+			return p.SymbolMap[names[i]] < p.SymbolMap[names[j]]
 		}
 		return names[i] < names[j]
 	})

@@ -1,0 +1,89 @@
+package asm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Symbol is one named address range in a program image. Size is the
+// distance to the next symbol in the same section (or the section end),
+// so text symbols tile the code they cover.
+type Symbol struct {
+	Name string
+	Addr uint64
+	Size uint64
+}
+
+// SymbolTable is a list of symbols sorted by address, supporting binary
+// search from a PC back to the covering symbol. Build one with
+// Program.Symbols.
+type SymbolTable []Symbol
+
+// Symbols returns the code symbol table for symbolizing PCs: every
+// function symbol sorted by address, sized to tile the text section.
+//
+// When the toolchain marked function symbols explicitly (Builder.Func,
+// as the mini-C code generator does), only those appear — inner labels
+// never split a function. Otherwise every text label that is not a
+// local label (leading '.') is taken to start a function, which is the
+// right granularity for hand-written assembly where each label is a
+// region of interest.
+func (p *Program) Symbols() SymbolTable {
+	textEnd := p.TextBase + uint64(len(p.Text))*4
+	var t SymbolTable
+	for name, addr := range p.SymbolMap {
+		if addr < p.TextBase || addr >= textEnd {
+			continue // data symbol
+		}
+		if len(p.FuncSyms) > 0 {
+			if !p.FuncSyms[name] {
+				continue
+			}
+		} else if len(name) > 0 && name[0] == '.' {
+			continue // local label
+		}
+		t = append(t, Symbol{Name: name, Addr: addr})
+	}
+	sort.Slice(t, func(i, j int) bool {
+		if t[i].Addr != t[j].Addr {
+			return t[i].Addr < t[j].Addr
+		}
+		return t[i].Name < t[j].Name
+	})
+	for i := range t {
+		end := textEnd
+		if i+1 < len(t) {
+			end = t[i+1].Addr
+		}
+		t[i].Size = end - t[i].Addr
+	}
+	return t
+}
+
+// Lookup returns the symbol covering pc (Addr <= pc < Addr+Size). The
+// second result is false when pc falls outside every symbol.
+func (t SymbolTable) Lookup(pc uint64) (Symbol, bool) {
+	// First symbol strictly above pc; the candidate is the one before.
+	i := sort.Search(len(t), func(i int) bool { return t[i].Addr > pc })
+	if i == 0 {
+		return Symbol{}, false
+	}
+	s := t[i-1]
+	if pc >= s.Addr+s.Size {
+		return Symbol{}, false
+	}
+	return s, true
+}
+
+// Format renders pc as "name+0xoff" against the table, falling back to
+// bare hex when no symbol covers it (stripped images keep working).
+func (t SymbolTable) Format(pc uint64) string {
+	s, ok := t.Lookup(pc)
+	if !ok {
+		return fmt.Sprintf("0x%x", pc)
+	}
+	if pc == s.Addr {
+		return s.Name
+	}
+	return fmt.Sprintf("%s+0x%x", s.Name, pc-s.Addr)
+}

@@ -1,0 +1,115 @@
+package asm
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// buildSymProg lays out three "functions" of 2/3/1 instructions plus a
+// local label and a data symbol, with only the functions marked.
+func buildSymProg(t *testing.T, mark bool) *Program {
+	t.Helper()
+	b := NewBuilder()
+	def := b.Label
+	if mark {
+		def = b.Func
+	}
+	def("alpha")
+	b.Nop()
+	b.Nop()
+	def("beta")
+	b.Label(".Linner") // must never appear in the table
+	b.Nop()
+	b.Nop()
+	b.Nop()
+	def("gamma")
+	b.Nop()
+	b.Quad("blob", 1, 2)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSymbolTableLayout(t *testing.T) {
+	for _, mark := range []bool{true, false} {
+		p := buildSymProg(t, mark)
+		syms := p.Symbols()
+		if len(syms) != 3 {
+			t.Fatalf("mark=%v: got %d symbols %v, want 3", mark, len(syms), syms)
+		}
+		wantName := []string{"alpha", "beta", "gamma"}
+		wantSize := []uint64{8, 12, 4}
+		for i, s := range syms {
+			if s.Name != wantName[i] || s.Size != wantSize[i] {
+				t.Errorf("mark=%v: sym[%d] = %+v, want %s size %d",
+					mark, i, s, wantName[i], wantSize[i])
+			}
+		}
+		if syms[0].Addr != p.TextBase {
+			t.Errorf("alpha at 0x%x, want text base 0x%x", syms[0].Addr, p.TextBase)
+		}
+	}
+}
+
+func TestSymbolTableLookup(t *testing.T) {
+	p := buildSymProg(t, true)
+	syms := p.Symbols()
+	base := p.TextBase
+
+	cases := []struct {
+		pc   uint64
+		name string
+		ok   bool
+	}{
+		{base, "alpha", true},
+		{base + 4, "alpha", true},
+		{base + 8, "beta", true},
+		{base + 16, "beta", true},
+		{base + 20, "gamma", true},
+		{base - 4, "", false},
+		{base + 24, "", false}, // past text end
+		{p.DataBase, "", false},
+	}
+	for _, c := range cases {
+		s, ok := syms.Lookup(c.pc)
+		if ok != c.ok || (ok && s.Name != c.name) {
+			t.Errorf("Lookup(0x%x) = %+v,%v, want %q,%v", c.pc, s, ok, c.name, c.ok)
+		}
+	}
+
+	if got := syms.Format(base + 12); got != "beta+0x4" {
+		t.Errorf("Format(beta+4) = %q", got)
+	}
+	if got := syms.Format(base + 8); got != "beta" {
+		t.Errorf("Format(beta) = %q", got)
+	}
+	if got := syms.Format(base + 64); got != "0x10040" {
+		t.Errorf("Format(out of range) = %q", got)
+	}
+	var empty SymbolTable
+	if _, ok := empty.Lookup(base); ok {
+		t.Error("empty table Lookup succeeded")
+	}
+}
+
+func TestMarkedFuncsSuppressInnerLabels(t *testing.T) {
+	b := NewBuilder()
+	b.Func("f")
+	b.Nop()
+	b.Label("inner") // non-local, but unmarked while funcs exist
+	b.Nop()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms := p.Symbols()
+	if len(syms) != 1 || syms[0].Name != "f" || syms[0].Size != 8 {
+		t.Fatalf("got %v, want single f covering 8 bytes", syms)
+	}
+	if p.Text[0] != isa.Nop() {
+		t.Fatal("sanity: expected nop text")
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/checkpoint"
 	"repro/internal/core"
+	"repro/internal/prof"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 )
@@ -95,6 +96,12 @@ type Result struct {
 	CrashCause string `json:"crashCause,omitempty"`
 	Insts      uint64 `json:"insts"`
 	Ticks      uint64 `json:"ticks"`
+
+	// InjPC is the guest PC of the instruction the first fired fault
+	// actually struck (valid only when InjPCValid). Joining it with the
+	// outcome gives the per-PC vulnerability attribution report.
+	InjPC      uint64 `json:"injPC,omitempty"`
+	InjPCValid bool   `json:"injPCValid,omitempty"`
 }
 
 // Runner executes experiments for one workload. It is not safe for
@@ -113,7 +120,8 @@ type Runner struct {
 	// fi_read_init_all checkpoint instead of re-running boot + init.
 	Ckpt *checkpoint.State
 
-	sim *sim.Simulator
+	sim  *sim.Simulator
+	prof *prof.Profiler
 }
 
 // RunnerOptions configures NewRunner.
@@ -233,6 +241,22 @@ func (r *Runner) Interrupt() {
 	}
 }
 
+// AttachProfiler attaches a guest profiler to the runner's simulator;
+// all subsequent experiments accumulate into it. Idempotent — repeated
+// calls return the same profiler. On baseline (DisableCheckpoint)
+// runners the profiler also survives the per-experiment simulator
+// rebuild, because it is carried through the runner's Config.
+func (r *Runner) AttachProfiler() *prof.Profiler {
+	if r.prof == nil && r.sim != nil {
+		r.prof = r.sim.AttachProfiler(nil)
+		r.Cfg.Profiler = r.prof
+	}
+	return r.prof
+}
+
+// Profiler returns the attached profiler (nil when profiling is off).
+func (r *Runner) Profiler() *prof.Profiler { return r.prof }
+
 // Run executes one experiment and classifies its outcome.
 func (r *Runner) Run(exp Experiment) Result {
 	res := Result{ID: exp.ID}
@@ -272,6 +296,10 @@ func (r *Runner) Run(exp Experiment) Result {
 	for _, oc := range runRes.Outcomes {
 		if oc.Fired {
 			res.Fired = true
+			if oc.HavePC && !res.InjPCValid {
+				res.InjPC = oc.PC
+				res.InjPCValid = true
+			}
 		}
 	}
 

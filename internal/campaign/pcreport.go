@@ -1,0 +1,113 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/asm"
+)
+
+// PCOutcome aggregates experiment outcomes by the guest PC the fault
+// struck — the "which instruction is vulnerable" view that joins the
+// profiler's symbol table with the campaign's five-class taxonomy.
+type PCOutcome struct {
+	PC     uint64 `json:"pc"`
+	Func   string `json:"func,omitempty"`
+	Offset uint64 `json:"offset,omitempty"`
+
+	Total           int `json:"total"`
+	Crashed         int `json:"crashed"`
+	NonPropagated   int `json:"nonPropagated"`
+	StrictlyCorrect int `json:"strictlyCorrect"`
+	Correct         int `json:"correct"`
+	SDC             int `json:"sdc"`
+}
+
+// Vulnerable returns the count of unacceptable outcomes at this PC.
+func (p PCOutcome) Vulnerable() int { return p.Crashed + p.SDC }
+
+func (p *PCOutcome) add(o Outcome) {
+	p.Total++
+	switch o {
+	case OutcomeCrashed:
+		p.Crashed++
+	case OutcomeNonPropagated:
+		p.NonPropagated++
+	case OutcomeStrictlyCorrect:
+		p.StrictlyCorrect++
+	case OutcomeCorrect:
+		p.Correct++
+	case OutcomeSDC:
+		p.SDC++
+	}
+}
+
+// AttributeByPC buckets results by injection PC, symbolizing each
+// bucket against syms (nil syms leaves Func empty — PCs still group).
+// Results whose fault never fired, or fired on a stage that carries no
+// PC, are counted under the returned unattributed total. Rows come back
+// sorted most-vulnerable first (Crashed+SDC desc, then Total desc, then
+// PC asc).
+func AttributeByPC(results []Result, syms asm.SymbolTable) (rows []PCOutcome, unattributed int) {
+	byPC := make(map[uint64]*PCOutcome)
+	for _, r := range results {
+		if !r.InjPCValid {
+			unattributed++
+			continue
+		}
+		p := byPC[r.InjPC]
+		if p == nil {
+			p = &PCOutcome{PC: r.InjPC}
+			if s, ok := syms.Lookup(r.InjPC); ok {
+				p.Func, p.Offset = s.Name, r.InjPC-s.Addr
+			}
+			byPC[r.InjPC] = p
+		}
+		p.add(r.Outcome)
+	}
+	rows = make([]PCOutcome, 0, len(byPC))
+	for _, p := range byPC {
+		rows = append(rows, *p)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if a, b := rows[i].Vulnerable(), rows[j].Vulnerable(); a != b {
+			return a > b
+		}
+		if rows[i].Total != rows[j].Total {
+			return rows[i].Total > rows[j].Total
+		}
+		return rows[i].PC < rows[j].PC
+	})
+	return rows, unattributed
+}
+
+// WritePCReport renders the attribution as a ranked text table.
+func WritePCReport(w io.Writer, rows []PCOutcome, unattributed int) error {
+	attributed := 0
+	for _, r := range rows {
+		attributed += r.Total
+	}
+	if _, err := fmt.Fprintf(w, "fault outcomes by injection PC: %d experiments at %d sites (%d unattributed)\n",
+		attributed, len(rows), unattributed); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-18s %-28s %6s %6s %6s %8s %8s %8s\n",
+		"PC", "SYMBOL", "TOTAL", "CRASH", "SDC", "NONPROP", "STRICT", "CORRECT"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		sym := r.Func
+		if sym != "" && r.Offset != 0 {
+			sym = fmt.Sprintf("%s+0x%x", r.Func, r.Offset)
+		}
+		if sym == "" {
+			sym = "?"
+		}
+		if _, err := fmt.Fprintf(w, "0x%-16x %-28s %6d %6d %6d %8d %8d %8d\n",
+			r.PC, sym, r.Total, r.Crashed, r.SDC, r.NonPropagated, r.StrictlyCorrect, r.Correct); err != nil {
+			return err
+		}
+	}
+	return nil
+}

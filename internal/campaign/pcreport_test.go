@@ -1,0 +1,51 @@
+package campaign
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+)
+
+func TestAttributeByPC(t *testing.T) {
+	syms := asm.SymbolTable{
+		{Name: "fn_a", Addr: 0x1000, Size: 0x20},
+		{Name: "fn_b", Addr: 0x1020, Size: 0x10},
+	}
+	results := []Result{
+		{Outcome: OutcomeSDC, InjPC: 0x1008, InjPCValid: true},
+		{Outcome: OutcomeCrashed, InjPC: 0x1008, InjPCValid: true},
+		{Outcome: OutcomeNonPropagated, InjPC: 0x1008, InjPCValid: true},
+		{Outcome: OutcomeCorrect, InjPC: 0x1020, InjPCValid: true},
+		{Outcome: OutcomeNonPropagated}, // never fired: unattributed
+	}
+	rows, unattributed := AttributeByPC(results, syms)
+	if unattributed != 1 {
+		t.Errorf("unattributed = %d, want 1", unattributed)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	// Most vulnerable site first.
+	if rows[0].PC != 0x1008 || rows[0].Vulnerable() != 2 || rows[0].Total != 3 {
+		t.Errorf("row0 = %+v", rows[0])
+	}
+	if rows[0].Func != "fn_a" || rows[0].Offset != 8 {
+		t.Errorf("row0 symbolization = %q+0x%x", rows[0].Func, rows[0].Offset)
+	}
+	if rows[1].PC != 0x1020 || rows[1].Func != "fn_b" || rows[1].Offset != 0 {
+		t.Errorf("row1 = %+v", rows[1])
+	}
+
+	var buf bytes.Buffer
+	if err := WritePCReport(&buf, rows, unattributed); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fn_a+0x8", "fn_b", "4 experiments at 2 sites (1 unattributed)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 )
@@ -32,6 +33,15 @@ type Pool struct {
 	// are serialized; keep the callback cheap (drivers use it for
 	// throttled progress lines).
 	OnProgress func(done, total int, elapsed time.Duration)
+
+	// Live status, maintained by RunAll and read by Status() — the
+	// campaign driver's -http /status endpoint scrapes this while the
+	// run is in flight, so everything is atomic.
+	total     atomic.Int64
+	done      atomic.Int64
+	inFlight  atomic.Int64
+	startNano atomic.Int64
+	outcomes  [numOutcomes]atomic.Int64 // indexed by Outcome-1
 }
 
 // NewPool builds n parallel runners for the workload. The golden run and
@@ -77,12 +87,80 @@ func (p *Pool) Size() int { return len(p.runners) }
 // Runner returns the first runner (for window/golden metadata).
 func (p *Pool) Runner() *Runner { return p.runners[0] }
 
+// AttachProfilers attaches one guest profiler to every runner in the
+// pool (each worker accumulates privately, so the hot loop stays
+// contention-free) and returns them. Idempotent.
+func (p *Pool) AttachProfilers() []*prof.Profiler {
+	prs := make([]*prof.Profiler, 0, len(p.runners))
+	for _, r := range p.runners {
+		if pr := r.AttachProfiler(); pr != nil {
+			prs = append(prs, pr)
+		}
+	}
+	return prs
+}
+
+// Profile snapshots and merges every worker's profiler into one
+// campaign-wide profile. Returns nil when no profiler is attached.
+// Safe to call while RunAll is in flight (snapshots are atomic).
+func (p *Pool) Profile() *prof.Profile {
+	var parts []*prof.Profile
+	for _, r := range p.runners {
+		if r.prof != nil {
+			parts = append(parts, r.prof.Snapshot())
+		}
+	}
+	return prof.MergeProfiles(parts...)
+}
+
+// PoolStatus is a point-in-time view of a running (or finished)
+// campaign, served as JSON by the -http /status endpoint.
+type PoolStatus struct {
+	Workload   string         `json:"workload"`
+	Workers    int            `json:"workers"`
+	Total      int            `json:"total"`
+	Done       int            `json:"done"`
+	InFlight   int            `json:"inFlight"`
+	ElapsedSec float64        `json:"elapsedSec"`
+	ExpsPerSec float64        `json:"expsPerSec"`
+	Outcomes   map[string]int `json:"outcomes"`
+}
+
+// Status reads the live campaign state. Safe to call concurrently with
+// RunAll from any goroutine.
+func (p *Pool) Status() PoolStatus {
+	st := PoolStatus{
+		Workers:  len(p.runners),
+		Total:    int(p.total.Load()),
+		Done:     int(p.done.Load()),
+		InFlight: int(p.inFlight.Load()),
+		Outcomes: make(map[string]int, int(numOutcomes)),
+	}
+	if len(p.runners) > 0 && p.runners[0].Workload != nil {
+		st.Workload = p.runners[0].Workload.Name
+	}
+	for _, o := range Outcomes() {
+		if n := p.outcomes[int(o)-1].Load(); n > 0 {
+			st.Outcomes[o.String()] = int(n)
+		}
+	}
+	if t0 := p.startNano.Load(); t0 > 0 {
+		st.ElapsedSec = time.Since(time.Unix(0, t0)).Seconds()
+		if st.ElapsedSec > 0 {
+			st.ExpsPerSec = float64(st.Done) / st.ElapsedSec
+		}
+	}
+	return st
+}
+
 // RunAll executes all experiments across the pool and returns results
 // ordered by experiment ID.
 func (p *Pool) RunAll(exps []Experiment) []Result {
 	jobs := make(chan Experiment)
 	results := make([]Result, len(exps))
 	start := time.Now()
+	p.total.Store(int64(len(exps)))
+	p.startNano.Store(start.UnixNano())
 
 	// Instruments are fetched once up front so workers never touch the
 	// registry lock; outcomeCounters is read-only during the run.
@@ -103,11 +181,17 @@ func (p *Pool) RunAll(exps []Experiment) []Result {
 			for exp := range jobs {
 				endSpan := p.Tracer.Span(obs.CatCampaign, "experiment", wi+1)
 				t0 := time.Now()
+				p.inFlight.Add(1)
 				res := r.Run(exp)
+				p.inFlight.Add(-1)
 				results[exp.ID] = res
 				durHist.Observe(float64(time.Since(t0).Microseconds()))
 				completed.Inc()
 				outcomeCounters[res.Outcome].Inc()
+				if res.Outcome >= 1 && res.Outcome < numOutcomes {
+					p.outcomes[int(res.Outcome)-1].Add(1)
+				}
+				p.done.Add(1)
 				endSpan(map[string]any{
 					"id": exp.ID, "outcome": res.Outcome.String(), "fired": res.Fired,
 				})

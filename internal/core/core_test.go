@@ -191,16 +191,16 @@ func TestContextSwitchTracking(t *testing.T) {
 func TestFetchFaultFiresAtExactInstruction(t *testing.T) {
 	e := engineWith(Fault{Loc: LocFetch, Behavior: BehFlip, Bit: 0, Base: TimeInst, When: 3, Occ: 1})
 	w := uint32(isa.MakeOperate(isa.OpIntArith, isa.FnADDQ, 1, 2, 3))
-	if got := e.OnFetch(1, w); got != w {
+	if got := e.OnFetch(1, 0, w); got != w {
 		t.Error("fired at fetch 1")
 	}
-	if got := e.OnFetch(2, w); got != w {
+	if got := e.OnFetch(2, 0, w); got != w {
 		t.Error("fired at fetch 2")
 	}
-	if got := e.OnFetch(3, w); got != w^1 {
+	if got := e.OnFetch(3, 0, w); got != w^1 {
 		t.Errorf("did not fire at fetch 3: %x", got)
 	}
-	if got := e.OnFetch(4, w); got != w {
+	if got := e.OnFetch(4, 0, w); got != w {
 		t.Error("transient fault fired twice")
 	}
 	oc := e.Outcomes()[0]
@@ -217,7 +217,7 @@ func TestIntermittentFaultFiresNTimes(t *testing.T) {
 	w := uint32(0)
 	fired := 0
 	for i := uint64(1); i <= 10; i++ {
-		if e.OnFetch(i, w) != w {
+		if e.OnFetch(i, 0, w) != w {
 			fired++
 		}
 	}
@@ -230,7 +230,7 @@ func TestPermanentFaultAlwaysFires(t *testing.T) {
 	e := engineWith(Fault{Loc: LocFetch, Behavior: BehFlip, Bit: 0, Base: TimeInst, When: 5, Occ: PermanentOcc})
 	fired := 0
 	for i := uint64(1); i <= 20; i++ {
-		if e.OnFetch(i, 0) != 0 {
+		if e.OnFetch(i, 0, 0) != 0 {
 			fired++
 		}
 	}
@@ -245,11 +245,11 @@ func TestPermanentFaultAlwaysFires(t *testing.T) {
 func TestRegisterFaultAppliedAtCommit(t *testing.T) {
 	e := engineWith(Fault{Loc: LocIntReg, Reg: 4, Behavior: BehSet, Value: 99, Base: TimeInst, When: 2, Occ: 1})
 	var a cpu.Arch
-	e.OnCommit(1, &a)
+	e.OnCommit(1, 0, &a)
 	if a.R[4] != 0 {
 		t.Error("fired early")
 	}
-	e.OnCommit(2, &a)
+	e.OnCommit(2, 0, &a)
 	if a.R[4] != 99 {
 		t.Errorf("register not corrupted: %d", a.R[4])
 	}
@@ -258,7 +258,7 @@ func TestRegisterFaultAppliedAtCommit(t *testing.T) {
 func TestPCFaultReportsRedirect(t *testing.T) {
 	e := engineWith(Fault{Loc: LocPC, Behavior: BehFlip, Bit: 8, Base: TimeInst, When: 1, Occ: 1})
 	a := cpu.Arch{PC: 0x1000}
-	if !e.OnCommit(1, &a) {
+	if !e.OnCommit(1, 0, &a) {
 		t.Error("PC fault must report a redirect")
 	}
 	if a.PC != 0x1100 {
@@ -269,7 +269,7 @@ func TestPCFaultReportsRedirect(t *testing.T) {
 func TestSpecialRegFaultHitsPCBB(t *testing.T) {
 	e := engineWith(Fault{Loc: LocSpecialReg, Reg: 0, Behavior: BehFlip, Bit: 4, Base: TimeInst, When: 1, Occ: 1})
 	a := cpu.Arch{PCBB: 0xF00000}
-	e.OnCommit(1, &a)
+	e.OnCommit(1, 0, &a)
 	if a.PCBB != 0xF00010 {
 		t.Errorf("PCBB = %#x", a.PCBB)
 	}
@@ -278,7 +278,7 @@ func TestSpecialRegFaultHitsPCBB(t *testing.T) {
 func TestTaintPropagationRead(t *testing.T) {
 	e := engineWith(Fault{Loc: LocIntReg, Reg: 4, Behavior: BehFlip, Bit: 1, Base: TimeInst, When: 1, Occ: 1})
 	var a cpu.Arch
-	e.OnCommit(1, &a)
+	e.OnCommit(1, 0, &a)
 	e.OnRegRead(false, 4)
 	oc := e.Outcomes()[0]
 	if !oc.Propagated {
@@ -289,7 +289,7 @@ func TestTaintPropagationRead(t *testing.T) {
 func TestTaintOverwriteBeforeRead(t *testing.T) {
 	e := engineWith(Fault{Loc: LocIntReg, Reg: 4, Behavior: BehFlip, Bit: 1, Base: TimeInst, When: 1, Occ: 1})
 	var a cpu.Arch
-	e.OnCommit(1, &a)
+	e.OnCommit(1, 0, &a)
 	e.OnRegWrite(false, 4)
 	e.OnRegRead(false, 4) // read AFTER overwrite: clean value
 	oc := e.Outcomes()[0]
@@ -301,7 +301,7 @@ func TestTaintOverwriteBeforeRead(t *testing.T) {
 func TestFPRegisterTaintSeparateFile(t *testing.T) {
 	e := engineWith(Fault{Loc: LocFloatReg, Reg: 4, Behavior: BehFlip, Bit: 52, Base: TimeInst, When: 1, Occ: 1})
 	var a cpu.Arch
-	e.OnCommit(1, &a)
+	e.OnCommit(1, 0, &a)
 	e.OnRegRead(false, 4) // INT register 4: must not clear FP taint
 	if e.Outcomes()[0].Propagated {
 		t.Error("int read cleared fp taint")
@@ -316,7 +316,7 @@ func TestSquashMakesFaultNonPropagated(t *testing.T) {
 	e := engineWith(Fault{Loc: LocExec, Behavior: BehFlip, Bit: 0, Base: TimeInst, When: 1, Occ: 1})
 	in := isa.Decode(isa.MakeOperate(isa.OpIntArith, isa.FnADDQ, 1, 2, 3))
 	var out cpu.ExecOut
-	e.OnExecute(42, in, &out)
+	e.OnExecute(42, 0, in, &out)
 	if !e.Outcomes()[0].Fired {
 		t.Fatal("did not fire")
 	}
@@ -337,21 +337,21 @@ func TestExecFaultTargetsByInstructionClass(t *testing.T) {
 	// Memory instruction: corrupts the effective address.
 	ldq, _ := isa.MakeMem(isa.OpLDQ, 1, 2, 0)
 	out := cpu.ExecOut{EA: 0x100}
-	mk().OnExecute(1, isa.Decode(ldq), &out)
+	mk().OnExecute(1, 0, isa.Decode(ldq), &out)
 	if out.EA != 0x108 {
 		t.Errorf("EA = %#x", out.EA)
 	}
 	// Branch: corrupts the target.
 	br, _ := isa.MakeBranch(isa.OpBEQ, 1, 4)
 	out = cpu.ExecOut{Target: 0x100}
-	mk().OnExecute(1, isa.Decode(br), &out)
+	mk().OnExecute(1, 0, isa.Decode(br), &out)
 	if out.Target != 0x108 {
 		t.Errorf("target = %#x", out.Target)
 	}
 	// ALU: corrupts the integer result.
 	add := isa.MakeOperate(isa.OpIntArith, isa.FnADDQ, 1, 2, 3)
 	out = cpu.ExecOut{IntRes: 16}
-	mk().OnExecute(1, isa.Decode(add), &out)
+	mk().OnExecute(1, 0, isa.Decode(add), &out)
 	if out.IntRes != 24 {
 		t.Errorf("int result = %d", out.IntRes)
 	}
@@ -361,7 +361,7 @@ func TestDecodeFaultCorruptsSelectedOperand(t *testing.T) {
 	for sel := 0; sel < 3; sel++ {
 		e := engineWith(Fault{Loc: LocDecode, Reg: sel, Behavior: BehFlip, Bit: 0, Base: TimeInst, When: 1, Occ: 1})
 		ports := isa.RegPorts{SrcA: 2, SrcB: 4, Dst: 6, SrcAUsed: true, SrcBUsed: true, DstUsed: true}
-		got := e.OnDecode(1, ports)
+		got := e.OnDecode(1, 0, ports)
 		switch sel {
 		case 0:
 			if got.SrcA != 3 || got.SrcB != 4 || got.Dst != 6 {
@@ -386,8 +386,8 @@ func TestMemFaultCorruptsValue(t *testing.T) {
 	// access follows its own execute stage.
 	ldq, _ := isa.MakeMem(isa.OpLDQ, 1, 2, 0)
 	var out cpu.ExecOut
-	e.OnExecute(1, isa.Decode(ldq), &out)
-	if got := e.OnMem(1, true, 0x100, 0xAB00, true); got != 0xABFF {
+	e.OnExecute(1, 0, isa.Decode(ldq), &out)
+	if got := e.OnMem(1, 0, true, 0x100, 0xAB00, true); got != 0xABFF {
 		t.Errorf("load value = %#x", got)
 	}
 }
@@ -401,18 +401,18 @@ func TestMemFaultWaitsForNextMemOp(t *testing.T) {
 	ld := isa.Decode(ldq)
 	var out cpu.ExecOut
 	// Instructions 1..2: one ALU op and one load (before the trigger).
-	e.OnExecute(1, add, &out)
-	e.OnExecute(2, ld, &out)
-	if e.OnMem(2, true, 0, 0, true) != 0 {
+	e.OnExecute(1, 0, add, &out)
+	e.OnExecute(2, 0, ld, &out)
+	if e.OnMem(2, 0, true, 0, 0, true) != 0 {
 		t.Fatal("fired before its instruction")
 	}
 	// Instructions 3..7: ALU ops straddling the trigger point, then the
 	// first post-trigger load at instruction 8 takes the hit.
 	for seq := uint64(3); seq <= 7; seq++ {
-		e.OnExecute(seq, add, &out)
+		e.OnExecute(seq, 0, add, &out)
 	}
-	e.OnExecute(8, ld, &out)
-	if e.OnMem(8, true, 0, 0, true) == 0 {
+	e.OnExecute(8, 0, ld, &out)
+	if e.OnMem(8, 0, true, 0, 0, true) == 0 {
 		t.Fatal("did not fire at the first post-trigger memory op")
 	}
 }
@@ -424,11 +424,11 @@ func TestTickBasedTiming(t *testing.T) {
 	e.OnTick(500) // activation happens at tick 500
 	e.OnActivate(0x1000, 0)
 	e.OnTick(550)
-	if e.OnFetch(1, 0) != 0 { // tick offset 50 < 100
+	if e.OnFetch(1, 0, 0) != 0 { // tick offset 50 < 100
 		t.Error("fired before tick offset reached")
 	}
 	e.OnTick(610)
-	if e.OnFetch(2, 0) == 0 { // tick offset 110 >= 100
+	if e.OnFetch(2, 0, 0) == 0 { // tick offset 110 >= 100
 		t.Error("did not fire after tick offset")
 	}
 }
@@ -438,11 +438,11 @@ func TestThreadFiltering(t *testing.T) {
 		{Loc: LocFetch, Behavior: BehFlip, Bit: 0, ThreadID: 1, Base: TimeInst, When: 1, Occ: 1},
 	})
 	e.OnActivate(0x1000, 0) // thread id 0, fault targets id 1
-	if e.OnFetch(1, 0) != 0 {
+	if e.OnFetch(1, 0, 0) != 0 {
 		t.Error("fault fired for wrong thread")
 	}
 	e.OnActivate(0x2000, 1)
-	if e.OnFetch(2, 0) == 0 {
+	if e.OnFetch(2, 0, 0) == 0 {
 		t.Error("fault did not fire for its thread")
 	}
 }
@@ -451,12 +451,12 @@ func TestCPUNameFiltering(t *testing.T) {
 	f := Fault{Loc: LocFetch, Behavior: BehFlip, Bit: 0, CPU: "system.cpu1", Base: TimeInst, When: 1, Occ: 1}
 	other := NewEngine("system.cpu0", []Fault{f})
 	other.OnActivate(0x1000, 0)
-	if other.OnFetch(1, 0) != 0 {
+	if other.OnFetch(1, 0, 0) != 0 {
 		t.Error("fault armed on wrong CPU")
 	}
 	right := NewEngine("system.cpu1", []Fault{f})
 	right.OnActivate(0x1000, 0)
-	if right.OnFetch(1, 0) == 0 {
+	if right.OnFetch(1, 0, 0) == 0 {
 		t.Error("fault did not arm on its CPU")
 	}
 }
@@ -466,7 +466,7 @@ func TestCPUNameFiltering(t *testing.T) {
 func TestResetRearms(t *testing.T) {
 	f := Fault{Loc: LocFetch, Behavior: BehFlip, Bit: 0, Base: TimeInst, When: 1, Occ: 1}
 	e := engineWith(f)
-	e.OnFetch(1, 0)
+	e.OnFetch(1, 0, 0)
 	if !e.AnyFired() {
 		t.Fatal("setup: fault should have fired")
 	}
@@ -475,7 +475,7 @@ func TestResetRearms(t *testing.T) {
 		t.Error("reset did not clear engine state")
 	}
 	e.OnActivate(0x1000, 0)
-	if e.OnFetch(1, 0) == 0 {
+	if e.OnFetch(1, 0, 0) == 0 {
 		t.Error("re-armed fault did not fire")
 	}
 }
@@ -485,14 +485,14 @@ func TestHooksAreNoOpsWhenDisabled(t *testing.T) {
 		{Loc: LocFetch, Behavior: BehAllOne, Base: TimeInst, When: 1, Occ: 1},
 	})
 	// Never activated: every hook must be identity.
-	if e.OnFetch(1, 0x1234) != 0x1234 {
+	if e.OnFetch(1, 0, 0x1234) != 0x1234 {
 		t.Error("fetch hook mutated while disabled")
 	}
-	if e.OnMem(1, true, 0, 42, true) != 42 {
+	if e.OnMem(1, 0, true, 0, 42, true) != 42 {
 		t.Error("mem hook mutated while disabled")
 	}
 	var a cpu.Arch
-	if e.OnCommit(1, &a) {
+	if e.OnCommit(1, 0, &a) {
 		t.Error("commit hook redirected while disabled")
 	}
 }

@@ -68,6 +68,8 @@ type faultState struct {
 	Fired       bool // corrupted at least one value
 	FiredTick   uint64
 	FiredCount  uint64 // stage counter value at first firing
+	PC          uint64 // guest PC of the first instruction hit
+	HavePC      bool   // PC recorded (distinguishes a real PC 0)
 	Committed   bool   // an instruction it hit committed
 	Squashed    bool   // an instruction it hit was squashed
 	Propagated  bool   // register faults: corrupted value was read
@@ -275,17 +277,22 @@ func (e *Engine) RegisterMetrics(r *obs.Registry) {
 	r.RegisterFunc("fi.faults_armed", func() float64 { return float64(len(e.states)) })
 }
 
-// recordHit associates a fired fault with an in-flight instruction.
-func (e *Engine) recordHit(seq uint64, fs *faultState) {
+// recordHit associates a fired fault with an in-flight instruction and
+// records the guest PC the injection struck (per-PC outcome
+// attribution in campaign reports).
+func (e *Engine) recordHit(seq, pc uint64, fs *faultState) {
 	fs.pending++
+	if !fs.HavePC {
+		fs.PC, fs.HavePC = pc, true
+	}
 	e.bySeq[seq] = append(e.bySeq[seq], fs)
 	e.Injections++
-	e.traceFault("fault.injected", fs, map[string]any{"seq": seq})
+	e.traceFault("fault.injected", fs, map[string]any{"seq": seq, "pc": pc})
 }
 
 // OnFetch implements cpu.Injector: corrupts the fetched instruction word
 // (32 bits).
-func (e *Engine) OnFetch(seq uint64, word uint32) uint32 {
+func (e *Engine) OnFetch(seq, pc uint64, word uint32) uint32 {
 	t := e.current
 	if t == nil {
 		return word
@@ -298,7 +305,7 @@ func (e *Engine) OnFetch(seq uint64, word uint32) uint32 {
 			word = uint32(fs.Corrupt(uint64(word), 32))
 			fs.consume(t.Fetches, e.ticksNow)
 			fs.Detail = "fetch " + isa.Decode(isa.Word(old)).String() + " -> " + isa.Decode(isa.Word(word)).String()
-			e.recordHit(seq, fs)
+			e.recordHit(seq, pc, fs)
 		}
 	}
 	return word
@@ -306,7 +313,7 @@ func (e *Engine) OnFetch(seq uint64, word uint32) uint32 {
 
 // OnDecode implements cpu.Injector: corrupts the register selection
 // (5-bit indices) produced by the decode stage.
-func (e *Engine) OnDecode(seq uint64, ports isa.RegPorts) isa.RegPorts {
+func (e *Engine) OnDecode(seq, pc uint64, ports isa.RegPorts) isa.RegPorts {
 	t := e.current
 	if t == nil {
 		return ports
@@ -325,7 +332,7 @@ func (e *Engine) OnDecode(seq uint64, ports isa.RegPorts) isa.RegPorts {
 			}
 			fs.consume(t.Decodes, e.ticksNow)
 			fs.Detail = "decode register selection corrupted"
-			e.recordHit(seq, fs)
+			e.recordHit(seq, pc, fs)
 		}
 	}
 	return ports
@@ -334,7 +341,7 @@ func (e *Engine) OnDecode(seq uint64, ports isa.RegPorts) isa.RegPorts {
 // OnExecute implements cpu.Injector: corrupts the execute-stage output.
 // For memory instructions this is the effective address being calculated;
 // for branches the target; otherwise the integer or FP result.
-func (e *Engine) OnExecute(seq uint64, in isa.Inst, out *cpu.ExecOut) {
+func (e *Engine) OnExecute(seq, pc uint64, in isa.Inst, out *cpu.ExecOut) {
 	t := e.current
 	if t == nil {
 		return
@@ -355,7 +362,7 @@ func (e *Engine) OnExecute(seq uint64, in isa.Inst, out *cpu.ExecOut) {
 			}
 			fs.consume(t.Execs, e.ticksNow)
 			fs.Detail = "execute result of " + in.String()
-			e.recordHit(seq, fs)
+			e.recordHit(seq, pc, fs)
 		}
 	}
 }
@@ -366,7 +373,7 @@ func (e *Engine) OnExecute(seq uint64, in isa.Inst, out *cpu.ExecOut) {
 // scheduled at instruction N fires at the first memory transaction at or
 // after the Nth executed instruction (the Execs counter), since not every
 // instruction touches memory.
-func (e *Engine) OnMem(seq uint64, load bool, addr uint64, val uint64, bus bool) uint64 {
+func (e *Engine) OnMem(seq, pc uint64, load bool, addr uint64, val uint64, bus bool) uint64 {
 	t := e.current
 	if t == nil {
 		return val
@@ -388,7 +395,7 @@ func (e *Engine) OnMem(seq uint64, load bool, addr uint64, val uint64, bus bool)
 				fs.Detail = "memory store value"
 			}
 			fs.consume(t.Execs, e.ticksNow)
-			e.recordHit(seq, fs)
+			e.recordHit(seq, pc, fs)
 		}
 	}
 	return val
@@ -423,7 +430,7 @@ func (e *Engine) OnIO(b byte) byte {
 // resolves the commit-or-squash state of stage faults, and applies
 // register / special register / PC faults by direct state mutation.
 // Returns true if the architectural PC was changed.
-func (e *Engine) OnCommit(seq uint64, a *cpu.Arch) bool {
+func (e *Engine) OnCommit(seq, pc uint64, a *cpu.Arch) bool {
 	if hits, ok := e.bySeq[seq]; ok {
 		for _, fs := range hits {
 			fs.pending--
@@ -474,8 +481,11 @@ func (e *Engine) OnCommit(seq uint64, a *cpu.Arch) bool {
 		}
 		fs.consume(t.Commits, e.ticksNow)
 		fs.Committed = true
+		if !fs.HavePC {
+			fs.PC, fs.HavePC = pc, true
+		}
 		e.Injections++
-		e.traceFault("fault.injected", fs, map[string]any{"stage": "commit"})
+		e.traceFault("fault.injected", fs, map[string]any{"stage": "commit", "pc": pc})
 	}
 	return pcChanged
 }

@@ -11,6 +11,10 @@ type FaultOutcome struct {
 	// FiredTick / FiredCount: when it first fired.
 	FiredTick  uint64
 	FiredCount uint64
+	// PC / HavePC: the guest PC of the first instruction the fault
+	// struck, for symbolized per-PC outcome attribution.
+	PC     uint64
+	HavePC bool
 	// Committed / Squashed: fate of the corrupted instruction(s).
 	Committed bool
 	Squashed  bool
@@ -39,6 +43,8 @@ func (e *Engine) Outcomes() []FaultOutcome {
 			Fired:       fs.Fired,
 			FiredTick:   fs.FiredTick,
 			FiredCount:  fs.FiredCount,
+			PC:          fs.PC,
+			HavePC:      fs.HavePC,
 			Committed:   fs.Committed,
 			Squashed:    fs.Squashed,
 			Propagated:  fs.Propagated,

@@ -54,18 +54,22 @@ func (m *AtomicModel) Step() bool {
 		return false
 	}
 	if m.Timing && c.Hier != nil {
-		c.Ticks += c.Hier.FetchLatency(pc) - 1 // the base tick is already counted
+		lat, miss := c.Hier.FetchAccess(pc)
+		c.Ticks += lat - 1 // the base tick is already counted
+		if miss && c.Prof != nil {
+			c.Prof.OnIMiss(pc)
+		}
 	}
 	fi := c.fiEnabled()
 	if fi {
-		word = c.FI.OnFetch(seq, word)
+		word = c.FI.OnFetch(seq, pc, word)
 	}
 
 	// Decode.
 	in := decodeWord(word)
 	ports := in.Ports()
 	if fi {
-		ports = c.FI.OnDecode(seq, ports)
+		ports = c.FI.OnDecode(seq, pc, ports)
 	}
 
 	// Execute.
@@ -73,7 +77,7 @@ func (m *AtomicModel) Step() bool {
 	m.out = Execute(in, a, b, fa, fb, pc)
 	out := &m.out
 	if fi {
-		c.FI.OnExecute(seq, in, out)
+		c.FI.OnExecute(seq, pc, in, out)
 	}
 	if out.TrapKind != TrapNone {
 		c.stop(&Trap{Kind: out.TrapKind, PC: pc, Word: in.Raw})
@@ -83,7 +87,7 @@ func (m *AtomicModel) Step() bool {
 	// Memory.
 	var loadVal uint64
 	if in.Kind.IsMem() {
-		val, lat, trap := c.accessMem(seq, in, out, fi)
+		val, lat, trap := c.accessMem(seq, pc, in, out, fi)
 		if trap != nil {
 			trap.PC = pc
 			c.stop(trap)
@@ -106,7 +110,10 @@ func (m *AtomicModel) Step() bool {
 	if c.TraceFn != nil {
 		c.TraceFn(pc, in)
 	}
-	red := c.commitEpilogue(seq, in, ports, fi)
+	if c.Prof != nil {
+		c.profileCommit(pc, in, out)
+	}
+	red := c.commitEpilogue(seq, pc, in, ports, fi)
 	if red.stopped {
 		return false
 	}

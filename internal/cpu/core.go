@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/prof"
 )
 
 // Injector is the set of per-stage hook points the fault injection engine
@@ -15,7 +16,9 @@ import (
 //
 // Hooks receive the dynamic sequence number of the instruction so the
 // engine can later learn whether that instruction committed or was
-// squashed (speculative execution in the pipelined model).
+// squashed (speculative execution in the pipelined model), plus the
+// instruction's PC so injections can be attributed to guest code
+// (per-PC outcome attribution in the profiler/campaign reports).
 type Injector interface {
 	// Enabled reports whether the currently running thread has activated
 	// fault injection; when false the models skip every other hook — the
@@ -23,21 +26,21 @@ type Injector interface {
 	Enabled() bool
 
 	// OnFetch may corrupt the fetched instruction word.
-	OnFetch(seq uint64, word uint32) uint32
+	OnFetch(seq, pc uint64, word uint32) uint32
 	// OnDecode may corrupt the register selection produced by decode.
-	OnDecode(seq uint64, ports isa.RegPorts) isa.RegPorts
+	OnDecode(seq, pc uint64, ports isa.RegPorts) isa.RegPorts
 	// OnExecute may corrupt the execute-stage output in place.
-	OnExecute(seq uint64, in isa.Inst, out *ExecOut)
+	OnExecute(seq, pc uint64, in isa.Inst, out *ExecOut)
 	// OnMem may corrupt the value of a load (after reading) or a store
 	// (before writing); bus reports whether the transaction crossed the
 	// processor/memory interconnect (L1 miss), which is where
 	// interconnect faults strike.
-	OnMem(seq uint64, load bool, addr uint64, val uint64, bus bool) uint64
+	OnMem(seq, pc uint64, load bool, addr uint64, val uint64, bus bool) uint64
 	// OnCommit is called once per committed instruction. It advances the
 	// per-thread instruction counter and applies pending register, special
 	// register and PC faults by direct state mutation. It returns true if
 	// it changed the PC (the pipeline must flush and redirect).
-	OnCommit(seq uint64, a *Arch) bool
+	OnCommit(seq, pc uint64, a *Arch) bool
 	// OnSquash reports that a speculative instruction was squashed.
 	OnSquash(seq uint64)
 	// OnRegRead / OnRegWrite record committed register file traffic for
@@ -112,6 +115,12 @@ type Core struct {
 	// fault correlation. Costs one call per instruction; leave nil for
 	// measurement runs.
 	TraceFn func(pc uint64, in isa.Inst)
+
+	// Prof, when set, receives per-PC profiling events (commits, cache
+	// misses, mispredicts, stalls, call/return edges). Every hook site
+	// is behind a nil check, so a nil profiler costs one untaken branch
+	// per event class — the same disabled-path guarantee as TraceFn.
+	Prof *prof.Profiler
 
 	Ticks uint64 // simulation ticks (cycles)
 	Insts uint64 // committed instructions
@@ -207,8 +216,9 @@ func (c *Core) readOperands(in isa.Inst, p isa.RegPorts) (a, b uint64, fa, fb fl
 
 // accessMem performs the memory stage of a load/store, applying cache
 // timing (if configured) and the FI memory hook. It returns the loaded
-// value (for loads) and the latency in ticks.
-func (c *Core) accessMem(seq uint64, in isa.Inst, o *ExecOut, fi bool) (loadVal uint64, latency uint64, trap *Trap) {
+// value (for loads) and the latency in ticks. pc is the requesting
+// instruction's address, for injection and miss attribution.
+func (c *Core) accessMem(seq, pc uint64, in isa.Inst, o *ExecOut, fi bool) (loadVal uint64, latency uint64, trap *Trap) {
 	size := 8
 	if in.Kind == isa.KindLDBU || in.Kind == isa.KindSTB {
 		size = 1
@@ -220,13 +230,17 @@ func (c *Core) accessMem(seq uint64, in isa.Inst, o *ExecOut, fi bool) (loadVal 
 	// one, only L1 misses do.
 	bus := true
 	if c.Hier != nil {
-		latency = c.Hier.DataLatency(o.EA, in.Kind.IsStore())
-		bus = latency > c.Hier.L1D.Config().HitLatency
+		var miss bool
+		latency, miss = c.Hier.DataAccess(o.EA, in.Kind.IsStore())
+		bus = miss
+		if miss && c.Prof != nil {
+			c.Prof.OnDMiss(pc)
+		}
 	}
 	if in.Kind.IsStore() {
 		val := o.StoreVal
 		if fi {
-			val = c.FI.OnMem(seq, false, o.EA, val, bus)
+			val = c.FI.OnMem(seq, pc, false, o.EA, val, bus)
 		}
 		var err error
 		if size == 1 {
@@ -254,9 +268,26 @@ func (c *Core) accessMem(seq uint64, in isa.Inst, o *ExecOut, fi bool) (loadVal 
 		return 0, latency, &Trap{Kind: TrapMemFault, Addr: o.EA, Word: in.Raw}
 	}
 	if fi {
-		val = c.FI.OnMem(seq, true, o.EA, val, bus)
+		val = c.FI.OnMem(seq, pc, true, o.EA, val, bus)
 	}
 	return val, latency, nil
+}
+
+// profileCommit feeds the profiler at a model's commit point: per-PC
+// instruction/cycle accounting, the shadow-call-stack sample, and the
+// call/return edges that maintain it. Callers must have checked
+// c.Prof != nil.
+func (c *Core) profileCommit(pc uint64, in isa.Inst, o *ExecOut) {
+	c.Prof.OnCommit(pc, c.Ticks)
+	c.Prof.OnStackSample(pc)
+	switch {
+	case in.Kind == isa.KindBSR && o.Taken:
+		c.Prof.OnCall(o.Target)
+	case in.Kind == isa.KindJMP && in.Hint == isa.HintJSR:
+		c.Prof.OnCall(o.Target)
+	case in.Kind == isa.KindJMP && in.Hint == isa.HintRET:
+		c.Prof.OnReturn()
+	}
 }
 
 // writeback writes the destination register of a completed instruction.
@@ -293,7 +324,7 @@ type commitRedirect struct {
 // dispatch, scheduler preemption and context switch detection. The
 // architectural PC must already hold the sequentially-next instruction
 // address (or branch target) before the call.
-func (c *Core) commitEpilogue(seq uint64, in isa.Inst, ports isa.RegPorts, fi bool) commitRedirect {
+func (c *Core) commitEpilogue(seq, pc uint64, in isa.Inst, ports isa.RegPorts, fi bool) commitRedirect {
 	c.Insts++
 	var red commitRedirect
 
@@ -349,7 +380,7 @@ func (c *Core) commitEpilogue(seq uint64, in isa.Inst, ports isa.RegPorts, fi bo
 
 	// FI commit: count the instruction, apply register/PC/special faults.
 	if c.FI != nil && c.FI.Enabled() {
-		if c.FI.OnCommit(seq, &c.Arch) {
+		if c.FI.OnCommit(seq, pc, &c.Arch) {
 			red.redirect = true
 			red.target = c.Arch.PC
 		}

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/isa"
+	"repro/internal/prof"
 )
 
 // f64FromBits is a local alias kept for readability in forwarding paths.
@@ -26,6 +27,7 @@ type PipelinedModel struct {
 	serialize    bool   // a PAL instruction is in flight: stop fetching
 	serializeSeq uint64 // seq of the serializing instruction
 	draining     bool
+	squashRefill bool // last bubble came from a squash, not a miss
 
 	Squashes uint64 // squashed instructions (speculation statistics)
 }
@@ -101,9 +103,13 @@ func (m *PipelinedModel) Step() bool {
 		c.FI.OnTick(c.Ticks)
 	}
 
-	m.commitStage()
+	retired := m.commitStage()
 	if c.Stopped {
 		return false
+	}
+	if !retired && c.Prof != nil {
+		pc, cause := m.stallPoint()
+		c.Prof.OnStall(pc, cause, 1)
 	}
 	m.memStage()
 	m.execStage()
@@ -115,33 +121,62 @@ func (m *PipelinedModel) Step() bool {
 	return !c.Stopped
 }
 
-// commitStage retires the instruction in WB.
-func (m *PipelinedModel) commitStage() {
+// commitStage retires the instruction in WB; reports whether an
+// instruction actually retired this cycle (for stall accounting).
+func (m *PipelinedModel) commitStage() bool {
 	c := m.C
 	s := &m.wbs
 	if !s.valid {
-		return
+		return false
 	}
 	if s.trap != nil {
 		s.trap.PC = s.pc
 		m.squashYoungerThanWB()
 		c.stop(s.trap)
-		return
+		return false
 	}
 	c.writeback(s.in, s.ports, s.out, s.loadVal)
 	c.Arch.PC = s.actualNext
 	if c.TraceFn != nil {
 		c.TraceFn(s.pc, s.in)
 	}
-	red := c.commitEpilogue(s.seq, s.in, s.ports, s.fi)
+	if c.Prof != nil {
+		c.profileCommit(s.pc, s.in, &s.out)
+	}
+	m.squashRefill = false
+	red := c.commitEpilogue(s.seq, s.pc, s.in, s.ports, s.fi)
 	s.valid = false
 	if red.stopped {
-		return
+		return true
 	}
 	if red.redirect {
 		m.squashYoungerThanWB()
 		m.fetchPC = red.target
 		m.serialize = false
+	}
+	return true
+}
+
+// stallPoint classifies a no-commit cycle and picks the PC to charge:
+// the oldest in-flight instruction, falling back to the fetch target
+// when the pipeline is empty (refill after a squash or a long I-miss).
+func (m *PipelinedModel) stallPoint() (uint64, prof.StallCause) {
+	switch {
+	case m.mms.valid:
+		return m.mms.pc, prof.StallMem
+	case m.exs.valid:
+		return m.exs.pc, prof.StallDrain
+	case m.ids.valid:
+		return m.ids.pc, prof.StallDrain
+	case m.ifs.valid:
+		if m.squashRefill {
+			return m.ifs.pc, prof.StallSquash
+		}
+		return m.ifs.pc, prof.StallFetch
+	case m.squashRefill:
+		return m.fetchPC, prof.StallSquash
+	default:
+		return m.fetchPC, prof.StallFetch
 	}
 }
 
@@ -155,7 +190,7 @@ func (m *PipelinedModel) memStage() {
 	if !s.accessed {
 		s.accessed = true
 		if s.trap == nil && s.in.Kind.IsMem() {
-			val, lat, trap := c.accessMem(s.seq, s.in, &s.out, s.fi)
+			val, lat, trap := c.accessMem(s.seq, s.pc, s.in, &s.out, s.fi)
 			if trap != nil {
 				s.trap = trap
 			} else {
@@ -188,7 +223,7 @@ func (m *PipelinedModel) execStage() {
 			a, b, fa, fb := m.readOperandsFwd(s)
 			s.out = Execute(s.in, a, b, fa, fb, s.pc)
 			if s.fi {
-				c.FI.OnExecute(s.seq, s.in, &s.out)
+				c.FI.OnExecute(s.seq, s.pc, s.in, &s.out)
 			}
 			if s.out.TrapKind != TrapNone {
 				s.trap = &Trap{Kind: s.out.TrapKind, PC: s.pc, Word: s.in.Raw}
@@ -214,6 +249,9 @@ func (m *PipelinedModel) execStage() {
 		// instead (the front end is already stalled).
 		if s.trap == nil && s.in.Format != isa.FormatPAL && s.actualNext != s.predNext {
 			m.Pred.Mispredicts++
+			if c.Prof != nil {
+				c.Prof.OnMispredict(s.pc)
+			}
 			m.squashFrontend()
 			m.fetchPC = s.actualNext
 		}
@@ -237,7 +275,7 @@ func (m *PipelinedModel) decodeStage() {
 			s.in = decodeWord(s.word)
 			s.ports = s.in.Ports()
 			if s.fi {
-				s.ports = c.FI.OnDecode(s.seq, s.ports)
+				s.ports = c.FI.OnDecode(s.seq, s.pc, s.ports)
 			}
 			if s.in.Format == isa.FormatPAL && s.in.Kind != isa.KindNop {
 				// Serialize: nothing younger may enter the pipeline until
@@ -289,12 +327,16 @@ func (m *PipelinedModel) fetchStage() {
 		s.decoded = true
 	} else {
 		if c.Hier != nil {
-			if lat := c.Hier.FetchLatency(pc); lat > 1 {
+			lat, miss := c.Hier.FetchAccess(pc)
+			if lat > 1 {
 				s.busy = lat - 1
+			}
+			if miss && c.Prof != nil {
+				c.Prof.OnIMiss(pc)
 			}
 		}
 		if s.fi {
-			w = c.FI.OnFetch(s.seq, w)
+			w = c.FI.OnFetch(s.seq, pc, w)
 		}
 		s.word = w
 	}
@@ -316,6 +358,7 @@ func (m *PipelinedModel) squashSlot(s *pipeSlot) {
 		m.serialize = false
 	}
 	m.Squashes++
+	m.squashRefill = true
 	s.valid = false
 }
 

@@ -100,6 +100,14 @@ func (c *Cache) Stats() CacheStats { return c.stats }
 
 // Access implements Level.
 func (c *Cache) Access(addr uint64, write bool) uint64 {
+	lat, _ := c.AccessM(addr, write)
+	return lat
+}
+
+// AccessM is Access plus a first-level hit/miss verdict, so callers
+// (the CPU models feeding the profiler) can attribute misses to the
+// requesting PC without re-deriving them from latency heuristics.
+func (c *Cache) AccessM(addr uint64, write bool) (latency uint64, miss bool) {
 	c.clock++
 	lineAddr := addr >> c.lineBits
 	set := int(lineAddr) & (c.numSets - 1)
@@ -112,12 +120,12 @@ func (c *Cache) Access(addr uint64, write bool) uint64 {
 			if write {
 				lines[i].dirty = true
 			}
-			return c.cfg.HitLatency
+			return c.cfg.HitLatency, false
 		}
 	}
 	// Miss: fetch from the next level, allocate, evict LRU.
 	c.stats.Misses++
-	latency := c.cfg.HitLatency + c.next.Access(addr, false)
+	latency = c.cfg.HitLatency + c.next.Access(addr, false)
 	victim := 0
 	for i := 1; i < len(lines); i++ {
 		if !lines[i].valid {
@@ -133,7 +141,7 @@ func (c *Cache) Access(addr uint64, write bool) uint64 {
 		latency += c.next.Access(lines[victim].tag<<c.lineBits, true)
 	}
 	lines[victim] = cacheLine{tag: tag, valid: true, dirty: write, used: c.clock}
-	return latency
+	return latency, true
 }
 
 // InvalidateAll implements Level.
@@ -187,9 +195,19 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 // FetchLatency returns the latency of an instruction fetch at addr.
 func (h *Hierarchy) FetchLatency(addr uint64) uint64 { return h.L1I.Access(addr, false) }
 
+// FetchAccess is FetchLatency plus the L1I hit/miss verdict.
+func (h *Hierarchy) FetchAccess(addr uint64) (uint64, bool) {
+	return h.L1I.AccessM(addr, false)
+}
+
 // DataLatency returns the latency of a data access at addr.
 func (h *Hierarchy) DataLatency(addr uint64, write bool) uint64 {
 	return h.L1D.Access(addr, write)
+}
+
+// DataAccess is DataLatency plus the L1D hit/miss verdict.
+func (h *Hierarchy) DataAccess(addr uint64, write bool) (uint64, bool) {
+	return h.L1D.AccessM(addr, write)
 }
 
 // InvalidateAll drops all cached state.

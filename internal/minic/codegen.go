@@ -112,13 +112,13 @@ func (c *compiler) compile(prog *Program) (*asm.Program, error) {
 
 	// Runtime startup: call main, pass its result to exit().
 	b := c.b
-	b.Label("_start")
+	b.Func("_start")
 	b.Br(isa.OpBSR, isa.RegRA, "fn_main")
 	b.Mov(isa.RegV0, isa.RegA0)
 	b.LoadImm(isa.RegV0, int64(isa.SysExit))
 	b.Pal(isa.PalCallSys)
 	// Trampoline for spawned threads whose function returns.
-	b.Label("_thread_exit")
+	b.Func("_thread_exit")
 	b.LoadImm(isa.RegA0, 0)
 	b.LoadImm(isa.RegV0, int64(isa.SysThreadExit))
 	b.Pal(isa.PalCallSys)
@@ -201,7 +201,7 @@ func (c *compiler) genFunc(f *FuncDecl) error {
 	c.nextOff = 0
 
 	b := c.b
-	b.Label("fn_" + f.Name)
+	b.Func("fn_" + f.Name)
 	b.Mem(isa.OpLDA, isa.RegSP, isa.RegSP, int32(-c.frameSize))
 	b.Mem(isa.OpSTQ, isa.RegRA, isa.RegSP, int32(savedRA))
 	b.Mem(isa.OpSTQ, isa.RegFP, isa.RegSP, int32(savedFP))

@@ -167,6 +167,65 @@ func (m *Master) Requeued() int {
 	return m.requeued
 }
 
+// MasterStatus is a point-in-time view of a distributed campaign,
+// served as JSON by the master CLI's -http /status endpoint.
+type MasterStatus struct {
+	Workload    string         `json:"workload"`
+	Total       int            `json:"total"`
+	Done        int            `json:"done"`
+	QueueDepth  int            `json:"queueDepth"`
+	InFlight    int            `json:"inFlight"`
+	Requeued    int            `json:"requeued"`
+	Workers     []WorkerJSON   `json:"workers"`
+	Outcomes    map[string]int `json:"outcomes"`
+	ElapsedSec  float64        `json:"elapsedSec"`
+	ExpsPerSec  float64        `json:"expsPerSec"`
+	WindowInsts uint64         `json:"windowInsts"`
+}
+
+// WorkerJSON is a WorkerStat with a JSON-friendly liveness age.
+type WorkerJSON struct {
+	Name        string  `json:"name"`
+	Done        int     `json:"done"`
+	LastSeenSec float64 `json:"lastSeenSec"` // seconds since last message
+}
+
+// Status reads the live campaign state. Safe to call from any goroutine
+// while the master serves workers.
+func (m *Master) Status() MasterStatus {
+	now := time.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := MasterStatus{
+		Workload:    m.cfg.Workload,
+		Total:       m.want,
+		Done:        len(m.results),
+		QueueDepth:  len(m.pending),
+		Requeued:    m.requeued,
+		Outcomes:    make(map[string]int),
+		ElapsedSec:  now.Sub(m.start).Seconds(),
+		WindowInsts: m.window,
+	}
+	for _, exps := range m.flight {
+		st.InFlight += len(exps)
+	}
+	for _, r := range m.results {
+		st.Outcomes[r.Outcome.String()]++
+	}
+	if st.ElapsedSec > 0 {
+		st.ExpsPerSec = float64(st.Done) / st.ElapsedSec
+	}
+	st.Workers = make([]WorkerJSON, 0, len(m.workers))
+	for _, ws := range m.workers {
+		st.Workers = append(st.Workers, WorkerJSON{
+			Name: ws.Name, Done: ws.Done,
+			LastSeenSec: now.Sub(ws.LastSeen).Seconds(),
+		})
+	}
+	sort.Slice(st.Workers, func(i, j int) bool { return st.Workers[i].Name < st.Workers[j].Name })
+	return st
+}
+
 // Workers returns a snapshot of the connected workers' liveness stats,
 // sorted by name.
 func (m *Master) Workers() []WorkerStat {

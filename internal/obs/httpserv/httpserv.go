@@ -1,0 +1,150 @@
+// Package httpserv is the live observability surface: an opt-in HTTP
+// server that exposes a running simulation or campaign without
+// touching its hot loop. Endpoints:
+//
+//	/metrics  — the obs.Registry in Prometheus text exposition format
+//	/status   — live campaign / NoW-master status JSON (queue depth,
+//	            in-flight, per-worker liveness, classification counts)
+//	/profile  — the current guest profile (text top-N by default,
+//	            ?format=json or ?format=folded)
+//	/debug/pprof/... — Go's net/http/pprof for the simulator itself
+//
+// Every endpoint pulls state on request (registry snapshots, profiler
+// atomic loads, status callbacks), so an idle server costs nothing and
+// a scraped one costs only the scrape. ZOFI's observability rule —
+// measurement must not distort the measured run — is preserved: with
+// no -http flag none of this package is even linked into the hot path.
+package httpserv
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/prof"
+)
+
+// Config wires the server's data sources; any nil/absent field just
+// disables its endpoint (it answers 404 with an explanatory body).
+type Config struct {
+	// Metrics backs /metrics.
+	Metrics *obs.Registry
+	// Status, when set, is invoked per /status request and its result
+	// rendered as JSON. Implementations must be safe to call while the
+	// campaign runs (campaign.Pool.Status, now.Master.Status).
+	Status func() any
+	// Profile, when set, is invoked per /profile request; it should
+	// return a live snapshot (prof.Profiler.Snapshot, or a merge across
+	// campaign runners).
+	Profile func() *prof.Profile
+	// TopN bounds the /profile text table (0 = default 30).
+	TopN int
+}
+
+// Server is a running observability HTTP server.
+type Server struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// New builds and starts the server on addr (e.g. ":8080" or
+// "127.0.0.1:0"). It returns once the listener is bound, so Addr is
+// immediately valid; serving continues in a background goroutine.
+func New(addr string, cfg Config) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("httpserv: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		if cfg.Metrics == nil {
+			http.Error(w, "no metrics registry attached (run with -metrics or attach SimConfig.Metrics)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = cfg.Metrics.WriteProm(w)
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, req *http.Request) {
+		if cfg.Status == nil {
+			http.Error(w, "no status source attached", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(cfg.Status())
+	})
+	mux.HandleFunc("/profile", func(w http.ResponseWriter, req *http.Request) {
+		if cfg.Profile == nil {
+			http.Error(w, "no profiler attached (run with -profile)", http.StatusNotFound)
+			return
+		}
+		p := cfg.Profile()
+		if p == nil {
+			http.Error(w, "profile not available yet", http.StatusServiceUnavailable)
+			return
+		}
+		switch req.URL.Query().Get("format") {
+		case "json":
+			w.Header().Set("Content-Type", "application/json")
+			_ = p.WriteJSON(w)
+		case "folded":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = p.WriteFolded(w)
+		default:
+			n := cfg.TopN
+			if s := req.URL.Query().Get("n"); s != "" {
+				if v, err := strconv.Atoi(s); err == nil {
+					n = v
+				}
+			}
+			if n <= 0 {
+				n = 30
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = p.WriteTop(w, n)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, "gemfi observability server\n/metrics /status /profile /debug/pprof/\n")
+	})
+
+	s := &Server{
+		ln:   ln,
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (resolves ":0" requests).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns a dialable http:// base URL for the server.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close stops the server and waits for the serve goroutine to exit.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	return err
+}

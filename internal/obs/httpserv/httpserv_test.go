@@ -1,0 +1,124 @@
+package httpserv
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/prof"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func testProfile() *prof.Profile {
+	p := prof.New(0x1000, 4)
+	p.OnCommit(0x1000, 1)
+	p.OnCommit(0x1004, 2)
+	p.OnCommit(0x1004, 3)
+	return p.Snapshot()
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("sim.insts").Add(42)
+	reg.Histogram("campaign.exp.duration_ms").Observe(3)
+
+	type status struct {
+		Queue int `json:"queue"`
+	}
+	srv, err := New("127.0.0.1:0", Config{
+		Metrics: reg,
+		Status:  func() any { return status{Queue: 7} },
+		Profile: testProfile,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// /metrics serves valid Prometheus exposition.
+	code, body := get(t, srv.URL()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d:\n%s", code, body)
+	}
+	if n, err := obs.ValidateProm(strings.NewReader(body)); err != nil || n == 0 {
+		t.Fatalf("/metrics does not validate (n=%d): %v\n%s", n, err, body)
+	}
+	if !strings.Contains(body, "gemfi_sim_insts 42") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+
+	// /status serves the provider's JSON.
+	code, body = get(t, srv.URL()+"/status")
+	if code != http.StatusOK {
+		t.Fatalf("/status status %d:\n%s", code, body)
+	}
+	var st status
+	if err := json.Unmarshal([]byte(body), &st); err != nil || st.Queue != 7 {
+		t.Errorf("/status decode: %v (queue=%d)\n%s", err, st.Queue, body)
+	}
+
+	// /profile in all three formats.
+	code, body = get(t, srv.URL()+"/profile")
+	if code != http.StatusOK || !strings.Contains(body, "0x1004") {
+		t.Errorf("/profile top: status %d:\n%s", code, body)
+	}
+	code, body = get(t, srv.URL()+"/profile?format=json")
+	if code != http.StatusOK {
+		t.Fatalf("/profile json status %d", code)
+	}
+	var pp prof.Profile
+	if err := json.Unmarshal([]byte(body), &pp); err != nil {
+		t.Errorf("/profile json decode: %v\n%s", err, body)
+	}
+	if pp.TotalInsts != 3 {
+		t.Errorf("profile total insts = %d, want 3", pp.TotalInsts)
+	}
+	code, _ = get(t, srv.URL()+"/profile?format=folded")
+	if code != http.StatusOK {
+		t.Errorf("/profile folded status %d", code)
+	}
+
+	// pprof index is wired.
+	code, body = get(t, srv.URL()+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ status %d:\n%s", code, body)
+	}
+
+	// Index page lists the endpoints.
+	code, body = get(t, srv.URL()+"/")
+	if code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Errorf("index status %d:\n%s", code, body)
+	}
+}
+
+func TestServerMissingProviders(t *testing.T) {
+	srv, err := New("127.0.0.1:0", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/status", "/profile"} {
+		if code, _ := get(t, srv.URL()+path); code != http.StatusNotFound {
+			t.Errorf("%s with no provider: status %d, want 404", path, code)
+		}
+	}
+	if code, _ := get(t, srv.URL()+"/nosuch"); code != http.StatusNotFound {
+		t.Errorf("unknown path: status %d, want 404", code)
+	}
+}

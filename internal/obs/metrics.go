@@ -115,15 +115,18 @@ func (h *Histogram) Observe(v float64) {
 	h.mu.Unlock()
 }
 
-// HistogramSnapshot is a consistent copy of a histogram's state.
+// HistogramSnapshot is a consistent copy of a histogram's state. The
+// bucket slices are parallel and ordered by ascending bound, so every
+// rendering of the same snapshot is identical.
 type HistogramSnapshot struct {
-	Count    uint64  `json:"count"`
-	Sum      float64 `json:"sum"`
-	Min      float64 `json:"min"`
-	Max      float64 `json:"max"`
-	Mean     float64 `json:"mean"`
-	Buckets  []uint64
-	BucketLo []float64
+	Count    uint64    `json:"count"`
+	Sum      float64   `json:"sum"`
+	Min      float64   `json:"min"`
+	Max      float64   `json:"max"`
+	Mean     float64   `json:"mean"`
+	Buckets  []uint64  `json:"buckets,omitempty"`
+	BucketLo []float64 `json:"bucket_lo,omitempty"`
+	BucketHi []float64 `json:"bucket_hi,omitempty"` // exclusive upper bound
 }
 
 // Snapshot copies the histogram state (zero snapshot on nil).
@@ -148,6 +151,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		}
 		s.Buckets = append(s.Buckets, b)
 		s.BucketLo = append(s.BucketLo, lo)
+		s.BucketHi = append(s.BucketHi, float64(uint64(1)<<i))
 	}
 	return s
 }
@@ -163,6 +167,8 @@ type Metric struct {
 	Min   float64 `json:"min,omitempty"`
 	Max   float64 `json:"max,omitempty"`
 	Mean  float64 `json:"mean,omitempty"`
+	// Hist carries the full bucket breakdown (Kind == "histogram").
+	Hist *HistogramSnapshot `json:"hist,omitempty"`
 }
 
 // Registry names and owns instruments. A nil *Registry is the disabled
@@ -277,22 +283,41 @@ func (r *Registry) Snapshot() []Metric {
 		ms = append(ms, Metric{
 			Name: name, Kind: "histogram", Value: s.Sum,
 			Count: s.Count, Min: s.Min, Max: s.Max, Mean: s.Mean,
+			Hist: &s,
 		})
 	}
 	for name, fn := range funcs {
 		ms = append(ms, Metric{Name: name, Kind: "func", Value: fn()})
 	}
-	sort.Slice(ms, func(i, j int) bool { return ms[i].Name < ms[j].Name })
+	// Name, then kind: a dump is byte-identical across runs even if two
+	// kinds share a name.
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Name != ms[j].Name {
+			return ms[i].Name < ms[j].Name
+		}
+		return ms[i].Kind < ms[j].Kind
+	})
 	return ms
 }
 
-// WriteText renders a gem5-stats-style plain text dump.
+// WriteText renders a gem5-stats-style plain text dump: rows sorted by
+// (name, kind), histogram buckets in ascending-bound order — the output
+// for a given registry state is byte-identical across runs.
 func (r *Registry) WriteText(w io.Writer) error {
 	for _, m := range r.Snapshot() {
 		var err error
 		if m.Kind == "histogram" {
 			_, err = fmt.Fprintf(w, "%-44s count=%d mean=%.3f min=%.3f max=%.3f sum=%.3f\n",
 				m.Name, m.Count, m.Mean, m.Min, m.Max, m.Value)
+			if err == nil && m.Hist != nil {
+				for i, b := range m.Hist.Buckets {
+					_, err = fmt.Fprintf(w, "%-44s %d\n",
+						fmt.Sprintf("  %s::[%g,%g)", m.Name, m.Hist.BucketLo[i], m.Hist.BucketHi[i]), b)
+					if err != nil {
+						break
+					}
+				}
+			}
 		} else if m.Value == math.Trunc(m.Value) && math.Abs(m.Value) < 1e15 {
 			_, err = fmt.Fprintf(w, "%-44s %d\n", m.Name, int64(m.Value))
 		} else {

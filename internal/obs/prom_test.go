@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// promRegistry builds a registry with every instrument kind.
+func promRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("sim.insts").Add(1000)
+	r.Gauge("now.master.queue_depth").Set(7)
+	r.RegisterFunc("cpu.ticks", func() float64 { return 123.5 })
+	h := r.Histogram("campaign.exp.duration_ms")
+	for _, v := range []float64{0, 1, 1.5, 3, 9} {
+		h.Observe(v)
+	}
+	return r
+}
+
+func TestWritePromValidates(t *testing.T) {
+	var buf bytes.Buffer
+	if err := promRegistry().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidateProm(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("own output does not validate: %v\n%s", err, buf.String())
+	}
+	// counter + gauge + func + (4 finite buckets + Inf bucket + sum + count)
+	if n != 10 {
+		t.Errorf("sample count = %d, want 10\n%s", n, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE gemfi_sim_insts counter\ngemfi_sim_insts 1000\n",
+		"# TYPE gemfi_cpu_ticks gauge\ngemfi_cpu_ticks 123.5\n",
+		"gemfi_campaign_exp_duration_ms_bucket{le=\"+Inf\"} 5\n",
+		"gemfi_campaign_exp_duration_ms_sum 14.5\n",
+		"gemfi_campaign_exp_duration_ms_count 5\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Histogram buckets must be cumulative and non-decreasing.
+	if !strings.Contains(out, "gemfi_campaign_exp_duration_ms_bucket{le=\"1\"} 1\n") ||
+		!strings.Contains(out, "gemfi_campaign_exp_duration_ms_bucket{le=\"2\"} 3\n") ||
+		!strings.Contains(out, "gemfi_campaign_exp_duration_ms_bucket{le=\"4\"} 4\n") {
+		t.Errorf("cumulative buckets wrong:\n%s", out)
+	}
+}
+
+func TestWritePromDeterministic(t *testing.T) {
+	r := promRegistry()
+	var a, b bytes.Buffer
+	if err := r.WriteProm(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("two renders differ:\n%s\n---\n%s", a.String(), b.String())
+	}
+}
+
+func TestValidatePromRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad name":       "9bad_name 1\n",
+		"bad value":      "ok_name notanumber\n",
+		"malformed type": "# TYPE bad\nok 1\n",
+		"duplicate type": "# TYPE a counter\n# TYPE a counter\na 1\n",
+		"empty":          "",
+		"no samples":     "# TYPE a counter\n",
+	}
+	for name, in := range cases {
+		if _, err := ValidateProm(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: validated but should not:\n%s", name, in)
+		}
+	}
+	good := "# plain comment\n# HELP x helps\n# TYPE x gauge\nx{a=\"b\",c=\"d\"} 1.5 1234\ny +Inf\n"
+	if n, err := ValidateProm(strings.NewReader(good)); err != nil || n != 2 {
+		t.Errorf("good input: n=%d err=%v", n, err)
+	}
+}
+
+// TestWriteTextGolden pins the exact text dump — ordering and
+// histogram bucket rendering must be deterministic across runs.
+func TestWriteTextGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.count").Add(2)
+	r.Gauge("a.gauge").Set(1.25)
+	r.RegisterFunc("c.fn", func() float64 { return 9 })
+	h := r.Histogram("a.hist")
+	for _, v := range []float64{0, 1, 1, 3, 9} {
+		h.Observe(v)
+	}
+	const golden = `a.gauge                                      1.25
+a.hist                                       count=5 mean=2.800 min=0.000 max=9.000 sum=14.000
+  a.hist::[0,1)                              1
+  a.hist::[1,2)                              2
+  a.hist::[2,4)                              1
+  a.hist::[8,16)                             1
+b.count                                      2
+c.fn                                         9
+`
+	for i := 0; i < 3; i++ {
+		var buf bytes.Buffer
+		if err := r.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf.String() != golden {
+			t.Fatalf("render %d diverged from golden.\ngot:\n%s\nwant:\n%s", i, buf.String(), golden)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package prof
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/asm"
+)
+
+// maxStackDepth bounds the shadow call stack; recursion past it is
+// counted but not expanded (folded output stays finite for runaway
+// faulted control flow).
+const maxStackDepth = 128
+
+// stackNode is one frame path in the shadow-call-stack tree. count is
+// the number of retired instructions sampled with this path on top,
+// updated atomically; the children map shape is guarded by the tree
+// mutex so live HTTP readers can walk it mid-simulation.
+type stackNode struct {
+	fn       string
+	count    uint64
+	parent   *stackNode
+	children map[string]*stackNode
+}
+
+// StackTree maintains a shadow call stack (pushed on call commits,
+// popped on return commits) and a tree of sampled stack paths — the
+// data behind the folded "flamegraph collapsed" export.
+type StackTree struct {
+	mu       sync.Mutex // guards children-map inserts and reader walks
+	syms     asm.SymbolTable
+	root     *stackNode
+	cur      *stackNode
+	depth    int
+	overflow int // pushes beyond maxStackDepth, not expanded
+}
+
+func newStackTree() *StackTree {
+	root := &stackNode{}
+	return &StackTree{root: root, cur: root}
+}
+
+// frameName symbolizes a frame entry address.
+func (t *StackTree) frameName(addr uint64) string {
+	if s, ok := t.syms.Lookup(addr); ok {
+		return s.Name
+	}
+	return fmt.Sprintf("0x%x", addr)
+}
+
+// child descends into (creating if needed) the named child of n.
+func (t *StackTree) child(n *stackNode, name string) *stackNode {
+	if c := n.children[name]; c != nil {
+		return c
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c := n.children[name]
+	if c == nil {
+		c = &stackNode{fn: name, parent: n}
+		if n.children == nil {
+			n.children = make(map[string]*stackNode)
+		}
+		n.children[name] = c
+	}
+	return c
+}
+
+// push enters the frame starting at callee.
+func (t *StackTree) push(callee uint64) {
+	if t.depth >= maxStackDepth {
+		t.overflow++
+		return
+	}
+	t.cur = t.child(t.cur, t.frameName(callee))
+	t.depth++
+}
+
+// pop leaves the current frame. Unmatched pops (returns into
+// checkpoint-truncated stacks, faulted RA values) safely pin at root.
+func (t *StackTree) pop() {
+	if t.overflow > 0 {
+		t.overflow--
+		return
+	}
+	if t.cur.parent != nil {
+		t.cur = t.cur.parent
+		t.depth--
+	}
+}
+
+// sample charges one retired instruction at pc to the current stack.
+// When pc sits inside the function on top of the stack (the common
+// case) this is a single atomic add; otherwise the sample lands on a
+// transient leaf named after pc's own function, so pre-main code and
+// faulted control flow still show up truthfully.
+func (t *StackTree) sample(pc uint64) {
+	leaf := t.frameName(pc)
+	n := t.cur
+	if n.fn != leaf {
+		n = t.child(n, leaf)
+	}
+	atomic.AddUint64(&n.count, 1)
+}
+
+// reset re-roots the shadow stack (checkpoint restore) while keeping
+// accumulated samples.
+func (t *StackTree) reset() {
+	t.cur = t.root
+	t.depth = 0
+	t.overflow = 0
+}
+
+// StackCount is one folded-stack line: frame path and sample count.
+type StackCount struct {
+	Stack string // "frame;frame;frame"
+	Count uint64
+}
+
+// Folded snapshots the tree as folded-stack lines sorted by path —
+// the flamegraph.pl / speedscope "collapsed" input format. Safe to
+// call while the simulation runs.
+func (t *StackTree) Folded() []StackCount {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []StackCount
+	var walk func(n *stackNode, path string)
+	walk = func(n *stackNode, path string) {
+		if n.fn != "" {
+			if path == "" {
+				path = n.fn
+			} else {
+				path += ";" + n.fn
+			}
+			if c := atomic.LoadUint64(&n.count); c > 0 {
+				out = append(out, StackCount{Stack: path, Count: c})
+			}
+		}
+		for _, name := range sortedChildNames(n) {
+			walk(n.children[name], path)
+		}
+	}
+	walk(t.root, "")
+	sort.Slice(out, func(i, j int) bool { return out[i].Stack < out[j].Stack })
+	return out
+}
+
+func sortedChildNames(n *stackNode) []string {
+	names := make([]string, 0, len(n.children))
+	for name := range n.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

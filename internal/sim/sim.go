@@ -16,6 +16,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/mem"
 	"repro/internal/obs"
+	"repro/internal/prof"
 )
 
 // ModelKind selects the CPU model.
@@ -67,6 +68,17 @@ type Config struct {
 	// injection lifecycle, run phases, CPU-model switches and checkpoint
 	// captures/restores. Nil disables tracing at zero hot-path cost.
 	Tracer *obs.Tracer
+
+	// Profiler, when non-nil, receives per-PC profiling events (retired
+	// instructions, cycles, cache misses, mispredicts, stalls) and is
+	// symbolized against the loaded program at Load time. Nil disables
+	// profiling at zero hot-path cost. Alternatively set
+	// EnableProfiler to have Load build one sized to the program.
+	Profiler *prof.Profiler
+
+	// EnableProfiler makes Load construct a profiler for the loaded
+	// program when Profiler is nil; retrieve it with Simulator.Profiler.
+	EnableProfiler bool
 }
 
 // DefaultConfig returns the configuration used throughout the paper's
@@ -164,14 +176,45 @@ func (s *Simulator) registerMetrics() {
 	r.RegisterFunc("sim.checkpoint.hits", func() float64 { return float64(s.CheckpointHits) })
 }
 
-// Load boots the program image.
+// Load boots the program image and attaches the profiler (building and
+// symbolizing one when EnableProfiler asked for it).
 func (s *Simulator) Load(p *asm.Program) error {
 	s.Program = p
 	if err := s.Kernel.Boot(s.Core, p); err != nil {
 		return fmt.Errorf("sim load: %w", err)
 	}
+	if s.Cfg.Profiler == nil && s.Cfg.EnableProfiler {
+		s.Cfg.Profiler = prof.ForProgram(p)
+	}
+	if pr := s.Cfg.Profiler; pr != nil {
+		if pr.Symbols() == nil {
+			pr.SetSymbols(p.Symbols())
+		}
+		s.Core.Prof = pr
+	}
 	s.Model = s.newModel(s.Cfg.Model)
 	return nil
+}
+
+// Profiler returns the attached guest profiler (nil when disabled).
+func (s *Simulator) Profiler() *prof.Profiler { return s.Cfg.Profiler }
+
+// AttachProfiler attaches pr to an already loaded simulator, building a
+// program-sized one when pr is nil — the campaign path, where runners
+// exist before the driver decides to profile. The profiler is returned.
+func (s *Simulator) AttachProfiler(pr *prof.Profiler) *prof.Profiler {
+	if pr == nil {
+		if s.Program == nil {
+			return nil
+		}
+		pr = prof.ForProgram(s.Program)
+	}
+	if pr.Symbols() == nil && s.Program != nil {
+		pr.SetSymbols(s.Program.Symbols())
+	}
+	s.Cfg.Profiler = pr
+	s.Core.Prof = pr
+	return pr
 }
 
 func (s *Simulator) newModel(kind ModelKind) cpu.Model {
@@ -351,6 +394,9 @@ func (s *Simulator) Restore(st *checkpoint.State, faults []core.Fault) {
 	}
 	if s.Engine != nil {
 		s.Engine.Reset(faults)
+	}
+	if pr := s.Cfg.Profiler; pr != nil {
+		pr.ResetStack() // the restored guest is mid-call-chain
 	}
 	s.Model = s.newModel(s.Cfg.Model)
 	s.switched = false

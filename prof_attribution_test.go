@@ -1,0 +1,47 @@
+package gemfi
+
+import (
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// TestProfilerAttributionOnWorkloads runs every validation workload
+// with the profiler attached and requires >=95% of retired instructions
+// to be attributed to named guest functions — the symbol table must
+// cover the code the workloads actually execute.
+func TestProfilerAttributionOnWorkloads(t *testing.T) {
+	for _, w := range workloads.All(workloads.ScaleTest) {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			p, err := w.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := NewSimulator(SimConfig{
+				Model: ModelAtomic, EnableFI: true,
+				MaxInsts: 2_000_000_000, EnableProfiler: true,
+			})
+			if err := s.Load(p); err != nil {
+				t.Fatal(err)
+			}
+			if r := s.Run(); r.Failed() {
+				t.Fatalf("run failed: %+v", r)
+			}
+			snap := s.Profiler().Snapshot()
+			named, total := snap.AttributedInsts()
+			if total == 0 {
+				t.Fatal("profiler saw no instructions")
+			}
+			frac := float64(named) / float64(total)
+			t.Logf("%s: %d/%d insts attributed (%.2f%%)", w.Name, named, total, 100*frac)
+			if frac < 0.95 {
+				t.Errorf("attribution %.2f%% < 95%%", 100*frac)
+			}
+			// The folded-stack export must be non-empty and rooted.
+			if len(snap.Folded) == 0 {
+				t.Error("no call-stack samples collected")
+			}
+		})
+	}
+}

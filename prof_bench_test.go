@@ -1,0 +1,76 @@
+package gemfi
+
+import (
+	"testing"
+
+	"repro/internal/prof"
+	"repro/internal/workloads"
+)
+
+// profSim builds a pi simulator on the atomic model, optionally with
+// the guest profiler attached — the commit-loop configuration the
+// profiler's disabled-overhead acceptance bound is defined against.
+func profSim(b *testing.B, pr *prof.Profiler, enable bool) *Simulator {
+	b.Helper()
+	w := workloads.MonteCarloPI(workloads.ScaleTest)
+	p, err := w.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := NewSimulator(SimConfig{
+		Model: ModelAtomic, EnableFI: true, MaxInsts: 2_000_000_000,
+		Profiler: pr, EnableProfiler: enable,
+	})
+	if err := s.Load(p); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func runProfCase(b *testing.B, enable bool) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := profSim(b, nil, enable)
+		b.StartTimer()
+		if r := s.Run(); r.Failed() {
+			b.Fatalf("%+v", r)
+		}
+	}
+}
+
+// BenchmarkProfiler compares the atomic-model commit loop with the
+// profiler absent (Core.Prof nil — one branch-not-taken per commit)
+// and attached (per-PC atomic adds + shadow call stack).
+func BenchmarkProfiler(b *testing.B) {
+	b.Run("Off", func(b *testing.B) { runProfCase(b, false) })
+	b.Run("On", func(b *testing.B) { runProfCase(b, true) })
+}
+
+// TestProfilerDisabledOverhead asserts the acceptance bound: a nil
+// profiler must not measurably slow the commit loop (same 1.5x
+// structural-regression threshold as TestObsDisabledOverhead), and the
+// attached profiler must stay within 2.5x — it does real per-commit
+// work (dense-array atomic adds), but nothing super-linear.
+func TestProfilerDisabledOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark comparison in -short mode")
+	}
+	measure := func(enable bool) float64 {
+		res := testing.Benchmark(func(b *testing.B) { runProfCase(b, enable) })
+		return float64(res.NsPerOp())
+	}
+	baseline := measure(false)
+	disabled := measure(false)
+	enabled := measure(true)
+	t.Logf("baseline %.0f ns/op, prof-disabled %.0f ns/op, prof-enabled %.0f ns/op",
+		baseline, disabled, enabled)
+	if disabled > baseline*1.5 {
+		t.Errorf("prof-disabled run %.0f ns/op vs baseline %.0f ns/op: disabled path is not free",
+			disabled, baseline)
+	}
+	if enabled > baseline*2.5 {
+		t.Errorf("prof-enabled run %.0f ns/op vs baseline %.0f ns/op: profiler cost is super-linear",
+			enabled, baseline)
+	}
+}
