@@ -20,6 +20,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/httpserv"
 	"repro/internal/sim"
+	"repro/internal/taint"
 	"repro/internal/workloads"
 )
 
@@ -46,9 +47,10 @@ func run() error {
 		traceOut   = flag.String("trace", "", "stream campaign trace events as JSON lines to this file (custom experiment)")
 		metrics    = flag.Bool("metrics", false, "print the campaign metrics registry at exit")
 		progress   = flag.Bool("progress", true, "print periodic progress lines (custom experiment)")
-		httpAddr   = flag.String("http", "", "serve live observability endpoints (/metrics /status /profile /debug/pprof) during the campaign (custom experiment)")
+		httpAddr   = flag.String("http", "", "serve live observability endpoints (/metrics /status /profile /taint /debug/pprof) during the campaign (custom experiment)")
 		profile    = flag.Bool("profile", false, "profile the guest across all experiments and print the top table plus the per-PC outcome attribution (custom experiment)")
 		profileTop = flag.Int("profile-top", 20, "rows in the -profile tables")
+		taintOn    = flag.Bool("taint", false, "track fault propagation per experiment: verdict tally, Result.Prop summaries in -json, propagation columns in the PC report (custom experiment)")
 	)
 	flag.Parse()
 
@@ -200,11 +202,15 @@ func run() error {
 		if *profile || *httpAddr != "" {
 			pool.AttachProfilers()
 		}
+		if *taintOn || *httpAddr != "" {
+			pool.AttachTaint()
+		}
 		if *httpAddr != "" {
 			srv, err := httpserv.New(*httpAddr, httpserv.Config{
 				Metrics: reg,
 				Status:  func() any { return pool.Status() },
 				Profile: pool.Profile,
+				Taint:   pool.TaintReport,
 				TopN:    *profileTop,
 			})
 			if err != nil {
@@ -235,6 +241,22 @@ func run() error {
 		fmt.Printf("workload %s: %d experiments\n", w.Name, tally.Total())
 		for _, o := range campaign.Outcomes() {
 			fmt.Printf("  %-18s %5d (%5.1f%%)\n", o, tally[o], 100*tally.Fraction(o))
+		}
+		if *taintOn {
+			// Companion tally: for each outcome above, how the taint
+			// tracker explains it.
+			verdicts := make(map[taint.Verdict]int)
+			for _, r := range results {
+				if r.Prop != nil {
+					verdicts[r.Prop.Verdict]++
+				}
+			}
+			fmt.Println("propagation verdicts:")
+			for _, v := range taint.Verdicts() {
+				if n := verdicts[v]; n > 0 {
+					fmt.Printf("  %-18s %5d\n", v, n)
+				}
+			}
 		}
 		if *profile {
 			if p := pool.Profile(); p != nil {

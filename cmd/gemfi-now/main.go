@@ -223,6 +223,7 @@ func runWorker(args []string) error {
 		retries    = fs.Int("retries", 2, "local retries for a timed-out experiment")
 		heartbeat  = fs.Duration("heartbeat", 5*time.Second, "liveness message interval (0 = off)")
 		metrics    = fs.Bool("metrics", false, "print worker telemetry (now.worker.*) at exit")
+		taintOn    = fs.Bool("taint", false, "track fault propagation per experiment; verdict summaries ride back to the master on each result")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -237,6 +238,7 @@ func runWorker(args []string) error {
 		ExpTimeout:   *expTimeout, ExpRetries: *retries,
 		Heartbeat: *heartbeat,
 		Metrics:   reg,
+		Taint:     *taintOn,
 	})
 	n, err := w.Run()
 	fmt.Printf("worker: completed %d experiments\n", n)

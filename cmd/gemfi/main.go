@@ -24,6 +24,7 @@ import (
 	"repro/internal/obs/httpserv"
 	"repro/internal/prof"
 	"repro/internal/sim"
+	"repro/internal/taint"
 	"repro/internal/workloads"
 )
 
@@ -58,8 +59,13 @@ func run() error {
 		profileTop    = flag.Int("profile-top", 20, "rows in the -profile text table")
 		profileJSON   = flag.String("profile-json", "", "write the guest profile as JSON to this file at exit (implies -profile)")
 		profileFolded = flag.String("profile-folded", "", "write the guest profile in folded-stack (flamegraph) format to this file (implies -profile)")
-		httpAddr      = flag.String("http", "", "serve live observability HTTP endpoints (/metrics /status /profile /debug/pprof) on this address")
+		httpAddr      = flag.String("http", "", "serve live observability HTTP endpoints (/metrics /status /profile /taint /debug/pprof) on this address")
 		validateProm  = flag.String("validate-prom", "", "validate a Prometheus text exposition file and exit")
+
+		taintOn       = flag.Bool("taint", false, "track fault propagation and print the report at exit")
+		taintDot      = flag.String("taint-dot", "", "write the propagation DAG as Graphviz DOT to this file (implies -taint)")
+		taintJSON     = flag.String("taint-json", "", "write the propagation report as JSON to this file (implies -taint)")
+		validateTaint = flag.String("validate-taint", "", "validate a propagation-report JSON file against the schema and exit")
 	)
 	flag.Parse()
 
@@ -89,6 +95,21 @@ func run() error {
 		fmt.Printf("%s: %d samples OK\n", *validateProm, n)
 		return nil
 	}
+	if *validateTaint != "" {
+		f, err := os.Open(*validateTaint)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rep, err := taint.ValidateReportJSON(f)
+		if err != nil {
+			return fmt.Errorf("%s: %w", *validateTaint, err)
+		}
+		fmt.Printf("%s: OK (verdict=%s nodes=%d edges=%d)\n",
+			*validateTaint, rep.Verdict, len(rep.Nodes), len(rep.Edges))
+		return nil
+	}
+	wantTaint := *taintOn || *taintDot != "" || *taintJSON != ""
 
 	prog, err := loadProgram(*progPath, *workload, *scaleName)
 	if err != nil {
@@ -123,6 +144,9 @@ func run() error {
 	}
 	if *traceOut != "" || *traceJSONL != "" {
 		cfg.Tracer = obs.NewTracer()
+	}
+	if wantTaint || *httpAddr != "" {
+		cfg.EnableTaint = true
 	}
 	var jsonlFile *os.File
 	if *traceJSONL != "" {
@@ -195,6 +219,7 @@ func run() error {
 			}
 		}
 	}
+	var golden *taint.GoldenState // set by the clean replay below
 	if *httpAddr != "" {
 		srv, err := httpserv.New(*httpAddr, httpserv.Config{
 			Metrics: cfg.Metrics,
@@ -206,6 +231,12 @@ func run() error {
 					return pr.Snapshot()
 				}
 				return nil
+			},
+			Taint: func() *taint.PropReport {
+				if s.Taint() == nil {
+					return nil
+				}
+				return s.TaintReport(false, golden)
 			},
 		})
 		if err != nil {
@@ -268,12 +299,37 @@ func run() error {
 		fmt.Printf("checkpoint saved to %s after %d instructions\n", *saveCkpt, res.Insts)
 		return dumpObs()
 	}
+	var ckptState *checkpoint.State
 	if *loadCkpt != "" {
 		st, err := checkpoint.LoadFile(*loadCkpt)
 		if err != nil {
 			return err
 		}
+		ckptState = st
 		s.Restore(st, faults)
+	}
+
+	if s.Taint() != nil && len(faults) > 0 {
+		// Golden replay: run the same program fault-free on a throwaway
+		// simulator so the taint differ can tell masked-logically (taint
+		// alive but final state identical) from reached-state corruption.
+		gcfg := cfg
+		gcfg.Faults = nil
+		gcfg.Tracer = nil
+		gcfg.Metrics = nil
+		gcfg.EnableProfiler = false
+		gcfg.EnableTaint = false
+		gcfg.Taint = nil
+		gs := sim.New(gcfg)
+		if err := gs.Load(prog); err != nil {
+			return err
+		}
+		if ckptState != nil {
+			gs.Restore(ckptState, nil)
+		}
+		if gr := gs.Run(); !gr.Failed() {
+			golden = taint.CaptureGolden(&gs.Core.Arch, gs.Mem)
+		}
 	}
 
 	r := s.Run()
@@ -298,6 +354,41 @@ func run() error {
 		for _, oc := range r.Outcomes {
 			fmt.Printf("fault %q: fired=%v committed=%v squashed=%v propagated=%v overwritten=%v detail=%q\n",
 				oc.Fault.String(), oc.Fired, oc.Committed, oc.Squashed, oc.Propagated, oc.Overwritten, oc.Detail)
+		}
+	}
+	if wantTaint && s.Taint() != nil {
+		rep := s.TaintReport(r.Failed(), golden)
+		if *taintOn {
+			if err := rep.WriteText(os.Stdout); err != nil {
+				return err
+			}
+		}
+		if *taintDot != "" {
+			f, err := os.Create(*taintDot)
+			if err != nil {
+				return err
+			}
+			if err := rep.WriteDOT(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("propagation DAG written to %s (%d nodes)\n", *taintDot, len(rep.Nodes))
+		}
+		if *taintJSON != "" {
+			f, err := os.Create(*taintJSON)
+			if err != nil {
+				return err
+			}
+			if err := rep.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
 		}
 	}
 	if err := dumpProfile(); err != nil {

@@ -37,6 +37,7 @@ import (
 	"repro/internal/prof"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/taint"
 	"repro/internal/workloads"
 )
 
@@ -256,6 +257,43 @@ func NewObsServer(addr string, cfg ObsServerConfig) (*ObsServer, error) {
 func AttributeOutcomesByPC(results []ExperimentResult, syms SymbolTable) (rows []campaign.PCOutcome, unattributed int) {
 	return campaign.AttributeByPC(results, syms)
 }
+
+// ---- fault-propagation taint tracing ----
+
+// TaintTracker follows injected corruption bit-by-bit through registers,
+// memory, control flow and I/O on every CPU model; attach one via
+// SimConfig.Taint (or set SimConfig.EnableTaint). Nil disables tracking
+// at near-zero hot-loop cost.
+type TaintTracker = taint.Tracker
+
+// PropReport explains where one experiment's corruption went: the
+// propagation DAG, taint-width counters and the terminal verdict.
+type PropReport = taint.PropReport
+
+// PropSummary is the compact verdict record joined onto
+// ExperimentResult.Prop.
+type PropSummary = taint.Summary
+
+// TaintVerdict is the terminal explanation of an experiment
+// (masked-overwritten, masked-logically, reached-output, ...).
+type TaintVerdict = taint.Verdict
+
+// Taint verdicts.
+const (
+	VerdictNotInjected       = taint.VerdictNotInjected
+	VerdictMaskedOverwritten = taint.VerdictMaskedOverwritten
+	VerdictMaskedLogically   = taint.VerdictMaskedLogically
+	VerdictReachedOutput     = taint.VerdictReachedOutput
+	VerdictReachedCrash      = taint.VerdictReachedCrash
+	VerdictReachedState      = taint.VerdictReachedState
+)
+
+// NewTaintTracker builds a fault-propagation tracker.
+func NewTaintTracker() *TaintTracker { return taint.New() }
+
+// ValidateTaintReport checks a propagation-report JSON document against
+// the schema and returns the parsed report.
+func ValidateTaintReport(r io.Reader) (*PropReport, error) { return taint.ValidateReportJSON(r) }
 
 // ---- workloads ----
 

@@ -9,11 +9,14 @@ package campaign
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/prof"
 	"repro/internal/sim"
+	"repro/internal/taint"
 	"repro/internal/workloads"
 )
 
@@ -102,6 +105,12 @@ type Result struct {
 	// outcome gives the per-PC vulnerability attribution report.
 	InjPC      uint64 `json:"injPC,omitempty"`
 	InjPCValid bool   `json:"injPCValid,omitempty"`
+
+	// Prop is the propagation-taint summary explaining the outcome
+	// (present only when the runner has a taint tracker attached). The
+	// full PropReport with the DAG is available per experiment via
+	// Runner.LastTaintReport.
+	Prop *taint.Summary `json:"prop,omitempty"`
 }
 
 // Runner executes experiments for one workload. It is not safe for
@@ -122,7 +131,22 @@ type Runner struct {
 
 	sim  *sim.Simulator
 	prof *prof.Profiler
+
+	// Taint propagation tracking (AttachTaint). taintGolden is the final
+	// architectural state of the golden run, captured lazily on attach;
+	// canCaptureGolden marks the window where r.sim still holds it
+	// (between NewRunner and the first experiment).
+	taintTr          *taint.Tracker
+	taintGolden      *taint.GoldenState
+	canCaptureGolden bool
+
+	propMu    sync.Mutex
+	lastProp  *taint.PropReport
+	propStamp uint64
 }
+
+// propClock orders LastTaintReport results across a pool's runners.
+var propClock atomic.Uint64
 
 // RunnerOptions configures NewRunner.
 type RunnerOptions struct {
@@ -192,6 +216,9 @@ func NewRunner(w *workloads.Workload, opts RunnerOptions) (*Runner, error) {
 		Golden:      golden,
 		WindowInsts: s.Engine.WindowCommits(),
 		sim:         s,
+		// The simulator still holds the golden run's final state; the
+		// taint differ can snapshot it until the first experiment runs.
+		canCaptureGolden: true,
 	}
 	s.Cfg.MaxInsts = cfg.MaxInsts
 	if !opts.DisableCheckpoint {
@@ -257,9 +284,69 @@ func (r *Runner) AttachProfiler() *prof.Profiler {
 // Profiler returns the attached profiler (nil when profiling is off).
 func (r *Runner) Profiler() *prof.Profiler { return r.prof }
 
+// AttachTaint attaches a fault-propagation taint tracker to the runner's
+// simulator; every subsequent experiment produces a PropReport whose
+// summary lands on Result.Prop. When called before the first experiment
+// on a NewRunner-built runner it also snapshots the golden run's final
+// architectural state, enabling the masked-logically / reached-state
+// differ; on restored runners (NoW workers) the differ is skipped.
+// Idempotent — repeated calls return the same tracker. Like the
+// profiler, the tracker is carried through the runner's Config so it
+// survives the per-experiment rebuild of baseline (DisableCheckpoint)
+// runners.
+func (r *Runner) AttachTaint() *taint.Tracker {
+	if r.taintTr == nil && r.sim != nil {
+		if r.canCaptureGolden && r.taintGolden == nil {
+			r.taintGolden = taint.CaptureGolden(&r.sim.Core.Arch, r.sim.Mem)
+		}
+		r.taintTr = r.sim.AttachTaint(nil)
+		r.Cfg.Taint = r.taintTr
+	}
+	return r.taintTr
+}
+
+// Taint returns the attached tracker (nil when taint tracking is off).
+func (r *Runner) Taint() *taint.Tracker { return r.taintTr }
+
+// TaintGolden returns the golden final state used by the differ (nil on
+// restored runners or before AttachTaint).
+func (r *Runner) TaintGolden() *taint.GoldenState { return r.taintGolden }
+
+// ShareTaintGolden installs an externally captured golden final state —
+// the pool path, where one runner's capture serves every worker.
+func (r *Runner) ShareTaintGolden(g *taint.GoldenState) { r.taintGolden = g }
+
+// LastTaintReport returns the full propagation report of the runner's
+// most recent experiment plus a monotonic stamp for ordering across
+// runners. Safe to call concurrently with Run.
+func (r *Runner) LastTaintReport() (*taint.PropReport, uint64) {
+	r.propMu.Lock()
+	defer r.propMu.Unlock()
+	return r.lastProp, r.propStamp
+}
+
+// recordProp renders and stores the propagation report after one
+// experiment; res.Prop gets the compact summary.
+func (r *Runner) recordProp(res *Result) {
+	if r.taintTr == nil || r.sim == nil {
+		return
+	}
+	rep := r.sim.TaintReport(res.Outcome == OutcomeCrashed, r.taintGolden)
+	if rep == nil {
+		return
+	}
+	res.Prop = rep.Summary()
+	r.propMu.Lock()
+	r.lastProp = rep
+	r.propStamp = propClock.Add(1)
+	r.propMu.Unlock()
+}
+
 // Run executes one experiment and classifies its outcome.
-func (r *Runner) Run(exp Experiment) Result {
-	res := Result{ID: exp.ID}
+func (r *Runner) Run(exp Experiment) (res Result) {
+	r.canCaptureGolden = false
+	defer r.recordProp(&res)
+	res = Result{ID: exp.ID}
 	if len(exp.Faults) > 0 {
 		res.Fault = exp.Faults[0]
 		if r.WindowInsts > 0 {

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/asm"
+	"repro/internal/taint"
 )
 
 // PCOutcome aggregates experiment outcomes by the guest PC the fault
@@ -22,10 +23,40 @@ type PCOutcome struct {
 	StrictlyCorrect int `json:"strictlyCorrect"`
 	Correct         int `json:"correct"`
 	SDC             int `json:"sdc"`
+
+	// Propagation stats, present when the campaign ran with taint
+	// tracking: over the TaintN experiments at this site that carried a
+	// PropReport summary, the mean tainted-instruction count and the
+	// fraction whose corruption reached program output.
+	TaintN           int     `json:"taintN,omitempty"`
+	MeanTaintedInsts float64 `json:"meanTaintedInsts,omitempty"`
+	PctReachedOutput float64 `json:"pctReachedOutput,omitempty"`
+
+	sumTainted    uint64
+	reachedOutput int
 }
 
 // Vulnerable returns the count of unacceptable outcomes at this PC.
 func (p PCOutcome) Vulnerable() int { return p.Crashed + p.SDC }
+
+func (p *PCOutcome) addProp(s *taint.Summary) {
+	if s == nil {
+		return
+	}
+	p.TaintN++
+	p.sumTainted += s.TaintedInsts
+	if s.ReachedOutput {
+		p.reachedOutput++
+	}
+}
+
+func (p *PCOutcome) finishProp() {
+	if p.TaintN == 0 {
+		return
+	}
+	p.MeanTaintedInsts = float64(p.sumTainted) / float64(p.TaintN)
+	p.PctReachedOutput = 100 * float64(p.reachedOutput) / float64(p.TaintN)
+}
 
 func (p *PCOutcome) add(o Outcome) {
 	p.Total++
@@ -65,9 +96,11 @@ func AttributeByPC(results []Result, syms asm.SymbolTable) (rows []PCOutcome, un
 			byPC[r.InjPC] = p
 		}
 		p.add(r.Outcome)
+		p.addProp(r.Prop)
 	}
 	rows = make([]PCOutcome, 0, len(byPC))
 	for _, p := range byPC {
+		p.finishProp()
 		rows = append(rows, *p)
 	}
 	sort.Slice(rows, func(i, j int) bool {
@@ -82,18 +115,26 @@ func AttributeByPC(results []Result, syms asm.SymbolTable) (rows []PCOutcome, un
 	return rows, unattributed
 }
 
-// WritePCReport renders the attribution as a ranked text table.
+// WritePCReport renders the attribution as a ranked text table. When
+// any row carries propagation stats (campaign ran with taint tracking),
+// two extra columns show the mean tainted-instruction count and the
+// percentage of faults at that site whose corruption reached output.
 func WritePCReport(w io.Writer, rows []PCOutcome, unattributed int) error {
-	attributed := 0
+	attributed, withTaint := 0, false
 	for _, r := range rows {
 		attributed += r.Total
+		withTaint = withTaint || r.TaintN > 0
 	}
 	if _, err := fmt.Fprintf(w, "fault outcomes by injection PC: %d experiments at %d sites (%d unattributed)\n",
 		attributed, len(rows), unattributed); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "%-18s %-28s %6s %6s %6s %8s %8s %8s\n",
-		"PC", "SYMBOL", "TOTAL", "CRASH", "SDC", "NONPROP", "STRICT", "CORRECT"); err != nil {
+	hdr := fmt.Sprintf("%-18s %-28s %6s %6s %6s %8s %8s %8s",
+		"PC", "SYMBOL", "TOTAL", "CRASH", "SDC", "NONPROP", "STRICT", "CORRECT")
+	if withTaint {
+		hdr += fmt.Sprintf(" %8s %6s", "TAINTED", "%OUT")
+	}
+	if _, err := fmt.Fprintln(w, hdr); err != nil {
 		return err
 	}
 	for _, r := range rows {
@@ -104,8 +145,12 @@ func WritePCReport(w io.Writer, rows []PCOutcome, unattributed int) error {
 		if sym == "" {
 			sym = "?"
 		}
-		if _, err := fmt.Fprintf(w, "0x%-16x %-28s %6d %6d %6d %8d %8d %8d\n",
-			r.PC, sym, r.Total, r.Crashed, r.SDC, r.NonPropagated, r.StrictlyCorrect, r.Correct); err != nil {
+		line := fmt.Sprintf("0x%-16x %-28s %6d %6d %6d %8d %8d %8d",
+			r.PC, sym, r.Total, r.Crashed, r.SDC, r.NonPropagated, r.StrictlyCorrect, r.Correct)
+		if withTaint {
+			line += fmt.Sprintf(" %8.1f %6.1f", r.MeanTaintedInsts, r.PctReachedOutput)
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
 			return err
 		}
 	}

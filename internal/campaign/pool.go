@@ -9,6 +9,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/prof"
 	"repro/internal/sim"
+	"repro/internal/taint"
 	"repro/internal/workloads"
 )
 
@@ -98,6 +99,38 @@ func (p *Pool) AttachProfilers() []*prof.Profiler {
 		}
 	}
 	return prs
+}
+
+// AttachTaint attaches one fault-propagation taint tracker to every
+// runner in the pool. The first runner's simulator still holds the
+// golden run's final state, so its capture supplies the golden differ
+// for every worker (the clones were freshly Loaded and never ran).
+// Idempotent.
+func (p *Pool) AttachTaint() {
+	first := p.runners[0]
+	first.AttachTaint()
+	for _, r := range p.runners[1:] {
+		r.AttachTaint()
+		if r.taintGolden == nil {
+			r.ShareTaintGolden(first.taintGolden)
+		}
+	}
+}
+
+// TaintReport returns the pool-wide most recent propagation report —
+// the freshest LastTaintReport across all workers. Nil when taint
+// tracking is off or no experiment has finished. Safe to call while
+// RunAll is in flight.
+func (p *Pool) TaintReport() *taint.PropReport {
+	var best *taint.PropReport
+	var bestStamp uint64
+	for _, r := range p.runners {
+		rep, stamp := r.LastTaintReport()
+		if rep != nil && stamp >= bestStamp {
+			best, bestStamp = rep, stamp
+		}
+	}
+	return best
 }
 
 // Profile snapshots and merges every worker's profiler into one

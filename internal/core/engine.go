@@ -6,6 +6,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/isa"
 	"repro/internal/obs"
+	"repro/internal/taint"
 )
 
 // Stage indexes the engine's five internal fault queues — "the file is
@@ -76,6 +77,11 @@ type faultState struct {
 	Overwritten bool   // register faults: overwritten before any read
 	pending     int    // in-flight instructions this fault has hit
 	Detail      string // postmortem info (affected instruction)
+
+	// loadHit marks a corrupted load value whose consuming load has not
+	// yet committed; the commit emits fault.first-load (the load itself
+	// is the first consumption of a LocMem load-value fault).
+	loadHit bool
 }
 
 // active reports whether the fault can still fire.
@@ -124,10 +130,16 @@ type Engine struct {
 
 	// Trace, when non-nil, receives the fault lifecycle as structured
 	// events (armed -> injected -> committed/squashed -> first-read /
-	// masked). Every emission site is on a fault-firing path, never on the
-	// per-instruction fast path, so tracing costs nothing until a fault
-	// actually strikes.
+	// first-load / masked). Every emission site is on a fault-firing
+	// path, never on the per-instruction fast path, so tracing costs
+	// nothing until a fault actually strikes.
 	Trace *obs.Tracer
+
+	// Taint, when non-nil, receives injection marks for fault-propagation
+	// tracking: pre-commit stage hits stay provisional until commit,
+	// register faults taint the shadow register file directly. All
+	// Tracker methods are nil-receiver safe.
+	Taint *taint.Tracker
 
 	faults []Fault // immutable, as parsed (re-armed by Reset)
 	queues [numStages][]*faultState
@@ -140,6 +152,13 @@ type Engine struct {
 
 	taintInt [isa.NumRegs]*faultState
 	taintFP  [isa.NumRegs]*faultState
+
+	// memTaint maps addresses whose stored value a LocMem/LocBus store
+	// fault corrupted to the fault, so the lifecycle chain can report the
+	// first consuming load (fault.first-load) or a clean overwrite
+	// (fault.masked, reason mem-overwritten) — the memory analogue of the
+	// taintInt/taintFP register tracking.
+	memTaint map[uint64]*faultState
 
 	ticksNow uint64
 
@@ -185,6 +204,8 @@ func (e *Engine) rearm() {
 	e.bySeq = make(map[uint64][]*faultState)
 	e.taintInt = [isa.NumRegs]*faultState{}
 	e.taintFP = [isa.NumRegs]*faultState{}
+	e.memTaint = make(map[uint64]*faultState)
+	e.Taint.Reset()
 }
 
 // Reset implements the fi_read_init_all restore semantics: "upon
@@ -287,6 +308,7 @@ func (e *Engine) recordHit(seq, pc uint64, fs *faultState) {
 	}
 	e.bySeq[seq] = append(e.bySeq[seq], fs)
 	e.Injections++
+	e.Taint.MarkPendingInjection(seq, pc, fs.Fault.String())
 	e.traceFault("fault.injected", fs, map[string]any{"seq": seq, "pc": pc})
 }
 
@@ -380,6 +402,21 @@ func (e *Engine) OnMem(seq, pc uint64, load bool, addr uint64, val uint64, bus b
 	}
 	e.HookCalls++
 	t.Mems++
+	// Resolve earlier store-value corruptions: the first load of a
+	// corrupted address is the fault's first consumption, a clean store
+	// over it masks the fault before any use.
+	if len(e.memTaint) > 0 {
+		if fs, ok := e.memTaint[addr]; ok {
+			delete(e.memTaint, addr)
+			if load {
+				fs.Propagated = true
+				e.traceFault("fault.first-load", fs, map[string]any{"addr": addr, "via": "memory"})
+			} else if !fs.Propagated {
+				fs.Overwritten = true
+				e.traceFault("fault.masked", fs, map[string]any{"reason": "mem-overwritten", "addr": addr})
+			}
+		}
+	}
 	for _, fs := range e.queues[StageMem] {
 		if fs.Loc == LocBus && !bus {
 			continue // interconnect faults only hit off-chip transactions
@@ -387,12 +424,18 @@ func (e *Engine) OnMem(seq, pc uint64, load bool, addr uint64, val uint64, bus b
 		if fs.matches(t, t.Execs, e.ticksNow) {
 			val = fs.Corrupt(val, 64)
 			switch {
+			case fs.Loc == LocBus && load:
+				fs.Detail = "interconnect transaction"
+				fs.loadHit = true
 			case fs.Loc == LocBus:
 				fs.Detail = "interconnect transaction"
+				e.memTaint[addr] = fs
 			case load:
 				fs.Detail = "memory load value"
+				fs.loadHit = true
 			default:
 				fs.Detail = "memory store value"
+				e.memTaint[addr] = fs
 			}
 			fs.consume(t.Execs, e.ticksNow)
 			e.recordHit(seq, pc, fs)
@@ -420,6 +463,7 @@ func (e *Engine) OnIO(b byte) byte {
 			fs.Propagated = true // reached the device
 			fs.Detail = "console output byte"
 			e.Injections++
+			e.Taint.MarkIOInjection(fs.Fault.String())
 			e.traceFault("fault.injected", fs, map[string]any{"stage": "io"})
 		}
 	}
@@ -437,6 +481,13 @@ func (e *Engine) OnCommit(seq, pc uint64, a *cpu.Arch) bool {
 			fs.Committed = true
 			fs.Propagated = true // a corrupted instruction retired
 			e.traceFault("fault.committed", fs, map[string]any{"seq": seq})
+			if fs.loadHit {
+				// The corrupted load value just retired: the load itself
+				// is the first consumption of a load-value fault — the
+				// memory analogue of fault.first-read.
+				fs.loadHit = false
+				e.traceFault("fault.first-load", fs, map[string]any{"seq": seq, "via": "load-value"})
+			}
 		}
 		delete(e.bySeq, seq)
 	}
@@ -461,6 +512,7 @@ func (e *Engine) OnCommit(seq, pc uint64, a *cpu.Arch) bool {
 				e.taintInt[r] = fs
 			}
 			fs.Detail = "int register " + r.String()
+			e.Taint.MarkRegInjection(false, r, pc, fs.Fault.String())
 		case LocFloatReg:
 			r := isa.Reg(fs.Reg & 31)
 			bits := math.Float64bits(a.ReadFReg(r))
@@ -469,15 +521,18 @@ func (e *Engine) OnCommit(seq, pc uint64, a *cpu.Arch) bool {
 				e.taintFP[r] = fs
 			}
 			fs.Detail = "float register f" + itoa(fs.Reg&31)
+			e.Taint.MarkRegInjection(true, r, pc, fs.Fault.String())
 		case LocSpecialReg:
 			a.PCBB = fs.Corrupt(a.PCBB, 64)
 			fs.Propagated = true
 			fs.Detail = "special register PCBB"
+			e.Taint.MarkControlInjection(pc, fs.Fault.String())
 		case LocPC:
 			a.PC = fs.Corrupt(a.PC, 64)
 			pcChanged = true
 			fs.Propagated = true
 			fs.Detail = "program counter"
+			e.Taint.MarkControlInjection(pc, fs.Fault.String())
 		}
 		fs.consume(t.Commits, e.ticksNow)
 		fs.Committed = true
@@ -500,6 +555,7 @@ func (e *Engine) OnSquash(seq uint64) {
 	for _, fs := range hits {
 		fs.pending--
 		fs.Squashed = true
+		fs.loadHit = false // the consuming load never committed
 		e.traceFault("fault.squashed", fs, map[string]any{"seq": seq})
 	}
 	delete(e.bySeq, seq)

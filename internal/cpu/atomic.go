@@ -113,7 +113,7 @@ func (m *AtomicModel) Step() bool {
 	if c.Prof != nil {
 		c.profileCommit(pc, in, out)
 	}
-	red := c.commitEpilogue(seq, pc, in, ports, fi)
+	red := c.commitEpilogue(seq, pc, in, ports, out, loadVal, fi)
 	if red.stopped {
 		return false
 	}

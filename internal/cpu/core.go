@@ -55,6 +55,24 @@ type Injector interface {
 	OnTick(ticks uint64)
 }
 
+// TaintSink observes the architectural instruction stream for dataflow
+// tracking: one call per committed instruction (with the decoded form,
+// register ports, execute-stage output and load value at hand) and one per
+// squashed speculative instruction. Unlike Injector hooks it is not gated
+// on the fault-injection window, because propagated corruption must be
+// followed past the window's close (program output happens after
+// fi_activate_inst toggles FI off). A nil sink costs one untaken branch
+// per commit — the same disabled-path guarantee as TraceFn and Prof.
+type TaintSink interface {
+	// OnCommitInst is called after writeback, with the architectural PC
+	// already advanced, and before PAL dispatch (so syscall argument
+	// registers still hold their values).
+	OnCommitInst(seq, pc uint64, in isa.Inst, ports isa.RegPorts, out *ExecOut, loadVal uint64, a *Arch)
+	// OnSquash reports that a speculative instruction was squashed; any
+	// provisional propagation state keyed on seq must be discarded.
+	OnSquash(seq uint64)
+}
+
 // Scheduler is consulted after every committed instruction; the kernel
 // implements it to preempt the running thread. A context switch mutates
 // core.Arch (including PCBB) and returns true, upon which the core
@@ -121,6 +139,10 @@ type Core struct {
 	// is behind a nil check, so a nil profiler costs one untaken branch
 	// per event class — the same disabled-path guarantee as TraceFn.
 	Prof *prof.Profiler
+
+	// Taint, when set, receives the committed instruction stream (and
+	// pipeline squashes) for fault-propagation taint tracking.
+	Taint TaintSink
 
 	Ticks uint64 // simulation ticks (cycles)
 	Insts uint64 // committed instructions
@@ -324,9 +346,16 @@ type commitRedirect struct {
 // dispatch, scheduler preemption and context switch detection. The
 // architectural PC must already hold the sequentially-next instruction
 // address (or branch target) before the call.
-func (c *Core) commitEpilogue(seq, pc uint64, in isa.Inst, ports isa.RegPorts, fi bool) commitRedirect {
+func (c *Core) commitEpilogue(seq, pc uint64, in isa.Inst, ports isa.RegPorts, out *ExecOut, loadVal uint64, fi bool) commitRedirect {
 	c.Insts++
 	var red commitRedirect
+
+	// Taint propagation sees every commit, before PAL dispatch mutates
+	// syscall argument registers and regardless of the FI window (a
+	// corrupted value keeps flowing after fi_activate_inst closes it).
+	if c.Taint != nil {
+		c.Taint.OnCommitInst(seq, pc, in, ports, out, loadVal, &c.Arch)
+	}
 
 	if fi {
 		if ports.SrcAUsed {

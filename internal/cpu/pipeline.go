@@ -144,7 +144,7 @@ func (m *PipelinedModel) commitStage() bool {
 		c.profileCommit(s.pc, s.in, &s.out)
 	}
 	m.squashRefill = false
-	red := c.commitEpilogue(s.seq, s.pc, s.in, s.ports, s.fi)
+	red := c.commitEpilogue(s.seq, s.pc, s.in, s.ports, &s.out, s.loadVal, s.fi)
 	s.valid = false
 	if red.stopped {
 		return true
@@ -353,6 +353,9 @@ func (m *PipelinedModel) squashSlot(s *pipeSlot) {
 	}
 	if m.C.FI != nil {
 		m.C.FI.OnSquash(s.seq)
+	}
+	if m.C.Taint != nil {
+		m.C.Taint.OnSquash(s.seq)
 	}
 	if m.serialize && s.seq == m.serializeSeq {
 		m.serialize = false

@@ -133,6 +133,16 @@ func (k Kind) IsStore() bool {
 // paper's "memory transactions (load/stores)" fault location).
 func (k Kind) IsMem() bool { return k.IsLoad() || k.IsStore() }
 
+// MemSize returns the transaction width in bytes for a load/store kind
+// (1 for the byte forms, 8 for everything else). Only meaningful when
+// IsMem() is true.
+func (k Kind) MemSize() int {
+	if k == KindLDBU || k == KindSTB {
+		return 1
+	}
+	return 8
+}
+
 // IsBranch reports whether the kind can redirect control flow.
 func (k Kind) IsBranch() bool {
 	switch k {

@@ -242,6 +242,52 @@ func (m *Memory) Snapshot() Snapshot {
 	return s
 }
 
+// ByteDiff is one byte-level divergence between two memory snapshots.
+type ByteDiff struct {
+	Addr uint64 `json:"addr"`
+	A    byte   `json:"a"`
+	B    byte   `json:"b"`
+}
+
+// DiffSnapshots compares two memory snapshots byte by byte and returns up
+// to maxDetail individual differences plus the total count. Pages present
+// in only one snapshot are compared against zeroes (an unmapped page reads
+// as zero). Used by the conformance differ and the taint tracker's
+// golden-run architectural differ.
+func DiffSnapshots(a, b Snapshot, maxDetail int) (diffs []ByteDiff, total int) {
+	seen := make(map[uint64]struct{}, len(a.Pages)+len(b.Pages))
+	for base := range a.Pages {
+		seen[base] = struct{}{}
+	}
+	for base := range b.Pages {
+		seen[base] = struct{}{}
+	}
+	bases := make([]uint64, 0, len(seen))
+	for base := range seen {
+		bases = append(bases, base)
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	var zero [PageSize]byte
+	for _, base := range bases {
+		pa, pb := a.Pages[base], b.Pages[base]
+		if pa == nil {
+			pa = zero[:]
+		}
+		if pb == nil {
+			pb = zero[:]
+		}
+		for i := 0; i < PageSize; i++ {
+			if pa[i] != pb[i] {
+				total++
+				if len(diffs) < maxDetail {
+					diffs = append(diffs, ByteDiff{Addr: base + uint64(i), A: pa[i], B: pb[i]})
+				}
+			}
+		}
+	}
+	return diffs, total
+}
+
 // Restore replaces the memory state with the snapshot's (deep copy).
 func (m *Memory) Restore(s Snapshot) {
 	m.pages = make(map[uint64][]byte, len(s.Pages))

@@ -11,6 +11,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/taint"
 	"repro/internal/workloads"
 )
 
@@ -47,6 +48,12 @@ type WorkerConfig struct {
 	// Metrics, when set, receives worker counters (now.worker.*): dial
 	// retries, experiment timeouts and retries, completed experiments.
 	Metrics *obs.Registry
+
+	// Taint enables per-experiment fault-propagation tracking; the
+	// compact verdict summary rides back to the master on each Result.
+	// The golden differ is fed by the worker's own fault-free
+	// continuation run (the same one that rebuilds the golden output).
+	Taint bool
 }
 
 // Worker pulls experiments from a master and executes them locally from
@@ -142,7 +149,7 @@ func (w *Worker) runSlot(name string) (int, error) {
 		return 0, fmt.Errorf("now: expected welcome, got %q", welcome.Type)
 	}
 
-	runner, err := buildRunner(welcome)
+	runner, err := buildRunner(welcome, w.cfg.Taint)
 	if err != nil {
 		return 0, err
 	}
@@ -226,7 +233,7 @@ func (w *Worker) runExperiment(runner *campaign.Runner, exp campaign.Experiment)
 // the program is rebuilt deterministically from (workload, scale), and
 // the simulator state comes from the shipped checkpoint — the "local
 // copy of the checkpoint" of the paper's step 3.
-func buildRunner(welcome Message) (*campaign.Runner, error) {
+func buildRunner(welcome Message, withTaint bool) (*campaign.Runner, error) {
 	wl, err := workloads.ByName(welcome.Workload, workloads.Scale(welcome.Scale))
 	if err != nil {
 		return nil, err
@@ -259,5 +266,15 @@ func buildRunner(welcome Message) (*campaign.Runner, error) {
 	if err != nil {
 		return nil, err
 	}
-	return campaign.NewRestoredRunner(wl, cfg, golden, welcome.WindowInsts, st)
+	runner, err := campaign.NewRestoredRunner(wl, cfg, golden, welcome.WindowInsts, st)
+	if err != nil {
+		return nil, err
+	}
+	if withTaint {
+		// The fault-free continuation above left s at the golden final
+		// state — exactly what the taint differ needs.
+		runner.AttachTaint()
+		runner.ShareTaintGolden(taint.CaptureGolden(&s.Core.Arch, s.Mem))
+	}
+	return runner, nil
 }

@@ -7,6 +7,8 @@
 //	            in-flight, per-worker liveness, classification counts)
 //	/profile  — the current guest profile (text top-N by default,
 //	            ?format=json or ?format=folded)
+//	/taint    — the most recent fault-propagation report (JSON by
+//	            default, ?format=dot for Graphviz, ?format=text)
 //	/debug/pprof/... — Go's net/http/pprof for the simulator itself
 //
 // Every endpoint pulls state on request (registry snapshots, profiler
@@ -27,6 +29,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/prof"
+	"repro/internal/taint"
 )
 
 // Config wires the server's data sources; any nil/absent field just
@@ -42,6 +45,11 @@ type Config struct {
 	// return a live snapshot (prof.Profiler.Snapshot, or a merge across
 	// campaign runners).
 	Profile func() *prof.Profile
+	// Taint, when set, is invoked per /taint request; it should return
+	// the most recent propagation report (sim.TaintReport, or
+	// campaign.Pool.TaintReport for the freshest across workers). A nil
+	// return means no experiment has produced one yet.
+	Taint func() *taint.PropReport
 	// TopN bounds the /profile text table (0 = default 30).
 	TopN int
 }
@@ -62,7 +70,16 @@ func New(addr string, cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("httpserv: %w", err)
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+	// endpoints collects every registered path with a one-line help
+	// string; the landing page enumerates it so "/" always reflects what
+	// this server actually serves instead of a hardcoded subset.
+	type endpoint struct{ path, help string }
+	var endpoints []endpoint
+	handle := func(path, help string, h http.HandlerFunc) {
+		endpoints = append(endpoints, endpoint{path, help})
+		mux.HandleFunc(path, h)
+	}
+	handle("/metrics", "obs.Registry in Prometheus text exposition format", func(w http.ResponseWriter, req *http.Request) {
 		if cfg.Metrics == nil {
 			http.Error(w, "no metrics registry attached (run with -metrics or attach SimConfig.Metrics)", http.StatusNotFound)
 			return
@@ -70,7 +87,7 @@ func New(addr string, cfg Config) (*Server, error) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = cfg.Metrics.WriteProm(w)
 	})
-	mux.HandleFunc("/status", func(w http.ResponseWriter, req *http.Request) {
+	handle("/status", "live campaign / NoW-master status JSON", func(w http.ResponseWriter, req *http.Request) {
 		if cfg.Status == nil {
 			http.Error(w, "no status source attached", http.StatusNotFound)
 			return
@@ -80,7 +97,7 @@ func New(addr string, cfg Config) (*Server, error) {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(cfg.Status())
 	})
-	mux.HandleFunc("/profile", func(w http.ResponseWriter, req *http.Request) {
+	handle("/profile", "guest profile (text top-N; ?format=json|folded)", func(w http.ResponseWriter, req *http.Request) {
 		if cfg.Profile == nil {
 			http.Error(w, "no profiler attached (run with -profile)", http.StatusNotFound)
 			return
@@ -111,7 +128,29 @@ func New(addr string, cfg Config) (*Server, error) {
 			_ = p.WriteTop(w, n)
 		}
 	})
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	handle("/taint", "fault-propagation report (JSON; ?format=dot|text)", func(w http.ResponseWriter, req *http.Request) {
+		if cfg.Taint == nil {
+			http.Error(w, "no taint tracker attached (run with -taint)", http.StatusNotFound)
+			return
+		}
+		rep := cfg.Taint()
+		if rep == nil {
+			http.Error(w, "no propagation report yet (no experiment has finished)", http.StatusServiceUnavailable)
+			return
+		}
+		switch req.URL.Query().Get("format") {
+		case "dot":
+			w.Header().Set("Content-Type", "text/vnd.graphviz; charset=utf-8")
+			_ = rep.WriteDOT(w)
+		case "text":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = rep.WriteText(w)
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			_ = rep.WriteJSON(w)
+		}
+	})
+	handle("/debug/pprof/", "Go net/http/pprof for the simulator process", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
@@ -121,7 +160,11 @@ func New(addr string, cfg Config) (*Server, error) {
 			http.NotFound(w, req)
 			return
 		}
-		fmt.Fprint(w, "gemfi observability server\n/metrics /status /profile /debug/pprof/\n")
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "gemfi observability server\n\nendpoints:\n")
+		for _, ep := range endpoints {
+			fmt.Fprintf(w, "  %-14s %s\n", ep.path, ep.help)
+		}
 	})
 
 	s := &Server{

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/prof"
+	"repro/internal/taint"
 )
 
 func get(t *testing.T, url string) (int, string) {
@@ -33,6 +34,21 @@ func testProfile() *prof.Profile {
 	return p.Snapshot()
 }
 
+func testReport() *taint.PropReport {
+	return &taint.PropReport{
+		Verdict:      taint.VerdictReachedOutput,
+		Injections:   1,
+		TaintedInsts: 5, CommittedInsts: 20,
+		MaxLiveTaint: 2, FirstLoad: -1, FirstStore: -1, FirstBranch: -1,
+		FirstOutput: 7, OutputBytes: 1,
+		Nodes: []taint.Node{
+			{ID: 0, Kind: taint.NodeInject, PC: 0x1000, Label: "int:r5", Hits: 1},
+			{ID: 1, Kind: taint.NodeOutput, PC: 0x1010, Hits: 1},
+		},
+		Edges: []taint.Edge{{From: 0, To: 1, N: 1}},
+	}
+}
+
 func TestServerEndpoints(t *testing.T) {
 	reg := obs.NewRegistry()
 	reg.Counter("sim.insts").Add(42)
@@ -45,6 +61,7 @@ func TestServerEndpoints(t *testing.T) {
 		Metrics: reg,
 		Status:  func() any { return status{Queue: 7} },
 		Profile: testProfile,
+		Taint:   testReport,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -94,16 +111,40 @@ func TestServerEndpoints(t *testing.T) {
 		t.Errorf("/profile folded status %d", code)
 	}
 
+	// /taint serves the report in all three formats.
+	code, body = get(t, srv.URL()+"/taint")
+	if code != http.StatusOK {
+		t.Fatalf("/taint status %d:\n%s", code, body)
+	}
+	if rep, err := taint.ValidateReportJSON(strings.NewReader(body)); err != nil {
+		t.Errorf("/taint json does not validate: %v\n%s", err, body)
+	} else if rep.Verdict != taint.VerdictReachedOutput {
+		t.Errorf("/taint verdict = %q", rep.Verdict)
+	}
+	code, body = get(t, srv.URL()+"/taint?format=dot")
+	if code != http.StatusOK || !strings.Contains(body, "digraph") {
+		t.Errorf("/taint dot: status %d:\n%s", code, body)
+	}
+	code, body = get(t, srv.URL()+"/taint?format=text")
+	if code != http.StatusOK || !strings.Contains(body, "verdict") {
+		t.Errorf("/taint text: status %d:\n%s", code, body)
+	}
+
 	// pprof index is wired.
 	code, body = get(t, srv.URL()+"/debug/pprof/")
 	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
 		t.Errorf("/debug/pprof/ status %d:\n%s", code, body)
 	}
 
-	// Index page lists the endpoints.
+	// Index page enumerates every registered endpoint.
 	code, body = get(t, srv.URL()+"/")
-	if code != http.StatusOK || !strings.Contains(body, "/metrics") {
-		t.Errorf("index status %d:\n%s", code, body)
+	if code != http.StatusOK {
+		t.Fatalf("index status %d:\n%s", code, body)
+	}
+	for _, ep := range []string{"/metrics", "/status", "/profile", "/taint", "/debug/pprof/"} {
+		if !strings.Contains(body, ep) {
+			t.Errorf("index page missing %s:\n%s", ep, body)
+		}
 	}
 }
 
@@ -113,7 +154,7 @@ func TestServerMissingProviders(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	for _, path := range []string{"/metrics", "/status", "/profile"} {
+	for _, path := range []string{"/metrics", "/status", "/profile", "/taint"} {
 		if code, _ := get(t, srv.URL()+path); code != http.StatusNotFound {
 			t.Errorf("%s with no provider: status %d, want 404", path, code)
 		}

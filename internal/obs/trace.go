@@ -28,6 +28,7 @@ const (
 	CatCache      = "cache"      // memory-hierarchy events
 	CatCampaign   = "campaign"   // experiment execution
 	CatNoW        = "now"        // master/worker telemetry
+	CatTaint      = "taint"      // fault-propagation taint tracking
 )
 
 // Event is one structured trace record. The field names follow the Chrome

@@ -49,10 +49,10 @@ func TestObsInjectionLifecycle(t *testing.T) {
 	if names["fi.window.open"] == 0 || names["fi.window.close"] == 0 {
 		t.Errorf("missing FI window events: %v", names)
 	}
-	// The corrupted accumulator is read by the next loop iteration (or
-	// overwritten): one of the two terminal lifecycle events must fire.
-	if names["fault.first-read"] == 0 && names["fault.masked"] == 0 {
-		t.Errorf("no terminal lifecycle event (first-read/masked): %v", names)
+	// The corrupted accumulator is read by the next loop iteration, so
+	// the register-read terminal event must fire — not just any terminal.
+	if names["fault.first-read"] == 0 {
+		t.Errorf("no fault.first-read terminal event for a live register fault: %v", names)
 	}
 	if names["run"] == 0 {
 		t.Errorf("no run span: %v", names)
@@ -95,6 +95,37 @@ func TestObsInjectionLifecycle(t *testing.T) {
 	}
 	if chrome.Len() == 0 {
 		t.Fatal("empty chrome trace")
+	}
+}
+
+// TestObsMemFaultFirstLoad: a LocMem fault corrupts a load value in the
+// kernel loop; the first consumption is the load itself, so the memory
+// analogue of fault.first-read — fault.first-load — must fire (the
+// register terminal must not: no architectural register was corrupted
+// directly).
+func TestObsMemFaultFirstLoad(t *testing.T) {
+	tr := obs.NewTracer()
+	fault := core.Fault{
+		Loc: core.LocMem, Behavior: core.BehFlip, Bit: 2, ThreadID: 0,
+		Base: core.TimeInst, When: 3, Occ: 1,
+	}
+	s := newSim(t, Config{
+		Model: ModelTiming, EnableFI: true,
+		Faults: []core.Fault{fault}, Tracer: tr,
+	})
+	r := s.Run()
+	if r.Hung {
+		t.Fatalf("run hung: %+v", r)
+	}
+	names := eventNames(tr)
+	if names["fault.injected"] == 0 {
+		t.Fatalf("memory fault never injected: %v", names)
+	}
+	if names["fault.first-load"] == 0 {
+		t.Errorf("no fault.first-load terminal event for a memory fault: %v", names)
+	}
+	if names["fault.first-read"] != 0 {
+		t.Errorf("memory fault wrongly produced a register first-read: %v", names)
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/prof"
+	"repro/internal/taint"
 )
 
 // ModelKind selects the CPU model.
@@ -79,6 +80,17 @@ type Config struct {
 	// EnableProfiler makes Load construct a profiler for the loaded
 	// program when Profiler is nil; retrieve it with Simulator.Profiler.
 	EnableProfiler bool
+
+	// Taint, when non-nil, is the fault-propagation taint tracker: it
+	// shadows the corrupted architectural bits through registers, memory,
+	// control flow and I/O, and renders a per-experiment PropReport.
+	// Nil disables tracking at one untaken branch per committed
+	// instruction. Alternatively set EnableTaint to have New build one.
+	Taint *taint.Tracker
+
+	// EnableTaint makes New construct a tracker when Taint is nil;
+	// retrieve it with Simulator.Taint.
+	EnableTaint bool
 }
 
 // DefaultConfig returns the configuration used throughout the paper's
@@ -153,8 +165,43 @@ func New(cfg Config) *Simulator {
 			s.stopRequested = true
 		}
 	}
+	if cfg.Taint != nil || cfg.EnableTaint {
+		s.AttachTaint(cfg.Taint)
+	}
 	s.registerMetrics()
 	return s
+}
+
+// Taint returns the attached propagation tracker (nil when disabled).
+func (s *Simulator) Taint() *taint.Tracker { return s.Cfg.Taint }
+
+// AttachTaint wires a propagation tracker into the core and the fault
+// engine, building one when tr is nil — the campaign path, where runners
+// exist before the driver decides to trace propagation. The tracker is
+// returned.
+func (s *Simulator) AttachTaint(tr *taint.Tracker) *taint.Tracker {
+	if tr == nil {
+		tr = taint.New()
+	}
+	s.Cfg.Taint = tr
+	s.Core.Taint = tr
+	if s.Engine != nil {
+		s.Engine.Taint = tr
+	}
+	if tr.Trace == nil {
+		tr.Trace = s.Cfg.Tracer
+	}
+	tr.TickFn = func() uint64 { return s.Core.Ticks }
+	tr.RegisterMetrics(s.Cfg.Metrics)
+	return tr
+}
+
+// TaintReport renders the propagation report for the last run. crashed
+// tells the verdict logic whether the run ended in a crash; golden (the
+// final state of a fault-free run) may be nil, which skips the
+// architectural differ.
+func (s *Simulator) TaintReport(crashed bool, golden *taint.GoldenState) *taint.PropReport {
+	return s.Cfg.Taint.Report(crashed, &s.Core.Arch, s.Mem, golden)
 }
 
 // registerMetrics wires every component's counters into the configured
@@ -393,7 +440,9 @@ func (s *Simulator) Restore(st *checkpoint.State, faults []core.Fault) {
 		s.Hier.InvalidateAll()
 	}
 	if s.Engine != nil {
-		s.Engine.Reset(faults)
+		s.Engine.Reset(faults) // also resets the taint tracker (rearm)
+	} else {
+		s.Cfg.Taint.Reset()
 	}
 	if pr := s.Cfg.Profiler; pr != nil {
 		pr.ResetStack() // the restored guest is mid-call-chain

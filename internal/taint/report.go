@@ -1,0 +1,485 @@
+package taint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// NodeKind classifies a propagation DAG node.
+type NodeKind string
+
+// Node kinds.
+const (
+	NodeInject   NodeKind = "inject"   // the corruption site
+	NodeDef      NodeKind = "def"      // tainted value written to a register
+	NodeLoad     NodeKind = "load"     // taint entered through a memory read
+	NodeStore    NodeKind = "store"    // taint left to memory
+	NodeBranch   NodeKind = "branch"   // tainted value decided control flow
+	NodeControl  NodeKind = "control"  // control state corrupted directly
+	NodeOutput   NodeKind = "output"   // tainted byte reached I/O
+	NodeFinal    NodeKind = "final"    // residual taint in the final state
+	NodeCrash    NodeKind = "crash"    // the run crashed while taint was live
+	NodeOverflow NodeKind = "overflow" // sites beyond the node cap
+)
+
+// validNodeKinds is the schema enumeration for ValidateReportJSON.
+var validNodeKinds = map[NodeKind]bool{
+	NodeInject: true, NodeDef: true, NodeLoad: true, NodeStore: true,
+	NodeBranch: true, NodeControl: true, NodeOutput: true, NodeFinal: true,
+	NodeCrash: true, NodeOverflow: true,
+}
+
+// Node is one propagation site: a (PC, kind) pair hit one or more times.
+type Node struct {
+	ID        int      `json:"id"`
+	Kind      NodeKind `json:"kind"`
+	PC        uint64   `json:"pc"`
+	Label     string   `json:"label,omitempty"`
+	Hits      uint64   `json:"hits"`
+	FirstInst uint64   `json:"first_inst"` // committed-instruction index of first hit
+}
+
+// Edge is one dataflow edge, with the number of times it was traversed.
+type Edge struct {
+	From int    `json:"from"`
+	To   int    `json:"to"`
+	N    uint64 `json:"n"`
+}
+
+// Verdict is the terminal explanation of where the corruption went.
+type Verdict string
+
+// Verdicts.
+const (
+	// VerdictNotInjected: no corruption ever committed (the fault never
+	// fired, or only hit squashed speculative instructions).
+	VerdictNotInjected Verdict = "not-injected"
+	// VerdictMaskedOverwritten: every tainted bit was overwritten by
+	// clean values before reaching output — the paper's "overwritten
+	// before the erroneous value was used".
+	VerdictMaskedOverwritten Verdict = "masked-overwritten"
+	// VerdictMaskedLogically: tainted bits survive to the end of the run
+	// but the golden-run differ finds zero architectural divergence — the
+	// corruption was logically masked (e.g. AND with zeroes).
+	VerdictMaskedLogically Verdict = "masked-logically"
+	// VerdictReachedOutput: a tainted byte reached an I/O device — SDC
+	// provenance.
+	VerdictReachedOutput Verdict = "reached-output"
+	// VerdictReachedCrash: the run crashed after corruption committed.
+	VerdictReachedCrash Verdict = "reached-crash"
+	// VerdictReachedState: residual taint (or a control divergence)
+	// left the final architectural state different from the golden run
+	// without reaching output — latent state corruption.
+	VerdictReachedState Verdict = "reached-state"
+)
+
+// Verdicts returns every verdict in severity order, for stable tallies.
+func Verdicts() []Verdict {
+	return []Verdict{
+		VerdictNotInjected, VerdictMaskedOverwritten, VerdictMaskedLogically,
+		VerdictReachedState, VerdictReachedOutput, VerdictReachedCrash,
+	}
+}
+
+// GoldenState is the final architectural state of a fault-free run of the
+// same program; the differ uses it to distinguish logical masking from
+// latent state corruption.
+type GoldenState struct {
+	Arch cpu.Arch
+	Mem  mem.Snapshot
+}
+
+// CaptureGolden snapshots the final state of a completed clean run.
+func CaptureGolden(a *cpu.Arch, m *mem.Memory) *GoldenState {
+	return &GoldenState{Arch: *a, Mem: m.Snapshot()}
+}
+
+// GoldenDiff summarizes the architectural divergence between the faulty
+// and the golden final state.
+type GoldenDiff struct {
+	IntRegs  int            `json:"int_regs"`
+	FpRegs   int            `json:"fp_regs"`
+	MemBytes int            `json:"mem_bytes"`
+	Sample   []mem.ByteDiff `json:"sample,omitempty"` // first few memory diffs
+}
+
+// Total returns the total number of diverging architectural locations.
+func (d *GoldenDiff) Total() int {
+	if d == nil {
+		return 0
+	}
+	return d.IntRegs + d.FpRegs + d.MemBytes
+}
+
+// diffGolden compares the faulty final state against the golden one.
+func diffGolden(a *cpu.Arch, m *mem.Memory, g *GoldenState) *GoldenDiff {
+	d := &GoldenDiff{}
+	for r := 0; r < isa.NumRegs; r++ {
+		if a.R[r] != g.Arch.R[r] {
+			d.IntRegs++
+		}
+		if a.F[r] != g.Arch.F[r] {
+			d.FpRegs++
+		}
+	}
+	sample, total := mem.DiffSnapshots(m.Snapshot(), g.Mem, 8)
+	d.MemBytes = total
+	d.Sample = sample
+	return d
+}
+
+// PropReport is the per-experiment propagation report: the DAG, the
+// summary counters and the terminal verdict.
+type PropReport struct {
+	Verdict Verdict `json:"verdict"`
+	Crashed bool    `json:"crashed"`
+
+	Injections         uint64   `json:"injections"`
+	PendingInjections  uint64   `json:"pending_injections,omitempty"`
+	SquashedInjections uint64   `json:"squashed_injections"`
+	CommittedInsts     uint64   `json:"committed_insts"`
+	TaintedInsts       uint64   `json:"tainted_insts"`
+	MaxLiveTaint       int      `json:"max_live_taint"`
+	LiveTaint          int      `json:"live_taint"`
+	ResidualRegs       []string `json:"residual_regs,omitempty"`
+	ResidualMemBytes   int      `json:"residual_mem_bytes"`
+
+	// First* are committed-instruction indexes (since tracker reset) of
+	// the first taint event of each class; -1 means it never happened.
+	FirstLoad   int64 `json:"first_load"`
+	FirstStore  int64 `json:"first_store"`
+	FirstBranch int64 `json:"first_branch"`
+	FirstOutput int64 `json:"first_output"`
+
+	ControlDivergences uint64 `json:"control_divergences"`
+	OutputBytes        uint64 `json:"output_bytes"`
+
+	GoldenDiff *GoldenDiff `json:"golden_diff,omitempty"`
+
+	Nodes          []Node `json:"nodes"`
+	Edges          []Edge `json:"edges"`
+	TruncatedNodes uint64 `json:"truncated_nodes,omitempty"`
+}
+
+// Summary is the compact per-experiment record joined onto
+// campaign.Result (next to InjPC).
+type Summary struct {
+	Verdict       Verdict `json:"verdict"`
+	Injections    uint64  `json:"injections"`
+	TaintedInsts  uint64  `json:"tainted_insts"`
+	MaxLiveTaint  int     `json:"max_live_taint"`
+	ReachedOutput bool    `json:"reached_output"`
+	Nodes         int     `json:"nodes"`
+}
+
+// Summary extracts the compact record.
+func (r *PropReport) Summary() *Summary {
+	if r == nil {
+		return nil
+	}
+	return &Summary{
+		Verdict:       r.Verdict,
+		Injections:    r.Injections,
+		TaintedInsts:  r.TaintedInsts,
+		MaxLiveTaint:  r.MaxLiveTaint,
+		ReachedOutput: r.Verdict == VerdictReachedOutput,
+		Nodes:         len(r.Nodes),
+	}
+}
+
+// Report builds the propagation report for the run observed since the
+// last Reset. crashed tells whether the run ended in a crash; a and m are
+// the final architectural state; golden may be nil (the differ is then
+// skipped and residual taint maps to reached-state). Report is
+// read-only on the tracker, so it can serve a live /taint endpoint
+// mid-run.
+func (t *Tracker) Report(crashed bool, a *cpu.Arch, m *mem.Memory, golden *GoldenState) *PropReport {
+	if t == nil {
+		return nil
+	}
+	r := &PropReport{
+		Crashed:            crashed,
+		Injections:         t.injections,
+		PendingInjections:  uint64(len(t.pending)),
+		SquashedInjections: t.squashedInj,
+		CommittedInsts:     t.committed,
+		TaintedInsts:       t.taintedInsts,
+		MaxLiveTaint:       t.maxLive,
+		LiveTaint:          t.Live(),
+		ResidualMemBytes:   len(t.memT),
+		FirstLoad:          t.firstLoad,
+		FirstStore:         t.firstStore,
+		FirstBranch:        t.firstBranch,
+		FirstOutput:        t.firstOutput,
+		ControlDivergences: t.ctrlDiverg,
+		OutputBytes:        t.outputBytes,
+		Nodes:              append([]Node(nil), t.nodes...),
+	}
+	if t.overflow != 0 {
+		r.TruncatedNodes = t.nodes[t.overflow-1].Hits
+	}
+	for reg := 0; reg < isa.NumRegs; reg++ {
+		if t.intT[reg] != 0 {
+			r.ResidualRegs = append(r.ResidualRegs, isa.Reg(reg).String())
+		}
+		if t.fpT[reg] != 0 {
+			r.ResidualRegs = append(r.ResidualRegs, fmt.Sprintf("f%d", reg))
+		}
+	}
+	if golden != nil && a != nil && m != nil {
+		r.GoldenDiff = diffGolden(a, m, golden)
+	}
+
+	// Edges, deterministically ordered.
+	r.Edges = make([]Edge, 0, len(t.edges))
+	for k, n := range t.edges {
+		r.Edges = append(r.Edges, Edge{From: int(k[0]), To: int(k[1]), N: n})
+	}
+	sort.Slice(r.Edges, func(i, j int) bool {
+		if r.Edges[i].From != r.Edges[j].From {
+			return r.Edges[i].From < r.Edges[j].From
+		}
+		return r.Edges[i].To < r.Edges[j].To
+	})
+
+	r.Verdict = t.verdict(crashed, r.GoldenDiff, golden != nil)
+
+	// Terminal nodes that exist only in the report: where the taint
+	// story ends when it does not end at an output node.
+	switch r.Verdict {
+	case VerdictReachedCrash:
+		r.addTerminal(t, NodeCrash, "crash")
+	case VerdictReachedState:
+		r.addTerminal(t, NodeFinal, "residual architectural state")
+	}
+	return r
+}
+
+// verdict derives the terminal verdict from the tracker state.
+func (t *Tracker) verdict(crashed bool, diff *GoldenDiff, haveGolden bool) Verdict {
+	live := t.Live()
+	switch {
+	case crashed && (t.injections > 0 || len(t.pending) > 0):
+		// A fault that fired in a front-end stage and killed the machine
+		// before its corruption could commit still explains the crash.
+		return VerdictReachedCrash
+	case t.injections == 0:
+		return VerdictNotInjected
+	case t.firstOutput >= 0:
+		return VerdictReachedOutput
+	case haveGolden && diff.Total() > 0:
+		return VerdictReachedState
+	case live > 0 && !haveGolden:
+		return VerdictReachedState
+	case live > 0:
+		return VerdictMaskedLogically
+	default:
+		return VerdictMaskedOverwritten
+	}
+}
+
+// addTerminal appends a synthetic terminal node fed by every residual
+// provenance site (or, with no residual taint, by every inject node).
+func (r *PropReport) addTerminal(t *Tracker, kind NodeKind, label string) {
+	id := len(r.Nodes)
+	r.Nodes = append(r.Nodes, Node{ID: id, Kind: kind, Label: label, Hits: 1, FirstInst: t.committed})
+	seen := map[int32]bool{}
+	feed := func(p int32) {
+		if p != 0 && !seen[p] {
+			seen[p] = true
+			r.Edges = append(r.Edges, Edge{From: int(p - 1), To: id, N: 1})
+		}
+	}
+	for reg := 0; reg < isa.NumRegs; reg++ {
+		feed(t.intT[reg])
+		feed(t.fpT[reg])
+	}
+	for _, p := range t.memT {
+		feed(p)
+	}
+	if len(seen) == 0 {
+		for i := range r.Nodes {
+			if r.Nodes[i].Kind == NodeInject {
+				r.Edges = append(r.Edges, Edge{From: r.Nodes[i].ID, To: id, N: 1})
+			}
+		}
+	}
+}
+
+// HasPath reports whether the DAG contains a directed path from any node
+// of kind from to any node of kind to.
+func (r *PropReport) HasPath(from, to NodeKind) bool {
+	adj := make(map[int][]int, len(r.Nodes))
+	for _, e := range r.Edges {
+		adj[e.From] = append(adj[e.From], e.To)
+	}
+	kind := make(map[int]NodeKind, len(r.Nodes))
+	var queue []int
+	for _, n := range r.Nodes {
+		kind[n.ID] = n.Kind
+		if n.Kind == from {
+			queue = append(queue, n.ID)
+		}
+	}
+	visited := make(map[int]bool, len(r.Nodes))
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		if visited[id] {
+			continue
+		}
+		visited[id] = true
+		if kind[id] == to {
+			return true
+		}
+		queue = append(queue, adj[id]...)
+	}
+	return false
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *PropReport) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}
+
+// dotShapes maps node kinds to Graphviz shapes; the injection site and
+// the terminals stand out.
+var dotShapes = map[NodeKind]string{
+	NodeInject:   "octagon",
+	NodeDef:      "box",
+	NodeLoad:     "house",
+	NodeStore:    "invhouse",
+	NodeBranch:   "diamond",
+	NodeControl:  "diamond",
+	NodeOutput:   "doublecircle",
+	NodeFinal:    "doubleoctagon",
+	NodeCrash:    "tripleoctagon",
+	NodeOverflow: "folder",
+}
+
+// dotQuote renders s as a DOT double-quoted string; real newlines become
+// the \n line-break escape Graphviz expects inside labels.
+func dotQuote(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '"', '\\':
+			b.WriteByte('\\')
+			b.WriteRune(r)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// WriteDOT writes the propagation DAG in Graphviz DOT format.
+func (r *PropReport) WriteDOT(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "digraph taint {\n  rankdir=TB;\n  label=%s;\n  node [fontsize=10];\n",
+		dotQuote("fault propagation: "+string(r.Verdict))); err != nil {
+		return err
+	}
+	for _, n := range r.Nodes {
+		shape := dotShapes[n.Kind]
+		if shape == "" {
+			shape = "box"
+		}
+		label := fmt.Sprintf("%s\n0x%x", n.Kind, n.PC)
+		if n.Label != "" {
+			label += "\n" + n.Label
+		}
+		if n.Hits > 1 {
+			label += fmt.Sprintf("\n(%d hits)", n.Hits)
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [shape=%s, label=%s];\n", n.ID, shape, dotQuote(label)); err != nil {
+			return err
+		}
+	}
+	for _, e := range r.Edges {
+		attr := ""
+		if e.N > 1 {
+			attr = fmt.Sprintf(" [label=\"%d\"]", e.N)
+		}
+		if _, err := fmt.Fprintf(w, "  n%d -> n%d%s;\n", e.From, e.To, attr); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// WriteText writes a human-readable summary of the report.
+func (r *PropReport) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "taint verdict: %s\n", r.Verdict); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  injections: %d committed, %d squashed\n", r.Injections, r.SquashedInjections)
+	fmt.Fprintf(w, "  tainted instructions: %d / %d committed\n", r.TaintedInsts, r.CommittedInsts)
+	fmt.Fprintf(w, "  max live taint: %d  residual: %d (%d regs %v, %d mem bytes)\n",
+		r.MaxLiveTaint, r.LiveTaint, len(r.ResidualRegs), r.ResidualRegs, r.ResidualMemBytes)
+	fmt.Fprintf(w, "  first load/store/branch/output: %d/%d/%d/%d (committed insts, -1 = never)\n",
+		r.FirstLoad, r.FirstStore, r.FirstBranch, r.FirstOutput)
+	fmt.Fprintf(w, "  control divergences: %d  tainted output bytes: %d\n",
+		r.ControlDivergences, r.OutputBytes)
+	if r.GoldenDiff != nil {
+		fmt.Fprintf(w, "  golden diff: %d int regs, %d fp regs, %d mem bytes\n",
+			r.GoldenDiff.IntRegs, r.GoldenDiff.FpRegs, r.GoldenDiff.MemBytes)
+	}
+	_, err := fmt.Fprintf(w, "  DAG: %d nodes, %d edges\n", len(r.Nodes), len(r.Edges))
+	return err
+}
+
+// ValidateReportJSON checks a PropReport JSON document against the
+// schema: verdict and node kinds must be from the enumerations, node IDs
+// must be dense, edges must reference existing nodes, and the counters
+// must be mutually consistent. Returns the parsed report on success.
+func ValidateReportJSON(rd io.Reader) (*PropReport, error) {
+	dec := json.NewDecoder(rd)
+	dec.DisallowUnknownFields()
+	var r PropReport
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("propreport: %w", err)
+	}
+	switch r.Verdict {
+	case VerdictNotInjected, VerdictMaskedOverwritten, VerdictMaskedLogically,
+		VerdictReachedOutput, VerdictReachedCrash, VerdictReachedState:
+	default:
+		return nil, fmt.Errorf("propreport: unknown verdict %q", r.Verdict)
+	}
+	for i, n := range r.Nodes {
+		if n.ID != i {
+			return nil, fmt.Errorf("propreport: node %d has id %d (ids must be dense)", i, n.ID)
+		}
+		if !validNodeKinds[n.Kind] {
+			return nil, fmt.Errorf("propreport: node %d has unknown kind %q", i, n.Kind)
+		}
+	}
+	for _, e := range r.Edges {
+		if e.From < 0 || e.From >= len(r.Nodes) || e.To < 0 || e.To >= len(r.Nodes) {
+			return nil, fmt.Errorf("propreport: edge %d->%d references a missing node", e.From, e.To)
+		}
+	}
+	if r.TaintedInsts > r.CommittedInsts {
+		return nil, fmt.Errorf("propreport: tainted_insts %d > committed_insts %d", r.TaintedInsts, r.CommittedInsts)
+	}
+	if r.Injections > 0 && r.Verdict == VerdictNotInjected {
+		return nil, fmt.Errorf("propreport: %d injections but verdict %q", r.Injections, r.Verdict)
+	}
+	return &r, nil
+}

@@ -1,0 +1,235 @@
+package taint_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/taint"
+)
+
+// chainProgram exercises every propagation class in a handful of
+// instructions: the fault lands in t0 right after FI activation, flows
+// through an ALU op into t1, out to memory, back in through a load, and
+// finally to the console — register → register → store → load → output.
+const chainProgram = `
+_start:
+    fi_read_init_all
+    li   a0, 0
+    fi_activate_inst
+    li   t0, 7
+    addq t0, #1, t1
+    la   t2, buf
+    stq  t1, 0(t2)
+    ldq  t3, 0(t2)
+    li   a0, 0
+    fi_activate_inst
+    and  t3, #255, a0
+    li   v0, 2
+    callsys
+    li   a0, 0
+    li   v0, 1
+    callsys
+.data
+buf: .quad 0
+`
+
+// maskedProgram overwrites the corrupted register with a constant before
+// any use, so the corruption must be classified masked-overwritten.
+const maskedProgram = `
+_start:
+    fi_read_init_all
+    li   a0, 0
+    fi_activate_inst
+    li   t0, 7
+    li   t0, 9
+    addq t0, #1, t1
+    li   a0, 0
+    fi_activate_inst
+    and  t1, #255, a0
+    li   v0, 2
+    callsys
+    li   a0, 0
+    li   v0, 1
+    callsys
+`
+
+// t0 is integer register 1. The FI window opens at the activating
+// instruction itself (in-window instruction 1), so When:2 strikes at the
+// commit of `li t0, 7` — after the write, corrupting the live value.
+func t0Fault() []core.Fault {
+	return []core.Fault{{
+		Loc: core.LocIntReg, Reg: 1, Behavior: core.BehFlip, Bit: 4,
+		ThreadID: 0, Base: core.TimeInst, When: 2, Occ: 1,
+	}}
+}
+
+func runTaint(t *testing.T, src string, faults []core.Fault) (*sim.Simulator, sim.RunResult) {
+	t.Helper()
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New(sim.Config{
+		Model: sim.ModelAtomic, EnableFI: true, EnableTaint: true,
+		Faults: faults, MaxInsts: 1_000_000,
+	})
+	if err := s.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	r := s.Run()
+	if r.Hung || r.Interrupted {
+		t.Fatalf("run did not finish: %+v", r)
+	}
+	return s, r
+}
+
+func goldenOf(t *testing.T, src string) *taint.GoldenState {
+	t.Helper()
+	s, r := runTaint(t, src, nil)
+	if r.Failed() {
+		t.Fatalf("clean run failed: %+v", r)
+	}
+	return taint.CaptureGolden(&s.Core.Arch, s.Mem)
+}
+
+func kinds(rep *taint.PropReport) map[taint.NodeKind]int {
+	m := map[taint.NodeKind]int{}
+	for _, n := range rep.Nodes {
+		m[n.Kind]++
+	}
+	return m
+}
+
+func TestPropagationChainToOutput(t *testing.T) {
+	golden := goldenOf(t, chainProgram)
+	s, r := runTaint(t, chainProgram, t0Fault())
+	rep := s.TaintReport(r.Failed(), golden)
+
+	if rep.Verdict != taint.VerdictReachedOutput {
+		t.Fatalf("verdict = %s, want %s\n%+v", rep.Verdict, taint.VerdictReachedOutput, rep)
+	}
+	ks := kinds(rep)
+	for _, k := range []taint.NodeKind{taint.NodeInject, taint.NodeDef, taint.NodeStore, taint.NodeLoad, taint.NodeOutput} {
+		if ks[k] == 0 {
+			t.Errorf("DAG missing a %s node: %v", k, ks)
+		}
+	}
+	if !rep.HasPath(taint.NodeInject, taint.NodeOutput) {
+		t.Error("no DAG path from injection to output")
+	}
+	if rep.FirstStore < 0 || rep.FirstLoad < 0 || rep.FirstOutput < 0 {
+		t.Errorf("first-event indexes not recorded: store=%d load=%d output=%d",
+			rep.FirstStore, rep.FirstLoad, rep.FirstOutput)
+	}
+	if rep.FirstStore > rep.FirstLoad || rep.FirstLoad > rep.FirstOutput {
+		t.Errorf("event order wrong: store=%d load=%d output=%d",
+			rep.FirstStore, rep.FirstLoad, rep.FirstOutput)
+	}
+	if rep.TaintedInsts == 0 || rep.MaxLiveTaint == 0 {
+		t.Errorf("counters empty: tainted=%d maxlive=%d", rep.TaintedInsts, rep.MaxLiveTaint)
+	}
+}
+
+func TestMaskedOverwritten(t *testing.T) {
+	golden := goldenOf(t, maskedProgram)
+	s, r := runTaint(t, maskedProgram, t0Fault())
+	rep := s.TaintReport(r.Failed(), golden)
+
+	if rep.Verdict != taint.VerdictMaskedOverwritten {
+		t.Fatalf("verdict = %s, want %s\n%+v", rep.Verdict, taint.VerdictMaskedOverwritten, rep)
+	}
+	if rep.GoldenDiff.Total() != 0 {
+		t.Errorf("masked run diverged from golden: %+v", rep.GoldenDiff)
+	}
+	if rep.LiveTaint != 0 || len(rep.ResidualRegs) != 0 {
+		t.Errorf("masked run left live taint: live=%d regs=%v", rep.LiveTaint, rep.ResidualRegs)
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	s, r := runTaint(t, chainProgram, t0Fault())
+	rep := s.TaintReport(r.Failed(), nil)
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := taint.ValidateReportJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("emitted report fails its own schema: %v\n%s", err, buf.String())
+	}
+	if parsed.Verdict != rep.Verdict || len(parsed.Nodes) != len(rep.Nodes) {
+		t.Errorf("round trip changed the report: %s/%d vs %s/%d",
+			parsed.Verdict, len(parsed.Nodes), rep.Verdict, len(rep.Nodes))
+	}
+
+	// Schema violations must be rejected.
+	bad := strings.Replace(buf.String(), string(rep.Verdict), "exploded", 1)
+	if _, err := taint.ValidateReportJSON(strings.NewReader(bad)); err == nil {
+		t.Error("unknown verdict accepted")
+	}
+	if _, err := taint.ValidateReportJSON(strings.NewReader(`{"verdict":"not-injected","unknown_field":1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	s, r := runTaint(t, chainProgram, t0Fault())
+	rep := s.TaintReport(r.Failed(), nil)
+
+	var buf bytes.Buffer
+	if err := rep.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dot := buf.String()
+	for _, want := range []string{"digraph taint", "octagon", "doublecircle", "->"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+	if strings.Contains(dot, `\\n`) {
+		t.Errorf("DOT labels contain a double-escaped newline:\n%s", dot)
+	}
+}
+
+// TestNilTrackerIsSafe: every hook must be callable on a nil tracker —
+// that is the disabled fast path wired into the CPU core.
+func TestNilTrackerIsSafe(t *testing.T) {
+	var tr *taint.Tracker
+	tr.MarkPendingInjection(1, 0x100, "x")
+	tr.MarkRegInjection(false, 3, 0x100, "x")
+	tr.MarkControlInjection(0x100, "x")
+	tr.MarkIOInjection("x")
+	tr.OnSquash(1)
+	tr.Reset()
+	if tr.Live() != 0 || tr.Injections() != 0 || tr.PendingInjections() != 0 {
+		t.Error("nil tracker reports state")
+	}
+	if rep := tr.Report(false, nil, nil, nil); rep != nil {
+		t.Errorf("nil tracker produced a report: %+v", rep)
+	}
+}
+
+// TestTrackerResetClearsEverything: a tracker reused across experiments
+// (the campaign path) must start each run clean.
+func TestTrackerResetClearsEverything(t *testing.T) {
+	s, r := runTaint(t, chainProgram, t0Fault())
+	tr := s.Taint()
+	if tr == nil {
+		t.Fatal("no tracker attached")
+	}
+	rep := s.TaintReport(r.Failed(), nil)
+	if rep.Injections == 0 {
+		t.Fatal("fault never injected")
+	}
+	tr.Reset()
+	rep = s.TaintReport(false, nil)
+	if rep.Injections != 0 || rep.TaintedInsts != 0 || rep.LiveTaint != 0 ||
+		len(rep.Nodes) != 0 || len(rep.Edges) != 0 || rep.CommittedInsts != 0 {
+		t.Errorf("Reset left state behind: %+v", rep)
+	}
+}
