@@ -1,0 +1,80 @@
+// Command gemfi-bench measures simulator throughput (guest insts/sec per
+// CPU model, campaign experiments/sec) and records the results in
+// BENCH_simcore.json, the perf trajectory file tracked across PRs:
+//
+//	gemfi-bench -label current            # full suite, appends/replaces "current"
+//	gemfi-bench -quick -label ci          # short mode for CI
+//	gemfi-bench -compare baseline,current # print speedups without measuring
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		out      = flag.String("o", "BENCH_simcore.json", "benchmark trajectory file to update")
+		label    = flag.String("label", "current", "label for this measurement record")
+		workload = flag.String("workload", "pi", "workload to measure")
+		quick    = flag.Bool("quick", false, "short mode: test-scale workload, fewer reps/experiments (CI)")
+		reps     = flag.Int("reps", 0, "best-of repetitions per model (0 = default)")
+		exps     = flag.Int("n", 0, "campaign experiments (0 = default)")
+		workers  = flag.Int("workers", 4, "campaign pool size")
+		compare  = flag.String("compare", "", "compare two labels from the file (base,current) and exit")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+
+	f, err := bench.Load(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *compare != "" {
+		base, cur, ok := strings.Cut(*compare, ",")
+		if !ok {
+			log.Fatalf("-compare wants base,current labels")
+		}
+		b, c := f.Find(base), f.Find(cur)
+		if b == nil || c == nil {
+			log.Fatalf("labels %q/%q not both present in %s", base, cur, *out)
+		}
+		fmt.Print(bench.Speedup(b, c))
+		return
+	}
+
+	cfg := bench.Config{
+		Label:           *label,
+		Workload:        *workload,
+		Reps:            *reps,
+		CampaignExps:    *exps,
+		CampaignWorkers: *workers,
+	}
+	if *quick {
+		cfg.Scale = workloads.ScaleTest
+		if cfg.Reps == 0 {
+			cfg.Reps = 2
+		}
+		if cfg.CampaignExps == 0 {
+			cfg.CampaignExps = 12
+		}
+	}
+	rec, err := bench.Run(cfg, log.Printf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f.Add(rec)
+	if err := f.Save(*out); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (%d records)", *out, len(f.Records))
+	if base := f.Find("baseline"); base != nil && *label != "baseline" {
+		fmt.Fprintf(os.Stderr, "speedup vs baseline:\n%s", bench.Speedup(base, &rec))
+	}
+}

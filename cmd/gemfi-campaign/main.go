@@ -51,6 +51,7 @@ func run() error {
 		profile    = flag.Bool("profile", false, "profile the guest across all experiments and print the top table plus the per-PC outcome attribution (custom experiment)")
 		profileTop = flag.Int("profile-top", 20, "rows in the -profile tables")
 		taintOn    = flag.Bool("taint", false, "track fault propagation per experiment: verdict tally, Result.Prop summaries in -json, propagation columns in the PC report (custom experiment)")
+		fastFwd    = flag.Bool("fast-forward", false, "run each experiment on the cheap atomic model until the fault window opens, then switch to -model (campaign speedup; no effect when -model atomic)")
 	)
 	flag.Parse()
 
@@ -94,6 +95,7 @@ func run() error {
 		EnableFI:                true,
 		MaxInsts:                2_000_000_000,
 		SwitchToAtomicOnResolve: sim.ModelKind(*model) == sim.ModelPipelined,
+		FastForward:             *fastFwd,
 	}
 	opts := campaign.RunnerOptions{Cfg: &cfg}
 

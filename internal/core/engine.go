@@ -162,6 +162,12 @@ type Engine struct {
 
 	ticksNow uint64
 
+	// WindowHook, when set, is called after a fault-injection window
+	// opens (open=true) or closes (open=false). The simulator's
+	// fast-forward mode uses the open edge to switch from the cheap
+	// atomic prefix to the configured detailed model.
+	WindowHook func(open bool)
+
 	// Stats for the overhead study.
 	Activations uint64
 	HookCalls   uint64
@@ -238,6 +244,9 @@ func (e *Engine) OnActivate(pcbb uint64, id int) {
 			e.Trace.Instant(obs.CatFI, "fi.window.close", e.ticksNow,
 				map[string]any{"thread": t.ID, "commits": t.Commits})
 		}
+		if e.WindowHook != nil {
+			e.WindowHook(false)
+		}
 		return
 	}
 	t := &ThreadEnabledFault{ID: id, PCB: pcbb, TickStart: e.ticksNow}
@@ -246,6 +255,9 @@ func (e *Engine) OnActivate(pcbb uint64, id int) {
 	e.Activations++
 	if e.Trace != nil {
 		e.Trace.Instant(obs.CatFI, "fi.window.open", e.ticksNow, map[string]any{"thread": id})
+	}
+	if e.WindowHook != nil {
+		e.WindowHook(true)
 	}
 }
 

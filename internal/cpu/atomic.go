@@ -1,5 +1,7 @@
 package cpu
 
+import "repro/internal/isa"
+
 // AtomicModel is the functional CPU model: one instruction per step, one
 // tick per instruction (gem5's "atomic simple"). With Timing set it also
 // charges cache/memory latencies to the tick counter (gem5's "timing
@@ -30,8 +32,154 @@ func (m *AtomicModel) ModelName() string {
 // Drain implements Model; the atomic model holds no speculative state.
 func (m *AtomicModel) Drain() {}
 
-// Step executes one instruction to completion.
+// Step executes one instruction to completion. When every per-step
+// observer is inactive — no trace, no profiler, no taint sink, and the
+// fault-injection window closed — it runs the specialized fast step,
+// which elides all hook dispatch behind this single check. The two paths
+// produce bit-identical architectural state (enforced by the conformance
+// suite); DisableFastPath pins the slow path for reference runs.
 func (m *AtomicModel) Step() bool {
+	c := m.C
+	if c.TraceFn == nil && c.Prof == nil && c.Taint == nil && !c.DisableFastPath &&
+		(c.FI == nil || !c.FI.Enabled()) {
+		return m.stepFast()
+	}
+	return m.stepSlow()
+}
+
+// stepFast is Step with the disabled observers structurally removed: no
+// FI stage hooks, no per-tick engine callback, no trace/profile/taint
+// dispatch, and the commit epilogue inlined down to the PAL and
+// scheduler work that can still occur. The engine tick clock is synced
+// immediately before PAL dispatch so fi_activate_inst anchors its
+// tick-relative fault window at exactly the value the slow path would
+// have delivered.
+func (m *AtomicModel) stepFast() bool {
+	c := m.C
+	if c.Stopped {
+		return false
+	}
+	pc := c.Arch.PC
+	seq := c.NextSeq()
+	c.Ticks++
+	tickAtFetch := c.Ticks // what the slow path's OnTick would report
+
+	// Fetch + decode, via the per-PC predecode cache when possible.
+	var (
+		in    isa.Inst
+		ports isa.RegPorts
+	)
+	if e := c.predecodeLookup(pc); e != nil {
+		in, ports = e.in, e.ports
+		if m.Timing && c.Hier != nil {
+			lat, _ := c.Hier.FetchAccess(pc)
+			c.Ticks += lat - 1
+		}
+	} else {
+		if pc%4 != 0 {
+			c.stop(&Trap{Kind: TrapFetchFault, PC: pc})
+			return false
+		}
+		word, err := c.Mem.Read32(pc)
+		if err != nil {
+			c.stop(&Trap{Kind: TrapFetchFault, PC: pc})
+			return false
+		}
+		if m.Timing && c.Hier != nil {
+			lat, _ := c.Hier.FetchAccess(pc)
+			c.Ticks += lat - 1
+		}
+		in, ports = c.decode(word)
+		c.predecodeFill(pc, word, in, ports)
+	}
+
+	// Execute.
+	a, b, fa, fb := c.readOperands(in, ports)
+	m.out = Execute(in, a, b, fa, fb, pc)
+	out := &m.out
+	if out.TrapKind != TrapNone {
+		c.stop(&Trap{Kind: out.TrapKind, PC: pc, Word: in.Raw})
+		return false
+	}
+
+	// Memory.
+	var loadVal uint64
+	if in.Kind.IsMem() {
+		val, lat, trap := c.accessMem(seq, pc, in, out, false)
+		if trap != nil {
+			trap.PC = pc
+			c.stop(trap)
+			return false
+		}
+		if m.Timing {
+			c.Ticks += lat
+		}
+		loadVal = val
+	}
+
+	// Writeback and next PC.
+	c.writeback(in, ports, *out, loadVal)
+	if in.Kind.IsBranch() && out.Taken {
+		c.Arch.PC = out.Target
+	} else {
+		c.Arch.PC = pc + 4
+	}
+
+	// Commit epilogue, minus the hooks known inactive. PAL instructions
+	// are rare; everything below the Insts++ is off the common path.
+	c.Insts++
+	if in.Format == isa.FormatPAL && in.Kind != isa.KindNop {
+		if c.FI != nil {
+			c.FI.OnTick(tickAtFetch)
+		}
+		switch in.Kind {
+		case isa.KindFIActivate:
+			if c.FI != nil {
+				c.FI.OnActivate(c.Arch.PCBB, int(int64(c.Arch.ReadReg(isa.RegA0))))
+			}
+		case isa.KindFIInit:
+			if c.OnCheckpoint != nil {
+				c.OnCheckpoint()
+			}
+		default:
+			if c.Pal == nil {
+				c.stop(&Trap{Kind: TrapIllegal, PC: c.Arch.PC, Word: in.Raw})
+				return false
+			}
+			pcbbBefore := c.Arch.PCBB
+			action, err := c.Pal.HandlePal(c, in.Kind)
+			if err != nil {
+				c.stop(&Trap{Kind: TrapKernel, PC: c.Arch.PC, Word: in.Raw})
+				return false
+			}
+			if action == PalStop {
+				c.Stopped = true
+				return false
+			}
+			if c.Arch.PCBB != pcbbBefore && c.FI != nil {
+				c.FI.OnContextSwitch(c.Arch.PCBB)
+			}
+		}
+	}
+	// fi_activate_inst may have just opened the window: the activating
+	// instruction itself gets the commit hook, exactly as in the slow
+	// path's epilogue ordering.
+	if c.FI != nil && c.FI.Enabled() {
+		c.FI.OnCommit(seq, pc, &c.Arch)
+	}
+	if c.Sched != nil {
+		pcbbBefore := c.Arch.PCBB
+		if c.Sched.MaybeSwitch(c) {
+			if c.Arch.PCBB != pcbbBefore && c.FI != nil {
+				c.FI.OnContextSwitch(c.Arch.PCBB)
+			}
+		}
+	}
+	return !c.Stopped
+}
+
+// stepSlow executes one instruction with every hook point live.
+func (m *AtomicModel) stepSlow() bool {
 	c := m.C
 	if c.Stopped {
 		return false
@@ -44,32 +192,50 @@ func (m *AtomicModel) Step() bool {
 	}
 
 	// Fetch.
-	if pc%4 != 0 {
-		c.stop(&Trap{Kind: TrapFetchFault, PC: pc})
-		return false
-	}
-	word, err := c.Mem.Read32(pc)
-	if err != nil {
-		c.stop(&Trap{Kind: TrapFetchFault, PC: pc})
-		return false
-	}
-	if m.Timing && c.Hier != nil {
-		lat, miss := c.Hier.FetchAccess(pc)
-		c.Ticks += lat - 1 // the base tick is already counted
-		if miss && c.Prof != nil {
-			c.Prof.OnIMiss(pc)
-		}
-	}
 	fi := c.fiEnabled()
-	if fi {
-		word = c.FI.OnFetch(seq, pc, word)
-	}
+	var (
+		in    isa.Inst
+		ports isa.RegPorts
+	)
+	if e := c.predecodeLookup(pc); e != nil && !fi {
+		// Predecode hit (only consulted outside the FI window: fetch and
+		// decode faults must see the real fetch path).
+		in, ports = e.in, e.ports
+		if m.Timing && c.Hier != nil {
+			lat, miss := c.Hier.FetchAccess(pc)
+			c.Ticks += lat - 1
+			if miss && c.Prof != nil {
+				c.Prof.OnIMiss(pc)
+			}
+		}
+	} else {
+		if pc%4 != 0 {
+			c.stop(&Trap{Kind: TrapFetchFault, PC: pc})
+			return false
+		}
+		word, err := c.Mem.Read32(pc)
+		if err != nil {
+			c.stop(&Trap{Kind: TrapFetchFault, PC: pc})
+			return false
+		}
+		if m.Timing && c.Hier != nil {
+			lat, miss := c.Hier.FetchAccess(pc)
+			c.Ticks += lat - 1
+			if miss && c.Prof != nil {
+				c.Prof.OnIMiss(pc)
+			}
+		}
+		if fi {
+			word = c.FI.OnFetch(seq, pc, word)
+		}
 
-	// Decode.
-	in := decodeWord(word)
-	ports := in.Ports()
-	if fi {
-		ports = c.FI.OnDecode(seq, pc, ports)
+		// Decode.
+		in, ports = c.decode(word)
+		if fi {
+			ports = c.FI.OnDecode(seq, pc, ports)
+		} else {
+			c.predecodeFill(pc, word, in, ports)
+		}
 	}
 
 	// Execute.

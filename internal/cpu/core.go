@@ -144,6 +144,12 @@ type Core struct {
 	// pipeline squashes) for fault-propagation taint tracking.
 	Taint TaintSink
 
+	// DisableFastPath forces the models onto their fully-hooked slow
+	// paths and bypasses the decoded-instruction caches. Used by
+	// conformance tests as the reference configuration the fast paths
+	// must match bit for bit.
+	DisableFastPath bool
+
 	Ticks uint64 // simulation ticks (cycles)
 	Insts uint64 // committed instructions
 
@@ -151,7 +157,9 @@ type Core struct {
 	ExitStatus int
 	Trap       *Trap
 
-	seq uint64 // dynamic instruction sequence numbering
+	seq    uint64 // dynamic instruction sequence numbering
+	dcache *isa.DecodeCache
+	pred   *predecodeCache
 }
 
 // CoreSnapshot is the checkpointable part of a core: the architectural
@@ -184,9 +192,79 @@ func (c *Core) RestoreSnapshot(s CoreSnapshot) {
 	c.Trap = nil
 }
 
-// decodeWord decodes an instruction word. Indirection point for a decoded
-// instruction cache if profiling ever warrants one.
-func decodeWord(w uint32) isa.Inst { return isa.Decode(isa.Word(w)) }
+// decode decodes an instruction word through the per-core word-keyed
+// decoded-instruction cache (gem5's decode-cache idiom). The key is the
+// raw word, so fetch-fault corruption is naturally safe: a flipped bit is
+// a different key. DisableFastPath falls back to a cold decode.
+func (c *Core) decode(w uint32) (isa.Inst, isa.RegPorts) {
+	if c.DisableFastPath {
+		in := isa.Decode(isa.Word(w))
+		return in, in.Ports()
+	}
+	if c.dcache == nil {
+		c.dcache = isa.NewDecodeCache()
+	}
+	return c.dcache.Decode(isa.Word(w))
+}
+
+// The per-PC predecode cache skips fetch and decode entirely for
+// straight-line re-execution of text. Unlike the word-keyed cache it is
+// keyed on the PC, so it must observe writes to the text section: every
+// entry records the Memory text generation it was filled at, and any
+// store overlapping the text region (guest stores, store-value faults
+// landing in text, checkpoint restores) bumps the generation and thereby
+// invalidates all entries at once. Entries are filled and consulted only
+// while fault injection is inactive — fetch faults are transient
+// corruptions of a single fetch and must be neither served from nor
+// captured into a PC-keyed cache.
+const (
+	predecodeBits     = 12 // 4096 direct-mapped entries
+	predecodeMask     = 1<<predecodeBits - 1
+	predecodeTagValid = uint64(1) << 63
+)
+
+type predecodeEntry struct {
+	tag   uint64 // pc | predecodeTagValid
+	gen   uint64 // mem.TextGen at fill time
+	word  uint32
+	in    isa.Inst
+	ports isa.RegPorts
+}
+
+type predecodeCache struct {
+	entries [1 << predecodeBits]predecodeEntry
+}
+
+// predecodeLookup returns the cached predecode for pc, or nil. Callers
+// must only consult it when FI hooks are inactive for the fetch.
+func (c *Core) predecodeLookup(pc uint64) *predecodeEntry {
+	if c.pred == nil || c.DisableFastPath {
+		return nil
+	}
+	e := &c.pred.entries[(pc>>2)&predecodeMask]
+	if e.tag == pc|predecodeTagValid && e.gen == c.Mem.TextGen() {
+		return e
+	}
+	return nil
+}
+
+// predecodeFill caches the decode of the instruction at pc. Only PCs
+// inside the declared text region are cached: a corrupted PC can point
+// anywhere, and data pages have no invalidation tracking.
+func (c *Core) predecodeFill(pc uint64, word uint32, in isa.Inst, ports isa.RegPorts) {
+	if c.DisableFastPath {
+		return
+	}
+	lo, hi := c.Mem.TextRegion()
+	if pc < lo || pc >= hi {
+		return
+	}
+	if c.pred == nil {
+		c.pred = new(predecodeCache)
+	}
+	e := &c.pred.entries[(pc>>2)&predecodeMask]
+	*e = predecodeEntry{tag: pc | predecodeTagValid, gen: c.Mem.TextGen(), word: word, in: in, ports: ports}
+}
 
 // NextSeq allocates the next dynamic instruction sequence number.
 func (c *Core) NextSeq() uint64 {

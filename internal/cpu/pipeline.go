@@ -21,7 +21,10 @@ type PipelinedModel struct {
 	C    *Core
 	Pred *Predictor
 
-	ifs, ids, exs, mms, wbs pipeSlot
+	// The five latches are pointers into a fixed set of slots; stage
+	// advances swap pointers instead of copying ~130-byte structs (the
+	// struct copies dominated the cycle loop's profile).
+	ifs, ids, exs, mms, wbs *pipeSlot
 
 	fetchPC      uint64
 	serialize    bool   // a PAL instruction is in flight: stop fetching
@@ -42,9 +45,10 @@ type pipeSlot struct {
 	word  uint32
 	fi    bool // FI hooks were live when this instruction was fetched
 
-	decoded bool
-	in      isa.Inst
-	ports   isa.RegPorts
+	decoded    bool
+	predecoded bool // in/ports came from the predecode cache at fetch
+	in         isa.Inst
+	ports      isa.RegPorts
 
 	executed   bool
 	out        ExecOut
@@ -61,7 +65,11 @@ type pipeSlot struct {
 // NewPipelined builds the pipelined model for core c, starting fetch at
 // the core's architectural PC.
 func NewPipelined(c *Core) *PipelinedModel {
-	return &PipelinedModel{C: c, Pred: NewPredictor(), fetchPC: c.Arch.PC}
+	slots := make([]pipeSlot, 5)
+	return &PipelinedModel{
+		C: c, Pred: NewPredictor(), fetchPC: c.Arch.PC,
+		ifs: &slots[0], ids: &slots[1], exs: &slots[2], mms: &slots[3], wbs: &slots[4],
+	}
 }
 
 // ModelName implements Model.
@@ -70,7 +78,7 @@ func (m *PipelinedModel) ModelName() string { return "pipelined" }
 // InFlight reports how many instructions occupy pipeline latches.
 func (m *PipelinedModel) InFlight() int {
 	n := 0
-	for _, s := range []*pipeSlot{&m.ifs, &m.ids, &m.exs, &m.mms, &m.wbs} {
+	for _, s := range [...]*pipeSlot{m.ifs, m.ids, m.exs, m.mms, m.wbs} {
 		if s.valid {
 			n++
 		}
@@ -125,7 +133,7 @@ func (m *PipelinedModel) Step() bool {
 // instruction actually retired this cycle (for stall accounting).
 func (m *PipelinedModel) commitStage() bool {
 	c := m.C
-	s := &m.wbs
+	s := m.wbs
 	if !s.valid {
 		return false
 	}
@@ -183,7 +191,7 @@ func (m *PipelinedModel) stallPoint() (uint64, prof.StallCause) {
 // memStage performs the memory access and advances MEM -> WB.
 func (m *PipelinedModel) memStage() {
 	c := m.C
-	s := &m.mms
+	s := m.mms
 	if !s.valid || m.wbs.valid {
 		return
 	}
@@ -205,15 +213,15 @@ func (m *PipelinedModel) memStage() {
 		s.busy--
 		return
 	}
-	m.wbs = *s
-	s.valid = false
+	m.wbs, m.mms = m.mms, m.wbs
+	m.mms.valid = false
 }
 
 // execStage executes the instruction in EX, resolves branches and
 // advances EX -> MEM.
 func (m *PipelinedModel) execStage() {
 	c := m.C
-	s := &m.exs
+	s := m.exs
 	if !s.valid || m.mms.valid {
 		return
 	}
@@ -256,46 +264,49 @@ func (m *PipelinedModel) execStage() {
 			m.fetchPC = s.actualNext
 		}
 	}
-	m.mms = *s
+	m.mms, m.exs = m.exs, m.mms
 	m.mms.accessed = false
 	m.mms.busy = 0
-	s.valid = false
+	m.exs.valid = false
 }
 
 // decodeStage decodes the instruction in ID and advances ID -> EX.
 func (m *PipelinedModel) decodeStage() {
 	c := m.C
-	s := &m.ids
+	s := m.ids
 	if !s.valid || m.exs.valid {
 		return
 	}
 	if !s.decoded {
 		s.decoded = true
 		if s.trap == nil {
-			s.in = decodeWord(s.word)
-			s.ports = s.in.Ports()
-			if s.fi {
-				s.ports = c.FI.OnDecode(s.seq, s.pc, s.ports)
+			if !s.predecoded {
+				s.in, s.ports = c.decode(s.word)
+				if s.fi {
+					s.ports = c.FI.OnDecode(s.seq, s.pc, s.ports)
+				} else {
+					c.predecodeFill(s.pc, s.word, s.in, s.ports)
+				}
 			}
 			if s.in.Format == isa.FormatPAL && s.in.Kind != isa.KindNop {
 				// Serialize: nothing younger may enter the pipeline until
 				// this instruction commits and redirects. (Nops flow
 				// normally; illegal PAL encodings trap at commit anyway.)
 				if m.ifs.valid {
-					m.squashSlot(&m.ifs)
+					m.squashSlot(m.ifs)
 				}
 				m.serialize = true
 				m.serializeSeq = s.seq
 			}
 		}
 	}
-	m.exs = *s
-	s.valid = false
+	m.exs, m.ids = m.ids, m.exs
+	m.ids.valid = false
 }
 
 // fetchMove advances IF -> ID once the I-cache access completes.
 func (m *PipelinedModel) fetchMove() {
-	s := &m.ifs
+	s := m.ifs
 	if !s.valid {
 		return
 	}
@@ -306,8 +317,8 @@ func (m *PipelinedModel) fetchMove() {
 	if m.ids.valid {
 		return
 	}
-	m.ids = *s
-	s.valid = false
+	m.ids, m.ifs = m.ifs, m.ids
+	m.ifs.valid = false
 }
 
 // fetchStage fetches a new instruction at fetchPC and predicts the next
@@ -318,10 +329,25 @@ func (m *PipelinedModel) fetchStage() {
 		return
 	}
 	pc := m.fetchPC
-	s := pipeSlot{valid: true, seq: c.NextSeq(), pc: pc, fi: c.fiEnabled()}
+	s := m.ifs
+	*s = pipeSlot{valid: true, seq: c.NextSeq(), pc: pc, fi: c.fiEnabled()}
 	if pc%4 != 0 {
 		s.trap = &Trap{Kind: TrapFetchFault, PC: pc}
 		s.decoded = true // nothing to decode
+	} else if e := c.predecodeLookup(pc); e != nil && !s.fi {
+		// Predecode hit: the word and decode come from the cache, skipping
+		// the memory read and the decode-stage work. Timing (I-cache
+		// access, stalls) is charged identically.
+		s.word, s.in, s.ports, s.predecoded = e.word, e.in, e.ports, true
+		if c.Hier != nil {
+			lat, miss := c.Hier.FetchAccess(pc)
+			if lat > 1 {
+				s.busy = lat - 1
+			}
+			if miss && c.Prof != nil {
+				c.Prof.OnIMiss(pc)
+			}
+		}
 	} else if w, err := c.Mem.Read32(pc); err != nil {
 		s.trap = &Trap{Kind: TrapFetchFault, PC: pc}
 		s.decoded = true
@@ -343,7 +369,6 @@ func (m *PipelinedModel) fetchStage() {
 	pred := m.Pred.Predict(pc)
 	s.predNext = pred.Next
 	m.fetchPC = pred.Next
-	m.ifs = s
 }
 
 // squashSlot invalidates a speculative slot and notifies the injector.
@@ -367,17 +392,17 @@ func (m *PipelinedModel) squashSlot(s *pipeSlot) {
 
 // squashFrontend squashes IF and ID (branch mispredict resolution).
 func (m *PipelinedModel) squashFrontend() {
-	m.squashSlot(&m.ids)
-	m.squashSlot(&m.ifs)
+	m.squashSlot(m.ids)
+	m.squashSlot(m.ifs)
 }
 
 // squashYoungerThanWB squashes everything behind the committing
 // instruction (trap, PAL serialization, kernel redirect, FI PC fault).
 func (m *PipelinedModel) squashYoungerThanWB() {
-	m.squashSlot(&m.mms)
-	m.squashSlot(&m.exs)
-	m.squashSlot(&m.ids)
-	m.squashSlot(&m.ifs)
+	m.squashSlot(m.mms)
+	m.squashSlot(m.exs)
+	m.squashSlot(m.ids)
+	m.squashSlot(m.ifs)
 }
 
 // readOperandsFwd reads register operands with forwarding from the
@@ -415,7 +440,7 @@ func (m *PipelinedModel) fwdR(r isa.Reg) uint64 {
 	if r == isa.ZeroReg {
 		return 0
 	}
-	for _, src := range []*pipeSlot{&m.mms, &m.wbs} {
+	for _, src := range [...]*pipeSlot{m.mms, m.wbs} {
 		if src.valid && src.trap == nil && src.ports.DstUsed && !src.ports.DstFP && src.ports.Dst == r {
 			if src.in.Kind.IsLoad() {
 				return src.loadVal
@@ -431,7 +456,7 @@ func (m *PipelinedModel) fwdF(r isa.Reg) float64 {
 	if r == isa.ZeroReg {
 		return 0
 	}
-	for _, src := range []*pipeSlot{&m.mms, &m.wbs} {
+	for _, src := range [...]*pipeSlot{m.mms, m.wbs} {
 		if src.valid && src.trap == nil && src.ports.DstUsed && src.ports.DstFP && src.ports.Dst == r {
 			if src.in.Kind == isa.KindLDT {
 				return f64FromBits(src.loadVal)

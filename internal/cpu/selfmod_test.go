@@ -1,0 +1,125 @@
+package cpu_test
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+)
+
+// runDisabled mirrors run but with every fast path bypassed, so the
+// self-modifying tests can compare against the cold reference.
+func runDisabled(t *testing.T, src, model string) *cpu.Core {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m := mem.New()
+	core := &cpu.Core{Name: "system.cpu0", Mem: m, DisableFastPath: true}
+	k := kernel.New(m)
+	if err := k.Boot(core, p); err != nil {
+		t.Fatalf("boot: %v", err)
+	}
+	var mdl cpu.Model
+	switch model {
+	case "atomic":
+		mdl = cpu.NewAtomic(core)
+	case "timing":
+		core.Hier = mem.NewHierarchy(mem.DefaultHierarchyConfig())
+		mdl = cpu.NewTiming(core)
+	case "pipelined":
+		core.Hier = mem.NewHierarchy(mem.DefaultHierarchyConfig())
+		mdl = cpu.NewPipelined(core)
+	default:
+		t.Fatalf("unknown model %q", model)
+	}
+	for i := 0; i < 50_000_000 && mdl.Step(); i++ {
+	}
+	if !core.Stopped {
+		t.Fatalf("%s: watchdog expired (insts=%d)", model, core.Insts)
+	}
+	return core
+}
+
+// TestSelfModifyingCodeInvalidatesPredecode warms the per-PC predecode
+// cache by calling a subroutine, then overwrites that subroutine's text
+// bytes with guest stores and calls it again. The second call must
+// execute the new bytes: the store to the text region bumps the memory
+// text generation, which invalidates every predecode entry. A stale hit
+// would re-run the old body and exit 22 instead of 33.
+func TestSelfModifyingCodeInvalidatesPredecode(t *testing.T) {
+	src := `
+_start:
+    bsr  ra, patch      ; warm the predecode cache: t2 = 11
+    mov  t2, s0
+    la   t0, donor      ; copy donor's body over patch, byte by byte
+    la   t1, patch
+    li   t4, 8
+copy:
+    ldbu t3, 0(t0)
+    stb  t3, 0(t1)
+    addq t0, #1, t0
+    addq t1, #1, t1
+    subq t4, #1, t4
+    bne  t4, copy
+    bsr  ra, patch      ; must now execute the patched body: t2 = 22
+    addq s0, t2, v0     ; 11 + 22
+` + exitStub + `
+patch:
+    li   t2, 11
+    ret
+donor:
+    li   t2, 22
+    ret
+`
+	for _, m := range models {
+		core, _ := run(t, src, m)
+		if core.Trap != nil {
+			t.Fatalf("%s: trap %v", m, core.Trap)
+		}
+		if core.ExitStatus != 33 {
+			t.Errorf("%s: exit = %d, want 33 (stale predecode entry survived the text store?)",
+				m, core.ExitStatus)
+		}
+	}
+}
+
+// TestSelfModifyingCodeWithFastPathDisabled pins the reference behavior:
+// the same program must produce the same result with every cache
+// bypassed, proving the test measures invalidation rather than an
+// accident of the fast path.
+func TestSelfModifyingCodeWithFastPathDisabled(t *testing.T) {
+	src := `
+_start:
+    bsr  ra, patch
+    mov  t2, s0
+    la   t0, donor
+    la   t1, patch
+    li   t4, 8
+copy:
+    ldbu t3, 0(t0)
+    stb  t3, 0(t1)
+    addq t0, #1, t0
+    addq t1, #1, t1
+    subq t4, #1, t4
+    bne  t4, copy
+    bsr  ra, patch
+    addq s0, t2, v0
+` + exitStub + `
+patch:
+    li   t2, 11
+    ret
+donor:
+    li   t2, 22
+    ret
+`
+	for _, m := range models {
+		core := runDisabled(t, src, m)
+		if core.ExitStatus != 33 {
+			t.Errorf("%s (slow path): exit = %d, want 33", m, core.ExitStatus)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package isa
+
+// Decoding an instruction word is a pure function, so its result can be
+// cached keyed on the raw 32-bit word — gem5 does exactly this with its
+// per-ISA decode cache. Because the key is the (possibly fault-corrupted)
+// word itself, the cache is safe under fetch-fault injection: a corrupted
+// word is a different key and simply decodes (and caches) separately.
+
+const (
+	decodeCacheBits = 12 // 4096 direct-mapped entries
+	decodeCacheMask = 1<<decodeCacheBits - 1
+
+	// decodeTagValid marks a filled entry. Tags are the 32-bit word with
+	// this bit set, so the all-zero word never aliases a zero-initialized
+	// (empty) entry.
+	decodeTagValid = uint64(1) << 63
+)
+
+type decodeEntry struct {
+	tag   uint64
+	in    Inst
+	ports RegPorts
+}
+
+// DecodeCache memoizes Decode and Ports keyed on the raw instruction
+// word. It is not safe for concurrent use; give each core its own.
+type DecodeCache struct {
+	entries [1 << decodeCacheBits]decodeEntry
+	hits    uint64
+	misses  uint64
+}
+
+// NewDecodeCache returns an empty decode cache.
+func NewDecodeCache() *DecodeCache { return new(DecodeCache) }
+
+// Decode returns the decoded form and register ports of w, from the
+// cache when possible.
+func (c *DecodeCache) Decode(w Word) (Inst, RegPorts) {
+	// Fibonacci hash: instruction words differ mostly in low (register,
+	// displacement) and high (opcode) bits; multiplication mixes both
+	// into the index.
+	idx := (uint32(w) * 0x9E3779B1) >> (32 - decodeCacheBits)
+	e := &c.entries[idx]
+	tag := uint64(w) | decodeTagValid
+	if e.tag == tag {
+		c.hits++
+		return e.in, e.ports
+	}
+	c.misses++
+	in := Decode(w)
+	ports := in.Ports()
+	*e = decodeEntry{tag: tag, in: in, ports: ports}
+	return in, ports
+}
+
+// Stats returns the hit/miss counters.
+func (c *DecodeCache) Stats() (hits, misses uint64) { return c.hits, c.misses }

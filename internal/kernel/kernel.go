@@ -106,6 +106,9 @@ func (k *Kernel) Boot(c *cpu.Core, p *asm.Program) error {
 	m := k.Mem
 	textSize := uint64(len(p.Text)) * 4
 	m.Map(p.TextBase, textSize)
+	// Declare the text section so predecoded-instruction caches observe
+	// any store into it (self-modifying code, faults landing in text).
+	m.SetTextRegion(p.TextBase, p.TextBase+textSize)
 	if len(p.Data) > 0 {
 		m.Map(p.DataBase, uint64(len(p.Data)))
 	}

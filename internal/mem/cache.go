@@ -66,6 +66,13 @@ type Cache struct {
 	next     Level
 	clock    uint64
 	stats    CacheStats
+
+	// MRU fast path: the last line that hit. Sequential fetch streams and
+	// stack traffic hit the same line many times in a row; checking it
+	// first skips the set scan. lastLine is the full line address the
+	// entry was filled for (tag+set), so a match is conclusive.
+	last     *cacheLine
+	lastLine uint64
 }
 
 var _ Level = (*Cache)(nil)
@@ -110,6 +117,14 @@ func (c *Cache) Access(addr uint64, write bool) uint64 {
 func (c *Cache) AccessM(addr uint64, write bool) (latency uint64, miss bool) {
 	c.clock++
 	lineAddr := addr >> c.lineBits
+	if c.last != nil && c.lastLine == lineAddr && c.last.valid {
+		c.stats.Hits++
+		c.last.used = c.clock
+		if write {
+			c.last.dirty = true
+		}
+		return c.cfg.HitLatency, false
+	}
 	set := int(lineAddr) & (c.numSets - 1)
 	tag := lineAddr >> 0
 	lines := c.sets[set]
@@ -120,6 +135,7 @@ func (c *Cache) AccessM(addr uint64, write bool) (latency uint64, miss bool) {
 			if write {
 				lines[i].dirty = true
 			}
+			c.last, c.lastLine = &lines[i], lineAddr
 			return c.cfg.HitLatency, false
 		}
 	}
@@ -141,11 +157,16 @@ func (c *Cache) AccessM(addr uint64, write bool) (latency uint64, miss bool) {
 		latency += c.next.Access(lines[victim].tag<<c.lineBits, true)
 	}
 	lines[victim] = cacheLine{tag: tag, valid: true, dirty: write, used: c.clock}
+	// Point the MRU entry at the filled line: the next access is likely to
+	// the same line, and if the victim was the previous MRU line this also
+	// keeps the entry from matching a stale tag.
+	c.last, c.lastLine = &lines[victim], lineAddr
 	return latency, true
 }
 
 // InvalidateAll implements Level.
 func (c *Cache) InvalidateAll() {
+	c.last, c.lastLine = nil, 0
 	for s := range c.sets {
 		for i := range c.sets[s] {
 			c.sets[s][i] = cacheLine{}

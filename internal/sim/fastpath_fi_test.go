@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+// fetchFaultProgram warms the predecode cache by running work() once
+// before the FI window opens, then calls it again with the window open
+// so a fetch fault strikes PCs whose decoded forms are already cached.
+const fetchFaultProgram = `
+int out[1];
+int work(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i = i + 1) { s = s + i; }
+    return s;
+}
+int main() {
+    fi_checkpoint();
+    int a = work(50);
+    fi_activate(0);
+    int b = work(50);
+    fi_activate(0);
+    out[0] = a + b;
+    return 0;
+}`
+
+// TestFetchFaultBypassesWarmPredecode sweeps transient fetch faults over
+// the warmed window and requires the run with the decode caches enabled
+// to be bit-identical to the DisableFastPath reference: same outcome
+// flags, same architectural state, same memory image. A predecode entry
+// filled on the clean first call must never hide the corrupted word on
+// the faulted second call.
+func TestFetchFaultBypassesWarmPredecode(t *testing.T) {
+	fired := 0
+	for _, model := range []ModelKind{ModelAtomic, ModelTiming, ModelPipelined} {
+		for _, bit := range []int{0, 5, 26} {
+			for when := uint64(2); when <= 8; when += 3 {
+				f := core.Fault{
+					Loc: core.LocFetch, Behavior: core.BehFlip, Bit: bit,
+					Base: core.TimeInst, When: when, Occ: 1,
+				}
+				run := func(disable bool) (*Simulator, RunResult) {
+					s := compileMC(t, fetchFaultProgram, Config{
+						Model: model, EnableFI: true, Faults: []core.Fault{f},
+						MaxInsts: 10_000_000, DisableFastPath: disable,
+					})
+					return s, s.Run()
+				}
+				fast, rf := run(false)
+				slow, rs := run(true)
+				label := string(model)
+				if rf.Hung != rs.Hung || rf.Failed() != rs.Failed() {
+					t.Errorf("%s bit=%d when=%d: run disposition diverged: fast %+v, slow %+v",
+						label, bit, when, rf, rs)
+					continue
+				}
+				of, os := rf.Outcomes[0], rs.Outcomes[0]
+				if of.Fired != os.Fired || of.Committed != os.Committed ||
+					of.Squashed != os.Squashed || of.Propagated != os.Propagated {
+					t.Errorf("%s bit=%d when=%d: outcome diverged: fast %+v, slow %+v",
+						label, bit, when, of, os)
+				}
+				if of.Fired {
+					fired++
+				}
+				if fast.Core.Arch != slow.Core.Arch {
+					t.Errorf("%s bit=%d when=%d: architectural state diverged", label, bit, when)
+				}
+				if fast.Core.Insts != slow.Core.Insts || fast.Core.Ticks != slow.Core.Ticks {
+					t.Errorf("%s bit=%d when=%d: insts %d vs %d, ticks %d vs %d", label, bit, when,
+						fast.Core.Insts, slow.Core.Insts, fast.Core.Ticks, slow.Core.Ticks)
+				}
+				if _, total := mem.DiffSnapshots(fast.Mem.Snapshot(), slow.Mem.Snapshot(), 4); total != 0 {
+					t.Errorf("%s bit=%d when=%d: %d bytes of memory diverged", label, bit, when, total)
+				}
+			}
+		}
+	}
+	if fired == 0 {
+		t.Error("no fetch fault in the sweep ever fired — the window never opened?")
+	}
+}
+
+// TestPermanentFetchFaultConformance repeats the comparison with a
+// permanent (occ:all) fetch fault, which corrupts every subsequent
+// fetch: the stress case for the word-keyed decode cache, whose key
+// changes with the corruption and so can never serve a stale decode.
+func TestPermanentFetchFaultConformance(t *testing.T) {
+	for _, model := range []ModelKind{ModelAtomic, ModelPipelined} {
+		f := core.Fault{
+			Loc: core.LocFetch, Behavior: core.BehFlip, Bit: 3,
+			Base: core.TimeInst, When: 4, Occ: core.PermanentOcc,
+		}
+		// A permanently corrupted fetch stream usually spins until the
+		// watchdog; keep the budget small — the comparison is exact
+		// either way.
+		run := func(disable bool) (*Simulator, RunResult) {
+			s := compileMC(t, fetchFaultProgram, Config{
+				Model: model, EnableFI: true, Faults: []core.Fault{f},
+				MaxInsts: 200_000, DisableFastPath: disable,
+			})
+			return s, s.Run()
+		}
+		fast, rf := run(false)
+		slow, rs := run(true)
+		if rf.Hung != rs.Hung || rf.Failed() != rs.Failed() ||
+			rf.Outcomes[0].Fired != rs.Outcomes[0].Fired {
+			t.Errorf("%s: permanent fetch fault disposition diverged: fast %+v, slow %+v",
+				model, rf, rs)
+		}
+		if fast.Core.Arch != slow.Core.Arch || fast.Core.Insts != slow.Core.Insts {
+			t.Errorf("%s: permanent fetch fault diverged architectural state", model)
+		}
+	}
+}

@@ -51,6 +51,23 @@ type Config struct {
 	// instruction has committed or squashed.
 	SwitchToAtomicOnResolve bool
 
+	// FastForward runs the cheap atomic model from the start of the run
+	// (or from a checkpoint restore) until the fault-injection window
+	// opens — the guest's fi_activate_inst — and only then switches to
+	// the configured Model. This is the paper's checkpoint
+	// fast-forwarding taken to its limit: everything before the window
+	// is architecturally equivalent across models, so campaigns pay the
+	// detailed model only where faults can strike. No-op when Model is
+	// already ModelAtomic.
+	FastForward bool
+
+	// FastForwardAt optionally switches earlier: once the core has
+	// committed this many instructions (a warm-up margin of N
+	// instructions before the expected window, computed by the campaign
+	// layer from the golden run). The window-open switch remains as the
+	// correctness backstop. 0 = switch exactly at window open.
+	FastForwardAt uint64
+
 	// Hierarchy overrides the cache configuration (nil = default). Only
 	// timing and pipelined models consume cache latencies.
 	Hierarchy *mem.HierarchyConfig
@@ -91,6 +108,12 @@ type Config struct {
 	// EnableTaint makes New construct a tracker when Taint is nil;
 	// retrieve it with Simulator.Taint.
 	EnableTaint bool
+
+	// DisableFastPath forces the CPU models onto their fully-hooked slow
+	// paths and bypasses the decoded-instruction caches. The conformance
+	// suite uses it as the reference configuration the fast paths must
+	// match bit for bit; there is no reason to set it otherwise.
+	DisableFastPath bool
 }
 
 // DefaultConfig returns the configuration used throughout the paper's
@@ -122,9 +145,17 @@ type Simulator struct {
 	// replace it to capture a checkpoint.
 	OnCheckpoint func(*Simulator)
 
+	// WindowOpenInsts records the committed-instruction count at the
+	// first fault-window open of the current run (0 until it happens).
+	// The campaign layer reads it off the golden run to compute
+	// fast-forward warm-up points.
+	WindowOpenInsts uint64
+
 	CheckpointHits int
 	stopRequested  bool
 	switched       bool
+	ffActive       bool // fast-forward prefix running (atomic stand-in model)
+	ffPending      bool // window opened mid-step: switch before the next step
 	interrupted    atomic.Bool
 }
 
@@ -135,7 +166,7 @@ func New(cfg Config) *Simulator {
 	}
 	s := &Simulator{Cfg: cfg}
 	s.Mem = mem.New()
-	s.Core = &cpu.Core{Name: cfg.CPUName, Mem: s.Mem}
+	s.Core = &cpu.Core{Name: cfg.CPUName, Mem: s.Mem, DisableFastPath: cfg.DisableFastPath}
 	if cfg.Model != ModelAtomic {
 		hc := mem.DefaultHierarchyConfig()
 		if cfg.Hierarchy != nil {
@@ -154,6 +185,19 @@ func New(cfg Config) *Simulator {
 		s.Kernel.IOFilter = s.Engine.OnIO
 		if cfg.Tracer != nil {
 			s.Engine.AttachTracer(cfg.Tracer)
+		}
+		s.Engine.WindowHook = func(open bool) {
+			if !open {
+				return
+			}
+			if s.WindowOpenInsts == 0 {
+				s.WindowOpenInsts = s.Core.Insts
+			}
+			if s.ffActive {
+				// The activating instruction just committed; switch to the
+				// detailed model between steps, before any fault can strike.
+				s.ffPending = true
+			}
 		}
 	}
 	s.Core.OnCheckpoint = func() {
@@ -240,7 +284,37 @@ func (s *Simulator) Load(p *asm.Program) error {
 		s.Core.Prof = pr
 	}
 	s.Model = s.newModel(s.Cfg.Model)
+	s.armFastForward()
 	return nil
+}
+
+// armFastForward starts the run on the cheap atomic model when
+// fast-forward is configured; the window-open hook (or FastForwardAt)
+// switches to the configured model.
+func (s *Simulator) armFastForward() {
+	s.ffActive = false
+	s.ffPending = false
+	if !s.Cfg.FastForward || s.Cfg.Model == ModelAtomic || s.Engine == nil {
+		return
+	}
+	s.ffActive = true
+	s.Model = cpu.NewAtomic(s.Core)
+	s.Cfg.Tracer.Instant(obs.CatSim, "fastforward.begin", s.Core.Ticks,
+		map[string]any{"until": s.Cfg.FastForwardAt})
+}
+
+// endFastForward switches from the atomic prefix to the configured
+// detailed model. The atomic model holds no speculative state, so the
+// switch is a clean handoff at an instruction boundary. Deliberately not
+// SwitchModel: the fast-forward prefix must not consume the one
+// SwitchToAtomicOnResolve transition.
+func (s *Simulator) endFastForward() {
+	s.ffActive = false
+	s.ffPending = false
+	s.Model = s.newModel(s.Cfg.Model)
+	s.Cfg.Metrics.Counter("sim.fastforward.switches").Inc()
+	s.Cfg.Tracer.Instant(obs.CatSim, "fastforward.end", s.Core.Ticks,
+		map[string]any{"insts": s.Core.Insts, "to": string(s.Cfg.Model)})
 }
 
 // Profiler returns the attached guest profiler (nil when disabled).
@@ -331,6 +405,10 @@ func (s *Simulator) Run() RunResult {
 		steps++
 		if !s.Model.Step() {
 			break
+		}
+		if s.ffActive && (s.ffPending ||
+			(s.Cfg.FastForwardAt > 0 && s.Core.Insts >= s.Cfg.FastForwardAt)) {
+			s.endFastForward()
 		}
 		if s.Cfg.MaxInsts > 0 && s.Core.Insts >= s.Cfg.MaxInsts {
 			s.Cfg.Tracer.Instant(obs.CatSim, "watchdog.hang", s.Core.Ticks,
@@ -450,6 +528,8 @@ func (s *Simulator) Restore(st *checkpoint.State, faults []core.Fault) {
 	s.Model = s.newModel(s.Cfg.Model)
 	s.switched = false
 	s.stopRequested = false
+	s.WindowOpenInsts = 0
+	s.armFastForward() // re-arm the atomic prefix for the next experiment
 	s.interrupted.Store(false)
 	s.Cfg.Metrics.Counter("sim.checkpoint.restores").Inc()
 	s.Cfg.Tracer.Instant(obs.CatCheckpoint, "checkpoint.restore", s.Core.Ticks,

@@ -1,0 +1,79 @@
+package gemfi
+
+import (
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// The hot-path benchmarks behind BENCH_simcore.json: guest instructions
+// per second for each CPU model (engine attached but idle — the
+// campaign-realistic configuration) and campaign experiments per second.
+// cmd/gemfi-bench measures the same quantities with wall clocks; these
+// variants integrate with `go test -bench` tooling (benchstat, -cpuprofile).
+
+func benchmarkModel(b *testing.B, model sim.ModelKind) {
+	w := workloads.MonteCarloPI(workloads.ScaleTest)
+	p, err := w.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	var total uint64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := sim.New(sim.Config{Model: model, EnableFI: true, MaxInsts: 2_000_000_000})
+		if err := s.Load(p); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		r := s.Run()
+		if r.Failed() {
+			b.Fatalf("%+v", r)
+		}
+		total += r.Insts
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "insts/sec")
+}
+
+// BenchmarkAtomicModel measures the functional model's hot path: fetch
+// (predecode cache), execute, writeback.
+func BenchmarkAtomicModel(b *testing.B) { benchmarkModel(b, sim.ModelAtomic) }
+
+// BenchmarkTimingModel adds the cache-hierarchy latency accounting.
+func BenchmarkTimingModel(b *testing.B) { benchmarkModel(b, sim.ModelTiming) }
+
+// BenchmarkPipelinedModel measures the cycle-accurate pipeline.
+func BenchmarkPipelinedModel(b *testing.B) { benchmarkModel(b, sim.ModelPipelined) }
+
+// benchmarkCampaign measures checkpointed campaign throughput with and
+// without the fast-forward prefix.
+func benchmarkCampaign(b *testing.B, ff bool) {
+	w := workloads.MonteCarloPI(workloads.ScaleTest)
+	cfg := sim.DefaultConfig()
+	cfg.FastForward = ff
+	r, err := campaign.NewRunner(w, campaign.RunnerOptions{Cfg: &cfg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	exps := campaign.GenerateUniform(10, campaign.GenConfig{WindowInsts: r.WindowInsts, Seed: 3})
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		for _, e := range exps {
+			r.Run(e)
+			n++
+		}
+	}
+	b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "exps/sec")
+}
+
+// BenchmarkCampaignCheckpoint is the paper-methodology campaign loop
+// (pipelined until resolution, then atomic) from a shared checkpoint.
+func BenchmarkCampaignCheckpoint(b *testing.B) { benchmarkCampaign(b, false) }
+
+// BenchmarkCampaignFastForward adds the atomic prefix up to the fault
+// window (the paper's checkpoint fast-forwarding taken to its limit).
+func BenchmarkCampaignFastForward(b *testing.B) { benchmarkCampaign(b, true) }
