@@ -22,6 +22,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/isa"
+	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 )
@@ -269,6 +270,87 @@ func BenchmarkFig8CampaignTime(b *testing.B) {
 			pool.RunAll(es)
 		}
 	})
+}
+
+// BenchmarkCampaignFork compares the three campaign execution strategies
+// on identical experiments: full replay from the checkpoint, the
+// fast-forward prefix, and the fork server (each experiment forked from
+// the closest COW trunk snapshot). Trunk setup runs once outside the
+// timed loop, matching how a long campaign amortizes it.
+func BenchmarkCampaignFork(b *testing.B) {
+	w := workloads.MonteCarloPI(workloads.ScaleTest)
+	newPool := func(b *testing.B, ff, fork bool) (*campaign.Pool, []campaign.Experiment) {
+		b.Helper()
+		cfg := sim.DefaultConfig()
+		cfg.FastForward = ff
+		pool, err := campaign.NewPool(w, 4, campaign.RunnerOptions{Cfg: &cfg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if fork {
+			if err := pool.EnableFork(campaign.DefaultForkOptions()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		exps := campaign.GenerateUniform(12, campaign.GenConfig{
+			WindowInsts: pool.Runner().WindowInsts, Seed: 7,
+		})
+		return pool, exps
+	}
+	for _, tc := range []struct {
+		name     string
+		ff, fork bool
+	}{
+		{"Replay", false, false},
+		{"FastForward", true, false},
+		{"Fork", false, true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			pool, exps := newPool(b, tc.ff, tc.fork)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pool.RunAll(exps)
+			}
+			b.ReportMetric(float64(len(exps))*float64(b.N)/b.Elapsed().Seconds(), "exps/sec")
+		})
+	}
+}
+
+// BenchmarkCowSnapshotOverhead measures the heap uniquely attributable to
+// one trunk snapshot as a function of dirty rate: the trunk rewrites a
+// fraction of a 256-page working set between freezes, so each freeze
+// should cost the dirtied pages (reported as bytes/snapshot), never the
+// full image.
+func BenchmarkCowSnapshotOverhead(b *testing.B) {
+	const pages = 256
+	for _, pct := range []int{1, 10, 50, 100} {
+		b.Run(fmt.Sprintf("dirty=%d", pct), func(b *testing.B) {
+			m := mem.New()
+			m.Map(0, pages*mem.PageSize)
+			for i := 0; i < pages; i++ {
+				if err := m.Write64(uint64(i)*mem.PageSize, uint64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			m.CowSnapshot() // baseline freeze: everything clean after this
+			dirty := pages * pct / 100
+			if dirty == 0 {
+				dirty = 1
+			}
+			var bytes uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for p := 0; p < dirty; p++ {
+					if err := m.Write64(uint64(p)*mem.PageSize+16, uint64(i)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				bytes += m.CowSnapshot().ApproxBytes()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(bytes)/float64(b.N), "bytes/snapshot")
+		})
+	}
 }
 
 // BenchmarkSimulatorModels compares the three CPU models' simulation

@@ -52,6 +52,9 @@ func run() error {
 		profileTop = flag.Int("profile-top", 20, "rows in the -profile tables")
 		taintOn    = flag.Bool("taint", false, "track fault propagation per experiment: verdict tally, Result.Prop summaries in -json, propagation columns in the PC report (custom experiment)")
 		fastFwd    = flag.Bool("fast-forward", false, "run each experiment on the cheap atomic model until the fault window opens, then switch to -model (campaign speedup; no effect when -model atomic)")
+		forkOn     = flag.Bool("fork", false, "fork-server mode: one trunk run freezes COW snapshots across the fault window; each experiment forks from the closest one instead of replaying the warm-up (custom experiment)")
+		forkSnaps  = flag.Int("fork-snapshots", 32, "target trunk snapshots across the fault window in -fork mode")
+		forkPrune  = flag.Bool("fork-prune", true, "classify provably masked experiments early in -fork mode (disabled automatically under -profile/-taint)")
 	)
 	flag.Parse()
 
@@ -207,6 +210,15 @@ func run() error {
 		if *taintOn || *httpAddr != "" {
 			pool.AttachTaint()
 		}
+		if *forkOn {
+			if err := pool.EnableFork(campaign.ForkOptions{
+				Snapshots: *forkSnaps,
+				Prune:     *forkPrune,
+				TwinCheck: *forkPrune,
+			}); err != nil {
+				return err
+			}
+		}
 		if *httpAddr != "" {
 			srv, err := httpserv.New(*httpAddr, httpserv.Config{
 				Metrics: reg,
@@ -243,6 +255,13 @@ func run() error {
 		fmt.Printf("workload %s: %d experiments\n", w.Name, tally.Total())
 		for _, o := range campaign.Outcomes() {
 			fmt.Printf("  %-18s %5d (%5.1f%%)\n", o, tally[o], 100*tally.Fraction(o))
+		}
+		if *forkOn {
+			st := pool.ForkStats()
+			fmt.Printf("fork server: %d forks from %d snapshots (%d evicted, ~%d KiB live), "+
+				"pruned %d masked + %d twin-converged of %d twin checks\n",
+				st.Forks, st.SnapshotsTaken, st.SnapshotsEvicted, st.ApproxBytes/1024,
+				st.PrunedMasked, st.PrunedTwin, st.TwinChecks)
 		}
 		if *taintOn {
 			// Companion tally: for each outcome above, how the taint

@@ -36,6 +36,8 @@ func run() error {
 		minimize = flag.Bool("minimize", true, "shrink diverging programs to a minimal reproducer")
 		perturb  = flag.String("perturb", "", "inject a synthetic model bug: model[:reg:bit:after], e.g. pipelined:9:17:2")
 		maxSteps = flag.Uint64("maxsteps", 0, "per-model step budget (0 = default)")
+		forkMode = flag.Bool("fork", false, "fuzz COW fork points instead of lockstep models: fork children at random instruction counts and compare against straight-line execution")
+		forkPts  = flag.Int("forkpoints", 4, "fork points per program in -fork mode")
 		verbose  = flag.Bool("v", false, "log every program, not just divergences")
 		metrics  = flag.Bool("metrics", false, "print fuzzing counters at exit")
 		httpAddr = flag.String("http", "", "serve live observability endpoints (/metrics /debug/pprof) during the fuzz run")
@@ -62,6 +64,31 @@ func run() error {
 		if reg != nil {
 			_ = reg.WriteText(os.Stdout)
 		}
+	}
+
+	if *forkMode {
+		failures := 0
+		for i := 0; i < *n; i++ {
+			s := *seed + int64(i)
+			res, err := conformance.ForkFuzz(s, *forkPts, conformance.GenConfig{Units: *units})
+			programs.Inc()
+			if err != nil {
+				failures++
+				diverged.Inc()
+				fmt.Printf("seed %d: FORK DIVERGENCE\n%v\n", s, err)
+				continue
+			}
+			instsRun.Add(res.Insts)
+			if *verbose {
+				fmt.Printf("seed %d: ok (%d fork points, %d insts)\n", s, res.Points, res.Insts)
+			}
+		}
+		fmt.Printf("gemfi-fuzz: %d programs, %d fork divergences\n", *n, failures)
+		dumpObs()
+		if failures > 0 {
+			return fmt.Errorf("%d of %d programs diverged under forking", failures, *n)
+		}
+		return nil
 	}
 
 	cfg := conformance.Config{SyncInterval: *sync, MaxSteps: *maxSteps}

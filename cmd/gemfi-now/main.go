@@ -224,6 +224,8 @@ func runWorker(args []string) error {
 		heartbeat  = fs.Duration("heartbeat", 5*time.Second, "liveness message interval (0 = off)")
 		metrics    = fs.Bool("metrics", false, "print worker telemetry (now.worker.*) at exit")
 		taintOn    = fs.Bool("taint", false, "track fault propagation per experiment; verdict summaries ride back to the master on each result")
+		forkOn     = fs.Bool("fork", false, "fork-server mode: each slot runs one local trunk and forks experiments from COW snapshots instead of replaying the shipped checkpoint")
+		forkSnaps  = fs.Int("fork-snapshots", 0, "trunk snapshots across the fault window in -fork mode (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -239,6 +241,7 @@ func runWorker(args []string) error {
 		Heartbeat: *heartbeat,
 		Metrics:   reg,
 		Taint:     *taintOn,
+		Fork:      *forkOn, ForkSnapshots: *forkSnaps,
 	})
 	n, err := w.Run()
 	fmt.Printf("worker: completed %d experiments\n", n)

@@ -31,6 +31,13 @@ type CampaignResult struct {
 	Workers     int     `json:"workers"`
 	Seconds     float64 `json:"seconds"`
 	ExpsPerSec  float64 `json:"expsPerSec"`
+
+	// Fork-server extras (omitted for replay configurations). The trunk
+	// run is one-time setup amortized over the whole campaign, so it is
+	// reported separately rather than folded into Seconds.
+	TrunkSeconds  float64 `json:"trunkSeconds,omitempty"`
+	SnapshotBytes uint64  `json:"snapshotBytes,omitempty"`
+	Pruned        uint64  `json:"pruned,omitempty"`
 }
 
 // Record is one labelled measurement of the whole suite.
@@ -181,6 +188,36 @@ func MeasureCampaign(w *workloads.Workload, n, workers int, ff bool, seed int64)
 	}, nil
 }
 
+// MeasureForkCampaign runs n experiments through the fork server on the
+// same pool configuration as MeasureCampaign: the one-time trunk run
+// (EnableFork) is timed separately, and the reported throughput is the
+// steady-state fork-and-run rate.
+func MeasureForkCampaign(w *workloads.Workload, n, workers int, seed int64) (CampaignResult, error) {
+	cfg := sim.DefaultConfig()
+	pool, err := campaign.NewPool(w, workers, campaign.RunnerOptions{Cfg: &cfg})
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	t0 := time.Now()
+	if err := pool.EnableFork(campaign.DefaultForkOptions()); err != nil {
+		return CampaignResult{}, err
+	}
+	trunk := time.Since(t0).Seconds()
+	exps := campaign.GenerateUniform(n, campaign.GenConfig{
+		WindowInsts: pool.Runner().WindowInsts, Seed: seed,
+	})
+	t1 := time.Now()
+	pool.RunAll(exps)
+	dt := time.Since(t1).Seconds()
+	st := pool.ForkStats()
+	return CampaignResult{
+		Experiments: n, Workers: workers, Seconds: dt, ExpsPerSec: float64(n) / dt,
+		TrunkSeconds:  trunk,
+		SnapshotBytes: st.ApproxBytes,
+		Pruned:        st.PrunedMasked + st.PrunedTwin,
+	}, nil
+}
+
 // Run executes the full measurement suite and returns the record.
 // Progress lines go to logf (may be nil).
 func Run(cfg Config, logf func(format string, args ...any)) (Record, error) {
@@ -221,6 +258,14 @@ func Run(cfg Config, logf func(format string, args ...any)) (Record, error) {
 		logf("campaign %-12s %8.1f exps/sec (%d exps, %d workers, %.3fs)",
 			c.name, cr.ExpsPerSec, cr.Experiments, cr.Workers, cr.Seconds)
 	}
+	fr, err := MeasureForkCampaign(w, cfg.CampaignExps, cfg.CampaignWorkers, 7)
+	if err != nil {
+		return Record{}, err
+	}
+	rec.Campaigns["fork"] = fr
+	logf("campaign %-12s %8.1f exps/sec (%d exps, %d workers, %.3fs + %.3fs trunk, %d pruned, %d KiB snapshots)",
+		"fork", fr.ExpsPerSec, fr.Experiments, fr.Workers, fr.Seconds, fr.TrunkSeconds,
+		fr.Pruned, fr.SnapshotBytes/1024)
 	return rec, nil
 }
 

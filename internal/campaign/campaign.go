@@ -132,6 +132,11 @@ type Runner struct {
 	sim  *sim.Simulator
 	prof *prof.Profiler
 
+	// fork, when non-nil, routes experiments through the fork server
+	// (EnableFork): each run forks from the closest trunk snapshot
+	// instead of replaying from the checkpoint.
+	fork *forkServer
+
 	// Taint propagation tracking (AttachTaint). taintGolden is the final
 	// architectural state of the golden run, captured lazily on attach;
 	// canCaptureGolden marks the window where r.sim still holds it
@@ -355,7 +360,12 @@ func (r *Runner) Run(exp Experiment) (res Result) {
 	}
 
 	var runRes sim.RunResult
-	if r.Ckpt != nil {
+	var pruned Outcome
+	if r.fork != nil {
+		// Fork server: fork from the closest trunk snapshot preceding the
+		// injection point; masked experiments may classify early.
+		runRes, pruned = r.runForked(exp)
+	} else if r.Ckpt != nil {
 		// Fast-forward: restore the checkpoint and re-arm the engine
 		// with this experiment's faults (Fig. 3 of the paper).
 		r.sim.Restore(r.Ckpt, exp.Faults)
@@ -388,6 +398,16 @@ func (r *Runner) Run(exp Experiment) (res Result) {
 				res.InjPCValid = true
 			}
 		}
+	}
+
+	if pruned != 0 {
+		// Pruned early: the machine is provably back in the golden state,
+		// so the rest of the run is exactly the trunk's completion — report
+		// its instruction and tick totals and skip output extraction.
+		res.Outcome = pruned
+		res.Insts = r.fork.final.Insts
+		res.Ticks = r.fork.final.Ticks
+		return res
 	}
 
 	if runRes.Interrupted {

@@ -1,0 +1,530 @@
+package campaign
+
+// Fork-server campaign scheduling (GemFI §III.D checkpointing taken to
+// its limit, ZOFI's fork model): one golden "trunk" run advances once
+// through the fault-injection window, freezing copy-on-write snapshots at
+// adaptive intervals into a bounded pool; every experiment then forks a
+// worker simulator from the closest snapshot preceding its injection
+// point instead of replaying the warm-up. Two exact pruning rules let
+// most masked experiments finish without executing the golden suffix:
+//
+//   - engine-masked: every fired fault was overwritten or squashed with
+//     no outstanding taint, so the machine is provably back in the golden
+//     state (Engine.MaskedClean);
+//   - trunk-anchor diff: the trunk IS the fault-free twin, and it keeps
+//     freezing anchors past the window across the golden tail; a child
+//     run to an anchor's exact instruction count and bit-identical to it
+//     (architectural, memory-image and kernel state) will execute exactly
+//     the golden suffix from there, so its outcome is already decided.
+//
+// Both rules fire only after Engine.Resolved() and only while the fault
+// flags are frozen, so the classification matches a full replay bit for
+// bit (the fork conformance suite enforces this on the serial models).
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// ForkOptions parameterizes the fork server.
+type ForkOptions struct {
+	// Snapshots is the target number of trunk snapshots across the
+	// fault-injection window (default 32). The capture interval is
+	// WindowInsts/Snapshots committed instructions.
+	Snapshots int
+	// MaxLive bounds the snapshot pool (default Snapshots + Snapshots/2).
+	// During the trunk run the pool thins itself by dropping every other
+	// snapshot — doubling the effective interval, the "adaptive interval"
+	// policy — and at fork time eviction is least-recently-used.
+	MaxLive int
+	// Prune enables engine-masked early classification.
+	Prune bool
+	// TwinCheck enables convergence pruning against the trunk's own
+	// snapshots: after its faults resolve, a child is diffed against each
+	// upcoming trunk anchor it reaches, and a bit-identical match ends the
+	// experiment early. Each check costs a page-map sweep (shared pages
+	// compare by pointer), not a twin execution — the trunk already ran.
+	TwinCheck bool
+}
+
+// DefaultForkOptions returns the standard fork-server configuration.
+func DefaultForkOptions() ForkOptions {
+	return ForkOptions{Snapshots: 32, Prune: true, TwinCheck: true}
+}
+
+func (o ForkOptions) withDefaults() ForkOptions {
+	if o.Snapshots <= 0 {
+		o.Snapshots = 32
+	}
+	if o.MaxLive <= 0 {
+		o.MaxLive = o.Snapshots + o.Snapshots/2
+	}
+	return o
+}
+
+// forkSnap is one pool entry: a frozen fork point plus scheduling
+// metadata.
+type forkSnap struct {
+	fp      *checkpoint.ForkPoint
+	win     uint64 // window commits at capture (0 = pre-window)
+	lastUse uint64 // LRU clock value of the most recent fork
+}
+
+// snapPool is the bounded snapshot pool. All methods are safe for
+// concurrent use by pool workers.
+type snapPool struct {
+	mu      sync.Mutex
+	root    *forkSnap   // pre-window snapshot, never evicted
+	snaps   []*forkSnap // mid-window snapshots sorted by win ascending
+	tail    []*forkSnap // post-window prune anchors sorted by insts ascending
+	maxLive int
+	useClk  uint64
+
+	taken   uint64
+	evicted uint64
+}
+
+// setRoot installs the pre-window fallback snapshot.
+func (sp *snapPool) setRoot(fp *checkpoint.ForkPoint) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	sp.root = &forkSnap{fp: fp}
+	sp.taken++
+}
+
+// insert adds a mid-window snapshot, evicting when the pool exceeds its
+// bound: least-recently-used once forks have started, every-other
+// thinning during the trunk run (nothing has been used yet, so dropping
+// alternate entries doubles the effective interval while keeping
+// coverage).
+func (sp *snapPool) insert(fp *checkpoint.ForkPoint) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	sp.snaps = append(sp.snaps, &forkSnap{fp: fp, win: fp.WindowCommits()})
+	sp.taken++
+	for len(sp.snaps) > sp.maxLive {
+		if sp.useClk == 0 {
+			kept := sp.snaps[:0]
+			lastIdx := len(sp.snaps) - 1
+			for i, s := range sp.snaps {
+				// Keep every other entry, plus the newest so late-window
+				// faults always have a nearby fork point.
+				if i%2 == 1 || i == lastIdx {
+					kept = append(kept, s)
+				} else {
+					sp.evicted++
+				}
+			}
+			sp.snaps = kept
+			continue
+		}
+		victim := 0
+		for i, s := range sp.snaps {
+			if s.lastUse < sp.snaps[victim].lastUse {
+				victim = i
+			}
+		}
+		sp.snaps = append(sp.snaps[:victim], sp.snaps[victim+1:]...)
+		sp.evicted++
+	}
+}
+
+// maxTail bounds the post-window anchor list; when full, every other
+// anchor is dropped and the caller doubles its capture interval — the
+// same adaptive-interval policy as the window snapshots.
+const maxTail = 64
+
+// insertTail appends a post-window prune anchor, thinning the list by
+// half when it hits maxTail. Returns true when it thinned (the trunk
+// should double its capture interval).
+func (sp *snapPool) insertTail(fp *checkpoint.ForkPoint) bool {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	sp.tail = append(sp.tail, &forkSnap{fp: fp, win: fp.WindowCommits()})
+	sp.taken++
+	if len(sp.tail) < maxTail {
+		return false
+	}
+	kept := sp.tail[:0]
+	lastIdx := len(sp.tail) - 1
+	for i, s := range sp.tail {
+		if i%2 == 1 || i == lastIdx {
+			kept = append(kept, s)
+		} else {
+			sp.evicted++
+		}
+	}
+	sp.tail = kept
+	return true
+}
+
+// anchorAfter returns the trunk snapshot with the smallest committed-
+// instruction count >= insts — the next point at which a child can be
+// diffed against the golden run — or nil past the last anchor.
+func (sp *snapPool) anchorAfter(insts uint64) *forkSnap {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	i := sort.Search(len(sp.snaps), func(i int) bool { return sp.snaps[i].fp.Core.Insts >= insts })
+	if i < len(sp.snaps) {
+		return sp.snaps[i]
+	}
+	j := sort.Search(len(sp.tail), func(i int) bool { return sp.tail[i].fp.Core.Insts >= insts })
+	if j < len(sp.tail) {
+		return sp.tail[j]
+	}
+	return nil
+}
+
+// best returns the snapshot with the largest window-commit count still
+// strictly below when — the fault must not have fired yet at the fork
+// point — falling back to the pre-window root. rootOnly forces the root
+// (tick-timed faults cannot be forked mid-window: the trunk's tick clock
+// is model-dependent).
+func (sp *snapPool) best(when uint64, rootOnly bool) *forkSnap {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	sp.useClk++
+	if !rootOnly {
+		// Largest win < when: first index with win >= when, minus one.
+		i := sort.Search(len(sp.snaps), func(i int) bool { return sp.snaps[i].win >= when })
+		if i > 0 {
+			s := sp.snaps[i-1]
+			s.lastUse = sp.useClk
+			return s
+		}
+	}
+	sp.root.lastUse = sp.useClk
+	return sp.root
+}
+
+// stats returns pool accounting: snapshots taken, evicted, currently
+// live, and the approximate private bytes held live.
+func (sp *snapPool) stats() (taken, evicted uint64, live int, bytes uint64) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	live = len(sp.snaps) + len(sp.tail)
+	bytes = 0
+	if sp.root != nil {
+		live++
+		bytes += sp.root.fp.ApproxBytes()
+	}
+	for _, s := range sp.snaps {
+		bytes += s.fp.ApproxBytes()
+	}
+	for _, s := range sp.tail {
+		bytes += s.fp.ApproxBytes()
+	}
+	return sp.taken, sp.evicted, live, bytes
+}
+
+// forkServer is the shared fork-campaign state: the snapshot pool, the
+// trunk's completion result (the golden continuation every pruned
+// experiment inherits), and counters. One server serves every runner of
+// a pool.
+type forkServer struct {
+	opts  ForkOptions
+	pool  *snapPool
+	final sim.RunResult // trunk run to completion (golden continuation)
+
+	forks        atomic.Uint64
+	prunedMasked atomic.Uint64
+	prunedTwin   atomic.Uint64
+	twinChecks   atomic.Uint64
+}
+
+// ForkStats is a point-in-time accounting of a fork-server campaign.
+type ForkStats struct {
+	SnapshotsTaken   uint64 `json:"snapshotsTaken"`
+	SnapshotsEvicted uint64 `json:"snapshotsEvicted"`
+	SnapshotsLive    int    `json:"snapshotsLive"`
+	ApproxBytes      uint64 `json:"approxBytes"`
+	Forks            uint64 `json:"forks"`
+	PrunedMasked     uint64 `json:"prunedMasked"`
+	PrunedTwin       uint64 `json:"prunedTwin"`
+	TwinChecks       uint64 `json:"twinChecks"`
+	TrunkInsts       uint64 `json:"trunkInsts"`
+}
+
+func (fs *forkServer) statsSnapshot() ForkStats {
+	taken, evicted, live, bytes := fs.pool.stats()
+	return ForkStats{
+		SnapshotsTaken:   taken,
+		SnapshotsEvicted: evicted,
+		SnapshotsLive:    live,
+		ApproxBytes:      bytes,
+		Forks:            fs.forks.Load(),
+		PrunedMasked:     fs.prunedMasked.Load(),
+		PrunedTwin:       fs.prunedTwin.Load(),
+		TwinChecks:       fs.twinChecks.Load(),
+		TrunkInsts:       fs.final.Insts,
+	}
+}
+
+// trunkConfig derives the trunk/twin simulator configuration from a
+// runner's: always the atomic model (the trunk is a golden prefix, no
+// faults can strike it), no fast-forward (it IS the fast-forward), no
+// per-experiment instrumentation.
+func trunkConfig(cfg sim.Config) sim.Config {
+	cfg.Model = sim.ModelAtomic
+	cfg.FastForward = false
+	cfg.FastForwardAt = 0
+	cfg.Faults = nil
+	cfg.StopAtCheckpoint = false
+	cfg.Profiler = nil
+	cfg.EnableProfiler = false
+	cfg.Taint = nil
+	cfg.EnableTaint = false
+	return cfg
+}
+
+// seekChunk bounds the trunk's instruction overshoot past the window-open
+// edge; snapshot granularity near the window start is at most this many
+// instructions.
+const seekChunk = 512
+
+// EnableFork builds the fork server for a checkpoint-backed runner: a
+// dedicated trunk simulator restores the checkpoint, runs once to
+// completion on the atomic model, and freezes snapshots across the
+// fault-injection window on the way. Idempotent.
+func (r *Runner) EnableFork(opts ForkOptions) error {
+	if r.fork != nil {
+		return nil
+	}
+	if r.Ckpt == nil {
+		return fmt.Errorf("campaign: fork mode requires a checkpoint-backed runner")
+	}
+	opts = opts.withDefaults()
+
+	p, err := r.Workload.Build()
+	if err != nil {
+		return err
+	}
+	trunk := sim.New(trunkConfig(r.Cfg))
+	if err := trunk.Load(p); err != nil {
+		return err
+	}
+	trunk.Restore(r.Ckpt, nil)
+
+	sp := &snapPool{maxLive: opts.MaxLive}
+	sp.setRoot(trunk.CaptureForkPoint())
+
+	interval := r.WindowInsts / uint64(opts.Snapshots)
+	if interval == 0 {
+		interval = 1
+	}
+
+	// Seek the window-open edge in small steps, then snapshot across the
+	// window at the configured interval. WindowCommits turning nonzero
+	// while no thread is active means the window opened and closed within
+	// one chunk — skip straight to the completion run.
+	res := sim.RunResult{Paused: true}
+	for res.Paused && trunk.Engine.ThreadsActive() == 0 && trunk.Engine.WindowCommits() == 0 {
+		res = trunk.RunUntil(trunk.Core.Insts + seekChunk)
+	}
+	for res.Paused && trunk.Engine.ThreadsActive() > 0 {
+		sp.insert(trunk.CaptureForkPoint())
+		res = trunk.RunUntil(trunk.Core.Insts + interval)
+	}
+	// Past the window, keep freezing prune anchors across the golden tail
+	// at a coarser, adaptively doubling interval: convergence checks diff
+	// children against these instead of re-executing a fault-free twin.
+	tailInterval := interval * 4
+	for res.Paused {
+		if sp.insertTail(trunk.CaptureForkPoint()) {
+			tailInterval *= 2
+		}
+		res = trunk.RunUntil(trunk.Core.Insts + tailInterval)
+	}
+	if res.Failed() {
+		return fmt.Errorf("campaign: fork trunk run of %s failed: %+v", r.Workload.Name, res)
+	}
+
+	fs := &forkServer{opts: opts, pool: sp, final: res}
+	r.fork = fs
+	if m := r.Cfg.Metrics; m != nil {
+		m.RegisterFunc("campaign.fork.snapshots_live", func() float64 {
+			_, _, live, _ := sp.stats()
+			return float64(live)
+		})
+		m.RegisterFunc("campaign.fork.snapshot_bytes", func() float64 {
+			_, _, _, b := sp.stats()
+			return float64(b)
+		})
+		m.RegisterFunc("campaign.fork.forks", func() float64 { return float64(fs.forks.Load()) })
+		m.RegisterFunc("campaign.fork.pruned_masked", func() float64 { return float64(fs.prunedMasked.Load()) })
+		m.RegisterFunc("campaign.fork.pruned_twin", func() float64 { return float64(fs.prunedTwin.Load()) })
+	}
+	return nil
+}
+
+// ForkEnabled reports whether the runner executes experiments through the
+// fork server.
+func (r *Runner) ForkEnabled() bool { return r.fork != nil }
+
+// ForkStats returns the fork-server accounting (zero value when fork mode
+// is off).
+func (r *Runner) ForkStats() ForkStats {
+	if r.fork == nil {
+		return ForkStats{}
+	}
+	return r.fork.statsSnapshot()
+}
+
+// shareFork points a pool clone at an already built fork server.
+func (r *Runner) shareFork(fs *forkServer) { r.fork = fs }
+
+// childChunk is the forked child's run granularity between prune checks.
+const childChunk = 4096
+
+// runForked executes one experiment through the fork server. It returns
+// the child's run result and, when the experiment could be classified
+// early, the exact outcome (0 = run to completion, classify normally).
+func (r *Runner) runForked(exp Experiment) (sim.RunResult, Outcome) {
+	fs := r.fork
+
+	// Pick the fork point: the snapshot closest below the earliest
+	// injection. Tick-timed faults fall back to the pre-window root — the
+	// trunk's tick clock is model-dependent, so only the committed-
+	// instruction prefix may be shared for them.
+	minWhen := ^uint64(0)
+	rootOnly := false
+	for _, f := range exp.Faults {
+		if f.Base == core.TimeTick || f.CPU != "" && f.CPU != r.Cfg.CPUName {
+			rootOnly = true
+		}
+		if f.When < minWhen {
+			minWhen = f.When
+		}
+	}
+	snap := fs.pool.best(minWhen, rootOnly)
+	r.sim.ForkFrom(snap.fp, exp.Faults)
+	fs.forks.Add(1)
+
+	// Pruning needs the experiment's only observable products to be the
+	// outcome class and the engine flags: per-PC profiles and taint
+	// reports cover the whole run, so instrumented runners always finish.
+	pruneOK := fs.opts.Prune && r.taintTr == nil && r.prof == nil
+	if !pruneOK {
+		return r.sim.Run(), 0
+	}
+
+	for {
+		res := r.sim.RunUntil(r.sim.Core.Insts + childChunk)
+		if !res.Paused {
+			return res, 0 // exit, crash, hang or interrupt: classify normally
+		}
+		eng := r.sim.Engine
+		if !eng.Resolved() {
+			continue
+		}
+		// The pipelined model latches in-flight state across steps that a
+		// snapshot comparison cannot see; only prune once the simulator is
+		// on a serial model (atomic, or pipelined after the post-resolve
+		// switch — the campaign methodology's SwitchToAtomicOnResolve).
+		if r.sim.Model.ModelName() == "pipelined" {
+			continue
+		}
+		if eng.MaskedClean() {
+			fs.prunedMasked.Add(1)
+			r.Cfg.Tracer.Instant(obs.CatFork, "fork.prune", r.sim.Core.Ticks,
+				map[string]any{"id": exp.ID, "rule": "masked", "insts": res.Insts})
+			return res, OutcomeNonPropagated
+		}
+		if !fs.opts.TwinCheck {
+			continue
+		}
+		// Advance to the next trunk anchor and diff against it — the trunk
+		// is the fault-free twin, already executed.
+		a := fs.pool.anchorAfter(res.Insts)
+		if a == nil {
+			return r.sim.Run(), 0 // past the last anchor: run out
+		}
+		if res = r.sim.RunUntil(a.fp.Core.Insts); !res.Paused {
+			return res, 0
+		}
+		fs.twinChecks.Add(1)
+		if res.Insts == a.fp.Core.Insts && r.convergedAt(a.fp) {
+			fs.prunedTwin.Add(1)
+			out := OutcomeNonPropagated
+			if eng.AnyPropagated() {
+				out = OutcomeStrictlyCorrect
+			}
+			r.Cfg.Tracer.Instant(obs.CatFork, "fork.prune", r.sim.Core.Ticks,
+				map[string]any{"id": exp.ID, "rule": "twin", "insts": res.Insts})
+			return res, out
+		}
+	}
+}
+
+// convergedAt reports whether the child is bit-identical to the golden
+// trunk at the same committed-instruction count: equal architectural
+// state (NaN-safe), equal full memory image (shared pages compare by
+// pointer), equal kernel state. When it is, the child's remaining
+// execution is exactly the golden suffix. The fault flags are frozen at
+// this point — any outstanding taint entry would imply a state divergence
+// while the window is open, and closes with the window otherwise — so
+// early classification is exact.
+func (r *Runner) convergedAt(fp *checkpoint.ForkPoint) bool {
+	if r.sim.Core.Insts != fp.Core.Insts {
+		return false
+	}
+	if !r.sim.Core.Arch.BitsEqual(&fp.Core.Arch) {
+		return false
+	}
+	if !r.sim.Mem.ConvergedWith(fp.Mem) {
+		return false
+	}
+	return reflect.DeepEqual(r.sim.Kernel.Snapshot(), fp.Kernel)
+}
+
+// EnableFork switches the whole pool to fork-server execution: the first
+// runner builds the trunk and snapshot pool, every worker shares them
+// (fork points are immutable, so sharing is lock-free), and RunAll
+// dispatches experiments sorted by injection time.
+func (p *Pool) EnableFork(opts ForkOptions) error {
+	first := p.runners[0]
+	if err := first.EnableFork(opts); err != nil {
+		return err
+	}
+	for _, r := range p.runners[1:] {
+		r.shareFork(first.fork)
+	}
+	return nil
+}
+
+// ForkStats returns the shared fork-server accounting (zero value when
+// fork mode is off).
+func (p *Pool) ForkStats() ForkStats { return p.runners[0].ForkStats() }
+
+// forkEnabled reports whether the pool runs experiments through a fork
+// server.
+func (p *Pool) forkEnabled() bool { return p.runners[0].fork != nil }
+
+// sortForFork orders experiment dispatch by earliest injection time so
+// consecutive experiments fork from the same or neighboring snapshots
+// (warm page maps, stable LRU). Returns a new slice; IDs are untouched.
+func sortForFork(exps []Experiment) []Experiment {
+	out := append([]Experiment(nil), exps...)
+	sort.SliceStable(out, func(i, j int) bool {
+		return earliestWhen(out[i]) < earliestWhen(out[j])
+	})
+	return out
+}
+
+func earliestWhen(e Experiment) uint64 {
+	w := ^uint64(0)
+	for _, f := range e.Faults {
+		if f.When < w {
+			w = f.When
+		}
+	}
+	return w
+}

@@ -240,7 +240,15 @@ func (p *Pool) RunAll(exps []Experiment) []Result {
 		if exps[i].ID != i {
 			exps[i].ID = i
 		}
-		jobs <- exps[i]
+	}
+	dispatch := exps
+	if p.forkEnabled() {
+		// Injection-time order keeps consecutive forks on the same or
+		// neighboring snapshots (warm page maps, stable LRU).
+		dispatch = sortForFork(exps)
+	}
+	for i := range dispatch {
+		jobs <- dispatch[i]
 	}
 	close(jobs)
 	wg.Wait()

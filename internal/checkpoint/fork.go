@@ -1,0 +1,48 @@
+package checkpoint
+
+import (
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+)
+
+// ForkPoint is the in-process, copy-on-write analogue of State for
+// fork-server campaigns. Where State deep-copies memory and deliberately
+// omits engine state (fi_read_init_all resets it on restore), a ForkPoint
+// shares clean pages with the trunk by reference and must carry the
+// engine's window bookkeeping: forks are taken mid-window, after the
+// trunk has executed part of the fault-injection window, so the child
+// inherits the stage counters that time its faults. ForkPoints live only
+// in process memory — they hold shared page maps and are not serialized.
+type ForkPoint struct {
+	Core   cpu.CoreSnapshot
+	Mem    *mem.CowSnapshot
+	Kernel kernel.Snapshot
+	Window core.WindowState
+}
+
+// WindowCommits returns the committed-instruction progress of the open
+// fault-injection window at the fork point (0 when no window is open):
+// an experiment whose fault fires at window instruction W can only fork
+// from points where this is still below W.
+func (fp *ForkPoint) WindowCommits() uint64 {
+	var max uint64
+	for _, t := range fp.Window.Threads {
+		if t.Commits > max {
+			max = t.Commits
+		}
+	}
+	return max
+}
+
+// ApproxBytes estimates the heap uniquely attributable to this fork
+// point: the incrementally dirtied pages plus the fixed-size CPU and
+// kernel snapshots.
+func (fp *ForkPoint) ApproxBytes() uint64 {
+	n := uint64(len(fp.Kernel.Console)) + 512
+	if fp.Mem != nil {
+		n += fp.Mem.ApproxBytes()
+	}
+	return n
+}

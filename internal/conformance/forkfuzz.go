@@ -1,0 +1,117 @@
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// ForkFuzzResult summarizes one fork-point fuzz run.
+type ForkFuzzResult struct {
+	Seed   int64
+	Points int    // fork points actually exercised
+	Insts  uint64 // straight-line run length
+}
+
+// ForkFuzz generates a random program (the lockstep fuzzer's generator),
+// runs it straight through on the atomic model, then re-runs it as a
+// trunk that freezes COW fork points at pseudo-random instruction counts.
+// A child forked from every point and run to completion must finish
+// bit-identical to the straight run — architectural state, memory image,
+// console, exit status — and so must the trunk itself after all its
+// freezes. Any difference means a frozen page leaked a write across the
+// fork boundary.
+func ForkFuzz(seed int64, points int, genCfg GenConfig) (ForkFuzzResult, error) {
+	out := ForkFuzzResult{Seed: seed}
+	p := Generate(seed, genCfg)
+	prog, err := p.Build()
+	if err != nil {
+		return out, fmt.Errorf("seed %d: build: %w", seed, err)
+	}
+
+	newSim := func() (*sim.Simulator, error) {
+		s := sim.New(sim.Config{Model: sim.ModelAtomic, MaxInsts: 50_000_000})
+		if err := s.Load(prog); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+
+	ref, err := newSim()
+	if err != nil {
+		return out, fmt.Errorf("seed %d: load: %w", seed, err)
+	}
+	refRes := ref.Run()
+	if refRes.Hung || refRes.Interrupted {
+		return out, fmt.Errorf("seed %d: reference run did not finish: %+v", seed, refRes)
+	}
+	out.Insts = refRes.Insts
+	refSnap := ref.Mem.Snapshot()
+
+	// Pick distinct fork instants strictly inside the run.
+	if out.Insts < 2 {
+		return out, nil
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x666f726b)) // "fork"
+	chosen := map[uint64]bool{}
+	for len(chosen) < points && len(chosen) < int(out.Insts-1) {
+		chosen[1+uint64(rng.Int63n(int64(out.Insts-1)))] = true
+	}
+	insts := make([]uint64, 0, len(chosen))
+	for at := range chosen {
+		insts = append(insts, at)
+	}
+	sort.Slice(insts, func(i, j int) bool { return insts[i] < insts[j] })
+
+	trunk, err := newSim()
+	if err != nil {
+		return out, fmt.Errorf("seed %d: load trunk: %w", seed, err)
+	}
+	for _, at := range insts {
+		if r := trunk.RunUntil(at); !r.Paused {
+			return out, fmt.Errorf("seed %d: trunk ended at %d insts before fork point %d",
+				seed, r.Insts, at)
+		}
+		fp := trunk.CaptureForkPoint()
+		child, err := newSim()
+		if err != nil {
+			return out, fmt.Errorf("seed %d: load child: %w", seed, err)
+		}
+		child.ForkFrom(fp, nil)
+		cr := child.Run()
+		if err := compareToRef(fmt.Sprintf("child forked at %d", at), child, cr, ref, refRes, refSnap); err != nil {
+			return out, fmt.Errorf("seed %d: %w\nprogram:\n%s", seed, err, Listing(prog))
+		}
+		out.Points++
+	}
+	tr := trunk.Run()
+	if err := compareToRef("trunk after freezes", trunk, tr, ref, refRes, refSnap); err != nil {
+		return out, fmt.Errorf("seed %d: %w\nprogram:\n%s", seed, err, Listing(prog))
+	}
+	return out, nil
+}
+
+// compareToRef checks a finished simulator against the straight-line
+// reference, bit for bit.
+func compareToRef(label string, s *sim.Simulator, r sim.RunResult,
+	ref *sim.Simulator, refRes sim.RunResult, refSnap mem.Snapshot) error {
+	if r.Hung || r.Interrupted || r.Crashed != refRes.Crashed || r.ExitStatus != refRes.ExitStatus {
+		return fmt.Errorf("%s: run disposition diverged: %+v vs %+v", label, r, refRes)
+	}
+	if r.Insts != refRes.Insts {
+		return fmt.Errorf("%s: committed %d insts, reference %d", label, r.Insts, refRes.Insts)
+	}
+	if !s.Core.Arch.BitsEqual(&ref.Core.Arch) {
+		return fmt.Errorf("%s: architectural state diverged", label)
+	}
+	if c, rc := s.Kernel.Console(), ref.Kernel.Console(); c != rc {
+		return fmt.Errorf("%s: console diverged: %q vs %q", label, c, rc)
+	}
+	if _, total := mem.DiffSnapshots(s.Mem.Snapshot(), refSnap, 4); total != 0 {
+		return fmt.Errorf("%s: %d bytes of memory diverged", label, total)
+	}
+	return nil
+}

@@ -23,6 +23,23 @@ type Arch struct {
 	PCBB uint64               // Process Control Block Base (special register)
 }
 
+// BitsEqual compares two architectural states bit for bit. A plain
+// struct comparison treats a NaN float register as unequal to itself, so
+// two machines in identical states would spuriously differ whenever the
+// program computed a NaN; the FP register file must be compared as raw
+// bits.
+func (a *Arch) BitsEqual(b *Arch) bool {
+	if a.PC != b.PC || a.PCBB != b.PCBB || a.R != b.R {
+		return false
+	}
+	for i := range a.F {
+		if math.Float64bits(a.F[i]) != math.Float64bits(b.F[i]) {
+			return false
+		}
+	}
+	return true
+}
+
 // ReadReg reads an integer register, honoring the zero register.
 func (a *Arch) ReadReg(r isa.Reg) uint64 {
 	if r == isa.ZeroReg {

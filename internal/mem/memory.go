@@ -45,12 +45,22 @@ type tlb struct {
 	page     []byte // nil: entry invalid
 	pageBase uint64 // base address of page
 	lo, hi   uint64 // containing mapped region [lo, hi)
+	wr       bool   // page is private (writable); false for frozen/zero pages
 }
 
 // Memory is a sparse, little-endian physical memory. The zero value is not
 // usable; call New.
 type Memory struct {
-	pages   map[uint64][]byte
+	// pages is the private overlay: every page the memory has written since
+	// it was created, restored, or last frozen by CowSnapshot. base is the
+	// frozen copy-on-write layer shared with snapshots and sibling forks;
+	// it is nil until the first CowSnapshot/ForkFrom and must never be
+	// written through. Reads consult pages first, then base; the first
+	// write to a frozen page copies it into pages (COW).
+	pages  map[uint64][]byte
+	base   map[uint64][]byte
+	baseID uint64 // identity of the frozen base (CowSnapshot.id), 0 if none
+
 	regions []region // sorted by Lo, non-overlapping, non-adjacent
 
 	fetch tlb // instruction-fetch port (Read32)
@@ -164,24 +174,65 @@ func (m *Memory) Regions() [][2]uint64 {
 	return out
 }
 
-func (m *Memory) page(addr uint64) []byte {
-	base := addr &^ uint64(PageSize-1)
-	p, ok := m.pages[base]
+// zeroPage backs reads of never-written pages so the read path allocates
+// nothing. It must never be written: every write path goes through
+// writablePage, and the TLB wr bit keeps fast-path stores off it.
+var zeroPage [PageSize]byte
+
+// writablePage returns the private page containing addr, copying it out
+// of the frozen base on the first write after a snapshot (copy-on-write)
+// or allocating it zeroed. Any micro-TLB entry caching the superseded
+// frozen page is repointed at the private copy so the two ports stay
+// coherent.
+func (m *Memory) writablePage(addr uint64) []byte {
+	pb := addr &^ uint64(PageSize-1)
+	p, ok := m.pages[pb]
 	if !ok {
 		p = make([]byte, PageSize)
-		m.pages[base] = p
+		if bp, ok := m.base[pb]; ok {
+			copy(p, bp)
+		}
+		m.pages[pb] = p
+		if m.fetch.page != nil && m.fetch.pageBase == pb {
+			m.fetch.page, m.fetch.wr = p, true
+		}
+		if m.data.page != nil && m.data.pageBase == pb {
+			m.data.page, m.data.wr = p, true
+		}
 	}
 	return p
 }
 
+// readPage returns the current contents of addr's page without making it
+// private: the private overlay wins, then the frozen base, then the
+// shared zero page. private reports whether the returned page may be
+// written in place.
+func (m *Memory) readPage(addr uint64) (p []byte, private bool) {
+	pb := addr &^ uint64(PageSize-1)
+	if p, ok := m.pages[pb]; ok {
+		return p, true
+	}
+	if p, ok := m.base[pb]; ok {
+		return p, false
+	}
+	return zeroPage[:], false
+}
+
 // fill performs the slow path of a port access: full mapping check, page
-// allocation, TLB refill. It returns the page slice or an error.
+// lookup (with a copy-on-write fault when write is set and the page is
+// frozen), TLB refill. It returns the page slice or an error.
 func (m *Memory) fill(t *tlb, addr uint64, size int, write bool) ([]byte, error) {
 	lo, hi, ok := m.regionFor(addr, size)
 	if !ok {
 		return nil, &AccessError{Addr: addr, Write: write, Size: size}
 	}
-	p := m.page(addr)
+	var p []byte
+	if write {
+		p = m.writablePage(addr)
+		t.wr = true
+	} else {
+		p, t.wr = m.readPage(addr)
+	}
 	t.page = p
 	t.pageBase = addr &^ uint64(PageSize-1)
 	t.lo, t.hi = lo, hi
@@ -189,7 +240,8 @@ func (m *Memory) fill(t *tlb, addr uint64, size int, write bool) ([]byte, error)
 }
 
 // hit reports whether [addr, addr+size) is fully inside the cached page
-// and region of t. size must be <= PageSize.
+// and region of t. size must be <= PageSize. Stores must additionally
+// check t.wr before writing through the cached page.
 func (t *tlb) hit(addr uint64, size uint64) bool {
 	return t.page != nil && addr-t.pageBase <= PageSize-size && addr >= t.lo && t.hi-addr >= size
 }
@@ -209,7 +261,7 @@ func (m *Memory) LoadByte(addr uint64) (byte, error) {
 // StoreByte writes one byte.
 func (m *Memory) StoreByte(addr uint64, v byte) error {
 	m.noteWrite(addr, 1)
-	if t := &m.data; t.hit(addr, 1) {
+	if t := &m.data; t.wr && t.hit(addr, 1) {
 		t.page[addr-t.pageBase] = v
 		return nil
 	}
@@ -276,7 +328,7 @@ func (m *Memory) read64Slow(addr uint64) (uint64, error) {
 // Write64 writes a little-endian 64-bit word.
 func (m *Memory) Write64(addr uint64, v uint64) error {
 	m.noteWrite(addr, 8)
-	if t := &m.data; t.hit(addr, 8) {
+	if t := &m.data; t.wr && t.hit(addr, 8) {
 		put64(t.page, addr-t.pageBase, v)
 		return nil
 	}
@@ -369,7 +421,7 @@ func (m *Memory) StoreBytes(addr uint64, b []byte) error {
 	m.noteWrite(addr, uint64(len(b)))
 	for len(b) > 0 {
 		off := addr % PageSize
-		n := copy(m.page(addr)[off:], b)
+		n := copy(m.writablePage(addr)[off:], b)
 		b = b[n:]
 		addr += uint64(n)
 	}
@@ -395,7 +447,8 @@ func (m *Memory) LoadBytes(addr uint64, n int) ([]byte, error) {
 	dst := out
 	for len(dst) > 0 {
 		off := addr % PageSize
-		c := copy(dst, m.page(addr)[off:])
+		p, _ := m.readPage(addr)
+		c := copy(dst, p[off:])
 		dst = dst[c:]
 		addr += uint64(c)
 	}
@@ -409,13 +462,22 @@ type Snapshot struct {
 	Regions []region
 }
 
-// Snapshot returns a deep copy of the memory state.
+// Snapshot returns a deep copy of the memory state, flattening the frozen
+// COW base and the private overlay into one page map.
 func (m *Memory) Snapshot() Snapshot {
 	s := Snapshot{
-		Pages:   make(map[uint64][]byte, len(m.pages)),
+		Pages:   make(map[uint64][]byte, len(m.base)+len(m.pages)),
 		Regions: make([]region, len(m.regions)),
 	}
 	copy(s.Regions, m.regions)
+	for base, p := range m.base {
+		if _, dirty := m.pages[base]; dirty {
+			continue
+		}
+		cp := make([]byte, PageSize)
+		copy(cp, p)
+		s.Pages[base] = cp
+	}
 	for base, p := range m.pages {
 		cp := make([]byte, PageSize)
 		copy(cp, p)
@@ -473,7 +535,10 @@ func DiffSnapshots(a, b Snapshot, maxDetail int) (diffs []ByteDiff, total int) {
 	return diffs, total
 }
 
-// Restore replaces the memory state with the snapshot's (deep copy).
+// Restore replaces the memory state with the snapshot's (deep copy). Any
+// frozen COW base is dropped, both per-port micro-TLBs are invalidated
+// unconditionally, and the text generation is bumped so no stale
+// translation or predecoded instruction survives into the restored state.
 func (m *Memory) Restore(s Snapshot) {
 	m.pages = make(map[uint64][]byte, len(s.Pages))
 	for base, p := range s.Pages {
@@ -481,6 +546,8 @@ func (m *Memory) Restore(s Snapshot) {
 		copy(cp, p)
 		m.pages[base] = cp
 	}
+	m.base = nil
+	m.baseID = 0
 	m.regions = make([]region, len(s.Regions))
 	copy(m.regions, s.Regions)
 	m.fetch, m.data = tlb{}, tlb{}

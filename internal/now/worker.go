@@ -54,6 +54,16 @@ type WorkerConfig struct {
 	// The golden differ is fed by the worker's own fault-free
 	// continuation run (the same one that rebuilds the golden output).
 	Taint bool
+
+	// Fork switches each slot's runner into fork-server mode: one local
+	// trunk run freezes COW snapshots across the fault window and every
+	// experiment forks from the closest one instead of replaying the
+	// warm-up from the shipped checkpoint. Pruning is disabled when Taint
+	// is also set (instrumented runs must execute in full).
+	Fork bool
+	// ForkSnapshots overrides the trunk snapshot count in Fork mode;
+	// 0 uses the campaign default.
+	ForkSnapshots int
 }
 
 // Worker pulls experiments from a master and executes them locally from
@@ -149,7 +159,7 @@ func (w *Worker) runSlot(name string) (int, error) {
 		return 0, fmt.Errorf("now: expected welcome, got %q", welcome.Type)
 	}
 
-	runner, err := buildRunner(welcome, w.cfg.Taint)
+	runner, err := buildRunner(welcome, w.cfg)
 	if err != nil {
 		return 0, err
 	}
@@ -233,7 +243,7 @@ func (w *Worker) runExperiment(runner *campaign.Runner, exp campaign.Experiment)
 // the program is rebuilt deterministically from (workload, scale), and
 // the simulator state comes from the shipped checkpoint — the "local
 // copy of the checkpoint" of the paper's step 3.
-func buildRunner(welcome Message, withTaint bool) (*campaign.Runner, error) {
+func buildRunner(welcome Message, wcfg WorkerConfig) (*campaign.Runner, error) {
 	wl, err := workloads.ByName(welcome.Workload, workloads.Scale(welcome.Scale))
 	if err != nil {
 		return nil, err
@@ -270,11 +280,20 @@ func buildRunner(welcome Message, withTaint bool) (*campaign.Runner, error) {
 	if err != nil {
 		return nil, err
 	}
-	if withTaint {
+	if wcfg.Taint {
 		// The fault-free continuation above left s at the golden final
 		// state — exactly what the taint differ needs.
 		runner.AttachTaint()
 		runner.ShareTaintGolden(taint.CaptureGolden(&s.Core.Arch, s.Mem))
+	}
+	if wcfg.Fork {
+		fo := campaign.DefaultForkOptions()
+		if wcfg.ForkSnapshots > 0 {
+			fo.Snapshots = wcfg.ForkSnapshots
+		}
+		if err := runner.EnableFork(fo); err != nil {
+			return nil, err
+		}
 	}
 	return runner, nil
 }

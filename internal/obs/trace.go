@@ -25,6 +25,7 @@ const (
 	CatFI         = "fi"         // fault-injection lifecycle
 	CatSim        = "sim"        // run phases, model switches, watchdog
 	CatCheckpoint = "checkpoint" // capture/restore
+	CatFork       = "fork"       // COW snapshot trees: freeze/fork/prune
 	CatCache      = "cache"      // memory-hierarchy events
 	CatCampaign   = "campaign"   // experiment execution
 	CatNoW        = "now"        // master/worker telemetry

@@ -1,0 +1,140 @@
+package sim
+
+// Fork-server support (GemFI §III.D checkpointing taken in-process, ZOFI's
+// fork model): a campaign trunk run freezes copy-on-write ForkPoints as it
+// goes, and each experiment forks a worker simulator from the closest
+// preceding one in O(dirty pages) instead of replaying the warm-up.
+
+import (
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// CaptureForkPoint freezes the whole machine into a copy-on-write fork
+// point: CPU and kernel snapshots by value, memory by freezing the
+// private overlay into a shared base (no page copies), and — unlike
+// Checkpoint — the fault engine's window bookkeeping, so forks taken
+// mid-window time their faults exactly as a full replay would. The trunk
+// keeps running afterwards; its next stores copy pages out of the frozen
+// base.
+func (s *Simulator) CaptureForkPoint() *checkpoint.ForkPoint {
+	fp := &checkpoint.ForkPoint{
+		Core:   s.Core.Snapshot(),
+		Mem:    s.Mem.CowSnapshot(),
+		Kernel: s.Kernel.Snapshot(),
+	}
+	if s.Engine != nil {
+		fp.Window = s.Engine.CaptureWindow()
+	}
+	s.Cfg.Metrics.Counter("sim.fork.snapshots").Inc()
+	s.Cfg.Tracer.Instant(obs.CatFork, "fork.snapshot", s.Core.Ticks, map[string]any{
+		"insts":        fp.Core.Insts,
+		"dirty_pages":  fp.Mem.DirtyPages(),
+		"approx_bytes": fp.ApproxBytes(),
+	})
+	return fp
+}
+
+// ForkFrom repoints the simulator at a fork point and arms it with a
+// fresh fault list — the fork-server replacement for Restore. Memory
+// adopts the frozen pages with an empty private overlay; caches, micro-
+// TLBs and predecoded instructions are invalidated rather than cloned
+// (cheap and exactly equivalent: they hold no architectural state). When
+// the fork point lies inside a fault-injection window the detailed model
+// starts immediately — the fast-forward prefix already happened on the
+// trunk — otherwise fast-forward is re-armed exactly as after Restore.
+func (s *Simulator) ForkFrom(fp *checkpoint.ForkPoint, faults []core.Fault) {
+	s.Mem.ForkFrom(fp.Mem)
+	s.Core.RestoreSnapshot(fp.Core)
+	s.Kernel.Restore(fp.Kernel)
+	if s.Hier != nil {
+		s.Hier.InvalidateAll()
+	}
+	if s.Engine != nil {
+		s.Engine.ResetWithWindow(faults, fp.Window) // also resets the taint tracker
+	} else {
+		s.Cfg.Taint.Reset()
+	}
+	if pr := s.Cfg.Profiler; pr != nil {
+		pr.ResetStack() // the forked guest is mid-call-chain
+	}
+	s.Model = s.newModel(s.Cfg.Model)
+	s.switched = false
+	s.stopRequested = false
+	s.interrupted.Store(false)
+	if fp.Window.Open() {
+		// Mid-window fork: the window-open edge that would end a
+		// fast-forward prefix is already behind us, so run the configured
+		// model from the first post-fork instruction.
+		s.ffActive, s.ffPending = false, false
+		s.WindowOpenInsts = fp.Core.Insts - fp.WindowCommits()
+	} else {
+		s.WindowOpenInsts = 0
+		s.armFastForward()
+	}
+	s.Cfg.Metrics.Counter("sim.fork.children").Inc()
+	s.Cfg.Tracer.Instant(obs.CatFork, "fork.child", s.Core.Ticks, map[string]any{
+		"insts": fp.Core.Insts, "faults": len(faults), "mid_window": fp.Window.Open(),
+	})
+}
+
+// RunUntil is Run with an instruction bound: the simulation pauses once
+// the core has committed at least insts instructions, returning with
+// Paused set and all live state intact so the caller may capture a fork
+// point or keep running. On the serial models (atomic, timing) the pause
+// lands exactly at insts; the pipelined model may overshoot by the
+// commits of its final step. All other stop conditions behave as in Run.
+func (s *Simulator) RunUntil(insts uint64) RunResult {
+	if s.Model == nil {
+		return RunResult{Crashed: true, CrashCause: "no program loaded"}
+	}
+	if s.Core.Insts >= insts {
+		r := s.result(false, false)
+		r.Paused = true
+		return r
+	}
+	endSpan := s.Cfg.Tracer.Span(obs.CatSim, "run.until", 0)
+	var steps uint64
+	for !s.Core.Stopped && !s.stopRequested {
+		if steps&255 == 0 && s.interrupted.Load() {
+			s.interrupted.Store(false)
+			s.Cfg.Tracer.Instant(obs.CatSim, "run.interrupted", s.Core.Ticks, nil)
+			r := s.result(false, false)
+			r.Interrupted = true
+			endSpan(map[string]any{"outcome": "interrupted"})
+			return r
+		}
+		steps++
+		if !s.Model.Step() {
+			break
+		}
+		if s.ffActive && (s.ffPending ||
+			(s.Cfg.FastForwardAt > 0 && s.Core.Insts >= s.Cfg.FastForwardAt)) {
+			s.endFastForward()
+		}
+		if s.Core.Insts >= insts {
+			r := s.result(false, false)
+			r.Paused = true
+			endSpan(map[string]any{"outcome": "paused", "insts": r.Insts})
+			return r
+		}
+		if s.Cfg.MaxInsts > 0 && s.Core.Insts >= s.Cfg.MaxInsts {
+			s.Cfg.Tracer.Instant(obs.CatSim, "watchdog.hang", s.Core.Ticks,
+				map[string]any{"insts": s.Core.Insts})
+			endSpan(map[string]any{"outcome": "hang"})
+			return s.result(false, true)
+		}
+		if s.Cfg.SwitchToAtomicOnResolve && !s.switched && s.Engine != nil &&
+			s.Cfg.Model == ModelPipelined && s.Engine.AnyFired() && s.Engine.Resolved() {
+			s.SwitchModel(ModelAtomic)
+		}
+	}
+	stoppedAtCkpt := s.stopRequested && !s.Core.Stopped
+	s.stopRequested = false
+	r := s.result(stoppedAtCkpt, false)
+	endSpan(map[string]any{
+		"outcome": runOutcomeName(r), "insts": r.Insts, "ticks": r.Ticks, "model": r.Model,
+	})
+	return r
+}

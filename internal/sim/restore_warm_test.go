@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/mem"
+)
+
+// restoreWarmProgram mutates every word of a buffer after the checkpoint,
+// so any stale micro-TLB translation, predecoded instruction, or MRU
+// cache-line pointer surviving a restore would read post-checkpoint
+// values out of pre-checkpoint state (or vice versa) and change the sum.
+const restoreWarmProgram = `
+int buf[64];
+int out[1];
+int main() {
+    int i = 0;
+    for (i = 0; i < 64; i = i + 1) { buf[i] = i + 1; }
+    fi_checkpoint();
+    int s = 0;
+    for (i = 0; i < 64; i = i + 1) { buf[i] = buf[i] * 3; s = s + buf[i]; }
+    out[0] = s;
+    return 0;
+}`
+
+// TestRestoreIntoWarmedCore restores a checkpoint into a machine that ran
+// to completion first — micro-TLBs, predecode caches and cache MRU
+// pointers all warm with post-checkpoint state — and requires the re-run
+// to finish bit-identical to a restore into a cold machine. Guards the
+// invariant that every restore path invalidates translation and decode
+// state unconditionally.
+func TestRestoreIntoWarmedCore(t *testing.T) {
+	for _, model := range []ModelKind{ModelAtomic, ModelTiming, ModelPipelined} {
+		cfg := Config{Model: model, EnableFI: true, MaxInsts: 10_000_000}
+
+		warm := compileMC(t, restoreWarmProgram, cfg)
+		var st *checkpoint.State
+		warm.OnCheckpoint = func(sm *Simulator) {
+			if st == nil {
+				st = sm.Checkpoint()
+			}
+		}
+		if r := warm.Run(); r.Failed() {
+			t.Fatalf("%s: first run failed: %+v", model, r)
+		}
+		if st == nil {
+			t.Fatalf("%s: fi_checkpoint never hit", model)
+		}
+		// The machine is fully warmed with end-of-run state; restoring must
+		// not let any of it leak into the re-run.
+		warm.Restore(st, nil)
+		warmRes := warm.Run()
+
+		cold := compileMC(t, restoreWarmProgram, cfg)
+		cold.Restore(st, nil)
+		coldRes := cold.Run()
+
+		if warmRes.Failed() || coldRes.Failed() {
+			t.Fatalf("%s: restored runs failed: warm %+v, cold %+v", model, warmRes, coldRes)
+		}
+		if !warm.Core.Arch.BitsEqual(&cold.Core.Arch) {
+			t.Errorf("%s: stale state leaked through restore: architectural state diverged", model)
+		}
+		if warm.Core.Insts != cold.Core.Insts || warm.Core.Ticks != cold.Core.Ticks {
+			t.Errorf("%s: counters diverged: insts %d vs %d, ticks %d vs %d",
+				model, warm.Core.Insts, cold.Core.Insts, warm.Core.Ticks, cold.Core.Ticks)
+		}
+		if _, total := mem.DiffSnapshots(warm.Mem.Snapshot(), cold.Mem.Snapshot(), 4); total != 0 {
+			t.Errorf("%s: %d bytes of memory diverged after warm restore", model, total)
+		}
+	}
+}
+
+// TestForkIntoWarmedSimulator is the fork-server variant: ForkFrom must
+// scrub a simulator that has already run other experiments as thoroughly
+// as Restore does.
+func TestForkIntoWarmedSimulator(t *testing.T) {
+	for _, model := range []ModelKind{ModelAtomic, ModelPipelined} {
+		cfg := Config{Model: model, EnableFI: true, MaxInsts: 10_000_000}
+
+		trunk := compileMC(t, restoreWarmProgram, cfg)
+		trunk.Cfg.StopAtCheckpoint = true
+		if r := trunk.Run(); !r.StoppedAtCheckpoint {
+			t.Fatalf("%s: trunk did not stop at checkpoint: %+v", model, r)
+		}
+		fp := trunk.CaptureForkPoint()
+
+		// Cold child: fork immediately after load.
+		cold := compileMC(t, restoreWarmProgram, cfg)
+		cold.ForkFrom(fp, nil)
+		coldRes := cold.Run()
+
+		// Warm child: a full prior run, then the fork.
+		warm := compileMC(t, restoreWarmProgram, cfg)
+		if r := warm.Run(); r.Failed() {
+			t.Fatalf("%s: warm-up run failed: %+v", model, r)
+		}
+		warm.ForkFrom(fp, nil)
+		warmRes := warm.Run()
+
+		if warmRes.Failed() || coldRes.Failed() {
+			t.Fatalf("%s: forked runs failed: warm %+v, cold %+v", model, warmRes, coldRes)
+		}
+		if !warm.Core.Arch.BitsEqual(&cold.Core.Arch) {
+			t.Errorf("%s: stale state leaked through ForkFrom", model)
+		}
+		if _, total := mem.DiffSnapshots(warm.Mem.Snapshot(), cold.Mem.Snapshot(), 4); total != 0 {
+			t.Errorf("%s: %d bytes of memory diverged after warm fork", model, total)
+		}
+	}
+}

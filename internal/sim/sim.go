@@ -360,6 +360,7 @@ type RunResult struct {
 	Hung                bool
 	Interrupted         bool // stopped by Interrupt() (external timeout)
 	StoppedAtCheckpoint bool
+	Paused              bool // RunUntil hit its instruction bound mid-run
 
 	Insts uint64
 	Ticks uint64
