@@ -27,6 +27,8 @@ func main() {
 		reps     = flag.Int("reps", 0, "best-of repetitions per model (0 = default)")
 		exps     = flag.Int("n", 0, "campaign experiments (0 = default)")
 		workers  = flag.Int("workers", 4, "campaign pool size")
+		sampling = flag.Bool("sampling", false, "also run the adaptive-vs-uniform sampling accuracy suite over all workloads")
+		sbudget  = flag.Int("sampling-budget", 0, "per-mode experiment budget for -sampling (0 = default)")
 		compare  = flag.String("compare", "", "compare two labels from the file (base,current) and exit")
 	)
 	flag.Parse()
@@ -55,6 +57,8 @@ func main() {
 		Reps:            *reps,
 		CampaignExps:    *exps,
 		CampaignWorkers: *workers,
+		Sampling:        *sampling,
+		SamplingBudget:  *sbudget,
 	}
 	if *quick {
 		cfg.Scale = workloads.ScaleTest

@@ -1,0 +1,175 @@
+package main
+
+// Campaign-service client mode (-server): submit specs to a running
+// gemfi-serve, watch campaigns stream in live over SSE, and resume
+// watching after a client restart — the server's journal, not this
+// process, is the source of truth.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/campaign"
+	"repro/internal/serv"
+)
+
+type clientArgs struct {
+	server string
+	submit bool
+	watch  string
+	resume string
+
+	workload string
+	scale    string
+	model    string
+	n        int
+	seed     int64
+	sampling string
+	strata   int
+	batch    int
+	tenant   string
+	weight   int
+	workers  int
+	fork     bool
+	taint    bool
+	profile  bool
+}
+
+func runClient(a clientArgs) error {
+	base := strings.TrimSuffix(a.server, "/")
+	switch {
+	case a.submit:
+		spec := serv.CampaignSpec{
+			Workload: a.workload, Scale: a.scale, Model: a.model,
+			N: a.n, Seed: a.seed,
+			Sampling: a.sampling, Strata: a.strata, Batch: a.batch,
+			Tenant: a.tenant, Weight: a.weight, Workers: a.workers,
+			Fork: a.fork, Taint: a.taint, Profile: a.profile,
+		}
+		body, err := json.Marshal(spec)
+		if err != nil {
+			return err
+		}
+		resp, err := http.Post(base+"/campaigns", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			return clientErr("submit", resp)
+		}
+		var created struct {
+			ID string `json:"id"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+			return err
+		}
+		fmt.Println(created.ID)
+		return nil
+
+	case a.watch != "":
+		return watchCampaign(base, a.watch, false)
+
+	case a.resume != "":
+		return watchCampaign(base, a.resume, true)
+	}
+	return fmt.Errorf("client mode needs one of -submit, -watch <id>, -resume <id>")
+}
+
+// watchCampaign streams a campaign until it finishes. In resume mode the
+// report-so-far prints first, so a reconnecting client sees where the
+// campaign stands before the stream (which replays history, then runs
+// live) takes over.
+func watchCampaign(base, id string, resumeMode bool) error {
+	if resumeMode {
+		rep, err := fetchReport(base, id)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("campaign %s (%s, %s sampling): %d results so far\n",
+			rep.ID, rep.Workload, rep.Sampling, rep.Total)
+	}
+	resp, err := http.Get(base + "/campaigns/" + id + "/stream")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return clientErr("stream", resp)
+	}
+
+	tally := make(campaign.Tally)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	var event string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			switch event {
+			case "result":
+				var r campaign.Result
+				if err := json.Unmarshal([]byte(data), &r); err != nil {
+					return err
+				}
+				tally.Add(r)
+				fmt.Printf("exp %4d: %-18s (fault %s@%d, %d insts)\n",
+					r.ID, r.Outcome, r.Fault.Loc, r.Fault.When, r.Insts)
+			case "done":
+				var st serv.CampaignStatus
+				if err := json.Unmarshal([]byte(data), &st); err != nil {
+					return err
+				}
+				fmt.Printf("\ncampaign %s %s: %d experiments\n", st.ID, st.Phase, tally.Total())
+				for _, o := range campaign.Outcomes() {
+					fmt.Printf("  %-18s %5d (%5.1f%%)\n", o, tally[o], 100*tally.Fraction(o))
+				}
+				if st.AggCIWidth > 0 {
+					fmt.Printf("vulnerability estimate %.4f (±%.4f at campaign confidence)\n",
+						st.AggP, st.AggCIWidth/2)
+				}
+				return nil
+			case "status":
+				// Periodic keep-alive snapshots; nothing to print.
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("stream interrupted: %w (reconnect with -resume %s)", err, id)
+	}
+	return fmt.Errorf("stream ended before campaign finished (reconnect with -resume %s)", id)
+}
+
+func fetchReport(base, id string) (*serv.Report, error) {
+	resp, err := http.Get(base + "/campaigns/" + id + "/report")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, clientErr("report", resp)
+	}
+	var rep serv.Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+func clientErr(op string, resp *http.Response) error {
+	var body struct {
+		Error string `json:"error"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&body)
+	if body.Error != "" {
+		return fmt.Errorf("%s: %s (HTTP %d)", op, body.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("%s: HTTP %d", op, resp.StatusCode)
+}

@@ -6,6 +6,12 @@
 //	gemfi-campaign -experiment fig7 -trials 5
 //	gemfi-campaign -experiment fig8 -n 20 -workers 4
 //	gemfi-campaign -experiment custom -workload dct -n 200 -json out.json
+//
+// With -server it is instead a client of a gemfi-serve campaign service:
+//
+//	gemfi-campaign -server http://localhost:8080 -submit -workload pi -n 500 -sampling adaptive
+//	gemfi-campaign -server http://localhost:8080 -watch c0001
+//	gemfi-campaign -server http://localhost:8080 -resume c0001
 package main
 
 import (
@@ -55,8 +61,29 @@ func run() error {
 		forkOn     = flag.Bool("fork", false, "fork-server mode: one trunk run freezes COW snapshots across the fault window; each experiment forks from the closest one instead of replaying the warm-up (custom experiment)")
 		forkSnaps  = flag.Int("fork-snapshots", 32, "target trunk snapshots across the fault window in -fork mode")
 		forkPrune  = flag.Bool("fork-prune", true, "classify provably masked experiments early in -fork mode (disabled automatically under -profile/-taint)")
+
+		// Campaign-service client mode.
+		server   = flag.String("server", "", "gemfi-serve base URL; switches to client mode (-submit/-watch/-resume)")
+		submit   = flag.Bool("submit", false, "submit a campaign spec built from the flags to -server and print its ID")
+		watch    = flag.String("watch", "", "stream a -server campaign's results live until it finishes")
+		resume   = flag.String("resume", "", "print a -server campaign's report so far, then stream the remainder")
+		sampling = flag.String("sampling", "", "service sampling mode: uniform|adaptive (-submit)")
+		strata   = flag.Int("strata", 0, "adaptive strata count (-submit; 0 = service default)")
+		batch    = flag.Int("batch", 0, "adaptive batch size (-submit; 0 = service default)")
+		tenant   = flag.String("tenant", "", "fair-share tenant account (-submit)")
+		weight   = flag.Int("weight", 0, "fair-share weight (-submit; 0 = default 1)")
 	)
 	flag.Parse()
+
+	if *server != "" {
+		return runClient(clientArgs{
+			server: *server, submit: *submit, watch: *watch, resume: *resume,
+			workload: *workload, scale: *scaleName, model: *model,
+			n: *n, seed: *seed, sampling: *sampling, strata: *strata, batch: *batch,
+			tenant: *tenant, weight: *weight, workers: *parallel,
+			fork: *forkOn, taint: *taintOn, profile: *profile,
+		})
+	}
 
 	scale, err := parseScale(*scaleName)
 	if err != nil {

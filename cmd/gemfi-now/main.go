@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/campaign"
@@ -155,6 +157,7 @@ func runMaster(args []string) error {
 		model     = fs.String("model", "atomic", "CPU model")
 		metrics   = fs.Bool("metrics", false, "print master telemetry (now.master.*) at exit")
 		httpAddr  = fs.String("http", "", "serve live observability endpoints (/metrics /status /debug/pprof) on this address")
+		drain     = fs.Duration("drain", 30*time.Second, "in-flight drain bound on SIGINT/SIGTERM")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -199,7 +202,22 @@ func runMaster(args []string) error {
 		fmt.Fprintf(os.Stderr, "observability server on http://%s\n", srv.Addr())
 	}
 	fmt.Printf("master: serving %d experiments of %s on %s\n", len(exps), *workload, m.Addr())
-	results := m.Wait()
+
+	// Graceful shutdown: a signal drains in-flight experiments within the
+	// -drain bound and reports whatever completed, instead of dropping
+	// results already paid for on other machines.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	waitCh := make(chan []campaign.Result, 1)
+	go func() { waitCh <- m.Wait() }()
+	var results []campaign.Result
+	select {
+	case results = <-waitCh:
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "master: %v — draining in-flight experiments (bound %s)\n", sig, *drain)
+		results = m.Shutdown(*drain)
+	}
 	tally := campaign.TallyOf(results)
 	fmt.Printf("campaign complete: %d experiments (%d requeued after disconnects)\n",
 		tally.Total(), m.Requeued())

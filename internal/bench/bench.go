@@ -49,6 +49,10 @@ type Record struct {
 	Scale     string                    `json:"scale"`
 	Models    map[string]ModelResult    `json:"models"`
 	Campaigns map[string]CampaignResult `json:"campaigns"`
+	// Sampling compares adaptive importance sampling against the uniform
+	// referee per workload (test scale, fixed budget); present when the
+	// suite ran with sampling measurement enabled.
+	Sampling map[string]SamplingResult `json:"sampling,omitempty"`
 }
 
 // File is the BENCH_simcore.json schema: append-only labelled records,
@@ -118,6 +122,12 @@ type Config struct {
 	CampaignExps int
 	// CampaignWorkers is the pool size (default 4).
 	CampaignWorkers int
+
+	// Sampling enables the adaptive-vs-uniform accuracy suite over all
+	// paper workloads (test scale); SamplingBudget is the per-mode
+	// experiment budget (default 48 over 8 strata, batches of 12).
+	Sampling       bool
+	SamplingBudget int
 }
 
 func (c Config) withDefaults() Config {
@@ -266,6 +276,18 @@ func Run(cfg Config, logf func(format string, args ...any)) (Record, error) {
 	logf("campaign %-12s %8.1f exps/sec (%d exps, %d workers, %.3fs + %.3fs trunk, %d pruned, %d KiB snapshots)",
 		"fork", fr.ExpsPerSec, fr.Experiments, fr.Workers, fr.Seconds, fr.TrunkSeconds,
 		fr.Pruned, fr.SnapshotBytes/1024)
+	if cfg.Sampling {
+		budget := cfg.SamplingBudget
+		if budget <= 0 {
+			budget = 48
+		}
+		sampling, err := MeasureSamplingSuite(workloads.ScaleTest, budget, 8, 12,
+			cfg.CampaignWorkers, 7, logf)
+		if err != nil {
+			return Record{}, err
+		}
+		rec.Sampling = sampling
+	}
 	return rec, nil
 }
 

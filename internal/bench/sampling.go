@@ -1,0 +1,154 @@
+package bench
+
+// Sampling accuracy measurement: adaptive importance sampling vs the
+// uniform referee on a fixed experiment budget. Both modes run through
+// the real campaign service (journal, scheduler, sampler — the code path
+// users get), against the same workload and budget; the comparison is
+// the quality of the resulting vulnerability estimate, not throughput.
+// Adaptive wins when its per-stratum confidence intervals are no wider
+// at the worst stratum and its population-weighted aggregate interval is
+// tighter — the experiments went where uncertainty was, instead of
+// where the uniform draw happened to land.
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/serv"
+	"repro/internal/workloads"
+)
+
+// SamplingModeResult is one sampling mode's accuracy on a fixed budget.
+type SamplingModeResult struct {
+	Budget          int     `json:"budget"`
+	Batches         int     `json:"batches"`
+	AggP            float64 `json:"aggP"`            // stratified vulnerability estimate
+	AggCIWidth      float64 `json:"aggCIWidth"`      // full aggregate interval width
+	MaxStratumWidth float64 `json:"maxStratumWidth"` // widest per-stratum interval
+	UnsampledStrata int     `json:"unsampledStrata"`
+}
+
+// SamplingResult compares the two modes for one workload.
+type SamplingResult struct {
+	Strata   int                `json:"strata"`
+	Uniform  SamplingModeResult `json:"uniform"`
+	Adaptive SamplingModeResult `json:"adaptive"`
+
+	// AdaptiveMaxNoWider: adaptive's worst per-stratum interval is no
+	// wider than uniform's. AdaptiveTighterAgg: adaptive's aggregate
+	// interval is strictly tighter.
+	AdaptiveMaxNoWider bool `json:"adaptiveMaxNoWider"`
+	AdaptiveTighterAgg bool `json:"adaptiveTighterAgg"`
+}
+
+// MeasureSampling runs one workload's fixed budget through a real
+// campaign service twice — uniform referee, then adaptive — and compares
+// the interval quality. Both campaigns run in the same service instance
+// (they are exactly the multi-tenant case the scheduler serves).
+func MeasureSampling(workload string, scale workloads.Scale, budget, strata, batch, slots int, seed int64) (SamplingResult, error) {
+	dir, err := os.MkdirTemp("", "gemfi-bench-sampling")
+	if err != nil {
+		return SamplingResult{}, err
+	}
+	defer os.RemoveAll(dir)
+	s, err := serv.New(serv.Config{Dir: dir, Slots: slots})
+	if err != nil {
+		return SamplingResult{}, err
+	}
+	defer s.Shutdown(time.Second)
+
+	scaleName := scaleString(scale)
+	specs := map[string]serv.CampaignSpec{
+		serv.SampleUniform: {
+			Workload: workload, Scale: scaleName, N: budget, Seed: seed,
+			Strata: strata, Workers: 2,
+		},
+		serv.SampleAdaptive: {
+			Workload: workload, Scale: scaleName, N: budget, Seed: seed,
+			Sampling: serv.SampleAdaptive, Strata: strata, Batch: batch, Workers: 2,
+		},
+	}
+	reports := make(map[string]serv.Report)
+	for mode, spec := range specs {
+		id, err := s.Submit(spec)
+		if err != nil {
+			return SamplingResult{}, err
+		}
+		if !s.Wait(id, 30*time.Minute) {
+			return SamplingResult{}, fmt.Errorf("bench: %s %s campaign timed out", workload, mode)
+		}
+		c, _ := s.Campaign(id)
+		st := c.Status()
+		if st.Phase != serv.PhaseDone {
+			return SamplingResult{}, fmt.Errorf("bench: %s %s campaign %s: %s", workload, mode, st.Phase, st.Error)
+		}
+		reports[mode] = c.VulnReport()
+	}
+
+	res := SamplingResult{Strata: strata}
+	for mode, rep := range reports {
+		mr := SamplingModeResult{
+			Budget:     rep.Total,
+			AggP:       rep.AggP,
+			AggCIWidth: rep.AggCIWidth,
+		}
+		for _, sr := range rep.Strata {
+			if sr.Sampled == 0 {
+				mr.UnsampledStrata++
+			}
+			if sr.CIWidth > mr.MaxStratumWidth {
+				mr.MaxStratumWidth = sr.CIWidth
+			}
+		}
+		switch mode {
+		case serv.SampleUniform:
+			res.Uniform = mr
+		case serv.SampleAdaptive:
+			res.Adaptive = mr
+		}
+	}
+	// Campaign status carries the batch counts.
+	for _, st := range s.Campaigns() {
+		switch st.Sampling {
+		case serv.SampleUniform:
+			res.Uniform.Batches = st.Batches
+		case serv.SampleAdaptive:
+			res.Adaptive.Batches = st.Batches
+		}
+	}
+	res.AdaptiveMaxNoWider = res.Adaptive.MaxStratumWidth <= res.Uniform.MaxStratumWidth
+	res.AdaptiveTighterAgg = res.Adaptive.AggCIWidth < res.Uniform.AggCIWidth
+	return res, nil
+}
+
+// MeasureSamplingSuite runs MeasureSampling over every paper workload.
+func MeasureSamplingSuite(scale workloads.Scale, budget, strata, batch, slots int, seed int64,
+	logf func(format string, args ...any)) (map[string]SamplingResult, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	out := make(map[string]SamplingResult)
+	for _, name := range workloads.Names() {
+		sr, err := MeasureSampling(name, scale, budget, strata, batch, slots, seed)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = sr
+		logf("sampling %-9s uniform agg ±%.4f (max stratum %.3f)  adaptive agg ±%.4f (max stratum %.3f)  tighter=%v",
+			name, sr.Uniform.AggCIWidth/2, sr.Uniform.MaxStratumWidth,
+			sr.Adaptive.AggCIWidth/2, sr.Adaptive.MaxStratumWidth, sr.AdaptiveTighterAgg)
+	}
+	return out, nil
+}
+
+func scaleString(s workloads.Scale) string {
+	switch s {
+	case workloads.ScaleSmall:
+		return "small"
+	case workloads.ScalePaper:
+		return "paper"
+	default:
+		return "test"
+	}
+}

@@ -137,6 +137,12 @@ type Runner struct {
 	// instead of replaying from the checkpoint.
 	fork *forkServer
 
+	// pendingMemo carries the current experiment's memo key from the fork
+	// prune loop to the post-classification insert; memoCrash carries a
+	// memo-hit's crash cause into the pruned-result path of Run.
+	pendingMemo *memoPending
+	memoCrash   string
+
 	// Taint propagation tracking (AttachTaint). taintGolden is the final
 	// architectural state of the golden run, captured lazily on attach;
 	// canCaptureGolden marks the window where r.sim still holds it
@@ -261,6 +267,47 @@ func NewRestoredRunner(w *workloads.Workload, cfg sim.Config, golden *workloads.
 	}, nil
 }
 
+// Clone builds a worker runner that shares this runner's expensive
+// immutable state — golden outputs, checkpoint, fault-injection window,
+// and fork server — but owns a private simulator, so the clone can run
+// experiments concurrently with the original. Per-runner instrumentation
+// is replicated, not shared: a clone of a taint- or profiler-attached
+// runner gets its own tracker/profiler (accumulating privately, pool
+// style) with the golden differ state shared. This is the pool's clone
+// logic, exported for schedulers that build per-campaign worker sets.
+func (r *Runner) Clone() (*Runner, error) {
+	cfg := r.Cfg
+	// The parent's Cfg carries its private instrumentation; the clone
+	// must not inherit those pointers.
+	cfg.Profiler = nil
+	cfg.Taint = nil
+	c := &Runner{
+		Workload:    r.Workload,
+		Cfg:         cfg,
+		Golden:      r.Golden,
+		WindowInsts: r.WindowInsts,
+		Ckpt:        r.Ckpt,
+		fork:        r.fork,
+	}
+	prog, err := r.Workload.Build()
+	if err != nil {
+		return nil, err
+	}
+	s := sim.New(cfg)
+	if err := s.Load(prog); err != nil {
+		return nil, err
+	}
+	c.sim = s
+	if r.prof != nil {
+		c.AttachProfiler()
+	}
+	if r.taintTr != nil {
+		c.AttachTaint()
+		c.ShareTaintGolden(r.taintGolden)
+	}
+	return c, nil
+}
+
 // Interrupt asks the in-progress experiment's simulation to stop at its
 // next poll point; Run then returns a Result with CrashCause
 // CrashInterrupted. It is safe to call concurrently with Run only on
@@ -351,6 +398,7 @@ func (r *Runner) recordProp(res *Result) {
 func (r *Runner) Run(exp Experiment) (res Result) {
 	r.canCaptureGolden = false
 	defer r.recordProp(&res)
+	defer r.commitMemo(&res)
 	res = Result{ID: exp.ID}
 	if len(exp.Faults) > 0 {
 		res.Fault = exp.Faults[0]
@@ -401,12 +449,14 @@ func (r *Runner) Run(exp Experiment) (res Result) {
 	}
 
 	if pruned != 0 {
-		// Pruned early: the machine is provably back in the golden state,
-		// so the rest of the run is exactly the trunk's completion — report
-		// its instruction and tick totals and skip output extraction.
+		// Pruned or memoized early: runForked already put the exact final
+		// totals into runRes, so only the classification (and, for a
+		// memoized crash, its cause) remains.
 		res.Outcome = pruned
-		res.Insts = r.fork.final.Insts
-		res.Ticks = r.fork.final.Ticks
+		if r.memoCrash != "" {
+			res.CrashCause = r.memoCrash
+			r.memoCrash = ""
+		}
 		return res
 	}
 

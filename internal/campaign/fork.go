@@ -53,11 +53,16 @@ type ForkOptions struct {
 	// experiment early. Each check costs a page-map sweep (shared pages
 	// compare by pointer), not a twin execution — the trunk already ran.
 	TwinCheck bool
+	// Memoize enables cross-experiment result memoization: resolved,
+	// propagated machine states are hashed, and a state seen before
+	// closes immediately with the recorded verdict instead of replaying
+	// the identical suffix (see memo.go for the exactness argument).
+	Memoize bool
 }
 
 // DefaultForkOptions returns the standard fork-server configuration.
 func DefaultForkOptions() ForkOptions {
-	return ForkOptions{Snapshots: 32, Prune: true, TwinCheck: true}
+	return ForkOptions{Snapshots: 32, Prune: true, TwinCheck: true, Memoize: true}
 }
 
 func (o ForkOptions) withDefaults() ForkOptions {
@@ -233,6 +238,7 @@ type forkServer struct {
 	opts  ForkOptions
 	pool  *snapPool
 	final sim.RunResult // trunk run to completion (golden continuation)
+	memo  *resultMemo   // cross-experiment verdict cache (nil when off)
 
 	forks        atomic.Uint64
 	prunedMasked atomic.Uint64
@@ -251,11 +257,13 @@ type ForkStats struct {
 	PrunedTwin       uint64 `json:"prunedTwin"`
 	TwinChecks       uint64 `json:"twinChecks"`
 	TrunkInsts       uint64 `json:"trunkInsts"`
+	MemoHits         uint64 `json:"memoHits"`
+	MemoEntries      int    `json:"memoEntries"`
 }
 
 func (fs *forkServer) statsSnapshot() ForkStats {
 	taken, evicted, live, bytes := fs.pool.stats()
-	return ForkStats{
+	st := ForkStats{
 		SnapshotsTaken:   taken,
 		SnapshotsEvicted: evicted,
 		SnapshotsLive:    live,
@@ -266,6 +274,11 @@ func (fs *forkServer) statsSnapshot() ForkStats {
 		TwinChecks:       fs.twinChecks.Load(),
 		TrunkInsts:       fs.final.Insts,
 	}
+	if fs.memo != nil {
+		st.MemoHits = fs.memo.hits.Load()
+		st.MemoEntries = fs.memo.entries()
+	}
+	return st
 }
 
 // trunkConfig derives the trunk/twin simulator configuration from a
@@ -348,6 +361,9 @@ func (r *Runner) EnableFork(opts ForkOptions) error {
 	}
 
 	fs := &forkServer{opts: opts, pool: sp, final: res}
+	if opts.Memoize {
+		fs.memo = newResultMemo()
+	}
 	r.fork = fs
 	if m := r.Cfg.Metrics; m != nil {
 		m.RegisterFunc("campaign.fork.snapshots_live", func() float64 {
@@ -361,6 +377,10 @@ func (r *Runner) EnableFork(opts ForkOptions) error {
 		m.RegisterFunc("campaign.fork.forks", func() float64 { return float64(fs.forks.Load()) })
 		m.RegisterFunc("campaign.fork.pruned_masked", func() float64 { return float64(fs.prunedMasked.Load()) })
 		m.RegisterFunc("campaign.fork.pruned_twin", func() float64 { return float64(fs.prunedTwin.Load()) })
+		if fs.memo != nil {
+			m.RegisterFunc("campaign.fork.memo_hits", func() float64 { return float64(fs.memo.hits.Load()) })
+			m.RegisterFunc("campaign.fork.memo_entries", func() float64 { return float64(fs.memo.entries()) })
+		}
 	}
 	return nil
 }
@@ -408,11 +428,14 @@ func (r *Runner) runForked(exp Experiment) (sim.RunResult, Outcome) {
 	r.sim.ForkFrom(snap.fp, exp.Faults)
 	fs.forks.Add(1)
 
-	// Pruning needs the experiment's only observable products to be the
-	// outcome class and the engine flags: per-PC profiles and taint
-	// reports cover the whole run, so instrumented runners always finish.
-	pruneOK := fs.opts.Prune && r.taintTr == nil && r.prof == nil
-	if !pruneOK {
+	// Pruning and memoization need the experiment's only observable
+	// products to be the outcome class and the engine flags: per-PC
+	// profiles and taint reports cover the whole run, so instrumented
+	// runners always finish.
+	instrumented := r.taintTr != nil || r.prof != nil
+	pruneOK := fs.opts.Prune && !instrumented
+	memoOK := fs.memo != nil && !instrumented
+	if !pruneOK && !memoOK {
 		return r.sim.Run(), 0
 	}
 
@@ -432,11 +455,39 @@ func (r *Runner) runForked(exp Experiment) (sim.RunResult, Outcome) {
 		if r.sim.Model.ModelName() == "pipelined" {
 			continue
 		}
-		if eng.MaskedClean() {
+		if pruneOK && eng.MaskedClean() {
 			fs.prunedMasked.Add(1)
 			r.Cfg.Tracer.Instant(obs.CatFork, "fork.prune", r.sim.Core.Ticks,
 				map[string]any{"id": exp.ID, "rule": "masked", "insts": res.Insts})
+			// The machine is provably back in the golden state: the rest of
+			// the run is exactly the trunk's completion, so the experiment
+			// inherits the trunk's totals.
+			res.Insts, res.Ticks = fs.final.Insts, fs.final.Ticks
 			return res, OutcomeNonPropagated
+		}
+		// Memoization point: a fault has propagated and every fault has
+		// resolved, so the final verdict is a pure function of the machine
+		// state. A recorded state closes immediately; an unseen one is
+		// keyed now and committed after classification (commitMemo).
+		if memoOK && r.pendingMemo == nil && eng.AnyPropagated() {
+			key := fs.memo.keyFor(r.sim)
+			if e, ok := fs.memo.lookup(key); ok {
+				r.memoCrash = e.crashCause
+				r.Cfg.Tracer.Instant(obs.CatFork, "fork.memo", r.sim.Core.Ticks,
+					map[string]any{"id": exp.ID, "insts": res.Insts})
+				res.Insts = e.finalInsts
+				res.Ticks = r.sim.Core.Ticks + e.dTicks
+				return res, e.outcome
+			}
+			r.pendingMemo = &memoPending{key: key, ticks: r.sim.Core.Ticks}
+		}
+		if !pruneOK {
+			if r.pendingMemo != nil {
+				// Memo decision made and pruning is off: nothing else can
+				// close this run early, so run it out in one go.
+				return r.sim.Run(), 0
+			}
+			continue
 		}
 		if !fs.opts.TwinCheck {
 			continue
@@ -459,6 +510,10 @@ func (r *Runner) runForked(exp Experiment) (sim.RunResult, Outcome) {
 			}
 			r.Cfg.Tracer.Instant(obs.CatFork, "fork.prune", r.sim.Core.Ticks,
 				map[string]any{"id": exp.ID, "rule": "twin", "insts": res.Insts})
+			// Twin-pruned runs report the trunk's totals, which are not the
+			// suffix-delta form the memo stores — drop any pending key.
+			r.pendingMemo = nil
+			res.Insts, res.Ticks = fs.final.Insts, fs.final.Ticks
 			return res, out
 		}
 	}

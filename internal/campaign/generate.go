@@ -17,6 +17,11 @@ type GenConfig struct {
 	// WindowInsts is the injection time range [1, WindowInsts], usually
 	// the golden run's fault-injection window size.
 	WindowInsts uint64
+	// MinWhen/MaxWhen restrict the injection time to the inclusive slice
+	// [MinWhen, MaxWhen] of the window (zero values mean the full
+	// [1, WindowInsts] range). The adaptive campaign sampler draws each
+	// stratum's batch from its own window slice this way.
+	MinWhen, MaxWhen uint64
 	// ThreadID targets a specific fi_activate_inst id.
 	ThreadID int
 	// CPU is the fault's target CPU name ("" = any).
@@ -57,6 +62,18 @@ func GenerateUniform(n int, gc GenConfig) []Experiment {
 	if gc.WindowInsts == 0 {
 		gc.WindowInsts = 1
 	}
+	// Injection times are drawn from [lo, hi]; the defaults reproduce the
+	// historical full-window draw bit for bit (same RNG consumption).
+	lo, hi := gc.MinWhen, gc.MaxWhen
+	if lo == 0 {
+		lo = 1
+	}
+	if hi == 0 || hi > gc.WindowInsts {
+		hi = gc.WindowInsts
+	}
+	if hi < lo {
+		hi = lo
+	}
 	rng := rand.New(rand.NewSource(gc.Seed))
 	exps := make([]Experiment, n)
 	for i := range exps {
@@ -68,7 +85,7 @@ func GenerateUniform(n int, gc GenConfig) []Experiment {
 			ThreadID: gc.ThreadID,
 			CPU:      gc.CPU,
 			Base:     core.TimeInst,
-			When:     1 + uint64(rng.Int63n(int64(gc.WindowInsts))),
+			When:     lo + uint64(rng.Int63n(int64(hi-lo+1))),
 			Occ:      1,
 		}
 		switch loc {

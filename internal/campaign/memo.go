@@ -1,0 +1,143 @@
+package campaign
+
+// Cross-experiment result memoization for the fork server (the PR 6
+// follow-on): once an experiment's faults have resolved on a serial model
+// AND at least one fault has propagated, its final classification is a
+// pure function of the machine state — no engine taint is outstanding
+// that could change the verdict, and the remaining execution is
+// deterministic. So the first experiment to reach a given resolved state
+// records its verdict keyed by a state hash (committed instructions +
+// architectural registers + kernel snapshot + full memory image), and
+// every later experiment that reaches the same state at the same prune
+// checkpoint closes immediately with the recorded outcome and
+// deterministic suffix deltas. Non-propagated states stay out of the
+// memo: their engines may still carry taint that propagates later, which
+// the state hash cannot see — those are the masked/twin pruning rules'
+// territory.
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// memoEntry is one memoized verdict: the outcome (with crash cause, when
+// crashed), the run's absolute final instruction count (the key includes
+// the key-point instruction count, so this is shared by every hit), and
+// the tick delta from the key point to completion (tick history before
+// the key point is experiment-specific on the pipelined model, so only
+// the suffix is shared).
+type memoEntry struct {
+	outcome    Outcome
+	crashCause string
+	finalInsts uint64
+	dTicks     uint64
+}
+
+// memoPending carries a computed key (and the key point's tick count,
+// the base of the suffix delta) from the prune loop to the
+// post-classification insert in Run.
+type memoPending struct {
+	key   uint64
+	ticks uint64
+}
+
+// resultMemo is the shared verdict cache; one instance serves every
+// runner of a fork-server pool.
+type resultMemo struct {
+	mu    sync.Mutex
+	m     map[uint64]memoEntry
+	pages *mem.PageHashCache
+
+	hits     atomic.Uint64
+	inserted atomic.Uint64
+}
+
+func newResultMemo() *resultMemo {
+	return &resultMemo{m: make(map[uint64]memoEntry), pages: mem.NewPageHashCache()}
+}
+
+func (mm *resultMemo) lookup(key uint64) (memoEntry, bool) {
+	mm.mu.Lock()
+	e, ok := mm.m[key]
+	mm.mu.Unlock()
+	if ok {
+		mm.hits.Add(1)
+	}
+	return e, ok
+}
+
+func (mm *resultMemo) insert(key uint64, e memoEntry) {
+	mm.mu.Lock()
+	if _, dup := mm.m[key]; !dup {
+		mm.m[key] = e
+		mm.inserted.Add(1)
+	}
+	mm.mu.Unlock()
+}
+
+func (mm *resultMemo) entries() int {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	return len(mm.m)
+}
+
+const (
+	memoFNVOffset = 14695981039346656037
+	memoFNVPrime  = 1099511628211
+)
+
+func memoFold(h, x uint64) uint64 { return (h ^ x) * memoFNVPrime }
+
+// keyFor digests the simulator's resolved machine state: committed
+// instruction count, architectural registers (FP as raw bits, matching
+// Arch.BitsEqual's NaN semantics), the kernel snapshot, and the full
+// memory image via the shared frozen-page hash cache.
+func (mm *resultMemo) keyFor(s *sim.Simulator) uint64 {
+	h := uint64(memoFNVOffset)
+	h = memoFold(h, s.Core.Insts)
+	a := &s.Core.Arch
+	for _, r := range a.R {
+		h = memoFold(h, r)
+	}
+	for _, f := range a.F {
+		h = memoFold(h, math.Float64bits(f))
+	}
+	h = memoFold(h, a.PC)
+	h = memoFold(h, a.PCBB)
+	k := s.Kernel.Snapshot()
+	h = memoFold(h, uint64(k.Cur))
+	h = memoFold(h, k.SliceLeft)
+	h = memoFold(h, uint64(k.NThreads))
+	h = memoFold(h, k.ExitTrampoline)
+	h = memoFold(h, k.ContextSwitches)
+	h = memoFold(h, k.SyscallCount)
+	h = memoFold(h, k.Quantum)
+	for _, b := range k.Console {
+		h = memoFold(h, uint64(b))
+	}
+	return memoFold(h, s.Mem.ImageHash(mm.pages))
+}
+
+// commitMemo records the classified outcome of an experiment whose memo
+// key was computed in the prune loop. Interrupted runs never memoize —
+// their "outcome" is a retry artifact, not a verdict.
+func (r *Runner) commitMemo(res *Result) {
+	pm := r.pendingMemo
+	r.pendingMemo = nil
+	if pm == nil || r.fork == nil || r.fork.memo == nil {
+		return
+	}
+	if res.CrashCause == CrashInterrupted {
+		return
+	}
+	r.fork.memo.insert(pm.key, memoEntry{
+		outcome:    res.Outcome,
+		crashCause: res.CrashCause,
+		finalInsts: res.Insts,
+		dTicks:     res.Ticks - pm.ticks,
+	})
+}

@@ -8,7 +8,6 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/prof"
-	"repro/internal/sim"
 	"repro/internal/taint"
 	"repro/internal/workloads"
 )
@@ -61,22 +60,10 @@ func NewPool(w *workloads.Workload, n int, opts RunnerOptions) (*Pool, error) {
 	for i := 1; i < n; i++ {
 		// Clone cheaply: reuse the golden outputs and checkpoint, but
 		// give each worker its own simulator.
-		r := &Runner{
-			Workload:    w,
-			Cfg:         first.Cfg,
-			Golden:      first.Golden,
-			WindowInsts: first.WindowInsts,
-			Ckpt:        first.Ckpt,
-		}
-		prog, err := w.Build()
+		r, err := first.Clone()
 		if err != nil {
 			return nil, err
 		}
-		s := sim.New(first.Cfg)
-		if err := s.Load(prog); err != nil {
-			return nil, err
-		}
-		r.sim = s
 		p.runners[i] = r
 	}
 	return p, nil

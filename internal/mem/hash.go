@@ -1,0 +1,128 @@
+package mem
+
+// Full-image hashing for the fork server's cross-experiment result
+// memoization: two forked children whose post-resolve machine states hash
+// equal will execute identical suffixes, so the second can adopt the
+// first's verdict without replay. The hash must therefore follow
+// ConvergedWith's equality semantics exactly — an absent page and an
+// all-zero page are the same image — while staying cheap per experiment:
+// frozen COW pages are immutable, so their hashes are computed once and
+// cached by page identity, and only the child's private overlay is
+// hashed fresh.
+
+import "sync"
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// pageFNV hashes one page with FNV-1a, returning (0, true) for all-zero
+// pages so they fold into the image hash identically to absent pages.
+func pageFNV(p []byte) (h uint64, zero bool) {
+	h = fnvOffset
+	zero = true
+	for _, b := range p {
+		if b != 0 {
+			zero = false
+		}
+		h = (h ^ uint64(b)) * fnvPrime
+	}
+	return h, zero
+}
+
+// mix64 finalizes a 64-bit value (splitmix64's output permutation) so
+// structured page addresses and similar page hashes spread over the full
+// word before the order-independent sum combines them.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// PageHashCache memoizes hashes of frozen COW pages by page identity
+// (the address of the first byte — frozen pages are never mutated, so
+// identity implies content). Safe for concurrent use by campaign
+// workers sharing one fork server.
+type PageHashCache struct {
+	mu sync.Mutex
+	m  map[*byte]pageHashEntry
+}
+
+type pageHashEntry struct {
+	h    uint64
+	zero bool
+}
+
+// NewPageHashCache returns an empty cache.
+func NewPageHashCache() *PageHashCache {
+	return &PageHashCache{m: make(map[*byte]pageHashEntry)}
+}
+
+// frozen returns the cached hash of a frozen page, computing it on first
+// sight.
+func (c *PageHashCache) frozen(p []byte) (uint64, bool) {
+	if len(p) == 0 {
+		return 0, true
+	}
+	key := &p[0]
+	c.mu.Lock()
+	e, ok := c.m[key]
+	c.mu.Unlock()
+	if !ok {
+		e.h, e.zero = pageFNV(p)
+		c.mu.Lock()
+		c.m[key] = e
+		c.mu.Unlock()
+	}
+	return e.h, e.zero
+}
+
+// Entries returns the number of distinct frozen pages hashed so far.
+func (c *PageHashCache) Entries() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// ImageHash digests the memory's full logical image: the mapped-region
+// layout plus every non-zero page, combined order-independently so map
+// iteration order cannot leak in. Two memories with ConvergedWith-equal
+// images produce the same hash regardless of how their pages are split
+// between private overlay and frozen base. Frozen base pages hash
+// through the cache (cache may be nil: everything is hashed fresh).
+func (m *Memory) ImageHash(cache *PageHashCache) uint64 {
+	h := uint64(fnvOffset)
+	for _, r := range m.regions {
+		h = (h ^ r.Lo) * fnvPrime
+		h = (h ^ r.Hi) * fnvPrime
+	}
+	var sum uint64
+	add := func(addr, ph uint64) {
+		sum += mix64(addr ^ mix64(ph))
+	}
+	for addr, p := range m.pages {
+		if ph, zero := pageFNV(p); !zero {
+			add(addr, ph)
+		}
+	}
+	for addr, p := range m.base {
+		if _, shadowed := m.pages[addr]; shadowed {
+			continue
+		}
+		var ph uint64
+		var zero bool
+		if cache != nil {
+			ph, zero = cache.frozen(p)
+		} else {
+			ph, zero = pageFNV(p)
+		}
+		if !zero {
+			add(addr, ph)
+		}
+	}
+	return mix64(h ^ sum)
+}

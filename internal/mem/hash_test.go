@@ -1,0 +1,75 @@
+package mem
+
+import "testing"
+
+// TestImageHashMatchesConvergedSemantics: images that ConvergedWith
+// would call equal must hash equal — across private/frozen page splits,
+// zero-page materialization, and fork lineage.
+func TestImageHashMatchesConvergedSemantics(t *testing.T) {
+	build := func() *Memory {
+		m := New()
+		m.Map(0x1000, 3*PageSize)
+		if err := m.Write64(0x1008, 0xdeadbeef); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Write64(0x1000+PageSize, 42); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	a, b := build(), build()
+	cache := NewPageHashCache()
+	if a.ImageHash(cache) != b.ImageHash(nil) {
+		t.Fatal("identical images hash differently")
+	}
+
+	// Materializing an all-zero page must not change the hash (absent ==
+	// zero, matching ConvergedWith).
+	if err := b.Write64(0x1000+2*PageSize, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write64(0x1000+2*PageSize, 0); err != nil {
+		t.Fatal(err)
+	}
+	if a.ImageHash(cache) != b.ImageHash(cache) {
+		t.Fatal("explicit zero page changed the hash")
+	}
+
+	// Fork lineage: snapshot a, fork a sibling, write the same value into
+	// both — the private-overlay copy must hash like the original.
+	snap := a.CowSnapshot()
+	c := New()
+	c.ForkFrom(snap)
+	if err := a.Write64(0x1010, 99); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Write64(0x1010, 99); err != nil {
+		t.Fatal(err)
+	}
+	if a.ImageHash(cache) != c.ImageHash(cache) {
+		t.Fatal("fork with identical writes hashes differently from trunk")
+	}
+
+	// And a genuine divergence must show.
+	if err := c.Write64(0x1018, 1); err != nil {
+		t.Fatal(err)
+	}
+	if a.ImageHash(cache) == c.ImageHash(cache) {
+		t.Fatal("diverged images hash equal")
+	}
+	if cache.Entries() == 0 {
+		t.Fatal("frozen-page cache never filled")
+	}
+}
+
+// TestImageHashRegionLayout: same bytes, different mapped layout, must
+// differ — image equality is meaningless across address spaces.
+func TestImageHashRegionLayout(t *testing.T) {
+	a, b := New(), New()
+	a.Map(0x1000, PageSize)
+	b.Map(0x1000, 2*PageSize)
+	if a.ImageHash(nil) == b.ImageHash(nil) {
+		t.Fatal("different region layouts hash equal")
+	}
+}

@@ -50,6 +50,7 @@ type compiler struct {
 	globals map[string]*VarDecl
 	funcs   map[string]*FuncDecl
 	labelN  int
+	floatN  int // pooled float-literal counter (.fc symbols)
 
 	// Per-function state.
 	fn        *FuncDecl
@@ -614,12 +615,13 @@ func (c *compiler) genExpr(e Expr) (Type, error) {
 	return 0, c.errf("unknown expression %T", e)
 }
 
-// floatConsts pools float literals in the data section.
-var floatConstCounter int
-
+// floatConst pools a float literal in the data section. The counter is
+// per-compiler: symbols need uniqueness only within one compilation
+// unit, and a package global would race concurrent Compile calls (the
+// campaign service builds workloads for several campaigns in parallel).
 func (c *compiler) floatConst(v float64) string {
-	floatConstCounter++
-	sym := fmt.Sprintf(".fc%d", floatConstCounter)
+	c.floatN++
+	sym := fmt.Sprintf(".fc%d", c.floatN)
 	c.b.Double(sym, v)
 	return sym
 }

@@ -63,6 +63,7 @@ type Master struct {
 	workers  map[string]*WorkerStat // per-connection liveness, keyed like flight
 	requeued int
 	want     int
+	draining bool // Shutdown called: fetches answer done, no new takes
 	doneCh   chan struct{}
 
 	requeuedC   *obs.Counter
@@ -339,7 +340,7 @@ func (m *Master) dropWorker(conn string) {
 func (m *Master) take(worker string) (campaign.Experiment, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if len(m.pending) == 0 {
+	if m.draining || len(m.pending) == 0 {
 		return campaign.Experiment{}, false
 	}
 	exp := m.pending[0]
@@ -412,6 +413,53 @@ func (m *Master) Wait() []campaign.Result {
 	case <-drained:
 	case <-time.After(2 * time.Second):
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]campaign.Result, 0, len(m.results))
+	for i := 0; i < m.want; i++ {
+		if r, ok := m.results[i]; ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Shutdown drains the master gracefully: no experiment is handed out
+// after the call (workers fetching get "done"), in-flight experiments
+// are given up to deadline to report their results, and the results
+// collected so far are returned ordered by ID. The listener is closed
+// on the way out, so the master is finished after Shutdown returns —
+// the SIGINT/SIGTERM path of the master CLI.
+func (m *Master) Shutdown(deadline time.Duration) []campaign.Result {
+	m.mu.Lock()
+	m.draining = true
+	m.mu.Unlock()
+
+	limit := time.Now().Add(deadline)
+	for time.Now().Before(limit) {
+		m.mu.Lock()
+		inflight := 0
+		for _, exps := range m.flight {
+			inflight += len(exps)
+		}
+		m.mu.Unlock()
+		if inflight == 0 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	_ = m.ln.Close()
+	drained := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-time.After(2 * time.Second):
+	}
+
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := make([]campaign.Result, 0, len(m.results))

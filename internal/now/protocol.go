@@ -37,6 +37,7 @@ type Message struct {
 	Completed int `json:"completed,omitempty"`
 
 	// welcome (master -> worker)
+	Campaign    string `json:"campaign,omitempty"` // session's campaign (service masters)
 	Workload    string `json:"workload,omitempty"`
 	Scale       int    `json:"scale,omitempty"`
 	Checkpoint  []byte `json:"checkpoint,omitempty"` // gob bytes (base64 via JSON)

@@ -1,0 +1,136 @@
+package now
+
+// ServeSource bridges the NoW worker protocol to an external scheduler:
+// instead of a Master owning one campaign's queue, an ExpSource (the
+// campaign service) assigns each arriving worker to a campaign and feeds
+// it experiments. The wire protocol is unchanged — workers built for a
+// Master work against a source-backed listener — so one worker fleet can
+// serve a single-campaign master or a multi-tenant service
+// interchangeably.
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/campaign"
+)
+
+// Welcome carries the campaign parameters a worker needs to build its
+// local runner: the workload identity, the serialized checkpoint, the
+// window size, and the simulator model. Campaign tags the session for
+// the source's accounting (workers echo it back implicitly by staying on
+// the session).
+type Welcome struct {
+	Campaign    string
+	Workload    string
+	Scale       int
+	Checkpoint  []byte
+	WindowInsts uint64
+	Model       string
+	MaxInsts    uint64
+}
+
+// Session is one worker's assignment to a campaign. Take and Complete
+// are called from that worker's serving goroutine; Close fires exactly
+// once when the connection ends (normally or by death) and must requeue
+// whatever was taken but never completed — the exactly-once ledger lives
+// in the source.
+type Session interface {
+	Take() (campaign.Experiment, bool)
+	Complete(campaign.Result)
+	Close()
+}
+
+// ExpSource assigns arriving workers to campaigns. Open returns the
+// welcome parameters and a session; ok=false tells the worker nothing
+// needs running (it receives done immediately). Implementations must be
+// safe for concurrent use by many connections.
+type ExpSource interface {
+	Open(workerName string) (Welcome, Session, bool)
+}
+
+// ServeSource accepts worker connections on ln and serves each against
+// src until the listener closes; it then waits for every in-flight
+// connection to drain before returning. The caller owns ln and closes
+// it to stop.
+func ServeSource(ln net.Listener, src ExpSource) {
+	var wg sync.WaitGroup
+	var id int
+	for {
+		raw, err := ln.Accept()
+		if err != nil {
+			break
+		}
+		id++
+		name := fmt.Sprintf("conn%d-%s", id, raw.RemoteAddr())
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			serveSourceConn(name, newConn(raw), src)
+		}()
+	}
+	wg.Wait()
+}
+
+// serveSourceConn runs the master side of one worker connection against
+// the source's session.
+func serveSourceConn(name string, c *conn, src ExpSource) {
+	defer c.close()
+
+	hello, err := c.recv()
+	if err != nil || hello.Type != MsgHello {
+		return
+	}
+	worker := hello.WorkerName
+	if worker == "" {
+		worker = name
+	}
+	wel, sess, ok := src.Open(worker)
+	if !ok {
+		// Nothing to run: greet with an empty welcome so the worker's
+		// handshake completes, then close its fetch loop immediately.
+		_ = c.send(Message{Type: MsgDone})
+		return
+	}
+	defer sess.Close()
+	if err := c.send(Message{
+		Type:        MsgWelcome,
+		Campaign:    wel.Campaign,
+		Workload:    wel.Workload,
+		Scale:       wel.Scale,
+		Checkpoint:  wel.Checkpoint,
+		WindowInsts: wel.WindowInsts,
+		Model:       wel.Model,
+		MaxInsts:    wel.MaxInsts,
+	}); err != nil {
+		return
+	}
+	for {
+		msg, err := c.recv()
+		if err != nil {
+			return
+		}
+		switch msg.Type {
+		case MsgFetch:
+			exp, ok := sess.Take()
+			if !ok {
+				_ = c.send(Message{Type: MsgDone})
+				return
+			}
+			if err := c.send(Message{Type: MsgExperiment, Experiment: &exp}); err != nil {
+				return
+			}
+		case MsgResult:
+			if msg.Result != nil {
+				sess.Complete(*msg.Result)
+			}
+		case MsgHeartbeat:
+			// Liveness is the source's concern only through session
+			// lifetime; heartbeats just keep the connection warm.
+		default:
+			_ = c.send(Message{Type: MsgError, Error: "unexpected " + msg.Type})
+			return
+		}
+	}
+}

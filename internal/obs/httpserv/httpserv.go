@@ -11,6 +11,11 @@
 //	            default, ?format=dot for Graphviz, ?format=text)
 //	/debug/pprof/... — Go's net/http/pprof for the simulator itself
 //
+// Servers hosting several campaigns at once (the campaign service) wire
+// the keyed ProfileFor/TaintFor/StatusFor sources; /profile, /taint and
+// /status then select by ?campaign=<id> instead of returning whichever
+// campaign finished an experiment most recently.
+//
 // Every endpoint pulls state on request (registry snapshots, profiler
 // atomic loads, status callbacks), so an idle server costs nothing and
 // a scraped one costs only the scrape. ZOFI's observability rule —
@@ -50,6 +55,13 @@ type Config struct {
 	// campaign.Pool.TaintReport for the freshest across workers). A nil
 	// return means no experiment has produced one yet.
 	Taint func() *taint.PropReport
+	// StatusFor / ProfileFor / TaintFor, when set, serve requests that
+	// carry a ?campaign=<id> query — a multi-campaign host answers with
+	// that campaign's data instead of the freshest global. The boolean
+	// reports whether the campaign exists (false: 404).
+	StatusFor  func(campaign string) (any, bool)
+	ProfileFor func(campaign string) (*prof.Profile, bool)
+	TaintFor   func(campaign string) (*taint.PropReport, bool)
 	// TopN bounds the /profile text table (0 = default 30).
 	TopN int
 }
@@ -61,14 +73,11 @@ type Server struct {
 	done chan struct{}
 }
 
-// New builds and starts the server on addr (e.g. ":8080" or
-// "127.0.0.1:0"). It returns once the listener is bound, so Addr is
-// immediately valid; serving continues in a background goroutine.
-func New(addr string, cfg Config) (*Server, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("httpserv: %w", err)
-	}
+// Handler builds the observability mux for the given sources. Exported
+// so hosts with their own HTTP surface (the campaign service) can mount
+// these endpoints alongside their API instead of running a second
+// server.
+func Handler(cfg Config) http.Handler {
 	mux := http.NewServeMux()
 	// endpoints collects every registered path with a one-line help
 	// string; the landing page enumerates it so "/" always reflects what
@@ -87,22 +96,49 @@ func New(addr string, cfg Config) (*Server, error) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = cfg.Metrics.WriteProm(w)
 	})
-	handle("/status", "live campaign / NoW-master status JSON", func(w http.ResponseWriter, req *http.Request) {
-		if cfg.Status == nil {
-			http.Error(w, "no status source attached", http.StatusNotFound)
-			return
+	handle("/status", "live campaign / NoW-master status JSON (?campaign=<id> on multi-campaign hosts)", func(w http.ResponseWriter, req *http.Request) {
+		var st any
+		if key := req.URL.Query().Get("campaign"); key != "" {
+			if cfg.StatusFor == nil {
+				http.Error(w, "this server hosts no per-campaign status", http.StatusNotFound)
+				return
+			}
+			var ok bool
+			if st, ok = cfg.StatusFor(key); !ok {
+				http.Error(w, "unknown campaign "+key, http.StatusNotFound)
+				return
+			}
+		} else {
+			if cfg.Status == nil {
+				http.Error(w, "no status source attached", http.StatusNotFound)
+				return
+			}
+			st = cfg.Status()
 		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		_ = enc.Encode(cfg.Status())
+		_ = enc.Encode(st)
 	})
-	handle("/profile", "guest profile (text top-N; ?format=json|folded)", func(w http.ResponseWriter, req *http.Request) {
-		if cfg.Profile == nil {
-			http.Error(w, "no profiler attached (run with -profile)", http.StatusNotFound)
-			return
+	handle("/profile", "guest profile (text top-N; ?format=json|folded; ?campaign=<id>)", func(w http.ResponseWriter, req *http.Request) {
+		var p *prof.Profile
+		if key := req.URL.Query().Get("campaign"); key != "" {
+			if cfg.ProfileFor == nil {
+				http.Error(w, "this server hosts no per-campaign profiles", http.StatusNotFound)
+				return
+			}
+			var ok bool
+			if p, ok = cfg.ProfileFor(key); !ok {
+				http.Error(w, "unknown campaign "+key, http.StatusNotFound)
+				return
+			}
+		} else {
+			if cfg.Profile == nil {
+				http.Error(w, "no profiler attached (run with -profile)", http.StatusNotFound)
+				return
+			}
+			p = cfg.Profile()
 		}
-		p := cfg.Profile()
 		if p == nil {
 			http.Error(w, "profile not available yet", http.StatusServiceUnavailable)
 			return
@@ -128,12 +164,25 @@ func New(addr string, cfg Config) (*Server, error) {
 			_ = p.WriteTop(w, n)
 		}
 	})
-	handle("/taint", "fault-propagation report (JSON; ?format=dot|text)", func(w http.ResponseWriter, req *http.Request) {
-		if cfg.Taint == nil {
-			http.Error(w, "no taint tracker attached (run with -taint)", http.StatusNotFound)
-			return
+	handle("/taint", "fault-propagation report (JSON; ?format=dot|text; ?campaign=<id>)", func(w http.ResponseWriter, req *http.Request) {
+		var rep *taint.PropReport
+		if key := req.URL.Query().Get("campaign"); key != "" {
+			if cfg.TaintFor == nil {
+				http.Error(w, "this server hosts no per-campaign taint reports", http.StatusNotFound)
+				return
+			}
+			var ok bool
+			if rep, ok = cfg.TaintFor(key); !ok {
+				http.Error(w, "unknown campaign "+key, http.StatusNotFound)
+				return
+			}
+		} else {
+			if cfg.Taint == nil {
+				http.Error(w, "no taint tracker attached (run with -taint)", http.StatusNotFound)
+				return
+			}
+			rep = cfg.Taint()
 		}
-		rep := cfg.Taint()
 		if rep == nil {
 			http.Error(w, "no propagation report yet (no experiment has finished)", http.StatusServiceUnavailable)
 			return
@@ -166,10 +215,20 @@ func New(addr string, cfg Config) (*Server, error) {
 			fmt.Fprintf(w, "  %-14s %s\n", ep.path, ep.help)
 		}
 	})
+	return mux
+}
 
+// New builds and starts the server on addr (e.g. ":8080" or
+// "127.0.0.1:0"). It returns once the listener is bound, so Addr is
+// immediately valid; serving continues in a background goroutine.
+func New(addr string, cfg Config) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("httpserv: %w", err)
+	}
 	s := &Server{
 		ln:   ln,
-		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		srv:  &http.Server{Handler: Handler(cfg), ReadHeaderTimeout: 5 * time.Second},
 		done: make(chan struct{}),
 	}
 	go func() {

@@ -163,3 +163,80 @@ func TestServerMissingProviders(t *testing.T) {
 		t.Errorf("unknown path: status %d, want 404", code)
 	}
 }
+
+// TestPerCampaignSelection: on a multi-campaign host, /taint, /profile
+// and /status must answer with the keyed campaign's data — not the
+// freshest global — and 404 unknown campaigns.
+func TestPerCampaignSelection(t *testing.T) {
+	repA := testReport()
+	repB := testReport()
+	repB.Injections = 2
+	profiles := map[string]*prof.Profile{"a": testProfile(), "b": nil}
+	srv, err := New("127.0.0.1:0", Config{
+		Taint: func() *taint.PropReport { return repB }, // global freshest
+		TaintFor: func(c string) (*taint.PropReport, bool) {
+			switch c {
+			case "a":
+				return repA, true
+			case "b":
+				return repB, true
+			}
+			return nil, false
+		},
+		ProfileFor: func(c string) (*prof.Profile, bool) {
+			p, ok := profiles[c]
+			return p, ok
+		},
+		StatusFor: func(c string) (any, bool) {
+			if c != "a" {
+				return nil, false
+			}
+			return map[string]int{"done": 5}, true
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	code, body := get(t, srv.URL()+"/taint?campaign=a")
+	if code != http.StatusOK {
+		t.Fatalf("/taint?campaign=a status %d:\n%s", code, body)
+	}
+	var got taint.PropReport
+	if err := json.Unmarshal([]byte(body), &got); err != nil || got.Injections != 1 {
+		t.Errorf("campaign a got the wrong report (injections=%d): %v", got.Injections, err)
+	}
+	if code, _ := get(t, srv.URL()+"/taint?campaign=zzz"); code != http.StatusNotFound {
+		t.Errorf("unknown campaign: status %d, want 404", code)
+	}
+	// Bare /taint still serves the global freshest.
+	_, body = get(t, srv.URL()+"/taint")
+	if err := json.Unmarshal([]byte(body), &got); err != nil || got.Injections != 2 {
+		t.Errorf("global taint report wrong (injections=%d)", got.Injections)
+	}
+
+	if code, _ = get(t, srv.URL()+"/profile?campaign=a&format=json"); code != http.StatusOK {
+		t.Errorf("/profile?campaign=a status %d", code)
+	}
+	// Known campaign with no profiler attached: 503, not 404.
+	if code, _ = get(t, srv.URL()+"/profile?campaign=b"); code != http.StatusServiceUnavailable {
+		t.Errorf("/profile?campaign=b status %d, want 503", code)
+	}
+
+	code, body = get(t, srv.URL()+"/status?campaign=a")
+	if code != http.StatusOK || !strings.Contains(body, "done") {
+		t.Errorf("/status?campaign=a status %d:\n%s", code, body)
+	}
+
+	// A single-campaign server (no keyed providers) rejects the key
+	// explicitly instead of serving misleading global data.
+	single, err := New("127.0.0.1:0", Config{Taint: func() *taint.PropReport { return repA }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	if code, _ = get(t, single.URL()+"/taint?campaign=a"); code != http.StatusNotFound {
+		t.Errorf("keyed request on single-campaign host: status %d, want 404", code)
+	}
+}

@@ -1,0 +1,522 @@
+package serv
+
+// One hosted campaign: its spec, its durable ledger mirror (planned
+// experiments, results), its runner pool, its sampler, and its stream
+// subscribers. The Service's scheduler moves experiments from pending to
+// in-flight to results; every transition that matters for resumption is
+// journaled by the Service before the in-memory state advances.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/prof"
+	"repro/internal/sim"
+	"repro/internal/taint"
+	"repro/internal/workloads"
+)
+
+// CampaignSpec is what a client POSTs to /campaigns.
+type CampaignSpec struct {
+	// Name is an optional human label; Tenant is the fair-share account
+	// (empty = "default"); Weight biases the round-robin (default 1).
+	Name   string `json:"name,omitempty"`
+	Tenant string `json:"tenant,omitempty"`
+	Weight int    `json:"weight,omitempty"`
+
+	// Workload/Scale/Model/MaxInsts configure the simulators.
+	Workload string `json:"workload"`
+	Scale    string `json:"scale,omitempty"` // test|small|paper (default test)
+	Model    string `json:"model,omitempty"` // atomic|pipelined (default atomic)
+	MaxInsts uint64 `json:"maxInsts,omitempty"`
+
+	// Sampling selects the experiment planner: "uniform" (default, the
+	// conformance referee) or "adaptive" (widest-CI stratified batches).
+	// N is the total experiment budget; Confidence/Margin parameterize
+	// the Leveugle sizing of adaptive strata; Strata and Batch shape the
+	// adaptive loop. Seed makes every plan reproducible.
+	Sampling   string  `json:"sampling,omitempty"`
+	N          int     `json:"n"`
+	Confidence float64 `json:"confidence,omitempty"`
+	Margin     float64 `json:"margin,omitempty"`
+	Strata     int     `json:"strata,omitempty"`
+	Batch      int     `json:"batch,omitempty"`
+	Seed       int64   `json:"seed,omitempty"`
+
+	// Workers bounds this campaign's local runner pool (default 1; the
+	// global slot budget still applies). Fork/Taint/Profile attach the
+	// fork server, propagation tracker, and guest profiler.
+	Workers int  `json:"workers,omitempty"`
+	Fork    bool `json:"fork,omitempty"`
+	Taint   bool `json:"taint,omitempty"`
+	Profile bool `json:"profile,omitempty"`
+}
+
+func (s *CampaignSpec) tenant() string {
+	if s.Tenant == "" {
+		return "default"
+	}
+	return s.Tenant
+}
+
+func (s *CampaignSpec) weight() int {
+	if s.Weight <= 0 {
+		return 1
+	}
+	return s.Weight
+}
+
+func (s *CampaignSpec) confidence() float64 {
+	if s.Confidence <= 0 || s.Confidence >= 1 {
+		return 0.95
+	}
+	return s.Confidence
+}
+
+func (s *CampaignSpec) margin() float64 {
+	if s.Margin <= 0 || s.Margin >= 1 {
+		return 0.05
+	}
+	return s.Margin
+}
+
+func (s *CampaignSpec) workers() int {
+	if s.Workers <= 0 {
+		return 1
+	}
+	if s.Workers > 8 {
+		return 8
+	}
+	return s.Workers
+}
+
+func (s *CampaignSpec) scale() (workloads.Scale, error) {
+	switch s.Scale {
+	case "", "test":
+		return workloads.ScaleTest, nil
+	case "small":
+		return workloads.ScaleSmall, nil
+	case "paper":
+		return workloads.ScalePaper, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q (test|small|paper)", s.Scale)
+}
+
+func (s *CampaignSpec) model() sim.ModelKind {
+	if s.Model == "" {
+		return sim.ModelAtomic
+	}
+	return sim.ModelKind(s.Model)
+}
+
+// Campaign phases.
+const (
+	PhasePreparing = "preparing" // golden run / runner pool building
+	PhaseRunning   = "running"
+	PhaseDone      = "done"
+	PhaseFailed    = "failed"
+)
+
+// Campaign is one hosted campaign's runtime state.
+type Campaign struct {
+	ID   string
+	Spec CampaignSpec
+
+	mu       sync.Mutex
+	phase    string
+	failErr  string
+	window   uint64
+	sampler  *sampler
+	planned  []campaign.Experiment
+	pending  []campaign.Experiment
+	inflight map[int]campaign.Experiment
+	results  map[int]campaign.Result
+	batches  int
+	started  time.Time
+
+	// Runner pool: built by prepare, borrowed by the scheduler. free is
+	// buffered to the pool size so returns never block. ckptBytes is the
+	// serialized fi_read_init_all checkpoint, shipped to NoW workers.
+	runners   []*campaign.Runner
+	free      chan *campaign.Runner
+	ckptBytes []byte
+
+	// wrrCur is the smooth-WRR accumulator; touched only by the single
+	// dispatcher goroutine, so it needs no lock.
+	wrrCur int
+
+	// Stream subscribers: each gets every result exactly once plus a
+	// terminal done event. Buffered; a stalled subscriber is dropped.
+	subs map[chan streamEvent]struct{}
+}
+
+// streamEvent is one SSE payload.
+type streamEvent struct {
+	Type   string           `json:"-"`
+	Result *campaign.Result `json:"result,omitempty"`
+	Status *CampaignStatus  `json:"status,omitempty"`
+}
+
+func newCampaign(id string, spec CampaignSpec) *Campaign {
+	return &Campaign{
+		ID:       id,
+		Spec:     spec,
+		phase:    PhasePreparing,
+		inflight: make(map[int]campaign.Experiment),
+		results:  make(map[int]campaign.Result),
+		subs:     make(map[chan streamEvent]struct{}),
+		started:  time.Now(),
+	}
+}
+
+// prepare builds the golden run and the runner pool. Expensive (it runs
+// the workload once); the Service calls it off the request path. The
+// returned window is 0 only on error.
+func (c *Campaign) prepare() (uint64, error) {
+	scale, err := c.Spec.scale()
+	if err != nil {
+		return 0, err
+	}
+	w, err := workloads.ByName(c.Spec.Workload, scale)
+	if err != nil {
+		return 0, err
+	}
+	cfg := sim.Config{Model: c.Spec.model(), EnableFI: true, MaxInsts: c.Spec.MaxInsts}
+	first, err := campaign.NewRunner(w, campaign.RunnerOptions{Cfg: &cfg})
+	if err != nil {
+		return 0, err
+	}
+	if c.Spec.Profile {
+		first.AttachProfiler()
+	}
+	if c.Spec.Taint {
+		first.AttachTaint()
+	}
+	if c.Spec.Fork {
+		if err := first.EnableFork(campaign.DefaultForkOptions()); err != nil {
+			return 0, err
+		}
+	}
+	runners := []*campaign.Runner{first}
+	for i := 1; i < c.Spec.workers(); i++ {
+		r, err := first.Clone()
+		if err != nil {
+			return 0, err
+		}
+		runners = append(runners, r)
+	}
+	free := make(chan *campaign.Runner, len(runners))
+	for _, r := range runners {
+		free <- r
+	}
+	var ckptBytes []byte
+	if first.Ckpt != nil {
+		if ckptBytes, err = first.Ckpt.Bytes(); err != nil {
+			return 0, err
+		}
+	}
+	c.mu.Lock()
+	c.runners = runners
+	c.free = free
+	c.ckptBytes = ckptBytes
+	c.window = first.WindowInsts
+	c.mu.Unlock()
+	return first.WindowInsts, nil
+}
+
+// fail moves the campaign to the failed phase.
+func (c *Campaign) fail(err error) {
+	c.mu.Lock()
+	c.phase = PhaseFailed
+	c.failErr = err.Error()
+	c.mu.Unlock()
+	c.broadcastStatus()
+}
+
+// borrowRunner takes an idle runner without blocking (nil when all are
+// busy).
+func (c *Campaign) borrowRunner() *campaign.Runner {
+	c.mu.Lock()
+	free := c.free
+	c.mu.Unlock()
+	if free == nil {
+		return nil
+	}
+	select {
+	case r := <-free:
+		return r
+	default:
+		return nil
+	}
+}
+
+func (c *Campaign) returnRunner(r *campaign.Runner) {
+	c.mu.Lock()
+	free := c.free
+	c.mu.Unlock()
+	if free != nil {
+		free <- r
+	}
+}
+
+// takeLocked pops one pending experiment into in-flight. Caller holds
+// c.mu.
+func (c *Campaign) takeLocked() (campaign.Experiment, bool) {
+	for len(c.pending) > 0 {
+		exp := c.pending[0]
+		c.pending = c.pending[1:]
+		if _, dup := c.results[exp.ID]; dup {
+			continue // already classified (journal resume overlap)
+		}
+		c.inflight[exp.ID] = exp
+		return exp, true
+	}
+	return campaign.Experiment{}, false
+}
+
+// requeue returns un-finished experiments to the head of the queue (a
+// died NoW worker's assignments).
+func (c *Campaign) requeue(exps []campaign.Experiment) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range exps {
+		if _, done := c.results[e.ID]; done {
+			continue
+		}
+		delete(c.inflight, e.ID)
+		c.pending = append([]campaign.Experiment{e}, c.pending...)
+	}
+}
+
+// Profile merges the campaign's per-runner profiles (nil when profiling
+// is off or the pool is not built yet).
+func (c *Campaign) Profile() *prof.Profile {
+	c.mu.Lock()
+	runners := c.runners
+	c.mu.Unlock()
+	var parts []*prof.Profile
+	for _, r := range runners {
+		if p := r.Profiler(); p != nil {
+			parts = append(parts, p.Snapshot())
+		}
+	}
+	return prof.MergeProfiles(parts...)
+}
+
+// TaintReport returns the campaign's freshest propagation report across
+// its runners — the per-campaign selection the /taint endpoint keys on.
+func (c *Campaign) TaintReport() *taint.PropReport {
+	c.mu.Lock()
+	runners := c.runners
+	c.mu.Unlock()
+	var best *taint.PropReport
+	var bestStamp uint64
+	for _, r := range runners {
+		rep, stamp := r.LastTaintReport()
+		if rep != nil && stamp >= bestStamp {
+			best, bestStamp = rep, stamp
+		}
+	}
+	return best
+}
+
+// subscribe registers a stream consumer primed with every existing
+// result, so late watchers see the full history in order.
+func (c *Campaign) subscribe() (chan streamEvent, func()) {
+	c.mu.Lock()
+	backlog := make([]campaign.Result, 0, len(c.results))
+	for i := 0; i < len(c.planned); i++ {
+		if r, ok := c.results[c.planned[i].ID]; ok {
+			backlog = append(backlog, r)
+		}
+	}
+	done := c.phase == PhaseDone || c.phase == PhaseFailed
+	ch := make(chan streamEvent, 256+2*len(backlog))
+	for i := range backlog {
+		ch <- streamEvent{Type: "result", Result: &backlog[i]}
+	}
+	if done {
+		st := c.statusLocked()
+		ch <- streamEvent{Type: "done", Status: &st}
+		close(ch)
+		c.mu.Unlock()
+		return ch, func() {}
+	}
+	c.subs[ch] = struct{}{}
+	c.mu.Unlock()
+	return ch, func() {
+		c.mu.Lock()
+		if _, ok := c.subs[ch]; ok {
+			delete(c.subs, ch)
+		}
+		c.mu.Unlock()
+	}
+}
+
+// broadcast sends an event to every subscriber, dropping ones whose
+// buffers are full (a stalled client must not stall the campaign).
+func (c *Campaign) broadcast(ev streamEvent) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.broadcastLocked(ev)
+}
+
+func (c *Campaign) broadcastLocked(ev streamEvent) {
+	for ch := range c.subs {
+		select {
+		case ch <- ev:
+		default:
+			delete(c.subs, ch)
+			close(ch)
+		}
+	}
+}
+
+// finishLocked closes every subscriber after a terminal event.
+func (c *Campaign) finishLocked() {
+	st := c.statusLocked()
+	for ch := range c.subs {
+		select {
+		case ch <- streamEvent{Type: "done", Status: &st}:
+		default:
+		}
+		close(ch)
+		delete(c.subs, ch)
+	}
+}
+
+func (c *Campaign) broadcastStatus() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.phase == PhaseDone || c.phase == PhaseFailed {
+		c.finishLocked()
+		return
+	}
+	st := c.statusLocked()
+	c.broadcastLocked(streamEvent{Type: "status", Status: &st})
+}
+
+// CampaignStatus is the public point-in-time view of one campaign.
+type CampaignStatus struct {
+	ID          string          `json:"id"`
+	Name        string          `json:"name,omitempty"`
+	Tenant      string          `json:"tenant"`
+	Workload    string          `json:"workload"`
+	Sampling    string          `json:"sampling"`
+	Phase       string          `json:"phase"`
+	Error       string          `json:"error,omitempty"`
+	Budget      int             `json:"budget"`
+	Planned     int             `json:"planned"`
+	Done        int             `json:"done"`
+	InFlight    int             `json:"inFlight"`
+	Pending     int             `json:"pending"`
+	Batches     int             `json:"batches"`
+	WindowInsts uint64          `json:"windowInsts,omitempty"`
+	Outcomes    map[string]int  `json:"outcomes"`
+	ElapsedSec  float64         `json:"elapsedSec"`
+	Strata      []StratumStatus `json:"strata,omitempty"`
+	AggP        float64         `json:"aggP"`
+	AggCIWidth  float64         `json:"aggCIWidth"`
+}
+
+// Status reads the campaign's live state.
+func (c *Campaign) Status() CampaignStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.statusLocked()
+}
+
+func (c *Campaign) statusLocked() CampaignStatus {
+	st := CampaignStatus{
+		ID:          c.ID,
+		Name:        c.Spec.Name,
+		Tenant:      c.Spec.tenant(),
+		Workload:    c.Spec.Workload,
+		Sampling:    c.samplingMode(),
+		Phase:       c.phase,
+		Error:       c.failErr,
+		Budget:      c.Spec.N,
+		Planned:     len(c.planned),
+		Done:        len(c.results),
+		InFlight:    len(c.inflight),
+		Pending:     len(c.pending),
+		Batches:     c.batches,
+		WindowInsts: c.window,
+		Outcomes:    make(map[string]int),
+		ElapsedSec:  time.Since(c.started).Seconds(),
+	}
+	for _, r := range c.results {
+		st.Outcomes[r.Outcome.String()]++
+	}
+	if c.sampler != nil {
+		st.Strata, st.AggP, st.AggCIWidth = c.sampler.status()
+	}
+	return st
+}
+
+func (c *Campaign) samplingMode() string {
+	if c.Spec.Sampling == "" {
+		return SampleUniform
+	}
+	return c.Spec.Sampling
+}
+
+// Results returns the classified results in planned order.
+func (c *Campaign) Results() []campaign.Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]campaign.Result, 0, len(c.results))
+	for _, e := range c.planned {
+		if r, ok := c.results[e.ID]; ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Report is the campaign's vulnerability report: the five-class tally
+// with fractions, the stratified vulnerability estimate, and the
+// per-stratum confidence table.
+type Report struct {
+	ID         string             `json:"id"`
+	Workload   string             `json:"workload"`
+	Sampling   string             `json:"sampling"`
+	Total      int                `json:"total"`
+	Outcomes   map[string]int     `json:"outcomes"`
+	Fractions  map[string]float64 `json:"fractions"`
+	AggP       float64            `json:"aggP"`
+	AggCIWidth float64            `json:"aggCIWidth"`
+	Confidence float64            `json:"confidence"`
+	Strata     []StratumStatus    `json:"strata,omitempty"`
+}
+
+// VulnReport builds the live vulnerability report.
+func (c *Campaign) VulnReport() Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rep := Report{
+		ID:         c.ID,
+		Workload:   c.Spec.Workload,
+		Sampling:   c.samplingMode(),
+		Total:      len(c.results),
+		Outcomes:   make(map[string]int),
+		Fractions:  make(map[string]float64),
+		Confidence: c.Spec.confidence(),
+	}
+	tally := make(campaign.Tally)
+	for _, r := range c.results {
+		tally.Add(r)
+	}
+	for _, o := range campaign.Outcomes() {
+		if n := tally[o]; n > 0 {
+			rep.Outcomes[o.String()] = n
+		}
+		rep.Fractions[o.String()] = tally.Fraction(o)
+	}
+	if c.sampler != nil {
+		rep.Strata, rep.AggP, rep.AggCIWidth = c.sampler.status()
+	}
+	return rep
+}

@@ -1,0 +1,267 @@
+package serv
+
+// Durable campaign storage: an append-only JSONL journal plus a
+// periodically compacted snapshot. Every state transition — campaign
+// submitted, injection window discovered, batch planned, experiment
+// classified, campaign finished — is one appended line, flushed to the
+// OS before the call returns, so a server killed with SIGKILL loses at
+// most results the kernel had not yet accepted (none, in practice: the
+// page cache survives process death, only machine death loses it).
+// Graceful shutdown additionally fsyncs. A restarted server replays
+// snapshot + journal and resumes every unfinished campaign with
+// exactly-once accounting: results are keyed by (campaign, experiment)
+// and deduplicated on both append and replay, so a requeued experiment
+// that reports twice still counts once.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/campaign"
+)
+
+// record is one journal line; T selects which fields are meaningful.
+type record struct {
+	T        string                `json:"t"`
+	Campaign string                `json:"c,omitempty"`
+	Spec     *CampaignSpec         `json:"spec,omitempty"`
+	Window   uint64                `json:"window,omitempty"`
+	Batch    int                   `json:"batch,omitempty"` // 1-based batch sequence for exps records
+	Exps     []campaign.Experiment `json:"exps,omitempty"`
+	Result   *campaign.Result      `json:"result,omitempty"`
+}
+
+// Record types.
+const (
+	recSpec   = "spec"   // campaign submitted
+	recWindow = "window" // golden run done, injection window known
+	recExps   = "exps"   // batch of experiments planned
+	recResult = "result" // one experiment classified
+	recDone   = "done"   // campaign reached its budget
+)
+
+// persisted is one campaign's durable state, as reconstructed by replay
+// and as written to the compacted snapshot.
+type persisted struct {
+	Spec    CampaignSpec               `json:"spec"`
+	Window  uint64                     `json:"window,omitempty"`
+	Batches int                        `json:"batches,omitempty"`
+	Planned []campaign.Experiment      `json:"planned,omitempty"`
+	Results map[int]campaign.Result    `json:"results,omitempty"`
+	Done    bool                       `json:"done,omitempty"`
+}
+
+// journalState is the full replayed store: campaign order (submission
+// order, which also fixes ID allocation) and per-campaign state.
+type journalState struct {
+	Order []string              `json:"order"`
+	Camps map[string]*persisted `json:"campaigns"`
+}
+
+func newJournalState() *journalState {
+	return &journalState{Camps: make(map[string]*persisted)}
+}
+
+// apply folds one record into the state; unknown campaigns and duplicate
+// results are tolerated (the exactly-once dedupe point for replay).
+func (st *journalState) apply(r record) {
+	switch r.T {
+	case recSpec:
+		if _, dup := st.Camps[r.Campaign]; dup || r.Spec == nil {
+			return
+		}
+		st.Order = append(st.Order, r.Campaign)
+		st.Camps[r.Campaign] = &persisted{Spec: *r.Spec, Results: make(map[int]campaign.Result)}
+	case recWindow:
+		if p := st.Camps[r.Campaign]; p != nil {
+			p.Window = r.Window
+		}
+	case recExps:
+		p := st.Camps[r.Campaign]
+		if p == nil || r.Batch != p.Batches+1 {
+			// A batch at or below p.Batches is already folded into the
+			// snapshot (possible when a crash lands between snapshot
+			// rename and journal truncation) — replay must skip it.
+			return
+		}
+		p.Planned = append(p.Planned, r.Exps...)
+		p.Batches++
+	case recResult:
+		p := st.Camps[r.Campaign]
+		if p == nil || r.Result == nil {
+			return
+		}
+		if _, dup := p.Results[r.Result.ID]; !dup {
+			p.Results[r.Result.ID] = *r.Result
+		}
+	case recDone:
+		if p := st.Camps[r.Campaign]; p != nil {
+			p.Done = true
+		}
+	}
+}
+
+// compactEvery bounds journal growth: after this many appended records
+// the journal is folded into the snapshot and truncated.
+const compactEvery = 4096
+
+// journal is the on-disk store. All methods are safe for concurrent use.
+type journal struct {
+	dir string
+
+	mu       sync.Mutex
+	f        *os.File
+	w        *bufio.Writer
+	appended int
+}
+
+func (j *journal) logPath() string  { return filepath.Join(j.dir, "journal.jsonl") }
+func (j *journal) snapPath() string { return filepath.Join(j.dir, "snapshot.json") }
+
+// openJournal opens (creating if needed) the store in dir and replays
+// snapshot + journal into a state.
+func openJournal(dir string) (*journal, *journalState, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("serv: journal dir: %w", err)
+	}
+	j := &journal{dir: dir}
+	st := newJournalState()
+
+	// Snapshot first (the compacted prefix), then the journal tail.
+	if b, err := os.ReadFile(j.snapPath()); err == nil {
+		if err := json.Unmarshal(b, st); err != nil {
+			return nil, nil, fmt.Errorf("serv: corrupt snapshot %s: %w", j.snapPath(), err)
+		}
+		if st.Camps == nil {
+			st.Camps = make(map[string]*persisted)
+		}
+		for _, p := range st.Camps {
+			if p.Results == nil {
+				p.Results = make(map[int]campaign.Result)
+			}
+		}
+	}
+	if f, err := os.Open(j.logPath()); err == nil {
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 64<<10), 64<<20)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			var r record
+			if err := json.Unmarshal(line, &r); err != nil {
+				// A torn final line is expected after SIGKILL; anything
+				// after it is unreachable, so stop replaying here.
+				break
+			}
+			st.apply(r)
+		}
+		_ = f.Close()
+	}
+
+	f, err := os.OpenFile(j.logPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serv: open journal: %w", err)
+	}
+	j.f = f
+	j.w = bufio.NewWriterSize(f, 64<<10)
+	return j, st, nil
+}
+
+// append writes one record and flushes it to the OS. Returns the number
+// of records appended since the last compaction so the caller can
+// trigger one (compaction needs the caller's state, not the journal's).
+func (j *journal) append(r record) (int, error) {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return 0, err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return 0, fmt.Errorf("serv: journal closed")
+	}
+	if _, err := j.w.Write(append(b, '\n')); err != nil {
+		return 0, err
+	}
+	if err := j.w.Flush(); err != nil {
+		return 0, err
+	}
+	j.appended++
+	return j.appended, nil
+}
+
+// compact writes the full state as a snapshot (atomically, via rename)
+// and truncates the journal. The caller must pass a state that already
+// reflects every appended record.
+func (j *journal) compact(st *journalState) error {
+	b, err := json.MarshalIndent(st, "", " ")
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("serv: journal closed")
+	}
+	tmp := j.snapPath() + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(tmp, os.O_RDWR, 0o644)
+	if err == nil {
+		_ = f.Sync()
+		_ = f.Close()
+	}
+	if err := os.Rename(tmp, j.snapPath()); err != nil {
+		return err
+	}
+	// The snapshot now covers everything; truncating the journal is safe
+	// even if we die between these steps — replaying a stale journal line
+	// over the snapshot is a no-op (spec/result dedupe, batch sequencing).
+	if err := j.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := j.f.Seek(0, 0); err != nil {
+		return err
+	}
+	j.w.Reset(j.f)
+	j.appended = 0
+	return nil
+}
+
+// sync flushes and fsyncs the journal — the graceful-shutdown barrier.
+func (j *journal) sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// close flushes, fsyncs and closes the journal.
+func (j *journal) close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.w.Flush()
+	if serr := j.f.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}

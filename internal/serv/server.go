@@ -1,0 +1,798 @@
+package serv
+
+// Service is the campaign server: a durable, multi-tenant scheduler that
+// accepts campaign specs over HTTP, persists every state transition to
+// the journal, executes experiments on per-campaign local runner pools
+// under a global slot budget (and, optionally, on NoW workers via the
+// now.ExpSource bridge), and streams progress to any number of watchers.
+//
+// Fair sharing is smooth weighted round-robin over campaigns that have
+// both pending work and an idle runner: each dispatch round every
+// runnable campaign gains its weight, the largest accumulator wins the
+// slot and pays the total back. Interleaving is proportional to weight
+// even in short windows, so one tenant's 10k-experiment campaign cannot
+// starve another's smoke test.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/now"
+	"repro/internal/obs"
+	"repro/internal/obs/httpserv"
+	"repro/internal/prof"
+	"repro/internal/taint"
+	"repro/internal/workloads"
+)
+
+// Config parameterizes a Service.
+type Config struct {
+	// Dir is the journal directory (required).
+	Dir string
+	// Slots bounds concurrent local experiment executions across all
+	// campaigns (default 4).
+	Slots int
+	// Metrics receives service telemetry (nil disables).
+	Metrics *obs.Registry
+}
+
+// Service hosts campaigns. Lock order: a Campaign's mu may be held when
+// taking s.mu (the journal/mirror path), never the reverse — anything
+// holding s.mu must release it before touching a Campaign's lock.
+type Service struct {
+	cfg Config
+	j   *journal
+
+	mu     sync.Mutex
+	st     *journalState // durable mirror; advanced with every append
+	camps  map[string]*Campaign
+	order  []string
+	closed bool
+
+	slots chan struct{} // global local-execution budget (semaphore)
+	kickC chan struct{}
+	stopC chan struct{}
+	wg    sync.WaitGroup // dispatcher + experiment goroutines
+
+	submittedC *obs.Counter
+	resultsC   *obs.Counter
+	batchesC   *obs.Counter
+	resumedC   *obs.Counter
+}
+
+// New opens (or creates) the journal in cfg.Dir, replays it, resumes
+// every unfinished campaign, and starts the dispatcher.
+func New(cfg Config) (*Service, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("serv: Config.Dir is required")
+	}
+	if cfg.Slots <= 0 {
+		cfg.Slots = 4
+	}
+	j, st, err := openJournal(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{
+		cfg:   cfg,
+		j:     j,
+		st:    st,
+		camps: make(map[string]*Campaign),
+		slots: make(chan struct{}, cfg.Slots),
+		kickC: make(chan struct{}, 1),
+		stopC: make(chan struct{}),
+	}
+	s.registerMetrics()
+
+	// Resume: rebuild every journaled campaign. Finished ones are cheap
+	// (state only — no golden run); unfinished ones relaunch through the
+	// same prepare path a fresh submission takes, with the persisted
+	// planned/results ledger restored so nothing reruns or double-counts.
+	for _, id := range st.Order {
+		p := st.Camps[id]
+		c := newCampaign(id, p.Spec)
+		s.camps[id] = c
+		s.order = append(s.order, id)
+		if p.Done {
+			s.restoreFinished(c, p)
+			continue
+		}
+		if s.resumedC != nil {
+			s.resumedC.Inc()
+		}
+		snap := snapshotPersisted(p)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.launch(c, snap)
+		}()
+	}
+
+	s.wg.Add(1)
+	go s.dispatch()
+	return s, nil
+}
+
+func (s *Service) registerMetrics() {
+	r := s.cfg.Metrics
+	s.submittedC = r.Counter("serv.campaigns_submitted")
+	s.resultsC = r.Counter("serv.results_total")
+	s.batchesC = r.Counter("serv.batches_planned")
+	s.resumedC = r.Counter("serv.campaigns_resumed")
+	if r == nil {
+		return
+	}
+	r.RegisterFunc("serv.slots_busy", func() float64 {
+		return float64(len(s.slots))
+	})
+	r.RegisterFunc("serv.campaigns_active", func() float64 {
+		// Copy the campaign set under s.mu, then read each status under
+		// its own lock — taking c.mu while holding s.mu would invert the
+		// service's lock order (completion holds c.mu when journaling).
+		s.mu.Lock()
+		camps := make([]*Campaign, 0, len(s.camps))
+		for _, c := range s.camps {
+			camps = append(camps, c)
+		}
+		s.mu.Unlock()
+		n := 0
+		for _, c := range camps {
+			if ph := c.Status().Phase; ph == PhaseRunning || ph == PhasePreparing {
+				n++
+			}
+		}
+		return float64(n)
+	})
+}
+
+// snapshotPersisted deep-copies the mutable parts of a persisted record
+// so a resuming campaign does not alias the live mirror.
+func snapshotPersisted(p *persisted) *persisted {
+	cp := &persisted{Spec: p.Spec, Window: p.Window, Batches: p.Batches, Done: p.Done}
+	cp.Planned = append([]campaign.Experiment(nil), p.Planned...)
+	cp.Results = make(map[int]campaign.Result, len(p.Results))
+	for id, r := range p.Results {
+		cp.Results[id] = r
+	}
+	return cp
+}
+
+// restoreFinished rebuilds a done campaign's read-only state (status,
+// results, report) without the golden run or a runner pool.
+func (s *Service) restoreFinished(c *Campaign, p *persisted) {
+	c.mu.Lock()
+	c.window = p.Window
+	c.planned = append([]campaign.Experiment(nil), p.Planned...)
+	for id, r := range p.Results {
+		c.results[id] = r
+	}
+	c.batches = p.Batches
+	if p.Window > 0 {
+		c.sampler = newSampler(&c.Spec, p.Window)
+		c.sampler.restore(c.planned, c.results, p.Batches)
+	}
+	c.phase = PhaseDone
+	c.finishLocked()
+	c.mu.Unlock()
+}
+
+// appendApply journals one record and folds it into the durable mirror,
+// compacting when the journal has grown past the threshold. Safe to call
+// while holding a Campaign's lock (s.mu is taken after c.mu by design).
+func (s *Service) appendApply(r record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("serv: service closed")
+	}
+	n, err := s.j.append(r)
+	if err != nil {
+		return err
+	}
+	s.st.apply(r)
+	if n >= compactEvery {
+		return s.j.compact(s.st)
+	}
+	return nil
+}
+
+// Submit validates a spec, journals it, and launches its campaign.
+// Returns the assigned campaign ID.
+func (s *Service) Submit(spec CampaignSpec) (string, error) {
+	if err := validateSpec(&spec); err != nil {
+		return "", err
+	}
+	if _, err := workloads.ByName(spec.Workload, workloads.ScaleTest); err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return "", fmt.Errorf("serv: service closed")
+	}
+	id := fmt.Sprintf("c%04d", len(s.order)+1)
+	if _, err := s.j.append(record{T: recSpec, Campaign: id, Spec: &spec}); err != nil {
+		s.mu.Unlock()
+		return "", err
+	}
+	s.st.apply(record{T: recSpec, Campaign: id, Spec: &spec})
+	c := newCampaign(id, spec)
+	s.camps[id] = c
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+	if s.submittedC != nil {
+		s.submittedC.Inc()
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.launch(c, nil)
+	}()
+	return id, nil
+}
+
+// launch takes a campaign from submitted (or journal-resumed: prev holds
+// the persisted ledger) to running: golden run, sampler, first batch.
+func (s *Service) launch(c *Campaign, prev *persisted) {
+	window, err := c.prepare()
+	if err != nil {
+		c.fail(err)
+		return
+	}
+	c.mu.Lock()
+	if prev == nil || prev.Window == 0 {
+		if err := s.appendApply(record{T: recWindow, Campaign: c.ID, Window: window}); err != nil {
+			c.mu.Unlock()
+			c.fail(err)
+			return
+		}
+	}
+	c.sampler = newSampler(&c.Spec, window)
+	if prev != nil {
+		c.sampler.restore(prev.Planned, prev.Results, prev.Batches)
+		c.planned = prev.Planned
+		c.batches = prev.Batches
+		for id, r := range prev.Results {
+			c.results[id] = r
+		}
+		for _, e := range c.planned {
+			if _, done := c.results[e.ID]; !done {
+				c.pending = append(c.pending, e)
+			}
+		}
+	}
+	if len(c.pending) == 0 {
+		if err := s.planBatchLocked(c); err != nil {
+			c.mu.Unlock()
+			c.fail(err)
+			return
+		}
+	}
+	if len(c.pending) == 0 && len(c.inflight) == 0 {
+		// Budget already spent (a resumed campaign whose last results were
+		// journaled but whose done record was lost): finish now.
+		s.finishLocked(c)
+		c.mu.Unlock()
+		return
+	}
+	c.phase = PhaseRunning
+	c.mu.Unlock()
+	c.broadcastStatus()
+	s.kick()
+}
+
+// planBatchLocked asks the campaign's sampler for the next batch and
+// journals it before exposing it to the scheduler. Caller holds c.mu.
+// A nil-batch return with no error means the budget is spent.
+func (s *Service) planBatchLocked(c *Campaign) error {
+	exps := c.sampler.nextBatch(len(c.planned) + 1)
+	if exps == nil {
+		return nil
+	}
+	rec := record{T: recExps, Campaign: c.ID, Batch: c.sampler.batches, Exps: exps}
+	if err := s.appendApply(rec); err != nil {
+		return err
+	}
+	c.planned = append(c.planned, exps...)
+	c.pending = append(c.pending, exps...)
+	c.batches = c.sampler.batches
+	if s.batchesC != nil {
+		s.batchesC.Inc()
+	}
+	return nil
+}
+
+// finishLocked journals the done record and closes out the campaign.
+// Caller holds c.mu.
+func (s *Service) finishLocked(c *Campaign) {
+	_ = s.appendApply(record{T: recDone, Campaign: c.ID})
+	c.phase = PhaseDone
+	c.finishLocked()
+}
+
+// complete folds one classified experiment into the campaign: dedupe,
+// journal, sampler evidence, stream broadcast, and — when the batch has
+// drained — the next batch or the finish line. The exactly-once point:
+// a result is journaled and counted only if its ID was not already
+// classified, so requeued or duplicated executions collapse to one.
+func (s *Service) complete(c *Campaign, res campaign.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.results[res.ID]; dup {
+		return
+	}
+	if err := s.appendApply(record{T: recResult, Campaign: c.ID, Result: &res}); err != nil {
+		// Journal write failed (closed mid-shutdown, disk error): drop the
+		// result rather than count something the ledger never saw.
+		delete(c.inflight, res.ID)
+		return
+	}
+	c.results[res.ID] = res
+	delete(c.inflight, res.ID)
+	c.sampler.record(res)
+	if s.resultsC != nil {
+		s.resultsC.Inc()
+	}
+	c.broadcastLocked(streamEvent{Type: "result", Result: &res})
+	if len(c.pending) == 0 && len(c.inflight) == 0 {
+		if err := s.planBatchLocked(c); err != nil {
+			c.mu.Unlock()
+			c.fail(err)
+			c.mu.Lock()
+			return
+		}
+		if len(c.pending) == 0 {
+			s.finishLocked(c)
+		}
+	}
+}
+
+// kick wakes the dispatcher (coalescing).
+func (s *Service) kick() {
+	select {
+	case s.kickC <- struct{}{}:
+	default:
+	}
+}
+
+// dispatch is the scheduler loop: on every wake it hands out as many
+// (campaign, experiment, runner, slot) quadruples as it can.
+func (s *Service) dispatch() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stopC:
+			return
+		case <-s.kickC:
+		}
+		for s.dispatchOne() {
+		}
+	}
+}
+
+// dispatchOne picks the next campaign by smooth weighted round-robin
+// among those with pending work and an idle runner, takes a global slot,
+// and launches one experiment. Returns false when nothing can start.
+func (s *Service) dispatchOne() bool {
+	select {
+	case s.slots <- struct{}{}:
+	default:
+		return false // all slots busy; a completion will re-kick
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.slots
+		return false
+	}
+	cands := make([]*Campaign, 0, len(s.order))
+	for _, id := range s.order {
+		cands = append(cands, s.camps[id])
+	}
+	s.mu.Unlock()
+
+	// Smooth WRR (nginx variant): every runnable candidate gains its
+	// weight; the largest accumulator wins and repays the round total.
+	// wrrCur is touched only here, on the single dispatcher goroutine.
+	var pick *Campaign
+	var pickRunner *campaign.Runner
+	var pickExp campaign.Experiment
+	total := 0
+	for _, c := range cands {
+		c.mu.Lock()
+		runnable := c.phase == PhaseRunning && len(c.pending) > 0
+		c.mu.Unlock()
+		if !runnable {
+			continue
+		}
+		r := c.borrowRunner()
+		if r == nil {
+			continue // pool busy; its completion will re-kick
+		}
+		w := c.Spec.weight()
+		total += w
+		c.wrrCur += w
+		if pick == nil || c.wrrCur > pick.wrrCur {
+			if pick != nil {
+				pick.returnRunner(pickRunner)
+			}
+			pick, pickRunner = c, r
+		} else {
+			c.returnRunner(r)
+		}
+	}
+	if pick == nil {
+		<-s.slots
+		return false
+	}
+	pick.wrrCur -= total
+
+	pick.mu.Lock()
+	exp, ok := pick.takeLocked()
+	pick.mu.Unlock()
+	if !ok {
+		pick.returnRunner(pickRunner)
+		<-s.slots
+		return false
+	}
+	pickExp = exp
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		res := pickRunner.Run(pickExp)
+		pick.returnRunner(pickRunner)
+		<-s.slots
+		s.complete(pick, res)
+		s.kick()
+	}()
+	return true
+}
+
+// Campaign looks up a hosted campaign by ID.
+func (s *Service) Campaign(id string) (*Campaign, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.camps[id]
+	return c, ok
+}
+
+// Campaigns lists every hosted campaign's status in submission order.
+func (s *Service) Campaigns() []CampaignStatus {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	camps := make([]*Campaign, len(ids))
+	for i, id := range ids {
+		camps[i] = s.camps[id]
+	}
+	s.mu.Unlock()
+	out := make([]CampaignStatus, len(camps))
+	for i, c := range camps {
+		out[i] = c.Status()
+	}
+	return out
+}
+
+// Wait blocks until the campaign finishes (done or failed) or the
+// timeout elapses; reports whether it finished.
+func (s *Service) Wait(id string, timeout time.Duration) bool {
+	c, ok := s.Campaign(id)
+	if !ok {
+		return false
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		st := c.Status()
+		if st.Phase == PhaseDone || st.Phase == PhaseFailed {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Shutdown drains gracefully: no new dispatches, in-flight experiments
+// run to completion within the bound, then the journal is fsynced and
+// closed. Safe to call once.
+func (s *Service) Shutdown(deadline time.Duration) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stopC)
+
+	end := time.Now().Add(deadline)
+	for time.Now().Before(end) {
+		if len(s.slots) == 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := s.j.sync(); err != nil {
+		return err
+	}
+	return s.j.close()
+}
+
+// Close abandons the service without draining or fsync — the crash-test
+// hook (per-record flushes are the only durability). In-flight
+// experiment goroutines fail their journal appends and drop out.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stopC)
+	_ = s.j.close()
+}
+
+// ---- NoW bridge: the service as an experiment source ----
+
+// Open implements now.ExpSource: an arriving worker is assigned to the
+// running campaign with the most pending work (ties to submission
+// order). ok=false when nothing needs remote help.
+func (s *Service) Open(workerName string) (now.Welcome, now.Session, bool) {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	camps := make([]*Campaign, len(ids))
+	for i, id := range ids {
+		camps[i] = s.camps[id]
+	}
+	s.mu.Unlock()
+
+	var pick *Campaign
+	best := 0
+	for _, c := range camps {
+		c.mu.Lock()
+		n := 0
+		if c.phase == PhaseRunning {
+			n = len(c.pending)
+		}
+		c.mu.Unlock()
+		if n > best {
+			pick, best = c, n
+		}
+	}
+	if pick == nil {
+		return now.Welcome{}, nil, false
+	}
+	scale, _ := pick.Spec.scale()
+	wel := now.Welcome{
+		Campaign:    pick.ID,
+		Workload:    pick.Spec.Workload,
+		Scale:       int(scale),
+		Checkpoint:  pick.ckptBytes,
+		WindowInsts: pick.window,
+		Model:       string(pick.Spec.model()),
+		MaxInsts:    pick.Spec.MaxInsts,
+	}
+	return wel, &servSession{s: s, c: pick, taken: make(map[int]campaign.Experiment)}, true
+}
+
+// ServeWorkers serves the NoW worker protocol on ln until it closes.
+func (s *Service) ServeWorkers(ln net.Listener) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		now.ServeSource(ln, s)
+	}()
+}
+
+// servSession is one worker connection's campaign assignment.
+type servSession struct {
+	s *Service
+	c *Campaign
+
+	mu    sync.Mutex
+	taken map[int]campaign.Experiment
+}
+
+func (ss *servSession) Take() (campaign.Experiment, bool) {
+	ss.c.mu.Lock()
+	exp, ok := ss.c.takeLocked()
+	ss.c.mu.Unlock()
+	if ok {
+		ss.mu.Lock()
+		ss.taken[exp.ID] = exp
+		ss.mu.Unlock()
+	}
+	return exp, ok
+}
+
+func (ss *servSession) Complete(res campaign.Result) {
+	ss.mu.Lock()
+	delete(ss.taken, res.ID)
+	ss.mu.Unlock()
+	ss.s.complete(ss.c, res)
+	ss.s.kick()
+}
+
+// Close requeues whatever the dead worker took but never finished; the
+// results ledger guarantees anything it did finish counts exactly once.
+func (ss *servSession) Close() {
+	ss.mu.Lock()
+	exps := make([]campaign.Experiment, 0, len(ss.taken))
+	for _, e := range ss.taken {
+		exps = append(exps, e)
+	}
+	ss.taken = make(map[int]campaign.Experiment)
+	ss.mu.Unlock()
+	if len(exps) > 0 {
+		ss.c.requeue(exps)
+		ss.s.kick()
+	}
+}
+
+// ---- HTTP API ----
+
+// Handler returns the service's HTTP surface: the campaign API plus the
+// standard observability endpoints (with per-campaign keying wired).
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/campaigns", s.handleCampaigns)
+	mux.HandleFunc("/campaigns/", s.handleCampaign)
+	mux.Handle("/", httpserv.Handler(httpserv.Config{
+		Metrics: s.cfg.Metrics,
+		Status:  func() any { return s.Campaigns() },
+		StatusFor: func(id string) (any, bool) {
+			c, ok := s.Campaign(id)
+			if !ok {
+				return nil, false
+			}
+			return c.Status(), true
+		},
+		ProfileFor: func(id string) (*prof.Profile, bool) {
+			c, ok := s.Campaign(id)
+			if !ok {
+				return nil, false
+			}
+			return c.Profile(), true
+		},
+		TaintFor: func(id string) (*taint.PropReport, bool) {
+			c, ok := s.Campaign(id)
+			if !ok {
+				return nil, false
+			}
+			return c.TaintReport(), true
+		},
+	}))
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// handleCampaigns serves POST /campaigns (submit) and GET /campaigns
+// (list).
+func (s *Service) handleCampaigns(w http.ResponseWriter, req *http.Request) {
+	switch req.Method {
+	case http.MethodPost:
+		var spec CampaignSpec
+		if err := json.NewDecoder(req.Body).Decode(&spec); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad spec: %w", err))
+			return
+		}
+		id, err := s.Submit(spec)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]string{"id": id})
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, s.Campaigns())
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// handleCampaign serves GET /campaigns/{id}[/results|/report|/stream].
+func (s *Service) handleCampaign(w http.ResponseWriter, req *http.Request) {
+	rest := strings.TrimPrefix(req.URL.Path, "/campaigns/")
+	id, sub, _ := strings.Cut(rest, "/")
+	c, ok := s.Campaign(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown campaign %q", id))
+		return
+	}
+	if req.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	switch sub {
+	case "":
+		writeJSON(w, http.StatusOK, c.Status())
+	case "results":
+		writeJSON(w, http.StatusOK, c.Results())
+	case "report":
+		writeJSON(w, http.StatusOK, c.VulnReport())
+	case "stream":
+		s.handleStream(w, req, c)
+	default:
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown endpoint %q", sub))
+	}
+}
+
+// handleStream serves one SSE watcher: the full result history so far,
+// then live results as they classify, then a terminal done event.
+func (s *Service) handleStream(w http.ResponseWriter, req *http.Request, c *Campaign) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	ch, cancel := c.subscribe()
+	defer cancel()
+	for {
+		select {
+		case <-req.Context().Done():
+			return
+		case ev, open := <-ch:
+			if !open {
+				return
+			}
+			var payload any
+			switch {
+			case ev.Result != nil:
+				payload = ev.Result
+			case ev.Status != nil:
+				payload = ev.Status
+			default:
+				payload = struct{}{}
+			}
+			b, err := json.Marshal(payload)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, b)
+			fl.Flush()
+			if ev.Type == "done" {
+				return
+			}
+		}
+	}
+}
+
+// Serve starts an HTTP server for the service API on addr; returns the
+// bound server (Close it to stop).
+func (s *Service) Serve(addr string) (*http.Server, net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		_ = srv.Serve(ln)
+	}()
+	return srv, ln, nil
+}

@@ -1,0 +1,193 @@
+package stats
+
+// Stratified sample sizing and allocation for adaptive fault-injection
+// campaigns. The campaign service partitions the fault population into
+// strata (injection-window regions attributed to guest PCs) and spends
+// its experiment budget where outcome uncertainty is highest: each
+// stratum gets at least the Leveugle sample its own population demands,
+// and marginal experiments go to the stratum whose outcome-proportion
+// confidence interval is currently widest. A uniform sampler over the
+// same population is the conformance referee — stratified estimates must
+// converge to the same per-stratum rates.
+
+import (
+	"math"
+	"sort"
+)
+
+// Stratum is one slice of the fault population with its accumulated
+// outcome evidence: Pop injectable faults, of which N have been sampled
+// and K showed the outcome of interest (e.g. crashed or SDC).
+type Stratum struct {
+	Pop int64 // fault population of the stratum (<= 0: infinite)
+	N   int   // experiments sampled so far
+	K   int   // outcome-of-interest count among the N
+}
+
+// P returns the stratum's observed outcome proportion (0 when empty).
+func (s Stratum) P() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return float64(s.K) / float64(s.N)
+}
+
+// CIWidth returns the full width (hi - lo) of the stratum's
+// normal-approximation proportion confidence interval, clamped to [0,1]
+// on both sides. An unsampled stratum has maximal uncertainty: width 1.
+func (s Stratum) CIWidth(confidence float64) float64 {
+	if s.N == 0 {
+		return 1
+	}
+	lo, hi := Proportion{Successes: s.K, Total: s.N}.Interval(confidence)
+	return hi - lo
+}
+
+// StratumSize computes the Leveugle sample size one stratum needs on its
+// own: the uniform SampleSize formula applied to the stratum population
+// with the conservative p = 0.5. Stratification changes where samples
+// go, never how many a population of that size requires, so this is the
+// exact per-stratum analogue of the paper's campaign sizing.
+func StratumSize(pop int64, confidence, margin float64) int64 {
+	return SampleSize(pop, confidence, margin, 0.5)
+}
+
+// StratifiedSizes computes the per-stratum Leveugle sample sizes for a
+// partitioned population. Each stratum is sized independently at the
+// same confidence and margin with conservative p = 0.5, so no stratum is
+// ever under-sized relative to running the uniform formula on it alone —
+// the property the stats test suite enforces.
+func StratifiedSizes(pops []int64, confidence, margin float64) []int64 {
+	out := make([]int64, len(pops))
+	for i, p := range pops {
+		out[i] = StratumSize(p, confidence, margin)
+	}
+	return out
+}
+
+// AllocateWidest distributes a batch of n experiments over strata by
+// repeatedly granting one experiment to the stratum whose projected
+// confidence interval is widest, assuming its observed proportion holds
+// while the pending grants accumulate. Unsampled strata have width 1 and
+// therefore drain first; after that the allocation equalizes CI widths —
+// the "spend the budget where uncertainty is highest" loop of the
+// adaptive sampler. Strata whose sampling has exhausted their finite
+// population receive nothing. The returned slice sums to at most n.
+func AllocateWidest(strata []Stratum, n int, confidence float64) []int {
+	alloc := make([]int, len(strata))
+	if len(strata) == 0 || n <= 0 {
+		return alloc
+	}
+	z := ZFor(confidence)
+	// width projects the stratum CI width after its pending allocation.
+	width := func(i int) float64 {
+		s := strata[i]
+		total := s.N + alloc[i]
+		if s.Pop > 0 && int64(total) >= s.Pop {
+			return -1 // population exhausted: nothing left to learn
+		}
+		if total == 0 {
+			return 1
+		}
+		p := s.P()
+		se := math.Sqrt(p * (1 - p) / float64(total))
+		w := 2 * z * se
+		if w <= 0 {
+			// Degenerate observed proportion (0 or 1): still shrinking
+			// evidence is worth a trickle, ranked below any open interval.
+			w = 1 / float64(total+1) * 1e-6
+		}
+		return w
+	}
+	for g := 0; g < n; g++ {
+		best, bestW := -1, 0.0
+		for i := range strata {
+			if w := width(i); w > bestW {
+				best, bestW = i, w
+			}
+		}
+		if best < 0 {
+			break // every stratum exhausted
+		}
+		alloc[best]++
+	}
+	return alloc
+}
+
+// AllocateProportional splits a batch of n experiments across strata in
+// proportion to their populations — the uniform-sampling referee in
+// stratified form. Rounding residue goes to the largest strata first so
+// the result sums exactly to n (when the populations are non-empty).
+func AllocateProportional(pops []int64, n int) []int {
+	alloc := make([]int, len(pops))
+	var total int64
+	for _, p := range pops {
+		if p > 0 {
+			total += p
+		}
+	}
+	if total == 0 || n <= 0 {
+		return alloc
+	}
+	used := 0
+	type rem struct {
+		i    int
+		frac float64
+	}
+	rems := make([]rem, 0, len(pops))
+	for i, p := range pops {
+		if p <= 0 {
+			continue
+		}
+		exact := float64(n) * float64(p) / float64(total)
+		alloc[i] = int(exact)
+		used += alloc[i]
+		rems = append(rems, rem{i, exact - float64(alloc[i])})
+	}
+	sort.Slice(rems, func(a, b int) bool { return rems[a].frac > rems[b].frac })
+	for _, r := range rems {
+		if used >= n {
+			break
+		}
+		alloc[r.i]++
+		used++
+	}
+	return alloc
+}
+
+// AggregateInterval combines per-stratum proportions into the
+// population-weighted stratified estimate and its confidence interval:
+//
+//	p = Σ W_h p_h,  se² = Σ W_h² p_h(1-p_h)/n_h
+//
+// with W_h the stratum's population share. Strata with no samples
+// contribute their worst-case variance (p=0.5 over one virtual sample)
+// so an unexplored stratum keeps the aggregate honest rather than
+// silently narrowing it. Returns the point estimate and full interval
+// width.
+func AggregateInterval(strata []Stratum, confidence float64) (p, width float64) {
+	var totalPop float64
+	for _, s := range strata {
+		if s.Pop > 0 {
+			totalPop += float64(s.Pop)
+		}
+	}
+	if totalPop == 0 {
+		return 0, 0
+	}
+	var est, varsum float64
+	for _, s := range strata {
+		if s.Pop <= 0 {
+			continue
+		}
+		w := float64(s.Pop) / totalPop
+		ph, n := s.P(), float64(s.N)
+		if s.N == 0 {
+			ph, n = 0.5, 1
+		}
+		est += w * ph
+		varsum += w * w * ph * (1 - ph) / n
+	}
+	z := ZFor(confidence)
+	return est, 2 * z * math.Sqrt(varsum)
+}

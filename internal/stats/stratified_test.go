@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestStratifiedNeverUndersizes is the satellite property test: for any
+// partition of any population, every stratum's stratified Leveugle size
+// is at least what the uniform formula demands of that stratum's
+// population alone, at every supported confidence/margin combination.
+func TestStratifiedNeverUndersizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	confs := []float64{0.80, 0.90, 0.95, 0.99, 0.999}
+	margins := []float64{0.2, 0.1, 0.05, 0.01}
+	for trial := 0; trial < 200; trial++ {
+		nStrata := 1 + rng.Intn(12)
+		pops := make([]int64, nStrata)
+		for i := range pops {
+			pops[i] = 1 + rng.Int63n(5_000_000)
+		}
+		conf := confs[rng.Intn(len(confs))]
+		margin := margins[rng.Intn(len(margins))]
+		sizes := StratifiedSizes(pops, conf, margin)
+		for i, pop := range pops {
+			uniform := SampleSize(pop, conf, margin, 0.5)
+			if sizes[i] < uniform {
+				t.Fatalf("trial %d: stratum %d (pop %d, conf %.3f, margin %.3f) sized %d < uniform %d",
+					trial, i, pop, conf, margin, sizes[i], uniform)
+			}
+		}
+	}
+}
+
+// TestStratumSizeInfinitePopulation checks the infinite-population
+// stratum degenerates to the unbounded Leveugle size.
+func TestStratumSizeInfinitePopulation(t *testing.T) {
+	if got, want := StratumSize(0, 0.99, 0.01), SampleSize(0, 0.99, 0.01, 0.5); got != want {
+		t.Fatalf("infinite stratum: got %d want %d", got, want)
+	}
+}
+
+// TestIntervalShrinksMonotonically is the satellite property test for
+// confidence intervals: with the observed proportion held fixed, adding
+// results can only shrink (never widen) the interval — both per stratum
+// and in the stratified aggregate.
+func TestIntervalShrinksMonotonically(t *testing.T) {
+	// p values chosen so K = p*n is exact at every doubling: the width
+	// comparison needs the observed proportion itself held fixed.
+	for _, p := range []float64{0.25, 0.5, 0.75} {
+		prev := 2.0
+		for n := 8; n <= 1<<14; n *= 2 {
+			s := Stratum{Pop: 1 << 20, N: n, K: int(p * float64(n))}
+			w := s.CIWidth(0.95)
+			if w > prev+1e-12 {
+				t.Fatalf("p=%.2f: CI width widened from %g to %g at n=%d", p, prev, w, n)
+			}
+			prev = w
+		}
+	}
+
+	// Aggregate: grow every stratum in lockstep, widths must not widen.
+	strata := []Stratum{{Pop: 1000}, {Pop: 4000}, {Pop: 500}}
+	ps := []float64{0.25, 0.5, 0.75}
+	prev := 3.0
+	for n := 4; n <= 256; n *= 2 {
+		for i := range strata {
+			strata[i].N = n
+			strata[i].K = int(ps[i] * float64(n))
+		}
+		_, w := AggregateInterval(strata, 0.95)
+		if w > prev+1e-12 {
+			t.Fatalf("aggregate interval widened to %g at n=%d", w, n)
+		}
+		prev = w
+	}
+}
+
+// TestAllocateWidestPrefersUncertainty: the widest-CI allocator must
+// give an unexplored stratum its first samples before piling further
+// onto a well-measured one, and must never allocate beyond a stratum's
+// finite population.
+func TestAllocateWidestPrefersUncertainty(t *testing.T) {
+	strata := []Stratum{
+		{Pop: 1000, N: 400, K: 200}, // well measured, maximal variance
+		{Pop: 1000, N: 0, K: 0},     // unexplored
+		{Pop: 3, N: 3, K: 1},        // exhausted
+	}
+	alloc := AllocateWidest(strata, 10, 0.95)
+	if alloc[1] == 0 {
+		t.Fatalf("unexplored stratum got nothing: %v", alloc)
+	}
+	if alloc[2] != 0 {
+		t.Fatalf("exhausted stratum got %d new experiments", alloc[2])
+	}
+	if total := alloc[0] + alloc[1] + alloc[2]; total != 10 {
+		t.Fatalf("allocated %d of 10", total)
+	}
+
+	// All strata exhausted: nothing to allocate.
+	empty := AllocateWidest([]Stratum{{Pop: 2, N: 2}}, 5, 0.95)
+	if empty[0] != 0 {
+		t.Fatalf("allocated %d into exhausted population", empty[0])
+	}
+}
+
+// TestAllocateWidestEqualizes: with two equal-population strata, one
+// high-variance and one near-settled, the widest-CI allocator must give
+// the high-variance stratum strictly more of the batch.
+func TestAllocateWidestEqualizes(t *testing.T) {
+	strata := []Stratum{
+		{Pop: 1 << 30, N: 50, K: 25}, // p=0.5, widest
+		{Pop: 1 << 30, N: 50, K: 1},  // p=0.02, narrow
+	}
+	alloc := AllocateWidest(strata, 100, 0.95)
+	if alloc[0] <= alloc[1] {
+		t.Fatalf("high-variance stratum got %d <= %d", alloc[0], alloc[1])
+	}
+}
+
+// TestAllocateProportional checks exact-sum rounding and zero-population
+// handling.
+func TestAllocateProportional(t *testing.T) {
+	alloc := AllocateProportional([]int64{3, 3, 3}, 10)
+	if alloc[0]+alloc[1]+alloc[2] != 10 {
+		t.Fatalf("rounded allocation %v does not sum to 10", alloc)
+	}
+	alloc = AllocateProportional([]int64{0, 5}, 7)
+	if alloc[0] != 0 || alloc[1] != 7 {
+		t.Fatalf("zero-population stratum mishandled: %v", alloc)
+	}
+	if got := AllocateProportional(nil, 5); len(got) != 0 {
+		t.Fatalf("nil strata allocated %v", got)
+	}
+}
+
+// TestAggregateIntervalUnsampledPenalty: an unsampled stratum must widen
+// the aggregate, not narrow it.
+func TestAggregateIntervalUnsampledPenalty(t *testing.T) {
+	sampled := []Stratum{{Pop: 500, N: 100, K: 10}, {Pop: 500, N: 100, K: 12}}
+	_, wAll := AggregateInterval(sampled, 0.95)
+	half := []Stratum{{Pop: 500, N: 100, K: 10}, {Pop: 500}}
+	_, wHalf := AggregateInterval(half, 0.95)
+	if wHalf <= wAll {
+		t.Fatalf("unexplored stratum narrowed the aggregate: %g <= %g", wHalf, wAll)
+	}
+}
