@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/campaign"
@@ -61,6 +62,15 @@ func run() error {
 		forkOn     = flag.Bool("fork", false, "fork-server mode: one trunk run freezes COW snapshots across the fault window; each experiment forks from the closest one instead of replaying the warm-up (custom experiment)")
 		forkSnaps  = flag.Int("fork-snapshots", 32, "target trunk snapshots across the fault window in -fork mode")
 		forkPrune  = flag.Bool("fork-prune", true, "classify provably masked experiments early in -fork mode (disabled automatically under -profile/-taint)")
+
+		// Distributed span tracing (custom experiment). Each experiment
+		// becomes one trace: an experiment root, per-phase child spans,
+		// and fault-lifecycle events.
+		spansOn     = flag.Bool("spans", false, "record per-experiment span traces (implied by the other -span* flags and -http)")
+		spanSample  = flag.Int("span-sample", 1, "keep 1 in N experiment traces (head sampling; crashed/SDC traces are always kept)")
+		spansJSONL  = flag.String("spans-jsonl", "", "stream completed span trees as JSON lines to this file (validate with gemfi -validate-spans)")
+		spansChrome = flag.String("spans-chrome", "", "write kept traces as Chrome/Perfetto catapult JSON to this file at exit")
+		traceID     = flag.String("trace-id", "", "print one trace's span timeline at exit: a trace ID, or 'last' for the most recent kept trace")
 
 		// Campaign-service client mode.
 		server   = flag.String("server", "", "gemfi-serve base URL; switches to client mode (-submit/-watch/-resume)")
@@ -231,6 +241,28 @@ func run() error {
 		}
 		pool.Metrics = reg
 		pool.Tracer = tracer
+		wantSpans := *spansOn || *spansJSONL != "" || *spansChrome != "" ||
+			*traceID != "" || *httpAddr != ""
+		var spanRec *obs.SpanRecorder
+		var spansFile *os.File
+		if wantSpans {
+			spanRec = obs.NewSpanRecorder()
+			spanRec.SetSampling(*spanSample)
+			pool.Spans = spanRec
+			if *spansJSONL != "" {
+				if spansFile, err = os.Create(*spansJSONL); err != nil {
+					return err
+				}
+				// The sink fires from whichever worker completes a trace;
+				// serialize the file writes.
+				var mu sync.Mutex
+				spanRec.StreamJSONL(func(tr obs.Trace) {
+					mu.Lock()
+					defer mu.Unlock()
+					_ = obs.WriteTraceJSONL(spansFile, tr)
+				})
+			}
+		}
 		if *profile || *httpAddr != "" {
 			pool.AttachProfilers()
 		}
@@ -252,6 +284,7 @@ func run() error {
 				Status:  func() any { return pool.Status() },
 				Profile: pool.Profile,
 				Taint:   pool.TaintReport,
+				Spans:   spanRec,
 				TopN:    *profileTop,
 			})
 			if err != nil {
@@ -323,6 +356,11 @@ func run() error {
 				return err
 			}
 		}
+		if spanRec != nil {
+			if err := dumpSpans(spanRec, spansFile, *spansChrome, *traceID); err != nil {
+				return err
+			}
+		}
 		if *jsonOut != "" {
 			if err := writeJSON(*jsonOut, results); err != nil {
 				return err
@@ -341,6 +379,51 @@ func run() error {
 		}
 	}
 	return dumpObs()
+}
+
+// dumpSpans flushes the span-tracing outputs at campaign end: close the
+// JSONL stream, write the Chrome/Perfetto export, and print the
+// requested trace timeline.
+func dumpSpans(rec *obs.SpanRecorder, jsonl *os.File, chromePath, traceID string) error {
+	if jsonl != nil {
+		if err := jsonl.Close(); err != nil {
+			return err
+		}
+	}
+	if chromePath != "" {
+		f, err := os.Create(chromePath)
+		if err != nil {
+			return err
+		}
+		if err := rec.WriteSpansChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("span trace written to %s (load in chrome://tracing or Perfetto)\n", chromePath)
+	}
+	if traceID != "" {
+		var tr *obs.Trace
+		if traceID == "last" {
+			if ts := rec.Traces(); len(ts) > 0 {
+				tr = ts[0]
+			}
+		} else {
+			tr = rec.TraceByID(traceID)
+		}
+		if tr == nil {
+			fmt.Fprintf(os.Stderr, "trace %q not found (evicted or sampled out; %d dropped)\n",
+				traceID, rec.Dropped())
+		} else if err := tr.WriteText(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if n := rec.Dropped(); n > 0 {
+		fmt.Fprintf(os.Stderr, "spans: %d spans dropped by sampling/eviction (obs.spans.dropped)\n", n)
+	}
+	return nil
 }
 
 func writeJSON(path string, v interface{}) error {

@@ -158,6 +158,10 @@ func runMaster(args []string) error {
 		metrics   = fs.Bool("metrics", false, "print master telemetry (now.master.*) at exit")
 		httpAddr  = fs.String("http", "", "serve live observability endpoints (/metrics /status /debug/pprof) on this address")
 		drain     = fs.Duration("drain", 30*time.Second, "in-flight drain bound on SIGINT/SIGTERM")
+
+		spansOn    = fs.Bool("spans", false, "trace every experiment end to end (worker-side spans stitch under the master's experiment span)")
+		spanSample = fs.Int("span-sample", 1, "keep 1 in N experiment traces (crashed/SDC traces are always kept)")
+		spansJSONL = fs.String("spans-jsonl", "", "write completed span trees to this JSONL file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -169,6 +173,14 @@ func runMaster(args []string) error {
 	var reg *obs.Registry
 	if *metrics || *httpAddr != "" {
 		reg = obs.NewRegistry()
+	}
+	var spanRec *obs.SpanRecorder
+	if *spansOn || *spansJSONL != "" || *httpAddr != "" {
+		spanRec = obs.NewSpanRecorder()
+		spanRec.SetSampling(*spanSample)
+		if reg != nil {
+			spanRec.AttachMetrics(reg)
+		}
 	}
 
 	// Bootstrap: a throwaway master run discovers the injection window
@@ -185,7 +197,7 @@ func runMaster(args []string) error {
 	exps := campaign.GenerateUniform(*n, campaign.GenConfig{WindowInsts: window, Seed: *seed})
 	m, err := now.NewMaster(*addr, now.MasterConfig{
 		Workload: *workload, Scale: scale, Experiments: exps, Model: sim.ModelKind(*model),
-		Metrics: reg,
+		Metrics: reg, Spans: spanRec,
 	})
 	if err != nil {
 		return err
@@ -194,6 +206,7 @@ func runMaster(args []string) error {
 		srv, err := httpserv.New(*httpAddr, httpserv.Config{
 			Metrics: reg,
 			Status:  func() any { return m.Status() },
+			Spans:   spanRec,
 		})
 		if err != nil {
 			return err
@@ -223,6 +236,20 @@ func runMaster(args []string) error {
 		tally.Total(), m.Requeued())
 	for _, o := range campaign.Outcomes() {
 		fmt.Printf("  %-18s %5d (%5.1f%%)\n", o, tally[o], 100*tally.Fraction(o))
+	}
+	if spanRec != nil && *spansJSONL != "" {
+		f, err := os.Create(*spansJSONL)
+		if err != nil {
+			return err
+		}
+		if err := spanRec.WriteSpansJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "spans written to %s (%d spans dropped by sampling/ring)\n", *spansJSONL, spanRec.Dropped())
 	}
 	if reg != nil {
 		return reg.WriteText(os.Stdout)

@@ -41,13 +41,26 @@ func run() error {
 		nowAddr = flag.String("now", "", "also serve NoW workers (gemfi-now worker -addr) on this address")
 		drain   = flag.Duration("drain", 30*time.Second, "in-flight drain bound on SIGINT/SIGTERM")
 		metrics = flag.Bool("metrics", false, "print the service metrics registry at exit")
+
+		spansOff   = flag.Bool("no-spans", false, "disable distributed span tracing (/trace and /traces endpoints)")
+		spanSample = flag.Int("span-sample", 1, "keep 1 in N experiment traces (head sampling; crashed/SDC traces are always kept)")
+		spanRing   = flag.Int("span-ring", 0, "recent-trace ring capacity (0 = default)")
 	)
 	flag.Parse()
 
 	// The registry always exists — /metrics is part of the API surface;
-	// -metrics additionally dumps it at exit.
+	// -metrics additionally dumps it at exit. Same for span tracing:
+	// /trace/{id} is part of the API surface unless -no-spans.
 	reg := obs.NewRegistry()
-	s, err := serv.New(serv.Config{Dir: *dir, Slots: *slots, Metrics: reg})
+	var spans *obs.SpanRecorder
+	if !*spansOff {
+		spans = obs.NewSpanRecorder()
+		spans.SetSampling(*spanSample)
+		if *spanRing > 0 {
+			spans.SetRingCap(*spanRing)
+		}
+	}
+	s, err := serv.New(serv.Config{Dir: *dir, Slots: *slots, Metrics: reg, Spans: spans})
 	if err != nil {
 		return err
 	}

@@ -66,6 +66,7 @@ func run() error {
 		taintDot      = flag.String("taint-dot", "", "write the propagation DAG as Graphviz DOT to this file (implies -taint)")
 		taintJSON     = flag.String("taint-json", "", "write the propagation report as JSON to this file (implies -taint)")
 		validateTaint = flag.String("validate-taint", "", "validate a propagation-report JSON file against the schema and exit")
+		validateSpans = flag.String("validate-spans", "", "validate a span JSONL file (gemfi-campaign -spans-jsonl) against the span schema and exit")
 	)
 	flag.Parse()
 
@@ -107,6 +108,19 @@ func run() error {
 		}
 		fmt.Printf("%s: OK (verdict=%s nodes=%d edges=%d)\n",
 			*validateTaint, rep.Verdict, len(rep.Nodes), len(rep.Edges))
+		return nil
+	}
+	if *validateSpans != "" {
+		f, err := os.Open(*validateSpans)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		n, err := obs.ValidateSpansJSONL(f)
+		if err != nil {
+			return fmt.Errorf("%s: %w", *validateSpans, err)
+		}
+		fmt.Printf("%s: %d spans OK\n", *validateSpans, n)
 		return nil
 	}
 	wantTaint := *taintOn || *taintDot != "" || *taintJSON != ""

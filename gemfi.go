@@ -215,6 +215,30 @@ func ValidateTraceJSONL(r io.Reader) (int, error) { return obs.ValidateJSONL(r) 
 // /metrics scrape) and returns the number of sample lines.
 func ValidateProm(r io.Reader) (int, error) { return obs.ValidateProm(r) }
 
+// SpanRecorder records hierarchical spans (campaign → experiment →
+// phases) across the master, serv and NoW workers; attach one via
+// Pool.Spans, serv.Config.Spans or now.MasterConfig.Spans. A nil
+// recorder disables tracing at near-zero cost.
+type SpanRecorder = obs.SpanRecorder
+
+// Span is one timed operation within a trace; SpanContext carries the
+// trace/span identity across process boundaries (the NoW wire).
+type Span = obs.Span
+
+// SpanContext identifies a span for cross-process parenting.
+type SpanContext = obs.SpanContext
+
+// SpanRecord is the immutable exported form of a completed span.
+type SpanRecord = obs.SpanRecord
+
+// NewSpanRecorder builds an empty span recorder.
+func NewSpanRecorder() *SpanRecorder { return obs.NewSpanRecorder() }
+
+// ValidateSpansJSONL checks a JSON-lines span stream (the
+// -spans-jsonl output) against the span schema and returns the number
+// of valid spans.
+func ValidateSpansJSONL(r io.Reader) (int, error) { return obs.ValidateSpansJSONL(r) }
+
 // Profiler is the exact per-PC guest profiler: retired instructions,
 // cycles, cache misses, branch mispredicts and pipeline stall causes,
 // symbolized against the program's function symbols. Attach one via

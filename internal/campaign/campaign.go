@@ -11,9 +11,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/prof"
 	"repro/internal/sim"
 	"repro/internal/taint"
@@ -111,6 +113,20 @@ type Result struct {
 	// full PropReport with the DAG is available per experiment via
 	// Runner.LastTaintReport.
 	Prop *taint.Summary `json:"prop,omitempty"`
+
+	// WallNs is the experiment's wall-clock execution time on its
+	// runner; the serv journal, /results and the SSE stream expose it.
+	WallNs int64 `json:"wallNs,omitempty"`
+	// Worker names the executor when the experiment ran remotely (the
+	// NoW worker's name); empty for local execution.
+	Worker string `json:"worker,omitempty"`
+	// TraceID links the result to its span tree when span tracing is
+	// attached (Runner.AttachSpans); retrieve the tree via /trace/{id}.
+	TraceID string `json:"traceId,omitempty"`
+	// PhaseNS breaks WallNs into the contiguous phases of the
+	// experiment (fork/restore, fast-forward, pre-window, fi-window,
+	// post-window, classify, taint) when span tracing is attached.
+	PhaseNS map[string]int64 `json:"phaseNs,omitempty"`
 }
 
 // Runner executes experiments for one workload. It is not safe for
@@ -154,6 +170,22 @@ type Runner struct {
 	propMu    sync.Mutex
 	lastProp  *taint.PropReport
 	propStamp uint64
+
+	// Span tracing (AttachSpans). curTrace is the live state of the
+	// experiment currently inside RunCtx; runners are not concurrent,
+	// so no lock is needed.
+	spans     *obs.SpanRecorder
+	spanTrack string
+	curTrace  *expTrace
+}
+
+// expTrace is the span bookkeeping of one in-flight experiment: the
+// experiment span, the end of the last closed phase (the next phase
+// starts there, keeping phases contiguous), and the per-phase totals.
+type expTrace struct {
+	span   *obs.Span
+	last   time.Time
+	phases map[string]int64
 }
 
 // propClock orders LastTaintReport results across a pool's runners.
@@ -298,6 +330,9 @@ func (r *Runner) Clone() (*Runner, error) {
 		return nil, err
 	}
 	c.sim = s
+	// The span recorder is shared (it is concurrency-safe); the pool or
+	// scheduler overrides the clone's track with its own lane name.
+	c.spans, c.spanTrack = r.spans, r.spanTrack
 	if r.prof != nil {
 		c.AttachProfiler()
 	}
@@ -394,11 +429,142 @@ func (r *Runner) recordProp(res *Result) {
 	r.propMu.Unlock()
 }
 
+// AttachSpans attaches a span recorder: every subsequent experiment
+// emits a span tree — an "experiment" root (or a "run" child when
+// RunCtx is given a parent from another process), contiguous phase
+// children, and the engine's fault-lifecycle events. track names the
+// render lane (worker or slot) the runner's spans belong to. Safe to
+// call repeatedly; AttachSpans(nil, "") detaches.
+func (r *Runner) AttachSpans(rec *obs.SpanRecorder, track string) {
+	r.spans = rec
+	r.spanTrack = track
+}
+
+// Spans returns the attached span recorder (nil when tracing is off).
+func (r *Runner) Spans() *obs.SpanRecorder { return r.spans }
+
+// beginExpTrace opens the experiment span (root, or a "run" child under
+// a remote parent) and wires the simulator's phase/fault-event hooks.
+// Returns nil when span tracing is detached.
+func (r *Runner) beginExpTrace(exp Experiment, parent obs.SpanContext, start time.Time) *expTrace {
+	if r.spans == nil {
+		return nil
+	}
+	var span *obs.Span
+	if parent.Valid() {
+		span = r.spans.StartSpan("run", parent)
+	} else {
+		span = r.spans.StartRoot("experiment")
+	}
+	span.SetTrack(r.spanTrack)
+	span.SetAttr("exp_id", exp.ID)
+	if r.Workload != nil {
+		span.SetAttr("workload", r.Workload.Name)
+	}
+	if len(exp.Faults) > 0 {
+		span.SetAttr("fault", exp.Faults[0].String())
+	}
+	r.sim.SetSpans(r.spans, span)
+	tr := &expTrace{span: span, last: start, phases: make(map[string]int64, 8)}
+	r.curTrace = tr
+	return tr
+}
+
+// cutPhase closes the phase that began at the previous cut (or at the
+// experiment start), emitting it as a child span and accumulating its
+// duration. No-op outside a traced RunCtx.
+func (r *Runner) cutPhase(name string) {
+	tr := r.curTrace
+	if tr == nil {
+		return
+	}
+	now := time.Now()
+	if now.After(tr.last) {
+		r.spans.AddChild(tr.span.Context(), obs.SpanRecord{
+			Name: name, Track: r.spanTrack,
+			StartNS: tr.last.UnixNano(), EndNS: now.UnixNano(),
+		})
+		tr.phases[name] += now.Sub(tr.last).Nanoseconds()
+	}
+	tr.last = now
+}
+
+// foldSimPhases closes the simulator's phase recording and folds its
+// slices (already emitted as spans by the simulator) into the totals,
+// advancing the contiguity cursor to the last slice's end.
+func (r *Runner) foldSimPhases() {
+	tr := r.curTrace
+	if tr == nil {
+		return
+	}
+	for _, ph := range r.sim.EndPhaseRecording() {
+		tr.phases[ph.Name] += ph.EndNS - ph.StartNS
+		tr.last = time.Unix(0, ph.EndNS)
+	}
+}
+
+// finishExpTrace stamps the verdict onto the experiment span and ends
+// it; crashed and SDC experiments force-keep their trace through head
+// sampling.
+func (r *Runner) finishExpTrace(tr *expTrace, res *Result) {
+	if tr == nil {
+		return
+	}
+	r.curTrace = nil
+	r.sim.SetSpans(nil, nil)
+	res.TraceID = tr.span.Context().TraceID
+	if len(tr.phases) > 0 {
+		res.PhaseNS = tr.phases
+	}
+	sp := tr.span
+	sp.SetAttr("outcome", res.Outcome.String())
+	sp.SetAttr("fired", res.Fired)
+	sp.SetAttr("insts", res.Insts)
+	sp.SetTicks(0, res.Ticks)
+	if res.InjPCValid {
+		sp.SetAttr("inj_pc", fmt.Sprintf("%#x", res.InjPC))
+	}
+	if res.CrashCause != "" {
+		sp.SetAttr("crash_cause", res.CrashCause)
+	}
+	if res.Outcome == OutcomeCrashed {
+		sp.SetStatus("crashed: " + res.CrashCause)
+	}
+	if res.Outcome == OutcomeCrashed || res.Outcome == OutcomeSDC {
+		sp.ForceKeep()
+	}
+	sp.End()
+}
+
 // Run executes one experiment and classifies its outcome.
-func (r *Runner) Run(exp Experiment) (res Result) {
+func (r *Runner) Run(exp Experiment) Result {
+	return r.RunCtx(exp, obs.SpanContext{})
+}
+
+// RunCtx is Run with a distributed-trace parent: when the runner has a
+// span recorder attached, the experiment's spans parent under ctx (the
+// NoW master's or serv's experiment span) instead of starting a fresh
+// trace. An invalid ctx starts a local root — Run's behavior.
+func (r *Runner) RunCtx(exp Experiment, ctx obs.SpanContext) Result {
 	r.canCaptureGolden = false
-	defer r.recordProp(&res)
-	defer r.commitMemo(&res)
+	start := time.Now()
+	tr := r.beginExpTrace(exp, ctx, start)
+	res := r.runExp(exp)
+	r.cutPhase("classify")
+	r.commitMemo(&res)
+	r.recordProp(&res)
+	if r.taintTr != nil {
+		r.cutPhase("taint")
+	}
+	res.WallNs = time.Since(start).Nanoseconds()
+	r.finishExpTrace(tr, &res)
+	return res
+}
+
+// runExp executes the simulation half of one experiment: restore or
+// fork, run, and output classification. commitMemo/recordProp and the
+// span bookkeeping happen in RunCtx around it.
+func (r *Runner) runExp(exp Experiment) (res Result) {
 	res = Result{ID: exp.ID}
 	if len(exp.Faults) > 0 {
 		res.Fault = exp.Faults[0]
@@ -412,11 +578,14 @@ func (r *Runner) Run(exp Experiment) (res Result) {
 	if r.fork != nil {
 		// Fork server: fork from the closest trunk snapshot preceding the
 		// injection point; masked experiments may classify early.
+		// runForked cuts the "fork" phase itself, after ForkFrom.
 		runRes, pruned = r.runForked(exp)
 	} else if r.Ckpt != nil {
 		// Fast-forward: restore the checkpoint and re-arm the engine
 		// with this experiment's faults (Fig. 3 of the paper).
 		r.sim.Restore(r.Ckpt, exp.Faults)
+		r.sim.BeginPhaseRecording()
+		r.cutPhase("restore")
 		runRes = r.sim.Run()
 	} else {
 		// Baseline: full re-simulation from program start.
@@ -433,9 +602,15 @@ func (r *Runner) Run(exp Experiment) (res Result) {
 			return res
 		}
 		s.Engine.Reset(exp.Faults)
-		runRes = s.Run()
 		r.sim = s
+		if tr := r.curTrace; tr != nil {
+			s.SetSpans(r.spans, tr.span)
+		}
+		s.BeginPhaseRecording()
+		r.cutPhase("restore")
+		runRes = s.Run()
 	}
+	r.foldSimPhases()
 	res.Insts = runRes.Insts
 	res.Ticks = runRes.Ticks
 	for _, oc := range runRes.Outcomes {

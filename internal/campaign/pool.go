@@ -28,6 +28,12 @@ type Pool struct {
 	// with the pool worker index as the tid — loading the Chrome export
 	// shows per-worker occupancy lanes. Nil disables.
 	Tracer *obs.Tracer
+	// Spans, when set, turns on distributed span tracing: every
+	// experiment becomes one trace (experiment root, phase children,
+	// fault-lifecycle events) with the worker index as its track, and
+	// the per-phase latency histograms in Metrics carry trace-ID
+	// exemplars. Nil disables at no cost.
+	Spans *obs.SpanRecorder
 	// OnProgress, when set, is called after every completed experiment
 	// with the done count, the total, and the elapsed wall time. Calls
 	// are serialized; keep the callback cheap (drivers use it for
@@ -173,6 +179,44 @@ func (p *Pool) Status() PoolStatus {
 	return st
 }
 
+// PhaseHists lazily binds the per-phase latency histograms
+// (campaign.phase.<name>_us) of a registry. Observing a result whose
+// PhaseNS is populated feeds each phase's duration in microseconds,
+// carrying the result's trace ID as the histogram exemplar — a fat
+// bucket then links to a concrete experiment's span tree. Safe for
+// concurrent use; an instance over a nil registry is free.
+type PhaseHists struct {
+	reg *obs.Registry
+	mu  sync.Mutex
+	m   map[string]*obs.Histogram
+}
+
+// NewPhaseHists builds the binder (reg may be nil).
+func NewPhaseHists(reg *obs.Registry) *PhaseHists {
+	return &PhaseHists{reg: reg, m: make(map[string]*obs.Histogram)}
+}
+
+func newPhaseHists(reg *obs.Registry) *PhaseHists { return NewPhaseHists(reg) }
+
+// Observe feeds one result's phase durations.
+func (p *PhaseHists) Observe(res Result) {
+	if p == nil || p.reg == nil || len(res.PhaseNS) == 0 {
+		return
+	}
+	for name, ns := range res.PhaseNS {
+		p.mu.Lock()
+		h, ok := p.m[name]
+		if !ok {
+			h = p.reg.Histogram("campaign.phase." + name + "_us")
+			p.m[name] = h
+		}
+		p.mu.Unlock()
+		h.ObserveEx(float64(ns)/1e3, res.TraceID)
+	}
+}
+
+func (p *PhaseHists) observe(res Result) { p.Observe(res) }
+
 // RunAll executes all experiments across the pool and returns results
 // ordered by experiment ID.
 func (p *Pool) RunAll(exps []Experiment) []Result {
@@ -190,6 +234,13 @@ func (p *Pool) RunAll(exps []Experiment) []Result {
 	for _, o := range Outcomes() {
 		outcomeCounters[o] = p.Metrics.Counter("campaign.outcome." + o.String())
 	}
+	if p.Spans != nil {
+		p.Spans.AttachMetrics(p.Metrics)
+		for wi, r := range p.runners {
+			r.AttachSpans(p.Spans, fmt.Sprintf("worker %d", wi+1))
+		}
+	}
+	phaseHists := newPhaseHists(p.Metrics)
 
 	var done atomic.Int64
 	var progressMu sync.Mutex
@@ -205,7 +256,8 @@ func (p *Pool) RunAll(exps []Experiment) []Result {
 				res := r.Run(exp)
 				p.inFlight.Add(-1)
 				results[exp.ID] = res
-				durHist.Observe(float64(time.Since(t0).Microseconds()))
+				durHist.ObserveEx(float64(time.Since(t0).Microseconds()), res.TraceID)
+				phaseHists.observe(res)
 				completed.Inc()
 				outcomeCounters[res.Outcome].Inc()
 				if res.Outcome >= 1 && res.Outcome < numOutcomes {

@@ -1,0 +1,146 @@
+package campaign
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/workloads"
+)
+
+// TestExperimentPhasesTileWallTime: the acceptance criterion — for a
+// traced experiment, the recorded phase durations must sum to the
+// experiment's wall time within 1% (the phases are cut as adjacent
+// slices of one timeline, so nothing is counted twice or lost).
+func TestExperimentPhasesTileWallTime(t *testing.T) {
+	r, err := NewRunner(workloads.MonteCarloPI(workloads.ScaleTest), RunnerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewSpanRecorder()
+	r.AttachSpans(rec, "r1")
+	exps := GenerateUniform(5, GenConfig{WindowInsts: r.WindowInsts, Seed: 5})
+	for _, exp := range exps {
+		res := r.Run(exp)
+		if res.TraceID == "" {
+			t.Fatalf("experiment %d: no trace ID on result", exp.ID)
+		}
+		if res.WallNs <= 0 {
+			t.Fatalf("experiment %d: wallNs = %d", exp.ID, res.WallNs)
+		}
+		var sum int64
+		for _, ns := range res.PhaseNS {
+			sum += ns
+		}
+		diff := res.WallNs - sum
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff*100 > res.WallNs {
+			t.Errorf("experiment %d: phases sum %dns vs wall %dns (off %.2f%%), phases %v",
+				exp.ID, sum, res.WallNs, 100*float64(diff)/float64(res.WallNs), res.PhaseNS)
+		}
+
+		tr := rec.TraceByID(res.TraceID)
+		if tr == nil {
+			t.Fatalf("experiment %d: trace %s not recorded", exp.ID, res.TraceID)
+		}
+		root := tr.Root()
+		if root == nil || root.Name != "experiment" {
+			t.Fatalf("experiment %d: bad root %+v", exp.ID, root)
+		}
+		if got, _ := root.Attrs["outcome"].(string); got != res.Outcome.String() {
+			t.Errorf("experiment %d: root outcome %q vs result %v", exp.ID, got, res.Outcome)
+		}
+		// Every phase span parents directly under the experiment root.
+		phaseSpans := 0
+		for i := range tr.Spans {
+			sp := &tr.Spans[i]
+			if sp.SpanID == root.SpanID {
+				continue
+			}
+			if sp.ParentID != root.SpanID {
+				t.Errorf("experiment %d: span %q parented under %s, want root", exp.ID, sp.Name, sp.ParentID)
+			}
+			phaseSpans++
+		}
+		if phaseSpans < 3 {
+			t.Errorf("experiment %d: only %d phase spans", exp.ID, phaseSpans)
+		}
+		var buf bytes.Buffer
+		if err := obs.WriteTraceJSONL(&buf, *tr); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := obs.ValidateSpansJSONL(&buf); err != nil {
+			t.Errorf("experiment %d: invalid span tree: %v", exp.ID, err)
+		}
+	}
+}
+
+// TestForkModePhasesTileWallTime: same tiling criterion through the
+// fork-server path (restore is replaced by fork, and the sim slices
+// arrive via chunked RunUntil calls).
+func TestForkModePhasesTileWallTime(t *testing.T) {
+	r, err := NewRunner(workloads.MonteCarloPI(workloads.ScaleTest), RunnerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.EnableFork(DefaultForkOptions()); err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewSpanRecorder()
+	r.AttachSpans(rec, "r1")
+	exps := GenerateUniform(5, GenConfig{WindowInsts: r.WindowInsts, Seed: 6})
+	for _, exp := range exps {
+		res := r.Run(exp)
+		var sum int64
+		for _, ns := range res.PhaseNS {
+			sum += ns
+		}
+		diff := res.WallNs - sum
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff*100 > res.WallNs {
+			t.Errorf("experiment %d (fork): phases sum %dns vs wall %dns (off %.2f%%), phases %v",
+				exp.ID, sum, res.WallNs, 100*float64(diff)/float64(res.WallNs), res.PhaseNS)
+		}
+	}
+}
+
+// TestPoolSpansAndExemplars: the pool wires the recorder to every
+// runner and the per-phase histograms carry trace-ID exemplars.
+func TestPoolSpansAndExemplars(t *testing.T) {
+	pool, err := NewPool(workloads.MonteCarloPI(workloads.ScaleTest), 2, RunnerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewSpanRecorder()
+	pool.Spans = rec
+	pool.Metrics = obs.NewRegistry()
+	reg := pool.Metrics
+	exps := GenerateUniform(8, GenConfig{WindowInsts: pool.Runner().WindowInsts, Seed: 3})
+	results := pool.RunAll(exps)
+	if len(results) != len(exps) {
+		t.Fatalf("results = %d", len(results))
+	}
+	if got := len(rec.Traces()); got != len(exps) {
+		t.Fatalf("traces = %d, want %d", got, len(exps))
+	}
+	for _, res := range results {
+		if res.TraceID == "" {
+			t.Errorf("experiment %d: no trace ID", res.ID)
+		}
+		if rec.TraceByID(res.TraceID) == nil {
+			t.Errorf("experiment %d: trace %s missing from ring", res.ID, res.TraceID)
+		}
+	}
+	var prom bytes.Buffer
+	if err := reg.WriteProm(&prom); err != nil {
+		t.Fatal(err)
+	}
+	out := prom.String()
+	if !bytes.Contains(prom.Bytes(), []byte("trace_id=")) {
+		t.Errorf("prom exposition has no trace_id exemplars:\n%.2000s", out)
+	}
+}

@@ -135,6 +135,12 @@ type Engine struct {
 	// nothing until a fault actually strikes.
 	Trace *obs.Tracer
 
+	// Span, when non-nil, additionally receives the same fault lifecycle
+	// as span events, so armed/injected/committed/squashed land on the
+	// enclosing experiment's distributed-trace timeline. Like Trace,
+	// every emission is on a fault-firing path; a nil Span is free.
+	Span *obs.Span
+
 	// Taint, when non-nil, receives injection marks for fault-propagation
 	// tracking: pre-commit stage hits stay provisional until commit,
 	// register faults taint the shadow register file directly. All
@@ -270,9 +276,10 @@ func (e *Engine) OnContextSwitch(pcbb uint64) {
 // OnTick implements cpu.Injector.
 func (e *Engine) OnTick(ticks uint64) { e.ticksNow = ticks }
 
-// traceFault emits one fault-lifecycle event; a no-op without a tracer.
+// traceFault emits one fault-lifecycle event; a no-op without a tracer
+// or an enclosing span.
 func (e *Engine) traceFault(name string, fs *faultState, extra map[string]any) {
-	if e.Trace == nil {
+	if e.Trace == nil && e.Span == nil {
 		return
 	}
 	args := map[string]any{
@@ -286,7 +293,10 @@ func (e *Engine) traceFault(name string, fs *faultState, extra map[string]any) {
 	for k, v := range extra {
 		args[k] = v
 	}
-	e.Trace.Instant(obs.CatFI, name, e.ticksNow, args)
+	if e.Trace != nil {
+		e.Trace.Instant(obs.CatFI, name, e.ticksNow, args)
+	}
+	e.Span.Event(name, e.ticksNow, args)
 }
 
 // AttachTracer sets the lifecycle tracer and announces the already-armed

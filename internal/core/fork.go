@@ -23,6 +23,12 @@ type WindowState struct {
 // Open reports whether any fault-injection window is open in the state.
 func (ws WindowState) Open() bool { return len(ws.Threads) > 0 }
 
+// WindowOpen reports whether any fault-injection window is currently
+// open (some thread has called fi_activate without a matching
+// deactivate) — the mid-window-fork check, without the deep copy
+// CaptureWindow makes.
+func (e *Engine) WindowOpen() bool { return len(e.threads) > 0 }
+
 // CaptureWindow snapshots the engine's window bookkeeping at the current
 // instant. The returned state is deep-copied and immutable.
 func (e *Engine) CaptureWindow() WindowState {

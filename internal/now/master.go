@@ -34,6 +34,15 @@ type MasterConfig struct {
 	// in-flight gauges (pull-collectors), requeue/heartbeat counters,
 	// and the completed-result count. Nil disables.
 	Metrics *obs.Registry
+
+	// Spans, when set, turns on distributed span tracing: the master
+	// roots one "experiment" span per dispatch, workers are told (via
+	// the welcome) to record their side and ship it back on results,
+	// and the worker spans are stitched under the master's span with a
+	// clock-skew annotation. Experiments requeued by worker death have
+	// their partial trace abandoned; the retry's fresh span carries a
+	// retry_of attribute naming the abandoned trace. Nil disables.
+	Spans *obs.SpanRecorder
 }
 
 // WorkerStat is a point-in-time view of one worker connection, built
@@ -61,6 +70,8 @@ type Master struct {
 	flight   map[string][]campaign.Experiment // per-connection assignments
 	results  map[int]campaign.Result
 	workers  map[string]*WorkerStat // per-connection liveness, keyed like flight
+	expSpans map[int]*masterExp     // open master-side experiment spans, by exp ID
+	retryOf  map[int]string         // exp ID -> abandoned trace ID (worker died)
 	requeued int
 	want     int
 	draining bool // Shutdown called: fetches answer done, no new takes
@@ -70,6 +81,14 @@ type Master struct {
 	heartbeatsC *obs.Counter
 
 	wg sync.WaitGroup
+}
+
+// masterExp is the master's side of one in-flight traced experiment:
+// the open root span plus the dispatch wall-clock, kept for the
+// NTP-style skew estimate when the worker's spans come back.
+type masterExp struct {
+	span   *obs.Span
+	sentNS int64
 }
 
 // NewMaster prepares the campaign: runs the golden simulation up to
@@ -100,17 +119,19 @@ func NewMaster(addr string, cfg MasterConfig) (*Master, error) {
 		return nil, err
 	}
 	m := &Master{
-		cfg:     cfg,
-		ln:      ln,
-		ckpt:    ckptBytes,
-		window:  runner.WindowInsts,
-		start:   time.Now(),
-		pending: append([]campaign.Experiment(nil), cfg.Experiments...),
-		flight:  make(map[string][]campaign.Experiment),
-		results: make(map[int]campaign.Result),
-		workers: make(map[string]*WorkerStat),
-		want:    len(cfg.Experiments),
-		doneCh:  make(chan struct{}),
+		cfg:      cfg,
+		ln:       ln,
+		ckpt:     ckptBytes,
+		window:   runner.WindowInsts,
+		start:    time.Now(),
+		pending:  append([]campaign.Experiment(nil), cfg.Experiments...),
+		flight:   make(map[string][]campaign.Experiment),
+		results:  make(map[int]campaign.Result),
+		workers:  make(map[string]*WorkerStat),
+		expSpans: make(map[int]*masterExp),
+		retryOf:  make(map[int]string),
+		want:     len(cfg.Experiments),
+		doneCh:   make(chan struct{}),
 	}
 	m.registerMetrics()
 	m.wg.Add(1)
@@ -278,6 +299,7 @@ func (m *Master) serve(name string, c *conn) {
 		WindowInsts: m.window,
 		Model:       string(m.cfg.Model),
 		MaxInsts:    m.cfg.MaxInsts,
+		SpanTrace:   m.cfg.Spans != nil,
 	}
 	if err := c.send(welcome); err != nil {
 		return
@@ -289,17 +311,21 @@ func (m *Master) serve(name string, c *conn) {
 		}
 		switch msg.Type {
 		case MsgFetch:
-			exp, ok := m.take(name)
+			exp, ctx, ok := m.take(name)
 			if !ok {
 				_ = c.send(Message{Type: MsgDone})
 				return
 			}
-			if err := c.send(Message{Type: MsgExperiment, Experiment: &exp}); err != nil {
+			out := Message{Type: MsgExperiment, Experiment: &exp}
+			if ctx.Valid() {
+				out.Trace = &ctx
+			}
+			if err := c.send(out); err != nil {
 				return
 			}
 		case MsgResult:
 			if msg.Result != nil {
-				m.complete(name, *msg.Result)
+				m.complete(name, *msg.Result, msg.Spans)
 			}
 		case MsgHeartbeat:
 			m.heartbeatsC.Inc()
@@ -336,21 +362,50 @@ func (m *Master) dropWorker(conn string) {
 	delete(m.workers, conn)
 }
 
-// take pops one pending experiment and records the assignment.
-func (m *Master) take(worker string) (campaign.Experiment, bool) {
+// take pops one pending experiment and records the assignment. With
+// span tracing on it also roots the experiment's trace — the master
+// owns the root so the trace exists even if the worker dies — and
+// returns the context the worker's spans should parent under.
+func (m *Master) take(worker string) (campaign.Experiment, obs.SpanContext, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.draining || len(m.pending) == 0 {
-		return campaign.Experiment{}, false
+		return campaign.Experiment{}, obs.SpanContext{}, false
 	}
 	exp := m.pending[0]
 	m.pending = m.pending[1:]
 	m.flight[worker] = append(m.flight[worker], exp)
-	return exp, true
+	var ctx obs.SpanContext
+	if m.cfg.Spans != nil {
+		sp := m.cfg.Spans.StartRoot("experiment")
+		workerName := worker
+		if ws := m.workers[worker]; ws != nil && ws.Name != "" {
+			workerName = ws.Name
+		}
+		sp.SetTrack(workerName)
+		sp.SetAttr("exp_id", exp.ID)
+		sp.SetAttr("workload", m.cfg.Workload)
+		sp.SetAttr("worker", workerName)
+		if len(exp.Faults) > 0 {
+			sp.SetAttr("fault", exp.Faults[0].String())
+		}
+		if prev := m.retryOf[exp.ID]; prev != "" {
+			sp.SetAttr("retry_of", prev)
+			delete(m.retryOf, exp.ID)
+		}
+		m.expSpans[exp.ID] = &masterExp{span: sp, sentNS: time.Now().UnixNano()}
+		ctx = sp.Context()
+	}
+	return exp, ctx, true
 }
 
-// complete records a result and clears the assignment.
-func (m *Master) complete(worker string, r campaign.Result) {
+// complete records a result and clears the assignment. Worker-side
+// spans (if any) are stitched under the master's experiment span with
+// an NTP-style clock-skew estimate, so one /trace/{id} lookup shows
+// the whole submit-to-verdict story even though the phases ran on
+// another machine's clock.
+func (m *Master) complete(worker string, r campaign.Result, spans []obs.SpanRecord) {
+	recvNS := time.Now().UnixNano()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	assigned := m.flight[worker]
@@ -359,6 +414,42 @@ func (m *Master) complete(worker string, r campaign.Result) {
 			m.flight[worker] = append(assigned[:i], assigned[i+1:]...)
 			break
 		}
+	}
+	if r.Worker == "" {
+		if ws := m.workers[worker]; ws != nil && ws.Name != "" {
+			r.Worker = ws.Name
+		} else {
+			r.Worker = worker
+		}
+	}
+	if me := m.expSpans[r.ID]; me != nil {
+		delete(m.expSpans, r.ID)
+		sp := me.span
+		if len(spans) > 0 {
+			// The worker's root span ("worker") parents directly under
+			// the master span; its endpoints, against our send/receive
+			// times, give the classic two-sample offset estimate.
+			rootID := sp.Context().SpanID
+			for i := range spans {
+				if spans[i].ParentID == rootID && spans[i].EndNS > 0 {
+					skew := ((me.sentNS - spans[i].StartNS) + (recvNS - spans[i].EndNS)) / 2
+					sp.SetAttr("clock_skew_ns", skew)
+					break
+				}
+			}
+			m.cfg.Spans.ImportSpans(spans)
+		}
+		sp.SetAttr("worker", r.Worker)
+		sp.SetAttr("outcome", r.Outcome.String())
+		sp.SetAttr("fired", r.Fired)
+		sp.SetTicks(0, r.Ticks)
+		if r.Outcome == campaign.OutcomeCrashed {
+			sp.SetStatus("crashed: " + r.CrashCause)
+		}
+		if r.Outcome == campaign.OutcomeCrashed || r.Outcome == campaign.OutcomeSDC {
+			sp.ForceKeep()
+		}
+		sp.End()
 	}
 	if _, dup := m.results[r.ID]; !dup {
 		m.results[r.ID] = r
@@ -382,10 +473,20 @@ func (m *Master) complete(worker string, r campaign.Result) {
 }
 
 // requeue returns a dead worker's in-flight experiments to the queue.
+// Their half-built traces are abandoned (the worker can no longer ship
+// its spans) and remembered so the retry's fresh span can say what it
+// replaces — exactly one span tree per experiment survives.
 func (m *Master) requeue(worker string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if lost := m.flight[worker]; len(lost) > 0 {
+		for _, e := range lost {
+			if me := m.expSpans[e.ID]; me != nil {
+				delete(m.expSpans, e.ID)
+				m.retryOf[e.ID] = me.span.Context().TraceID
+				m.cfg.Spans.Abandon(me.span.Context().TraceID)
+			}
+		}
 		m.pending = append(m.pending, lost...)
 		delete(m.flight, worker)
 		m.requeued += len(lost)

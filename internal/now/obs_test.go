@@ -126,7 +126,7 @@ func TestWorkerExperimentTimeoutRetries(t *testing.T) {
 	w := NewWorker(WorkerConfig{
 		Addr: "unused", ExpTimeout: 4 * time.Millisecond, ExpRetries: 2, Metrics: reg,
 	})
-	res := w.runExperiment(runner, exp)
+	res := w.runExperiment(runner, exp, obs.SpanContext{})
 	if res.Outcome != campaign.OutcomeCrashed || res.CrashCause != campaign.CrashInterrupted {
 		t.Fatalf("result = %+v, want crashed/interrupted", res)
 	}
@@ -139,7 +139,7 @@ func TestWorkerExperimentTimeoutRetries(t *testing.T) {
 
 	// The runner survives interruption: a generous timeout completes.
 	w2 := NewWorker(WorkerConfig{Addr: "unused", ExpTimeout: time.Minute, Metrics: reg})
-	if res := w2.runExperiment(runner, exp); res.CrashCause == campaign.CrashInterrupted {
+	if res := w2.runExperiment(runner, exp, obs.SpanContext{}); res.CrashCause == campaign.CrashInterrupted {
 		t.Fatalf("generous timeout still interrupted: %+v", res)
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"repro/internal/campaign"
+	"repro/internal/obs"
 )
 
 // Message is the single wire envelope; Type selects which fields are
@@ -45,11 +46,23 @@ type Message struct {
 	Model       string `json:"model,omitempty"`
 	MaxInsts    uint64 `json:"maxInsts,omitempty"`
 
+	// welcome (master -> worker): master records spans; workers should
+	// record their side of each experiment and ship it back on results
+	SpanTrace bool `json:"spanTrace,omitempty"`
+
 	// experiment (master -> worker)
 	Experiment *campaign.Experiment `json:"experiment,omitempty"`
 
+	// experiment (master -> worker): distributed-trace context — the
+	// master's experiment span, under which the worker's spans parent
+	Trace *obs.SpanContext `json:"trace,omitempty"`
+
 	// result (worker -> master)
 	Result *campaign.Result `json:"result,omitempty"`
+
+	// result (worker -> master): the worker-side span records of the
+	// experiment, stitched into the master's trace on arrival
+	Spans []obs.SpanRecord `json:"spans,omitempty"`
 
 	// error (either direction)
 	Error string `json:"error,omitempty"`

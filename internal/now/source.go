@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"repro/internal/campaign"
+	"repro/internal/obs"
 )
 
 // Welcome carries the campaign parameters a worker needs to build its
@@ -29,16 +30,22 @@ type Welcome struct {
 	WindowInsts uint64
 	Model       string
 	MaxInsts    uint64
+	// SpanTrace tells the worker the source records distributed spans:
+	// each experiment arrives with a trace context, and the worker ships
+	// its span records back on the result.
+	SpanTrace bool
 }
 
 // Session is one worker's assignment to a campaign. Take and Complete
 // are called from that worker's serving goroutine; Close fires exactly
 // once when the connection ends (normally or by death) and must requeue
 // whatever was taken but never completed — the exactly-once ledger lives
-// in the source.
+// in the source. Take's context is the source-side experiment span the
+// worker's spans parent under (zero when the source does not trace);
+// Complete receives whatever span records the worker shipped back.
 type Session interface {
-	Take() (campaign.Experiment, bool)
-	Complete(campaign.Result)
+	Take() (campaign.Experiment, obs.SpanContext, bool)
+	Complete(campaign.Result, []obs.SpanRecord)
 	Close()
 }
 
@@ -103,6 +110,7 @@ func serveSourceConn(name string, c *conn, src ExpSource) {
 		WindowInsts: wel.WindowInsts,
 		Model:       wel.Model,
 		MaxInsts:    wel.MaxInsts,
+		SpanTrace:   wel.SpanTrace,
 	}); err != nil {
 		return
 	}
@@ -113,17 +121,21 @@ func serveSourceConn(name string, c *conn, src ExpSource) {
 		}
 		switch msg.Type {
 		case MsgFetch:
-			exp, ok := sess.Take()
+			exp, ctx, ok := sess.Take()
 			if !ok {
 				_ = c.send(Message{Type: MsgDone})
 				return
 			}
-			if err := c.send(Message{Type: MsgExperiment, Experiment: &exp}); err != nil {
+			out := Message{Type: MsgExperiment, Experiment: &exp}
+			if ctx.Valid() {
+				out.Trace = &ctx
+			}
+			if err := c.send(out); err != nil {
 				return
 			}
 		case MsgResult:
 			if msg.Result != nil {
-				sess.Complete(*msg.Result)
+				sess.Complete(*msg.Result, msg.Spans)
 			}
 		case MsgHeartbeat:
 			// Liveness is the source's concern only through session

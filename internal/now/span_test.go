@@ -1,0 +1,186 @@
+package now
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/obs"
+	"repro/internal/workloads"
+)
+
+// startSpanCampaign boots a traced master for a PI campaign.
+func startSpanCampaign(t *testing.T, n int) (*Master, []campaign.Experiment, *obs.SpanRecorder) {
+	t.Helper()
+	probe, err := NewMaster("127.0.0.1:0", MasterConfig{
+		Workload: "pi", Scale: workloads.ScaleTest, Quiet: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exps := campaign.GenerateUniform(n, campaign.GenConfig{WindowInsts: probe.WindowInsts(), Seed: 21})
+	probe.Close()
+	rec := obs.NewSpanRecorder()
+	m, err := NewMaster("127.0.0.1:0", MasterConfig{
+		Workload: "pi", Scale: workloads.ScaleTest, Experiments: exps, Quiet: true,
+		Spans: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, exps, rec
+}
+
+// TestNoWSpanPropagation: worker-side spans must stitch under the
+// master's experiment span into one valid tree per experiment, with the
+// clock-skew annotation on the root.
+func TestNoWSpanPropagation(t *testing.T) {
+	m, exps, rec := startSpanCampaign(t, 6)
+	go func() {
+		w := NewWorker(WorkerConfig{Addr: m.Addr(), Slots: 1, Name: "w0"})
+		if _, err := w.Run(); err != nil {
+			t.Errorf("worker: %v", err)
+		}
+	}()
+	results := m.Wait()
+	if len(results) != len(exps) {
+		t.Fatalf("results = %d of %d", len(results), len(exps))
+	}
+	for _, r := range results {
+		if !strings.HasPrefix(r.Worker, "w0") {
+			t.Errorf("experiment %d: worker = %q, want w0 slot", r.ID, r.Worker)
+		}
+		if r.WallNs <= 0 {
+			t.Errorf("experiment %d: wallNs = %d", r.ID, r.WallNs)
+		}
+	}
+
+	traces := rec.Traces()
+	if len(traces) != len(exps) {
+		t.Fatalf("traces = %d, want %d", len(traces), len(exps))
+	}
+	seenExp := map[int]int{}
+	for _, tr := range traces {
+		root := tr.Root()
+		if root == nil || root.Name != "experiment" || root.ParentID != "" {
+			t.Fatalf("bad root: %+v", root)
+		}
+		id, ok := root.Attrs["exp_id"].(int)
+		if !ok {
+			t.Fatalf("root missing exp_id attr: %+v", root.Attrs)
+		}
+		seenExp[id]++
+		if _, ok := root.Attrs["clock_skew_ns"]; !ok {
+			t.Errorf("experiment %d: root missing clock_skew_ns", id)
+		}
+		var worker *obs.SpanRecord
+		for i := range tr.Spans {
+			if tr.Spans[i].Name == "worker" {
+				worker = &tr.Spans[i]
+			}
+		}
+		if worker == nil {
+			t.Fatalf("experiment %d: no worker span among %d spans", id, len(tr.Spans))
+		}
+		if worker.ParentID != root.SpanID {
+			t.Errorf("experiment %d: worker span parented under %s, want root %s",
+				id, worker.ParentID, root.SpanID)
+		}
+		var buf bytes.Buffer
+		if err := obs.WriteTraceJSONL(&buf, *tr); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := obs.ValidateSpansJSONL(&buf); err != nil {
+			t.Errorf("experiment %d: stitched tree invalid: %v", id, err)
+		}
+	}
+	for id, n := range seenExp {
+		if n != 1 {
+			t.Errorf("experiment %d has %d span trees, want exactly 1", id, n)
+		}
+	}
+	if len(seenExp) != len(exps) {
+		t.Errorf("distinct experiment trees = %d, want %d", len(seenExp), len(exps))
+	}
+}
+
+// TestNoWSpanRetryAfterWorkerDeath: a worker that dies holding an
+// assignment must leave exactly one span tree for the experiment — the
+// half-built trace is abandoned, and the retried run gets a fresh root
+// carrying retry_of.
+func TestNoWSpanRetryAfterWorkerDeath(t *testing.T) {
+	m, exps, rec := startSpanCampaign(t, 6)
+
+	// A flaky client fetches one experiment (with its trace context)
+	// and disconnects without reporting a result.
+	c, err := dialRaw(m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.send(Message{Type: MsgHello, WorkerName: "flaky"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.recv(); err != nil { // welcome
+		t.Fatal(err)
+	}
+	if err := c.send(Message{Type: MsgFetch}); err != nil {
+		t.Fatal(err)
+	}
+	assigned, err := c.recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assigned.Experiment == nil || assigned.Trace == nil {
+		t.Fatalf("assignment missing experiment or trace context: %+v", assigned)
+	}
+	lostExp := assigned.Experiment.ID
+	lostTrace := assigned.Trace.TraceID
+	c.close() // dies holding the assignment
+
+	go func() {
+		w := NewWorker(WorkerConfig{Addr: m.Addr(), Slots: 1, Name: "w0"})
+		if _, err := w.Run(); err != nil {
+			t.Errorf("worker: %v", err)
+		}
+	}()
+	results := m.Wait()
+	if len(results) != len(exps) {
+		t.Fatalf("campaign incomplete after worker death: %d of %d", len(results), len(exps))
+	}
+
+	if rec.TraceByID(lostTrace) != nil {
+		t.Error("abandoned trace of the dead worker survived in the ring")
+	}
+	if rec.Dropped() == 0 {
+		t.Error("abandoned spans not counted as dropped")
+	}
+	traces := rec.Traces()
+	if len(traces) != len(exps) {
+		t.Fatalf("traces = %d, want exactly %d (one tree per experiment)", len(traces), len(exps))
+	}
+	var retried *obs.SpanRecord
+	perExp := map[int]int{}
+	for _, tr := range traces {
+		root := tr.Root()
+		id, _ := root.Attrs["exp_id"].(int)
+		perExp[id]++
+		if id == lostExp {
+			retried = root
+		}
+	}
+	for id, n := range perExp {
+		if n != 1 {
+			t.Errorf("experiment %d has %d span trees, want exactly 1", id, n)
+		}
+	}
+	if retried == nil {
+		t.Fatalf("no span tree for requeued experiment %d", lostExp)
+	}
+	if got, _ := retried.Attrs["retry_of"].(string); got != lostTrace {
+		t.Errorf("retry_of = %q, want abandoned trace %q", got, lostTrace)
+	}
+	if retried.TraceID == lostTrace {
+		t.Error("retried experiment reused the abandoned trace ID")
+	}
+}

@@ -163,6 +163,15 @@ func (w *Worker) runSlot(name string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	// When the master traces spans, this slot records its side of every
+	// experiment locally and ships the records back on each result; the
+	// traces are rooted at the master, so nothing completes (or is
+	// sampled) here — the recorder is just a staging buffer.
+	var spans *obs.SpanRecorder
+	if welcome.SpanTrace {
+		spans = obs.NewSpanRecorder()
+		runner.AttachSpans(spans, name)
+	}
 
 	var completed atomic.Int64
 	if w.cfg.Heartbeat > 0 {
@@ -199,8 +208,24 @@ func (w *Worker) runSlot(name string) (int, error) {
 		case MsgDone:
 			return int(completed.Load()), nil
 		case MsgExperiment:
-			res := w.runExperiment(runner, *msg.Experiment)
-			if err := c.send(Message{Type: MsgResult, Result: &res}); err != nil {
+			var ctx obs.SpanContext
+			var wsp *obs.Span
+			if spans != nil && msg.Trace != nil {
+				wsp = spans.StartSpan("worker", *msg.Trace)
+				wsp.SetTrack(name)
+				wsp.SetAttr("worker", name)
+				wsp.SetAttr("exp_id", msg.Experiment.ID)
+				ctx = wsp.Context()
+			}
+			res := w.runExperiment(runner, *msg.Experiment, ctx)
+			res.Worker = name
+			out := Message{Type: MsgResult, Result: &res}
+			if wsp != nil {
+				wsp.SetAttr("outcome", res.Outcome.String())
+				wsp.End()
+				out.Spans = spans.TakeTrace(msg.Trace.TraceID)
+			}
+			if err := c.send(out); err != nil {
 				return int(completed.Load()), err
 			}
 			completed.Add(1)
@@ -218,13 +243,13 @@ func (w *Worker) runSlot(name string) (int, error) {
 // interrupts the simulation at its next poll point; because the runner
 // restores the checkpoint at the start of every Run, a timer that fires
 // in the gap after a run completes cannot poison the next experiment.
-func (w *Worker) runExperiment(runner *campaign.Runner, exp campaign.Experiment) campaign.Result {
+func (w *Worker) runExperiment(runner *campaign.Runner, exp campaign.Experiment, ctx obs.SpanContext) campaign.Result {
 	for attempt := 0; ; attempt++ {
 		var timer *time.Timer
 		if w.cfg.ExpTimeout > 0 {
 			timer = time.AfterFunc(w.cfg.ExpTimeout, runner.Interrupt)
 		}
-		res := runner.Run(exp)
+		res := runner.RunCtx(exp, ctx)
 		if timer != nil {
 			timer.Stop()
 		}

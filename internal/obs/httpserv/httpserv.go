@@ -9,6 +9,10 @@
 //	            ?format=json or ?format=folded)
 //	/taint    — the most recent fault-propagation report (JSON by
 //	            default, ?format=dot for Graphviz, ?format=text)
+//	/traces   — recent span traces (newest first; filterable with
+//	            ?verdict=, ?tenant=, ?worker= against root attributes)
+//	/trace/{id} — one trace's full span tree (JSON by default,
+//	            ?format=text for an indented timeline)
 //	/debug/pprof/... — Go's net/http/pprof for the simulator itself
 //
 // Servers hosting several campaigns at once (the campaign service) wire
@@ -30,6 +34,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/obs"
@@ -62,8 +67,59 @@ type Config struct {
 	StatusFor  func(campaign string) (any, bool)
 	ProfileFor func(campaign string) (*prof.Profile, bool)
 	TaintFor   func(campaign string) (*taint.PropReport, bool)
+	// Spans backs /traces and /trace/{id} — the live distributed-trace
+	// surface over the recorder's recent-trace ring.
+	Spans *obs.SpanRecorder
 	// TopN bounds the /profile text table (0 = default 30).
 	TopN int
+}
+
+// traceSummary is one /traces row: enough to pick a trace to drill
+// into without shipping every span of every recent trace.
+type traceSummary struct {
+	TraceID    string `json:"traceId"`
+	Name       string `json:"name"`
+	StartNS    int64  `json:"startUnixNano"`
+	DurationNS int64  `json:"durationNs"`
+	Spans      int    `json:"spans"`
+	Outcome    string `json:"outcome,omitempty"`
+	Tenant     string `json:"tenant,omitempty"`
+	Worker     string `json:"worker,omitempty"`
+	Campaign   string `json:"campaign,omitempty"`
+	ExpID      any    `json:"expId,omitempty"`
+}
+
+func rootAttr(root *obs.SpanRecord, key string) string {
+	if v, ok := root.Attrs[key]; ok {
+		return fmt.Sprint(v)
+	}
+	return ""
+}
+
+// rootMatches applies the /traces filters: every non-empty wanted value
+// must equal the root span's attribute of the same name.
+func rootMatches(root *obs.SpanRecord, want map[string]string) bool {
+	for key, v := range want {
+		if v != "" && rootAttr(root, key) != v {
+			return false
+		}
+	}
+	return true
+}
+
+func summarize(tr *obs.Trace, root *obs.SpanRecord) traceSummary {
+	return traceSummary{
+		TraceID:    tr.ID,
+		Name:       root.Name,
+		StartNS:    root.StartNS,
+		DurationNS: root.DurationNS(),
+		Spans:      len(tr.Spans),
+		Outcome:    rootAttr(root, "outcome"),
+		Tenant:     rootAttr(root, "tenant"),
+		Worker:     rootAttr(root, "worker"),
+		Campaign:   rootAttr(root, "campaign"),
+		ExpID:      root.Attrs["exp_id"],
+	}
 }
 
 // Server is a running observability HTTP server.
@@ -198,6 +254,64 @@ func Handler(cfg Config) http.Handler {
 			w.Header().Set("Content-Type", "application/json")
 			_ = rep.WriteJSON(w)
 		}
+	})
+	handle("/traces", "recent span traces (?verdict=|?tenant=|?worker= filter on root attrs; ?n= bounds)", func(w http.ResponseWriter, req *http.Request) {
+		if cfg.Spans == nil {
+			http.Error(w, "no span recorder attached (run with -spans)", http.StatusNotFound)
+			return
+		}
+		q := req.URL.Query()
+		limit := 50
+		if s := q.Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				limit = v
+			}
+		}
+		want := map[string]string{
+			"outcome": q.Get("verdict"),
+			"tenant":  q.Get("tenant"),
+			"worker":  q.Get("worker"),
+		}
+		out := make([]traceSummary, 0, limit)
+		for _, tr := range cfg.Spans.Traces() {
+			root := tr.Root()
+			if root == nil || !rootMatches(root, want) {
+				continue
+			}
+			out = append(out, summarize(tr, root))
+			if len(out) >= limit {
+				break
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(out)
+	})
+	handle("/trace/", "one trace's span tree by ID (JSON; ?format=text for a timeline)", func(w http.ResponseWriter, req *http.Request) {
+		if cfg.Spans == nil {
+			http.Error(w, "no span recorder attached (run with -spans)", http.StatusNotFound)
+			return
+		}
+		id := strings.TrimPrefix(req.URL.Path, "/trace/")
+		if id == "" {
+			http.Error(w, "usage: /trace/{trace-id}", http.StatusBadRequest)
+			return
+		}
+		tr := cfg.Spans.TraceByID(id)
+		if tr == nil {
+			http.Error(w, "unknown trace "+id+" (evicted, sampled out, or still in flight)", http.StatusNotFound)
+			return
+		}
+		if req.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = tr.WriteText(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(tr)
 	})
 	handle("/debug/pprof/", "Go net/http/pprof for the simulator process", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -92,10 +92,21 @@ type Histogram struct {
 	sum      float64
 	min, max float64
 	buckets  [65]uint64
+	// exemplars holds, per bucket, the most recent exemplar label
+	// (a span trace ID) observed into that bucket — a fat bucket then
+	// links to a concrete experiment's span tree.
+	exemplars [65]string
 }
 
 // Observe records one value (negative values clamp to 0).
 func (h *Histogram) Observe(v float64) {
+	h.ObserveEx(v, "")
+}
+
+// ObserveEx records one value with an exemplar label — by convention a
+// span trace ID — kept per bucket (last write wins) so a histogram
+// bucket links back to a concrete sample trace.
+func (h *Histogram) ObserveEx(v float64, exemplar string) {
 	if h == nil {
 		return
 	}
@@ -111,7 +122,11 @@ func (h *Histogram) Observe(v float64) {
 	}
 	h.count++
 	h.sum += v
-	h.buckets[bits.Len64(uint64(v))]++
+	b := bits.Len64(uint64(v))
+	h.buckets[b]++
+	if exemplar != "" {
+		h.exemplars[b] = exemplar
+	}
 	h.mu.Unlock()
 }
 
@@ -127,6 +142,9 @@ type HistogramSnapshot struct {
 	Buckets  []uint64  `json:"buckets,omitempty"`
 	BucketLo []float64 `json:"bucket_lo,omitempty"`
 	BucketHi []float64 `json:"bucket_hi,omitempty"` // exclusive upper bound
+	// Exemplars is parallel to Buckets: the most recent exemplar label
+	// (sample trace ID) per bucket, "" where none was observed.
+	Exemplars []string `json:"exemplars,omitempty"`
 }
 
 // Snapshot copies the histogram state (zero snapshot on nil).
@@ -141,6 +159,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	if h.count > 0 {
 		s.Mean = h.sum / float64(h.count)
 	}
+	anyExemplar := false
 	for i, b := range h.buckets {
 		if b == 0 {
 			continue
@@ -152,6 +171,13 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		s.Buckets = append(s.Buckets, b)
 		s.BucketLo = append(s.BucketLo, lo)
 		s.BucketHi = append(s.BucketHi, float64(uint64(1)<<i))
+		s.Exemplars = append(s.Exemplars, h.exemplars[i])
+		if h.exemplars[i] != "" {
+			anyExemplar = true
+		}
+	}
+	if !anyExemplar {
+		s.Exemplars = nil
 	}
 	return s
 }

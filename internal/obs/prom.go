@@ -66,8 +66,15 @@ func (r *Registry) WriteProm(w io.Writer) error {
 			if m.Hist != nil {
 				for i, b := range m.Hist.Buckets {
 					cum += b
-					if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n",
-						name, promValue(m.Hist.BucketHi[i]), cum); err != nil {
+					// OpenMetrics-style exemplar suffix: a bucket with a
+					// recorded sample trace ID links to that span tree.
+					ex := ""
+					if i < len(m.Hist.Exemplars) && m.Hist.Exemplars[i] != "" {
+						ex = fmt.Sprintf(" # {trace_id=%q} %s",
+							m.Hist.Exemplars[i], promValue(m.Hist.BucketHi[i]))
+					}
+					if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d%s\n",
+						name, promValue(m.Hist.BucketHi[i]), cum, ex); err != nil {
 						return err
 					}
 				}
@@ -97,8 +104,11 @@ func (r *Registry) WriteProm(w io.Writer) error {
 }
 
 var (
+	// The optional trailing group accepts an OpenMetrics exemplar
+	// (" # {label=\"v\"} value"), which WriteProm emits on histogram
+	// bucket lines carrying a sample trace ID.
 	promSampleRe = regexp.MustCompile(
-		`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*,?\})?\s+(\S+)(\s+-?\d+)?\s*$`)
+		`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*,?\})?\s+(\S+)(\s+-?\d+)?( # \{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"\} \S+( \d+(\.\d+)?)?)?\s*$`)
 	promTypeRe = regexp.MustCompile(
 		`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
 )

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/obs"
 	"repro/internal/prof"
 	"repro/internal/sim"
 	"repro/internal/taint"
@@ -134,7 +135,13 @@ type Campaign struct {
 	inflight map[int]campaign.Experiment
 	results  map[int]campaign.Result
 	batches  int
+	expBatch map[int]int // experiment ID -> batch it was planned in
 	started  time.Time
+
+	// spans, when set (by the Service from its config), is attached to
+	// every pool runner so local executions emit phase spans under the
+	// service's experiment roots.
+	spans *obs.SpanRecorder
 
 	// Runner pool: built by prepare, borrowed by the scheduler. free is
 	// buffered to the pool size so returns never block. ckptBytes is the
@@ -166,6 +173,7 @@ func newCampaign(id string, spec CampaignSpec) *Campaign {
 		phase:    PhasePreparing,
 		inflight: make(map[int]campaign.Experiment),
 		results:  make(map[int]campaign.Result),
+		expBatch: make(map[int]int),
 		subs:     make(map[chan streamEvent]struct{}),
 		started:  time.Now(),
 	}
@@ -206,6 +214,11 @@ func (c *Campaign) prepare() (uint64, error) {
 			return 0, err
 		}
 		runners = append(runners, r)
+	}
+	if c.spans != nil {
+		for i, r := range runners {
+			r.AttachSpans(c.spans, fmt.Sprintf("%s/r%d", c.ID, i+1))
+		}
 	}
 	free := make(chan *campaign.Runner, len(runners))
 	for _, r := range runners {

@@ -40,6 +40,13 @@ type Config struct {
 	Slots int
 	// Metrics receives service telemetry (nil disables).
 	Metrics *obs.Registry
+	// Spans, when set, turns on end-to-end span tracing: every
+	// experiment — local or on a NoW worker — becomes one trace rooted
+	// at the service (campaign/tenant/batch attributes), with the
+	// runner's phase spans (and a remote worker's shipped spans)
+	// stitched underneath. Served live via /trace/{id} and /traces.
+	// Nil disables at no cost.
+	Spans *obs.SpanRecorder
 }
 
 // Service hosts campaigns. Lock order: a Campaign's mu may be held when
@@ -59,6 +66,13 @@ type Service struct {
 	kickC chan struct{}
 	stopC chan struct{}
 	wg    sync.WaitGroup // dispatcher + experiment goroutines
+
+	// Span bookkeeping for in-flight experiments (nil-map free when
+	// tracing is off). spanMu is leaf-level: taken with c.mu or s.mu
+	// held, never the reverse.
+	spanMu   sync.Mutex
+	expSpans map[expKey]*servExp
+	retryOf  map[expKey]string
 
 	submittedC *obs.Counter
 	resultsC   *obs.Counter
@@ -80,15 +94,20 @@ func New(cfg Config) (*Service, error) {
 		return nil, err
 	}
 	s := &Service{
-		cfg:   cfg,
-		j:     j,
-		st:    st,
-		camps: make(map[string]*Campaign),
-		slots: make(chan struct{}, cfg.Slots),
-		kickC: make(chan struct{}, 1),
-		stopC: make(chan struct{}),
+		cfg:      cfg,
+		j:        j,
+		st:       st,
+		camps:    make(map[string]*Campaign),
+		slots:    make(chan struct{}, cfg.Slots),
+		kickC:    make(chan struct{}, 1),
+		stopC:    make(chan struct{}),
+		expSpans: make(map[expKey]*servExp),
+		retryOf:  make(map[expKey]string),
 	}
 	s.registerMetrics()
+	if cfg.Spans != nil {
+		cfg.Spans.AttachMetrics(cfg.Metrics)
+	}
 
 	// Resume: rebuild every journaled campaign. Finished ones are cheap
 	// (state only — no golden run); unfinished ones relaunch through the
@@ -97,6 +116,7 @@ func New(cfg Config) (*Service, error) {
 	for _, id := range st.Order {
 		p := st.Camps[id]
 		c := newCampaign(id, p.Spec)
+		c.spans = cfg.Spans
 		s.camps[id] = c
 		s.order = append(s.order, id)
 		if p.Done {
@@ -223,6 +243,7 @@ func (s *Service) Submit(spec CampaignSpec) (string, error) {
 	}
 	s.st.apply(record{T: recSpec, Campaign: id, Spec: &spec})
 	c := newCampaign(id, spec)
+	c.spans = s.cfg.Spans
 	s.camps[id] = c
 	s.order = append(s.order, id)
 	s.mu.Unlock()
@@ -302,6 +323,9 @@ func (s *Service) planBatchLocked(c *Campaign) error {
 	c.planned = append(c.planned, exps...)
 	c.pending = append(c.pending, exps...)
 	c.batches = c.sampler.batches
+	for _, e := range exps {
+		c.expBatch[e.ID] = rec.Batch
+	}
 	if s.batchesC != nil {
 		s.batchesC.Inc()
 	}
@@ -316,23 +340,132 @@ func (s *Service) finishLocked(c *Campaign) {
 	c.finishLocked()
 }
 
+// expKey identifies one in-flight experiment across campaigns.
+type expKey struct {
+	camp string
+	id   int
+}
+
+// servExp is the service's side of one in-flight traced experiment:
+// the open root span plus the dispatch wall-clock (for the NTP-style
+// skew estimate when a remote worker's spans come back).
+type servExp struct {
+	span   *obs.Span
+	sentNS int64
+}
+
+// startExpSpan roots one experiment's trace at the service — the root
+// exists even if the executor dies — and returns the context runner or
+// worker spans parent under. Zero context when tracing is off.
+func (s *Service) startExpSpan(c *Campaign, exp campaign.Experiment, worker string) obs.SpanContext {
+	if s.cfg.Spans == nil {
+		return obs.SpanContext{}
+	}
+	c.mu.Lock()
+	batch := c.expBatch[exp.ID]
+	c.mu.Unlock()
+	sp := s.cfg.Spans.StartRoot("experiment")
+	sp.SetTrack(worker)
+	sp.SetAttr("campaign", c.ID)
+	sp.SetAttr("tenant", c.Spec.tenant())
+	sp.SetAttr("workload", c.Spec.Workload)
+	sp.SetAttr("exp_id", exp.ID)
+	sp.SetAttr("worker", worker)
+	if batch > 0 {
+		sp.SetAttr("batch", batch)
+	}
+	if len(exp.Faults) > 0 {
+		sp.SetAttr("fault", exp.Faults[0].String())
+	}
+	key := expKey{c.ID, exp.ID}
+	s.spanMu.Lock()
+	if prev := s.retryOf[key]; prev != "" {
+		sp.SetAttr("retry_of", prev)
+		delete(s.retryOf, key)
+	}
+	s.expSpans[key] = &servExp{span: sp, sentNS: time.Now().UnixNano()}
+	s.spanMu.Unlock()
+	return sp.Context()
+}
+
+// finishExpSpan ends an experiment's service-side root: remote span
+// records (if any) are stitched underneath with a clock-skew estimate,
+// the verdict lands as attributes, and crashed/SDC traces are kept
+// regardless of sampling. No-op when the experiment was never traced.
+func (s *Service) finishExpSpan(c *Campaign, res campaign.Result, spans []obs.SpanRecord) {
+	s.spanMu.Lock()
+	se := s.expSpans[expKey{c.ID, res.ID}]
+	delete(s.expSpans, expKey{c.ID, res.ID})
+	s.spanMu.Unlock()
+	if se == nil {
+		return
+	}
+	sp := se.span
+	if len(spans) > 0 {
+		rootID := sp.Context().SpanID
+		for i := range spans {
+			if spans[i].ParentID == rootID && spans[i].EndNS > 0 {
+				recvNS := time.Now().UnixNano()
+				skew := ((se.sentNS - spans[i].StartNS) + (recvNS - spans[i].EndNS)) / 2
+				sp.SetAttr("clock_skew_ns", skew)
+				break
+			}
+		}
+		s.cfg.Spans.ImportSpans(spans)
+	}
+	if res.Worker != "" {
+		sp.SetAttr("worker", res.Worker)
+	}
+	sp.SetAttr("outcome", res.Outcome.String())
+	sp.SetAttr("fired", res.Fired)
+	sp.SetTicks(0, res.Ticks)
+	if res.Outcome == campaign.OutcomeCrashed {
+		sp.SetStatus("crashed: " + res.CrashCause)
+	}
+	if res.Outcome == campaign.OutcomeCrashed || res.Outcome == campaign.OutcomeSDC {
+		sp.ForceKeep()
+	}
+	sp.End()
+}
+
+// abandonExpSpan drops an experiment's half-built trace (its executor
+// died or its result was a duplicate) and, when remember is set, notes
+// the abandoned trace ID so the retry's span can carry retry_of —
+// exactly one span tree per experiment survives.
+func (s *Service) abandonExpSpan(campID string, expID int, remember bool) {
+	key := expKey{campID, expID}
+	s.spanMu.Lock()
+	se := s.expSpans[key]
+	delete(s.expSpans, key)
+	if se != nil && remember {
+		s.retryOf[key] = se.span.Context().TraceID
+	}
+	s.spanMu.Unlock()
+	if se != nil {
+		s.cfg.Spans.Abandon(se.span.Context().TraceID)
+	}
+}
+
 // complete folds one classified experiment into the campaign: dedupe,
 // journal, sampler evidence, stream broadcast, and — when the batch has
 // drained — the next batch or the finish line. The exactly-once point:
 // a result is journaled and counted only if its ID was not already
 // classified, so requeued or duplicated executions collapse to one.
-func (s *Service) complete(c *Campaign, res campaign.Result) {
+func (s *Service) complete(c *Campaign, res campaign.Result, spans []obs.SpanRecord) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, dup := c.results[res.ID]; dup {
+		s.abandonExpSpan(c.ID, res.ID, false)
 		return
 	}
 	if err := s.appendApply(record{T: recResult, Campaign: c.ID, Result: &res}); err != nil {
 		// Journal write failed (closed mid-shutdown, disk error): drop the
 		// result rather than count something the ledger never saw.
 		delete(c.inflight, res.ID)
+		s.abandonExpSpan(c.ID, res.ID, false)
 		return
 	}
+	s.finishExpSpan(c, res, spans)
 	c.results[res.ID] = res
 	delete(c.inflight, res.ID)
 	c.sampler.record(res)
@@ -447,10 +580,11 @@ func (s *Service) dispatchOne() bool {
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
-		res := pickRunner.Run(pickExp)
+		ctx := s.startExpSpan(pick, pickExp, "local")
+		res := pickRunner.RunCtx(pickExp, ctx)
 		pick.returnRunner(pickRunner)
 		<-s.slots
-		s.complete(pick, res)
+		s.complete(pick, res, nil)
 		s.kick()
 	}()
 	return true
@@ -580,8 +714,10 @@ func (s *Service) Open(workerName string) (now.Welcome, now.Session, bool) {
 		WindowInsts: pick.window,
 		Model:       string(pick.Spec.model()),
 		MaxInsts:    pick.Spec.MaxInsts,
+		SpanTrace:   s.cfg.Spans != nil,
 	}
-	return wel, &servSession{s: s, c: pick, taken: make(map[int]campaign.Experiment)}, true
+	return wel, &servSession{s: s, c: pick, worker: workerName,
+		taken: make(map[int]campaign.Experiment)}, true
 }
 
 // ServeWorkers serves the NoW worker protocol on ln until it closes.
@@ -595,35 +731,39 @@ func (s *Service) ServeWorkers(ln net.Listener) {
 
 // servSession is one worker connection's campaign assignment.
 type servSession struct {
-	s *Service
-	c *Campaign
+	s      *Service
+	c      *Campaign
+	worker string
 
 	mu    sync.Mutex
 	taken map[int]campaign.Experiment
 }
 
-func (ss *servSession) Take() (campaign.Experiment, bool) {
+func (ss *servSession) Take() (campaign.Experiment, obs.SpanContext, bool) {
 	ss.c.mu.Lock()
 	exp, ok := ss.c.takeLocked()
 	ss.c.mu.Unlock()
-	if ok {
-		ss.mu.Lock()
-		ss.taken[exp.ID] = exp
-		ss.mu.Unlock()
+	if !ok {
+		return exp, obs.SpanContext{}, false
 	}
-	return exp, ok
+	ss.mu.Lock()
+	ss.taken[exp.ID] = exp
+	ss.mu.Unlock()
+	return exp, ss.s.startExpSpan(ss.c, exp, ss.worker), true
 }
 
-func (ss *servSession) Complete(res campaign.Result) {
+func (ss *servSession) Complete(res campaign.Result, spans []obs.SpanRecord) {
 	ss.mu.Lock()
 	delete(ss.taken, res.ID)
 	ss.mu.Unlock()
-	ss.s.complete(ss.c, res)
+	ss.s.complete(ss.c, res, spans)
 	ss.s.kick()
 }
 
 // Close requeues whatever the dead worker took but never finished; the
 // results ledger guarantees anything it did finish counts exactly once.
+// The orphaned traces are abandoned and remembered so the retries'
+// fresh spans can name what they replace.
 func (ss *servSession) Close() {
 	ss.mu.Lock()
 	exps := make([]campaign.Experiment, 0, len(ss.taken))
@@ -633,6 +773,9 @@ func (ss *servSession) Close() {
 	ss.taken = make(map[int]campaign.Experiment)
 	ss.mu.Unlock()
 	if len(exps) > 0 {
+		for _, e := range exps {
+			ss.s.abandonExpSpan(ss.c.ID, e.ID, true)
+		}
 		ss.c.requeue(exps)
 		ss.s.kick()
 	}
@@ -648,6 +791,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/campaigns/", s.handleCampaign)
 	mux.Handle("/", httpserv.Handler(httpserv.Config{
 		Metrics: s.cfg.Metrics,
+		Spans:   s.cfg.Spans,
 		Status:  func() any { return s.Campaigns() },
 		StatusFor: func(id string) (any, bool) {
 			c, ok := s.Campaign(id)

@@ -1,0 +1,292 @@
+package serv
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/now"
+	"repro/internal/obs"
+)
+
+// TestServiceTracedForkCampaignNoW is the acceptance end-to-end: a
+// fork-mode campaign through the service with one NoW worker attached
+// must produce exactly one span tree per experiment, fetchable live via
+// /trace/{id}, with the worker-side spans stitched under the service's
+// experiment root.
+func TestServiceTracedForkCampaignNoW(t *testing.T) {
+	rec := obs.NewSpanRecorder()
+	s, err := New(Config{Dir: t.TempDir(), Slots: 1, Spans: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(time.Second)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	s.ServeWorkers(ln)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// The pipelined model keeps local execution slow enough that the NoW
+	// worker reliably joins mid-campaign and takes a share.
+	// A heavy, high-weight blocker campaign pins the single local slot so
+	// the traced campaign's experiments reliably wait long enough for the
+	// NoW worker to join and take a share.
+	blockerID, err := s.Submit(CampaignSpec{
+		Workload: "pi", N: 30, Seed: 1, Scale: "small", Model: "pipelined",
+		Tenant: "blocker", Weight: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitPhase(t, s, blockerID, PhaseRunning)
+
+	spec := CampaignSpec{Workload: "pi", N: 40, Seed: 13, Fork: true, Tenant: "t1"}
+	id, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitPhase(t, s, id, PhaseRunning)
+	w := now.NewWorker(now.WorkerConfig{Addr: ln.Addr().String(), Slots: 2, Name: "nw0"})
+	workerDone := make(chan int, 1)
+	go func() {
+		n, err := w.Run()
+		if err != nil {
+			t.Logf("worker exit: %v", err)
+		}
+		workerDone <- n
+	}()
+	if !s.Wait(id, waitBound) {
+		t.Fatal("campaign did not finish")
+	}
+	workerN := <-workerDone
+	t.Logf("NoW worker completed %d of %d experiments", workerN, spec.N)
+
+	c, _ := s.Campaign(id)
+	results := c.Results()
+	if len(results) != spec.N {
+		t.Fatalf("results = %d, want %d", len(results), spec.N)
+	}
+
+	// Satellite: every result carries wall-clock, and remote ones name
+	// their worker; the HTTP results JSON exposes both.
+	resp, err := http.Get(ts.URL + "/campaigns/" + id + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/results: %d %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, `"wallNs"`) {
+		t.Error("/results JSON has no wallNs field")
+	}
+	remoteSeen := false
+	for _, r := range results {
+		if r.WallNs <= 0 {
+			t.Errorf("experiment %d: wallNs = %d", r.ID, r.WallNs)
+		}
+		if r.TraceID == "" {
+			t.Errorf("experiment %d: no trace ID", r.ID)
+		}
+		if strings.HasPrefix(r.Worker, "nw0") {
+			remoteSeen = true
+		}
+	}
+	if !remoteSeen {
+		t.Error("no experiment ran on the NoW worker")
+	}
+
+	// One span tree per experiment, live via /trace/{id}.
+	perExp := map[int]int{}
+	workerSpanSeen := false
+	for _, r := range results {
+		resp, err := http.Get(ts.URL + "/trace/" + r.TraceID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := readAll(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/trace/%s: %d %s", r.TraceID, resp.StatusCode, body)
+		}
+		var tr obs.Trace
+		if err := json.Unmarshal([]byte(body), &tr); err != nil {
+			t.Fatalf("/trace/%s: %v", r.TraceID, err)
+		}
+		root := tr.Root()
+		if root == nil || root.Name != "experiment" || root.ParentID != "" {
+			t.Fatalf("trace %s: bad root %+v", r.TraceID, root)
+		}
+		expID, ok := root.Attrs["exp_id"].(float64) // JSON round trip
+		if !ok {
+			t.Fatalf("trace %s: root missing exp_id: %v", r.TraceID, root.Attrs)
+		}
+		perExp[int(expID)]++
+		for i := range tr.Spans {
+			if tr.Spans[i].Name == "worker" {
+				workerSpanSeen = true
+				if tr.Spans[i].ParentID != root.SpanID {
+					t.Errorf("trace %s: worker span not under root", r.TraceID)
+				}
+			}
+		}
+		var buf bytes.Buffer
+		for i := range tr.Spans {
+			b, _ := json.Marshal(tr.Spans[i])
+			buf.Write(b)
+			buf.WriteByte('\n')
+		}
+		if _, err := obs.ValidateSpansJSONL(&buf); err != nil {
+			t.Errorf("trace %s: invalid tree: %v", r.TraceID, err)
+		}
+	}
+	for expID, n := range perExp {
+		if n != 1 {
+			t.Errorf("experiment %d has %d span trees, want exactly 1", expID, n)
+		}
+	}
+	if len(perExp) != spec.N {
+		t.Errorf("distinct experiment trees = %d, want %d", len(perExp), spec.N)
+	}
+	if !workerSpanSeen {
+		t.Error("no worker spans stitched into any tree")
+	}
+
+	// The recent-trace listing filters by tenant (the blocker campaign's
+	// traces share the recorder and must not show up here).
+	resp, err = http.Get(ts.URL + "/traces?tenant=t1&n=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body = readAll(t, resp)
+	var list []map[string]any
+	if err := json.Unmarshal([]byte(body), &list); err != nil {
+		t.Fatalf("/traces: %v in %s", err, body)
+	}
+	if len(list) != spec.N {
+		t.Errorf("/traces listed %d, want %d", len(list), spec.N)
+	}
+	// Text timeline renders.
+	resp, err = http.Get(ts.URL + "/trace/" + results[0].TraceID + "?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body = readAll(t, resp)
+	if !strings.Contains(body, "experiment") {
+		t.Errorf("text timeline missing root: %s", body)
+	}
+}
+
+func waitPhase(t *testing.T, s *Service, id, phase string) {
+	t.Helper()
+	deadline := time.Now().Add(waitBound)
+	for {
+		c, ok := s.Campaign(id)
+		if ok && c.Status().Phase == phase {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign %s never reached phase %s", id, phase)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return buf.String()
+}
+
+// TestJournalOldResultRecordsReplay: journals written before results
+// carried wallNs/worker/traceId must still replay — the new fields are
+// additive, so a finished campaign's ledger survives the upgrade.
+func TestJournalOldResultRecordsReplay(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := New(Config{Dir: dir, Slots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := s1.Submit(CampaignSpec{Workload: "pi", N: 6, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s1.Wait(id, waitBound) {
+		t.Fatal("campaign did not finish")
+	}
+	if err := s1.Shutdown(time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rewrite the journal as an old server would have written it: strip
+	// the post-upgrade result fields from every record line.
+	logPath := filepath.Join(dir, "journal.jsonl")
+	raw, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("journal line: %v", err)
+		}
+		if res, ok := rec["result"].(map[string]any); ok {
+			delete(res, "wallNs")
+			delete(res, "worker")
+			delete(res, "traceId")
+			delete(res, "phaseNs")
+		}
+		b, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.Write(b)
+		out.WriteByte('\n')
+	}
+	if err := os.WriteFile(logPath, out.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// An old snapshot would also lack the fields; removing it forces the
+	// replay through the rewritten journal alone.
+	os.Remove(filepath.Join(dir, "snapshot.json"))
+
+	s2, err := New(Config{Dir: dir, Slots: 2})
+	if err != nil {
+		t.Fatalf("resume on old-format journal: %v", err)
+	}
+	defer s2.Shutdown(time.Second)
+	c, ok := s2.Campaign(id)
+	if !ok {
+		t.Fatal("campaign lost on replay")
+	}
+	if st := c.Status(); st.Phase != PhaseDone {
+		t.Fatalf("replayed phase = %s, want done", st.Phase)
+	}
+	results := c.Results()
+	if len(results) != 6 {
+		t.Fatalf("replayed results = %d, want 6", len(results))
+	}
+	for _, r := range results {
+		if r.WallNs != 0 || r.Worker != "" || r.TraceID != "" {
+			t.Fatalf("old record grew fields on replay: %+v", r)
+		}
+	}
+}

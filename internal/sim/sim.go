@@ -8,6 +8,7 @@ package sim
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/asm"
 	"repro/internal/checkpoint"
@@ -157,6 +158,25 @@ type Simulator struct {
 	ffActive       bool // fast-forward prefix running (atomic stand-in model)
 	ffPending      bool // window opened mid-step: switch before the next step
 	interrupted    atomic.Bool
+
+	// Span-phase recording (SetSpans): the run stamps its rare phase
+	// transitions (fast-forward end, first window open, last window
+	// close) and emits contiguous phase child spans under expSpan when
+	// it ends. All stamps happen on already-rare event paths, so the
+	// per-instruction loop is untouched; nil spans disables everything.
+	spans        *obs.SpanRecorder
+	expSpan      *obs.Span
+	phaseBegin   phaseCut
+	phaseFFArmed bool
+	ffEndMark    phaseCut
+	winOpenMark  phaseCut
+	winCloseMark phaseCut
+}
+
+// phaseCut is one phase boundary: wall clock plus guest ticks.
+type phaseCut struct {
+	ns   int64
+	tick uint64
 }
 
 // New builds a simulator (without a program; call Load).
@@ -187,6 +207,9 @@ func New(cfg Config) *Simulator {
 			s.Engine.AttachTracer(cfg.Tracer)
 		}
 		s.Engine.WindowHook = func(open bool) {
+			if s.spans != nil {
+				s.markWindow(open)
+			}
 			if !open {
 				return
 			}
@@ -311,6 +334,9 @@ func (s *Simulator) armFastForward() {
 func (s *Simulator) endFastForward() {
 	s.ffActive = false
 	s.ffPending = false
+	if s.spans != nil && s.ffEndMark.ns == 0 {
+		s.ffEndMark = phaseCut{time.Now().UnixNano(), s.Core.Ticks}
+	}
 	s.Model = s.newModel(s.Cfg.Model)
 	s.Cfg.Metrics.Counter("sim.fastforward.switches").Inc()
 	s.Cfg.Tracer.Instant(obs.CatSim, "fastforward.end", s.Core.Ticks,
@@ -383,6 +409,132 @@ func (r RunResult) Failed() bool {
 // goroutine; the NoW worker's per-experiment timeout uses it to reclaim a
 // hung simulation. The interrupted Run returns with Interrupted set.
 func (s *Simulator) Interrupt() { s.interrupted.Store(true) }
+
+// SetSpans attaches a span recorder and the enclosing experiment span:
+// phase recording (BeginPhaseRecording / EndPhaseRecording) emits
+// contiguous phase child spans under exp, and the fault engine's
+// lifecycle events land on exp's timeline as span events.
+// SetSpans(nil, nil) detaches; the disabled path costs nothing.
+func (s *Simulator) SetSpans(rec *obs.SpanRecorder, exp *obs.Span) {
+	if rec == nil || exp == nil {
+		rec, exp = nil, nil
+	}
+	s.spans = rec
+	s.expSpan = exp
+	if s.Engine != nil {
+		s.Engine.Span = exp
+	}
+}
+
+// BeginPhaseRecording starts phase-slice accounting for the experiment
+// about to run. Call it after Restore/ForkFrom (so the fast-forward and
+// window state reflect this experiment) and before the first Run or
+// RunUntil; phases accumulate across any number of run calls (the fork
+// server's prune loop runs in chunks) until EndPhaseRecording. A no-op
+// without SetSpans.
+func (s *Simulator) BeginPhaseRecording() {
+	if s.spans == nil || s.expSpan == nil {
+		return
+	}
+	s.ffEndMark, s.winOpenMark, s.winCloseMark = phaseCut{}, phaseCut{}, phaseCut{}
+	s.phaseBegin = phaseCut{time.Now().UnixNano(), s.Core.Ticks}
+	s.phaseFFArmed = s.ffActive
+	if s.Engine != nil && s.Engine.WindowOpen() {
+		// Mid-window fork: the open edge is behind us on the trunk, so
+		// the experiment starts directly inside the FI window.
+		s.winOpenMark = s.phaseBegin
+	}
+}
+
+// EndPhaseRecording closes phase accounting: it cuts the experiment's
+// wall time into contiguous phase slices (fast-forward, pre-window,
+// fi-window, post-window), emits each as a child span of the attached
+// experiment span, and returns them. Returns nil when recording was
+// never begun.
+func (s *Simulator) EndPhaseRecording() []obs.PhaseSlice {
+	if s.spans == nil || s.expSpan == nil || s.phaseBegin.ns == 0 {
+		return nil
+	}
+	phases := s.emitPhases(s.phaseBegin, s.phaseFFArmed)
+	s.phaseBegin = phaseCut{}
+	return phases
+}
+
+// markWindow stamps the fault-window transitions for phase spans: the
+// first open and the last close of the run. Called from the engine's
+// WindowHook, i.e. twice per experiment, never per instruction.
+func (s *Simulator) markWindow(open bool) {
+	cut := phaseCut{time.Now().UnixNano(), s.Core.Ticks}
+	if open {
+		if s.winOpenMark.ns == 0 {
+			s.winOpenMark = cut
+		}
+	} else {
+		s.winCloseMark = cut
+	}
+}
+
+// emitPhases cuts the finished run into contiguous phase slices from
+// the stamped transition marks, emits each as a child span of expSpan,
+// and returns the slices. Boundaries are clamped monotonic (the window
+// opens an instant before the fast-forward switch lands), and missing
+// transitions extend the previous phase to the run's end — a window
+// that never opens leaves one long pre-window, a window still open at
+// exit leaves fi-window as the final phase.
+func (s *Simulator) emitPhases(start phaseCut, ffArmed bool) []obs.PhaseSlice {
+	end := phaseCut{time.Now().UnixNano(), s.Core.Ticks}
+	ffEnd, winOpen, winClose := s.ffEndMark, s.winOpenMark, s.winCloseMark
+	type bound struct {
+		name string // phase that ENDS at this cut
+		cut  phaseCut
+	}
+	var bounds []bound
+	if ffArmed {
+		if ffEnd.ns == 0 {
+			ffEnd = end // run ended inside the fast-forward prefix
+		}
+		bounds = append(bounds, bound{"fast-forward", ffEnd})
+	}
+	if winOpen.ns == 0 {
+		winOpen, winClose = end, end // window never opened
+	} else if winClose.ns == 0 {
+		winClose = end // window still open at exit
+	}
+	bounds = append(bounds,
+		bound{"pre-window", winOpen},
+		bound{"fi-window", winClose},
+		bound{"post-window", end},
+	)
+	parent := s.expSpan.Context()
+	track := s.expSpan.TrackName()
+	cur := start
+	var phases []obs.PhaseSlice
+	for _, b := range bounds {
+		to := b.cut
+		if to.ns < cur.ns {
+			to = cur
+		}
+		if to.ns > end.ns {
+			to = end
+		}
+		if to.ns <= cur.ns {
+			cur = to
+			continue // zero-length phase (e.g. pre-window with ff-to-window)
+		}
+		ph := obs.PhaseSlice{
+			Name: b.name, StartNS: cur.ns, EndNS: to.ns,
+			StartTick: cur.tick, EndTick: to.tick,
+		}
+		phases = append(phases, ph)
+		s.spans.AddChild(parent, obs.SpanRecord{
+			Name: ph.Name, Track: track,
+			StartNS: ph.StartNS, EndNS: ph.EndNS,
+			StartTick: ph.StartTick, EndTick: ph.EndTick,
+		})
+		cur = to
+	}
+	return phases
+}
 
 // Run drives the simulation to completion (program exit, trap, watchdog,
 // checkpoint stop, or external interrupt).

@@ -1,0 +1,85 @@
+package gemfi
+
+import (
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/obs"
+	"repro/internal/workloads"
+)
+
+// spanRunner builds a checkpoint-backed pi runner, optionally traced —
+// the per-experiment configuration the span disabled-overhead bound is
+// defined against.
+func spanRunner(b *testing.B, rec *obs.SpanRecorder) (*campaign.Runner, []campaign.Experiment) {
+	b.Helper()
+	r, err := campaign.NewRunner(workloads.MonteCarloPI(workloads.ScaleTest), campaign.RunnerOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rec != nil {
+		r.AttachSpans(rec, "bench")
+	}
+	exps := campaign.GenerateUniform(4, campaign.GenConfig{WindowInsts: r.WindowInsts, Seed: 17})
+	return r, exps
+}
+
+func runSpanCase(b *testing.B, makeRec func() *obs.SpanRecorder) {
+	b.ReportAllocs()
+	b.StopTimer()
+	r, exps := spanRunner(b, makeRec())
+	b.StartTimer()
+	for i := 0; i < b.N; i++ {
+		r.Run(exps[i%len(exps)])
+	}
+}
+
+// BenchmarkSpansDisabled compares per-experiment execution with span
+// tracing absent (nil recorder — the disabled path every campaign
+// without -spans takes) against a recorder attached. The nil path costs
+// a handful of nil-receiver checks per experiment, not per instruction.
+func BenchmarkSpansDisabled(b *testing.B) {
+	b.Run("Baseline", func(b *testing.B) {
+		runSpanCase(b, func() *obs.SpanRecorder { return nil })
+	})
+	b.Run("SpansOff", func(b *testing.B) {
+		// Same as Baseline — the explicit-nil spelling of "disabled".
+		runSpanCase(b, func() *obs.SpanRecorder { return nil })
+	})
+	b.Run("SpansOn", func(b *testing.B) {
+		runSpanCase(b, obs.NewSpanRecorder)
+	})
+}
+
+// TestSpansDisabledOverhead asserts the acceptance bound: with no span
+// recorder attached, experiment execution must not regress measurably
+// against the pre-span baseline — the instrumentation is nil-receiver
+// guards plus one pointer test per phase cut, nothing per instruction.
+// The generous 1.5x threshold catches a structural regression (e.g. an
+// unconditional per-instruction hook), not scheduler noise.
+func TestSpansDisabledOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark comparison in -short mode")
+	}
+	measure := func(makeRec func() *obs.SpanRecorder) float64 {
+		res := testing.Benchmark(func(b *testing.B) {
+			runSpanCase(b, makeRec)
+		})
+		return float64(res.NsPerOp())
+	}
+	baseline := measure(func() *obs.SpanRecorder { return nil })
+	disabled := measure(func() *obs.SpanRecorder { return nil })
+	enabled := measure(obs.NewSpanRecorder)
+	t.Logf("baseline %.0f ns/op, spans-disabled %.0f ns/op, spans-enabled %.0f ns/op",
+		baseline, disabled, enabled)
+	if disabled > baseline*1.5 {
+		t.Errorf("spans-disabled run %.0f ns/op vs baseline %.0f ns/op: disabled path is not free",
+			disabled, baseline)
+	}
+	// Enabled tracing must also stay cheap per experiment: a dozen span
+	// allocations against millions of simulated instructions.
+	if enabled > baseline*2.0 {
+		t.Errorf("spans-enabled run %.0f ns/op vs baseline %.0f ns/op: tracing leaked into the hot loop",
+			enabled, baseline)
+	}
+}
