@@ -37,6 +37,7 @@ type clientArgs struct {
 	fork     bool
 	taint    bool
 	profile  bool
+	flight   bool
 }
 
 func runClient(a clientArgs) error {
@@ -48,7 +49,7 @@ func runClient(a clientArgs) error {
 			N: a.n, Seed: a.seed,
 			Sampling: a.sampling, Strata: a.strata, Batch: a.batch,
 			Tenant: a.tenant, Weight: a.weight, Workers: a.workers,
-			Fork: a.fork, Taint: a.taint, Profile: a.profile,
+			Fork: a.fork, Taint: a.taint, Profile: a.profile, Flight: a.flight,
 		}
 		body, err := json.Marshal(spec)
 		if err != nil {

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/obs/httpserv"
 	"repro/internal/sim"
 	"repro/internal/taint"
@@ -63,6 +64,9 @@ func run() error {
 		forkSnaps  = flag.Int("fork-snapshots", 32, "target trunk snapshots across the fault window in -fork mode")
 		forkPrune  = flag.Bool("fork-prune", true, "classify provably masked experiments early in -fork mode (disabled automatically under -profile/-taint)")
 
+		flightOn    = flag.Bool("flight", false, "flight recorder: dump the last -flight-depth committed instructions of every crashed/SDC experiment onto its result (custom experiment; served at /postmortem/{id} with -http)")
+		flightDepth = flag.Int("flight-depth", 0, "flight recorder ring size (0 = default)")
+
 		// Distributed span tracing (custom experiment). Each experiment
 		// becomes one trace: an experiment root, per-phase child spans,
 		// and fault-lifecycle events.
@@ -91,7 +95,7 @@ func run() error {
 			workload: *workload, scale: *scaleName, model: *model,
 			n: *n, seed: *seed, sampling: *sampling, strata: *strata, batch: *batch,
 			tenant: *tenant, weight: *weight, workers: *parallel,
-			fork: *forkOn, taint: *taintOn, profile: *profile,
+			fork: *forkOn, taint: *taintOn, profile: *profile, flight: *flightOn,
 		})
 	}
 
@@ -269,6 +273,22 @@ func run() error {
 		if *taintOn || *httpAddr != "" {
 			pool.AttachTaint()
 		}
+		// Post-mortem index for /postmortem/{id}: filled as results land
+		// (OnResult fires from worker goroutines, hence the lock).
+		var pmMu sync.Mutex
+		pmByTrace := make(map[string]*flight.Postmortem)
+		if *flightOn {
+			pool.AttachFlight(*flightDepth)
+			pool.OnResult = func(res campaign.Result) {
+				if res.Postmortem == nil {
+					return
+				}
+				pmMu.Lock()
+				pmByTrace[res.TraceID] = res.Postmortem
+				pmByTrace[fmt.Sprintf("exp/%d", res.ID)] = res.Postmortem
+				pmMu.Unlock()
+			}
+		}
 		if *forkOn {
 			if err := pool.EnableFork(campaign.ForkOptions{
 				Snapshots: *forkSnaps,
@@ -279,14 +299,23 @@ func run() error {
 			}
 		}
 		if *httpAddr != "" {
-			srv, err := httpserv.New(*httpAddr, httpserv.Config{
+			hcfg := httpserv.Config{
 				Metrics: reg,
 				Status:  func() any { return pool.Status() },
 				Profile: pool.Profile,
 				Taint:   pool.TaintReport,
 				Spans:   spanRec,
 				TopN:    *profileTop,
-			})
+			}
+			if *flightOn {
+				hcfg.Postmortem = func(id string) (*flight.Postmortem, bool) {
+					pmMu.Lock()
+					defer pmMu.Unlock()
+					pm, ok := pmByTrace[id]
+					return pm, ok
+				}
+			}
+			srv, err := httpserv.New(*httpAddr, hcfg)
 			if err != nil {
 				return err
 			}
@@ -315,6 +344,15 @@ func run() error {
 		fmt.Printf("workload %s: %d experiments\n", w.Name, tally.Total())
 		for _, o := range campaign.Outcomes() {
 			fmt.Printf("  %-18s %5d (%5.1f%%)\n", o, tally[o], 100*tally.Fraction(o))
+		}
+		if *flightOn {
+			dumps := 0
+			for _, r := range results {
+				if r.Postmortem != nil {
+					dumps++
+				}
+			}
+			fmt.Printf("flight recorder: %d post-mortem dumps (crashed/SDC/reached-state)\n", dumps)
 		}
 		if *forkOn {
 			st := pool.ForkStats()

@@ -159,6 +159,7 @@ func runMaster(args []string) error {
 		httpAddr  = fs.String("http", "", "serve live observability endpoints (/metrics /status /debug/pprof) on this address")
 		drain     = fs.Duration("drain", 30*time.Second, "in-flight drain bound on SIGINT/SIGTERM")
 
+		flightOn   = fs.Bool("flight", false, "ask workers (via the welcome message) to flight-record: crashed/SDC results arrive with post-mortem dumps attached")
 		spansOn    = fs.Bool("spans", false, "trace every experiment end to end (worker-side spans stitch under the master's experiment span)")
 		spanSample = fs.Int("span-sample", 1, "keep 1 in N experiment traces (crashed/SDC traces are always kept)")
 		spansJSONL = fs.String("spans-jsonl", "", "write completed span trees to this JSONL file at exit")
@@ -197,7 +198,7 @@ func runMaster(args []string) error {
 	exps := campaign.GenerateUniform(*n, campaign.GenConfig{WindowInsts: window, Seed: *seed})
 	m, err := now.NewMaster(*addr, now.MasterConfig{
 		Workload: *workload, Scale: scale, Experiments: exps, Model: sim.ModelKind(*model),
-		Metrics: reg, Spans: spanRec,
+		Metrics: reg, Spans: spanRec, Flight: *flightOn,
 	})
 	if err != nil {
 		return err
@@ -271,6 +272,8 @@ func runWorker(args []string) error {
 		taintOn    = fs.Bool("taint", false, "track fault propagation per experiment; verdict summaries ride back to the master on each result")
 		forkOn     = fs.Bool("fork", false, "fork-server mode: each slot runs one local trunk and forks experiments from COW snapshots instead of replaying the shipped checkpoint")
 		forkSnaps  = fs.Int("fork-snapshots", 0, "trunk snapshots across the fault window in -fork mode (0 = default)")
+		flightOn   = fs.Bool("flight", false, "flight recorder: crashed/SDC experiments ship a post-mortem dump back to the master on their result (also enabled by the master's welcome)")
+		flightDep  = fs.Int("flight-depth", 0, "flight recorder ring size (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -287,6 +290,7 @@ func runWorker(args []string) error {
 		Metrics:   reg,
 		Taint:     *taintOn,
 		Fork:      *forkOn, ForkSnapshots: *forkSnaps,
+		Flight:    *flightOn, FlightDepth: *flightDep,
 	})
 	n, err := w.Run()
 	fmt.Printf("worker: completed %d experiments\n", n)

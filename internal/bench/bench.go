@@ -153,13 +153,24 @@ func (c Config) withDefaults() Config {
 // engine attached but idle — the campaign-realistic configuration) and
 // returns the best run.
 func MeasureModel(w *workloads.Workload, model sim.ModelKind, reps int) (ModelResult, error) {
+	return measureModel(w, model, reps, false)
+}
+
+// MeasureModelFlight is MeasureModel with the flight recorder attached —
+// the post-mortem configuration. The delta against the plain model run is
+// the recorder's commit-path overhead.
+func MeasureModelFlight(w *workloads.Workload, model sim.ModelKind, reps int) (ModelResult, error) {
+	return measureModel(w, model, reps, true)
+}
+
+func measureModel(w *workloads.Workload, model sim.ModelKind, reps int, flight bool) (ModelResult, error) {
 	p, err := w.Build()
 	if err != nil {
 		return ModelResult{}, err
 	}
 	best := ModelResult{Seconds: -1}
 	for i := 0; i < reps; i++ {
-		s := sim.New(sim.Config{Model: model, EnableFI: true, MaxInsts: 2_000_000_000})
+		s := sim.New(sim.Config{Model: model, EnableFI: true, MaxInsts: 2_000_000_000, EnableFlight: flight})
 		if err := s.Load(p); err != nil {
 			return ModelResult{}, err
 		}
@@ -256,6 +267,15 @@ func Run(cfg Config, logf func(format string, args ...any)) (Record, error) {
 		rec.Models[string(model)] = mr
 		logf("model %-9s %12.0f insts/sec (%d insts in %.3fs)", model, mr.InstsPerSec, mr.Insts, mr.Seconds)
 	}
+	// The flight-recorder overhead record: atomic with the ring attached.
+	// Speedup ignores keys absent from the baseline, so old BENCH files
+	// compare cleanly.
+	fm, err := MeasureModelFlight(w, sim.ModelAtomic, cfg.Reps)
+	if err != nil {
+		return Record{}, err
+	}
+	rec.Models["atomic-flight"] = fm
+	logf("model %-9s %12.0f insts/sec (%d insts in %.3fs)", "atomic-flight", fm.InstsPerSec, fm.Insts, fm.Seconds)
 	for _, c := range []struct {
 		name string
 		ff   bool
@@ -297,7 +317,7 @@ func Speedup(base, cur *Record) string {
 		return ""
 	}
 	out := ""
-	for _, m := range []string{"atomic", "timing", "pipelined"} {
+	for _, m := range []string{"atomic", "timing", "pipelined", "atomic-flight"} {
 		b, okB := base.Models[m]
 		c, okC := cur.Models[m]
 		if okB && okC && b.InstsPerSec > 0 {

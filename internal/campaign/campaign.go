@@ -16,6 +16,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/prof"
 	"repro/internal/sim"
 	"repro/internal/taint"
@@ -127,6 +128,12 @@ type Result struct {
 	// experiment (fork/restore, fast-forward, pre-window, fi-window,
 	// post-window, classify, taint) when span tracing is attached.
 	PhaseNS map[string]int64 `json:"phaseNs,omitempty"`
+	// Postmortem is the flight-recorder dump of the experiment's final
+	// instructions, present only when a recorder is attached
+	// (AttachFlight) and the verdict is interesting — crashed,
+	// reached-output SDC, or taint reached-state. Masked experiments
+	// never carry one.
+	Postmortem *flight.Postmortem `json:"postmortem,omitempty"`
 }
 
 // Runner executes experiments for one workload. It is not safe for
@@ -171,6 +178,11 @@ type Runner struct {
 	lastProp  *taint.PropReport
 	propStamp uint64
 
+	// Flight recording (AttachFlight): the per-runner ring of final
+	// committed instructions, dumped onto Result.Postmortem for
+	// interesting verdicts.
+	flight *flight.Recorder
+
 	// Span tracing (AttachSpans). curTrace is the live state of the
 	// experiment currently inside RunCtx; runners are not concurrent,
 	// so no lock is needed.
@@ -182,10 +194,14 @@ type Runner struct {
 // expTrace is the span bookkeeping of one in-flight experiment: the
 // experiment span, the end of the last closed phase (the next phase
 // starts there, keeping phases contiguous), and the per-phase totals.
+// cuts keeps the raw phase boundaries (only while a flight recorder is
+// attached) so a post-mortem dump can place ring records inside the
+// experiment's phases.
 type expTrace struct {
 	span   *obs.Span
 	last   time.Time
 	phases map[string]int64
+	cuts   []flight.Phase
 }
 
 // propClock orders LastTaintReport results across a pool's runners.
@@ -313,6 +329,7 @@ func (r *Runner) Clone() (*Runner, error) {
 	// must not inherit those pointers.
 	cfg.Profiler = nil
 	cfg.Taint = nil
+	cfg.Flight = nil
 	c := &Runner{
 		Workload:    r.Workload,
 		Cfg:         cfg,
@@ -339,6 +356,9 @@ func (r *Runner) Clone() (*Runner, error) {
 	if r.taintTr != nil {
 		c.AttachTaint()
 		c.ShareTaintGolden(r.taintGolden)
+	}
+	if r.flight != nil {
+		c.AttachFlight(r.flight.Depth())
 	}
 	return c, nil
 }
@@ -402,6 +422,86 @@ func (r *Runner) TaintGolden() *taint.GoldenState { return r.taintGolden }
 // ShareTaintGolden installs an externally captured golden final state —
 // the pool path, where one runner's capture serves every worker.
 func (r *Runner) ShareTaintGolden(g *taint.GoldenState) { r.taintGolden = g }
+
+// AttachFlight attaches a flight recorder keeping the last depth
+// committed instructions (depth <= 0 selects flight.DefaultDepth);
+// every subsequent experiment with an interesting verdict — crashed,
+// reached-output SDC, or taint reached-state — lands its post-mortem
+// dump on Result.Postmortem. Idempotent — repeated calls return the
+// same recorder. Like the tracker, the recorder is carried through the
+// runner's Config so it survives the per-experiment rebuild of baseline
+// (DisableCheckpoint) runners.
+func (r *Runner) AttachFlight(depth int) *flight.Recorder {
+	if r.flight == nil && r.sim != nil {
+		r.Cfg.FlightDepth = depth
+		r.flight = r.sim.AttachFlight(flight.NewRecorder(depth))
+		r.Cfg.Flight = r.flight
+	}
+	return r.flight
+}
+
+// Flight returns the attached flight recorder (nil when recording is
+// off).
+func (r *Runner) Flight() *flight.Recorder { return r.flight }
+
+// dumpPostmortem builds the flight-recorder dump for one finished
+// experiment, mirroring (and extending) the span ForceKeep policy:
+// crashed and SDC outcomes always dump, and a taint verdict of
+// reached-state — wrong architectural state behind correct output —
+// dumps too. Everything the dump splices in is already at hand: the
+// ring, the injection point from the result, the taint first-event
+// indexes from the last propagation report, and the phase boundaries
+// cut during the run.
+func (r *Runner) dumpPostmortem(res *Result, tr *expTrace) {
+	if r.flight == nil {
+		return
+	}
+	interesting := res.Outcome == OutcomeCrashed || res.Outcome == OutcomeSDC ||
+		(res.Prop != nil && res.Prop.Verdict == taint.VerdictReachedState)
+	if !interesting {
+		return
+	}
+	recs := r.flight.Records()
+	if len(recs) == 0 {
+		return
+	}
+	pm := &flight.Postmortem{
+		ExpID:      res.ID,
+		TraceID:    res.TraceID,
+		Outcome:    res.Outcome.String(),
+		Fault:      res.Fault.String(),
+		InjPC:      res.InjPC,
+		InjPCValid: res.InjPCValid,
+		CrashCause: res.CrashCause,
+		Depth:      r.flight.Depth(),
+		Committed:  r.flight.Committed(),
+		Squashed:   r.flight.Squashed(),
+		Records:    recs,
+		Keyframes:  r.flight.Keyframes(),
+	}
+	if tr != nil {
+		pm.Phases = tr.cuts
+	}
+	if res.Prop != nil {
+		pm.Verdict = string(res.Prop.Verdict)
+	}
+	if rep, _ := r.LastTaintReport(); rep != nil {
+		pm.Taint = &flight.TaintFirsts{
+			FirstLoad:   rep.FirstLoad,
+			FirstStore:  rep.FirstStore,
+			FirstBranch: rep.FirstBranch,
+			FirstOutput: rep.FirstOutput,
+		}
+	}
+	// The faulting instruction never committed — append it so the
+	// timeline's final record carries the crash PC.
+	if res.Outcome == OutcomeCrashed && r.sim != nil {
+		if t := r.sim.Core.Trap; t != nil {
+			pm.AppendTrap(t.PC, uint32(t.Word))
+		}
+	}
+	res.Postmortem = pm
+}
 
 // LastTaintReport returns the full propagation report of the runner's
 // most recent experiment plus a monotonic stamp for ordering across
@@ -485,6 +585,11 @@ func (r *Runner) cutPhase(name string) {
 			StartNS: tr.last.UnixNano(), EndNS: now.UnixNano(),
 		})
 		tr.phases[name] += now.Sub(tr.last).Nanoseconds()
+		if r.flight != nil {
+			tr.cuts = append(tr.cuts, flight.Phase{
+				Name: name, StartNS: tr.last.UnixNano(), EndNS: now.UnixNano(),
+			})
+		}
 	}
 	tr.last = now
 }
@@ -500,6 +605,12 @@ func (r *Runner) foldSimPhases() {
 	for _, ph := range r.sim.EndPhaseRecording() {
 		tr.phases[ph.Name] += ph.EndNS - ph.StartNS
 		tr.last = time.Unix(0, ph.EndNS)
+		if r.flight != nil {
+			tr.cuts = append(tr.cuts, flight.Phase{
+				Name: ph.Name, StartNS: ph.StartNS, EndNS: ph.EndNS,
+				StartTick: ph.StartTick, EndTick: ph.EndTick,
+			})
+		}
 	}
 }
 
@@ -547,6 +658,10 @@ func (r *Runner) Run(exp Experiment) Result {
 // trace. An invalid ctx starts a local root — Run's behavior.
 func (r *Runner) RunCtx(exp Experiment, ctx obs.SpanContext) Result {
 	r.canCaptureGolden = false
+	// Covers the baseline (DisableCheckpoint) path, which rebuilds the
+	// simulator without a Restore/ForkFrom reset; elsewhere a second
+	// reset is a no-op on an already-empty ring.
+	r.flight.Reset()
 	start := time.Now()
 	tr := r.beginExpTrace(exp, ctx, start)
 	res := r.runExp(exp)
@@ -558,6 +673,7 @@ func (r *Runner) RunCtx(exp Experiment, ctx obs.SpanContext) Result {
 	}
 	res.WallNs = time.Since(start).Nanoseconds()
 	r.finishExpTrace(tr, &res)
+	r.dumpPostmortem(&res, tr)
 	return res
 }
 

@@ -295,6 +295,8 @@ func trunkConfig(cfg sim.Config) sim.Config {
 	cfg.EnableProfiler = false
 	cfg.Taint = nil
 	cfg.EnableTaint = false
+	cfg.Flight = nil
+	cfg.EnableFlight = false
 	return cfg
 }
 

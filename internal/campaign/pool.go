@@ -39,6 +39,11 @@ type Pool struct {
 	// are serialized; keep the callback cheap (drivers use it for
 	// throttled progress lines).
 	OnProgress func(done, total int, elapsed time.Duration)
+	// OnResult, when set, is called with every completed experiment's
+	// result as soon as it lands (before the run finishes). Calls are
+	// serialized with OnProgress; drivers use it to index post-mortem
+	// dumps for live serving while the campaign is still running.
+	OnResult func(Result)
 
 	// Live status, maintained by RunAll and read by Status() — the
 	// campaign driver's -http /status endpoint scrapes this while the
@@ -107,6 +112,15 @@ func (p *Pool) AttachTaint() {
 		if r.taintGolden == nil {
 			r.ShareTaintGolden(first.taintGolden)
 		}
+	}
+}
+
+// AttachFlight attaches a private flight recorder of depth records to
+// every runner in the pool — rings are per-simulator, never shared, so
+// the hot loop stays contention-free. Idempotent.
+func (p *Pool) AttachFlight(depth int) {
+	for _, r := range p.runners {
+		r.AttachFlight(depth)
 	}
 }
 
@@ -267,9 +281,15 @@ func (p *Pool) RunAll(exps []Experiment) []Result {
 				endSpan(map[string]any{
 					"id": exp.ID, "outcome": res.Outcome.String(), "fired": res.Fired,
 				})
-				if n := done.Add(1); p.OnProgress != nil {
+				n := done.Add(1)
+				if p.OnResult != nil || p.OnProgress != nil {
 					progressMu.Lock()
-					p.OnProgress(int(n), len(exps), time.Since(start))
+					if p.OnResult != nil {
+						p.OnResult(res)
+					}
+					if p.OnProgress != nil {
+						p.OnProgress(int(n), len(exps), time.Since(start))
+					}
 					progressMu.Unlock()
 				}
 			}

@@ -33,23 +33,24 @@ func (m *AtomicModel) ModelName() string {
 func (m *AtomicModel) Drain() {}
 
 // Step executes one instruction to completion. When every per-step
-// observer is inactive — no trace, no profiler, no taint sink, and the
-// fault-injection window closed — it runs the specialized fast step,
+// observer is inactive — no trace, no profiler, no taint sink, no
+// flight recorder, and the fault-injection window closed — it runs the
+// specialized fast step,
 // which elides all hook dispatch behind this single check. The two paths
 // produce bit-identical architectural state (enforced by the conformance
 // suite); DisableFastPath pins the slow path for reference runs.
 func (m *AtomicModel) Step() bool {
 	c := m.C
-	if c.TraceFn == nil && c.Prof == nil && c.Taint == nil && !c.DisableFastPath &&
-		(c.FI == nil || !c.FI.Enabled()) {
+	if c.TraceFn == nil && c.Prof == nil && c.Taint == nil && c.Flight == nil &&
+		!c.DisableFastPath && (c.FI == nil || !c.FI.Enabled()) {
 		return m.stepFast()
 	}
 	return m.stepSlow()
 }
 
 // stepFast is Step with the disabled observers structurally removed: no
-// FI stage hooks, no per-tick engine callback, no trace/profile/taint
-// dispatch, and the commit epilogue inlined down to the PAL and
+// FI stage hooks, no per-tick engine callback, no trace/profile/taint/
+// flight dispatch, and the commit epilogue inlined down to the PAL and
 // scheduler work that can still occur. The engine tick clock is synced
 // immediately before PAL dispatch so fi_activate_inst anchors its
 // tick-relative fault window at exactly the value the slow path would

@@ -73,6 +73,26 @@ type TaintSink interface {
 	OnSquash(seq uint64)
 }
 
+// FlightSink records the committed instruction stream into a bounded
+// flight-recorder ring for post-mortem reconstruction: one call per
+// committed instruction with the decoded form, register ports,
+// execute-stage output, load value and tick clock at hand, and one per
+// squashed speculative instruction. Like TaintSink it is not gated on
+// the fault-injection window — the final K instructions before a crash
+// may lie well past fi_activate_inst. A nil sink costs one untaken
+// branch per commit, the same disabled-path guarantee as TraceFn, Prof
+// and Taint.
+type FlightSink interface {
+	// OnCommitInst is called at the same site as TaintSink.OnCommitInst:
+	// after writeback, with the architectural PC already advanced, and
+	// before PAL dispatch.
+	OnCommitInst(seq, pc uint64, in isa.Inst, ports isa.RegPorts, out *ExecOut, loadVal uint64, tick uint64, a *Arch)
+	// OnSquash reports that a speculative instruction was squashed; a
+	// squashed instruction never committed and must not appear in the
+	// post-mortem timeline.
+	OnSquash(seq uint64)
+}
+
 // Scheduler is consulted after every committed instruction; the kernel
 // implements it to preempt the running thread. A context switch mutates
 // core.Arch (including PCBB) and returns true, upon which the core
@@ -143,6 +163,10 @@ type Core struct {
 	// Taint, when set, receives the committed instruction stream (and
 	// pipeline squashes) for fault-propagation taint tracking.
 	Taint TaintSink
+
+	// Flight, when set, receives the committed instruction stream (and
+	// pipeline squashes) for flight-recorder post-mortems.
+	Flight FlightSink
 
 	// DisableFastPath forces the models onto their fully-hooked slow
 	// paths and bypasses the decoded-instruction caches. Used by
@@ -433,6 +457,9 @@ func (c *Core) commitEpilogue(seq, pc uint64, in isa.Inst, ports isa.RegPorts, o
 	// corrupted value keeps flowing after fi_activate_inst closes it).
 	if c.Taint != nil {
 		c.Taint.OnCommitInst(seq, pc, in, ports, out, loadVal, &c.Arch)
+	}
+	if c.Flight != nil {
+		c.Flight.OnCommitInst(seq, pc, in, ports, out, loadVal, c.Ticks, &c.Arch)
 	}
 
 	if fi {

@@ -382,6 +382,9 @@ func (m *PipelinedModel) squashSlot(s *pipeSlot) {
 	if m.C.Taint != nil {
 		m.C.Taint.OnSquash(s.seq)
 	}
+	if m.C.Flight != nil {
+		m.C.Flight.OnSquash(s.seq)
+	}
 	if m.serialize && s.seq == m.serializeSeq {
 		m.serialize = false
 	}

@@ -43,6 +43,11 @@ type MasterConfig struct {
 	// their partial trace abandoned; the retry's fresh span carries a
 	// retry_of attribute naming the abandoned trace. Nil disables.
 	Spans *obs.SpanRecorder
+
+	// Flight tells workers (via the welcome) to attach a flight recorder
+	// and ship post-mortem dumps back on interesting results
+	// (Result.Postmortem).
+	Flight bool
 }
 
 // WorkerStat is a point-in-time view of one worker connection, built
@@ -300,6 +305,7 @@ func (m *Master) serve(name string, c *conn) {
 		Model:       string(m.cfg.Model),
 		MaxInsts:    m.cfg.MaxInsts,
 		SpanTrace:   m.cfg.Spans != nil,
+		Flight:      m.cfg.Flight,
 	}
 	if err := c.send(welcome); err != nil {
 		return

@@ -50,6 +50,11 @@ type Message struct {
 	// record their side of each experiment and ship it back on results
 	SpanTrace bool `json:"spanTrace,omitempty"`
 
+	// welcome (master -> worker): the source wants flight-recorder
+	// post-mortems; workers attach a recorder and ship dumps back on the
+	// results of interesting experiments (Result.Postmortem)
+	Flight bool `json:"flight,omitempty"`
+
 	// experiment (master -> worker)
 	Experiment *campaign.Experiment `json:"experiment,omitempty"`
 

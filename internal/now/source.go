@@ -34,6 +34,10 @@ type Welcome struct {
 	// each experiment arrives with a trace context, and the worker ships
 	// its span records back on the result.
 	SpanTrace bool
+	// Flight tells the worker the source wants flight-recorder
+	// post-mortems: the worker attaches a recorder and interesting
+	// results arrive with Result.Postmortem populated.
+	Flight bool
 }
 
 // Session is one worker's assignment to a campaign. Take and Complete
@@ -111,6 +115,7 @@ func serveSourceConn(name string, c *conn, src ExpSource) {
 		Model:       wel.Model,
 		MaxInsts:    wel.MaxInsts,
 		SpanTrace:   wel.SpanTrace,
+		Flight:      wel.Flight,
 	}); err != nil {
 		return
 	}

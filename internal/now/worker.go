@@ -64,6 +64,14 @@ type WorkerConfig struct {
 	// ForkSnapshots overrides the trunk snapshot count in Fork mode;
 	// 0 uses the campaign default.
 	ForkSnapshots int
+
+	// Flight attaches a flight recorder to each slot's runner even when
+	// the master did not ask for one (the master's welcome requests it
+	// for -flight campaigns); interesting results ship their post-mortem
+	// dump back on Result.Postmortem.
+	Flight bool
+	// FlightDepth sizes the recorder ring (0 selects the default).
+	FlightDepth int
 }
 
 // Worker pulls experiments from a master and executes them locally from
@@ -319,6 +327,9 @@ func buildRunner(welcome Message, wcfg WorkerConfig) (*campaign.Runner, error) {
 		if err := runner.EnableFork(fo); err != nil {
 			return nil, err
 		}
+	}
+	if welcome.Flight || wcfg.Flight {
+		runner.AttachFlight(wcfg.FlightDepth)
 	}
 	return runner, nil
 }

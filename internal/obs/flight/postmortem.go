@@ -1,0 +1,266 @@
+// Post-mortem artifact: the retroactive dump of one interesting
+// experiment — the flight-recorder ring spliced with the injection
+// point, the taint first-event indexes, and the span phase boundaries,
+// symbolized into a disassembled timeline. JSON is the interchange form
+// (ValidatePostmortemJSON is its schema checker); WriteText renders the
+// human timeline served by /postmortem/{id}?format=text.
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/isa"
+)
+
+// Phase is one span phase boundary of the experiment's timeline
+// (restore/fork, fast-forward, fi-window, classify, ...), carried into
+// the dump so ring records can be placed inside the experiment's
+// phases.
+type Phase struct {
+	Name      string `json:"name"`
+	StartNS   int64  `json:"startUnixNano,omitempty"`
+	EndNS     int64  `json:"endUnixNano,omitempty"`
+	StartTick uint64 `json:"startTick,omitempty"`
+	EndTick   uint64 `json:"endTick,omitempty"`
+}
+
+// TaintFirsts carries the taint tracker's first-event indexes
+// (committed-instruction indexes since experiment start; -1 = never)
+// so the dump explains where corruption first touched memory, control
+// flow and output.
+type TaintFirsts struct {
+	FirstLoad   int64 `json:"firstLoad"`
+	FirstStore  int64 `json:"firstStore"`
+	FirstBranch int64 `json:"firstBranch"`
+	FirstOutput int64 `json:"firstOutput"`
+}
+
+// Postmortem is the black-box dump of one experiment: identity and
+// verdict, the injection point, the terminal crash/divergence point,
+// spliced observability context, and the final-K instruction records
+// with their keyframes.
+type Postmortem struct {
+	ExpID   int    `json:"expId"`
+	TraceID string `json:"traceId,omitempty"`
+	Outcome string `json:"outcome"`
+	Verdict string `json:"verdict,omitempty"` // taint verdict, when tracked
+
+	// Injection point (mirrors Result.InjPC / the experiment's fault).
+	Fault      string `json:"fault,omitempty"`
+	InjPC      uint64 `json:"injPc,omitempty"`
+	InjPCValid bool   `json:"injPcValid,omitempty"`
+
+	// Terminal point of a crashed run: the trap PC and cause. For SDC
+	// and reached-state runs CrashPC is absent and the final record is
+	// the last committed instruction (the program's halt).
+	CrashPC    uint64 `json:"crashPc,omitempty"`
+	CrashCause string `json:"crashCause,omitempty"`
+
+	Taint  *TaintFirsts `json:"taint,omitempty"`
+	Phases []Phase      `json:"phases,omitempty"`
+
+	Depth     int        `json:"depth"`
+	Committed uint64     `json:"committed"` // commits observed over the whole run
+	Squashed  uint64     `json:"squashed,omitempty"`
+	Records   []Record   `json:"records"`
+	Keyframes []Keyframe `json:"keyframes,omitempty"`
+}
+
+// FinalPC returns the PC of the dump's final record — the crash PC for
+// crashed runs (the appended trap record), the last committed
+// instruction otherwise. Zero for an empty dump.
+func (p *Postmortem) FinalPC() uint64 {
+	if p == nil || len(p.Records) == 0 {
+		return 0
+	}
+	return p.Records[len(p.Records)-1].PC
+}
+
+// AppendTrap appends the terminal faulting instruction of a crashed run
+// as a trap-marked record, so the timeline's final record carries the
+// crash PC. seq/tick continue from the last committed record.
+func (p *Postmortem) AppendTrap(pc uint64, raw uint32) {
+	var seq, tick uint64
+	if n := len(p.Records); n > 0 {
+		seq, tick = p.Records[n-1].Seq+1, p.Records[n-1].Tick+1
+	}
+	p.Records = append(p.Records, Record{Seq: seq, Tick: tick, PC: pc, Raw: raw, Trap: true})
+	p.CrashPC = pc
+}
+
+// WriteJSON writes the dump as indented JSON (the /postmortem/{id}
+// wire form; ValidatePostmortemJSON accepts it).
+func (p *Postmortem) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// WriteText renders the symbolized post-mortem timeline: header,
+// phase boundaries, then the final-K instructions disassembled with
+// their register writes, memory traffic and branch outcomes, keyframes
+// interleaved, and the injection / trap points marked.
+func (p *Postmortem) WriteText(w io.Writer) error {
+	bw := &errWriter{w: w}
+	bw.printf("post-mortem: experiment %d", p.ExpID)
+	if p.TraceID != "" {
+		bw.printf(" trace %s", p.TraceID)
+	}
+	bw.printf("\noutcome: %s", p.Outcome)
+	if p.Verdict != "" {
+		bw.printf(" (taint verdict %s)", p.Verdict)
+	}
+	bw.printf("\n")
+	if p.Fault != "" {
+		bw.printf("fault: %s\n", p.Fault)
+	}
+	if p.InjPCValid {
+		bw.printf("injected at pc=%#x\n", p.InjPC)
+	}
+	if p.CrashCause != "" {
+		bw.printf("crash: %s at pc=%#x\n", p.CrashCause, p.CrashPC)
+	}
+	if p.Taint != nil {
+		bw.printf("taint firsts (inst index): load %d  store %d  branch %d  output %d\n",
+			p.Taint.FirstLoad, p.Taint.FirstStore, p.Taint.FirstBranch, p.Taint.FirstOutput)
+	}
+	if len(p.Phases) > 0 {
+		bw.printf("phases:\n")
+		for _, ph := range p.Phases {
+			bw.printf("  %-14s %10.3fms", ph.Name, float64(ph.EndNS-ph.StartNS)/1e6)
+			if ph.EndTick > ph.StartTick {
+				bw.printf("  ticks %d..%d", ph.StartTick, ph.EndTick)
+			}
+			bw.printf("\n")
+		}
+	}
+	bw.printf("final %d of %d committed instructions (%d squashed):\n",
+		len(p.Records), p.Committed, p.Squashed)
+
+	kf := p.Keyframes
+	for i := range p.Records {
+		rec := &p.Records[i]
+		for len(kf) > 0 && kf[0].Seq < rec.Seq {
+			bw.printf("  -- keyframe @%d: pc=%#x\n", kf[0].Seq, kf[0].PC)
+			kf = kf[1:]
+		}
+		bw.printf("  %8d %10d  %#010x  %-32s", rec.Seq, rec.Tick, rec.PC, rec.Disassemble())
+		if rec.DstUsed {
+			if rec.DstFP {
+				bw.printf("  f%d=%#x", rec.Dst, rec.DstVal)
+			} else {
+				bw.printf("  %s=%#x", isa.Reg(rec.Dst).String(), rec.DstVal)
+			}
+		}
+		if rec.Mem {
+			verb := "load"
+			if rec.Store {
+				verb = "store"
+			}
+			bw.printf("  %s [%#x]=%#x", verb, rec.EA, rec.MemVal)
+		}
+		if rec.Branch {
+			if rec.Taken {
+				bw.printf("  taken ->%#x", rec.Target)
+			} else {
+				bw.printf("  not-taken")
+			}
+		}
+		if p.InjPCValid && rec.PC == p.InjPC {
+			bw.printf("  <== injection pc")
+		}
+		if rec.Trap {
+			bw.printf("  <== TRAP (%s)", p.CrashCause)
+		}
+		bw.printf("\n")
+	}
+	return bw.err
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+// validOutcomes is the schema enumeration for ValidatePostmortemJSON:
+// the campaign outcome names a dump may carry. Dumps are only produced
+// for the interesting verdicts, but the schema accepts every outcome so
+// a future policy change does not invalidate old journals.
+var validOutcomes = map[string]bool{
+	"crashed": true, "non-propagated": true, "strictly-correct": true,
+	"correct": true, "SDC": true,
+}
+
+// ValidatePostmortemJSON checks a post-mortem JSON document against the
+// schema: a known outcome, a bounded non-empty record list in strictly
+// increasing seq order with non-decreasing ticks, at most one trap
+// record (which must be last and carry the crash PC), and keyframes
+// anchored inside the record window. Returns the parsed dump on
+// success.
+func ValidatePostmortemJSON(rd io.Reader) (*Postmortem, error) {
+	dec := json.NewDecoder(rd)
+	dec.DisallowUnknownFields()
+	var p Postmortem
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("postmortem: %w", err)
+	}
+	if !validOutcomes[p.Outcome] {
+		return nil, fmt.Errorf("postmortem: unknown outcome %q", p.Outcome)
+	}
+	if p.Depth <= 0 {
+		return nil, fmt.Errorf("postmortem: depth %d must be positive", p.Depth)
+	}
+	if len(p.Records) == 0 {
+		return nil, fmt.Errorf("postmortem: no records")
+	}
+	// The ring holds at most Depth committed records, plus the appended
+	// trap record.
+	if len(p.Records) > p.Depth+1 {
+		return nil, fmt.Errorf("postmortem: %d records exceed depth %d", len(p.Records), p.Depth)
+	}
+	committed := 0
+	for i := range p.Records {
+		rec := &p.Records[i]
+		if i > 0 {
+			prev := &p.Records[i-1]
+			if rec.Seq <= prev.Seq {
+				return nil, fmt.Errorf("postmortem: record %d: seq %d not after %d", i, rec.Seq, prev.Seq)
+			}
+			if rec.Tick < prev.Tick {
+				return nil, fmt.Errorf("postmortem: record %d: tick %d before %d", i, rec.Tick, prev.Tick)
+			}
+		}
+		if rec.Trap {
+			if i != len(p.Records)-1 {
+				return nil, fmt.Errorf("postmortem: trap record %d is not last", i)
+			}
+			if p.CrashPC != rec.PC {
+				return nil, fmt.Errorf("postmortem: trap record pc %#x != crashPc %#x", rec.PC, p.CrashPC)
+			}
+		} else {
+			committed++
+		}
+	}
+	if uint64(committed) > p.Committed {
+		return nil, fmt.Errorf("postmortem: %d committed records > committed total %d", committed, p.Committed)
+	}
+	last := p.Records[len(p.Records)-1].Seq
+	for i, kf := range p.Keyframes {
+		if kf.Seq > last {
+			return nil, fmt.Errorf("postmortem: keyframe %d seq %d past final record %d", i, kf.Seq, last)
+		}
+		if i > 0 && kf.Seq <= p.Keyframes[i-1].Seq {
+			return nil, fmt.Errorf("postmortem: keyframe %d out of order", i)
+		}
+	}
+	return &p, nil
+}

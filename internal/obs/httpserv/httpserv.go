@@ -10,9 +10,13 @@
 //	/taint    — the most recent fault-propagation report (JSON by
 //	            default, ?format=dot for Graphviz, ?format=text)
 //	/traces   — recent span traces (newest first; filterable with
-//	            ?verdict=, ?tenant=, ?worker= against root attributes)
+//	            ?verdict=, ?tenant=, ?worker= against root attributes,
+//	            ?since= unix-nanos, ?postmortems=1 for dump-carrying
+//	            experiments; ?limit=/?n= bounds)
 //	/trace/{id} — one trace's full span tree (JSON by default,
 //	            ?format=text for an indented timeline)
+//	/postmortem/{id} — one experiment's flight-recorder dump (JSON by
+//	            default, ?format=text for the disassembled timeline)
 //	/debug/pprof/... — Go's net/http/pprof for the simulator itself
 //
 // Servers hosting several campaigns at once (the campaign service) wire
@@ -38,6 +42,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/prof"
 	"repro/internal/taint"
 )
@@ -70,6 +75,11 @@ type Config struct {
 	// Spans backs /traces and /trace/{id} — the live distributed-trace
 	// surface over the recorder's recent-trace ring.
 	Spans *obs.SpanRecorder
+	// Postmortem backs /postmortem/{id} and the ?postmortems=1 filter on
+	// /traces: it resolves an experiment's trace ID (or a host-specific
+	// key) to its flight-recorder dump. The boolean reports whether a
+	// dump exists for the ID.
+	Postmortem func(id string) (*flight.Postmortem, bool)
 	// TopN bounds the /profile text table (0 = default 30).
 	TopN int
 }
@@ -255,17 +265,33 @@ func Handler(cfg Config) http.Handler {
 			_ = rep.WriteJSON(w)
 		}
 	})
-	handle("/traces", "recent span traces (?verdict=|?tenant=|?worker= filter on root attrs; ?n= bounds)", func(w http.ResponseWriter, req *http.Request) {
+	handle("/traces", "recent span traces (?verdict=|?tenant=|?worker= filter on root attrs; ?since= unix-nanos; ?postmortems=1; ?limit=/?n= bounds)", func(w http.ResponseWriter, req *http.Request) {
 		if cfg.Spans == nil {
 			http.Error(w, "no span recorder attached (run with -spans)", http.StatusNotFound)
 			return
 		}
 		q := req.URL.Query()
 		limit := 50
-		if s := q.Get("n"); s != "" {
-			if v, err := strconv.Atoi(s); err == nil && v > 0 {
-				limit = v
+		for _, key := range []string{"n", "limit"} { // limit is the alias
+			if s := q.Get(key); s != "" {
+				if v, err := strconv.Atoi(s); err == nil && v > 0 {
+					limit = v
+				}
 			}
+		}
+		var since int64
+		if s := q.Get("since"); s != "" {
+			v, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				http.Error(w, "bad since (want unix nanoseconds): "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			since = v
+		}
+		wantPM := q.Get("postmortems") == "1" || q.Get("postmortems") == "true"
+		if wantPM && cfg.Postmortem == nil {
+			http.Error(w, "this server hosts no post-mortems (run with -flight)", http.StatusNotFound)
+			return
 		}
 		want := map[string]string{
 			"outcome": q.Get("verdict"),
@@ -277,6 +303,14 @@ func Handler(cfg Config) http.Handler {
 			root := tr.Root()
 			if root == nil || !rootMatches(root, want) {
 				continue
+			}
+			if since != 0 && root.StartNS < since {
+				continue
+			}
+			if wantPM {
+				if _, ok := cfg.Postmortem(tr.ID); !ok {
+					continue
+				}
 			}
 			out = append(out, summarize(tr, root))
 			if len(out) >= limit {
@@ -312,6 +346,29 @@ func Handler(cfg Config) http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(tr)
+	})
+	handle("/postmortem/", "one experiment's flight-recorder dump by trace ID (JSON; ?format=text for the disassembled timeline)", func(w http.ResponseWriter, req *http.Request) {
+		if cfg.Postmortem == nil {
+			http.Error(w, "no post-mortem source attached (run with -flight)", http.StatusNotFound)
+			return
+		}
+		id := strings.TrimPrefix(req.URL.Path, "/postmortem/")
+		if id == "" {
+			http.Error(w, "usage: /postmortem/{trace-id}", http.StatusBadRequest)
+			return
+		}
+		pm, ok := cfg.Postmortem(id)
+		if !ok {
+			http.Error(w, "no post-mortem for "+id+" (masked outcome, flight recording off, or evicted)", http.StatusNotFound)
+			return
+		}
+		if req.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = pm.WriteText(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = pm.WriteJSON(w)
 	})
 	handle("/debug/pprof/", "Go net/http/pprof for the simulator process", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

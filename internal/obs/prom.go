@@ -1,7 +1,6 @@
 package obs
 
 import (
-	"bufio"
 	"fmt"
 	"io"
 	"math"
@@ -116,48 +115,43 @@ var (
 // ValidateProm checks a Prometheus text exposition stream: sample
 // lines must match the exposition grammar with parseable values, and
 // any family declared with "# TYPE" may be declared only once. It
-// returns the number of sample lines. This is the checker CI runs
-// against a live /metrics scrape.
+// returns the number of sample lines; the error identifies the first
+// offending physical line. This is the checker CI runs against a live
+// /metrics scrape.
 func ValidateProm(r io.Reader) (int, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 	types := make(map[string]string)
 	samples := 0
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := sc.Text()
-		if strings.TrimSpace(line) == "" {
-			continue
-		}
+	_, err := ScanLines(r, 4<<20, func(lineNo int, raw []byte) error {
+		line := string(raw)
 		if strings.HasPrefix(line, "#") {
 			if strings.HasPrefix(line, "# TYPE ") {
 				mt := promTypeRe.FindStringSubmatch(line)
 				if mt == nil {
-					return samples, fmt.Errorf("prom: line %d: malformed TYPE line %q", lineNo, line)
+					return fmt.Errorf("prom: line %d: malformed TYPE line %q", lineNo, line)
 				}
 				if _, dup := types[mt[1]]; dup {
-					return samples, fmt.Errorf("prom: line %d: duplicate TYPE for family %q", lineNo, mt[1])
+					return fmt.Errorf("prom: line %d: duplicate TYPE for family %q", lineNo, mt[1])
 				}
 				types[mt[1]] = mt[2]
 			}
 			// # HELP and plain comments pass through.
-			continue
+			return nil
 		}
 		ms := promSampleRe.FindStringSubmatch(line)
 		if ms == nil {
-			return samples, fmt.Errorf("prom: line %d: malformed sample line %q", lineNo, line)
+			return fmt.Errorf("prom: line %d: malformed sample line %q", lineNo, line)
 		}
 		val := ms[3]
 		if val != "+Inf" && val != "-Inf" && val != "NaN" {
 			if _, err := strconv.ParseFloat(val, 64); err != nil {
-				return samples, fmt.Errorf("prom: line %d: bad value %q: %v", lineNo, val, err)
+				return fmt.Errorf("prom: line %d: bad value %q: %v", lineNo, val, err)
 			}
 		}
 		samples++
-	}
-	if err := sc.Err(); err != nil {
-		return samples, fmt.Errorf("prom: read: %w", err)
+		return nil
+	})
+	if err != nil {
+		return samples, err
 	}
 	if samples == 0 {
 		return 0, fmt.Errorf("prom: no samples found")

@@ -71,43 +71,37 @@ func ValidateSpanRecord(sp SpanRecord) error {
 // and additionally checks referential integrity: every parentSpanId
 // must resolve to a span of the same trace, span IDs must be unique,
 // and every trace must have exactly one root. Returns the number of
-// spans validated.
+// spans validated; the error identifies the first offending physical
+// line.
 func ValidateSpansJSONL(r io.Reader) (int, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
 	type spanKey struct{ trace, span string }
 	seen := make(map[spanKey]bool)
 	roots := make(map[string]int)
 	parents := make(map[spanKey]spanKey) // child -> parent, checked after the scan
-	n := 0
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
-		}
-		n++
+	n, err := ScanLines(r, maxLineBytes, func(lineNo int, raw []byte) error {
 		var sp SpanRecord
-		if err := json.Unmarshal([]byte(line), &sp); err != nil {
-			return n, fmt.Errorf("line %d: %w", n, err)
+		if err := json.Unmarshal(raw, &sp); err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
 		}
 		if err := ValidateSpanRecord(sp); err != nil {
-			return n, fmt.Errorf("line %d: %w", n, err)
+			return fmt.Errorf("line %d: %w", lineNo, err)
 		}
 		k := spanKey{sp.TraceID, sp.SpanID}
 		if seen[k] {
-			return n, fmt.Errorf("line %d: duplicate span id %s in trace %s", n, sp.SpanID, sp.TraceID)
+			return fmt.Errorf("line %d: duplicate span id %s in trace %s", lineNo, sp.SpanID, sp.TraceID)
 		}
 		seen[k] = true
 		if sp.ParentID == "" {
 			roots[sp.TraceID]++
 			if roots[sp.TraceID] > 1 {
-				return n, fmt.Errorf("line %d: trace %s has more than one root span", n, sp.TraceID)
+				return fmt.Errorf("line %d: trace %s has more than one root span", lineNo, sp.TraceID)
 			}
 		} else {
 			parents[k] = spanKey{sp.TraceID, sp.ParentID}
 		}
-	}
-	if err := sc.Err(); err != nil {
+		return nil
+	})
+	if err != nil {
 		return n, err
 	}
 	for child, parent := range parents {

@@ -271,28 +271,19 @@ func ValidateEvent(e Event) error {
 
 // ValidateJSONL reads a JSONL event stream and validates every line
 // against the event schema. It returns the number of valid events; the
-// error identifies the first offending line.
+// error identifies the first offending physical line.
 func ValidateJSONL(r io.Reader) (int, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 64<<10), 16<<20)
-	n := 0
-	line := 0
-	for sc.Scan() {
-		line++
-		raw := sc.Bytes()
-		if len(raw) == 0 {
-			continue
-		}
+	n, err := ScanLines(r, 16<<20, func(lineNo int, raw []byte) error {
 		var e Event
 		if err := json.Unmarshal(raw, &e); err != nil {
-			return n, fmt.Errorf("obs: line %d: not a JSON event: %w", line, err)
+			return fmt.Errorf("obs: line %d: not a JSON event: %w", lineNo, err)
 		}
 		if err := ValidateEvent(e); err != nil {
-			return n, fmt.Errorf("obs: line %d: %w", line, err)
+			return fmt.Errorf("obs: line %d: %w", lineNo, err)
 		}
-		n++
-	}
-	if err := sc.Err(); err != nil {
+		return nil
+	})
+	if err != nil {
 		return n, err
 	}
 	if n == 0 {

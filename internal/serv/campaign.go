@@ -53,6 +53,10 @@ type CampaignSpec struct {
 	Fork    bool `json:"fork,omitempty"`
 	Taint   bool `json:"taint,omitempty"`
 	Profile bool `json:"profile,omitempty"`
+	// Flight attaches a flight recorder to every runner: crashed, SDC
+	// and reached-state results carry a post-mortem dump (served via
+	// /postmortem/{id}). Implied service-wide by serv.Config.Flight.
+	Flight bool `json:"flight,omitempty"`
 }
 
 func (s *CampaignSpec) tenant() string {
@@ -143,6 +147,10 @@ type Campaign struct {
 	// service's experiment roots.
 	spans *obs.SpanRecorder
 
+	// flight (set by the Service from its config) turns on flight
+	// recording for this campaign's pool even when the spec did not ask.
+	flight bool
+
 	// Runner pool: built by prepare, borrowed by the scheduler. free is
 	// buffered to the pool size so returns never block. ckptBytes is the
 	// serialized fi_read_init_all checkpoint, shipped to NoW workers.
@@ -201,6 +209,9 @@ func (c *Campaign) prepare() (uint64, error) {
 	}
 	if c.Spec.Taint {
 		first.AttachTaint()
+	}
+	if c.Spec.Flight || c.flight {
+		first.AttachFlight(0) // clones replicate the recorder, per runner
 	}
 	if c.Spec.Fork {
 		if err := first.EnableFork(campaign.DefaultForkOptions()); err != nil {

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/now"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/obs/httpserv"
 	"repro/internal/prof"
 	"repro/internal/taint"
@@ -47,6 +49,13 @@ type Config struct {
 	// stitched underneath. Served live via /trace/{id} and /traces.
 	// Nil disables at no cost.
 	Spans *obs.SpanRecorder
+	// Flight turns on flight-recorder post-mortems service-wide: every
+	// campaign's runners (local pool and NoW workers, via the welcome)
+	// record the final committed instructions of each experiment and
+	// interesting results carry a dump, journaled with the result and
+	// served via /postmortem/{id}. Individual campaigns can also opt in
+	// with CampaignSpec.Flight.
+	Flight bool
 }
 
 // Service hosts campaigns. Lock order: a Campaign's mu may be held when
@@ -117,6 +126,7 @@ func New(cfg Config) (*Service, error) {
 		p := st.Camps[id]
 		c := newCampaign(id, p.Spec)
 		c.spans = cfg.Spans
+		c.flight = cfg.Flight
 		s.camps[id] = c
 		s.order = append(s.order, id)
 		if p.Done {
@@ -244,6 +254,7 @@ func (s *Service) Submit(spec CampaignSpec) (string, error) {
 	s.st.apply(record{T: recSpec, Campaign: id, Spec: &spec})
 	c := newCampaign(id, spec)
 	c.spans = s.cfg.Spans
+	c.flight = s.cfg.Flight
 	s.camps[id] = c
 	s.order = append(s.order, id)
 	s.mu.Unlock()
@@ -715,6 +726,7 @@ func (s *Service) Open(workerName string) (now.Welcome, now.Session, bool) {
 		Model:       string(pick.Spec.model()),
 		MaxInsts:    pick.Spec.MaxInsts,
 		SpanTrace:   s.cfg.Spans != nil,
+		Flight:      s.cfg.Flight || pick.Spec.Flight,
 	}
 	return wel, &servSession{s: s, c: pick, worker: workerName,
 		taken: make(map[int]campaign.Experiment)}, true
@@ -783,6 +795,47 @@ func (ss *servSession) Close() {
 
 // ---- HTTP API ----
 
+// Postmortem looks up one flight-recorder dump across every hosted
+// campaign. id is the experiment's span trace ID (the join key Results
+// and /traces expose) or the explicit "<campaign>/<expID>" form. Dumps
+// live on journaled results, so they survive restarts like everything
+// else in the ledger.
+func (s *Service) Postmortem(id string) (*flight.Postmortem, bool) {
+	s.mu.Lock()
+	camps := make([]*Campaign, 0, len(s.camps))
+	for _, c := range s.camps {
+		camps = append(camps, c)
+	}
+	s.mu.Unlock()
+	var campID string
+	expID := -1
+	if i := strings.IndexByte(id, '/'); i > 0 {
+		if n, err := strconv.Atoi(id[i+1:]); err == nil {
+			campID, expID = id[:i], n
+		}
+	}
+	for _, c := range camps {
+		c.mu.Lock()
+		if expID >= 0 {
+			if c.ID == campID {
+				if res, ok := c.results[expID]; ok && res.Postmortem != nil {
+					c.mu.Unlock()
+					return res.Postmortem, true
+				}
+			}
+		} else {
+			for _, res := range c.results {
+				if res.Postmortem != nil && res.TraceID == id {
+					c.mu.Unlock()
+					return res.Postmortem, true
+				}
+			}
+		}
+		c.mu.Unlock()
+	}
+	return nil, false
+}
+
 // Handler returns the service's HTTP surface: the campaign API plus the
 // standard observability endpoints (with per-campaign keying wired).
 func (s *Service) Handler() http.Handler {
@@ -814,6 +867,7 @@ func (s *Service) Handler() http.Handler {
 			}
 			return c.TaintReport(), true
 		},
+		Postmortem: s.Postmortem,
 	}))
 	return mux
 }

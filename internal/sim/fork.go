@@ -59,6 +59,7 @@ func (s *Simulator) ForkFrom(fp *checkpoint.ForkPoint, faults []core.Fault) {
 	if pr := s.Cfg.Profiler; pr != nil {
 		pr.ResetStack() // the forked guest is mid-call-chain
 	}
+	s.Cfg.Flight.Reset() // nil-safe; the ring belongs to one experiment
 	s.Model = s.newModel(s.Cfg.Model)
 	s.switched = false
 	s.stopRequested = false

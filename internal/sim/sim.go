@@ -17,6 +17,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/mem"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/prof"
 	"repro/internal/taint"
 )
@@ -109,6 +110,21 @@ type Config struct {
 	// EnableTaint makes New construct a tracker when Taint is nil;
 	// retrieve it with Simulator.Taint.
 	EnableTaint bool
+
+	// Flight, when non-nil, is the black-box flight recorder: a fixed
+	// ring of the last K committed instructions, dumped retroactively for
+	// interesting experiment verdicts. Nil costs one untaken branch per
+	// committed instruction. Alternatively set EnableFlight to have New
+	// build one of FlightDepth records.
+	Flight *flight.Recorder
+
+	// EnableFlight makes New construct a flight recorder when Flight is
+	// nil; retrieve it with Simulator.Flight.
+	EnableFlight bool
+
+	// FlightDepth sizes the recorder EnableFlight builds (<= 0 selects
+	// flight.DefaultDepth).
+	FlightDepth int
 
 	// DisableFastPath forces the CPU models onto their fully-hooked slow
 	// paths and bypasses the decoded-instruction caches. The conformance
@@ -235,6 +251,9 @@ func New(cfg Config) *Simulator {
 	if cfg.Taint != nil || cfg.EnableTaint {
 		s.AttachTaint(cfg.Taint)
 	}
+	if cfg.Flight != nil || cfg.EnableFlight {
+		s.AttachFlight(cfg.Flight)
+	}
 	s.registerMetrics()
 	return s
 }
@@ -261,6 +280,23 @@ func (s *Simulator) AttachTaint(tr *taint.Tracker) *taint.Tracker {
 	tr.TickFn = func() uint64 { return s.Core.Ticks }
 	tr.RegisterMetrics(s.Cfg.Metrics)
 	return tr
+}
+
+// Flight returns the attached flight recorder (nil when disabled).
+func (s *Simulator) Flight() *flight.Recorder { return s.Cfg.Flight }
+
+// AttachFlight wires a flight recorder into the core, building one of
+// Cfg.FlightDepth records when fr is nil — the campaign path, where
+// runners exist before the driver decides to record. Core.Flight is
+// only assigned for a non-nil recorder, so a disabled recorder never
+// defeats the atomic fast path through a typed-nil interface.
+func (s *Simulator) AttachFlight(fr *flight.Recorder) *flight.Recorder {
+	if fr == nil {
+		fr = flight.NewRecorder(s.Cfg.FlightDepth)
+	}
+	s.Cfg.Flight = fr
+	s.Core.Flight = fr
+	return fr
 }
 
 // TaintReport renders the propagation report for the last run. crashed
@@ -678,6 +714,7 @@ func (s *Simulator) Restore(st *checkpoint.State, faults []core.Fault) {
 	if pr := s.Cfg.Profiler; pr != nil {
 		pr.ResetStack() // the restored guest is mid-call-chain
 	}
+	s.Cfg.Flight.Reset() // nil-safe; the ring belongs to one experiment
 	s.Model = s.newModel(s.Cfg.Model)
 	s.switched = false
 	s.stopRequested = false
