@@ -29,7 +29,8 @@ func main() {
 		workers  = flag.Int("workers", 4, "campaign pool size")
 		sampling = flag.Bool("sampling", false, "also run the adaptive-vs-uniform sampling accuracy suite over all workloads")
 		sbudget  = flag.Int("sampling-budget", 0, "per-mode experiment budget for -sampling (0 = default)")
-		compare  = flag.String("compare", "", "compare two labels from the file (base,current) and exit")
+		compare   = flag.String("compare", "", "compare two labels from the file (base,current) and exit")
+		failBelow = flag.Float64("fail-below", 0, "with -compare: exit nonzero if any model record's throughput ratio falls below this (e.g. 0.90 fails >10% regressions; 0 = report only)")
 	)
 	flag.Parse()
 	log.SetFlags(0)
@@ -48,6 +49,14 @@ func main() {
 			log.Fatalf("labels %q/%q not both present in %s", base, cur, *out)
 		}
 		fmt.Print(bench.Speedup(b, c))
+		if *failBelow > 0 {
+			if regs := bench.Regressions(b, c, *failBelow); len(regs) > 0 {
+				for _, r := range regs {
+					fmt.Fprintf(os.Stderr, "REGRESSION %s\n", r)
+				}
+				os.Exit(1)
+			}
+		}
 		return
 	}
 

@@ -60,6 +60,7 @@ func run() error {
 		profileTop = flag.Int("profile-top", 20, "rows in the -profile tables")
 		taintOn    = flag.Bool("taint", false, "track fault propagation per experiment: verdict tally, Result.Prop summaries in -json, propagation columns in the PC report (custom experiment)")
 		fastFwd    = flag.Bool("fast-forward", false, "run each experiment on the cheap atomic model until the fault window opens, then switch to -model (campaign speedup; no effect when -model atomic)")
+		bbtOn      = flag.Bool("bbt", true, "translate hot basic blocks into fused closure chains wherever the atomic fast path runs (fast-forward prefix, atomic experiments, post-resolve tail)")
 		forkOn     = flag.Bool("fork", false, "fork-server mode: one trunk run freezes COW snapshots across the fault window; each experiment forks from the closest one instead of replaying the warm-up (custom experiment)")
 		forkSnaps  = flag.Int("fork-snapshots", 32, "target trunk snapshots across the fault window in -fork mode")
 		forkPrune  = flag.Bool("fork-prune", true, "classify provably masked experiments early in -fork mode (disabled automatically under -profile/-taint)")
@@ -140,6 +141,7 @@ func run() error {
 		MaxInsts:                2_000_000_000,
 		SwitchToAtomicOnResolve: sim.ModelKind(*model) == sim.ModelPipelined,
 		FastForward:             *fastFwd,
+		EnableBlockTranslation:  *bbtOn,
 	}
 	opts := campaign.RunnerOptions{Cfg: &cfg}
 

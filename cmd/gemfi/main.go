@@ -70,7 +70,10 @@ func run() error {
 		validateTaint = flag.String("validate-taint", "", "validate a propagation-report JSON file against the schema and exit")
 		validateSpans = flag.String("validate-spans", "", "validate a span JSONL file (gemfi-campaign -spans-jsonl) against the span schema and exit")
 
-		flightOn    = flag.Bool("flight", false, "record the last -flight-depth committed instructions and print the post-mortem timeline if the run crashes")
+		bbtOn    = flag.Bool("bbt", true, "translate hot basic blocks into fused closure chains on the atomic fast path")
+	bbtStats = flag.Bool("bbt-stats", false, "print the block translator's counters (blocks compiled, hits, invalidations, fallbacks) at exit")
+
+	flightOn    = flag.Bool("flight", false, "record the last -flight-depth committed instructions and print the post-mortem timeline if the run crashes")
 		flightDepth = flag.Int("flight-depth", 0, "flight recorder ring size (0 = default)")
 		validatePM  = flag.String("validate-postmortem", "", "validate a post-mortem JSON file (/postmortem/{id}) against the schema and exit")
 	)
@@ -153,6 +156,7 @@ func run() error {
 		Faults:                  faults,
 		MaxInsts:                *maxInsts,
 		SwitchToAtomicOnResolve: sim.ModelKind(*model) == sim.ModelPipelined,
+		EnableBlockTranslation:  *bbtOn,
 	}
 	if *metricsDump || *metricsJSON != "" || *httpAddr != "" {
 		cfg.Metrics = obs.NewRegistry()
@@ -369,6 +373,15 @@ func run() error {
 		fmt.Printf("HUNG after %d instructions\n", r.Insts)
 	default:
 		fmt.Printf("exit status %d\n", r.ExitStatus)
+	}
+	if *bbtStats {
+		if s.BBT != nil {
+			st := s.BBT.Stats
+			fmt.Printf("bbt: %d blocks compiled (%d poisoned), %d hits, %d insts translated, %d invalidations, %d fallbacks\n",
+				st.Compiled, st.Poisoned, st.Hits, st.Insts, st.Invalidations, st.Fallbacks)
+		} else {
+			fmt.Println("bbt: translation disabled")
+		}
 	}
 	if *verbose {
 		fmt.Printf("instructions: %d  ticks: %d  model: %s  switched: %v\n",

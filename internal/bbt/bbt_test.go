@@ -1,0 +1,167 @@
+package bbt_test
+
+import (
+	"testing"
+
+	"repro/internal/minic"
+	"repro/internal/sim"
+)
+
+// These are the translator's own exactness units: every stop, pause and
+// preemption a batched block commit could smear must land on precisely
+// the state the per-instruction interpreter produces. The conformance
+// suite (internal/conformance) holds the full six-workload referee; here
+// the boundaries themselves are the target.
+
+const hotLoopProgram = `
+int out[1];
+int main() {
+    int s = 0;
+    for (int i = 0; i < 20000; i = i + 1) { s = s + i; }
+    out[0] = s;
+    return 0;
+}`
+
+const threadedProgram = `
+int results[4];
+void worker(int slot) {
+    int s = 0;
+    for (int i = 0; i < 3000; i = i + 1) { s = s + i; }
+    results[slot] = s + slot;
+}
+int main() {
+    int t1 = spawn(worker, 1);
+    int t2 = spawn(worker, 2);
+    int s = 0;
+    for (int i = 0; i < 3000; i = i + 1) { s = s + i; }
+    join(t1);
+    join(t2);
+    results[0] = s;
+    return 0;
+}`
+
+func build(t *testing.T, src string, cfg sim.Config) *sim.Simulator {
+	t.Helper()
+	p, err := minic.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	s := sim.New(cfg)
+	if err := s.Load(p); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	return s
+}
+
+// TestTranslationEngages proves a hot loop actually runs translated: the
+// block cache fills, hits accumulate, and the large majority of the
+// run's instructions retire inside blocks.
+func TestTranslationEngages(t *testing.T) {
+	s := build(t, hotLoopProgram, sim.Config{Model: sim.ModelAtomic,
+		EnableFI: true, MaxInsts: 10_000_000, EnableBlockTranslation: true})
+	r := s.Run()
+	if !r.Exited || r.ExitStatus != 0 {
+		t.Fatalf("run failed: %+v", r)
+	}
+	st := s.BBT.Stats
+	if st.Compiled == 0 || st.Hits == 0 {
+		t.Fatalf("translator never engaged: %+v", st)
+	}
+	if st.Insts*2 < s.Core.Insts {
+		t.Errorf("only %d of %d instructions ran translated — the hot loop was missed",
+			st.Insts, s.Core.Insts)
+	}
+}
+
+// TestWatchdogExactness arms a watchdog that expires mid-hot-loop: the
+// translated run must stop at exactly the same committed-instruction
+// count as the interpreter — the admission ceiling may not let a block
+// overshoot the bound.
+func TestWatchdogExactness(t *testing.T) {
+	for _, maxInsts := range []uint64{1000, 5007, 20_000} {
+		tr := build(t, hotLoopProgram, sim.Config{Model: sim.ModelAtomic,
+			EnableFI: true, MaxInsts: maxInsts, EnableBlockTranslation: true})
+		rt := tr.Run()
+		ref := build(t, hotLoopProgram, sim.Config{Model: sim.ModelAtomic,
+			EnableFI: true, MaxInsts: maxInsts, DisableFastPath: true})
+		rr := ref.Run()
+		if !rt.Hung || !rr.Hung {
+			t.Fatalf("max=%d: watchdog never expired: bbt %+v, ref %+v", maxInsts, rt, rr)
+		}
+		if tr.Core.Insts != ref.Core.Insts || tr.Core.Ticks != ref.Core.Ticks {
+			t.Errorf("max=%d: watchdog landed at insts %d/ticks %d, interpreter at %d/%d",
+				maxInsts, tr.Core.Insts, tr.Core.Ticks, ref.Core.Insts, ref.Core.Ticks)
+		}
+		if tr.Core.Arch != ref.Core.Arch {
+			t.Errorf("max=%d: architectural state at the watchdog diverged", maxInsts)
+		}
+	}
+}
+
+// TestRunUntilExactness pauses a translated run at an arbitrary bound
+// mid-loop (the fork server's trunk walk): the pause must land at
+// exactly the bound with interpreter-identical state, and resuming must
+// finish identically too.
+func TestRunUntilExactness(t *testing.T) {
+	for _, bound := range []uint64{777, 12_345} {
+		tr := build(t, hotLoopProgram, sim.Config{Model: sim.ModelAtomic,
+			EnableFI: true, MaxInsts: 10_000_000, EnableBlockTranslation: true})
+		rt := tr.RunUntil(bound)
+		ref := build(t, hotLoopProgram, sim.Config{Model: sim.ModelAtomic,
+			EnableFI: true, MaxInsts: 10_000_000, DisableFastPath: true})
+		rr := ref.RunUntil(bound)
+		if !rt.Paused || !rr.Paused {
+			t.Fatalf("bound=%d: did not pause: bbt %+v, ref %+v", bound, rt, rr)
+		}
+		if tr.Core.Insts != bound || tr.Core.Insts != ref.Core.Insts {
+			t.Errorf("bound=%d: paused at %d (interpreter %d)", bound, tr.Core.Insts, ref.Core.Insts)
+		}
+		if tr.Core.Arch != ref.Core.Arch {
+			t.Errorf("bound=%d: architectural state at the pause diverged", bound)
+		}
+		ft, fr := tr.Run(), ref.Run()
+		if !ft.Exited || !fr.Exited || tr.Core.Arch != ref.Core.Arch || tr.Core.Insts != ref.Core.Insts {
+			t.Errorf("bound=%d: resumed runs diverged: bbt %+v, ref %+v", bound, ft, fr)
+		}
+	}
+}
+
+// TestSchedulerSliceExactness runs a three-thread program under block
+// translation and requires the preemption schedule to be untouched:
+// identical final state, context-switch count and remaining slice, for
+// the default quantum and for quanta small enough that blocks constantly
+// collide with the slice boundary.
+func TestSchedulerSliceExactness(t *testing.T) {
+	for _, quantum := range []uint64{0, 17, 100, 10_000} {
+		cfg := sim.Config{Model: sim.ModelAtomic, EnableFI: true,
+			MaxInsts: 10_000_000, Quantum: quantum}
+		bcfg := cfg
+		bcfg.EnableBlockTranslation = true
+		rcfg := cfg
+		rcfg.DisableFastPath = true
+		tr := build(t, threadedProgram, bcfg)
+		rt := tr.Run()
+		ref := build(t, threadedProgram, rcfg)
+		rr := ref.Run()
+		if !rt.Exited || !rr.Exited || rt.ExitStatus != rr.ExitStatus {
+			t.Fatalf("q=%d: runs diverged: bbt %+v, ref %+v", quantum, rt, rr)
+		}
+		if tr.Core.Arch != ref.Core.Arch || tr.Core.Insts != ref.Core.Insts || tr.Core.Ticks != ref.Core.Ticks {
+			t.Errorf("q=%d: state diverged: insts %d vs %d", quantum, tr.Core.Insts, ref.Core.Insts)
+		}
+		kt, kr := tr.Kernel.Snapshot(), ref.Kernel.Snapshot()
+		if kt.ContextSwitches != kr.ContextSwitches {
+			t.Errorf("q=%d: context switches %d vs %d — batched slice accounting drifted",
+				quantum, kt.ContextSwitches, kr.ContextSwitches)
+		}
+		if kt.SliceLeft != kr.SliceLeft || kt.Cur != kr.Cur {
+			t.Errorf("q=%d: scheduler state diverged: slice %d/%d cur %d/%d",
+				quantum, kt.SliceLeft, kr.SliceLeft, kt.Cur, kr.Cur)
+		}
+		if quantum == 0 || quantum >= 100 {
+			if tr.BBT.Stats.Insts == 0 {
+				t.Errorf("q=%d: threaded run never translated anything", quantum)
+			}
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"repro/internal/campaign"
@@ -153,24 +154,32 @@ func (c Config) withDefaults() Config {
 // engine attached but idle — the campaign-realistic configuration) and
 // returns the best run.
 func MeasureModel(w *workloads.Workload, model sim.ModelKind, reps int) (ModelResult, error) {
-	return measureModel(w, model, reps, false)
+	return measureModel(w, model, reps, false, false)
 }
 
 // MeasureModelFlight is MeasureModel with the flight recorder attached —
 // the post-mortem configuration. The delta against the plain model run is
 // the recorder's commit-path overhead.
 func MeasureModelFlight(w *workloads.Workload, model sim.ModelKind, reps int) (ModelResult, error) {
-	return measureModel(w, model, reps, true)
+	return measureModel(w, model, reps, true, false)
 }
 
-func measureModel(w *workloads.Workload, model sim.ModelKind, reps int, flight bool) (ModelResult, error) {
+// MeasureModelBBT is MeasureModel with the basic-block translator
+// attached — the "atomic-bbt" record. The ratio against the plain atomic
+// run is the translation speedup the ISSUE/ROADMAP targets.
+func MeasureModelBBT(w *workloads.Workload, model sim.ModelKind, reps int) (ModelResult, error) {
+	return measureModel(w, model, reps, false, true)
+}
+
+func measureModel(w *workloads.Workload, model sim.ModelKind, reps int, flight, bbt bool) (ModelResult, error) {
 	p, err := w.Build()
 	if err != nil {
 		return ModelResult{}, err
 	}
 	best := ModelResult{Seconds: -1}
 	for i := 0; i < reps; i++ {
-		s := sim.New(sim.Config{Model: model, EnableFI: true, MaxInsts: 2_000_000_000, EnableFlight: flight})
+		s := sim.New(sim.Config{Model: model, EnableFI: true, MaxInsts: 2_000_000_000,
+			EnableFlight: flight, EnableBlockTranslation: bbt})
 		if err := s.Load(p); err != nil {
 			return ModelResult{}, err
 		}
@@ -192,8 +201,20 @@ func measureModel(w *workloads.Workload, model sim.ModelKind, reps int, flight b
 // methodology: pipelined model with the switch-to-atomic optimization,
 // plus the simulator-level fast-forward prefix when ff is set.
 func MeasureCampaign(w *workloads.Workload, n, workers int, ff bool, seed int64) (CampaignResult, error) {
+	return measureCampaign(w, n, workers, ff, false, seed)
+}
+
+// MeasureCampaignBBT is the fast-forward campaign with the basic-block
+// translator accelerating the atomic prefix and post-resolve tail — the
+// "fastforward-bbt" record.
+func MeasureCampaignBBT(w *workloads.Workload, n, workers int, seed int64) (CampaignResult, error) {
+	return measureCampaign(w, n, workers, true, true, seed)
+}
+
+func measureCampaign(w *workloads.Workload, n, workers int, ff, bbt bool, seed int64) (CampaignResult, error) {
 	cfg := sim.DefaultConfig()
 	cfg.FastForward = ff
+	cfg.EnableBlockTranslation = bbt
 	pool, err := campaign.NewPool(w, workers, campaign.RunnerOptions{Cfg: &cfg})
 	if err != nil {
 		return CampaignResult{}, err
@@ -276,6 +297,15 @@ func Run(cfg Config, logf func(format string, args ...any)) (Record, error) {
 	}
 	rec.Models["atomic-flight"] = fm
 	logf("model %-9s %12.0f insts/sec (%d insts in %.3fs)", "atomic-flight", fm.InstsPerSec, fm.Insts, fm.Seconds)
+	// The block-translation record: atomic with hot guest code compiled
+	// into fused closure chains. The ratio over plain atomic is the
+	// translation speedup.
+	bm, err := MeasureModelBBT(w, sim.ModelAtomic, cfg.Reps)
+	if err != nil {
+		return Record{}, err
+	}
+	rec.Models["atomic-bbt"] = bm
+	logf("model %-9s %12.0f insts/sec (%d insts in %.3fs)", "atomic-bbt", bm.InstsPerSec, bm.Insts, bm.Seconds)
 	for _, c := range []struct {
 		name string
 		ff   bool
@@ -292,6 +322,13 @@ func Run(cfg Config, logf func(format string, args ...any)) (Record, error) {
 	if err != nil {
 		return Record{}, err
 	}
+	br, err := MeasureCampaignBBT(w, cfg.CampaignExps, cfg.CampaignWorkers, 7)
+	if err != nil {
+		return Record{}, err
+	}
+	rec.Campaigns["fastforward-bbt"] = br
+	logf("campaign %-12s %8.1f exps/sec (%d exps, %d workers, %.3fs)",
+		"fastforward-bbt", br.ExpsPerSec, br.Experiments, br.Workers, br.Seconds)
 	rec.Campaigns["fork"] = fr
 	logf("campaign %-12s %8.1f exps/sec (%d exps, %d workers, %.3fs + %.3fs trunk, %d pruned, %d KiB snapshots)",
 		"fork", fr.ExpsPerSec, fr.Experiments, fr.Workers, fr.Seconds, fr.TrunkSeconds,
@@ -317,7 +354,7 @@ func Speedup(base, cur *Record) string {
 		return ""
 	}
 	out := ""
-	for _, m := range []string{"atomic", "timing", "pipelined", "atomic-flight"} {
+	for _, m := range []string{"atomic", "atomic-bbt", "timing", "pipelined", "atomic-flight"} {
 		b, okB := base.Models[m]
 		c, okC := cur.Models[m]
 		if okB && okC && b.InstsPerSec > 0 {
@@ -330,6 +367,35 @@ func Speedup(base, cur *Record) string {
 		} else if b, ok := base.Campaigns["checkpoint"]; ok && b.ExpsPerSec > 0 {
 			// New configurations compare against the plain checkpoint run.
 			out += fmt.Sprintf("%-12s %6.2fx vs checkpoint (%0.1f -> %0.1f exps/sec)\n", name, c.ExpsPerSec/b.ExpsPerSec, b.ExpsPerSec, c.ExpsPerSec)
+		}
+	}
+	return out
+}
+
+// Regressions lists the model records of cur whose throughput fell
+// below ratio × base's (ratio 0.90 flags >10% regressions), sorted by
+// name. Records absent from either side are skipped, so new models never
+// fail against an old baseline. The CI perf job fails on a non-empty
+// result.
+func Regressions(base, cur *Record, ratio float64) []string {
+	if base == nil || cur == nil {
+		return nil
+	}
+	names := make([]string, 0, len(base.Models))
+	for name := range base.Models {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []string
+	for _, name := range names {
+		b := base.Models[name]
+		c, ok := cur.Models[name]
+		if !ok || b.InstsPerSec <= 0 {
+			continue
+		}
+		if r := c.InstsPerSec / b.InstsPerSec; r < ratio {
+			out = append(out, fmt.Sprintf("%s: %.2fx (%0.0f -> %0.0f insts/sec)",
+				name, r, b.InstsPerSec, c.InstsPerSec))
 		}
 	}
 	return out

@@ -43,7 +43,18 @@ func (m *AtomicModel) Step() bool {
 	c := m.C
 	if c.TraceFn == nil && c.Prof == nil && c.Taint == nil && c.Flight == nil &&
 		!c.DisableFastPath && (c.FI == nil || !c.FI.Enabled()) {
+		// Translated blocks run only under the same predicate that admits
+		// stepFast, and never when cache timing matters (the timing model
+		// charges per-access latencies a fused block cannot reproduce).
+		if c.BBT != nil && !m.Timing {
+			if c.BBT.Exec() {
+				return !c.Stopped
+			}
+		}
 		return m.stepFast()
+	}
+	if c.BBT != nil {
+		c.BBT.NoteFallback()
 	}
 	return m.stepSlow()
 }

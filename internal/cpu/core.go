@@ -101,6 +101,30 @@ type Scheduler interface {
 	MaybeSwitch(c *Core) bool
 }
 
+// BatchScheduler extends Scheduler with batch accounting for block
+// execution: SliceBudget reports how many commits the running thread is
+// guaranteed before MaybeSwitch could preempt it, and ConsumeSlice
+// charges a batch of commits in one call with the same arithmetic as n
+// individual MaybeSwitch calls that all declined to switch. A block
+// runner only admits a block whose length fits strictly inside the
+// budget; a scheduler that cannot batch disables block execution.
+type BatchScheduler interface {
+	Scheduler
+	SliceBudget() uint64
+	ConsumeSlice(n uint64)
+}
+
+// BlockRunner executes translated basic blocks for the atomic model
+// (internal/bbt implements it). Exec runs zero or more whole blocks
+// starting at the architectural PC and reports whether any guest
+// instruction was executed; NoteFallback counts a slow-path step taken
+// while a runner is attached, making window-open/observer bailouts
+// observable.
+type BlockRunner interface {
+	Exec() bool
+	NoteFallback()
+}
+
 // PalAction is what the PAL handler asks the core to do after a PAL
 // instruction commits.
 type PalAction int
@@ -167,6 +191,12 @@ type Core struct {
 	// Flight, when set, receives the committed instruction stream (and
 	// pipeline squashes) for flight-recorder post-mortems.
 	Flight FlightSink
+
+	// BBT, when set, executes translated basic blocks on the atomic
+	// model's fast path (gem5/QEMU-style block translation). It is only
+	// consulted when the fast-path predicate already holds, so every
+	// condition that forces the slow path also disables translation.
+	BBT BlockRunner
 
 	// DisableFastPath forces the models onto their fully-hooked slow
 	// paths and bypasses the decoded-instruction caches. Used by
@@ -295,6 +325,10 @@ func (c *Core) NextSeq() uint64 {
 	c.seq++
 	return c.seq
 }
+
+// BumpSeq advances the sequence counter by n in one call — the batch
+// equivalent of n NextSeq allocations, used by translated-block commits.
+func (c *Core) BumpSeq(n uint64) { c.seq += n }
 
 // fiEnabled reports whether FI hooks should run for the current thread.
 func (c *Core) fiEnabled() bool { return c.FI != nil && c.FI.Enabled() }

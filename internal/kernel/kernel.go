@@ -367,6 +367,33 @@ func (k *Kernel) MaybeSwitch(c *cpu.Core) bool {
 	return k.switchFrom(c, true)
 }
 
+// SliceBudget implements cpu.BatchScheduler: how many commits the running
+// thread is guaranteed before MaybeSwitch could preempt it. MaybeSwitch
+// only fires when the slice reaches 1, so any n < SliceBudget() commits
+// are preemption-free. The same clamp as MaybeSwitch applies so a
+// reconfigured Quantum takes effect immediately.
+func (k *Kernel) SliceBudget() uint64 {
+	if k.sliceLeft > k.Quantum {
+		k.sliceLeft = k.Quantum
+	}
+	return k.sliceLeft
+}
+
+// ConsumeSlice implements cpu.BatchScheduler: charge n commits against
+// the running thread's slice in one call — identical arithmetic to n
+// MaybeSwitch calls that all declined (callers guarantee n < the budget,
+// so the slice never reaches the switch point mid-batch).
+func (k *Kernel) ConsumeSlice(n uint64) {
+	if k.sliceLeft > k.Quantum {
+		k.sliceLeft = k.Quantum
+	}
+	if n < k.sliceLeft {
+		k.sliceLeft -= n
+	} else {
+		k.sliceLeft = 1
+	}
+}
+
 // switchFrom saves the current thread (if saveCur) and dispatches the next
 // runnable one. Returns false if no other thread can run.
 func (k *Kernel) switchFrom(c *cpu.Core, saveCur bool) bool {

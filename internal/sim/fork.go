@@ -95,6 +95,7 @@ func (s *Simulator) RunUntil(insts uint64) RunResult {
 		r.Paused = true
 		return r
 	}
+	s.armTranslationLimit(insts)
 	endSpan := s.Cfg.Tracer.Span(obs.CatSim, "run.until", 0)
 	var steps uint64
 	for !s.Core.Stopped && !s.stopRequested {

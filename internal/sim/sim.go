@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/asm"
+	"repro/internal/bbt"
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/cpu"
@@ -126,6 +127,14 @@ type Config struct {
 	// flight.DefaultDepth).
 	FlightDepth int
 
+	// EnableBlockTranslation attaches the basic-block translator
+	// (internal/bbt) to the core: hot straight-line guest code is fused
+	// into pre-bound closure chains whenever the atomic fast path is
+	// active — the fast-forward prefix, pure-atomic runs, and the
+	// post-resolve atomic tail. Ignored when DisableFastPath is set (the
+	// conformance referee must interpret every instruction).
+	EnableBlockTranslation bool
+
 	// DisableFastPath forces the CPU models onto their fully-hooked slow
 	// paths and bypasses the decoded-instruction caches. The conformance
 	// suite uses it as the reference configuration the fast paths must
@@ -152,7 +161,8 @@ type Simulator struct {
 	Hier   *mem.Hierarchy
 	Core   *cpu.Core
 	Kernel *kernel.Kernel
-	Engine *core.Engine // nil when EnableFI is false
+	Engine *core.Engine    // nil when EnableFI is false
+	BBT    *bbt.Translator // nil unless EnableBlockTranslation
 	Model  cpu.Model
 
 	Program *asm.Program
@@ -171,8 +181,9 @@ type Simulator struct {
 	CheckpointHits int
 	stopRequested  bool
 	switched       bool
-	ffActive       bool // fast-forward prefix running (atomic stand-in model)
-	ffPending      bool // window opened mid-step: switch before the next step
+	ffActive       bool   // fast-forward prefix running (atomic stand-in model)
+	ffPending      bool   // window opened mid-step: switch before the next step
+	bbtUntil       uint64 // RunUntil bound folded into the translation limit
 	interrupted    atomic.Bool
 
 	// Span-phase recording (SetSpans): the run stamps its rare phase
@@ -203,6 +214,10 @@ func New(cfg Config) *Simulator {
 	s := &Simulator{Cfg: cfg}
 	s.Mem = mem.New()
 	s.Core = &cpu.Core{Name: cfg.CPUName, Mem: s.Mem, DisableFastPath: cfg.DisableFastPath}
+	if cfg.EnableBlockTranslation && !cfg.DisableFastPath {
+		s.BBT = bbt.New(s.Core)
+		s.Core.BBT = s.BBT
+	}
 	if cfg.Model != ModelAtomic {
 		hc := mem.DefaultHierarchyConfig()
 		if cfg.Hierarchy != nil {
@@ -317,6 +332,9 @@ func (s *Simulator) registerMetrics() {
 		return
 	}
 	s.Core.RegisterMetrics(r)
+	if s.BBT != nil {
+		s.BBT.RegisterMetrics(r)
+	}
 	if s.Hier != nil {
 		s.Hier.RegisterMetrics(r)
 	}
@@ -358,8 +376,38 @@ func (s *Simulator) armFastForward() {
 	}
 	s.ffActive = true
 	s.Model = cpu.NewAtomic(s.Core)
+	s.refreshTranslationLimit()
 	s.Cfg.Tracer.Instant(obs.CatSim, "fastforward.begin", s.Core.Ticks,
 		map[string]any{"until": s.Cfg.FastForwardAt})
+}
+
+// armTranslationLimit (re)computes the translator's committed-instruction
+// ceiling for a run entered with bound `until` committed instructions
+// (0 = run to completion). Translated blocks must land every stop, pause
+// and model switch on exactly the instruction count the interpreter
+// would have produced, so the ceiling is the min over every active
+// instruction-indexed event: the run bound, the watchdog, and the
+// fast-forward switch point while the atomic prefix is live.
+func (s *Simulator) armTranslationLimit(until uint64) {
+	if s.BBT == nil {
+		return
+	}
+	s.bbtUntil = until
+	s.refreshTranslationLimit()
+}
+
+func (s *Simulator) refreshTranslationLimit() {
+	if s.BBT == nil {
+		return
+	}
+	lim := s.bbtUntil
+	if s.Cfg.MaxInsts > 0 && (lim == 0 || s.Cfg.MaxInsts < lim) {
+		lim = s.Cfg.MaxInsts
+	}
+	if s.ffActive && s.Cfg.FastForwardAt > 0 && (lim == 0 || s.Cfg.FastForwardAt < lim) {
+		lim = s.Cfg.FastForwardAt
+	}
+	s.BBT.SetLimit(lim)
 }
 
 // endFastForward switches from the atomic prefix to the configured
@@ -374,6 +422,7 @@ func (s *Simulator) endFastForward() {
 		s.ffEndMark = phaseCut{time.Now().UnixNano(), s.Core.Ticks}
 	}
 	s.Model = s.newModel(s.Cfg.Model)
+	s.refreshTranslationLimit() // the FastForwardAt ceiling no longer applies
 	s.Cfg.Metrics.Counter("sim.fastforward.switches").Inc()
 	s.Cfg.Tracer.Instant(obs.CatSim, "fastforward.end", s.Core.Ticks,
 		map[string]any{"insts": s.Core.Insts, "to": string(s.Cfg.Model)})
@@ -578,6 +627,7 @@ func (s *Simulator) Run() RunResult {
 	if s.Model == nil {
 		return RunResult{Crashed: true, CrashCause: "no program loaded"}
 	}
+	s.armTranslationLimit(0)
 	endSpan := s.Cfg.Tracer.Span(obs.CatSim, "run", 0)
 	var steps uint64
 	for !s.Core.Stopped && !s.stopRequested {
